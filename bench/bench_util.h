@@ -1,0 +1,49 @@
+// Shared helpers for the experiment harness (one binary per experiment id,
+// DESIGN.md §4). Benchmarks report the paper's metric — device I/Os — via
+// custom counters, alongside the theoretical bound for the configuration,
+// so each run regenerates a "measured vs bound" series.
+
+#ifndef CCIDX_BENCH_BENCH_UTIL_H_
+#define CCIDX_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "ccidx/core/metablock_tree.h"
+#include "ccidx/io/block_device.h"
+#include "ccidx/io/pager.h"
+
+namespace ccidx {
+namespace bench {
+
+/// log base B of n.
+inline double LogB(double n, double b) { return std::log(n) / std::log(b); }
+
+/// A device + pager pair sized for `b` points per page.
+struct Disk {
+  explicit Disk(uint32_t b)
+      : device(PageSizeForBranching(b)), pager(&device, 0) {}
+
+  BlockDevice device;
+  Pager pager;
+};
+
+/// Memoizes one expensive setup object per benchmark configuration so the
+/// structure is built once and reused across iterations.
+template <typename Setup, typename Key, typename MakeFn>
+Setup* GetOrBuild(std::map<Key, std::unique_ptr<Setup>>* cache,
+                  const Key& key, MakeFn make) {
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, make()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace bench
+}  // namespace ccidx
+
+#endif  // CCIDX_BENCH_BENCH_UTIL_H_

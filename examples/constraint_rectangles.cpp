@@ -1,0 +1,99 @@
+// Example 2.1 from the paper: rectangle intersection in a constraint query
+// language. Each rectangle named n with corners (a,b),(c,d) is stored as
+// the generalized 3-tuple over R'(z, x, y):
+//
+//     (z = n) AND (a <= x <= c) AND (b <= y <= d)
+//
+// "All pairs of distinct intersecting rectangles" is then the CQL query
+//   { (n1,n2) | n1 != n2 AND exists x,y: R'(n1,x,y) AND R'(n2,x,y) }
+// — no case analysis, and the same program would work for triangles.
+// The generalized one-dimensional index on x turns the existential into an
+// interval intersection probe per rectangle.
+//
+// Build & run:   ./build/examples/constraint_rectangles
+
+#include <cstdio>
+#include <random>
+
+#include "ccidx/constraint/generalized_index.h"
+#include "ccidx/core/metablock_tree.h"
+
+using namespace ccidx;
+
+namespace {
+
+GeneralizedTuple MakeRectangle(uint64_t name, Coord a, Coord b, Coord c,
+                               Coord d) {
+  GeneralizedTuple t(name, /*arity=*/3);  // variables: z=0, x=1, y=2
+  CCIDX_CHECK(t.AddEquality(0, static_cast<Coord>(name)).ok());
+  CCIDX_CHECK(t.AddRange(1, a, c).ok());
+  CCIDX_CHECK(t.AddRange(2, b, d).ok());
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  BlockDevice device(PageSizeForBranching(32));
+  Pager pager(&device, 0);
+  GeneralizedIndex index(&pager, /*arity=*/3, /*indexed_var=*/1);
+
+  // A few thousand random rectangles.
+  std::mt19937 rng(2026);
+  struct Rect {
+    Coord a, b, c, d;
+  };
+  std::vector<Rect> rects;
+  for (uint64_t n = 0; n < 4000; ++n) {
+    Rect r;
+    r.a = static_cast<Coord>(rng() % 100000);
+    r.b = static_cast<Coord>(rng() % 100000);
+    r.c = r.a + static_cast<Coord>(rng() % 600);
+    r.d = r.b + static_cast<Coord>(rng() % 600);
+    rects.push_back(r);
+    if (!index.Insert(MakeRectangle(n, r.a, r.b, r.c, r.d)).ok()) {
+      std::fprintf(stderr, "insert failed\n");
+      return 1;
+    }
+  }
+  std::printf("stored %llu generalized tuples (rectangles)\n",
+              static_cast<unsigned long long>(index.size()));
+
+  // Evaluate the intersection query: for each rectangle, probe the x-index
+  // for tuples whose x-projection overlaps, then check y-overlap on the
+  // candidates' projections (CQL conjunction, evaluated in closed form).
+  device.stats().Reset();
+  uint64_t pairs = 0;
+  for (uint64_t n = 0; n < rects.size(); ++n) {
+    const Rect& r = rects[n];
+    auto candidates = index.RangeQuery(r.a, r.c);
+    if (!candidates.ok()) return 1;
+    for (const GeneralizedTuple& t : candidates->tuples()) {
+      if (t.id() <= n) continue;  // unordered distinct pairs, once each
+      auto y = t.Project(2);
+      if (y.ok() && y->lo <= r.d && r.b <= y->hi) {
+        pairs++;
+        if (pairs <= 3) {
+          std::printf("  intersecting pair: rect %llu and rect %llu\n",
+                      static_cast<unsigned long long>(n),
+                      static_cast<unsigned long long>(t.id()));
+        }
+      }
+    }
+  }
+  std::printf("intersecting pairs: %llu (index probes cost %llu I/Os)\n",
+              static_cast<unsigned long long>(pairs),
+              static_cast<unsigned long long>(device.stats().TotalIos()));
+
+  // Contrast with the naive quadratic join.
+  uint64_t naive_pairs = 0;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    for (size_t j = i + 1; j < rects.size(); ++j) {
+      const Rect &r = rects[i], &s = rects[j];
+      if (r.a <= s.c && s.a <= r.c && r.b <= s.d && s.b <= r.d) naive_pairs++;
+    }
+  }
+  std::printf("naive join agrees: %llu pairs\n",
+              static_cast<unsigned long long>(naive_pairs));
+  return pairs == naive_pairs ? 0 : 1;
+}

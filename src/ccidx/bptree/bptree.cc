@@ -1,0 +1,366 @@
+#include "ccidx/bptree/bptree.h"
+
+#include <algorithm>
+
+namespace ccidx {
+
+namespace {
+
+// On-page node layout:
+//   [u32 count][u16 is_leaf][u16 reserved][u64 next][count * BtEntry]
+// Internal nodes store (separator key = min key of child subtree, child id)
+// in their entries; `next` is used only by the leaf chain.
+constexpr size_t kNodeHeader = 16;
+
+// Routing rule for point/lower-bound descent: the last child whose
+// separator key is strictly below `key` (so duplicate runs that span a
+// split boundary are never skipped); child 0 if none.
+size_t RouteLowerBound(const std::vector<BtEntry>& seps, int64_t key) {
+  size_t idx = 0;
+  while (idx + 1 < seps.size() && seps[idx + 1].key < key) idx++;
+  return idx;
+}
+
+// Routing rule for inserts: the last child whose separator key is <= key,
+// so new duplicates append to the right end of an equal-key run.
+size_t RouteInsert(const std::vector<BtEntry>& seps, int64_t key) {
+  size_t idx = 0;
+  while (idx + 1 < seps.size() &&
+         seps[idx + 1].key <= key) {
+    idx++;
+  }
+  return idx;
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(Pager* pager)
+    : pager_(pager), root_(kInvalidPageId), size_(0), height_(0) {
+  CCIDX_CHECK(pager_ != nullptr);
+  fanout_ = static_cast<uint32_t>((pager_->page_size() - kNodeHeader) /
+                                  sizeof(BtEntry));
+  CCIDX_CHECK(fanout_ >= 4);
+}
+
+Status BPlusTree::LoadNode(PageId id, Node* node) const {
+  std::vector<uint8_t> buf(pager_->page_size());
+  CCIDX_RETURN_IF_ERROR(pager_->Read(id, buf));
+  PageReader r(buf);
+  uint32_t count = r.Get<uint32_t>();
+  node->is_leaf = r.Get<uint16_t>() != 0;
+  r.Get<uint16_t>();
+  node->next = r.Get<uint64_t>();
+  node->entries.resize(count);
+  r.GetArray(std::span<BtEntry>(node->entries));
+  return Status::OK();
+}
+
+Status BPlusTree::StoreNode(PageId id, const Node& node) const {
+  std::vector<uint8_t> buf(pager_->page_size());
+  PageWriter w(buf);
+  w.Put<uint32_t>(static_cast<uint32_t>(node.entries.size()));
+  w.Put<uint16_t>(node.is_leaf ? 1 : 0);
+  w.Put<uint16_t>(0);
+  w.Put<uint64_t>(node.next);
+  w.PutArray(std::span<const BtEntry>(node.entries));
+  return pager_->Write(id, buf);
+}
+
+Status BPlusTree::DescendToLeaf(
+    int64_t key, std::vector<std::pair<PageId, size_t>>* path) const {
+  path->clear();
+  PageId id = root_;
+  Node node;
+  while (true) {
+    CCIDX_RETURN_IF_ERROR(LoadNode(id, &node));
+    if (node.is_leaf) {
+      path->emplace_back(id, 0);
+      return Status::OK();
+    }
+    size_t idx = RouteLowerBound(node.entries, key);
+    path->emplace_back(id, idx);
+    id = node.entries[idx].value;
+  }
+}
+
+Status BPlusTree::Insert(int64_t key, uint64_t value, int64_t aux) {
+  BtEntry entry{key, value, aux};
+  if (root_ == kInvalidPageId) {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.entries.push_back(entry);
+    root_ = pager_->Allocate();
+    height_ = 1;
+    size_ = 1;
+    return StoreNode(root_, leaf);
+  }
+
+  // Descend with insert routing, recording the path.
+  std::vector<std::pair<PageId, size_t>> path;
+  PageId id = root_;
+  Node node;
+  while (true) {
+    CCIDX_RETURN_IF_ERROR(LoadNode(id, &node));
+    if (node.is_leaf) {
+      path.emplace_back(id, 0);
+      break;
+    }
+    size_t idx = RouteInsert(node.entries, key);
+    path.emplace_back(id, idx);
+    id = node.entries[idx].value;
+  }
+
+  auto pos = std::upper_bound(node.entries.begin(), node.entries.end(), entry);
+  node.entries.insert(pos, entry);
+  size_++;
+  return SplitAndPropagate(std::move(path), std::move(node));
+}
+
+Status BPlusTree::SplitAndPropagate(
+    std::vector<std::pair<PageId, size_t>> path, Node node) {
+  size_t level = path.size() - 1;
+  PageId node_id = path[level].first;
+
+  while (node.entries.size() > fanout_) {
+    // Split `node` into itself (left half) and a fresh right sibling.
+    Node right;
+    right.is_leaf = node.is_leaf;
+    size_t mid = node.entries.size() / 2;
+    right.entries.assign(node.entries.begin() + mid, node.entries.end());
+    node.entries.resize(mid);
+    PageId right_id = pager_->Allocate();
+    if (node.is_leaf) {
+      right.next = node.next;
+      node.next = right_id;
+    }
+    BtEntry promoted{right.entries[0].key, right_id, 0};
+    CCIDX_RETURN_IF_ERROR(StoreNode(node_id, node));
+    CCIDX_RETURN_IF_ERROR(StoreNode(right_id, right));
+
+    if (level == 0) {
+      Node new_root;
+      new_root.is_leaf = false;
+      new_root.entries = {{node.entries[0].key, node_id, 0}, promoted};
+      root_ = pager_->Allocate();
+      height_++;
+      return StoreNode(root_, new_root);
+    }
+
+    level--;
+    node_id = path[level].first;
+    size_t child_idx = path[level].second;
+    CCIDX_RETURN_IF_ERROR(LoadNode(node_id, &node));
+    CCIDX_CHECK(!node.is_leaf && child_idx < node.entries.size());
+    node.entries.insert(node.entries.begin() + child_idx + 1, promoted);
+  }
+  return StoreNode(node_id, node);
+}
+
+Status BPlusTree::Delete(int64_t key, uint64_t value, bool* found) {
+  *found = false;
+  if (root_ == kInvalidPageId) return Status::OK();
+  std::vector<std::pair<PageId, size_t>> path;
+  CCIDX_RETURN_IF_ERROR(DescendToLeaf(key, &path));
+  PageId id = path.back().first;
+  Node node;
+  while (id != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(LoadNode(id, &node));
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const BtEntry& e = node.entries[i];
+      if (e.key > key) return Status::OK();  // passed all candidates
+      if (e.key == key && e.value == value) {
+        node.entries.erase(node.entries.begin() + i);
+        size_--;
+        *found = true;
+        return StoreNode(id, node);
+      }
+    }
+    id = node.next;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::RangeSearch(int64_t lo, int64_t hi,
+                              std::vector<BtEntry>* out) const {
+  return RangeScan(lo, hi, [out](const BtEntry& e) { out->push_back(e); });
+}
+
+Status BPlusTree::RangeScan(
+    int64_t lo, int64_t hi,
+    const std::function<void(const BtEntry&)>& fn) const {
+  if (root_ == kInvalidPageId || lo > hi) return Status::OK();
+  std::vector<std::pair<PageId, size_t>> path;
+  CCIDX_RETURN_IF_ERROR(DescendToLeaf(lo, &path));
+  PageId id = path.back().first;
+  Node node;
+  while (id != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(LoadNode(id, &node));
+    for (const BtEntry& e : node.entries) {
+      if (e.key > hi) return Status::OK();
+      if (e.key >= lo) fn(e);
+    }
+    id = node.next;
+  }
+  return Status::OK();
+}
+
+Result<BPlusTree> BPlusTree::BulkLoad(Pager* pager,
+                                      std::span<const BtEntry> sorted) {
+  BPlusTree tree(pager);
+  if (sorted.empty()) return tree;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] < sorted[i - 1]) {
+      return Status::InvalidArgument("bulk-load input not sorted");
+    }
+  }
+
+  uint32_t cap = tree.fanout_;
+  // Build the leaf level.
+  struct Built {
+    int64_t min_key;
+    PageId id;
+  };
+  std::vector<Built> level;
+  size_t num_leaves = (sorted.size() + cap - 1) / cap;
+  // Spread entries evenly so no leaf is less than half full.
+  std::vector<PageId> leaf_ids(num_leaves);
+  for (size_t i = 0; i < num_leaves; ++i) leaf_ids[i] = pager->Allocate();
+  size_t taken = 0;
+  for (size_t i = 0; i < num_leaves; ++i) {
+    size_t want = (sorted.size() - taken) / (num_leaves - i);
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.entries.assign(sorted.begin() + taken, sorted.begin() + taken + want);
+    leaf.next = (i + 1 < num_leaves) ? leaf_ids[i + 1] : kInvalidPageId;
+    CCIDX_RETURN_IF_ERROR(tree.StoreNode(leaf_ids[i], leaf));
+    level.push_back({leaf.entries[0].key, leaf_ids[i]});
+    taken += want;
+  }
+  tree.height_ = 1;
+
+  // Build internal levels bottom-up until one node remains.
+  while (level.size() > 1) {
+    std::vector<Built> parents;
+    size_t num_nodes = (level.size() + cap - 1) / cap;
+    size_t used = 0;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      size_t want = (level.size() - used) / (num_nodes - i);
+      Node internal;
+      internal.is_leaf = false;
+      for (size_t j = 0; j < want; ++j) {
+        internal.entries.push_back(
+            {level[used + j].min_key, level[used + j].id, 0});
+      }
+      PageId id = pager->Allocate();
+      CCIDX_RETURN_IF_ERROR(tree.StoreNode(id, internal));
+      parents.push_back({internal.entries[0].key, id});
+      used += want;
+    }
+    level = std::move(parents);
+    tree.height_++;
+  }
+  tree.root_ = level[0].id;
+  tree.size_ = sorted.size();
+  return tree;
+}
+
+Status BPlusTree::Destroy() {
+  if (root_ == kInvalidPageId) return Status::OK();
+  // Iterative post-order free.
+  std::vector<PageId> stack = {root_};
+  Node node;
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    CCIDX_RETURN_IF_ERROR(LoadNode(id, &node));
+    if (!node.is_leaf) {
+      for (const BtEntry& e : node.entries) stack.push_back(e.value);
+    }
+    CCIDX_RETURN_IF_ERROR(pager_->Free(id));
+  }
+  root_ = kInvalidPageId;
+  size_ = 0;
+  height_ = 0;
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  if (root_ == kInvalidPageId) {
+    if (size_ != 0) return Status::Corruption("empty tree with size != 0");
+    return Status::OK();
+  }
+
+  uint64_t counted = 0;
+  std::vector<PageId> leftmost_leaf_by_tree;
+
+  // DFS with (id, depth, lower-bound key the subtree must respect).
+  struct Item {
+    PageId id;
+    uint32_t depth;
+    int64_t lower;  // all keys in subtree must be >= lower
+    bool enforce_lower;
+  };
+  std::vector<Item> stack = {{root_, 1, 0, false}};
+  std::vector<PageId> leaves_in_tree_order;
+  Node node;
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    CCIDX_RETURN_IF_ERROR(LoadNode(item.id, &node));
+    // Internal nodes: entry 0's key is logically -infinity (a stale hint at
+    // best, since inserts into the leftmost subtree may undercut it), so
+    // ordering is only required from entry 1 onward.
+    auto order_begin =
+        node.is_leaf ? node.entries.begin()
+                     : (node.entries.empty() ? node.entries.end()
+                                             : node.entries.begin() + 1);
+    if (!std::is_sorted(order_begin, node.entries.end(),
+                        [&](const BtEntry& a, const BtEntry& b) {
+                          return node.is_leaf ? (a < b) : (a.key < b.key);
+                        })) {
+      return Status::Corruption("node entries out of order");
+    }
+    if (node.is_leaf) {
+      if (item.depth != height_) {
+        return Status::Corruption("leaf at wrong depth");
+      }
+      counted += node.entries.size();
+      leaves_in_tree_order.push_back(item.id);
+      if (item.enforce_lower && !node.entries.empty() &&
+          node.entries[0].key < item.lower) {
+        return Status::Corruption("leaf key below separator");
+      }
+    } else {
+      if (node.entries.empty()) {
+        return Status::Corruption("empty internal node");
+      }
+      // Push children right-to-left so DFS visits leaves left-to-right.
+      for (size_t i = node.entries.size(); i-- > 0;) {
+        bool enforce = item.enforce_lower || i > 0;
+        int64_t lower = (i > 0) ? node.entries[i].key
+                                : (item.enforce_lower ? item.lower : 0);
+        stack.push_back({node.entries[i].value, item.depth + 1, lower,
+                         enforce});
+      }
+    }
+  }
+  if (counted != size_) {
+    return Status::Corruption("entry count mismatch");
+  }
+
+  // The leaf chain must enumerate exactly the leaves in tree order.
+  std::vector<PageId> leaves_in_chain_order;
+  PageId id = leaves_in_tree_order.empty() ? kInvalidPageId
+                                           : leaves_in_tree_order[0];
+  while (id != kInvalidPageId) {
+    leaves_in_chain_order.push_back(id);
+    CCIDX_RETURN_IF_ERROR(LoadNode(id, &node));
+    id = node.next;
+  }
+  if (leaves_in_chain_order != leaves_in_tree_order) {
+    return Status::Corruption("leaf chain disagrees with tree order");
+  }
+  return Status::OK();
+}
+
+}  // namespace ccidx

@@ -1,0 +1,125 @@
+// External B+-tree: dynamic one-dimensional range searching.
+//
+// The paper's point of reference (§1.1): space O(n/B) pages, range query
+// O(log_B n + t/B) I/Os, insert/delete O(log_B n) I/Os. Used here as
+//   * the baseline for experiment E1,
+//   * the endpoint index of interval management (types 1 & 2, Prop. 2.2),
+//   * the per-collection index of class indexing ("index a collection",
+//     §2.2).
+//
+// Data lives only in the leaves; leaves are chained left-to-right, so a
+// range scan locates the lower bound and walks the chain (B+-tree per [10]).
+// Duplicate keys are allowed; entries are unique by (key, value).
+//
+// Deletes remove entries in place. Pages are not merged on underflow (as in
+// several production B-trees, e.g. PostgreSQL's nbtree, reclamation happens
+// on rebuild); empty leaves are unlinked lazily during scans' cost is still
+// O(log_B n + t/B) counting live pages, and the paper's own structures are
+// insert-only, so this does not affect any reproduced bound.
+
+#ifndef CCIDX_BPTREE_BPTREE_H_
+#define CCIDX_BPTREE_BPTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ccidx/io/page_builder.h"
+#include "ccidx/io/pager.h"
+
+namespace ccidx {
+
+/// One indexed entry: a key, an opaque 64-bit payload (e.g. object id), and
+/// an auxiliary 64-bit field carried alongside (e.g. an interval's second
+/// endpoint, or a class code) so range scans stay output-compact (t/B pages)
+/// without a side lookup per result. Entries are identified by (key, value);
+/// aux does not participate in ordering or equality of identity.
+struct BtEntry {
+  int64_t key;
+  uint64_t value;
+  int64_t aux;
+
+  bool operator==(const BtEntry& o) const {
+    return key == o.key && value == o.value && aux == o.aux;
+  }
+  bool operator<(const BtEntry& o) const {
+    if (key != o.key) return key < o.key;
+    return value < o.value;
+  }
+};
+
+/// A dynamic external-memory B+-tree over (int64 key, uint64 value) entries.
+class BPlusTree {
+ public:
+  /// Creates an empty tree whose pages are managed by `pager`.
+  explicit BPlusTree(Pager* pager);
+
+  /// Bulk-loads from entries sorted by (key, value); O(n/B) I/Os.
+  static Result<BPlusTree> BulkLoad(Pager* pager,
+                                    std::span<const BtEntry> sorted);
+
+  /// Inserts an entry; duplicates by (key, value) are permitted and stored.
+  /// O(log_B n) I/Os.
+  Status Insert(int64_t key, uint64_t value, int64_t aux = 0);
+
+  /// Removes one entry equal to (key, value). Sets *found accordingly.
+  Status Delete(int64_t key, uint64_t value, bool* found);
+
+  /// Appends all entries with lo <= key <= hi to `out`, in key order.
+  /// O(log_B n + t/B) I/Os.
+  Status RangeSearch(int64_t lo, int64_t hi, std::vector<BtEntry>* out) const;
+
+  /// Streaming variant: invokes `fn` per matching entry.
+  Status RangeScan(int64_t lo, int64_t hi,
+                   const std::function<void(const BtEntry&)>& fn) const;
+
+  /// Number of entries.
+  uint64_t size() const { return size_; }
+
+  /// Height in nodes (0 for empty tree, 1 for a single leaf).
+  uint32_t height() const { return height_; }
+
+  /// Root page id (kInvalidPageId when empty).
+  PageId root() const { return root_; }
+
+  /// Maximum entries per node for this pager's page size.
+  uint32_t fanout() const { return fanout_; }
+
+  /// Frees every page owned by the tree.
+  Status Destroy();
+
+  /// Structural invariant check (keys ordered, separator keys correct,
+  /// leaf chain consistent). Used by tests; O(n/B) I/Os.
+  Status CheckInvariants() const;
+
+ private:
+  // In-memory image of one node page.
+  struct Node {
+    bool is_leaf = true;
+    PageId next = kInvalidPageId;  // leaf chain (leaves only)
+    std::vector<BtEntry> entries;  // leaf: data; internal: (min_key, child)
+  };
+
+  Status LoadNode(PageId id, Node* node) const;
+  Status StoreNode(PageId id, const Node& node) const;
+
+  // Descends to the leaf that should hold `key`, recording the path as
+  // (page id, child index within parent). path->back() is the leaf.
+  Status DescendToLeaf(int64_t key,
+                       std::vector<std::pair<PageId, size_t>>* path) const;
+
+  Status InsertIntoLeaf(const std::vector<std::pair<PageId, size_t>>& path,
+                        BtEntry entry);
+  Status SplitAndPropagate(std::vector<std::pair<PageId, size_t>> path,
+                           Node node);
+
+  Pager* pager_;
+  PageId root_;
+  uint64_t size_;
+  uint32_t height_;
+  uint32_t fanout_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_BPTREE_BPTREE_H_

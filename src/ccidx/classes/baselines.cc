@@ -1,0 +1,128 @@
+#include "ccidx/classes/baselines.h"
+
+namespace ccidx {
+
+SingleIndexBaseline::SingleIndexBaseline(Pager* pager,
+                                         const ClassHierarchy* hierarchy)
+    : hierarchy_(hierarchy), tree_(pager) {
+  CCIDX_CHECK(hierarchy_ != nullptr && hierarchy_->frozen());
+}
+
+Status SingleIndexBaseline::Insert(const Object& o) {
+  if (o.class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  return tree_.Insert(o.attr, o.id, hierarchy_->code(o.class_id));
+}
+
+Status SingleIndexBaseline::Delete(const Object& o, bool* found) {
+  return tree_.Delete(o.attr, o.id, found);
+}
+
+Status SingleIndexBaseline::Query(uint32_t class_id, Coord a1, Coord a2,
+                                  std::vector<uint64_t>* out) const {
+  if (class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  Coord lo = hierarchy_->code(class_id);
+  Coord hi = hierarchy_->subtree_max_code(class_id);
+  return tree_.RangeScan(a1, a2, [out, lo, hi](const BtEntry& e) {
+    if (e.aux >= lo && e.aux <= hi) out->push_back(e.value);
+  });
+}
+
+FullExtentIndex::FullExtentIndex(Pager* pager,
+                                 const ClassHierarchy* hierarchy)
+    : hierarchy_(hierarchy) {
+  CCIDX_CHECK(hierarchy_ != nullptr && hierarchy_->frozen());
+  trees_.reserve(hierarchy_->size());
+  for (uint32_t i = 0; i < hierarchy_->size(); ++i) {
+    trees_.emplace_back(pager);
+  }
+}
+
+Status FullExtentIndex::Insert(const Object& o) {
+  if (o.class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  Coord code = hierarchy_->code(o.class_id);
+  for (uint32_t c = o.class_id; c != kNoClass; c = hierarchy_->parent(c)) {
+    CCIDX_RETURN_IF_ERROR(trees_[c].Insert(o.attr, o.id, code));
+  }
+  size_++;
+  return Status::OK();
+}
+
+Status FullExtentIndex::Delete(const Object& o, bool* found) {
+  *found = false;
+  if (o.class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  bool any = false;
+  for (uint32_t c = o.class_id; c != kNoClass; c = hierarchy_->parent(c)) {
+    bool f = false;
+    CCIDX_RETURN_IF_ERROR(trees_[c].Delete(o.attr, o.id, &f));
+    any |= f;
+  }
+  if (any) {
+    size_--;
+    *found = true;
+  }
+  return Status::OK();
+}
+
+Status FullExtentIndex::Query(uint32_t class_id, Coord a1, Coord a2,
+                              std::vector<uint64_t>* out) const {
+  if (class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  return trees_[class_id].RangeScan(
+      a1, a2, [out](const BtEntry& e) { out->push_back(e.value); });
+}
+
+ExtentOnlyIndex::ExtentOnlyIndex(Pager* pager,
+                                 const ClassHierarchy* hierarchy)
+    : hierarchy_(hierarchy) {
+  CCIDX_CHECK(hierarchy_ != nullptr && hierarchy_->frozen());
+  trees_.reserve(hierarchy_->size());
+  for (uint32_t i = 0; i < hierarchy_->size(); ++i) {
+    trees_.emplace_back(pager);
+  }
+}
+
+Status ExtentOnlyIndex::Insert(const Object& o) {
+  if (o.class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  CCIDX_RETURN_IF_ERROR(
+      trees_[o.class_id].Insert(o.attr, o.id, hierarchy_->code(o.class_id)));
+  size_++;
+  return Status::OK();
+}
+
+Status ExtentOnlyIndex::Delete(const Object& o, bool* found) {
+  *found = false;
+  if (o.class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  CCIDX_RETURN_IF_ERROR(trees_[o.class_id].Delete(o.attr, o.id, found));
+  if (*found) size_--;
+  return Status::OK();
+}
+
+Status ExtentOnlyIndex::Query(uint32_t class_id, Coord a1, Coord a2,
+                              std::vector<uint64_t>* out) const {
+  if (class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  // Every class of the subtree, by code range.
+  for (Coord code = hierarchy_->code(class_id);
+       code <= hierarchy_->subtree_max_code(class_id); ++code) {
+    uint32_t c = hierarchy_->class_at_code(code);
+    CCIDX_RETURN_IF_ERROR(trees_[c].RangeScan(
+        a1, a2, [out](const BtEntry& e) { out->push_back(e.value); }));
+  }
+  return Status::OK();
+}
+
+}  // namespace ccidx

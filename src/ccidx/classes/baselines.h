@@ -1,0 +1,84 @@
+// Baseline class-indexing schemes from §2.2, used as comparators in
+// experiments E5/E6.
+//
+//   * SingleIndexBaseline — one B+-tree over all objects; a query range-
+//     scans by attribute and filters by class. Cannot compact a t-sized
+//     output into t/B pages: the matching objects are interspersed with
+//     everything else, so query I/O is O(log_B n + t_all/B) where t_all
+//     counts all classes.
+//   * FullExtentIndex — one B+-tree per class over its FULL extent.
+//     Optimal queries O(log_B n + t/B), but an object is replicated once
+//     per ancestor: space O((n/B) * depth) (Θ(c n/B) worst case) and
+//     update O(depth * log_B n) (Lemma 4.2 when depth is constant).
+//   * ExtentOnlyIndex — one B+-tree per class over its extent only (one
+//     copy). Linear space and cheap updates, but a query must consult
+//     every class of the subtree: O(s * log_B n + t/B) for subtree size s.
+
+#ifndef CCIDX_CLASSES_BASELINES_H_
+#define CCIDX_CLASSES_BASELINES_H_
+
+#include <vector>
+
+#include "ccidx/bptree/bptree.h"
+#include "ccidx/classes/hierarchy.h"
+
+namespace ccidx {
+
+/// One B+-tree over all objects; query-time class filtering.
+class SingleIndexBaseline {
+ public:
+  SingleIndexBaseline(Pager* pager, const ClassHierarchy* hierarchy);
+
+  Status Insert(const Object& o);
+  Status Delete(const Object& o, bool* found);
+  /// O(log_B n + t_all/B): scans every object in the attribute range.
+  Status Query(uint32_t class_id, Coord a1, Coord a2,
+               std::vector<uint64_t>* out) const;
+  uint64_t size() const { return tree_.size(); }
+
+ private:
+  const ClassHierarchy* hierarchy_;
+  BPlusTree tree_;  // key = attr, value = id, aux = class code
+};
+
+/// One B+-tree per class over the class's full extent.
+class FullExtentIndex {
+ public:
+  FullExtentIndex(Pager* pager, const ClassHierarchy* hierarchy);
+
+  /// O(depth * log_B n) I/Os: inserts into every ancestor's tree.
+  Status Insert(const Object& o);
+  Status Delete(const Object& o, bool* found);
+  /// Optimal O(log_B n + t/B): one tree holds exactly the answer superset.
+  Status Query(uint32_t class_id, Coord a1, Coord a2,
+               std::vector<uint64_t>* out) const;
+  uint64_t size() const { return size_; }
+
+ private:
+  const ClassHierarchy* hierarchy_;
+  std::vector<BPlusTree> trees_;  // one per class
+  uint64_t size_ = 0;
+};
+
+/// One B+-tree per class over the class's own extent (single copy).
+class ExtentOnlyIndex {
+ public:
+  ExtentOnlyIndex(Pager* pager, const ClassHierarchy* hierarchy);
+
+  /// O(log_B n) I/Os.
+  Status Insert(const Object& o);
+  Status Delete(const Object& o, bool* found);
+  /// O(subtree_size * log_B n + t/B): one search per descendant class.
+  Status Query(uint32_t class_id, Coord a1, Coord a2,
+               std::vector<uint64_t>* out) const;
+  uint64_t size() const { return size_; }
+
+ private:
+  const ClassHierarchy* hierarchy_;
+  std::vector<BPlusTree> trees_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_CLASSES_BASELINES_H_

@@ -1,0 +1,150 @@
+#include "ccidx/classes/hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccidx {
+
+Result<uint32_t> ClassHierarchy::AddClass(std::string name, uint32_t parent) {
+  if (frozen_) {
+    return Status::InvalidArgument("hierarchy is frozen (static, §1.3)");
+  }
+  if (parent != kNoClass && parent >= parent_.size()) {
+    return Status::InvalidArgument("unknown parent class");
+  }
+  uint32_t id = static_cast<uint32_t>(parent_.size());
+  name_.push_back(std::move(name));
+  parent_.push_back(parent);
+  children_.emplace_back();
+  if (parent == kNoClass) {
+    roots_.push_back(id);
+  } else {
+    children_[parent].push_back(id);
+  }
+  return id;
+}
+
+void ClassHierarchy::LabelClass(uint32_t id, const Rational& lo,
+                                const Rational& hi) {
+  // Fig. 4: the class takes attribute value lo; its n children take parts
+  // 1..n of the (n+1)-way equal split of [lo, hi).
+  label_[id] = lo;
+  range_lo_[id] = lo;
+  range_hi_[id] = hi;
+  const auto& kids = children_[id];
+  if (kids.empty()) return;
+  Rational parts(static_cast<int64_t>(kids.size()) + 1);
+  Rational width = (hi - lo) / parts;
+  for (size_t i = 0; i < kids.size(); ++i) {
+    Rational clo = lo + width * Rational(static_cast<int64_t>(i) + 1);
+    Rational chi = lo + width * Rational(static_cast<int64_t>(i) + 2);
+    LabelClass(kids[i], clo, chi);
+  }
+}
+
+double ClassHierarchy::LabelDenominatorBits(uint32_t id,
+                                            double bits) const {
+  double here = bits + std::log2(static_cast<double>(children_[id].size()) +
+                                 1.0);
+  double worst = here;
+  for (uint32_t child : children_[id]) {
+    worst = std::max(worst, LabelDenominatorBits(child, here));
+  }
+  return worst;
+}
+
+Coord ClassHierarchy::AssignCodes(uint32_t id, Coord next) {
+  code_[id] = next;
+  code_to_class_[static_cast<size_t>(next)] = id;
+  next++;
+  for (uint32_t child : children_[id]) {
+    next = AssignCodes(child, next);
+  }
+  subtree_max_[id] = next - 1;
+  return next;
+}
+
+Status ClassHierarchy::Freeze() {
+  if (frozen_) return Status::OK();
+  uint32_t c = size();
+  if (c == 0) {
+    return Status::InvalidArgument("empty hierarchy");
+  }
+  label_.assign(c, Rational());
+  range_lo_.assign(c, Rational());
+  range_hi_.assign(c, Rational());
+  code_.assign(c, 0);
+  subtree_max_.assign(c, 0);
+  code_to_class_.assign(c, kNoClass);
+  depth_.assign(c, 0);
+  subtree_size_.assign(c, 1);
+
+  Coord next = 0;
+  for (uint32_t root : roots_) {
+    next = AssignCodes(root, next);
+  }
+  CCIDX_CHECK(next == static_cast<Coord>(c));
+
+  // Exact Fig. 4 labels need label denominators (products of children+1
+  // along each path, times the root count) to stay well inside int64 —
+  // cross-multiplying comparisons squares them. Otherwise fall back to the
+  // order-isomorphic integer codes (see header).
+  double root_bits = std::log2(static_cast<double>(roots_.size())) + 1;
+  double worst_bits = 0;
+  for (uint32_t root : roots_) {
+    worst_bits = std::max(worst_bits, LabelDenominatorBits(root, root_bits));
+  }
+  exact_labels_ = worst_bits <= 30.0;
+  if (exact_labels_) {
+    // Forest: divide [0, 1) equally among the roots (Prop. 2.5 proof).
+    Rational k(static_cast<int64_t>(roots_.size()));
+    for (size_t i = 0; i < roots_.size(); ++i) {
+      Rational lo = Rational(static_cast<int64_t>(i)) / k;
+      Rational hi = Rational(static_cast<int64_t>(i) + 1) / k;
+      LabelClass(roots_[i], lo, hi);
+    }
+  } else {
+    for (uint32_t id = 0; id < c; ++id) {
+      label_[id] = Rational(code_[id]);
+      range_lo_[id] = Rational(code_[id]);
+      range_hi_[id] = Rational(subtree_max_[id] + 1);
+    }
+  }
+
+  // Depths and subtree sizes (codes are preorder: children follow parents,
+  // so a reverse pass accumulates sizes).
+  for (Coord code = 0; code < static_cast<Coord>(c); ++code) {
+    uint32_t id = code_to_class_[static_cast<size_t>(code)];
+    depth_[id] = parent_[id] == kNoClass ? 0 : depth_[parent_[id]] + 1;
+  }
+  for (Coord code = static_cast<Coord>(c); code-- > 0;) {
+    uint32_t id = code_to_class_[static_cast<size_t>(code)];
+    if (parent_[id] != kNoClass) {
+      subtree_size_[parent_[id]] += subtree_size_[id];
+    }
+  }
+  frozen_ = true;
+  return Status::OK();
+}
+
+bool ClassHierarchy::IsAncestorOrSelf(uint32_t ancestor,
+                                      uint32_t descendant) const {
+  return code_[descendant] >= code_[ancestor] &&
+         code_[descendant] <= subtree_max_[ancestor];
+}
+
+std::vector<uint64_t> NaiveClassQuery(const ClassHierarchy& h,
+                                      const std::vector<Object>& objects,
+                                      uint32_t class_id, Coord a1, Coord a2) {
+  std::vector<uint64_t> out;
+  for (const Object& o : objects) {
+    if (o.attr >= a1 && o.attr <= a2 &&
+        h.IsAncestorOrSelf(class_id, o.class_id)) {
+      out.push_back(o.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ccidx

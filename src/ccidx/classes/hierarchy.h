@@ -1,0 +1,126 @@
+// ClassHierarchy: a static forest of classes with the label-class
+// assignment of Fig. 4 (Prop. 2.5).
+//
+// Each class gets (a) an exact rational label and range — the paper's
+// construction: the forest divides [0, 1) among its roots, and a class with
+// range [lo, hi) takes attribute value lo and hands its i-th of n children
+// the (i+1)-th of (n+1) equal parts of the range (reproducing Example 2.3:
+// Person [0,1) attr 0, Student [1/3,2/3), Professor [2/3,1), Asst.Prof
+// [5/6,1)) — and (b) an order-isomorphic integer code (DFS preorder) used
+// by the disk indexes, whose subtree ranges [code, subtree_max_code] play
+// the role of the rational ranges. Tests verify the isomorphism.
+//
+// The class/subclass relationship is static once Freeze() is called
+// (the paper's standing assumption, §1.3); objects remain dynamic.
+
+#ifndef CCIDX_CLASSES_HIERARCHY_H_
+#define CCIDX_CLASSES_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ccidx/common/rational.h"
+#include "ccidx/common/status.h"
+#include "ccidx/core/geometry.h"
+
+namespace ccidx {
+
+/// Sentinel parent for roots.
+inline constexpr uint32_t kNoClass = ~0u;
+
+/// An object: member of exactly one class, with one indexed attribute
+/// (e.g. income in Example 2.4).
+struct Object {
+  uint64_t id;
+  uint32_t class_id;
+  Coord attr;
+
+  bool operator==(const Object& o) const {
+    return id == o.id && class_id == o.class_id && attr == o.attr;
+  }
+};
+
+/// A static forest of classes. Build with AddClass, then Freeze().
+class ClassHierarchy {
+ public:
+  ClassHierarchy() = default;
+
+  /// Adds a class; parent must already exist (or kNoClass for a root).
+  /// Returns the new class id. Fails after Freeze().
+  Result<uint32_t> AddClass(std::string name, uint32_t parent = kNoClass);
+
+  /// Finalizes the forest: runs label-class and assigns preorder codes.
+  Status Freeze();
+
+  bool frozen() const { return frozen_; }
+  /// Number of classes c.
+  uint32_t size() const { return static_cast<uint32_t>(parent_.size()); }
+
+  const std::string& name(uint32_t id) const { return name_[id]; }
+  uint32_t parent(uint32_t id) const { return parent_[id]; }
+  const std::vector<uint32_t>& children(uint32_t id) const {
+    return children_[id];
+  }
+  const std::vector<uint32_t>& roots() const { return roots_; }
+  uint32_t depth(uint32_t id) const { return depth_[id]; }
+  uint32_t subtree_size(uint32_t id) const { return subtree_size_[id]; }
+
+  /// The rational class-attribute value assigned by label-class (Fig. 4).
+  /// For hierarchies whose exact labels would overflow 64-bit rationals
+  /// (denominators are products of (children+1) along the path — a
+  /// 256-deep path needs 2^256), Freeze() falls back to the
+  /// order-isomorphic integer codes as labels; exact_labels() reports
+  /// which regime is active. Indexing never depends on the exact values,
+  /// only on their order (Prop. 2.5).
+  const Rational& label(uint32_t id) const { return label_[id]; }
+  /// The half-open rational range [lo, hi) covering the class's subtree.
+  std::pair<Rational, Rational> range(uint32_t id) const {
+    return {range_lo_[id], range_hi_[id]};
+  }
+  /// True iff label()/range() carry the exact Fig. 4 rationals.
+  bool exact_labels() const { return exact_labels_; }
+
+  /// Order-isomorphic integer code (DFS preorder within label order).
+  Coord code(uint32_t id) const { return code_[id]; }
+  /// Largest code in the class's subtree; [code, subtree_max_code] covers
+  /// exactly the full extent's classes.
+  Coord subtree_max_code(uint32_t id) const { return subtree_max_[id]; }
+  /// Inverse of code().
+  uint32_t class_at_code(Coord code) const {
+    return code_to_class_[static_cast<size_t>(code)];
+  }
+
+  /// True iff `ancestor` is `descendant` or one of its ancestors.
+  bool IsAncestorOrSelf(uint32_t ancestor, uint32_t descendant) const;
+
+ private:
+  void LabelClass(uint32_t id, const Rational& lo, const Rational& hi);
+  Coord AssignCodes(uint32_t id, Coord next);
+  // Worst-case log2 of any label denominator; decides exact vs fallback.
+  double LabelDenominatorBits(uint32_t id, double bits) const;
+
+  bool frozen_ = false;
+  bool exact_labels_ = true;
+  std::vector<std::string> name_;
+  std::vector<uint32_t> parent_;
+  std::vector<std::vector<uint32_t>> children_;
+  std::vector<uint32_t> roots_;
+  std::vector<uint32_t> depth_;
+  std::vector<uint32_t> subtree_size_;
+  std::vector<Rational> label_;
+  std::vector<Rational> range_lo_, range_hi_;
+  std::vector<Coord> code_, subtree_max_;
+  std::vector<uint32_t> code_to_class_;
+};
+
+/// Linear-scan oracle: the full extent of `class_id` restricted to
+/// attr in [a1, a2], as sorted object ids.
+std::vector<uint64_t> NaiveClassQuery(const ClassHierarchy& h,
+                                      const std::vector<Object>& objects,
+                                      uint32_t class_id, Coord a1, Coord a2);
+
+}  // namespace ccidx
+
+#endif  // CCIDX_CLASSES_HIERARCHY_H_

@@ -1,0 +1,162 @@
+#include "ccidx/classes/rake_contract.h"
+
+#include <algorithm>
+
+namespace ccidx {
+
+std::vector<uint32_t> ComputeThickEdges(const ClassHierarchy& h) {
+  std::vector<uint32_t> thick(h.size(), kNoClass);
+  for (uint32_t c = 0; c < h.size(); ++c) {
+    uint32_t best = kNoClass;
+    uint32_t best_size = 0;
+    for (uint32_t child : h.children(c)) {
+      if (h.subtree_size(child) > best_size) {
+        best_size = h.subtree_size(child);
+        best = child;
+      }
+    }
+    thick[c] = best;
+  }
+  return thick;
+}
+
+uint32_t ThinEdgesToRoot(const ClassHierarchy& h,
+                         const std::vector<uint32_t>& thick,
+                         uint32_t class_id) {
+  uint32_t count = 0;
+  uint32_t c = class_id;
+  while (h.parent(c) != kNoClass) {
+    uint32_t p = h.parent(c);
+    if (thick[p] != c) count++;
+    c = p;
+  }
+  return count;
+}
+
+Result<RakeContractIndex> RakeContractIndex::Build(
+    Pager* pager, const ClassHierarchy* hierarchy,
+    const std::vector<Object>& objects) {
+  if (hierarchy == nullptr || !hierarchy->frozen()) {
+    return Status::InvalidArgument("hierarchy must be frozen");
+  }
+  const ClassHierarchy& h = *hierarchy;
+  RakeContractIndex index(hierarchy);
+
+  // Thick-path decomposition (label-edges).
+  std::vector<uint32_t> thick = ComputeThickEdges(h);
+  index.path_of_.assign(h.size(), 0);
+  index.pos_in_path_.assign(h.size(), 0);
+  std::vector<std::vector<uint32_t>> path_classes;
+  std::vector<uint32_t> path_top;
+  for (uint32_t c = 0; c < h.size(); ++c) {
+    // c is a path top iff it is a root or its parent edge is thin.
+    uint32_t p = h.parent(c);
+    if (p != kNoClass && thick[p] == c) continue;
+    std::vector<uint32_t> cls;
+    for (uint32_t v = c; v != kNoClass; v = thick[v]) {
+      index.path_of_[v] = path_classes.size();
+      index.pos_in_path_[v] = static_cast<Coord>(cls.size());
+      cls.push_back(v);
+    }
+    path_top.push_back(c);
+    path_classes.push_back(std::move(cls));
+  }
+
+  // Distribute objects: each object lands in its own class's path, and in
+  // the path of every class reached by walking thin edges toward the root
+  // (the rake/contract "copy collection to parent" steps).
+  std::vector<std::vector<Point>> path_points(path_classes.size());
+  uint32_t max_rep = 0;
+  for (const Object& o : objects) {
+    if (o.class_id >= h.size()) {
+      return Status::InvalidArgument("object with unknown class");
+    }
+    uint32_t copies = 0;
+    uint32_t c = o.class_id;
+    while (true) {
+      size_t pid = index.path_of_[c];
+      path_points[pid].push_back({o.attr, index.pos_in_path_[c], o.id});
+      copies++;
+      uint32_t top = path_classes[pid].front();
+      uint32_t p = h.parent(top);
+      if (p == kNoClass) break;
+      c = p;  // thin edge: the copy lands at the attachment class
+    }
+    max_rep = std::max(max_rep, copies);
+  }
+  index.max_replication_ = max_rep;
+
+  // One structure per path: raked B+-tree for singletons, 3-sided tree for
+  // longer paths. Full extent of class at position i == points with y >= i.
+  for (size_t pid = 0; pid < path_classes.size(); ++pid) {
+    if (path_classes[pid].size() == 1) {
+      std::vector<BtEntry> entries;
+      entries.reserve(path_points[pid].size());
+      for (const Point& pt : path_points[pid]) {
+        entries.push_back({pt.x, pt.id,
+                           h.code(path_classes[pid][0])});
+      }
+      std::sort(entries.begin(), entries.end());
+      auto bt = BPlusTree::BulkLoad(pager, entries);
+      CCIDX_RETURN_IF_ERROR(bt.status());
+      auto ts = AugmentedThreeSidedTree::Build(pager, {});
+      CCIDX_RETURN_IF_ERROR(ts.status());
+      index.paths_.emplace_back(std::move(*bt), std::move(*ts), true,
+                                path_classes[pid]);
+    } else {
+      auto ts =
+          AugmentedThreeSidedTree::Build(pager, std::move(path_points[pid]));
+      CCIDX_RETURN_IF_ERROR(ts.status());
+      BPlusTree bt(pager);
+      index.paths_.emplace_back(std::move(bt), std::move(*ts), false,
+                                path_classes[pid]);
+    }
+  }
+  return index;
+}
+
+Status RakeContractIndex::Query(uint32_t class_id, Coord a1, Coord a2,
+                                std::vector<uint64_t>* out) const {
+  if (class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  const PathStructure& ps = paths_[path_of_[class_id]];
+  if (ps.is_btree) {
+    return ps.btree.RangeScan(
+        a1, a2, [out](const BtEntry& e) { out->push_back(e.value); });
+  }
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(
+      ps.tstree.Query({a1, a2, pos_in_path_[class_id]}, &pts));
+  for (const Point& p : pts) out->push_back(p.id);
+  return Status::OK();
+}
+
+Status RakeContractIndex::Insert(const Object& o) {
+  if (o.class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  const ClassHierarchy& h = *hierarchy_;
+  uint32_t copies = 0;
+  uint32_t c = o.class_id;
+  // Same walk as Build: own path, then each thin-edge attachment point.
+  while (true) {
+    size_t pid = path_of_[c];
+    PathStructure& ps = paths_[pid];
+    if (ps.is_btree) {
+      CCIDX_RETURN_IF_ERROR(ps.btree.Insert(o.attr, o.id, h.code(c)));
+    } else {
+      CCIDX_RETURN_IF_ERROR(
+          ps.tstree.Insert({o.attr, pos_in_path_[c], o.id}));
+    }
+    copies++;
+    uint32_t top = ps.classes.front();
+    uint32_t p = h.parent(top);
+    if (p == kNoClass) break;
+    c = p;
+  }
+  max_replication_ = std::max(max_replication_, copies);
+  return Status::OK();
+}
+
+}  // namespace ccidx

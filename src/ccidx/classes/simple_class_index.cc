@@ -1,0 +1,129 @@
+#include "ccidx/classes/simple_class_index.h"
+
+#include <algorithm>
+
+namespace ccidx {
+
+SimpleClassIndex::SimpleClassIndex(Pager* pager,
+                                   const ClassHierarchy* hierarchy)
+    : hierarchy_(hierarchy) {
+  CCIDX_CHECK(hierarchy_ != nullptr && hierarchy_->frozen());
+  // Build the balanced binary tree over [0, c). Node 0 is the root.
+  BuildNode(0, static_cast<Coord>(hierarchy_->size()) - 1);
+  trees_.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    trees_.emplace_back(pager);
+  }
+}
+
+size_t SimpleClassIndex::BuildNode(Coord lo, Coord hi) {
+  size_t idx = nodes_.size();
+  nodes_.push_back({lo, hi, 0, 0});
+  if (lo < hi) {
+    Coord mid = lo + (hi - lo) / 2;
+    size_t left = BuildNode(lo, mid);
+    size_t right = BuildNode(mid + 1, hi);
+    nodes_[idx].left = left;
+    nodes_[idx].right = right;
+  }
+  return idx;
+}
+
+void SimpleClassIndex::PathTo(Coord code, std::vector<size_t>* out) const {
+  size_t node = 0;
+  while (true) {
+    out->push_back(node);
+    const RangeNode& rn = nodes_[node];
+    if (rn.lo == rn.hi) return;
+    Coord mid = rn.lo + (rn.hi - rn.lo) / 2;
+    node = code <= mid ? rn.left : rn.right;
+  }
+}
+
+void SimpleClassIndex::Decompose(size_t node, Coord lo, Coord hi,
+                                 std::vector<size_t>* out) const {
+  const RangeNode& rn = nodes_[node];
+  if (rn.lo > hi || rn.hi < lo) return;
+  if (rn.lo >= lo && rn.hi <= hi) {
+    out->push_back(node);
+    return;
+  }
+  Decompose(rn.left, lo, hi, out);
+  Decompose(rn.right, lo, hi, out);
+}
+
+Status SimpleClassIndex::Insert(const Object& o) {
+  if (o.class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  Coord code = hierarchy_->code(o.class_id);
+  std::vector<size_t> path;
+  PathTo(code, &path);
+  for (size_t node : path) {
+    CCIDX_RETURN_IF_ERROR(trees_[node].Insert(o.attr, o.id, code));
+  }
+  size_++;
+  return Status::OK();
+}
+
+Status SimpleClassIndex::Delete(const Object& o, bool* found) {
+  *found = false;
+  if (o.class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  Coord code = hierarchy_->code(o.class_id);
+  std::vector<size_t> path;
+  PathTo(code, &path);
+  bool any = false, all = true;
+  for (size_t node : path) {
+    bool f = false;
+    CCIDX_RETURN_IF_ERROR(trees_[node].Delete(o.attr, o.id, &f));
+    any |= f;
+    all &= f;
+  }
+  if (any && !all) {
+    return Status::Corruption("object present in only part of its path");
+  }
+  if (any) {
+    size_--;
+    *found = true;
+  }
+  return Status::OK();
+}
+
+Status SimpleClassIndex::Query(uint32_t class_id, Coord a1, Coord a2,
+                               std::vector<uint64_t>* out) const {
+  if (class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  std::vector<size_t> canonical;
+  Decompose(0, hierarchy_->code(class_id),
+            hierarchy_->subtree_max_code(class_id), &canonical);
+  last_query_collections_ = canonical.size();
+  for (size_t node : canonical) {
+    CCIDX_RETURN_IF_ERROR(trees_[node].RangeScan(
+        a1, a2, [out](const BtEntry& e) { out->push_back(e.value); }));
+  }
+  return Status::OK();
+}
+
+Status SimpleClassIndex::QueryObjects(uint32_t class_id, Coord a1, Coord a2,
+                                      std::vector<Object>* out) const {
+  if (class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  std::vector<size_t> canonical;
+  Decompose(0, hierarchy_->code(class_id),
+            hierarchy_->subtree_max_code(class_id), &canonical);
+  last_query_collections_ = canonical.size();
+  for (size_t node : canonical) {
+    CCIDX_RETURN_IF_ERROR(
+        trees_[node].RangeScan(a1, a2, [this, out](const BtEntry& e) {
+          out->push_back(
+              {e.value, hierarchy_->class_at_code(e.aux), e.key});
+        }));
+  }
+  return Status::OK();
+}
+
+}  // namespace ccidx

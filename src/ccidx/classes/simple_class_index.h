@@ -1,0 +1,81 @@
+// SimpleClassIndex: the practical class-indexing method of Theorem 2.6.
+//
+// A binary range tree over the (static) class dimension: every node of a
+// balanced binary tree on the class codes owns a collection — the objects
+// whose class code falls in the node's range — and each collection is
+// indexed by a B+-tree on the query attribute (procedure index-classes,
+// Fig. 6). A query on class C decomposes C's subtree code-range into at
+// most 2*ceil(log2 c) canonical nodes and runs a 1-d range search in each;
+// an update touches the ceil(log2 c) nodes covering one code.
+//
+//   query  O(log2 c * log_B n + t/B) I/Os
+//   update O(log2 c * log_B n) I/Os (inserts AND deletes — fully dynamic)
+//   space  O((n/B) log2 c) pages
+//
+// The paper singles this scheme out as "an ideal choice for implementation"
+// (§2.2); Section 4's RakeContractIndex improves the query bound.
+
+#ifndef CCIDX_CLASSES_SIMPLE_CLASS_INDEX_H_
+#define CCIDX_CLASSES_SIMPLE_CLASS_INDEX_H_
+
+#include <vector>
+
+#include "ccidx/bptree/bptree.h"
+#include "ccidx/classes/hierarchy.h"
+
+namespace ccidx {
+
+/// Theorem 2.6 class index (range tree of B+-trees).
+class SimpleClassIndex {
+ public:
+  /// `hierarchy` must be frozen and outlive the index.
+  SimpleClassIndex(Pager* pager, const ClassHierarchy* hierarchy);
+
+  /// Inserts an object. O(log2 c * log_B n) I/Os.
+  Status Insert(const Object& o);
+
+  /// Deletes an object (by id + class + attr). O(log2 c * log_B n) I/Os.
+  Status Delete(const Object& o, bool* found);
+
+  /// Appends the ids of all objects in the full extent of `class_id` with
+  /// a1 <= attr <= a2. O(log2 c * log_B n + t/B) I/Os.
+  Status Query(uint32_t class_id, Coord a1, Coord a2,
+               std::vector<uint64_t>* out) const;
+
+  /// As Query, but materializes full objects (class decoded from the
+  /// entry's aux code).
+  Status QueryObjects(uint32_t class_id, Coord a1, Coord a2,
+                      std::vector<Object>* out) const;
+
+  uint64_t size() const { return size_; }
+
+  /// Number of collections (B+-trees) — O(c).
+  size_t num_collections() const { return nodes_.size(); }
+
+  /// Collections consulted by the last Query (must be <= 2*ceil(log2 c)).
+  size_t last_query_collections() const { return last_query_collections_; }
+
+ private:
+  struct RangeNode {
+    Coord lo, hi;      // class-code range covered
+    size_t left = 0;   // indices into nodes_; 0 == none (node 0 is root)
+    size_t right = 0;
+  };
+
+  size_t BuildNode(Coord lo, Coord hi);
+  // Canonical decomposition of [lo, hi] into node indices.
+  void Decompose(size_t node, Coord lo, Coord hi,
+                 std::vector<size_t>* out) const;
+  // Nodes on the path covering a single code.
+  void PathTo(Coord code, std::vector<size_t>* out) const;
+
+  const ClassHierarchy* hierarchy_;
+  std::vector<RangeNode> nodes_;
+  std::vector<BPlusTree> trees_;  // parallel to nodes_
+  uint64_t size_ = 0;
+  mutable size_t last_query_collections_ = 0;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_CLASSES_SIMPLE_CLASS_INDEX_H_

@@ -1,0 +1,54 @@
+#include "ccidx/common/rational.h"
+
+#include <numeric>
+
+#include "ccidx/common/status.h"
+
+namespace ccidx {
+
+Rational::Rational(int64_t n, int64_t d) : num_(n), den_(d) {
+  CCIDX_CHECK(d != 0);
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  CCIDX_CHECK(o.num_ != 0);
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // Use 128-bit products to avoid overflow on cross-multiplication.
+  return static_cast<__int128>(num_) * o.den_ <
+         static_cast<__int128>(o.num_) * den_;
+}
+
+Rational Rational::Midpoint(const Rational& o) const {
+  return (*this + o) / Rational(2);
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace ccidx

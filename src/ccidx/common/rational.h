@@ -1,0 +1,57 @@
+// Exact rational arithmetic for the constraint data model.
+//
+// The paper's CQL operates over the theory of rational order: constraint
+// constants are rationals and only comparisons matter. Example 2.3 labels
+// classes with dyadic rationals in [0, 1). We provide a small exact rational
+// type (int64 numerator / denominator, always normalized) sufficient for
+// class labeling and constraint constants at laptop scale.
+
+#ifndef CCIDX_COMMON_RATIONAL_H_
+#define CCIDX_COMMON_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ccidx {
+
+/// An exact rational number num/den with den > 0, normalized to lowest terms.
+class Rational {
+ public:
+  /// Constructs 0/1.
+  constexpr Rational() : num_(0), den_(1) {}
+  /// Constructs n/1.
+  constexpr Rational(int64_t n) : num_(n), den_(1) {}  // NOLINT
+  /// Constructs n/d (d != 0), normalizing sign and common factors.
+  Rational(int64_t n, int64_t d);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  /// The midpoint (this + other) / 2 — used by label-class subdivisions.
+  Rational Midpoint(const Rational& o) const;
+
+  /// Renders "num/den" (or just "num" when den == 1).
+  std::string ToString() const;
+
+ private:
+  int64_t num_;
+  int64_t den_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_COMMON_RATIONAL_H_

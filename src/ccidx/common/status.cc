@@ -1,0 +1,46 @@
+#include "ccidx/common/status.h"
+
+namespace ccidx {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CCIDX_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace ccidx

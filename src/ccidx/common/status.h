@@ -1,0 +1,126 @@
+// Status / Result: error handling for the ccindex library.
+//
+// Follows the RocksDB / Arrow convention: fallible operations return a
+// Status (or Result<T>) instead of throwing. Exceptions are not used on any
+// hot path; CCIDX_CHECK aborts on programmer errors (broken invariants).
+
+#ifndef CCIDX_COMMON_STATUS_H_
+#define CCIDX_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ccidx {
+
+/// Error category for a failed operation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kCorruption,
+  kNotSupported,
+  kIoError,
+  kResourceExhausted,
+};
+
+/// Outcome of a fallible operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IoError: page 7 out of bounds".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}           // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {}    // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+/// Aborts with a diagnostic if `expr` is false. Used for internal invariants
+/// that indicate a bug (never for user errors, which get a Status).
+#define CCIDX_CHECK(expr)                                          \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::ccidx::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                              \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define CCIDX_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::ccidx::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace ccidx
+
+#endif  // CCIDX_COMMON_STATUS_H_

@@ -1,0 +1,56 @@
+#include "ccidx/constraint/generalized_index.h"
+
+namespace ccidx {
+
+GeneralizedIndex::GeneralizedIndex(Pager* pager, uint32_t arity,
+                                   uint32_t indexed_var)
+    : arity_(arity), indexed_var_(indexed_var), index_(pager) {
+  CCIDX_CHECK(indexed_var < arity);
+}
+
+Status GeneralizedIndex::Insert(const GeneralizedTuple& tuple) {
+  if (tuple.arity() != arity_) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  if (!tuple.Satisfiable()) {
+    return Status::InvalidArgument("unsatisfiable tuple");
+  }
+  auto key = tuple.Project(indexed_var_);
+  CCIDX_RETURN_IF_ERROR(key.status());
+  if (tuple.id() < id_to_slot_.size() &&
+      id_to_slot_[tuple.id()] != static_cast<size_t>(-1)) {
+    return Status::InvalidArgument("duplicate tuple id");
+  }
+  CCIDX_RETURN_IF_ERROR(index_.Insert(*key));
+  if (tuple.id() >= id_to_slot_.size()) {
+    id_to_slot_.resize(tuple.id() + 1, static_cast<size_t>(-1));
+  }
+  id_to_slot_[tuple.id()] = catalog_.size();
+  catalog_.push_back(tuple);
+  return Status::OK();
+}
+
+Status GeneralizedIndex::RangeQueryIds(Coord a1, Coord a2,
+                                       std::vector<uint64_t>* out) const {
+  std::vector<Interval> hits;
+  CCIDX_RETURN_IF_ERROR(index_.Intersect(a1, a2, &hits));
+  for (const Interval& iv : hits) out->push_back(iv.id);
+  return Status::OK();
+}
+
+Result<GeneralizedRelation> GeneralizedIndex::RangeQuery(Coord a1,
+                                                         Coord a2) const {
+  std::vector<uint64_t> ids;
+  CCIDX_RETURN_IF_ERROR(RangeQueryIds(a1, a2, &ids));
+  GeneralizedRelation out(arity_);
+  for (uint64_t id : ids) {
+    GeneralizedTuple t = catalog_[id_to_slot_[id]];
+    CCIDX_RETURN_IF_ERROR(t.AddRange(indexed_var_, a1, a2));
+    if (t.Satisfiable()) {
+      CCIDX_RETURN_IF_ERROR(out.Insert(std::move(t)));
+    }
+  }
+  return out;
+}
+
+}  // namespace ccidx

@@ -1,0 +1,57 @@
+// GeneralizedIndex: the generalized one-dimensional index of Section 2.1.
+//
+// For convex CQLs, each generalized tuple's projection onto the indexed
+// variable x is one interval [a, a'] — its fixed-length "generalized key".
+// Finding all tuples whose x attribute can satisfy a1 <= x <= a2 is then an
+// interval intersection query, which IntervalIndex answers in
+// O(log_B n + t/B) I/Os (via Prop. 2.2 and the metablock tree); inserting a
+// tuple inserts one interval. This removes the redundancy of the trivial
+// solution (conjoining the query constraint to every stored tuple).
+
+#ifndef CCIDX_CONSTRAINT_GENERALIZED_INDEX_H_
+#define CCIDX_CONSTRAINT_GENERALIZED_INDEX_H_
+
+#include <vector>
+
+#include "ccidx/constraint/generalized_relation.h"
+#include "ccidx/interval/interval_index.h"
+
+namespace ccidx {
+
+/// An index on one variable of a generalized relation (semi-dynamic:
+/// inserts only, matching the underlying metablock tree).
+class GeneralizedIndex {
+ public:
+  /// Indexes variable `indexed_var` of `arity`-ary tuples.
+  GeneralizedIndex(Pager* pager, uint32_t arity, uint32_t indexed_var);
+
+  /// Inserts a satisfiable tuple; its x-projection becomes the generalized
+  /// key. Tuple ids must be unique (they key the catalog).
+  Status Insert(const GeneralizedTuple& tuple);
+
+  /// Returns the generalized relation representing all stored tuples whose
+  /// x attribute admits a value in [a1, a2], each conjoined with
+  /// (a1 <= x <= a2) — the operation (i) of Section 2.1.
+  Result<GeneralizedRelation> RangeQuery(Coord a1, Coord a2) const;
+
+  /// Ids of matching tuples only (no restriction materialization).
+  Status RangeQueryIds(Coord a1, Coord a2, std::vector<uint64_t>* out) const;
+
+  uint32_t arity() const { return arity_; }
+  uint32_t indexed_var() const { return indexed_var_; }
+  uint64_t size() const { return index_.size(); }
+
+ private:
+  uint32_t arity_;
+  uint32_t indexed_var_;
+  IntervalIndex index_;
+  // Tuple catalog, addressed by tuple id. The paper's I/O model indexes the
+  // generalized keys; tuple bodies are variable-length and kept in an
+  // in-memory catalog here (a heap file in a full DBMS).
+  std::vector<GeneralizedTuple> catalog_;
+  std::vector<size_t> id_to_slot_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_CONSTRAINT_GENERALIZED_INDEX_H_

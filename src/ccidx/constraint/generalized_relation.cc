@@ -1,0 +1,40 @@
+#include "ccidx/constraint/generalized_relation.h"
+
+namespace ccidx {
+
+Status GeneralizedRelation::Insert(GeneralizedTuple tuple) {
+  if (tuple.arity() != arity_) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Result<GeneralizedRelation> GeneralizedRelation::Restrict(
+    const AtomicConstraint& c) const {
+  GeneralizedRelation out(arity_);
+  for (const GeneralizedTuple& t : tuples_) {
+    GeneralizedTuple restricted = t;
+    CCIDX_RETURN_IF_ERROR(restricted.AddConstraint(c));
+    if (restricted.Satisfiable()) {
+      CCIDX_RETURN_IF_ERROR(out.Insert(std::move(restricted)));
+    }
+  }
+  return out;
+}
+
+Result<GeneralizedRelation> GeneralizedRelation::RestrictRange(
+    uint32_t var, Coord lo, Coord hi) const {
+  auto step = Restrict({var, CompareOp::kGe, lo});
+  CCIDX_RETURN_IF_ERROR(step.status());
+  return step->Restrict({var, CompareOp::kLe, hi});
+}
+
+bool GeneralizedRelation::Contains(std::span<const Coord> valuation) const {
+  for (const GeneralizedTuple& t : tuples_) {
+    if (t.Matches(valuation)) return true;
+  }
+  return false;
+}
+
+}  // namespace ccidx

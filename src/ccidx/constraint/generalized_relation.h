@@ -1,0 +1,45 @@
+// Generalized relations: finite sets of generalized tuples (DNF formulas),
+// with the closed-form restriction operation CQL queries compile to.
+
+#ifndef CCIDX_CONSTRAINT_GENERALIZED_RELATION_H_
+#define CCIDX_CONSTRAINT_GENERALIZED_RELATION_H_
+
+#include <vector>
+
+#include "ccidx/constraint/generalized_tuple.h"
+
+namespace ccidx {
+
+/// A finite set of generalized k-tuples over the same k variables — a DNF
+/// formula denoting a possibly infinite set of k-points.
+class GeneralizedRelation {
+ public:
+  explicit GeneralizedRelation(uint32_t arity) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  const std::vector<GeneralizedTuple>& tuples() const { return tuples_; }
+
+  /// Adds a tuple (its arity must match).
+  Status Insert(GeneralizedTuple tuple);
+
+  /// Closed-form evaluation of a selection: conjoins `constraint` with every
+  /// tuple and drops the ones that become unsatisfiable. This is the naive
+  /// (linear-scan) evaluation that GeneralizedIndex accelerates.
+  Result<GeneralizedRelation> Restrict(const AtomicConstraint& c) const;
+
+  /// Restricts to lo <= var <= hi.
+  Result<GeneralizedRelation> RestrictRange(uint32_t var, Coord lo,
+                                            Coord hi) const;
+
+  /// True iff some tuple matches the concrete point.
+  bool Contains(std::span<const Coord> valuation) const;
+
+ private:
+  uint32_t arity_;
+  std::vector<GeneralizedTuple> tuples_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_CONSTRAINT_GENERALIZED_RELATION_H_

@@ -1,0 +1,121 @@
+#include "ccidx/constraint/generalized_tuple.h"
+
+namespace ccidx {
+
+bool AtomicConstraint::Satisfies(Coord v) const {
+  switch (op) {
+    case CompareOp::kLe:
+      return v <= constant;
+    case CompareOp::kLt:
+      return v < constant;
+    case CompareOp::kGe:
+      return v >= constant;
+    case CompareOp::kGt:
+      return v > constant;
+    case CompareOp::kEq:
+      return v == constant;
+  }
+  return false;
+}
+
+std::string AtomicConstraint::ToString() const {
+  const char* sym = "";
+  switch (op) {
+    case CompareOp::kLe:
+      sym = "<=";
+      break;
+    case CompareOp::kLt:
+      sym = "<";
+      break;
+    case CompareOp::kGe:
+      sym = ">=";
+      break;
+    case CompareOp::kGt:
+      sym = ">";
+      break;
+    case CompareOp::kEq:
+      sym = "==";
+      break;
+  }
+  return "x" + std::to_string(var) + " " + sym + " " +
+         std::to_string(constant);
+}
+
+GeneralizedTuple::GeneralizedTuple(uint64_t id, uint32_t arity)
+    : id_(id), arity_(arity) {}
+
+Status GeneralizedTuple::AddConstraint(const AtomicConstraint& c) {
+  if (c.var >= arity_) {
+    return Status::InvalidArgument("constraint variable out of range");
+  }
+  constraints_.push_back(c);
+  return Status::OK();
+}
+
+Status GeneralizedTuple::AddRange(uint32_t var, Coord lo, Coord hi) {
+  CCIDX_RETURN_IF_ERROR(AddConstraint({var, CompareOp::kGe, lo}));
+  return AddConstraint({var, CompareOp::kLe, hi});
+}
+
+Status GeneralizedTuple::AddEquality(uint32_t var, Coord value) {
+  return AddConstraint({var, CompareOp::kEq, value});
+}
+
+Result<Interval> GeneralizedTuple::Project(uint32_t var) const {
+  if (var >= arity_) {
+    return Status::InvalidArgument("projection variable out of range");
+  }
+  // Over the integer-coded domain, strict bounds tighten by one.
+  Coord lo = kCoordMin, hi = kCoordMax;
+  for (const AtomicConstraint& c : constraints_) {
+    if (c.var != var) continue;
+    switch (c.op) {
+      case CompareOp::kGe:
+        lo = std::max(lo, c.constant);
+        break;
+      case CompareOp::kGt:
+        lo = std::max(lo, c.constant == kCoordMax ? kCoordMax
+                                                  : c.constant + 1);
+        break;
+      case CompareOp::kLe:
+        hi = std::min(hi, c.constant);
+        break;
+      case CompareOp::kLt:
+        hi = std::min(hi, c.constant == kCoordMin ? kCoordMin
+                                                  : c.constant - 1);
+        break;
+      case CompareOp::kEq:
+        lo = std::max(lo, c.constant);
+        hi = std::min(hi, c.constant);
+        break;
+    }
+  }
+  return Interval{lo, hi, id_};
+}
+
+bool GeneralizedTuple::Satisfiable() const {
+  for (uint32_t v = 0; v < arity_; ++v) {
+    auto iv = Project(v);
+    if (!iv.ok() || iv->lo > iv->hi) return false;
+  }
+  return true;
+}
+
+bool GeneralizedTuple::Matches(std::span<const Coord> valuation) const {
+  if (valuation.size() != arity_) return false;
+  for (const AtomicConstraint& c : constraints_) {
+    if (!c.Satisfies(valuation[c.var])) return false;
+  }
+  return true;
+}
+
+std::string GeneralizedTuple::ToString() const {
+  std::string out = "t" + std::to_string(id_) + ":";
+  if (constraints_.empty()) return out + " true";
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    out += (i == 0 ? " " : " AND ") + constraints_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace ccidx

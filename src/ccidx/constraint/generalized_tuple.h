@@ -1,0 +1,93 @@
+// Generalized tuples: the constraint data model of CQL (Section 2.1, [19]).
+//
+// A generalized k-tuple is a quantifier-free conjunction of order
+// constraints over k variables — a finite representation of a possibly
+// infinite set of ordinary k-tuples. Example 2.1 stores the rectangle
+// named n with corners (a,b),(c,d) as the generalized 3-tuple
+//     (z = n) AND (a <= x <= c) AND (b <= y <= d)
+// over R'(z, x, y).
+//
+// Domain note (DESIGN.md §2): the paper works over the rationals; only the
+// order type matters to indexing, so constants here are int64 codes (an
+// order-isomorphic embedding — any finite set of rationals order-embeds in
+// the integers). Strict bounds are normalized to closed integer bounds.
+//
+// Convexity: constraints relate one variable to one constant, so every
+// tuple denotes a box — the "convex CQL" case for which Section 2.1's
+// generalized one-dimensional index applies (each tuple's projection onto
+// any variable is one interval).
+
+#ifndef CCIDX_CONSTRAINT_GENERALIZED_TUPLE_H_
+#define CCIDX_CONSTRAINT_GENERALIZED_TUPLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ccidx/common/status.h"
+#include "ccidx/core/geometry.h"
+#include "ccidx/testutil/oracles.h"  // Interval
+
+namespace ccidx {
+
+/// Comparison operator of an atomic order constraint.
+enum class CompareOp : uint8_t { kLe, kLt, kGe, kGt, kEq };
+
+/// One atomic constraint: `var <op> constant`.
+struct AtomicConstraint {
+  uint32_t var;
+  CompareOp op;
+  Coord constant;
+
+  /// True iff a value `v` for the variable satisfies this constraint.
+  bool Satisfies(Coord v) const;
+
+  /// Renders e.g. "x1 <= 42".
+  std::string ToString() const;
+};
+
+/// A conjunction of atomic constraints over variables x0..x{arity-1}.
+class GeneralizedTuple {
+ public:
+  /// An unconstrained tuple (denotes the whole domain^arity).
+  GeneralizedTuple(uint64_t id, uint32_t arity);
+
+  /// Conjoins one constraint (var must be < arity).
+  Status AddConstraint(const AtomicConstraint& c);
+
+  /// Convenience: conjoins lo <= var <= hi.
+  Status AddRange(uint32_t var, Coord lo, Coord hi);
+  /// Convenience: conjoins var == value.
+  Status AddEquality(uint32_t var, Coord value);
+
+  /// The projection of the denoted point set onto `var`, as one closed
+  /// interval (convex CQL). The interval id is this tuple's id. Unbounded
+  /// sides are kCoordMin / kCoordMax.
+  Result<Interval> Project(uint32_t var) const;
+
+  /// False iff the conjunction is unsatisfiable (some projection empty).
+  bool Satisfiable() const;
+
+  /// True iff the concrete point `valuation` (size == arity) satisfies
+  /// every constraint.
+  bool Matches(std::span<const Coord> valuation) const;
+
+  uint64_t id() const { return id_; }
+  uint32_t arity() const { return arity_; }
+  const std::vector<AtomicConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Renders e.g. "t7: x0 == 3 AND x1 <= 9".
+  std::string ToString() const;
+
+ private:
+  uint64_t id_;
+  uint32_t arity_;
+  std::vector<AtomicConstraint> constraints_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_CONSTRAINT_GENERALIZED_TUPLE_H_

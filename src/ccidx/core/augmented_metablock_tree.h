@@ -1,0 +1,192 @@
+// AugmentedMetablockTree: the semi-dynamic metablock tree of Section 3.2.
+//
+// Supports insertions at amortized O(log_B n + (log_B n)^2 / B) I/Os while
+// keeping diagonal corner queries at O(log_B n + t/B) I/Os and space at
+// O(n/B) pages (Theorem 3.7). Deletions are out of scope, as in the paper.
+//
+// Mechanisms, following the paper:
+//   * Update block: each metablock buffers up to B inserted points in one
+//     page. When full, a LEVEL I reorganization merges them into the
+//     metablock's own set and rebuilds its vertical / horizontal / corner
+//     organizations — O(B) I/Os once per B inserts, amortized O(1).
+//   * LEVEL II reorganization: when a metablock reaches 2B^2 own points, a
+//     non-leaf keeps the B^2 highest-y points and pushes the bottom B^2
+//     down into its children by x; a leaf splits into two B^2-point leaves.
+//   * TD corner structure: each non-leaf M keeps a corner structure over
+//     every point pushed into its children since the last TS
+//     reorganization, with its own one-page buffer (rebuilt every B
+//     pushes). Queries consult TD wherever they consult a TS structure, so
+//     TS staleness never loses points.
+//   * TS reorganization: when TD reaches B^2 points, or a child performs a
+//     level II reorganization / split, the TS structures of all children
+//     are rebuilt from their current point sets and TD is discarded —
+//     O(B^2) I/Os once per Theta(B^2) inserts.
+//   * Branching-factor control: leaf splits grow a parent's child count;
+//     at 2B the subtree rooted there is rebuilt as a perfectly balanced
+//     static metablock tree. (The paper splits the parent in two and
+//     propagates upward; a full subtree rebuild has the same amortized
+//     cost — the induction of Lemma 3.6 applies verbatim — and is simpler.
+//     Documented in DESIGN.md.)
+//
+// One strengthening over the paper's terse description (DESIGN.md §5):
+// push-downs let a metablock's own minimum y drift below points that were
+// pushed into its subtree earlier, which breaks the static tree's implicit
+// heap order and hence the Type-IV early-stop rule. Each node therefore
+// maintains desc_ymax — the maximum y among its strict descendants
+// (monotone under pushes, recomputed on rebuild) — and subtree reporting
+// recurses iff desc_ymax >= a. Measured query I/O is verified against the
+// theorem's bound in bench_metablock_insert / tests.
+
+#ifndef CCIDX_CORE_AUGMENTED_METABLOCK_TREE_H_
+#define CCIDX_CORE_AUGMENTED_METABLOCK_TREE_H_
+
+#include <vector>
+
+#include "ccidx/core/blocking.h"
+#include "ccidx/core/corner_structure.h"
+#include "ccidx/core/geometry.h"
+#include "ccidx/io/pager.h"
+
+namespace ccidx {
+
+/// Semi-dynamic (insert-only) metablock tree (Section 3.2, Theorem 3.7).
+class AugmentedMetablockTree {
+ public:
+  /// Creates an empty tree.
+  explicit AugmentedMetablockTree(Pager* pager);
+
+  /// Bulk-builds a balanced tree over `points` (y >= x required each).
+  static Result<AugmentedMetablockTree> Build(Pager* pager,
+                                              std::vector<Point> points);
+
+  /// Inserts one point (y >= x). Amortized O(log_B n + (log_B n)^2/B) I/Os.
+  Status Insert(const Point& p);
+
+  /// Appends all points with x <= q.a and y >= q.a to `out`.
+  /// O(log_B n + t/B) I/Os.
+  Status Query(const DiagonalQuery& q, std::vector<Point>* out) const;
+
+  uint64_t size() const { return size_; }
+  uint32_t branching() const { return branching_; }
+  uint32_t metablock_capacity() const { return branching_ * branching_; }
+
+  /// Frees all pages.
+  Status Destroy();
+
+  /// Structural checks (sizes, bboxes, blocking agreement, desc_ymax and
+  /// node_ymax watermarks, TS freshness envelope). O(n/B) I/Os.
+  Status CheckInvariants() const;
+
+ private:
+  // Control record for one metablock (one control page each).
+  struct Control {
+    uint32_t num_points;    // merged (organized) own points
+    uint32_t num_children;
+    Coord bbox_xmin, bbox_xmax, bbox_ymin, bbox_ymax;  // organized points
+    Coord sub_xlo, sub_xhi;  // subtree x-interval
+    uint64_t children_head;
+    uint64_t vindex_head;
+    uint64_t horiz_head;
+    uint64_t ts_head;        // TS(this), maintained by the parent
+    uint64_t corner_header;
+    // --- dynamic state ---
+    uint64_t update_page;    // one page of buffered inserts (always valid)
+    uint32_t update_count;
+    uint32_t td_update_count;
+    uint64_t td_update_page;  // one page buffering TD additions (non-leaf)
+    uint64_t td_header;       // TD corner structure (kInvalid when empty)
+    uint32_t td_count;        // points inside td_header
+    uint32_t pad;
+    Coord update_ymax;       // max y among buffered inserts (kCoordMin none)
+    Coord desc_ymax;         // max y among strict descendants
+    Coord node_ymax;         // max(bbox_ymax, update_ymax, desc_ymax)
+  };
+
+  struct ChildEntry {
+    Coord sub_xlo;
+    Coord node_ymax;  // child's node_ymax at last parent write
+    uint64_t control;
+  };
+
+  // A sibling metablock created by a leaf split, to be spliced into the
+  // parent's child list right after the splitting child.
+  struct SplitEntry {
+    PageId id;
+    Coord xlo;
+    Coord node_ymax;
+  };
+
+  // Outcome of AddPoints on a child, reported to the parent.
+  struct AddResult {
+    PageId id;          // possibly new control id (after a rebuild)
+    Coord sub_xlo, sub_xhi;
+    Coord node_ymax;
+    std::vector<SplitEntry> splits;  // leaf splits, in x order
+    bool structural = false;  // level II / split at this node: parent must
+                              // TS-reorganize its children
+  };
+
+  struct BuiltNode {
+    Control ctrl;
+    std::vector<Point> own_points;
+    PageId control_page;
+  };
+
+  AugmentedMetablockTree(Pager* pager, PageId root, uint64_t size,
+                         uint32_t branching)
+      : pager_(pager), root_(root), size_(size), branching_(branching) {}
+
+  static Result<BuiltNode> BuildNode(Pager* pager,
+                                     std::vector<Point> group_sorted_by_x,
+                                     uint32_t branching);
+  static Status WriteControl(Pager* pager, PageId id, const Control& c);
+  Status LoadControl(PageId id, Control* c) const;
+
+  // Rebuilds own-point organizations from `own` (frees the old ones first
+  // when free_old). Updates bbox / num_points / node_ymax in *ctrl.
+  Status RebuildOrganizations(Control* ctrl, std::vector<Point> own,
+                              bool free_old);
+
+  // Adds points into this node's update block, cascading level I / II.
+  Result<AddResult> AddPoints(PageId id, std::vector<Point> pts);
+
+  Status LevelOne(PageId id, Control* ctrl);     // merge update block
+  // Level II for a non-leaf: keep top B^2, push bottom into children.
+  // Sets result->structural.
+  Status LevelTwoInternal(PageId id, Control* ctrl, AddResult* result);
+
+  // Records pushed points into TD(M); rebuilds the TD corner structure
+  // every B additions.
+  Status AddToTd(Control* ctrl, std::span<const Point> pts);
+  Status ClearTd(Control* ctrl);
+
+  // Rebuilds TS(child) for every child of `ctrl` from current child state
+  // and clears TD. O(B^2) I/Os.
+  Status TsReorganizeChildren(Control* ctrl);
+
+  // Collects every point in the subtree (own + update blocks, recursively).
+  Status CollectSubtree(PageId id, std::vector<Point>* out) const;
+  // Destroys the subtree's pages. If keep_ts, the node's own TS chain is
+  // not freed (the caller re-attaches it to the rebuilt node).
+  Status DestroySubtree(PageId id, bool keep_ts);
+  // Rebuilds the subtree at `id` as a balanced static tree; returns the new
+  // control id (the old node's TS chain is carried over).
+  Result<PageId> RebuildSubtree(PageId id);
+
+  Status ReadUpdatePoints(const Control& ctrl, std::vector<Point>* out) const;
+  Status ReportOwnPoints(const Control& ctrl, Coord a,
+                         std::vector<Point>* out) const;
+  Status ReportSubtree(PageId id, Coord a, std::vector<Point>* out) const;
+
+  Status CheckSubtree(PageId id, bool is_root, Coord* node_ymax_out,
+                      uint64_t* count_out) const;
+
+  Pager* pager_;
+  PageId root_;
+  uint64_t size_;
+  uint32_t branching_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_CORE_AUGMENTED_METABLOCK_TREE_H_

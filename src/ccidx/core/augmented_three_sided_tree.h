@@ -1,0 +1,171 @@
+// AugmentedThreeSidedTree: the semi-dynamic 3-sided metablock tree
+// (Lemma 4.4) — the Section 3.2 insertion machinery applied to the
+// Section 4 variant.
+//
+// Answers q = [xlo, xhi] x [ylo, +inf) in O(log_B n + log2 B + t/B) I/Os
+// while supporting inserts at amortized O(log_B n + (log2_B n)/B)-grade
+// cost, exactly as the lemma prescribes:
+//   * the corner structures of Section 3.2 "become 3-sided structures":
+//     each metablock's own points carry an ExternalPst, rebuilt at level I
+//     reorganizations; the TD structure is likewise an ExternalPst over
+//     points pushed into the children since the last TS reorganization;
+//   * level II reorganizations additionally rebuild the per-parent
+//     children-union 3-sided structure and BOTH TS chains of every child.
+//
+// Query-time consistency (the dynamic analogues of DESIGN.md §5.2):
+//   * the one-sided paths use the crossed/exhausted TS dichotomy with the
+//     TD structure consulted on crossings (hits filtered to the sibling
+//     side by deterministic x-routing), mirroring the diagonal tree;
+//   * at the fork, the children-union PST and TD are stale snapshots, so
+//     each child in the slab is handled EITHER by full traversal (when its
+//     watermarks admit deep output, or it is a fork endpoint) OR from the
+//     snapshots (filtered to its routed x-interval) — never both, which is
+//     what rules out double reporting of points that have since been
+//     pushed deeper;
+//   * desc_ymax / node_ymax watermarks guard subtree descent as in the
+//     diagonal augmented tree.
+
+#ifndef CCIDX_CORE_AUGMENTED_THREE_SIDED_TREE_H_
+#define CCIDX_CORE_AUGMENTED_THREE_SIDED_TREE_H_
+
+#include <vector>
+
+#include "ccidx/core/blocking.h"
+#include "ccidx/core/geometry.h"
+#include "ccidx/io/pager.h"
+#include "ccidx/pst/external_pst.h"
+
+namespace ccidx {
+
+/// Semi-dynamic (insert-only) 3-sided metablock tree (Lemma 4.4).
+class AugmentedThreeSidedTree {
+ public:
+  /// Creates an empty tree (B >= 8 required; B from the pager page size).
+  explicit AugmentedThreeSidedTree(Pager* pager);
+
+  /// Bulk-builds a balanced tree over arbitrary planar points.
+  static Result<AugmentedThreeSidedTree> Build(Pager* pager,
+                                               std::vector<Point> points);
+
+  /// Inserts one point.
+  Status Insert(const Point& p);
+
+  /// Appends all points with q.xlo <= x <= q.xhi and y >= q.ylo to `out`.
+  Status Query(const ThreeSidedQuery& q, std::vector<Point>* out) const;
+
+  uint64_t size() const { return size_; }
+  uint32_t branching() const { return branching_; }
+  uint32_t metablock_capacity() const { return branching_ * branching_; }
+
+  Status Destroy();
+
+  /// Structural checks (blockings, watermarks, TS/PST presence, counts).
+  Status CheckInvariants() const;
+
+ private:
+  struct Control {
+    uint32_t num_points;
+    uint32_t num_children;
+    Coord bbox_xmin, bbox_xmax, bbox_ymin, bbox_ymax;
+    Coord sub_xlo, sub_xhi;
+    uint64_t children_head;
+    uint64_t vindex_head;
+    uint64_t horiz_head;
+    uint64_t ts_left_head;
+    uint64_t ts_right_head;
+    uint64_t own_pst_root;       // rebuilt at level I
+    uint64_t children_pst_root;  // rebuilt at TS reorganizations
+    // --- dynamic state (Section 3.2 / Lemma 4.4) ---
+    uint64_t update_page;
+    uint32_t update_count;
+    uint32_t td_update_count;
+    uint64_t td_update_page;
+    uint64_t td_pst_root;  // the TD structure, now 3-sided (ExternalPst)
+    uint32_t td_count;
+    uint32_t pad;
+    Coord update_ymax;
+    Coord desc_ymax;
+    Coord node_ymax;
+  };
+
+  struct ChildEntry {
+    Coord sub_xlo;
+    Coord sub_xhi;
+    Coord node_ymax;  // max y anywhere in the child's subtree (watermark)
+    Coord desc_ymax;  // max y strictly below the child (watermark)
+    uint64_t control;
+  };
+
+  struct SplitEntry {
+    PageId id;
+    Coord xlo;
+    Coord xhi;
+    Coord node_ymax;
+  };
+
+  struct AddResult {
+    PageId id;
+    Coord sub_xlo, sub_xhi;
+    Coord node_ymax;
+    Coord desc_ymax;
+    std::vector<SplitEntry> splits;
+    bool structural = false;
+  };
+
+  struct BuiltNode {
+    Control ctrl;
+    std::vector<Point> own_points;
+    PageId control_page;
+  };
+
+  AugmentedThreeSidedTree(Pager* pager, PageId root, uint64_t size,
+                          uint32_t branching)
+      : pager_(pager), root_(root), size_(size), branching_(branching) {}
+
+  static Result<BuiltNode> BuildNode(Pager* pager,
+                                     std::vector<Point> group_sorted_by_x,
+                                     uint32_t branching);
+  static Status WriteControl(Pager* pager, PageId id, const Control& c);
+  Status LoadControl(PageId id, Control* c) const;
+
+  Status RebuildOrganizations(Control* ctrl, std::vector<Point> own,
+                              bool free_old);
+
+  Result<AddResult> AddPoints(PageId id, std::vector<Point> pts);
+  Status LevelOne(Control* ctrl);
+  Status LevelTwoInternal(PageId id, Control* ctrl, AddResult* result);
+  Status AddToTd(Control* ctrl, std::span<const Point> pts);
+  Status ClearTd(Control* ctrl);
+  Status TsReorganizeChildren(Control* ctrl);
+
+  Status CollectSubtree(PageId id, std::vector<Point>* out) const;
+  Status DestroySubtree(PageId id, bool keep_ts);
+  Result<PageId> RebuildSubtree(PageId id);
+
+  Status ReadUpdatePoints(const Control& ctrl, std::vector<Point>* out) const;
+  // Own + update points clipped to [xlo, xhi] x [ylo, inf).
+  Status ReportOwnPoints(const Control& ctrl, Coord xlo, Coord xhi,
+                         Coord ylo, std::vector<Point>* out) const;
+  // Full traversal of a subtree known to lie inside the x-slab.
+  Status ReportSubtree(PageId id, Coord ylo, std::vector<Point>* out) const;
+  Status LeftPath(PageId id, Coord xlo, Coord ylo,
+                  std::vector<Point>* out) const;
+  Status RightPath(PageId id, Coord xhi, Coord ylo,
+                   std::vector<Point>* out) const;
+  // Emits TD-structure + TD-buffer hits matching q that `keep` accepts.
+  Status ReportTd(const Control& ctrl, const ThreeSidedQuery& q,
+                  const std::function<bool(const Point&)>& keep,
+                  std::vector<Point>* out) const;
+
+  Status CheckSubtree(PageId id, Coord* node_ymax_out,
+                      uint64_t* count_out) const;
+
+  Pager* pager_;
+  PageId root_;
+  uint64_t size_;
+  uint32_t branching_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_CORE_AUGMENTED_THREE_SIDED_TREE_H_

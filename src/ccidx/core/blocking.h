@@ -1,0 +1,122 @@
+// Shared on-disk blocking helpers for metablock-tree variants (Fig. 9).
+//
+// Two physical organizations recur throughout Section 3:
+//   * vertically oriented blocking — points sorted by x, B per page, with a
+//     per-block (xlo, xhi, page) index chain, used to report "everything
+//     left of a vertical line" with at most one partially-useful page;
+//   * horizontally oriented blocking — points sorted by descending y in a
+//     page chain, used to scan "from the top down" and stop within one page
+//     of crossing a horizontal boundary.
+
+#ifndef CCIDX_CORE_BLOCKING_H_
+#define CCIDX_CORE_BLOCKING_H_
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "ccidx/core/geometry.h"
+#include "ccidx/io/page_builder.h"
+
+namespace ccidx {
+
+/// Index entry for one vertical block: its points span [xlo, xhi].
+struct VerticalBlock {
+  Coord xlo;
+  Coord xhi;
+  uint64_t page;
+};
+
+/// Result of writing a vertical blocking.
+struct VerticalBlocking {
+  PageId index_head = kInvalidPageId;  // chain of VerticalBlock entries
+  uint32_t num_blocks = 0;
+};
+
+/// Writes `points` (sorted ascending by PointXOrder on entry) as a vertical
+/// blocking. Returns the index-chain head.
+inline Result<VerticalBlocking> WriteVerticalBlocking(
+    Pager* pager, std::span<const Point> sorted_by_x) {
+  PageIo io(pager);
+  const uint32_t cap = io.CapacityFor(sizeof(Point));
+  std::vector<VerticalBlock> index;
+  for (size_t i = 0; i < sorted_by_x.size(); i += cap) {
+    size_t end = std::min(sorted_by_x.size(), i + cap);
+    PageId id = pager->Allocate();
+    CCIDX_RETURN_IF_ERROR(io.WriteRecords<Point>(
+        id, sorted_by_x.subspan(i, end - i)));
+    index.push_back({sorted_by_x[i].x, sorted_by_x[end - 1].x, id});
+  }
+  auto ids = io.WriteChain<VerticalBlock>(index);
+  CCIDX_RETURN_IF_ERROR(ids.status());
+  VerticalBlocking out;
+  out.index_head = ids->empty() ? kInvalidPageId : ids->front();
+  out.num_blocks = static_cast<uint32_t>(index.size());
+  return out;
+}
+
+/// Reads the whole vertical-block index chain.
+inline Status ReadVerticalIndex(Pager* pager, PageId index_head,
+                                std::vector<VerticalBlock>* out) {
+  PageIo io(pager);
+  return io.ReadChain<VerticalBlock>(index_head, out);
+}
+
+/// Frees a vertical blocking: all data pages, then the index chain.
+inline Status FreeVerticalBlocking(Pager* pager, PageId index_head) {
+  std::vector<VerticalBlock> index;
+  CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager, index_head, &index));
+  for (const VerticalBlock& b : index) {
+    CCIDX_RETURN_IF_ERROR(pager->Free(b.page));
+  }
+  PageIo io(pager);
+  if (index_head != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(io.FreeChain(index_head));
+  }
+  return Status::OK();
+}
+
+/// Sorts `points` by descending y and writes them as a page chain.
+/// Returns the chain head (kInvalidPageId for empty input).
+inline Result<PageId> WriteDescYChain(Pager* pager,
+                                      std::vector<Point> points) {
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return PointYOrder()(b, a); });
+  PageIo io(pager);
+  auto ids = io.WriteChain<Point>(points);
+  CCIDX_RETURN_IF_ERROR(ids.status());
+  return ids->empty() ? kInvalidPageId : ids->front();
+}
+
+/// Scans a descending-y chain from the top, invoking `emit` on every point
+/// with y >= ylo, and stops after the first page containing a point with
+/// y < ylo (the "one block of overshoot" the proofs charge for).
+/// Returns true iff the scan crossed below ylo (false = chain exhausted,
+/// i.e. every stored point has y >= ylo).
+inline Result<bool> ScanDescYChainUntil(
+    Pager* pager, PageId head, Coord ylo,
+    const std::function<void(const Point&)>& emit) {
+  PageIo io(pager);
+  std::vector<Point> pts;
+  PageId id = head;
+  while (id != kInvalidPageId) {
+    pts.clear();
+    auto next = io.ReadRecords<Point>(id, &pts);
+    CCIDX_RETURN_IF_ERROR(next.status());
+    bool crossed = false;
+    for (const Point& p : pts) {
+      if (p.y >= ylo) {
+        emit(p);
+      } else {
+        crossed = true;
+      }
+    }
+    if (crossed) return true;
+    id = *next;
+  }
+  return false;
+}
+
+}  // namespace ccidx
+
+#endif  // CCIDX_CORE_BLOCKING_H_

@@ -1,0 +1,260 @@
+#include "ccidx/core/corner_structure.h"
+
+#include <algorithm>
+
+namespace ccidx {
+
+namespace {
+
+// Counts points in the rectangle (xlo, xhi] x [ylo, +inf). Build-time only.
+size_t CountInRegion(const std::vector<Point>& pts, Coord xlo_exclusive,
+                     Coord xhi, Coord ylo) {
+  size_t n = 0;
+  for (const Point& p : pts) {
+    if (p.x > xlo_exclusive && p.x <= xhi && p.y >= ylo) n++;
+  }
+  return n;
+}
+
+// The explicit answer to a diagonal query at (c, c), sorted descending y.
+std::vector<Point> AnswerSet(const std::vector<Point>& pts, Coord c) {
+  std::vector<Point> out;
+  for (const Point& p : pts) {
+    if (p.x <= c && p.y >= c) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Point& a, const Point& b) { return PointYOrder()(b, a); });
+  return out;
+}
+
+}  // namespace
+
+Result<CornerStructure> CornerStructure::Build(Pager* pager,
+                                               std::vector<Point> points) {
+  PageIo io(pager);
+  const uint32_t cap = io.CapacityFor(sizeof(Point));
+
+  std::sort(points.begin(), points.end(), PointXOrder());
+
+  // Vertical blocking: consecutive runs of `cap` points by x.
+  std::vector<VBlockEntry> vblocks;
+  std::vector<std::vector<Point>> vdata;
+  for (size_t i = 0; i < points.size(); i += cap) {
+    size_t end = std::min(points.size(), i + cap);
+    std::vector<Point> blk(points.begin() + i, points.begin() + end);
+    vblocks.push_back({blk.front().x, blk.back().x, kInvalidPageId});
+    vdata.push_back(std::move(blk));
+  }
+  for (size_t i = 0; i < vdata.size(); ++i) {
+    PageId id = pager->Allocate();
+    CCIDX_RETURN_IF_ERROR(io.WriteRecords<Point>(id, vdata[i]));
+    vblocks[i].page = id;
+  }
+
+  // Candidate corners: right boundaries of vertical blocks 0..m-2. The
+  // first C* element is the left boundary of the rightmost block, i.e. the
+  // boundary between blocks m-2 and m-1 — the rightmost candidate.
+  std::vector<CStarEntry> cstar;  // kept in descending x order
+  std::vector<PageId> chains_to_store_heads;
+  if (vblocks.size() >= 2) {
+    auto store = [&](Coord c, uint32_t block_idx) -> Status {
+      std::vector<Point> ans = AnswerSet(points, c);
+      auto ids = io.WriteChain<Point>(ans);
+      CCIDX_RETURN_IF_ERROR(ids.status());
+      PageId head = ids->empty() ? kInvalidPageId : ids->front();
+      cstar.push_back({c, head, block_idx, 0});
+      return Status::OK();
+    };
+    uint32_t first_idx = static_cast<uint32_t>(vblocks.size()) - 2;
+    CCIDX_RETURN_IF_ERROR(store(vblocks[first_idx].xhi, first_idx));
+
+    for (uint32_t i = first_idx; i-- > 0;) {
+      Coord c = vblocks[i].xhi;        // candidate c_i (moving down-left)
+      Coord cj = cstar.back().x;       // last stored corner (up-right)
+      if (c == cj) continue;           // duplicate boundary (x ties)
+      // Sets of Fig. 12, as counts:
+      //   Omega  = { x <= c,      y >= cj }          (shared output)
+      //   Delta+ = { x <= c, c <= y <  cj }          (new, below cj)
+      //   Delta- = { c <  x <= cj, y >= cj }         (stored, right of c)
+      size_t omega = CountInRegion(points, kCoordMin, c, cj);
+      size_t delta_plus = 0;
+      for (const Point& p : points) {
+        if (p.x <= c && p.y >= c && p.y < cj) delta_plus++;
+      }
+      size_t delta_minus = CountInRegion(points, c, cj, cj);
+      size_t s_i = omega + delta_plus;
+      if (delta_minus + delta_plus > s_i) {
+        CCIDX_RETURN_IF_ERROR(store(c, i));
+      }
+    }
+  }
+
+  // Persist the two index chains and the header.
+  auto vindex = io.WriteChain<VBlockEntry>(vblocks);
+  CCIDX_RETURN_IF_ERROR(vindex.status());
+  auto cindex = io.WriteChain<CStarEntry>(cstar);
+  CCIDX_RETURN_IF_ERROR(cindex.status());
+
+  PageId header = pager->Allocate();
+  std::vector<uint8_t> buf(pager->page_size());
+  PageWriter w(buf);
+  Header h{static_cast<uint32_t>(vblocks.size()),
+           static_cast<uint32_t>(cstar.size()),
+           vindex->empty() ? kInvalidPageId : vindex->front(),
+           cindex->empty() ? kInvalidPageId : cindex->front()};
+  w.Put(h);
+  CCIDX_RETURN_IF_ERROR(pager->Write(header, buf));
+  return CornerStructure(pager, header);
+}
+
+CornerStructure CornerStructure::Open(Pager* pager, PageId header) {
+  return CornerStructure(pager, header);
+}
+
+Status CornerStructure::LoadIndexes(std::vector<VBlockEntry>* vblocks,
+                                    std::vector<CStarEntry>* cstar) const {
+  std::vector<uint8_t> buf(pager_->page_size());
+  CCIDX_RETURN_IF_ERROR(pager_->Read(header_, buf));
+  PageReader r(buf);
+  Header h = r.Get<Header>();
+  PageIo io(pager_);
+  CCIDX_RETURN_IF_ERROR(io.ReadChain<VBlockEntry>(h.vindex_head, vblocks));
+  CCIDX_RETURN_IF_ERROR(io.ReadChain<CStarEntry>(h.cstar_head, cstar));
+  CCIDX_CHECK(vblocks->size() == h.num_vblocks);
+  CCIDX_CHECK(cstar->size() == h.num_cstar);
+  return Status::OK();
+}
+
+Status CornerStructure::Query(Coord a, std::vector<Point>* out) const {
+  std::vector<VBlockEntry> vblocks;
+  std::vector<CStarEntry> cstar;
+  CCIDX_RETURN_IF_ERROR(LoadIndexes(&vblocks, &cstar));
+  if (vblocks.empty()) return Status::OK();
+
+  // Largest stored corner <= a (cstar is in descending x order).
+  const CStarEntry* clo = nullptr;
+  for (const CStarEntry& e : cstar) {
+    if (e.x <= a) {
+      clo = &e;
+      break;
+    }
+  }
+
+  PageIo io(pager_);
+  std::vector<Point> page_points;
+
+  // Phase 1: the explicit answer at clo covers { x <= clo->x, y >= clo->x };
+  // read its descending-y chain until we pass below the query bottom y = a.
+  Coord x_covered = kCoordMin;  // phase 2 must report only x > x_covered
+  if (clo != nullptr) {
+    x_covered = clo->x;
+    PageId id = clo->head;
+    while (id != kInvalidPageId) {
+      page_points.clear();
+      auto next = io.ReadRecords<Point>(id, &page_points);
+      CCIDX_RETURN_IF_ERROR(next.status());
+      bool crossed = false;
+      for (const Point& p : page_points) {
+        if (p.y >= a) {
+          out->push_back(p);
+        } else {
+          crossed = true;
+        }
+      }
+      if (crossed) break;
+      id = *next;
+    }
+  }
+
+  // Phase 2: vertical blocks covering x in (x_covered, a].
+  size_t begin = (clo != nullptr) ? clo->block_idx + 1 : 0;
+  for (size_t i = begin; i < vblocks.size() && vblocks[i].xlo <= a; ++i) {
+    page_points.clear();
+    auto next = io.ReadRecords<Point>(vblocks[i].page, &page_points);
+    CCIDX_RETURN_IF_ERROR(next.status());
+    for (const Point& p : page_points) {
+      if (p.x > x_covered && p.x <= a && p.y >= a) out->push_back(p);
+    }
+  }
+  return Status::OK();
+}
+
+Status CornerStructure::CollectPoints(std::vector<Point>* out) const {
+  std::vector<VBlockEntry> vblocks;
+  std::vector<CStarEntry> cstar;
+  CCIDX_RETURN_IF_ERROR(LoadIndexes(&vblocks, &cstar));
+  PageIo io(pager_);
+  for (const VBlockEntry& v : vblocks) {
+    auto next = io.ReadRecords<Point>(v.page, out);
+    CCIDX_RETURN_IF_ERROR(next.status());
+  }
+  return Status::OK();
+}
+
+Status CornerStructure::Free() {
+  std::vector<VBlockEntry> vblocks;
+  std::vector<CStarEntry> cstar;
+  CCIDX_RETURN_IF_ERROR(LoadIndexes(&vblocks, &cstar));
+  PageIo io(pager_);
+  for (const VBlockEntry& v : vblocks) {
+    CCIDX_RETURN_IF_ERROR(pager_->Free(v.page));
+  }
+  for (const CStarEntry& c : cstar) {
+    if (c.head != kInvalidPageId) {
+      CCIDX_RETURN_IF_ERROR(io.FreeChain(c.head));
+    }
+  }
+  std::vector<uint8_t> buf(pager_->page_size());
+  CCIDX_RETURN_IF_ERROR(pager_->Read(header_, buf));
+  PageReader r(buf);
+  Header h = r.Get<Header>();
+  if (h.vindex_head != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(io.FreeChain(h.vindex_head));
+  }
+  if (h.cstar_head != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(io.FreeChain(h.cstar_head));
+  }
+  return pager_->Free(header_);
+}
+
+Result<uint64_t> CornerStructure::CountPages() const {
+  std::vector<VBlockEntry> vblocks;
+  std::vector<CStarEntry> cstar;
+  CCIDX_RETURN_IF_ERROR(LoadIndexes(&vblocks, &cstar));
+  PageIo io(pager_);
+  uint64_t pages = 1;  // header
+  pages += vblocks.size();
+  std::vector<uint8_t> buf(pager_->page_size());
+  CCIDX_RETURN_IF_ERROR(pager_->Read(header_, buf));
+  PageReader r(buf);
+  Header h = r.Get<Header>();
+  // Index chain lengths.
+  for (PageId id : {static_cast<PageId>(h.vindex_head),
+                    static_cast<PageId>(h.cstar_head)}) {
+    while (id != kInvalidPageId) {
+      pages++;
+      std::vector<uint8_t> page(pager_->page_size());
+      CCIDX_RETURN_IF_ERROR(pager_->Read(id, page));
+      PageReader pr(page);
+      pr.Get<uint32_t>();
+      pr.Get<uint32_t>();
+      id = pr.Get<uint64_t>();
+    }
+  }
+  // Explicit answer chains.
+  for (const CStarEntry& c : cstar) {
+    PageId id = c.head;
+    while (id != kInvalidPageId) {
+      pages++;
+      std::vector<uint8_t> page(pager_->page_size());
+      CCIDX_RETURN_IF_ERROR(pager_->Read(id, page));
+      PageReader pr(page);
+      pr.Get<uint32_t>();
+      pr.Get<uint32_t>();
+      id = pr.Get<uint64_t>();
+    }
+  }
+  return pages;
+}
+
+}  // namespace ccidx

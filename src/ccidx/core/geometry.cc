@@ -1,0 +1,24 @@
+#include "ccidx/core/geometry.h"
+
+namespace ccidx {
+
+std::string DiagonalQuery::ToString() const {
+  return "Diagonal(a=" + std::to_string(a) + ")";
+}
+
+std::string TwoSidedQuery::ToString() const {
+  return "TwoSided(x<=" + std::to_string(xc) + ", y>=" + std::to_string(yc) +
+         ")";
+}
+
+std::string ThreeSidedQuery::ToString() const {
+  return "ThreeSided(" + std::to_string(xlo) + "<=x<=" + std::to_string(xhi) +
+         ", y>=" + std::to_string(ylo) + ")";
+}
+
+std::string RangeQuery2D::ToString() const {
+  return "Range([" + std::to_string(xlo) + "," + std::to_string(xhi) + "]x[" +
+         std::to_string(ylo) + "," + std::to_string(yhi) + "])";
+}
+
+}  // namespace ccidx

@@ -1,0 +1,419 @@
+#include "ccidx/core/metablock_tree.h"
+
+#include <algorithm>
+
+namespace ccidx {
+
+namespace {
+
+// Descending-y comparator (PointYOrder reversed).
+bool DescY(const Point& a, const Point& b) { return PointYOrder()(b, a); }
+
+}  // namespace
+
+Status MetablockTree::WriteControl(Pager* pager, PageId id,
+                                   const Control& c) {
+  std::vector<uint8_t> buf(pager->page_size());
+  PageWriter w(buf);
+  w.Put(c);
+  return pager->Write(id, buf);
+}
+
+Status MetablockTree::LoadControl(PageId id, Control* c) const {
+  std::vector<uint8_t> buf(pager_->page_size());
+  CCIDX_RETURN_IF_ERROR(pager_->Read(id, buf));
+  PageReader r(buf);
+  *c = r.Get<Control>();
+  return Status::OK();
+}
+
+Result<MetablockTree::BuiltNode> MetablockTree::BuildNode(
+    Pager* pager, std::vector<Point> group, uint32_t branching,
+    const MetablockOptions& options) {
+  const uint32_t b2 = branching * branching;
+  CCIDX_CHECK(!group.empty());
+
+  BuiltNode node;
+  node.control_page = pager->Allocate();
+  Control& ctrl = node.ctrl;
+  ctrl = Control{};
+  ctrl.children_head = kInvalidPageId;
+  ctrl.vindex_head = kInvalidPageId;
+  ctrl.horiz_head = kInvalidPageId;
+  ctrl.ts_head = kInvalidPageId;
+  ctrl.corner_header = kInvalidPageId;
+  ctrl.sub_xlo = group.front().x;
+  ctrl.sub_xhi = group.back().x;
+
+  std::vector<Point> own;
+  if (group.size() <= b2) {
+    own = std::move(group);
+  } else {
+    // The B^2 points with the largest y values stay here; the rest are
+    // divided by x into `branching` groups, one child each (Fig. 8).
+    std::vector<Point> by_y = group;
+    std::sort(by_y.begin(), by_y.end(), DescY);
+    const Point cutoff = by_y[b2 - 1];  // smallest y kept in this metablock
+    own.assign(by_y.begin(), by_y.begin() + b2);
+    std::vector<Point> rest;
+    rest.reserve(group.size() - b2);
+    for (const Point& p : group) {  // preserves x order
+      // In `own` iff p >= cutoff in descending-y order.
+      if (PointYOrder()(p, cutoff)) rest.push_back(p);
+    }
+    CCIDX_CHECK(rest.size() == group.size() - b2);
+
+    std::vector<ChildEntry> child_entries;
+    std::vector<Point> left_union;  // own points of left siblings so far
+    size_t taken = 0;
+    for (uint32_t i = 0; i < branching && taken < rest.size(); ++i) {
+      size_t want = (rest.size() - taken) / (branching - i);
+      if (want == 0) continue;
+      std::vector<Point> sub(rest.begin() + taken,
+                             rest.begin() + taken + want);
+      taken += want;
+      auto child = BuildNode(pager, std::move(sub), branching, options);
+      CCIDX_RETURN_IF_ERROR(child.status());
+
+      // TS(child) = the B^2 highest-y points stored in its left siblings.
+      if (options.use_ts_structures && !left_union.empty()) {
+        std::vector<Point> ts = left_union;
+        std::sort(ts.begin(), ts.end(), DescY);
+        if (ts.size() > b2) ts.resize(b2);
+        auto head = WriteDescYChain(pager, std::move(ts));
+        CCIDX_RETURN_IF_ERROR(head.status());
+        child->ctrl.ts_head = *head;
+      }
+      CCIDX_RETURN_IF_ERROR(
+          WriteControl(pager, child->control_page, child->ctrl));
+      child_entries.push_back({child->ctrl.sub_xlo, child->ctrl.bbox_ymax,
+                               child->control_page});
+      left_union.insert(left_union.end(), child->own_points.begin(),
+                        child->own_points.end());
+    }
+    PageIo io(pager);
+    auto ids = io.WriteChain<ChildEntry>(child_entries);
+    CCIDX_RETURN_IF_ERROR(ids.status());
+    ctrl.children_head = ids->empty() ? kInvalidPageId : ids->front();
+    ctrl.num_children = static_cast<uint32_t>(child_entries.size());
+  }
+
+  // Own-point organizations: bbox, vertical and horizontal blockings, and
+  // a corner structure when the diagonal crosses the bbox.
+  ctrl.num_points = static_cast<uint32_t>(own.size());
+  ctrl.bbox_xmin = ctrl.bbox_ymin = kCoordMax;
+  ctrl.bbox_xmax = ctrl.bbox_ymax = kCoordMin;
+  for (const Point& p : own) {
+    ctrl.bbox_xmin = std::min(ctrl.bbox_xmin, p.x);
+    ctrl.bbox_xmax = std::max(ctrl.bbox_xmax, p.x);
+    ctrl.bbox_ymin = std::min(ctrl.bbox_ymin, p.y);
+    ctrl.bbox_ymax = std::max(ctrl.bbox_ymax, p.y);
+  }
+  std::sort(own.begin(), own.end(), PointXOrder());
+  auto vb = WriteVerticalBlocking(pager, own);
+  CCIDX_RETURN_IF_ERROR(vb.status());
+  ctrl.vindex_head = vb->index_head;
+  auto horiz = WriteDescYChain(pager, own);
+  CCIDX_RETURN_IF_ERROR(horiz.status());
+  ctrl.horiz_head = *horiz;
+  if (options.use_corner_structures && ctrl.bbox_ymin <= ctrl.bbox_xmax) {
+    auto corner = CornerStructure::Build(pager, own);
+    CCIDX_RETURN_IF_ERROR(corner.status());
+    ctrl.corner_header = corner->header();
+  }
+  node.own_points = std::move(own);
+  return node;
+}
+
+Result<MetablockTree> MetablockTree::Build(Pager* pager,
+                                           std::vector<Point> points,
+                                           const MetablockOptions& options) {
+  PageIo io(pager);
+  const uint32_t branching = io.CapacityFor(sizeof(Point));
+  if (branching < 2) {
+    return Status::InvalidArgument("page size too small for metablock tree");
+  }
+  for (const Point& p : points) {
+    if (p.y < p.x) {
+      return Status::InvalidArgument(
+          "metablock tree requires points with y >= x");
+    }
+  }
+  if (points.empty()) {
+    return MetablockTree(pager, kInvalidPageId, 0, branching, options);
+  }
+  uint64_t n = points.size();
+  std::sort(points.begin(), points.end(), PointXOrder());
+  auto root = BuildNode(pager, std::move(points), branching, options);
+  CCIDX_RETURN_IF_ERROR(root.status());
+  CCIDX_RETURN_IF_ERROR(
+      WriteControl(pager, root->control_page, root->ctrl));
+  return MetablockTree(pager, root->control_page, n, branching, options);
+}
+
+Status MetablockTree::ReportOwnPoints(const Control& ctrl, Coord a,
+                                      std::vector<Point>* out) const {
+  if (ctrl.num_points == 0) return Status::OK();
+  if (ctrl.bbox_xmin > a || ctrl.bbox_ymax < a) return Status::OK();
+  const bool x_all = ctrl.bbox_xmax <= a;  // every own point has x <= a
+  const bool y_all = ctrl.bbox_ymin >= a;  // every own point has y >= a
+  PageIo io(pager_);
+
+  if (x_all && y_all) {
+    // Type III: the whole metablock is output; read the horizontal chain.
+    return io.ReadChain<Point>(ctrl.horiz_head, out);
+  }
+  if (y_all) {
+    // Type I: only the vertical boundary x = a cuts the region. Scan
+    // vertical blocks left of a; at most one is partially useful.
+    std::vector<VerticalBlock> index;
+    CCIDX_RETURN_IF_ERROR(
+        ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
+    std::vector<Point> pts;
+    for (const VerticalBlock& blk : index) {
+      if (blk.xlo > a) break;
+      pts.clear();
+      auto next = io.ReadRecords<Point>(blk.page, &pts);
+      CCIDX_RETURN_IF_ERROR(next.status());
+      for (const Point& p : pts) {
+        if (p.x <= a) out->push_back(p);
+      }
+    }
+    return Status::OK();
+  }
+  if (x_all) {
+    // Type IV: only the horizontal boundary y = a cuts the region. Scan
+    // the descending-y chain until we cross below a.
+    auto crossed = ScanDescYChainUntil(
+        pager_, ctrl.horiz_head, a,
+        [out](const Point& p) { out->push_back(p); });
+    return crossed.status();
+  }
+  // Type II: the corner (a, a) lies inside the bbox; by construction the
+  // diagonal crosses this bbox, so the corner structure exists — unless it
+  // was ablated away, in which case we pay the fallback the lemma saves us
+  // from: scan every vertical block left of the corner and filter.
+  if (ctrl.corner_header == kInvalidPageId) {
+    std::vector<VerticalBlock> index;
+    CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
+    std::vector<Point> pts;
+    for (const VerticalBlock& blk : index) {
+      if (blk.xlo > a) break;
+      pts.clear();
+      auto next = io.ReadRecords<Point>(blk.page, &pts);
+      CCIDX_RETURN_IF_ERROR(next.status());
+      for (const Point& p : pts) {
+        if (p.x <= a && p.y >= a) out->push_back(p);
+      }
+    }
+    return Status::OK();
+  }
+  CornerStructure corner = CornerStructure::Open(pager_, ctrl.corner_header);
+  return corner.Query(a, out);
+}
+
+Status MetablockTree::ReportSubtree(PageId control_id, Coord a,
+                                    std::vector<Point>* out) const {
+  Control ctrl;
+  CCIDX_RETURN_IF_ERROR(LoadControl(control_id, &ctrl));
+  if (ctrl.bbox_ymax < a && ctrl.num_points > 0) return Status::OK();
+  // Subtree x-interval is at or left of a (caller invariant), so every
+  // point here with y >= a is output. Top-down scan; if it exhausts the
+  // chain (all own points inside — Type III), descendants may qualify too.
+  auto crossed = ScanDescYChainUntil(
+      pager_, ctrl.horiz_head, a, [out](const Point& p) { out->push_back(p); });
+  CCIDX_RETURN_IF_ERROR(crossed.status());
+  if (*crossed || ctrl.num_children == 0) return Status::OK();
+  PageIo io(pager_);
+  std::vector<ChildEntry> children;
+  CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
+                                                 &children));
+  for (const ChildEntry& c : children) {
+    if (c.ymax >= a) {
+      CCIDX_RETURN_IF_ERROR(ReportSubtree(c.control, a, out));
+    }
+  }
+  return Status::OK();
+}
+
+Status MetablockTree::Query(const DiagonalQuery& q, std::vector<Point>* out)
+    const {
+  if (root_ == kInvalidPageId) return Status::OK();
+  const Coord a = q.a;
+  PageIo io(pager_);
+
+  Control ctrl;
+  CCIDX_RETURN_IF_ERROR(LoadControl(root_, &ctrl));
+  while (true) {
+    CCIDX_RETURN_IF_ERROR(ReportOwnPoints(ctrl, a, out));
+    if (ctrl.num_children == 0) return Status::OK();
+
+    std::vector<ChildEntry> children;
+    CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
+                                                   &children));
+    // Corner path: the last child whose subtree starts at or left of a.
+    size_t j = children.size();
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i].sub_xlo <= a) j = i;
+    }
+    if (j == children.size()) return Status::OK();  // all children right of a
+
+    Control next_ctrl;
+    CCIDX_RETURN_IF_ERROR(LoadControl(children[j].control, &next_ctrl));
+
+    if (j > 0) {
+      // Left siblings of the corner-path child, via TS (Fig. 17): read
+      // TS(c_j) top-down. If the scan crosses y = a, TS contained every
+      // qualifying sibling point and no sibling subtree can qualify. If it
+      // is exhausted, the siblings hold >= B^2 output (or TS held all
+      // sibling points), and we can afford to visit each one.
+      std::vector<Point> ts_hits;
+      auto crossed = ScanDescYChainUntil(
+          pager_, next_ctrl.ts_head, a,
+          [&ts_hits](const Point& p) { ts_hits.push_back(p); });
+      CCIDX_RETURN_IF_ERROR(crossed.status());
+      if (*crossed) {
+        out->insert(out->end(), ts_hits.begin(), ts_hits.end());
+      } else {
+        // Discard TS hits (siblings re-report them) and visit each left
+        // sibling subtree individually.
+        for (size_t i = 0; i < j; ++i) {
+          if (children[i].ymax >= a) {
+            CCIDX_RETURN_IF_ERROR(
+                ReportSubtree(children[i].control, a, out));
+          }
+        }
+      }
+    }
+
+    if (children[j].ymax < a) return Status::OK();  // subtree below query
+    ctrl = next_ctrl;
+  }
+}
+
+Status MetablockTree::DestroySubtree(PageId control_id) {
+  Control ctrl;
+  CCIDX_RETURN_IF_ERROR(LoadControl(control_id, &ctrl));
+  PageIo io(pager_);
+  CCIDX_RETURN_IF_ERROR(FreeVerticalBlocking(pager_, ctrl.vindex_head));
+  if (ctrl.horiz_head != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(io.FreeChain(ctrl.horiz_head));
+  }
+  if (ctrl.ts_head != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(io.FreeChain(ctrl.ts_head));
+  }
+  if (ctrl.corner_header != kInvalidPageId) {
+    CornerStructure corner = CornerStructure::Open(pager_,
+                                                   ctrl.corner_header);
+    CCIDX_RETURN_IF_ERROR(corner.Free());
+  }
+  if (ctrl.children_head != kInvalidPageId) {
+    std::vector<ChildEntry> children;
+    CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
+                                                   &children));
+    for (const ChildEntry& c : children) {
+      CCIDX_RETURN_IF_ERROR(DestroySubtree(c.control));
+    }
+    CCIDX_RETURN_IF_ERROR(io.FreeChain(ctrl.children_head));
+  }
+  return pager_->Free(control_id);
+}
+
+Status MetablockTree::Destroy() {
+  if (root_ == kInvalidPageId) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(DestroySubtree(root_));
+  root_ = kInvalidPageId;
+  size_ = 0;
+  return Status::OK();
+}
+
+Status MetablockTree::CheckSubtree(PageId control_id, Coord parent_min_y,
+                                   bool is_root) const {
+  Control ctrl;
+  CCIDX_RETURN_IF_ERROR(LoadControl(control_id, &ctrl));
+  PageIo io(pager_);
+
+  std::vector<Point> own;
+  CCIDX_RETURN_IF_ERROR(io.ReadChain<Point>(ctrl.horiz_head, &own));
+  if (own.size() != ctrl.num_points) {
+    return Status::Corruption("metablock point count mismatch");
+  }
+  const uint32_t b2 = branching_ * branching_;
+  if (ctrl.num_children > 0 && ctrl.num_points != b2) {
+    return Status::Corruption("internal metablock must hold exactly B^2");
+  }
+  if (ctrl.num_points > 2 * b2) {
+    return Status::Corruption("metablock exceeds capacity");
+  }
+  for (const Point& p : own) {
+    if (p.x < ctrl.bbox_xmin || p.x > ctrl.bbox_xmax ||
+        p.y < ctrl.bbox_ymin || p.y > ctrl.bbox_ymax) {
+      return Status::Corruption("point outside recorded bbox");
+    }
+    if (p.x < ctrl.sub_xlo || p.x > ctrl.sub_xhi) {
+      return Status::Corruption("point outside subtree x-interval");
+    }
+    if (!is_root && p.y > parent_min_y) {
+      return Status::Corruption("descendant above parent metablock");
+    }
+  }
+  // Horizontal chain must be in descending-y order.
+  if (!std::is_sorted(own.begin(), own.end(), DescY)) {
+    return Status::Corruption("horizontal chain not descending by y");
+  }
+  // Vertical blocking must hold the same multiset, ascending by x.
+  std::vector<VerticalBlock> index;
+  CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
+  std::vector<Point> vpoints;
+  for (const VerticalBlock& blk : index) {
+    std::vector<Point> pts;
+    auto next = io.ReadRecords<Point>(blk.page, &pts);
+    CCIDX_RETURN_IF_ERROR(next.status());
+    for (const Point& p : pts) {
+      if (p.x < blk.xlo || p.x > blk.xhi) {
+        return Status::Corruption("vertical block range mismatch");
+      }
+    }
+    vpoints.insert(vpoints.end(), pts.begin(), pts.end());
+  }
+  if (!std::is_sorted(vpoints.begin(), vpoints.end(), PointXOrder())) {
+    return Status::Corruption("vertical blocking not ascending by x");
+  }
+  std::vector<Point> hsorted = own;
+  std::sort(hsorted.begin(), hsorted.end(), PointXOrder());
+  if (hsorted != vpoints) {
+    return Status::Corruption("vertical / horizontal blockings disagree");
+  }
+  // Corner structure must exist iff enabled and the diagonal crosses the
+  // bbox.
+  bool diagonal_crosses = options_.use_corner_structures &&
+                          ctrl.num_points > 0 &&
+                          ctrl.bbox_ymin <= ctrl.bbox_xmax;
+  if (diagonal_crosses != (ctrl.corner_header != kInvalidPageId)) {
+    return Status::Corruption("corner structure presence mismatch");
+  }
+
+  if (ctrl.num_children > 0) {
+    std::vector<ChildEntry> children;
+    CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
+                                                   &children));
+    if (children.size() != ctrl.num_children) {
+      return Status::Corruption("children count mismatch");
+    }
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0 && children[i].sub_xlo < children[i - 1].sub_xlo) {
+        return Status::Corruption("children not ordered by x");
+      }
+      CCIDX_RETURN_IF_ERROR(
+          CheckSubtree(children[i].control, ctrl.bbox_ymin, false));
+    }
+  }
+  return Status::OK();
+}
+
+Status MetablockTree::CheckInvariants() const {
+  if (root_ == kInvalidPageId) return Status::OK();
+  return CheckSubtree(root_, kCoordMax, true);
+}
+
+}  // namespace ccidx

@@ -1,0 +1,159 @@
+// MetablockTree: the paper's core contribution (Section 3.1).
+//
+// A static, I/O-optimal structure for diagonal corner queries on n points
+// in the region y >= x:
+//   * space O(n/B) pages,
+//   * query O(log_B n + t/B) I/Os (Theorem 3.2),
+// matching the lower bound of Proposition 3.3.
+//
+// Shape (Fig. 8): a B-ary tree of metablocks. The root metablock holds the
+// B^2 points with the largest y values; the remaining points are divided by
+// x into B groups, each built recursively. Every metablock stores its
+// points twice — vertically blocked (by x) and horizontally blocked (by
+// descending y) — plus, when the diagonal crosses its bounding box, a
+// CornerStructure (Lemma 3.1). Each non-leftmost child c also carries
+// TS(c): the B^2 highest-y points among the points *stored in* its left
+// siblings (Fig. 10), which lets a query either read all left-sibling
+// output from TS in output-dense pages, or prove there are >= B^2 results
+// and afford visiting each sibling individually (Fig. 17).
+//
+// The query walks the "corner path" — the one metablock per level whose
+// subtree x-interval contains the anchor a — classifying every touched
+// metablock as Type I-IV (Fig. 16) and handling it per the proof of
+// Theorem 3.2.
+//
+// The page size of the pager determines B: B = points per page.
+
+#ifndef CCIDX_CORE_METABLOCK_TREE_H_
+#define CCIDX_CORE_METABLOCK_TREE_H_
+
+#include <vector>
+
+#include "ccidx/core/blocking.h"
+#include "ccidx/core/corner_structure.h"
+#include "ccidx/core/geometry.h"
+#include "ccidx/io/pager.h"
+
+namespace ccidx {
+
+/// Returns the device page size that yields `b` points per page.
+inline uint32_t PageSizeForBranching(uint32_t b) {
+  return PageIo::kHeaderSize + b * static_cast<uint32_t>(sizeof(Point));
+}
+
+/// Ablation switches (experiment EA, bench_ablation): disable individual
+/// side structures to measure what each contributes to Theorem 3.2.
+struct MetablockOptions {
+  /// Lemma 3.1 corner structures. When off, a Type II metablock falls back
+  /// to scanning its vertical blocking left of the corner — every block
+  /// left of a is read even if it holds no output.
+  bool use_corner_structures = true;
+  /// TS structures (Figs. 10/17). When off, the left siblings of the
+  /// corner-path child are always visited individually — up to B control +
+  /// data page reads per level with no output to charge them to.
+  bool use_ts_structures = true;
+};
+
+/// Static metablock tree (Section 3.1). Build once, query many times; for
+/// insertions use AugmentedMetablockTree (Section 3.2).
+class MetablockTree {
+ public:
+  /// Builds over `points`; every point must satisfy y >= x.
+  /// Space O(n/B) pages; build work is in-core.
+  static Result<MetablockTree> Build(Pager* pager, std::vector<Point> points,
+                                     const MetablockOptions& options = {});
+
+  /// Appends all points with x <= q.a and y >= q.a to `out`.
+  /// O(log_B n + t/B) I/Os (Theorem 3.2).
+  Status Query(const DiagonalQuery& q, std::vector<Point>* out) const;
+
+  /// Number of indexed points.
+  uint64_t size() const { return size_; }
+
+  /// B: points per page (the branching factor).
+  uint32_t branching() const { return branching_; }
+
+  /// B^2: capacity of one metablock.
+  uint32_t metablock_capacity() const { return branching_ * branching_; }
+
+  /// Frees all pages.
+  Status Destroy();
+
+  /// Structural checks: every metablock's own points within its recorded
+  /// bbox, children partition the subtree x-interval, metablock sizes
+  /// within capacity, descendants' y below the metablock's min y.
+  Status CheckInvariants() const;
+
+ private:
+  friend class AugmentedMetablockTree;
+
+  // On-page control record for one metablock. One control page per
+  // metablock ("a constant number of disk blocks per metablock to store
+  // control information", Thm. 3.2 proof).
+  struct Control {
+    uint32_t num_points;
+    uint32_t num_children;
+    Coord bbox_xmin, bbox_xmax, bbox_ymin, bbox_ymax;  // of own points
+    Coord sub_xlo, sub_xhi;                            // subtree x-interval
+    uint64_t children_head;   // chain of ChildEntry
+    uint64_t vindex_head;     // vertical blocking index chain
+    uint64_t horiz_head;      // descending-y chain of own points
+    uint64_t ts_head;         // TS(this): desc-y chain (kInvalid at root /
+                              // leftmost children)
+    uint64_t corner_header;   // CornerStructure (kInvalid if not built)
+  };
+
+  struct ChildEntry {
+    Coord sub_xlo;   // first x of the child's group
+    Coord ymax;      // max y among the child metablock's own points
+    uint64_t control;
+  };
+
+  // In-memory result of building one node, before its control page (which
+  // must wait for the parent to attach TS) is written.
+  struct BuiltNode {
+    Control ctrl;
+    std::vector<Point> own_points;  // for the parent's TS construction
+    PageId control_page;            // pre-allocated
+  };
+
+  MetablockTree(Pager* pager, PageId root, uint64_t size, uint32_t branching,
+                const MetablockOptions& options)
+      : pager_(pager),
+        root_(root),
+        size_(size),
+        branching_(branching),
+        options_(options) {}
+
+  static Result<BuiltNode> BuildNode(Pager* pager,
+                                     std::vector<Point> group_sorted_by_x,
+                                     uint32_t branching,
+                                     const MetablockOptions& options);
+  static Status WriteControl(Pager* pager, PageId id, const Control& c);
+  Status LoadControl(PageId id, Control* c) const;
+
+  // Reports this metablock's own points that fall in the query, per its
+  // Type I-IV classification.
+  Status ReportOwnPoints(const Control& ctrl, Coord a,
+                         std::vector<Point>* out) const;
+
+  // Reports the entire subtree rooted at `control_id`, whose x-interval is
+  // known to lie at or left of a: a top-down descending-y scan per node,
+  // recursing only below fully-inside (Type III) metablocks.
+  Status ReportSubtree(PageId control_id, Coord a,
+                       std::vector<Point>* out) const;
+
+  Status DestroySubtree(PageId control_id);
+  Status CheckSubtree(PageId control_id, Coord parent_min_y,
+                      bool is_root) const;
+
+  Pager* pager_;
+  PageId root_;
+  uint64_t size_;
+  uint32_t branching_;
+  MetablockOptions options_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_CORE_METABLOCK_TREE_H_

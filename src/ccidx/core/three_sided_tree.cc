@@ -1,0 +1,511 @@
+#include "ccidx/core/three_sided_tree.h"
+
+#include <algorithm>
+
+namespace ccidx {
+
+namespace {
+
+bool DescY(const Point& a, const Point& b) { return PointYOrder()(b, a); }
+
+// Top-k of `pts` by descending y, written as a chain. Empty -> kInvalid.
+Result<PageId> WriteTopK(Pager* pager, std::vector<Point> pts, size_t k) {
+  std::sort(pts.begin(), pts.end(), DescY);
+  if (pts.size() > k) pts.resize(k);
+  return WriteDescYChain(pager, std::move(pts));
+}
+
+}  // namespace
+
+Status ThreeSidedTree::WriteControl(Pager* pager, PageId id,
+                                    const Control& c) {
+  std::vector<uint8_t> buf(pager->page_size());
+  PageWriter w(buf);
+  w.Put(c);
+  return pager->Write(id, buf);
+}
+
+Status ThreeSidedTree::LoadControl(PageId id, Control* c) const {
+  std::vector<uint8_t> buf(pager_->page_size());
+  CCIDX_RETURN_IF_ERROR(pager_->Read(id, buf));
+  PageReader r(buf);
+  *c = r.Get<Control>();
+  return Status::OK();
+}
+
+Result<ThreeSidedTree::BuiltNode> ThreeSidedTree::BuildNode(
+    Pager* pager, std::vector<Point> group, uint32_t branching) {
+  const uint32_t b2 = branching * branching;
+  CCIDX_CHECK(!group.empty());
+  PageIo io(pager);
+
+  BuiltNode node;
+  node.control_page = pager->Allocate();
+  Control& ctrl = node.ctrl;
+  ctrl = Control{};
+  ctrl.children_head = kInvalidPageId;
+  ctrl.vindex_head = kInvalidPageId;
+  ctrl.horiz_head = kInvalidPageId;
+  ctrl.ts_left_head = kInvalidPageId;
+  ctrl.ts_right_head = kInvalidPageId;
+  ctrl.own_pst_root = kInvalidPageId;
+  ctrl.children_pst_root = kInvalidPageId;
+  ctrl.sub_xlo = group.front().x;
+  ctrl.sub_xhi = group.back().x;
+
+  std::vector<Point> own;
+  if (group.size() <= b2) {
+    own = std::move(group);
+  } else {
+    std::vector<Point> by_y = group;
+    std::sort(by_y.begin(), by_y.end(), DescY);
+    const Point cutoff = by_y[b2 - 1];
+    own.assign(by_y.begin(), by_y.begin() + b2);
+    std::vector<Point> rest;
+    rest.reserve(group.size() - b2);
+    for (const Point& p : group) {
+      if (PointYOrder()(p, cutoff)) rest.push_back(p);
+    }
+
+    // Build all children first; TS structures need both directions.
+    std::vector<BuiltNode> children;
+    size_t taken = 0;
+    for (uint32_t i = 0; i < branching && taken < rest.size(); ++i) {
+      size_t want = (rest.size() - taken) / (branching - i);
+      if (want == 0) continue;
+      std::vector<Point> sub(rest.begin() + taken,
+                             rest.begin() + taken + want);
+      taken += want;
+      auto child = BuildNode(pager, std::move(sub), branching);
+      CCIDX_RETURN_IF_ERROR(child.status());
+      children.push_back(std::move(*child));
+    }
+
+    // TS-left from prefix unions, TS-right from suffix unions.
+    std::vector<Point> acc;
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (!acc.empty()) {
+        auto head = WriteTopK(pager, acc, b2);
+        CCIDX_RETURN_IF_ERROR(head.status());
+        children[i].ctrl.ts_left_head = *head;
+      }
+      acc.insert(acc.end(), children[i].own_points.begin(),
+                 children[i].own_points.end());
+    }
+    // `acc` now holds the union of all children's points: the case-(4)
+    // structure for the children of this metablock (<= B^3 points).
+    {
+      auto pst = ExternalPst::Build(pager, acc);
+      CCIDX_RETURN_IF_ERROR(pst.status());
+      ctrl.children_pst_root = pst->root();
+    }
+    std::vector<Point> suffix;
+    for (size_t i = children.size(); i-- > 0;) {
+      if (!suffix.empty()) {
+        auto head = WriteTopK(pager, suffix, b2);
+        CCIDX_RETURN_IF_ERROR(head.status());
+        children[i].ctrl.ts_right_head = *head;
+      }
+      suffix.insert(suffix.end(), children[i].own_points.begin(),
+                    children[i].own_points.end());
+    }
+
+    std::vector<ChildEntry> entries;
+    for (BuiltNode& child : children) {
+      CCIDX_RETURN_IF_ERROR(
+          WriteControl(pager, child.control_page, child.ctrl));
+      entries.push_back({child.ctrl.sub_xlo, child.ctrl.sub_xhi,
+                         child.ctrl.bbox_ymax, child.ctrl.bbox_ymin,
+                         child.control_page});
+    }
+    auto ids = io.WriteChain<ChildEntry>(entries);
+    CCIDX_RETURN_IF_ERROR(ids.status());
+    ctrl.children_head = ids->empty() ? kInvalidPageId : ids->front();
+    ctrl.num_children = static_cast<uint32_t>(entries.size());
+  }
+
+  ctrl.num_points = static_cast<uint32_t>(own.size());
+  ctrl.bbox_xmin = ctrl.bbox_ymin = kCoordMax;
+  ctrl.bbox_xmax = ctrl.bbox_ymax = kCoordMin;
+  for (const Point& p : own) {
+    ctrl.bbox_xmin = std::min(ctrl.bbox_xmin, p.x);
+    ctrl.bbox_xmax = std::max(ctrl.bbox_xmax, p.x);
+    ctrl.bbox_ymin = std::min(ctrl.bbox_ymin, p.y);
+    ctrl.bbox_ymax = std::max(ctrl.bbox_ymax, p.y);
+  }
+  std::sort(own.begin(), own.end(), PointXOrder());
+  auto vb = WriteVerticalBlocking(pager, own);
+  CCIDX_RETURN_IF_ERROR(vb.status());
+  ctrl.vindex_head = vb->index_head;
+  auto horiz = WriteDescYChain(pager, own);
+  CCIDX_RETURN_IF_ERROR(horiz.status());
+  ctrl.horiz_head = *horiz;
+  {
+    auto pst = ExternalPst::Build(pager, own);
+    CCIDX_RETURN_IF_ERROR(pst.status());
+    ctrl.own_pst_root = pst->root();
+  }
+  node.own_points = std::move(own);
+  return node;
+}
+
+Result<ThreeSidedTree> ThreeSidedTree::Build(Pager* pager,
+                                             std::vector<Point> points) {
+  PageIo io(pager);
+  const uint32_t branching = io.CapacityFor(sizeof(Point));
+  if (branching < 4 || sizeof(Control) > pager->page_size()) {
+    return Status::InvalidArgument("page size too small");
+  }
+  if (points.empty()) {
+    return ThreeSidedTree(pager, kInvalidPageId, 0, branching);
+  }
+  uint64_t n = points.size();
+  std::sort(points.begin(), points.end(), PointXOrder());
+  auto root = BuildNode(pager, std::move(points), branching);
+  CCIDX_RETURN_IF_ERROR(root.status());
+  CCIDX_RETURN_IF_ERROR(WriteControl(pager, root->control_page, root->ctrl));
+  return ThreeSidedTree(pager, root->control_page, n, branching);
+}
+
+Status ThreeSidedTree::ReportOwnPoints(const Control& ctrl, Coord xlo,
+                                       Coord xhi, Coord ylo,
+                                       std::vector<Point>* out) const {
+  if (ctrl.num_points == 0) return Status::OK();
+  if (ctrl.bbox_xmin > xhi || ctrl.bbox_xmax < xlo || ctrl.bbox_ymax < ylo) {
+    return Status::OK();
+  }
+  const bool x_all = ctrl.bbox_xmin >= xlo && ctrl.bbox_xmax <= xhi;
+  const bool y_all = ctrl.bbox_ymin >= ylo;
+  PageIo io(pager_);
+  if (x_all && y_all) {
+    return io.ReadChain<Point>(ctrl.horiz_head, out);
+  }
+  if (y_all) {
+    // Only vertical boundaries cut: scan the x-slab of vertical blocks
+    // (at most two partially-useful pages).
+    std::vector<VerticalBlock> index;
+    CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
+    std::vector<Point> pts;
+    for (const VerticalBlock& blk : index) {
+      if (blk.xhi < xlo) continue;
+      if (blk.xlo > xhi) break;
+      pts.clear();
+      auto next = io.ReadRecords<Point>(blk.page, &pts);
+      CCIDX_RETURN_IF_ERROR(next.status());
+      for (const Point& p : pts) {
+        if (p.x >= xlo && p.x <= xhi) out->push_back(p);
+      }
+    }
+    return Status::OK();
+  }
+  if (x_all) {
+    // Only the bottom boundary cuts: top-down scan.
+    auto crossed = ScanDescYChainUntil(
+        pager_, ctrl.horiz_head, ylo,
+        [out](const Point& p) { out->push_back(p); });
+    return crossed.status();
+  }
+  // A corner of the query lies inside the bbox: Lemma 4.1 structure.
+  ExternalPst pst = ExternalPst::Open(pager_, ctrl.own_pst_root);
+  return pst.Query({xlo, xhi, ylo}, out);
+}
+
+Status ThreeSidedTree::ReportSubtree(PageId id, Coord ylo,
+                                     std::vector<Point>* out) const {
+  Control ctrl;
+  CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
+  auto crossed = ScanDescYChainUntil(
+      pager_, ctrl.horiz_head, ylo,
+      [out](const Point& p) { out->push_back(p); });
+  CCIDX_RETURN_IF_ERROR(crossed.status());
+  if (*crossed || ctrl.num_children == 0) return Status::OK();
+  return DescendMiddle(ctrl, ylo, out);
+}
+
+Status ThreeSidedTree::DescendMiddle(const Control& ctrl, Coord ylo,
+                                     std::vector<Point>* out) const {
+  PageIo io(pager_);
+  std::vector<ChildEntry> children;
+  CCIDX_RETURN_IF_ERROR(
+      io.ReadChain<ChildEntry>(ctrl.children_head, &children));
+  for (const ChildEntry& c : children) {
+    if (c.ymax >= ylo) {
+      CCIDX_RETURN_IF_ERROR(ReportSubtree(c.control, ylo, out));
+    }
+  }
+  return Status::OK();
+}
+
+Status ThreeSidedTree::LeftPath(PageId id, Coord xlo, Coord ylo,
+                                bool skip_own,
+                                std::vector<Point>* out) const {
+  PageIo io(pager_);
+  while (id != kInvalidPageId) {
+    Control ctrl;
+    CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
+    if (!skip_own) {
+      CCIDX_RETURN_IF_ERROR(
+          ReportOwnPoints(ctrl, xlo, kCoordMax, ylo, out));
+    }
+    skip_own = false;
+    if (ctrl.num_children == 0) return Status::OK();
+    std::vector<ChildEntry> children;
+    CCIDX_RETURN_IF_ERROR(
+        io.ReadChain<ChildEntry>(ctrl.children_head, &children));
+    // First child whose subtree reaches xlo; right siblings lie fully
+    // inside the slab.
+    size_t j = children.size();
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i].sub_xhi >= xlo) {
+        j = i;
+        break;
+      }
+    }
+    if (j == children.size()) return Status::OK();
+    if (j + 1 < children.size()) {
+      Control jc;
+      CCIDX_RETURN_IF_ERROR(LoadControl(children[j].control, &jc));
+      std::vector<Point> ts_hits;
+      auto crossed = ScanDescYChainUntil(
+          pager_, jc.ts_right_head, ylo,
+          [&ts_hits](const Point& p) { ts_hits.push_back(p); });
+      CCIDX_RETURN_IF_ERROR(crossed.status());
+      if (*crossed) {
+        out->insert(out->end(), ts_hits.begin(), ts_hits.end());
+      } else {
+        for (size_t i = j + 1; i < children.size(); ++i) {
+          if (children[i].ymax >= ylo) {
+            CCIDX_RETURN_IF_ERROR(
+                ReportSubtree(children[i].control, ylo, out));
+          }
+        }
+      }
+    }
+    if (children[j].ymax < ylo) return Status::OK();
+    id = children[j].control;
+  }
+  return Status::OK();
+}
+
+Status ThreeSidedTree::RightPath(PageId id, Coord xhi, Coord ylo,
+                                 bool skip_own,
+                                 std::vector<Point>* out) const {
+  PageIo io(pager_);
+  while (id != kInvalidPageId) {
+    Control ctrl;
+    CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
+    if (!skip_own) {
+      CCIDX_RETURN_IF_ERROR(
+          ReportOwnPoints(ctrl, kCoordMin, xhi, ylo, out));
+    }
+    skip_own = false;
+    if (ctrl.num_children == 0) return Status::OK();
+    std::vector<ChildEntry> children;
+    CCIDX_RETURN_IF_ERROR(
+        io.ReadChain<ChildEntry>(ctrl.children_head, &children));
+    // Last child whose subtree starts at or left of xhi; left siblings lie
+    // fully inside the slab.
+    size_t j = children.size();
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i].sub_xlo <= xhi) j = i;
+    }
+    if (j == children.size()) return Status::OK();
+    if (j > 0) {
+      Control jc;
+      CCIDX_RETURN_IF_ERROR(LoadControl(children[j].control, &jc));
+      std::vector<Point> ts_hits;
+      auto crossed = ScanDescYChainUntil(
+          pager_, jc.ts_left_head, ylo,
+          [&ts_hits](const Point& p) { ts_hits.push_back(p); });
+      CCIDX_RETURN_IF_ERROR(crossed.status());
+      if (*crossed) {
+        out->insert(out->end(), ts_hits.begin(), ts_hits.end());
+      } else {
+        for (size_t i = 0; i < j; ++i) {
+          if (children[i].ymax >= ylo) {
+            CCIDX_RETURN_IF_ERROR(
+                ReportSubtree(children[i].control, ylo, out));
+          }
+        }
+      }
+    }
+    if (children[j].ymax < ylo) return Status::OK();
+    id = children[j].control;
+  }
+  return Status::OK();
+}
+
+Status ThreeSidedTree::Query(const ThreeSidedQuery& q,
+                             std::vector<Point>* out) const {
+  if (root_ == kInvalidPageId || q.xlo > q.xhi) return Status::OK();
+  PageIo io(pager_);
+  PageId id = root_;
+  while (true) {
+    Control ctrl;
+    CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
+    CCIDX_RETURN_IF_ERROR(
+        ReportOwnPoints(ctrl, q.xlo, q.xhi, q.ylo, out));
+    if (ctrl.num_children == 0) return Status::OK();
+    std::vector<ChildEntry> children;
+    CCIDX_RETURN_IF_ERROR(
+        io.ReadChain<ChildEntry>(ctrl.children_head, &children));
+    // Slab routing (tie-safe): jl = first child reaching xlo, jr = last
+    // child starting at or left of xhi.
+    size_t jl = children.size(), jr = children.size();
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (jl == children.size() && children[i].sub_xhi >= q.xlo) jl = i;
+      if (children[i].sub_xlo <= q.xhi) jr = i;
+    }
+    if (jl == children.size() || jr == children.size() || jl > jr) {
+      return Status::OK();  // no child subtree intersects the slab
+    }
+    if (jl == jr) {
+      if (children[jl].ymax < q.ylo) return Status::OK();
+      id = children[jl].control;
+      continue;
+    }
+    // Fork (case 4): the children-union PST reports every child-stored
+    // point in the query in one O(log2 B^3 + t/B) access.
+    ExternalPst pst = ExternalPst::Open(pager_, ctrl.children_pst_root);
+    CCIDX_RETURN_IF_ERROR(pst.Query(q, out));
+    // Middle children lie fully inside the slab; their own points are
+    // reported; descend only below fully-inside ones (heap order kills
+    // the rest).
+    for (size_t m = jl + 1; m < jr; ++m) {
+      if (children[m].ymin >= q.ylo) {
+        Control mc;
+        CCIDX_RETURN_IF_ERROR(LoadControl(children[m].control, &mc));
+        if (mc.num_children > 0) {
+          CCIDX_RETURN_IF_ERROR(DescendMiddle(mc, q.ylo, out));
+        }
+      }
+    }
+    // Heap order: a fork child's descendants all lie at or below its own
+    // minimum y, so the one-sided path is needed only when ymin >= ylo.
+    if (children[jl].ymin >= q.ylo) {
+      CCIDX_RETURN_IF_ERROR(
+          LeftPath(children[jl].control, q.xlo, q.ylo, true, out));
+    }
+    if (children[jr].ymin >= q.ylo) {
+      CCIDX_RETURN_IF_ERROR(
+          RightPath(children[jr].control, q.xhi, q.ylo, true, out));
+    }
+    return Status::OK();
+  }
+}
+
+Status ThreeSidedTree::DestroySubtree(PageId id) {
+  Control ctrl;
+  CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
+  PageIo io(pager_);
+  CCIDX_RETURN_IF_ERROR(FreeVerticalBlocking(pager_, ctrl.vindex_head));
+  for (PageId head : {static_cast<PageId>(ctrl.horiz_head),
+                      static_cast<PageId>(ctrl.ts_left_head),
+                      static_cast<PageId>(ctrl.ts_right_head)}) {
+    if (head != kInvalidPageId) {
+      CCIDX_RETURN_IF_ERROR(io.FreeChain(head));
+    }
+  }
+  if (ctrl.own_pst_root != kInvalidPageId) {
+    ExternalPst pst = ExternalPst::Open(pager_, ctrl.own_pst_root);
+    CCIDX_RETURN_IF_ERROR(pst.Free());
+  }
+  if (ctrl.children_pst_root != kInvalidPageId) {
+    ExternalPst pst = ExternalPst::Open(pager_, ctrl.children_pst_root);
+    CCIDX_RETURN_IF_ERROR(pst.Free());
+  }
+  if (ctrl.num_children > 0) {
+    std::vector<ChildEntry> children;
+    CCIDX_RETURN_IF_ERROR(
+        io.ReadChain<ChildEntry>(ctrl.children_head, &children));
+    for (const ChildEntry& c : children) {
+      CCIDX_RETURN_IF_ERROR(DestroySubtree(c.control));
+    }
+    CCIDX_RETURN_IF_ERROR(io.FreeChain(ctrl.children_head));
+  }
+  return pager_->Free(id);
+}
+
+Status ThreeSidedTree::Destroy() {
+  if (root_ == kInvalidPageId) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(DestroySubtree(root_));
+  root_ = kInvalidPageId;
+  size_ = 0;
+  return Status::OK();
+}
+
+Status ThreeSidedTree::CheckSubtree(PageId id, Coord parent_min_y,
+                                    bool is_root, uint64_t* count) const {
+  Control ctrl;
+  CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
+  PageIo io(pager_);
+  const uint32_t b2 = branching_ * branching_;
+
+  std::vector<Point> own;
+  CCIDX_RETURN_IF_ERROR(io.ReadChain<Point>(ctrl.horiz_head, &own));
+  if (own.size() != ctrl.num_points) {
+    return Status::Corruption("own point count mismatch");
+  }
+  if (ctrl.num_children > 0 && ctrl.num_points != b2) {
+    return Status::Corruption("internal metablock must hold exactly B^2");
+  }
+  if (!std::is_sorted(own.begin(), own.end(), DescY)) {
+    return Status::Corruption("horizontal chain not descending by y");
+  }
+  for (const Point& p : own) {
+    if (p.x < ctrl.sub_xlo || p.x > ctrl.sub_xhi) {
+      return Status::Corruption("point outside subtree x-interval");
+    }
+    if (!is_root && p.y > parent_min_y) {
+      return Status::Corruption("heap order violated");
+    }
+  }
+  if (ctrl.own_pst_root != kInvalidPageId) {
+    ExternalPst pst = ExternalPst::Open(pager_, ctrl.own_pst_root);
+    CCIDX_RETURN_IF_ERROR(pst.CheckInvariants());
+  } else if (ctrl.num_points > 0) {
+    return Status::Corruption("missing own PST");
+  }
+  *count += own.size();
+  if (ctrl.num_children > 0) {
+    if (ctrl.children_pst_root == kInvalidPageId) {
+      return Status::Corruption("missing children PST");
+    }
+    std::vector<ChildEntry> children;
+    CCIDX_RETURN_IF_ERROR(
+        io.ReadChain<ChildEntry>(ctrl.children_head, &children));
+    if (children.size() != ctrl.num_children) {
+      return Status::Corruption("children count mismatch");
+    }
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0 && children[i].sub_xlo < children[i - 1].sub_xhi) {
+        return Status::Corruption("children x-intervals out of order");
+      }
+      // TS presence: all but the first need ts_left; all but the last
+      // need ts_right.
+      Control cc;
+      CCIDX_RETURN_IF_ERROR(LoadControl(children[i].control, &cc));
+      if (i > 0 && cc.ts_left_head == kInvalidPageId) {
+        return Status::Corruption("missing TS-left");
+      }
+      if (i + 1 < children.size() && cc.ts_right_head == kInvalidPageId) {
+        return Status::Corruption("missing TS-right");
+      }
+      CCIDX_RETURN_IF_ERROR(
+          CheckSubtree(children[i].control, ctrl.bbox_ymin, false, count));
+    }
+  }
+  return Status::OK();
+}
+
+Status ThreeSidedTree::CheckInvariants() const {
+  if (root_ == kInvalidPageId) return Status::OK();
+  uint64_t count = 0;
+  CCIDX_RETURN_IF_ERROR(CheckSubtree(root_, kCoordMax, true, &count));
+  if (count != size_) {
+    return Status::Corruption("total count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace ccidx

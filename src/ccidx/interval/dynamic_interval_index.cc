@@ -1,0 +1,80 @@
+#include "ccidx/interval/dynamic_interval_index.h"
+
+#include <algorithm>
+
+namespace ccidx {
+
+DynamicIntervalIndex::DynamicIntervalIndex(Pager* pager)
+    : endpoints_(pager), stabbing_(pager) {}
+
+Result<DynamicIntervalIndex> DynamicIntervalIndex::Build(
+    Pager* pager, std::vector<Interval> intervals) {
+  std::vector<BtEntry> entries;
+  std::vector<Point> points;
+  entries.reserve(intervals.size());
+  points.reserve(intervals.size());
+  for (const Interval& iv : intervals) {
+    if (iv.lo > iv.hi) {
+      return Status::InvalidArgument("interval with lo > hi");
+    }
+    entries.push_back({iv.lo, iv.id, iv.hi});
+    points.push_back({iv.lo, iv.hi, iv.id});
+  }
+  std::sort(entries.begin(), entries.end());
+  auto endpoints = BPlusTree::BulkLoad(pager, entries);
+  CCIDX_RETURN_IF_ERROR(endpoints.status());
+  auto stabbing = DynamicPst::Build(pager, std::move(points));
+  CCIDX_RETURN_IF_ERROR(stabbing.status());
+  return DynamicIntervalIndex(std::move(*endpoints), std::move(*stabbing));
+}
+
+Status DynamicIntervalIndex::Insert(const Interval& iv) {
+  if (iv.lo > iv.hi) {
+    return Status::InvalidArgument("interval with lo > hi");
+  }
+  CCIDX_RETURN_IF_ERROR(endpoints_.Insert(iv.lo, iv.id, iv.hi));
+  return stabbing_.Insert({iv.lo, iv.hi, iv.id});
+}
+
+Status DynamicIntervalIndex::Delete(const Interval& iv, bool* found) {
+  *found = false;
+  bool ep_found = false;
+  CCIDX_RETURN_IF_ERROR(endpoints_.Delete(iv.lo, iv.id, &ep_found));
+  if (!ep_found) return Status::OK();
+  bool pst_found = false;
+  CCIDX_RETURN_IF_ERROR(stabbing_.Delete({iv.lo, iv.hi, iv.id}, &pst_found));
+  if (!pst_found) {
+    return Status::Corruption("interval present in only one component");
+  }
+  *found = true;
+  return Status::OK();
+}
+
+Status DynamicIntervalIndex::Stab(Coord q, std::vector<Interval>* out) const {
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(stabbing_.Query({kCoordMin, q, q}, &pts));
+  for (const Point& p : pts) {
+    out->push_back({p.x, p.y, p.id});
+  }
+  return Status::OK();
+}
+
+Status DynamicIntervalIndex::Intersect(Coord qlo, Coord qhi,
+                                       std::vector<Interval>* out) const {
+  if (qlo > qhi) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(Stab(qlo, out));
+  if (qlo < kCoordMax) {
+    CCIDX_RETURN_IF_ERROR(endpoints_.RangeScan(
+        qlo + 1, qhi, [out](const BtEntry& e) {
+          out->push_back({e.key, e.aux, e.value});
+        }));
+  }
+  return Status::OK();
+}
+
+Status DynamicIntervalIndex::Destroy() {
+  CCIDX_RETURN_IF_ERROR(endpoints_.Destroy());
+  return stabbing_.Destroy();
+}
+
+}  // namespace ccidx

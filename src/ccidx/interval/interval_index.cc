@@ -1,0 +1,68 @@
+#include "ccidx/interval/interval_index.h"
+
+#include <algorithm>
+
+namespace ccidx {
+
+IntervalIndex::IntervalIndex(Pager* pager)
+    : endpoints_(pager), stabbing_(pager) {}
+
+Result<IntervalIndex> IntervalIndex::Build(Pager* pager,
+                                           std::vector<Interval> intervals) {
+  std::vector<BtEntry> entries;
+  std::vector<Point> points;
+  entries.reserve(intervals.size());
+  points.reserve(intervals.size());
+  for (const Interval& iv : intervals) {
+    if (iv.lo > iv.hi) {
+      return Status::InvalidArgument("interval with lo > hi");
+    }
+    entries.push_back({iv.lo, iv.id, iv.hi});
+    points.push_back({iv.lo, iv.hi, iv.id});
+  }
+  std::sort(entries.begin(), entries.end());
+  auto endpoints = BPlusTree::BulkLoad(pager, entries);
+  CCIDX_RETURN_IF_ERROR(endpoints.status());
+  auto stabbing = AugmentedMetablockTree::Build(pager, std::move(points));
+  CCIDX_RETURN_IF_ERROR(stabbing.status());
+  return IntervalIndex(std::move(*endpoints), std::move(*stabbing));
+}
+
+Status IntervalIndex::Insert(const Interval& iv) {
+  if (iv.lo > iv.hi) {
+    return Status::InvalidArgument("interval with lo > hi");
+  }
+  CCIDX_RETURN_IF_ERROR(endpoints_.Insert(iv.lo, iv.id, iv.hi));
+  return stabbing_.Insert({iv.lo, iv.hi, iv.id});
+}
+
+Status IntervalIndex::Stab(Coord q, std::vector<Interval>* out) const {
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(stabbing_.Query({q}, &pts));
+  for (const Point& p : pts) {
+    out->push_back({p.x, p.y, p.id});
+  }
+  return Status::OK();
+}
+
+Status IntervalIndex::Intersect(Coord qlo, Coord qhi,
+                                std::vector<Interval>* out) const {
+  if (qlo > qhi) return Status::OK();
+  // Types 3 & 4: intervals containing qlo (first endpoint <= qlo).
+  CCIDX_RETURN_IF_ERROR(Stab(qlo, out));
+  // Types 1 & 2: first endpoint strictly inside (qlo, qhi].
+  if (qlo < kCoordMax) {
+    CCIDX_RETURN_IF_ERROR(endpoints_.RangeScan(
+        qlo + 1, qhi, [out](const BtEntry& e) {
+          out->push_back({e.key, e.aux, e.value});
+        }));
+  }
+  return Status::OK();
+}
+
+Status IntervalIndex::Destroy() {
+  CCIDX_RETURN_IF_ERROR(endpoints_.Destroy());
+  return stabbing_.Destroy();
+}
+
+}  // namespace ccidx

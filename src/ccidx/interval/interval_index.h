@@ -1,0 +1,67 @@
+// IntervalIndex: external dynamic interval management (Section 2.1,
+// Proposition 2.2) — the paper's primary application.
+//
+// An interval intersection query against [x1, x2] splits into (Fig. 3):
+//   * types 1 & 2 — intervals whose first endpoint lies in (x1, x2]:
+//     a one-dimensional range search on first endpoints (B+-tree);
+//   * types 3 & 4 — intervals that contain x1 (a stabbing query):
+//     map [lo, hi] to the planar point (lo, hi); all such points lie on or
+//     above the diagonal, and the stabbing query at x1 is exactly a
+//     diagonal corner query at (x1, x1) (augmented metablock tree).
+// The split is disjoint (strict lower bound on the endpoint range), so no
+// interval is reported twice.
+//
+// Costs (Theorems 3.7 + B+-tree): stabbing O(log_B n + t/B) I/Os,
+// intersection O(log_B n + t/B), insert amortized
+// O(log_B n + (log_B n)^2/B), space O(n/B) pages. Deletion is the paper's
+// open problem (§5) and is not supported.
+
+#ifndef CCIDX_INTERVAL_INTERVAL_INDEX_H_
+#define CCIDX_INTERVAL_INTERVAL_INDEX_H_
+
+#include <vector>
+
+#include "ccidx/bptree/bptree.h"
+#include "ccidx/core/augmented_metablock_tree.h"
+#include "ccidx/testutil/oracles.h"  // Interval
+
+namespace ccidx {
+
+/// Semi-dynamic external-memory interval index (stabbing + intersection).
+class IntervalIndex {
+ public:
+  /// Creates an empty index whose pages live on `pager`. The pager's page
+  /// size determines B (see PageSizeForBranching); B >= 8 required.
+  explicit IntervalIndex(Pager* pager);
+
+  /// Bulk-builds from a set of intervals.
+  static Result<IntervalIndex> Build(Pager* pager,
+                                     std::vector<Interval> intervals);
+
+  /// Inserts an interval (lo <= hi). Amortized O(log_B n + (log_B n)^2/B).
+  Status Insert(const Interval& iv);
+
+  /// Appends every interval containing `q` to `out` (stabbing query).
+  /// O(log_B n + t/B) I/Os.
+  Status Stab(Coord q, std::vector<Interval>* out) const;
+
+  /// Appends every interval intersecting [qlo, qhi] to `out`.
+  /// O(log_B n + t/B) I/Os.
+  Status Intersect(Coord qlo, Coord qhi, std::vector<Interval>* out) const;
+
+  uint64_t size() const { return stabbing_.size(); }
+
+  /// Frees all pages.
+  Status Destroy();
+
+ private:
+  IntervalIndex(BPlusTree endpoints, AugmentedMetablockTree stabbing)
+      : endpoints_(std::move(endpoints)), stabbing_(std::move(stabbing)) {}
+
+  BPlusTree endpoints_;              // key = lo, value = id, aux = hi
+  AugmentedMetablockTree stabbing_;  // point (lo, hi), id carried through
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_INTERVAL_INTERVAL_INDEX_H_

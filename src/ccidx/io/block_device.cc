@@ -1,0 +1,80 @@
+#include "ccidx/io/block_device.h"
+
+#include <cstring>
+
+namespace ccidx {
+
+BlockDevice::BlockDevice(uint32_t page_size) : page_size_(page_size) {
+  CCIDX_CHECK(page_size_ >= 16);
+}
+
+PageId BlockDevice::Allocate() {
+  stats_.pages_allocated++;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    freed_[id] = false;
+    std::memset(pages_[id].get(), 0, page_size_);
+    return id;
+  }
+  PageId id = pages_.size();
+  auto page = std::make_unique<uint8_t[]>(page_size_);
+  std::memset(page.get(), 0, page_size_);
+  pages_.push_back(std::move(page));
+  freed_.push_back(false);
+  return id;
+}
+
+bool BlockDevice::IsLive(PageId id) const {
+  return id < pages_.size() && !freed_[id];
+}
+
+Status BlockDevice::Free(PageId id) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("free of invalid or already-freed page " +
+                                   std::to_string(id));
+  }
+  freed_[id] = true;
+  free_list_.push_back(id);
+  stats_.pages_freed++;
+  return Status::OK();
+}
+
+bool BlockDevice::ShouldFail() {
+  if (fail_after_ < 0) return false;
+  if (fail_after_ == 0) return true;
+  fail_after_--;
+  return false;
+}
+
+Status BlockDevice::Read(PageId id, std::span<uint8_t> out) {
+  if (!IsLive(id)) {
+    return Status::IoError("read of invalid page " + std::to_string(id));
+  }
+  if (out.size() != page_size_) {
+    return Status::InvalidArgument("read buffer size mismatch");
+  }
+  if (ShouldFail()) {
+    return Status::IoError("injected device failure (read)");
+  }
+  std::memcpy(out.data(), pages_[id].get(), page_size_);
+  stats_.device_reads++;
+  return Status::OK();
+}
+
+Status BlockDevice::Write(PageId id, std::span<const uint8_t> in) {
+  if (!IsLive(id)) {
+    return Status::IoError("write of invalid page " + std::to_string(id));
+  }
+  if (in.size() != page_size_) {
+    return Status::InvalidArgument("write buffer size mismatch");
+  }
+  if (ShouldFail()) {
+    return Status::IoError("injected device failure (write)");
+  }
+  std::memcpy(pages_[id].get(), in.data(), page_size_);
+  stats_.device_writes++;
+  return Status::OK();
+}
+
+}  // namespace ccidx

@@ -1,0 +1,85 @@
+// BlockDevice: an in-memory simulated disk of fixed-size pages.
+//
+// Substitution note (see DESIGN.md §2): the paper measures algorithms by
+// page transfers to/from secondary storage. This simulator reproduces that
+// cost model exactly and deterministically — each Read/Write of a page
+// increments IoStats. All library structures access storage only through
+// this interface (via Pager), so measured I/O counts are faithful.
+
+#ifndef CCIDX_IO_BLOCK_DEVICE_H_
+#define CCIDX_IO_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ccidx/common/status.h"
+#include "ccidx/io/io_stats.h"
+
+namespace ccidx {
+
+/// Identifier of a page on the device.
+using PageId = uint64_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = ~static_cast<PageId>(0);
+
+/// A simulated disk: an append-allocated array of `page_size()`-byte pages
+/// with a free list. Not thread-safe (single-threaded simulation).
+class BlockDevice {
+ public:
+  /// Creates a device whose pages hold `page_size` bytes. The paper's B is
+  /// expressed by each data structure as "records per page"; page_size
+  /// bounds that via the record width.
+  explicit BlockDevice(uint32_t page_size);
+
+  uint32_t page_size() const { return page_size_; }
+
+  /// Allocates a zeroed page and returns its id (reuses freed pages).
+  PageId Allocate();
+
+  /// Returns a page to the free list. Double-free is a checked error.
+  Status Free(PageId id);
+
+  /// Copies the page contents into `out` (out.size() == page_size()).
+  /// Counts one device read.
+  Status Read(PageId id, std::span<uint8_t> out);
+
+  /// Overwrites the page from `in` (in.size() == page_size()).
+  /// Counts one device write.
+  Status Write(PageId id, std::span<const uint8_t> in);
+
+  /// Number of live (allocated, not freed) pages — the structure's footprint
+  /// in disk blocks, compared against the paper's space bounds.
+  uint64_t live_pages() const { return pages_.size() - free_list_.size(); }
+
+  /// Total pages ever allocated (high-water mark of the address space).
+  uint64_t total_pages() const { return pages_.size(); }
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+  /// Fault injection for tests: after `ops` further successful transfers,
+  /// every Read/Write fails with IoError until cleared (ops < 0 clears).
+  /// Lets tests verify that every structure surfaces device failures as
+  /// Status instead of crashing or corrupting in-memory state.
+  void SetFailAfter(int64_t ops) { fail_after_ = ops; }
+
+ private:
+  // Returns true if this transfer should fail (and consumes budget).
+  bool ShouldFail();
+
+  bool IsLive(PageId id) const;
+
+  uint32_t page_size_;
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  std::vector<PageId> free_list_;
+  std::vector<bool> freed_;  // parallel to pages_: true if on free list
+  IoStats stats_;
+  int64_t fail_after_ = -1;  // < 0: fault injection disabled
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_IO_BLOCK_DEVICE_H_

@@ -1,0 +1,33 @@
+// I/O accounting: the ground-truth metric of this reproduction.
+//
+// Every bound in the paper is stated in number of disk-block transfers
+// ("IO's"). The simulated BlockDevice increments these counters on each
+// page transfer; the Pager additionally tracks buffer-pool hits/misses.
+// Benchmarks report device reads+writes with a cold cache, which is exactly
+// the quantity the theorems bound.
+
+#ifndef CCIDX_IO_IO_STATS_H_
+#define CCIDX_IO_IO_STATS_H_
+
+#include <cstdint>
+
+namespace ccidx {
+
+/// Counters for page transfers between "secondary storage" and memory.
+struct IoStats {
+  uint64_t device_reads = 0;   ///< pages read from the device
+  uint64_t device_writes = 0;  ///< pages written to the device
+  uint64_t cache_hits = 0;     ///< pager requests served from the pool
+  uint64_t cache_misses = 0;   ///< pager requests that went to the device
+  uint64_t pages_allocated = 0;
+  uint64_t pages_freed = 0;
+
+  /// Total device transfers — the paper's "number of IO's".
+  uint64_t TotalIos() const { return device_reads + device_writes; }
+
+  void Reset() { *this = IoStats{}; }
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_IO_IO_STATS_H_

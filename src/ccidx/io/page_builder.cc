@@ -1,0 +1,5 @@
+#include "ccidx/io/page_builder.h"
+
+// All of PageIo is templated / inline; this translation unit exists so the
+// module has a home for future non-template helpers and keeps the build
+// graph uniform (one .cc per header).

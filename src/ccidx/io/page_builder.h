@@ -1,0 +1,181 @@
+// Page serialization helpers: explicit, pointer-free on-page layouts.
+//
+// Pages are raw byte buffers; structures define POD record layouts and use
+// PageWriter / PageReader for bounds-checked sequential encoding, plus
+// PageIo for whole-record array pages (the common case: a block of B
+// records preceded by a small header).
+
+#ifndef CCIDX_IO_PAGE_BUILDER_H_
+#define CCIDX_IO_PAGE_BUILDER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "ccidx/common/status.h"
+#include "ccidx/io/pager.h"
+
+namespace ccidx {
+
+/// Sequentially appends POD values into a fixed-size page buffer.
+class PageWriter {
+ public:
+  explicit PageWriter(std::span<uint8_t> buf) : buf_(buf), offset_(0) {}
+
+  template <typename T>
+  void Put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CCIDX_CHECK(offset_ + sizeof(T) <= buf_.size());
+    std::memcpy(buf_.data() + offset_, &value, sizeof(T));
+    offset_ += sizeof(T);
+  }
+
+  template <typename T>
+  void PutArray(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t bytes = values.size() * sizeof(T);
+    CCIDX_CHECK(offset_ + bytes <= buf_.size());
+    std::memcpy(buf_.data() + offset_, values.data(), bytes);
+    offset_ += bytes;
+  }
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return buf_.size() - offset_; }
+
+ private:
+  std::span<uint8_t> buf_;
+  size_t offset_;
+};
+
+/// Sequentially decodes POD values from a page buffer.
+class PageReader {
+ public:
+  explicit PageReader(std::span<const uint8_t> buf) : buf_(buf), offset_(0) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CCIDX_CHECK(offset_ + sizeof(T) <= buf_.size());
+    T value;
+    std::memcpy(&value, buf_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  void GetArray(std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t bytes = out.size() * sizeof(T);
+    CCIDX_CHECK(offset_ + bytes <= buf_.size());
+    std::memcpy(out.data(), buf_.data() + offset_, bytes);
+    offset_ += bytes;
+  }
+
+  size_t offset() const { return offset_; }
+
+ private:
+  std::span<const uint8_t> buf_;
+  size_t offset_;
+};
+
+/// Whole-page helpers for the ubiquitous layout
+///   [u32 count][u64 next_page][count * Record]
+/// used by every blocked organization in the library (vertical/horizontal
+/// blockings, TS structures, leaf chains).
+class PageIo {
+ public:
+  explicit PageIo(Pager* pager) : pager_(pager), scratch_(pager->page_size()) {}
+
+  /// Max records of width `record_size` a page can hold under this layout.
+  uint32_t CapacityFor(size_t record_size) const {
+    return static_cast<uint32_t>((pager_->page_size() - kHeaderSize) /
+                                 record_size);
+  }
+
+  /// Writes one record-array page. `records.size()` must fit.
+  template <typename Record>
+  Status WriteRecords(PageId id, std::span<const Record> records,
+                      PageId next = kInvalidPageId) {
+    CCIDX_CHECK(records.size() <= CapacityFor(sizeof(Record)));
+    PageWriter w(scratch_);
+    w.Put<uint32_t>(static_cast<uint32_t>(records.size()));
+    w.Put<uint32_t>(0);  // reserved / alignment
+    w.Put<uint64_t>(next);
+    w.PutArray(records);
+    std::memset(scratch_.data() + w.offset(), 0,
+                scratch_.size() - w.offset());
+    return pager_->Write(id, scratch_);
+  }
+
+  /// Reads one record-array page; appends records to `out`, returns next id.
+  template <typename Record>
+  Result<PageId> ReadRecords(PageId id, std::vector<Record>* out) {
+    CCIDX_RETURN_IF_ERROR(pager_->Read(id, scratch_));
+    PageReader r(scratch_);
+    uint32_t count = r.Get<uint32_t>();
+    r.Get<uint32_t>();
+    PageId next = r.Get<uint64_t>();
+    size_t base = out->size();
+    out->resize(base + count);
+    r.GetArray(std::span<Record>(out->data() + base, count));
+    return next;
+  }
+
+  /// Writes `records` across as many pages as needed (allocating them),
+  /// chaining via the next pointer. Returns the ids, in order.
+  template <typename Record>
+  Result<std::vector<PageId>> WriteChain(std::span<const Record> records) {
+    uint32_t cap = CapacityFor(sizeof(Record));
+    CCIDX_CHECK(cap > 0);
+    size_t num_pages = records.empty() ? 0 : (records.size() + cap - 1) / cap;
+    std::vector<PageId> ids(num_pages);
+    for (size_t i = 0; i < num_pages; ++i) ids[i] = pager_->Allocate();
+    for (size_t i = 0; i < num_pages; ++i) {
+      size_t begin = i * cap;
+      size_t end = std::min(records.size(), begin + cap);
+      PageId next = (i + 1 < num_pages) ? ids[i + 1] : kInvalidPageId;
+      CCIDX_RETURN_IF_ERROR(WriteRecords<Record>(
+          ids[i], records.subspan(begin, end - begin), next));
+    }
+    return ids;
+  }
+
+  /// Reads an entire chain starting at `head` into `out`.
+  template <typename Record>
+  Status ReadChain(PageId head, std::vector<Record>* out) {
+    PageId id = head;
+    while (id != kInvalidPageId) {
+      auto next = ReadRecords<Record>(id, out);
+      CCIDX_RETURN_IF_ERROR(next.status());
+      id = *next;
+    }
+    return Status::OK();
+  }
+
+  /// Frees every page of a chain.
+  Status FreeChain(PageId head) {
+    PageId id = head;
+    while (id != kInvalidPageId) {
+      CCIDX_RETURN_IF_ERROR(pager_->Read(id, scratch_));
+      PageReader r(scratch_);
+      r.Get<uint32_t>();
+      r.Get<uint32_t>();
+      PageId next = r.Get<uint64_t>();
+      CCIDX_RETURN_IF_ERROR(pager_->Free(id));
+      id = next;
+    }
+    return Status::OK();
+  }
+
+  static constexpr size_t kHeaderSize = 16;
+
+ private:
+  Pager* pager_;
+  std::vector<uint8_t> scratch_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_IO_PAGE_BUILDER_H_

@@ -1,0 +1,130 @@
+#include "ccidx/io/pager.h"
+
+#include <cstring>
+
+namespace ccidx {
+
+Pager::Pager(BlockDevice* device, uint32_t capacity_pages)
+    : device_(device), capacity_(capacity_pages) {
+  CCIDX_CHECK(device_ != nullptr);
+}
+
+Pager::~Pager() {
+  // Best-effort flush; errors here indicate test teardown after device
+  // destruction misuse, which CCIDX_CHECK would have caught earlier.
+  Flush().ok();
+}
+
+PageId Pager::Allocate() {
+  PageId id = device_->Allocate();
+  if (capacity_ == 0) return id;
+  // Freshly allocated pages are zeroed on the device; cache a zero copy so
+  // the first write does not need a device read.
+  auto result = GetFrame(id, /*load_from_device=*/false);
+  CCIDX_CHECK(result.ok());
+  return id;
+}
+
+Status Pager::Free(PageId id) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  return device_->Free(id);
+}
+
+Result<Pager::Frame*> Pager::GetFrame(PageId id, bool load_from_device) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    hits_++;
+    // Move to front (most recently used).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &*lru_.begin();
+  }
+  misses_++;
+  CCIDX_RETURN_IF_ERROR(EvictIfFull());
+  Frame frame;
+  frame.id = id;
+  frame.dirty = !load_from_device;
+  frame.data = std::make_unique<uint8_t[]>(device_->page_size());
+  if (load_from_device) {
+    CCIDX_RETURN_IF_ERROR(
+        device_->Read(id, {frame.data.get(), device_->page_size()}));
+  } else {
+    std::memset(frame.data.get(), 0, device_->page_size());
+  }
+  lru_.push_front(std::move(frame));
+  index_[id] = lru_.begin();
+  return &*lru_.begin();
+}
+
+Status Pager::EvictIfFull() {
+  while (lru_.size() >= capacity_) {
+    Frame& victim = lru_.back();
+    CCIDX_RETURN_IF_ERROR(WriteBack(victim));
+    index_.erase(victim.id);
+    lru_.pop_back();
+  }
+  return Status::OK();
+}
+
+Status Pager::WriteBack(Frame& frame) {
+  if (!frame.dirty) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(
+      device_->Write(frame.id, {frame.data.get(), device_->page_size()}));
+  frame.dirty = false;
+  return Status::OK();
+}
+
+Status Pager::Read(PageId id, std::span<uint8_t> out) {
+  if (out.size() != device_->page_size()) {
+    return Status::InvalidArgument("pager read buffer size mismatch");
+  }
+  if (capacity_ == 0) return device_->Read(id, out);
+  auto frame = GetFrame(id, /*load_from_device=*/true);
+  CCIDX_RETURN_IF_ERROR(frame.status());
+  std::memcpy(out.data(), (*frame)->data.get(), device_->page_size());
+  return Status::OK();
+}
+
+Status Pager::Write(PageId id, std::span<const uint8_t> in) {
+  if (in.size() != device_->page_size()) {
+    return Status::InvalidArgument("pager write buffer size mismatch");
+  }
+  if (capacity_ == 0) return device_->Write(id, in);
+  auto frame = GetFrame(id, /*load_from_device=*/false);
+  CCIDX_RETURN_IF_ERROR(frame.status());
+  std::memcpy((*frame)->data.get(), in.data(), device_->page_size());
+  (*frame)->dirty = true;
+  return Status::OK();
+}
+
+Status Pager::Flush() {
+  for (Frame& frame : lru_) {
+    CCIDX_RETURN_IF_ERROR(WriteBack(frame));
+  }
+  return Status::OK();
+}
+
+Status Pager::DropCache() {
+  CCIDX_RETURN_IF_ERROR(Flush());
+  lru_.clear();
+  index_.clear();
+  return Status::OK();
+}
+
+IoStats Pager::CombinedStats() const {
+  IoStats s = device_->stats();
+  s.cache_hits = hits_;
+  s.cache_misses = misses_;
+  return s;
+}
+
+void Pager::ResetStats() {
+  device_->stats().Reset();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace ccidx

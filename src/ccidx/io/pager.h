@@ -1,0 +1,86 @@
+// Pager: write-back LRU buffer pool over a BlockDevice.
+//
+// The paper assumes at least O(B^2) units of main memory (§1.1); with pages
+// of B units that is on the order of B resident pages. The pool capacity is
+// configurable; benchmarks call DropCache() before each measured operation
+// so device I/O counts reflect the worst case the theorems bound.
+
+#ifndef CCIDX_IO_PAGER_H_
+#define CCIDX_IO_PAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ccidx/common/status.h"
+#include "ccidx/io/block_device.h"
+
+namespace ccidx {
+
+/// Buffer-pool front end for a BlockDevice. Read/Write operate on whole
+/// pages by copy; dirty pages are written back on eviction or Flush.
+class Pager {
+ public:
+  /// `capacity_pages == 0` disables caching (every access hits the device).
+  Pager(BlockDevice* device, uint32_t capacity_pages);
+
+  ~Pager();
+
+  uint32_t page_size() const { return device_->page_size(); }
+  BlockDevice* device() { return device_; }
+
+  /// Allocates a fresh zeroed page (cached as dirty; no device I/O yet when
+  /// caching is enabled).
+  PageId Allocate();
+
+  /// Frees a page, discarding any cached copy.
+  Status Free(PageId id);
+
+  /// Copies the page into `out` (size page_size()).
+  Status Read(PageId id, std::span<uint8_t> out);
+
+  /// Replaces the page contents from `in` (size page_size()).
+  Status Write(PageId id, std::span<const uint8_t> in);
+
+  /// Writes back all dirty pages (keeps them cached clean).
+  Status Flush();
+
+  /// Writes back dirty pages and empties the pool. Establishes a cold cache
+  /// for worst-case I/O measurement.
+  Status DropCache();
+
+  /// Device-level counters (the paper's I/O metric) plus hit/miss counters.
+  IoStats CombinedStats() const;
+
+  /// Resets both pager-local and device counters.
+  void ResetStats();
+
+ private:
+  struct Frame {
+    PageId id;
+    bool dirty;
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  // Returns the frame for `id`, loading it from the device if needed.
+  // Returns nullptr via status on I/O error. Only called when caching is on.
+  Result<Frame*> GetFrame(PageId id, bool load_from_device);
+
+  Status EvictIfFull();
+  Status WriteBack(Frame& frame);
+
+  BlockDevice* device_;
+  uint32_t capacity_;
+  // LRU list: front = most recent. Map from page id to list iterator.
+  std::list<Frame> lru_;
+  std::unordered_map<PageId, std::list<Frame>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_IO_PAGER_H_

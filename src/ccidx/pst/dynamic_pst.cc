@@ -1,0 +1,402 @@
+#include "ccidx/pst/dynamic_pst.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccidx {
+
+namespace {
+bool DescY(const Point& a, const Point& b) { return PointYOrder()(b, a); }
+}  // namespace
+
+DynamicPst::DynamicPst(Pager* pager)
+    : pager_(pager),
+      root_(kInvalidPageId),
+      size_(0),
+      updates_since_rebuild_(0) {
+  CCIDX_CHECK(NodeCapacity() >= 2);
+}
+
+uint32_t DynamicPst::NodeCapacity() const {
+  return static_cast<uint32_t>(
+      (pager_->page_size() - sizeof(NodeHeader)) / sizeof(Point));
+}
+
+Status DynamicPst::LoadNode(PageId id, NodeHeader* h,
+                            std::vector<Point>* pts) const {
+  std::vector<uint8_t> buf(pager_->page_size());
+  CCIDX_RETURN_IF_ERROR(pager_->Read(id, buf));
+  PageReader r(buf);
+  *h = r.Get<NodeHeader>();
+  pts->resize(h->count);
+  r.GetArray(std::span<Point>(*pts));
+  return Status::OK();
+}
+
+Status DynamicPst::StoreNode(PageId id, NodeHeader& h,
+                             std::vector<Point>* pts) const {
+  h.count = static_cast<uint32_t>(pts->size());
+  h.min_y = pts->empty() ? kCoordMax : pts->back().y;
+  std::vector<uint8_t> buf(pager_->page_size());
+  PageWriter w(buf);
+  w.Put(h);
+  w.PutArray(std::span<const Point>(*pts));
+  return pager_->Write(id, buf);
+}
+
+Result<PageId> DynamicPst::BuildNode(Pager* pager,
+                                     std::span<const Point> sorted_by_x,
+                                     uint32_t cap) {
+  if (sorted_by_x.empty()) return kInvalidPageId;
+  NodeHeader h{};
+  h.left = kInvalidPageId;
+  h.right = kInvalidPageId;
+  h.sub_xlo = sorted_by_x.front().x;
+  h.sub_xhi = sorted_by_x.back().x;
+  h.weight = sorted_by_x.size();
+
+  std::vector<Point> own;
+  std::vector<Point> pts(sorted_by_x.begin(), sorted_by_x.end());
+  if (pts.size() <= cap) {
+    own = std::move(pts);
+  } else {
+    std::vector<Point> by_y = pts;
+    std::sort(by_y.begin(), by_y.end(), DescY);
+    const Point cutoff = by_y[cap - 1];
+    own.assign(by_y.begin(), by_y.begin() + cap);
+    std::vector<Point> rest;
+    rest.reserve(pts.size() - cap);
+    for (const Point& p : pts) {
+      if (PointYOrder()(p, cutoff)) rest.push_back(p);
+    }
+    size_t half = rest.size() / 2;
+    auto left = BuildNode(pager, {rest.data(), half}, cap);
+    CCIDX_RETURN_IF_ERROR(left.status());
+    auto right =
+        BuildNode(pager, {rest.data() + half, rest.size() - half}, cap);
+    CCIDX_RETURN_IF_ERROR(right.status());
+    h.left = *left;
+    h.right = *right;
+  }
+  std::sort(own.begin(), own.end(), DescY);
+  h.count = static_cast<uint32_t>(own.size());
+  h.min_y = own.empty() ? kCoordMax : own.back().y;
+  PageId id = pager->Allocate();
+  std::vector<uint8_t> buf(pager->page_size());
+  PageWriter w(buf);
+  w.Put(h);
+  w.PutArray(std::span<const Point>(own));
+  CCIDX_RETURN_IF_ERROR(pager->Write(id, buf));
+  return id;
+}
+
+Result<DynamicPst> DynamicPst::Build(Pager* pager,
+                                     std::vector<Point> points) {
+  DynamicPst tree(pager);
+  std::sort(points.begin(), points.end(), PointXOrder());
+  auto root = BuildNode(pager, points, tree.NodeCapacity());
+  CCIDX_RETURN_IF_ERROR(root.status());
+  tree.root_ = *root;
+  tree.size_ = points.size();
+  return tree;
+}
+
+Status DynamicPst::Insert(const Point& p) {
+  const uint32_t cap = NodeCapacity();
+  size_++;
+  updates_since_rebuild_++;
+  if (root_ == kInvalidPageId) {
+    NodeHeader h{};
+    h.left = kInvalidPageId;
+    h.right = kInvalidPageId;
+    h.sub_xlo = h.sub_xhi = p.x;
+    h.weight = 1;
+    std::vector<Point> pts = {p};
+    root_ = pager_->Allocate();
+    return StoreNode(root_, h, &pts);
+  }
+
+  struct PathEntry {
+    PageId id;
+    uint64_t weight;  // after the increment
+    int side;         // side taken to reach the NEXT entry (0 = L, 1 = R)
+  };
+  std::vector<PathEntry> path;
+
+  Point carried = p;
+  PageId id = root_;
+  NodeHeader h;
+  std::vector<Point> pts;
+  while (true) {
+    CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+    h.weight++;
+    h.sub_xlo = std::min(h.sub_xlo, carried.x);
+    h.sub_xhi = std::max(h.sub_xhi, carried.x);
+    path.push_back({id, h.weight, -1});
+
+    const bool is_leaf =
+        h.left == kInvalidPageId && h.right == kInvalidPageId;
+    const Coord old_min = h.min_y;
+    // An internal node may only absorb a point at or above its current
+    // minimum (descendants sit at or below that minimum; letting a lower
+    // point stay here would break the heap prune).
+    bool absorb = pts.size() < cap && (is_leaf || carried.y >= old_min);
+    if (absorb) {
+      auto pos = std::lower_bound(pts.begin(), pts.end(), carried, DescY);
+      pts.insert(pos, carried);
+      CCIDX_RETURN_IF_ERROR(StoreNode(id, h, &pts));
+      break;
+    }
+    if (carried.y > old_min ||
+        (pts.size() < cap && is_leaf)) {  // displace the minimum
+      auto pos = std::lower_bound(pts.begin(), pts.end(), carried, DescY);
+      pts.insert(pos, carried);
+      carried = pts.back();
+      pts.pop_back();
+    }
+    // Route `carried` to a child, creating a leaf if needed.
+    int side;
+    NodeHeader lh, rh;
+    std::vector<Point> tmp;
+    if (h.left == kInvalidPageId && h.right == kInvalidPageId) {
+      side = 0;
+    } else if (h.left == kInvalidPageId) {
+      CCIDX_RETURN_IF_ERROR(LoadNode(h.right, &rh, &tmp));
+      side = carried.x < rh.sub_xlo ? 0 : 1;
+    } else if (h.right == kInvalidPageId) {
+      CCIDX_RETURN_IF_ERROR(LoadNode(h.left, &lh, &tmp));
+      side = carried.x > lh.sub_xhi ? 1 : 0;
+    } else {
+      CCIDX_RETURN_IF_ERROR(LoadNode(h.left, &lh, &tmp));
+      tmp.clear();
+      CCIDX_RETURN_IF_ERROR(LoadNode(h.right, &rh, &tmp));
+      if (carried.x <= lh.sub_xhi) {
+        side = 0;
+      } else if (carried.x >= rh.sub_xlo) {
+        side = 1;
+      } else {
+        side = lh.weight <= rh.weight ? 0 : 1;  // fill the gap evenly
+      }
+    }
+    path.back().side = side;
+    PageId child = side == 0 ? h.left : h.right;
+    if (child == kInvalidPageId) {
+      NodeHeader nh{};
+      nh.left = kInvalidPageId;
+      nh.right = kInvalidPageId;
+      nh.sub_xlo = nh.sub_xhi = carried.x;
+      nh.weight = 1;
+      std::vector<Point> npts = {carried};
+      child = pager_->Allocate();
+      CCIDX_RETURN_IF_ERROR(StoreNode(child, nh, &npts));
+      if (side == 0) {
+        h.left = child;
+      } else {
+        h.right = child;
+      }
+      CCIDX_RETURN_IF_ERROR(StoreNode(id, h, &pts));
+      path.push_back({child, 1, -1});
+      break;
+    }
+    CCIDX_RETURN_IF_ERROR(StoreNode(id, h, &pts));
+    id = child;
+  }
+
+  // Scapegoat check: rebuild the highest child subtree that outweighs the
+  // balance fraction of its parent.
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    if (static_cast<double>(path[i + 1].weight) >
+        kAlpha * static_cast<double>(path[i].weight)) {
+      PageId sub = path[i + 1].id;
+      CCIDX_RETURN_IF_ERROR(RebuildAt(&sub));
+      NodeHeader ph;
+      std::vector<Point> ppts;
+      CCIDX_RETURN_IF_ERROR(LoadNode(path[i].id, &ph, &ppts));
+      if (path[i].side == 0) {
+        ph.left = sub;
+      } else {
+        ph.right = sub;
+      }
+      CCIDX_RETURN_IF_ERROR(StoreNode(path[i].id, ph, &ppts));
+      break;
+    }
+  }
+  if (updates_since_rebuild_ > size_ / 2 + 16) {
+    CCIDX_RETURN_IF_ERROR(RebuildAt(&root_));
+    updates_since_rebuild_ = 0;
+  }
+  return Status::OK();
+}
+
+Status DynamicPst::DeleteNode(PageId id, const Point& p, bool* found) {
+  if (id == kInvalidPageId) {
+    *found = false;
+    return Status::OK();
+  }
+  NodeHeader h;
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+  if (p.x < h.sub_xlo || p.x > h.sub_xhi) {
+    *found = false;
+    return Status::OK();
+  }
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i] == p) {
+      pts.erase(pts.begin() + i);
+      h.weight--;
+      *found = true;
+      return StoreNode(id, h, &pts);
+    }
+  }
+  // Heap order: every descendant lies at or below this node's minimum.
+  if (!pts.empty() && p.y > h.min_y) {
+    *found = false;
+    return Status::OK();
+  }
+  CCIDX_RETURN_IF_ERROR(DeleteNode(h.left, p, found));
+  if (!*found) {
+    CCIDX_RETURN_IF_ERROR(DeleteNode(h.right, p, found));
+  }
+  if (*found) {
+    h.weight--;
+    CCIDX_RETURN_IF_ERROR(StoreNode(id, h, &pts));
+  }
+  return Status::OK();
+}
+
+Status DynamicPst::Delete(const Point& p, bool* found) {
+  *found = false;
+  if (root_ == kInvalidPageId) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(DeleteNode(root_, p, found));
+  if (*found) {
+    size_--;
+    updates_since_rebuild_++;
+    if (updates_since_rebuild_ > size_ / 2 + 16) {
+      CCIDX_RETURN_IF_ERROR(RebuildAt(&root_));
+      updates_since_rebuild_ = 0;
+    }
+  }
+  return Status::OK();
+}
+
+Status DynamicPst::QueryNode(PageId id, const ThreeSidedQuery& q,
+                             std::vector<Point>* out) const {
+  if (id == kInvalidPageId) return Status::OK();
+  NodeHeader h;
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+  if (h.sub_xlo > q.xhi || h.sub_xhi < q.xlo) return Status::OK();
+  for (const Point& p : pts) {
+    if (p.y < q.ylo) break;
+    if (p.x >= q.xlo && p.x <= q.xhi) out->push_back(p);
+  }
+  if (h.min_y < q.ylo) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(QueryNode(h.left, q, out));
+  return QueryNode(h.right, q, out);
+}
+
+Status DynamicPst::Query(const ThreeSidedQuery& q,
+                         std::vector<Point>* out) const {
+  if (q.xlo > q.xhi) return Status::OK();
+  return QueryNode(root_, q, out);
+}
+
+Status DynamicPst::CollectNode(PageId id, std::vector<Point>* out) const {
+  if (id == kInvalidPageId) return Status::OK();
+  NodeHeader h;
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+  out->insert(out->end(), pts.begin(), pts.end());
+  CCIDX_RETURN_IF_ERROR(CollectNode(h.left, out));
+  return CollectNode(h.right, out);
+}
+
+Status DynamicPst::FreeNode(PageId id) {
+  if (id == kInvalidPageId) return Status::OK();
+  NodeHeader h;
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+  CCIDX_RETURN_IF_ERROR(FreeNode(h.left));
+  CCIDX_RETURN_IF_ERROR(FreeNode(h.right));
+  return pager_->Free(id);
+}
+
+Status DynamicPst::RebuildAt(PageId* id) {
+  std::vector<Point> all;
+  CCIDX_RETURN_IF_ERROR(CollectNode(*id, &all));
+  CCIDX_RETURN_IF_ERROR(FreeNode(*id));
+  std::sort(all.begin(), all.end(), PointXOrder());
+  auto fresh = BuildNode(pager_, all, NodeCapacity());
+  CCIDX_RETURN_IF_ERROR(fresh.status());
+  *id = *fresh;
+  return Status::OK();
+}
+
+Status DynamicPst::Destroy() {
+  CCIDX_RETURN_IF_ERROR(FreeNode(root_));
+  root_ = kInvalidPageId;
+  size_ = 0;
+  return Status::OK();
+}
+
+Status DynamicPst::CheckNode(PageId id, Coord parent_min_y, bool is_root,
+                             uint64_t* weight, uint32_t depth,
+                             uint32_t max_depth) const {
+  *weight = 0;
+  if (id == kInvalidPageId) return Status::OK();
+  if (depth > max_depth) {
+    return Status::Corruption("dynamic PST deeper than balance envelope");
+  }
+  NodeHeader h;
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+  if (!std::is_sorted(pts.begin(), pts.end(), DescY)) {
+    return Status::Corruption("node not descending by y");
+  }
+  for (const Point& p : pts) {
+    if (p.x < h.sub_xlo || p.x > h.sub_xhi) {
+      return Status::Corruption("point outside node x-range");
+    }
+    if (!is_root && p.y > parent_min_y) {
+      return Status::Corruption("heap order violated");
+    }
+  }
+  if (!pts.empty() && h.min_y != pts.back().y) {
+    return Status::Corruption("min_y incorrect");
+  }
+  if (pts.empty() && h.min_y != kCoordMax) {
+    return Status::Corruption("empty node min_y sentinel wrong");
+  }
+  uint64_t wl = 0, wr = 0;
+  Coord pass_min = pts.empty() ? parent_min_y : h.min_y;
+  CCIDX_RETURN_IF_ERROR(
+      CheckNode(h.left, pass_min, false, &wl, depth + 1, max_depth));
+  CCIDX_RETURN_IF_ERROR(
+      CheckNode(h.right, pass_min, false, &wr, depth + 1, max_depth));
+  if (h.weight != pts.size() + wl + wr) {
+    return Status::Corruption("weight counter mismatch");
+  }
+  *weight = h.weight;
+  return Status::OK();
+}
+
+Status DynamicPst::CheckInvariants() const {
+  if (root_ == kInvalidPageId) {
+    return size_ == 0 ? Status::OK()
+                      : Status::Corruption("empty tree, nonzero size");
+  }
+  // Scapegoat balance: depth <= log_{1/alpha}(weight) + slack, loosened by
+  // pending deletions awaiting the next global rebuild.
+  double denom = std::log(1.0 / kAlpha);
+  uint32_t max_depth = static_cast<uint32_t>(
+      std::log(static_cast<double>(2 * size_ + 4)) / denom) + 6;
+  uint64_t weight = 0;
+  CCIDX_RETURN_IF_ERROR(
+      CheckNode(root_, kCoordMax, true, &weight, 0, max_depth));
+  if (weight != size_) {
+    return Status::Corruption("size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace ccidx

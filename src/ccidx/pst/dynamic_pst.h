@@ -1,0 +1,106 @@
+// DynamicPst: a fully dynamic (insert + delete) external priority search
+// tree — the §5 conclusion result.
+//
+// The paper closes by noting that "using the techniques in this paper to
+// dynamize the static structure of [17]" yields dynamic interval indexing
+// in O(n/B) pages with query O(log2 n + t/B) and amortized update
+// O(log2 n + (log2 n)^2/B). This class realizes that dynamization:
+//
+//   * Insert descends the x-routing path, placing the new point at the
+//     highest node where it fits by y and pushing the displaced minimum
+//     down — the classic PST insertion, one page per level.
+//   * Delete locates the point (heap order prunes the search), removes it
+//     in place, and lets nodes go under-full.
+//   * Balance and fullness are restored by amortized partial rebuilds in
+//     the spirit of the paper's level-II reorganizations: every node
+//     tracks its subtree weight, and when a child outweighs the
+//     scapegoat fraction of its parent (or accumulated updates reach half
+//     the weight), the subtree is rebuilt as a perfectly balanced static
+//     PST. Each rebuild costs O(w/B + w-in-core) for weight w and is paid
+//     for by the Omega(w) updates since the subtree was last built, the
+//     same accounting as Lemma 3.6.
+//
+// Space O(n/B); query O(log2 n + t/B) (Lemma 4.1 plus the balance bound);
+// amortized update O(log2 n + (log2 n)^2/B).
+
+#ifndef CCIDX_PST_DYNAMIC_PST_H_
+#define CCIDX_PST_DYNAMIC_PST_H_
+
+#include <vector>
+
+#include "ccidx/core/geometry.h"
+#include "ccidx/io/page_builder.h"
+
+namespace ccidx {
+
+/// Fully dynamic external priority search tree (§5 dynamization of [17]).
+class DynamicPst {
+ public:
+  /// Creates an empty tree.
+  explicit DynamicPst(Pager* pager);
+
+  /// Bulk-builds a balanced tree.
+  static Result<DynamicPst> Build(Pager* pager, std::vector<Point> points);
+
+  /// Inserts a point. Amortized O(log2 n + (log2 n)^2/B) I/Os.
+  Status Insert(const Point& p);
+
+  /// Deletes the exact point (x, y, id). Sets *found accordingly.
+  /// Amortized O(log2 n + (log2 n)^2/B) I/Os.
+  Status Delete(const Point& p, bool* found);
+
+  /// Appends all points with q.xlo <= x <= q.xhi and y >= q.ylo.
+  /// O(log2 n + t/B) I/Os.
+  Status Query(const ThreeSidedQuery& q, std::vector<Point>* out) const;
+
+  uint64_t size() const { return size_; }
+
+  Status Destroy();
+
+  /// Heap order, x-interval sanity, weight counters, balance envelope.
+  Status CheckInvariants() const;
+
+ private:
+  // Node page layout:
+  //   [header][count * Point (descending y)]
+  struct NodeHeader {
+    uint32_t count;
+    uint32_t pad;
+    uint64_t left;
+    uint64_t right;
+    Coord sub_xlo;    // x-range this subtree may contain (grows on insert)
+    Coord sub_xhi;
+    Coord min_y;      // min y among own points (kCoordMax if empty)
+    uint64_t weight;  // points in this subtree
+  };
+
+  static constexpr double kAlpha = 0.75;  // scapegoat balance fraction
+
+  uint32_t NodeCapacity() const;
+  Status LoadNode(PageId id, NodeHeader* h, std::vector<Point>* pts) const;
+  Status StoreNode(PageId id, NodeHeader& h, std::vector<Point>* pts) const;
+
+  static Result<PageId> BuildNode(Pager* pager,
+                                  std::span<const Point> sorted_by_x,
+                                  uint32_t cap);
+
+  Status QueryNode(PageId id, const ThreeSidedQuery& q,
+                   std::vector<Point>* out) const;
+  Status CollectNode(PageId id, std::vector<Point>* out) const;
+  Status FreeNode(PageId id);
+  // Rebuilds the subtree at *id as a balanced static tree; updates *id.
+  Status RebuildAt(PageId* id);
+  Status DeleteNode(PageId id, const Point& p, bool* found);
+  Status CheckNode(PageId id, Coord parent_min_y, bool is_root,
+                   uint64_t* weight, uint32_t depth,
+                   uint32_t max_depth) const;
+
+  Pager* pager_;
+  PageId root_;
+  uint64_t size_;
+  uint64_t updates_since_rebuild_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_PST_DYNAMIC_PST_H_

@@ -1,0 +1,202 @@
+#include "ccidx/pst/external_pst.h"
+
+#include <algorithm>
+
+namespace ccidx {
+
+namespace {
+bool DescY(const Point& a, const Point& b) { return PointYOrder()(b, a); }
+}  // namespace
+
+uint32_t ExternalPst::NodeCapacity() const {
+  return static_cast<uint32_t>(
+      (pager_->page_size() - sizeof(NodeHeader)) / sizeof(Point));
+}
+
+Result<PageId> ExternalPst::BuildNode(Pager* pager,
+                                      std::span<const Point> sorted_by_x,
+                                      uint32_t cap) {
+  if (sorted_by_x.empty()) return kInvalidPageId;
+
+  // The node keeps the `cap` highest-y points of its range; the rest split
+  // into two x-halves.
+  std::vector<Point> pts(sorted_by_x.begin(), sorted_by_x.end());
+  NodeHeader h{};
+  h.sub_xlo = sorted_by_x.front().x;
+  h.sub_xhi = sorted_by_x.back().x;
+  h.left = kInvalidPageId;
+  h.right = kInvalidPageId;
+
+  std::vector<Point> own;
+  if (pts.size() <= cap) {
+    own = std::move(pts);
+  } else {
+    std::vector<Point> by_y = pts;
+    std::sort(by_y.begin(), by_y.end(), DescY);
+    const Point cutoff = by_y[cap - 1];
+    own.assign(by_y.begin(), by_y.begin() + cap);
+    std::vector<Point> rest;
+    rest.reserve(pts.size() - cap);
+    for (const Point& p : pts) {
+      if (PointYOrder()(p, cutoff)) rest.push_back(p);  // preserves x order
+    }
+    size_t half = rest.size() / 2;
+    auto left = BuildNode(pager, {rest.data(), half}, cap);
+    CCIDX_RETURN_IF_ERROR(left.status());
+    auto right = BuildNode(pager, {rest.data() + half, rest.size() - half},
+                           cap);
+    CCIDX_RETURN_IF_ERROR(right.status());
+    h.left = *left;
+    h.right = *right;
+  }
+  std::sort(own.begin(), own.end(), DescY);
+  h.count = static_cast<uint32_t>(own.size());
+  h.min_y = own.empty() ? kCoordMax : own.back().y;
+
+  PageId id = pager->Allocate();
+  std::vector<uint8_t> buf(pager->page_size());
+  PageWriter w(buf);
+  w.Put(h);
+  w.PutArray(std::span<const Point>(own));
+  CCIDX_RETURN_IF_ERROR(pager->Write(id, buf));
+  return id;
+}
+
+Result<ExternalPst> ExternalPst::Build(Pager* pager,
+                                       std::vector<Point> points) {
+  ExternalPst tree(pager, kInvalidPageId);
+  uint32_t cap = tree.NodeCapacity();
+  if (cap < 1) {
+    return Status::InvalidArgument("page size too small for external PST");
+  }
+  std::sort(points.begin(), points.end(), PointXOrder());
+  auto root = BuildNode(pager, points, cap);
+  CCIDX_RETURN_IF_ERROR(root.status());
+  tree.root_ = *root;
+  return tree;
+}
+
+ExternalPst ExternalPst::Open(Pager* pager, PageId root) {
+  return ExternalPst(pager, root);
+}
+
+Status ExternalPst::LoadNode(PageId id, NodeHeader* h,
+                             std::vector<Point>* pts) const {
+  std::vector<uint8_t> buf(pager_->page_size());
+  CCIDX_RETURN_IF_ERROR(pager_->Read(id, buf));
+  PageReader r(buf);
+  *h = r.Get<NodeHeader>();
+  pts->resize(h->count);
+  r.GetArray(std::span<Point>(*pts));
+  return Status::OK();
+}
+
+Status ExternalPst::QueryNode(PageId id, const ThreeSidedQuery& q,
+                              std::vector<Point>* out) const {
+  if (id == kInvalidPageId) return Status::OK();
+  NodeHeader h;
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+  if (h.sub_xlo > q.xhi || h.sub_xhi < q.xlo) return Status::OK();
+  for (const Point& p : pts) {
+    if (p.y < q.ylo) break;  // descending y: nothing below qualifies
+    if (p.x >= q.xlo && p.x <= q.xhi) out->push_back(p);
+  }
+  // Heap order: every descendant's y is <= this node's min y. If some own
+  // point already fell below ylo, no descendant can qualify.
+  if (h.min_y < q.ylo) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(QueryNode(h.left, q, out));
+  return QueryNode(h.right, q, out);
+}
+
+Status ExternalPst::Query(const ThreeSidedQuery& q,
+                          std::vector<Point>* out) const {
+  if (q.xlo > q.xhi) return Status::OK();
+  return QueryNode(root_, q, out);
+}
+
+namespace {
+// Iterative node walk shared by CollectPoints.
+}  // namespace
+
+Status ExternalPst::CollectPoints(std::vector<Point>* out) const {
+  std::vector<PageId> stack;
+  if (root_ != kInvalidPageId) stack.push_back(root_);
+  NodeHeader h;
+  std::vector<Point> pts;
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+    out->insert(out->end(), pts.begin(), pts.end());
+    if (h.left != kInvalidPageId) stack.push_back(h.left);
+    if (h.right != kInvalidPageId) stack.push_back(h.right);
+  }
+  return Status::OK();
+}
+
+Status ExternalPst::FreeNode(PageId id) {
+  if (id == kInvalidPageId) return Status::OK();
+  NodeHeader h;
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+  CCIDX_RETURN_IF_ERROR(FreeNode(h.left));
+  CCIDX_RETURN_IF_ERROR(FreeNode(h.right));
+  return pager_->Free(id);
+}
+
+Status ExternalPst::Free() {
+  CCIDX_RETURN_IF_ERROR(FreeNode(root_));
+  root_ = kInvalidPageId;
+  return Status::OK();
+}
+
+Status ExternalPst::CheckNode(PageId id, Coord parent_min_y, bool is_root,
+                              uint64_t* count) const {
+  if (id == kInvalidPageId) return Status::OK();
+  NodeHeader h;
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+  if (!std::is_sorted(pts.begin(), pts.end(), DescY)) {
+    return Status::Corruption("PST node not descending by y");
+  }
+  for (const Point& p : pts) {
+    if (p.x < h.sub_xlo || p.x > h.sub_xhi) {
+      return Status::Corruption("PST point outside node x-range");
+    }
+    if (!is_root && p.y > parent_min_y) {
+      return Status::Corruption("PST heap order violated");
+    }
+  }
+  if (!pts.empty() && h.min_y != pts.back().y) {
+    return Status::Corruption("PST min_y field incorrect");
+  }
+  if ((h.left != kInvalidPageId || h.right != kInvalidPageId) &&
+      pts.size() < NodeCapacity()) {
+    return Status::Corruption("internal PST node not full");
+  }
+  *count += pts.size();
+  CCIDX_RETURN_IF_ERROR(CheckNode(h.left, h.min_y, false, count));
+  return CheckNode(h.right, h.min_y, false, count);
+}
+
+Status ExternalPst::CheckInvariants() const {
+  uint64_t count = 0;
+  return CheckNode(root_, kCoordMax, true, &count);
+}
+
+Result<uint64_t> ExternalPst::CountNode(PageId id) const {
+  if (id == kInvalidPageId) return static_cast<uint64_t>(0);
+  NodeHeader h;
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+  auto l = CountNode(h.left);
+  CCIDX_RETURN_IF_ERROR(l.status());
+  auto r = CountNode(h.right);
+  CCIDX_RETURN_IF_ERROR(r.status());
+  return 1 + *l + *r;
+}
+
+Result<uint64_t> ExternalPst::CountPages() const { return CountNode(root_); }
+
+}  // namespace ccidx

@@ -1,0 +1,96 @@
+// ExternalPst: a blocked external-memory priority search tree (Lemma 4.1,
+// after Icking–Klein–Ottmann [17]).
+//
+// A binary tree over the x-sorted point set in which every node occupies
+// one page and stores the ~B points with the largest y values among the
+// points of its subtree range (a B-blocked analogue of McCreight's priority
+// search tree). Answers 3-sided queries [xlo, xhi] x [ylo, +inf) in
+// O(log2 n + t/B) I/Os using O(n/B) pages, and is buildable in
+// O((n/B) log_B n) I/Os.
+//
+// Note the log2 (not log_B) search term: this is the structure the paper
+// cites as the best previous approach — the metablock tree's raison d'être
+// is removing that binary-height factor for the diagonal special case.
+// Here it serves two roles:
+//   * experiment E8's baseline, and
+//   * the per-metablock / per-children 3-sided sub-structure of the
+//     Section 4 class-indexing tree (where it only ever holds O(B^3)
+//     points, so its log2 term is the paper's log2 B additive cost).
+
+#ifndef CCIDX_PST_EXTERNAL_PST_H_
+#define CCIDX_PST_EXTERNAL_PST_H_
+
+#include <vector>
+
+#include "ccidx/core/geometry.h"
+#include "ccidx/io/page_builder.h"
+
+namespace ccidx {
+
+/// Static external priority search tree for 3-sided queries.
+class ExternalPst {
+ public:
+  /// Builds over `points` (any planar points; no y >= x restriction).
+  static Result<ExternalPst> Build(Pager* pager, std::vector<Point> points);
+
+  /// Re-attaches to a previously built tree by its root page.
+  static ExternalPst Open(Pager* pager, PageId root);
+
+  /// Appends all points with xlo <= x <= xhi and y >= ylo to `out`.
+  /// O(log2 n + t/B) I/Os.
+  Status Query(const ThreeSidedQuery& q, std::vector<Point>* out) const;
+
+  PageId root() const { return root_; }
+
+  /// Frees every page.
+  Status Free();
+
+  /// Appends every stored point to `out` (O(n/B) I/Os). Used when a
+  /// Lemma 4.4 TD structure is rebuilt.
+  Status CollectPoints(std::vector<Point>* out) const;
+
+  /// Structural checks: heap order on y between node and children, x-range
+  /// nesting, point counts.
+  Status CheckInvariants() const;
+
+  /// Counts pages used (O(n/B) I/Os).
+  Result<uint64_t> CountPages() const;
+
+ private:
+  ExternalPst(Pager* pager, PageId root) : pager_(pager), root_(root) {}
+
+  // Node page layout:
+  //   [u32 count][u32 pad][u64 left][u64 right]
+  //   [coord sub_xlo][coord sub_xhi][coord min_y]
+  //   [count * Point]   (descending y)
+  struct NodeHeader {
+    uint32_t count;
+    uint32_t pad;
+    uint64_t left;
+    uint64_t right;
+    Coord sub_xlo;
+    Coord sub_xhi;
+    Coord min_y;  // min y among the node's own points
+  };
+
+  uint32_t NodeCapacity() const;
+
+  static Result<PageId> BuildNode(Pager* pager,
+                                  std::span<const Point> sorted_by_x,
+                                  uint32_t cap);
+  Status LoadNode(PageId id, NodeHeader* h, std::vector<Point>* pts) const;
+
+  Status QueryNode(PageId id, const ThreeSidedQuery& q,
+                   std::vector<Point>* out) const;
+  Status FreeNode(PageId id);
+  Status CheckNode(PageId id, Coord parent_min_y, bool is_root,
+                   uint64_t* count) const;
+  Result<uint64_t> CountNode(PageId id) const;
+
+  Pager* pager_;
+  PageId root_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_PST_EXTERNAL_PST_H_

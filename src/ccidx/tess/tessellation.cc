@@ -1,0 +1,107 @@
+#include "ccidx/tess/tessellation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccidx {
+
+Result<Tessellation> Tessellation::Tiles(Coord p, Coord w, Coord h) {
+  if (w <= 0 || h <= 0 || p % w != 0 || p % h != 0) {
+    return Status::InvalidArgument("tile dims must divide p");
+  }
+  Tessellation t(p, w * h);
+  for (Coord y = 0; y < p; y += h) {
+    for (Coord x = 0; x < p; x += w) {
+      t.blocks_.push_back({x, y, w, h});
+    }
+  }
+  return t;
+}
+
+Result<Tessellation> Tessellation::Square(Coord p, Coord block_points) {
+  Coord side = static_cast<Coord>(std::llround(std::sqrt(
+      static_cast<double>(block_points))));
+  if (side * side != block_points) {
+    return Status::InvalidArgument("block_points must be a perfect square");
+  }
+  return Tiles(p, side, side);
+}
+
+Result<Tessellation> Tessellation::RowStrips(Coord p, Coord block_points) {
+  return Tiles(p, block_points, 1);
+}
+
+Result<Tessellation> Tessellation::ColumnStrips(Coord p, Coord block_points) {
+  return Tiles(p, 1, block_points);
+}
+
+uint64_t Tessellation::RowQueryBlocks(Coord y) const {
+  uint64_t n = 0;
+  for (const TessBlock& b : blocks_) {
+    if (y >= b.y && y < b.y + b.h) n++;
+  }
+  return n;
+}
+
+uint64_t Tessellation::ColumnQueryBlocks(Coord x) const {
+  uint64_t n = 0;
+  for (const TessBlock& b : blocks_) {
+    if (x >= b.x && x < b.x + b.w) n++;
+  }
+  return n;
+}
+
+uint64_t Tessellation::RangeQueryBlocks(const RangeQuery2D& q) const {
+  uint64_t n = 0;
+  for (const TessBlock& b : blocks_) {
+    bool x_overlap = b.x <= q.xhi && q.xlo <= b.x + b.w - 1;
+    bool y_overlap = b.y <= q.yhi && q.ylo <= b.y + b.h - 1;
+    if (x_overlap && y_overlap) n++;
+  }
+  return n;
+}
+
+double Tessellation::RowK() const {
+  uint64_t worst = 0;
+  for (Coord y = 0; y < p_; ++y) {
+    worst = std::max(worst, RowQueryBlocks(y));
+  }
+  // A row query outputs t = p points; optimal is t/B = p/B blocks.
+  return static_cast<double>(worst) /
+         (static_cast<double>(p_) / static_cast<double>(block_points_));
+}
+
+double Tessellation::ColumnK() const {
+  uint64_t worst = 0;
+  for (Coord x = 0; x < p_; ++x) {
+    worst = std::max(worst, ColumnQueryBlocks(x));
+  }
+  return static_cast<double>(worst) /
+         (static_cast<double>(p_) / static_cast<double>(block_points_));
+}
+
+Status Tessellation::Validate() const {
+  uint64_t expected_blocks =
+      static_cast<uint64_t>(p_) * static_cast<uint64_t>(p_) /
+      static_cast<uint64_t>(block_points_);
+  if (blocks_.size() != expected_blocks) {
+    return Status::Corruption("wrong number of blocks");
+  }
+  // Coverage check by area and disjointness by sampling each block corner.
+  uint64_t area = 0;
+  for (const TessBlock& b : blocks_) {
+    if (b.w * b.h != block_points_) {
+      return Status::Corruption("block with wrong point count");
+    }
+    if (b.x < 0 || b.y < 0 || b.x + b.w > p_ || b.y + b.h > p_) {
+      return Status::Corruption("block outside grid");
+    }
+    area += static_cast<uint64_t>(b.w) * static_cast<uint64_t>(b.h);
+  }
+  if (area != static_cast<uint64_t>(p_) * static_cast<uint64_t>(p_)) {
+    return Status::Corruption("blocks do not cover the grid");
+  }
+  return Status::OK();
+}
+
+}  // namespace ccidx

@@ -1,0 +1,83 @@
+// Tessellation study: the Lemma 2.7 / Theorem 2.8 lower-bound argument,
+// made executable.
+//
+// Lemma 2.7: no tessellation of a p x p grid into non-overlapping
+// B-point rectangles (disk blocks, one copy per point) answers every range
+// query in O(t/B) blocks — summing block heights over row queries and
+// widths over column queries and applying the harmonic-arithmetic mean
+// inequality forces B <= k^2 for any claimed constant k.
+//
+// This module builds concrete tessellations (square tiles, row strips,
+// column strips), counts exactly how many blocks each row / column query
+// touches, and computes the k required — the quantity the proof shows
+// cannot stay constant. Experiment E7 sweeps B and reports
+// max(k_row, k_col) >= sqrt(B) for every tessellation, versus the
+// metablock tree's O(t/B) behaviour on its (diagonal) query class.
+
+#ifndef CCIDX_TESS_TESSELLATION_H_
+#define CCIDX_TESS_TESSELLATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ccidx/common/status.h"
+#include "ccidx/core/geometry.h"
+
+namespace ccidx {
+
+/// An axis-aligned block of grid points: [x, x+w) x [y, y+h), w*h == B.
+struct TessBlock {
+  Coord x, y;
+  Coord w, h;
+};
+
+/// A tessellation of the p x p grid into B-point rectangles.
+class Tessellation {
+ public:
+  /// sqrt(B) x sqrt(B) tiles (grid-file-like). Requires sqrt(B) integral
+  /// and p divisible by sqrt(B).
+  static Result<Tessellation> Square(Coord p, Coord block_points);
+
+  /// 1 x B horizontal strips (optimal for row queries, worst for columns).
+  /// Requires p divisible by B.
+  static Result<Tessellation> RowStrips(Coord p, Coord block_points);
+
+  /// B x 1 vertical strips.
+  static Result<Tessellation> ColumnStrips(Coord p, Coord block_points);
+
+  /// w x h tiles with w*h == B (generalized aspect ratio).
+  static Result<Tessellation> Tiles(Coord p, Coord w, Coord h);
+
+  Coord p() const { return p_; }
+  Coord block_points() const { return block_points_; }
+  const std::vector<TessBlock>& blocks() const { return blocks_; }
+
+  /// Number of blocks intersecting grid row `y` (a p-point query).
+  uint64_t RowQueryBlocks(Coord y) const;
+  /// Number of blocks intersecting grid column `x`.
+  uint64_t ColumnQueryBlocks(Coord x) const;
+
+  /// Number of blocks intersecting the rectangle query
+  /// [xlo, xhi] x [ylo, yhi]; t = its point count.
+  uint64_t RangeQueryBlocks(const RangeQuery2D& q) const;
+
+  /// The smallest k such that every row query's cost is <= k * p / B —
+  /// the constant Lemma 2.7 shows cannot be bounded.
+  double RowK() const;
+  double ColumnK() const;
+
+  /// Verifies the tessellation is a partition (every point in exactly one
+  /// block, all blocks exactly block_points() points).
+  Status Validate() const;
+
+ private:
+  Tessellation(Coord p, Coord bp) : p_(p), block_points_(bp) {}
+
+  Coord p_;
+  Coord block_points_;
+  std::vector<TessBlock> blocks_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_TESS_TESSELLATION_H_

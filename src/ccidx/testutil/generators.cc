@@ -1,0 +1,104 @@
+#include "ccidx/testutil/generators.h"
+
+#include <algorithm>
+
+namespace ccidx {
+
+std::vector<Point> RandomPointsAboveDiagonal(size_t n, Coord domain,
+                                             uint32_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Coord> dist(0, domain - 1);
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Coord a = dist(rng), b = dist(rng);
+    if (a > b) std::swap(a, b);
+    out.push_back({a, b, i});
+  }
+  return out;
+}
+
+std::vector<Point> RandomPoints(size_t n, Coord domain, uint32_t seed) {
+  std::mt19937_64 rng(seed ^ 0x9E3779B97F4A7C15ull);
+  std::uniform_int_distribution<Coord> dist(0, domain - 1);
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({dist(rng), dist(rng), i});
+  }
+  return out;
+}
+
+std::vector<Interval> RandomIntervals(size_t n, Coord domain,
+                                      IntervalWorkload shape, uint32_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Coord> dist(0, domain - 1);
+  std::vector<Interval> out;
+  out.reserve(n);
+  switch (shape) {
+    case IntervalWorkload::kUniform:
+      for (size_t i = 0; i < n; ++i) {
+        Coord a = dist(rng), b = dist(rng);
+        if (a > b) std::swap(a, b);
+        out.push_back({a, b, i});
+      }
+      break;
+    case IntervalWorkload::kNested: {
+      // Intervals [i*step, domain - i*step), shrinking toward the center.
+      Coord step = std::max<Coord>(1, domain / (2 * static_cast<Coord>(n) + 2));
+      for (size_t i = 0; i < n; ++i) {
+        Coord lo = static_cast<Coord>(i) * step;
+        Coord hi = domain - 1 - static_cast<Coord>(i) * step;
+        if (lo > hi) lo = hi;
+        out.push_back({lo, hi, i});
+      }
+      break;
+    }
+    case IntervalWorkload::kClustered: {
+      // 16 hot spots; short intervals around each.
+      std::uniform_int_distribution<Coord> len_dist(0, domain / 64 + 1);
+      std::vector<Coord> hot;
+      for (int h = 0; h < 16; ++h) hot.push_back(dist(rng));
+      for (size_t i = 0; i < n; ++i) {
+        Coord center = hot[rng() % hot.size()];
+        Coord len = len_dist(rng);
+        Coord lo = std::max<Coord>(0, center - len / 2);
+        out.push_back({lo, lo + len, i});
+      }
+      break;
+    }
+    case IntervalWorkload::kUnit: {
+      Coord stride = std::max<Coord>(2, domain / static_cast<Coord>(n + 1));
+      for (size_t i = 0; i < n; ++i) {
+        Coord lo = static_cast<Coord>(i) * stride % (domain - 1);
+        out.push_back({lo, lo + 1, i});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Point> LowerBoundStaircase(size_t n) {
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Coord x = static_cast<Coord>(2 * i);
+    out.push_back({x, x + 2, i});
+  }
+  return out;
+}
+
+std::vector<Point> UniformGrid(Coord p) {
+  std::vector<Point> out;
+  out.reserve(static_cast<size_t>(p) * static_cast<size_t>(p));
+  uint64_t id = 0;
+  for (Coord x = 0; x < p; ++x) {
+    for (Coord y = 0; y < p; ++y) {
+      out.push_back({x, y, id++});
+    }
+  }
+  return out;
+}
+
+}  // namespace ccidx

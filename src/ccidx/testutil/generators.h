@@ -1,0 +1,49 @@
+// Deterministic workload generators for tests, examples, and benchmarks.
+//
+// All generators take an explicit seed so every experiment in
+// EXPERIMENTS.md is reproducible bit-for-bit.
+
+#ifndef CCIDX_TESTUTIL_GENERATORS_H_
+#define CCIDX_TESTUTIL_GENERATORS_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "ccidx/core/geometry.h"
+#include "ccidx/testutil/oracles.h"
+
+namespace ccidx {
+
+/// Shapes of interval workloads used by experiment E4.
+enum class IntervalWorkload {
+  kUniform,    ///< endpoints uniform in the domain; mixed lengths
+  kNested,     ///< concentric intervals (worst case for naive filtering)
+  kClustered,  ///< many short intervals clustered around hot spots
+  kUnit,       ///< short, nearly disjoint intervals (best case)
+};
+
+/// Random points above the diagonal (y >= x), as produced by mapping
+/// intervals [lo, hi] to points (lo, hi). Ids are 0..n-1.
+std::vector<Point> RandomPointsAboveDiagonal(size_t n, Coord domain,
+                                             uint32_t seed);
+
+/// Random points anywhere in [0, domain)^2 (for 3-sided / PST tests).
+std::vector<Point> RandomPoints(size_t n, Coord domain, uint32_t seed);
+
+/// Random intervals over [0, domain) with the given workload shape.
+std::vector<Interval> RandomIntervals(size_t n, Coord domain,
+                                      IntervalWorkload shape, uint32_t seed);
+
+/// The lower-bound staircase of Prop. 3.3: S = { (x, x+1) : x in [0, n) }.
+/// Each diagonal query at a = x + 1/2 (we use integer doubling to stay
+/// integral: points (2x, 2x+2), queries at odd 2x+1) matches exactly one
+/// point.
+std::vector<Point> LowerBoundStaircase(size_t n);
+
+/// Uniform p x p grid of points (Lemma 2.7 / Thm. 2.8 workloads).
+std::vector<Point> UniformGrid(Coord p);
+
+}  // namespace ccidx
+
+#endif  // CCIDX_TESTUTIL_GENERATORS_H_

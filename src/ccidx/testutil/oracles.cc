@@ -1,0 +1,72 @@
+#include "ccidx/testutil/oracles.h"
+
+#include <algorithm>
+
+namespace ccidx {
+
+void SortPoints(std::vector<Point>* pts) {
+  std::sort(pts->begin(), pts->end(), PointXOrder());
+}
+
+void SortIntervals(std::vector<Interval>* ivs) {
+  std::sort(ivs->begin(), ivs->end(), [](const Interval& a, const Interval& b) {
+    if (a.lo != b.lo) return a.lo < b.lo;
+    if (a.hi != b.hi) return a.hi < b.hi;
+    return a.id < b.id;
+  });
+}
+
+PointOracle::PointOracle(std::vector<Point> points)
+    : points_(std::move(points)) {}
+
+namespace {
+template <typename Query>
+std::vector<Point> Filter(const std::vector<Point>& pts, const Query& q) {
+  std::vector<Point> out;
+  for (const Point& p : pts) {
+    if (q.Contains(p)) out.push_back(p);
+  }
+  SortPoints(&out);
+  return out;
+}
+}  // namespace
+
+std::vector<Point> PointOracle::Diagonal(const DiagonalQuery& q) const {
+  return Filter(points_, q);
+}
+std::vector<Point> PointOracle::TwoSided(const TwoSidedQuery& q) const {
+  return Filter(points_, q);
+}
+std::vector<Point> PointOracle::ThreeSided(const ThreeSidedQuery& q) const {
+  return Filter(points_, q);
+}
+std::vector<Point> PointOracle::Range(const RangeQuery2D& q) const {
+  return Filter(points_, q);
+}
+
+bool IntervalOracle::Erase(const Interval& iv) {
+  auto it = std::find(intervals_.begin(), intervals_.end(), iv);
+  if (it == intervals_.end()) return false;
+  intervals_.erase(it);
+  return true;
+}
+
+std::vector<Interval> IntervalOracle::Stab(Coord q) const {
+  std::vector<Interval> out;
+  for (const Interval& iv : intervals_) {
+    if (iv.Contains(q)) out.push_back(iv);
+  }
+  SortIntervals(&out);
+  return out;
+}
+
+std::vector<Interval> IntervalOracle::Intersect(Coord qlo, Coord qhi) const {
+  std::vector<Interval> out;
+  for (const Interval& iv : intervals_) {
+    if (iv.Intersects(qlo, qhi)) out.push_back(iv);
+  }
+  SortIntervals(&out);
+  return out;
+}
+
+}  // namespace ccidx

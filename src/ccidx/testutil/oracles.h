@@ -1,0 +1,78 @@
+// Naive in-core oracles: ground truth for property tests and benchmarks.
+//
+// Each oracle answers the same queries as an external structure by linear
+// scan, so randomized tests can compare outputs exactly, and benchmarks can
+// report the naive I/O cost (scan everything) as the lower baseline.
+
+#ifndef CCIDX_TESTUTIL_ORACLES_H_
+#define CCIDX_TESTUTIL_ORACLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ccidx/core/geometry.h"
+
+namespace ccidx {
+
+/// A closed interval with an id, as managed by interval indexing (§2.1).
+struct Interval {
+  Coord lo;
+  Coord hi;
+  uint64_t id;
+
+  bool operator==(const Interval& o) const {
+    return lo == o.lo && hi == o.hi && id == o.id;
+  }
+  /// True iff this interval contains point q (a stabbing hit).
+  bool Contains(Coord q) const { return lo <= q && q <= hi; }
+  /// True iff this interval and [qlo, qhi] share at least one point.
+  bool Intersects(Coord qlo, Coord qhi) const {
+    return lo <= qhi && qlo <= hi;
+  }
+};
+
+/// Linear-scan oracle over a point set.
+class PointOracle {
+ public:
+  PointOracle() = default;
+  explicit PointOracle(std::vector<Point> points);
+
+  void Insert(const Point& p) { points_.push_back(p); }
+
+  /// Points with x <= q.a and y >= q.a, sorted by (x, y, id).
+  std::vector<Point> Diagonal(const DiagonalQuery& q) const;
+  std::vector<Point> TwoSided(const TwoSidedQuery& q) const;
+  std::vector<Point> ThreeSided(const ThreeSidedQuery& q) const;
+  std::vector<Point> Range(const RangeQuery2D& q) const;
+
+  size_t size() const { return points_.size(); }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Linear-scan oracle over an interval set.
+class IntervalOracle {
+ public:
+  void Insert(const Interval& iv) { intervals_.push_back(iv); }
+  bool Erase(const Interval& iv);
+
+  /// All intervals containing q, sorted by (lo, hi, id).
+  std::vector<Interval> Stab(Coord q) const;
+  /// All intervals intersecting [qlo, qhi], sorted by (lo, hi, id).
+  std::vector<Interval> Intersect(Coord qlo, Coord qhi) const;
+
+  size_t size() const { return intervals_.size(); }
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+/// Canonical sort for comparing query outputs from different structures.
+void SortPoints(std::vector<Point>* pts);
+void SortIntervals(std::vector<Interval>* ivs);
+
+}  // namespace ccidx
+
+#endif  // CCIDX_TESTUTIL_ORACLES_H_

@@ -1,0 +1,163 @@
+// Direct tests for the shared blocking helpers (Fig. 9): vertical
+// blockings with index chains and descending-y chains with the
+// one-block-overshoot scan rule that every Section 3/4 proof charges for.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ccidx/core/blocking.h"
+#include "ccidx/core/metablock_tree.h"  // PageSizeForBranching
+#include "ccidx/testutil/generators.h"
+
+namespace ccidx {
+namespace {
+
+constexpr uint32_t kB = 8;
+
+class BlockingTest : public ::testing::Test {
+ protected:
+  BlockingTest() : dev_(PageSizeForBranching(kB)), pager_(&dev_, 0) {}
+
+  BlockDevice dev_;
+  Pager pager_;
+};
+
+TEST_F(BlockingTest, VerticalBlockingRoundTrip) {
+  auto points = RandomPoints(10 * kB, 1000, 1);
+  std::sort(points.begin(), points.end(), PointXOrder());
+  auto vb = WriteVerticalBlocking(&pager_, points);
+  ASSERT_TRUE(vb.ok());
+  EXPECT_EQ(vb->num_blocks, 10u);
+  std::vector<VerticalBlock> index;
+  ASSERT_TRUE(ReadVerticalIndex(&pager_, vb->index_head, &index).ok());
+  ASSERT_EQ(index.size(), 10u);
+  PageIo io(&pager_);
+  std::vector<Point> all;
+  for (size_t i = 0; i < index.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(index[i].xlo, index[i - 1].xhi);  // ordered slabs
+    }
+    std::vector<Point> pts;
+    auto next = io.ReadRecords<Point>(index[i].page, &pts);
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(pts.size(), kB);
+    for (const Point& p : pts) {
+      EXPECT_GE(p.x, index[i].xlo);
+      EXPECT_LE(p.x, index[i].xhi);
+    }
+    all.insert(all.end(), pts.begin(), pts.end());
+  }
+  EXPECT_EQ(all, points);
+}
+
+TEST_F(BlockingTest, VerticalBlockingEmpty) {
+  auto vb = WriteVerticalBlocking(&pager_, {});
+  ASSERT_TRUE(vb.ok());
+  EXPECT_EQ(vb->num_blocks, 0u);
+  EXPECT_EQ(vb->index_head, kInvalidPageId);
+  ASSERT_TRUE(FreeVerticalBlocking(&pager_, vb->index_head).ok());
+}
+
+TEST_F(BlockingTest, FreeVerticalReleasesEverything) {
+  auto points = RandomPoints(5 * kB, 100, 2);
+  std::sort(points.begin(), points.end(), PointXOrder());
+  uint64_t before = dev_.live_pages();
+  auto vb = WriteVerticalBlocking(&pager_, points);
+  ASSERT_TRUE(vb.ok());
+  EXPECT_GT(dev_.live_pages(), before);
+  ASSERT_TRUE(FreeVerticalBlocking(&pager_, vb->index_head).ok());
+  EXPECT_EQ(dev_.live_pages(), before);
+}
+
+TEST_F(BlockingTest, DescYChainIsSorted) {
+  auto points = RandomPoints(7 * kB + 3, 500, 3);
+  auto head = WriteDescYChain(&pager_, points);
+  ASSERT_TRUE(head.ok());
+  PageIo io(&pager_);
+  std::vector<Point> stored;
+  ASSERT_TRUE(io.ReadChain<Point>(*head, &stored).ok());
+  ASSERT_EQ(stored.size(), points.size());
+  for (size_t i = 1; i < stored.size(); ++i) {
+    EXPECT_GE(stored[i - 1].y, stored[i].y);
+  }
+}
+
+TEST_F(BlockingTest, ScanStopsWithinOneBlockOfCrossing) {
+  // 5 full pages of descending y; a threshold in the middle of page 2 must
+  // read exactly pages 0,1,2 (one overshoot page), never 3 or 4.
+  std::vector<Point> points;
+  for (uint64_t i = 0; i < 5 * kB; ++i) {
+    points.push_back({0, static_cast<Coord>(1000 - i), i});
+  }
+  auto head = WriteDescYChain(&pager_, points);
+  ASSERT_TRUE(head.ok());
+  Coord threshold = points[2 * kB + kB / 2].y;  // mid page 2
+  dev_.stats().Reset();
+  std::vector<Point> got;
+  auto crossed = ScanDescYChainUntil(
+      &pager_, *head, threshold,
+      [&got](const Point& p) { got.push_back(p); });
+  ASSERT_TRUE(crossed.ok());
+  EXPECT_TRUE(*crossed);
+  EXPECT_EQ(dev_.stats().device_reads, 3u);
+  for (const Point& p : got) EXPECT_GE(p.y, threshold);
+  // And every point at or above the threshold was emitted.
+  size_t expected = 0;
+  for (const Point& p : points) {
+    if (p.y >= threshold) expected++;
+  }
+  EXPECT_EQ(got.size(), expected);
+}
+
+TEST_F(BlockingTest, ScanExhaustsWhenNothingCrosses) {
+  std::vector<Point> points;
+  for (uint64_t i = 0; i < 3 * kB; ++i) {
+    points.push_back({0, static_cast<Coord>(500 + i), i});
+  }
+  auto head = WriteDescYChain(&pager_, points);
+  ASSERT_TRUE(head.ok());
+  std::vector<Point> got;
+  auto crossed = ScanDescYChainUntil(
+      &pager_, *head, 100, [&got](const Point& p) { got.push_back(p); });
+  ASSERT_TRUE(crossed.ok());
+  EXPECT_FALSE(*crossed);  // every point qualifies
+  EXPECT_EQ(got.size(), points.size());
+}
+
+TEST_F(BlockingTest, ScanOnEmptyChain) {
+  std::vector<Point> got;
+  auto crossed = ScanDescYChainUntil(
+      &pager_, kInvalidPageId, 5, [&got](const Point& p) { got.push_back(p); });
+  ASSERT_TRUE(crossed.ok());
+  EXPECT_FALSE(*crossed);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(BlockingTest, TieHeavyScan) {
+  // All points share one y: threshold at that y must emit everything
+  // (exhausted); threshold one above must cross on the first page.
+  std::vector<Point> points;
+  for (uint64_t i = 0; i < 4 * kB; ++i) {
+    points.push_back({static_cast<Coord>(i), 42, i});
+  }
+  auto head = WriteDescYChain(&pager_, points);
+  ASSERT_TRUE(head.ok());
+  std::vector<Point> got;
+  auto crossed = ScanDescYChainUntil(
+      &pager_, *head, 42, [&got](const Point& p) { got.push_back(p); });
+  ASSERT_TRUE(crossed.ok());
+  EXPECT_FALSE(*crossed);
+  EXPECT_EQ(got.size(), points.size());
+  got.clear();
+  dev_.stats().Reset();
+  crossed = ScanDescYChainUntil(
+      &pager_, *head, 43, [&got](const Point& p) { got.push_back(p); });
+  ASSERT_TRUE(crossed.ok());
+  EXPECT_TRUE(*crossed);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(dev_.stats().device_reads, 1u);  // one page, then stop
+}
+
+}  // namespace
+}  // namespace ccidx

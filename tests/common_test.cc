@@ -1,0 +1,160 @@
+// Unit tests for ccidx/common: Status, Result, Rational, geometry types.
+
+#include <gtest/gtest.h>
+
+#include "ccidx/common/rational.h"
+#include "ccidx/common/status.h"
+#include "ccidx/core/geometry.h"
+
+namespace ccidx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IoError("page 7 gone");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.message(), "page 7 gone");
+  EXPECT_EQ(s.ToString(), "IoError: page 7 gone");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RationalTest, NormalizesOnConstruction) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+  Rational neg(3, -9);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 3);
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2), third(1, 3);
+  EXPECT_EQ((half + third), Rational(5, 6));
+  EXPECT_EQ((half - third), Rational(1, 6));
+  EXPECT_EQ((half * third), Rational(1, 6));
+  EXPECT_EQ((half / third), Rational(3, 2));
+}
+
+TEST(RationalTest, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(5, 6), Rational(2, 3));
+  EXPECT_GE(Rational(5, 6), Rational(5, 6));
+}
+
+TEST(RationalTest, MidpointMatchesLabelClassSubdivision) {
+  // Example 2.3: Person [0,1); children get thirds; Asst.Prof gets [5/6, 1).
+  Rational lo(2, 3), hi(1);
+  EXPECT_EQ(lo.Midpoint(hi), Rational(5, 6));
+}
+
+TEST(RationalTest, ToString) {
+  EXPECT_EQ(Rational(5, 6).ToString(), "5/6");
+  EXPECT_EQ(Rational(7).ToString(), "7");
+}
+
+TEST(GeometryTest, DiagonalQueryContainment) {
+  DiagonalQuery q{10};
+  EXPECT_TRUE(q.Contains({5, 15, 0}));
+  EXPECT_TRUE(q.Contains({10, 10, 0}));  // corner inclusive
+  EXPECT_FALSE(q.Contains({11, 15, 0}));
+  EXPECT_FALSE(q.Contains({5, 9, 0}));
+}
+
+TEST(GeometryTest, SpecializationChainFig1) {
+  // Every point accepted by a diagonal query must be accepted by its
+  // widenings: 2-sided, 3-sided, general range (Fig. 1).
+  DiagonalQuery d{7};
+  TwoSidedQuery two = AsTwoSided(d);
+  ThreeSidedQuery three = AsThreeSided(two);
+  RangeQuery2D range = AsRange(three);
+  for (Coord x = 0; x < 15; ++x) {
+    for (Coord y = 0; y < 15; ++y) {
+      Point p{x, y, 0};
+      if (d.Contains(p)) {
+        EXPECT_TRUE(two.Contains(p));
+        EXPECT_TRUE(three.Contains(p));
+        EXPECT_TRUE(range.Contains(p));
+      }
+      if (two.Contains(p)) {
+        EXPECT_TRUE(three.Contains(p));
+      }
+      if (three.Contains(p)) {
+        EXPECT_TRUE(range.Contains(p));
+      }
+    }
+  }
+}
+
+TEST(GeometryTest, TwoSidedEquivalentToDiagonalWhenCornerOnLine) {
+  DiagonalQuery d{3};
+  TwoSidedQuery two{3, 3};
+  for (Coord x = -5; x < 10; ++x) {
+    for (Coord y = -5; y < 10; ++y) {
+      Point p{x, y, 0};
+      EXPECT_EQ(d.Contains(p), two.Contains(p));
+    }
+  }
+}
+
+TEST(GeometryTest, ThreeSidedQuery) {
+  ThreeSidedQuery q{2, 8, 5};
+  EXPECT_TRUE(q.Contains({2, 5, 0}));
+  EXPECT_TRUE(q.Contains({8, 100, 0}));
+  EXPECT_FALSE(q.Contains({1, 10, 0}));
+  EXPECT_FALSE(q.Contains({9, 10, 0}));
+  EXPECT_FALSE(q.Contains({5, 4, 0}));
+}
+
+TEST(GeometryTest, PointOrders) {
+  Point a{1, 9, 0}, b{2, 3, 1};
+  EXPECT_TRUE(PointXOrder()(a, b));
+  EXPECT_TRUE(PointYOrder()(b, a));
+  // Tie-break on id keeps orders strict-weak over distinct points.
+  Point c{1, 9, 1};
+  EXPECT_TRUE(PointXOrder()(a, c));
+  EXPECT_FALSE(PointXOrder()(c, a));
+}
+
+TEST(GeometryTest, ToStringsAreDescriptive) {
+  DiagonalQuery d{4};
+  ThreeSidedQuery three{1, 2, 3};
+  TwoSidedQuery two{1, 2};
+  RangeQuery2D r{1, 2, 3, 4};
+  EXPECT_NE(d.ToString().find("4"), std::string::npos);
+  EXPECT_NE(three.ToString().find("2"), std::string::npos);
+  EXPECT_NE(two.ToString().find("y>=2"), std::string::npos);
+  EXPECT_NE(r.ToString().find("[1,2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccidx

@@ -1,0 +1,210 @@
+// Tests for the constraint data model (Section 2.1): generalized tuples /
+// relations, projections, satisfiability, and the generalized index,
+// including the Example 2.1 rectangle-intersection scenario.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "ccidx/constraint/generalized_index.h"
+#include "ccidx/core/metablock_tree.h"  // PageSizeForBranching
+
+namespace ccidx {
+namespace {
+
+constexpr uint32_t kB = 8;
+
+TEST(AtomicConstraintTest, AllOperators) {
+  EXPECT_TRUE((AtomicConstraint{0, CompareOp::kLe, 5}).Satisfies(5));
+  EXPECT_FALSE((AtomicConstraint{0, CompareOp::kLt, 5}).Satisfies(5));
+  EXPECT_TRUE((AtomicConstraint{0, CompareOp::kGe, 5}).Satisfies(5));
+  EXPECT_FALSE((AtomicConstraint{0, CompareOp::kGt, 5}).Satisfies(5));
+  EXPECT_TRUE((AtomicConstraint{0, CompareOp::kEq, 5}).Satisfies(5));
+  EXPECT_FALSE((AtomicConstraint{0, CompareOp::kEq, 5}).Satisfies(6));
+}
+
+TEST(GeneralizedTupleTest, ProjectionIsConstraintIntersection) {
+  GeneralizedTuple t(1, 2);
+  ASSERT_TRUE(t.AddRange(0, 3, 9).ok());
+  ASSERT_TRUE(t.AddConstraint({0, CompareOp::kLt, 8}).ok());
+  ASSERT_TRUE(t.AddConstraint({0, CompareOp::kGt, 3}).ok());
+  auto iv = t.Project(0);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_EQ(iv->lo, 4);  // > 3 tightens to >= 4 over integers
+  EXPECT_EQ(iv->hi, 7);  // < 8 tightens to <= 7
+  // Unconstrained variable projects to the whole domain.
+  auto iv1 = t.Project(1);
+  ASSERT_TRUE(iv1.ok());
+  EXPECT_EQ(iv1->lo, kCoordMin);
+  EXPECT_EQ(iv1->hi, kCoordMax);
+}
+
+TEST(GeneralizedTupleTest, SatisfiabilityAndMatching) {
+  GeneralizedTuple t(2, 2);
+  ASSERT_TRUE(t.AddRange(0, 5, 10).ok());
+  ASSERT_TRUE(t.AddEquality(1, 7).ok());
+  EXPECT_TRUE(t.Satisfiable());
+  Coord good[] = {6, 7};
+  Coord bad_var0[] = {4, 7};
+  Coord bad_var1[] = {6, 8};
+  EXPECT_TRUE(t.Matches(good));
+  EXPECT_FALSE(t.Matches(bad_var0));
+  EXPECT_FALSE(t.Matches(bad_var1));
+
+  ASSERT_TRUE(t.AddConstraint({0, CompareOp::kLt, 5}).ok());
+  EXPECT_FALSE(t.Satisfiable());
+}
+
+TEST(GeneralizedTupleTest, RejectsOutOfRangeVariable) {
+  GeneralizedTuple t(3, 2);
+  EXPECT_FALSE(t.AddConstraint({2, CompareOp::kLe, 1}).ok());
+  EXPECT_FALSE(t.Project(5).ok());
+}
+
+TEST(GeneralizedTupleTest, ToStringReadable) {
+  GeneralizedTuple t(7, 2);
+  ASSERT_TRUE(t.AddEquality(0, 3).ok());
+  ASSERT_TRUE(t.AddConstraint({1, CompareOp::kLe, 9}).ok());
+  EXPECT_EQ(t.ToString(), "t7: x0 == 3 AND x1 <= 9");
+}
+
+TEST(GeneralizedRelationTest, RestrictDropsUnsatisfiable) {
+  GeneralizedRelation r(1);
+  GeneralizedTuple a(0, 1), b(1, 1);
+  ASSERT_TRUE(a.AddRange(0, 0, 10).ok());
+  ASSERT_TRUE(b.AddRange(0, 20, 30).ok());
+  ASSERT_TRUE(r.Insert(a).ok());
+  ASSERT_TRUE(r.Insert(b).ok());
+  auto restricted = r.RestrictRange(0, 5, 15);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_EQ(restricted->size(), 1u);  // only tuple a survives
+  Coord v5[] = {5};
+  Coord v12[] = {12};  // within restriction but outside tuple a
+  EXPECT_TRUE(restricted->Contains(v5));
+  EXPECT_FALSE(restricted->Contains(v12));
+}
+
+TEST(GeneralizedRelationTest, ArityMismatchRejected) {
+  GeneralizedRelation r(2);
+  EXPECT_FALSE(r.Insert(GeneralizedTuple(0, 3)).ok());
+}
+
+class GeneralizedIndexTest : public ::testing::Test {
+ protected:
+  GeneralizedIndexTest()
+      : dev_(PageSizeForBranching(kB)), pager_(&dev_, 0) {}
+
+  BlockDevice dev_;
+  Pager pager_;
+};
+
+TEST_F(GeneralizedIndexTest, IndexMatchesNaiveRestriction) {
+  // The index must return exactly the tuples the naive closed-form
+  // restriction keeps.
+  GeneralizedIndex index(&pager_, 2, 0);
+  GeneralizedRelation naive(2);
+  std::mt19937 rng(5);
+  for (uint64_t i = 0; i < 500; ++i) {
+    GeneralizedTuple t(i, 2);
+    Coord lo = static_cast<Coord>(rng() % 1000);
+    Coord len = static_cast<Coord>(rng() % 100);
+    ASSERT_TRUE(t.AddRange(0, lo, lo + len).ok());
+    ASSERT_TRUE(t.AddEquality(1, static_cast<Coord>(i)).ok());
+    ASSERT_TRUE(index.Insert(t).ok());
+    ASSERT_TRUE(naive.Insert(t).ok());
+  }
+  for (int q = 0; q < 40; ++q) {
+    Coord a1 = static_cast<Coord>(rng() % 1100);
+    Coord a2 = a1 + static_cast<Coord>(rng() % 200);
+    auto via_index = index.RangeQuery(a1, a2);
+    ASSERT_TRUE(via_index.ok());
+    auto via_scan = naive.RestrictRange(0, a1, a2);
+    ASSERT_TRUE(via_scan.ok());
+    std::vector<uint64_t> ids_a, ids_b;
+    for (const auto& t : via_index->tuples()) ids_a.push_back(t.id());
+    for (const auto& t : via_scan->tuples()) ids_b.push_back(t.id());
+    std::sort(ids_a.begin(), ids_a.end());
+    std::sort(ids_b.begin(), ids_b.end());
+    ASSERT_EQ(ids_a, ids_b) << "[" << a1 << "," << a2 << "]";
+  }
+}
+
+TEST_F(GeneralizedIndexTest, RejectsBadInserts) {
+  GeneralizedIndex index(&pager_, 2, 0);
+  GeneralizedTuple wrong_arity(0, 3);
+  EXPECT_FALSE(index.Insert(wrong_arity).ok());
+  GeneralizedTuple unsat(0, 2);
+  ASSERT_TRUE(unsat.AddRange(0, 10, 5).ok());
+  EXPECT_FALSE(index.Insert(unsat).ok());
+  GeneralizedTuple ok_tuple(1, 2);
+  ASSERT_TRUE(ok_tuple.AddRange(0, 1, 2).ok());
+  ASSERT_TRUE(index.Insert(ok_tuple).ok());
+  EXPECT_FALSE(index.Insert(ok_tuple).ok());  // duplicate id
+}
+
+TEST_F(GeneralizedIndexTest, QueryResultCarriesRestriction) {
+  GeneralizedIndex index(&pager_, 1, 0);
+  GeneralizedTuple t(0, 1);
+  ASSERT_TRUE(t.AddRange(0, 0, 100).ok());
+  ASSERT_TRUE(index.Insert(t).ok());
+  auto r = index.RangeQuery(40, 60);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  Coord in[] = {50};
+  Coord below[] = {30};  // inside the tuple but outside the query range
+  EXPECT_TRUE(r->Contains(in));
+  EXPECT_FALSE(r->Contains(below));
+}
+
+// Example 2.1: rectangle intersection via constraints. Rectangle n with
+// corners (a,b),(c,d) is the generalized tuple z=n, a<=x<=c, b<=y<=d over
+// R'(z,x,y); intersecting pairs share a point.
+GeneralizedTuple MakeRectangle(uint64_t name, Coord a, Coord b, Coord c,
+                               Coord d) {
+  GeneralizedTuple t(name, 3);
+  CCIDX_CHECK(t.AddEquality(0, static_cast<Coord>(name)).ok());
+  CCIDX_CHECK(t.AddRange(1, a, c).ok());
+  CCIDX_CHECK(t.AddRange(2, b, d).ok());
+  return t;
+}
+
+TEST_F(GeneralizedIndexTest, RectangleIntersectionExample21) {
+  struct Rect {
+    Coord a, b, c, d;
+  };
+  std::vector<Rect> rects;
+  std::mt19937 rng(9);
+  GeneralizedIndex index(&pager_, 3, 1);  // index on x
+  for (uint64_t n = 0; n < 300; ++n) {
+    Rect r{static_cast<Coord>(rng() % 1000), static_cast<Coord>(rng() % 1000),
+           0, 0};
+    r.c = r.a + static_cast<Coord>(rng() % 80);
+    r.d = r.b + static_cast<Coord>(rng() % 80);
+    rects.push_back(r);
+    ASSERT_TRUE(index.Insert(MakeRectangle(n, r.a, r.b, r.c, r.d)).ok());
+  }
+  // For each rectangle: candidates by x-overlap via the index, then filter
+  // by y-overlap using the tuples' projections.
+  size_t pairs_index = 0, pairs_naive = 0;
+  for (uint64_t n = 0; n < rects.size(); ++n) {
+    const Rect& r = rects[n];
+    auto cand = index.RangeQuery(r.a, r.c);
+    ASSERT_TRUE(cand.ok());
+    for (const GeneralizedTuple& t : cand->tuples()) {
+      if (t.id() <= n) continue;  // distinct unordered pairs
+      auto y = t.Project(2);
+      ASSERT_TRUE(y.ok());
+      if (y->lo <= r.d && r.b <= y->hi) pairs_index++;
+    }
+    for (uint64_t m = n + 1; m < rects.size(); ++m) {
+      const Rect& s = rects[m];
+      if (r.a <= s.c && s.a <= r.c && r.b <= s.d && s.b <= r.d) pairs_naive++;
+    }
+  }
+  EXPECT_EQ(pairs_index, pairs_naive);
+  EXPECT_GT(pairs_naive, 0u);
+}
+
+}  // namespace
+}  // namespace ccidx

@@ -1,0 +1,150 @@
+// Fault-injection tests: every structure must surface device failures as
+// Status (never abort or return wrong results silently), at any point in a
+// query or insert.
+
+#include <gtest/gtest.h>
+
+#include "ccidx/bptree/bptree.h"
+#include "ccidx/core/augmented_metablock_tree.h"
+#include "ccidx/core/metablock_tree.h"
+#include "ccidx/core/three_sided_tree.h"
+#include "ccidx/interval/interval_index.h"
+#include "ccidx/pst/external_pst.h"
+#include "ccidx/testutil/generators.h"
+
+namespace ccidx {
+namespace {
+
+constexpr uint32_t kB = 8;
+
+// Runs `op` with the device failing after each possible number of I/Os in
+// [0, healthy_ios); every run must return kIoError (not crash). Then
+// verifies a healthy run still succeeds (state not poisoned by failures
+// mid-operation for read-only ops).
+template <typename Op>
+void SweepFailurePoints(BlockDevice* dev, uint64_t healthy_ios, Op op) {
+  for (uint64_t k = 0; k < healthy_ios; ++k) {
+    dev->SetFailAfter(static_cast<int64_t>(k));
+    Status s = op();
+    EXPECT_FALSE(s.ok()) << "expected failure at injected op " << k;
+    EXPECT_EQ(s.code(), StatusCode::kIoError) << s.ToString();
+  }
+  dev->SetFailAfter(-1);
+  EXPECT_TRUE(op().ok());
+}
+
+TEST(FaultInjectionTest, BptreeQueryPropagatesErrors) {
+  BlockDevice dev(256);
+  Pager pager(&dev, 0);
+  BPlusTree tree(&pager);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Insert(i, static_cast<uint64_t>(i)).ok());
+  }
+  dev.stats().Reset();
+  std::vector<BtEntry> out;
+  ASSERT_TRUE(tree.RangeSearch(100, 200, &out).ok());
+  uint64_t healthy = dev.stats().TotalIos();
+  ASSERT_GT(healthy, 0u);
+  SweepFailurePoints(&dev, healthy, [&] {
+    std::vector<BtEntry> o;
+    return tree.RangeSearch(100, 200, &o);
+  });
+}
+
+TEST(FaultInjectionTest, MetablockQueryPropagatesErrors) {
+  BlockDevice dev(PageSizeForBranching(kB));
+  Pager pager(&dev, 0);
+  auto tree = MetablockTree::Build(
+      &pager, RandomPointsAboveDiagonal(10 * kB * kB, 2000, 1));
+  ASSERT_TRUE(tree.ok());
+  dev.stats().Reset();
+  std::vector<Point> out;
+  ASSERT_TRUE(tree->Query({500}, &out).ok());
+  uint64_t healthy = dev.stats().TotalIos();
+  SweepFailurePoints(&dev, healthy, [&] {
+    std::vector<Point> o;
+    return tree->Query({500}, &o);
+  });
+}
+
+TEST(FaultInjectionTest, ThreeSidedQueryPropagatesErrors) {
+  BlockDevice dev(PageSizeForBranching(kB));
+  Pager pager(&dev, 0);
+  auto tree =
+      ThreeSidedTree::Build(&pager, RandomPoints(10 * kB * kB, 2000, 2));
+  ASSERT_TRUE(tree.ok());
+  dev.stats().Reset();
+  std::vector<Point> out;
+  ASSERT_TRUE(tree->Query({200, 1500, 300}, &out).ok());
+  uint64_t healthy = dev.stats().TotalIos();
+  SweepFailurePoints(&dev, healthy, [&] {
+    std::vector<Point> o;
+    return tree->Query({200, 1500, 300}, &o);
+  });
+}
+
+TEST(FaultInjectionTest, PstQueryPropagatesErrors) {
+  BlockDevice dev(PageSizeForBranching(kB));
+  Pager pager(&dev, 0);
+  auto pst = ExternalPst::Build(&pager, RandomPoints(1000, 2000, 3));
+  ASSERT_TRUE(pst.ok());
+  dev.stats().Reset();
+  std::vector<Point> out;
+  ASSERT_TRUE(pst->Query({100, 1900, 100}, &out).ok());
+  uint64_t healthy = dev.stats().TotalIos();
+  SweepFailurePoints(&dev, healthy, [&] {
+    std::vector<Point> o;
+    return pst->Query({100, 1900, 100}, &o);
+  });
+}
+
+TEST(FaultInjectionTest, IntervalStabPropagatesErrors) {
+  BlockDevice dev(PageSizeForBranching(kB));
+  Pager pager(&dev, 0);
+  auto idx = IntervalIndex::Build(
+      &pager, RandomIntervals(800, 5000, IntervalWorkload::kUniform, 4));
+  ASSERT_TRUE(idx.ok());
+  dev.stats().Reset();
+  std::vector<Interval> out;
+  ASSERT_TRUE(idx->Intersect(1000, 1500, &out).ok());
+  uint64_t healthy = dev.stats().TotalIos();
+  SweepFailurePoints(&dev, healthy, [&] {
+    std::vector<Interval> o;
+    return idx->Intersect(1000, 1500, &o);
+  });
+}
+
+TEST(FaultInjectionTest, BptreeInsertFailsCleanly) {
+  BlockDevice dev(256);
+  Pager pager(&dev, 0);
+  BPlusTree tree(&pager);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Insert(i, static_cast<uint64_t>(i)).ok());
+  }
+  dev.SetFailAfter(1);
+  Status s = tree.Insert(1000, 1000);
+  EXPECT_FALSE(s.ok());
+  dev.SetFailAfter(-1);
+  // The tree remains queryable after a failed insert.
+  std::vector<BtEntry> out;
+  EXPECT_TRUE(tree.RangeSearch(0, 199, &out).ok());
+  EXPECT_GE(out.size(), 200u);
+}
+
+TEST(FaultInjectionTest, AugmentedInsertFailsCleanly) {
+  BlockDevice dev(PageSizeForBranching(kB));
+  Pager pager(&dev, 0);
+  AugmentedMetablockTree tree(&pager);
+  for (Coord i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree.Insert({i, i + 5, static_cast<uint64_t>(i)}).ok());
+  }
+  dev.SetFailAfter(2);
+  Status s = tree.Insert({400, 500, 999});
+  EXPECT_FALSE(s.ok());
+  dev.SetFailAfter(-1);
+  std::vector<Point> out;
+  EXPECT_TRUE(tree.Query({100}, &out).ok());
+}
+
+}  // namespace
+}  // namespace ccidx

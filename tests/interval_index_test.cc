@@ -1,0 +1,202 @@
+// Tests for interval management (Prop. 2.2): stabbing and intersection
+// queries against the naive oracle, across workload shapes, plus the
+// no-double-reporting guarantee and I/O bounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ccidx/core/metablock_tree.h"  // PageSizeForBranching
+#include "ccidx/interval/interval_index.h"
+#include "ccidx/testutil/generators.h"
+#include "ccidx/testutil/oracles.h"
+
+namespace ccidx {
+namespace {
+
+constexpr uint32_t kB = 8;
+
+class IntervalIndexTest : public ::testing::Test {
+ protected:
+  IntervalIndexTest() : dev_(PageSizeForBranching(kB)), pager_(&dev_, 0) {}
+
+  BlockDevice dev_;
+  Pager pager_;
+};
+
+TEST_F(IntervalIndexTest, EmptyIndex) {
+  IntervalIndex idx(&pager_);
+  std::vector<Interval> out;
+  ASSERT_TRUE(idx.Stab(5, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(idx.Intersect(0, 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(IntervalIndexTest, RejectsInvertedInterval) {
+  IntervalIndex idx(&pager_);
+  EXPECT_FALSE(idx.Insert({10, 5, 0}).ok());
+}
+
+TEST_F(IntervalIndexTest, BasicStabbing) {
+  IntervalIndex idx(&pager_);
+  ASSERT_TRUE(idx.Insert({1, 10, 0}).ok());
+  ASSERT_TRUE(idx.Insert({5, 7, 1}).ok());
+  ASSERT_TRUE(idx.Insert({8, 12, 2}).ok());
+  std::vector<Interval> out;
+  ASSERT_TRUE(idx.Stab(6, &out).ok());
+  SortIntervals(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 0u);
+  EXPECT_EQ(out[1].id, 1u);
+  out.clear();
+  ASSERT_TRUE(idx.Stab(11, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 2u);
+}
+
+TEST_F(IntervalIndexTest, StabbingBoundariesInclusive) {
+  IntervalIndex idx(&pager_);
+  ASSERT_TRUE(idx.Insert({3, 8, 0}).ok());
+  std::vector<Interval> out;
+  ASSERT_TRUE(idx.Stab(3, &out).ok());
+  EXPECT_EQ(out.size(), 1u);  // left endpoint
+  out.clear();
+  ASSERT_TRUE(idx.Stab(8, &out).ok());
+  EXPECT_EQ(out.size(), 1u);  // right endpoint
+  out.clear();
+  ASSERT_TRUE(idx.Stab(2, &out).ok());
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  ASSERT_TRUE(idx.Stab(9, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(IntervalIndexTest, PointIntervals) {
+  IntervalIndex idx(&pager_);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        idx.Insert({static_cast<Coord>(i), static_cast<Coord>(i), i}).ok());
+  }
+  std::vector<Interval> out;
+  ASSERT_TRUE(idx.Stab(57, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 57u);
+  out.clear();
+  ASSERT_TRUE(idx.Intersect(10, 20, &out).ok());
+  EXPECT_EQ(out.size(), 11u);
+}
+
+TEST_F(IntervalIndexTest, NoDoubleReporting) {
+  // Intervals whose first endpoint equals the query's left boundary are the
+  // overlap case between the stabbing part and the endpoint part.
+  IntervalIndex idx(&pager_);
+  ASSERT_TRUE(idx.Insert({5, 9, 0}).ok());   // lo == qlo
+  ASSERT_TRUE(idx.Insert({2, 5, 1}).ok());   // hi == qlo
+  ASSERT_TRUE(idx.Insert({6, 8, 2}).ok());   // inside
+  ASSERT_TRUE(idx.Insert({9, 12, 3}).ok());  // lo == qhi
+  std::vector<Interval> out;
+  ASSERT_TRUE(idx.Intersect(5, 9, &out).ok());
+  SortIntervals(&out);
+  ASSERT_EQ(out.size(), 4u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_NE(out[i - 1].id, out[i].id);
+  }
+}
+
+class IntervalWorkloadTest
+    : public ::testing::TestWithParam<IntervalWorkload> {};
+
+TEST_P(IntervalWorkloadTest, MatchesOracleAcrossWorkloads) {
+  BlockDevice dev(PageSizeForBranching(kB));
+  Pager pager(&dev, 0);
+  auto intervals = RandomIntervals(3000, 10000, GetParam(), 42);
+  IntervalOracle oracle;
+  auto idx = IntervalIndex::Build(&pager, intervals);
+  ASSERT_TRUE(idx.ok());
+  for (const Interval& iv : intervals) oracle.Insert(iv);
+  std::mt19937 rng(7);
+  for (int i = 0; i < 60; ++i) {
+    Coord q = static_cast<Coord>(rng() % 10000);
+    std::vector<Interval> got;
+    ASSERT_TRUE(idx->Stab(q, &got).ok());
+    SortIntervals(&got);
+    ASSERT_EQ(got, oracle.Stab(q)) << "stab " << q;
+
+    Coord a = static_cast<Coord>(rng() % 10000);
+    Coord b = std::min<Coord>(9999, a + static_cast<Coord>(rng() % 2000));
+    got.clear();
+    ASSERT_TRUE(idx->Intersect(a, b, &got).ok());
+    SortIntervals(&got);
+    ASSERT_EQ(got, oracle.Intersect(a, b)) << "intersect " << a << "," << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, IntervalWorkloadTest,
+                         ::testing::Values(IntervalWorkload::kUniform,
+                                           IntervalWorkload::kNested,
+                                           IntervalWorkload::kClustered,
+                                           IntervalWorkload::kUnit));
+
+TEST_F(IntervalIndexTest, DynamicInsertsMatchOracle) {
+  IntervalIndex idx(&pager_);
+  IntervalOracle oracle;
+  auto intervals =
+      RandomIntervals(2500, 5000, IntervalWorkload::kUniform, 11);
+  std::mt19937 rng(13);
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    ASSERT_TRUE(idx.Insert(intervals[i]).ok());
+    oracle.Insert(intervals[i]);
+    if (i % 83 == 0) {
+      Coord q = static_cast<Coord>(rng() % 5000);
+      std::vector<Interval> got;
+      ASSERT_TRUE(idx.Stab(q, &got).ok());
+      SortIntervals(&got);
+      ASSERT_EQ(got, oracle.Stab(q)) << "stab " << q << " after " << i;
+    }
+  }
+  EXPECT_EQ(idx.size(), intervals.size());
+}
+
+TEST_F(IntervalIndexTest, StabbingIoWithinBound) {
+  const size_t n = 3000;
+  auto intervals = RandomIntervals(n, 50000, IntervalWorkload::kUniform, 17);
+  IntervalOracle oracle;
+  for (const Interval& iv : intervals) oracle.Insert(iv);
+  auto idx = IntervalIndex::Build(&pager_, intervals);
+  ASSERT_TRUE(idx.ok());
+  double logb = std::log(static_cast<double>(n)) / std::log(kB);
+  for (Coord q = 0; q <= 50000; q += 1499) {
+    dev_.stats().Reset();
+    std::vector<Interval> got;
+    ASSERT_TRUE(idx->Stab(q, &got).ok());
+    size_t t = oracle.Stab(q).size();
+    ASSERT_EQ(got.size(), t);
+    double budget = 12 * logb + 8.0 * (static_cast<double>(t) / kB) + 30;
+    EXPECT_LE(dev_.stats().device_reads, budget) << "q=" << q << " t=" << t;
+  }
+}
+
+TEST_F(IntervalIndexTest, SpaceIsLinear) {
+  const size_t n = 4000;
+  auto intervals = RandomIntervals(n, 50000, IntervalWorkload::kUniform, 19);
+  auto idx = IntervalIndex::Build(&pager_, intervals);
+  ASSERT_TRUE(idx.ok());
+  double pages_per_point_page =
+      static_cast<double>(dev_.live_pages()) / (static_cast<double>(n) / kB);
+  EXPECT_LE(pages_per_point_page, 14.0);
+}
+
+TEST_F(IntervalIndexTest, DestroyReleasesEverything) {
+  auto intervals =
+      RandomIntervals(1000, 5000, IntervalWorkload::kUniform, 23);
+  auto idx = IntervalIndex::Build(&pager_, intervals);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_GT(dev_.live_pages(), 0u);
+  ASSERT_TRUE(idx->Destroy().ok());
+  EXPECT_EQ(dev_.live_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace ccidx

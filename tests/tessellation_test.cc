@@ -1,0 +1,105 @@
+// Tests for the tessellation study (Lemma 2.7 / Theorem 2.8): exact block
+// counts per query shape, and the executable form of the lower-bound
+// inequality max(k_row, k_col) >= sqrt(B).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccidx/tess/tessellation.h"
+
+namespace ccidx {
+namespace {
+
+TEST(TessellationTest, SquareTilesCounts) {
+  // Fig. 7: an 8x8 grid with B = 4 -> 2x2 tiles.
+  auto t = Tessellation::Square(8, 4);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->Validate().ok());
+  EXPECT_EQ(t->blocks().size(), 16u);
+  // Every row query crosses p / sqrt(B) = 4 tiles.
+  for (Coord y = 0; y < 8; ++y) {
+    EXPECT_EQ(t->RowQueryBlocks(y), 4u);
+  }
+  for (Coord x = 0; x < 8; ++x) {
+    EXPECT_EQ(t->ColumnQueryBlocks(x), 4u);
+  }
+}
+
+TEST(TessellationTest, RowStripsAsymmetry) {
+  auto t = Tessellation::RowStrips(16, 4);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->Validate().ok());
+  // Optimal for rows: p/B = 4 blocks; pessimal for columns: p = 16 blocks.
+  EXPECT_EQ(t->RowQueryBlocks(3), 4u);
+  EXPECT_EQ(t->ColumnQueryBlocks(3), 16u);
+  EXPECT_DOUBLE_EQ(t->RowK(), 1.0);
+  EXPECT_DOUBLE_EQ(t->ColumnK(), 4.0);  // = B
+}
+
+TEST(TessellationTest, ColumnStripsMirror) {
+  auto t = Tessellation::ColumnStrips(16, 4);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->ColumnK(), 1.0);
+  EXPECT_DOUBLE_EQ(t->RowK(), 4.0);
+}
+
+TEST(TessellationTest, Lemma27LowerBoundHolds) {
+  // For every rectangular tessellation, max(k_row, k_col) >= sqrt(B):
+  // the executable content of the B <= k^2 contradiction.
+  const Coord p = 64;
+  for (Coord b : {4, 16, 64}) {
+    for (Coord w = 1; w <= b; ++w) {
+      if (b % w != 0) continue;
+      Coord h = b / w;
+      if (p % w != 0 || p % h != 0) continue;
+      auto t = Tessellation::Tiles(p, w, h);
+      ASSERT_TRUE(t.ok());
+      ASSERT_TRUE(t->Validate().ok());
+      double k = std::max(t->RowK(), t->ColumnK());
+      EXPECT_GE(k + 1e-9, std::sqrt(static_cast<double>(b)))
+          << "B=" << b << " w=" << w << " h=" << h;
+    }
+  }
+}
+
+TEST(TessellationTest, SquareTilesAreTheBalancedOptimum) {
+  // Square tiles equalize k_row == k_col == sqrt(B): the best any
+  // rectangular tessellation can do for the max.
+  auto t = Tessellation::Square(64, 16);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->RowK(), 4.0);
+  EXPECT_DOUBLE_EQ(t->ColumnK(), 4.0);
+}
+
+TEST(TessellationTest, RangeQueryBlockCounts) {
+  auto t = Tessellation::Square(16, 16);  // 4x4 tiles
+  ASSERT_TRUE(t.ok());
+  // A query exactly covering one tile touches 1 block.
+  EXPECT_EQ(t->RangeQueryBlocks({0, 3, 0, 3}), 1u);
+  // Offset by one in both axes: touches 4 blocks.
+  EXPECT_EQ(t->RangeQueryBlocks({1, 4, 1, 4}), 4u);
+  // Full grid: all 16.
+  EXPECT_EQ(t->RangeQueryBlocks({0, 15, 0, 15}), 16u);
+}
+
+TEST(TessellationTest, RejectsBadShapes) {
+  EXPECT_FALSE(Tessellation::Square(8, 5).ok());    // not a perfect square
+  EXPECT_FALSE(Tessellation::Tiles(10, 3, 4).ok());  // 3 does not divide 10
+  EXPECT_FALSE(Tessellation::Tiles(8, 0, 4).ok());
+}
+
+TEST(TessellationTest, Theorem28ClassGridInstance) {
+  // Thm. 2.8 reduction: a c x p grid (c classes as rows). Use the widest
+  // aspect allowed and verify the class-row queries still violate t/B.
+  const Coord p = 32;
+  auto t = Tessellation::Square(p, 16);
+  ASSERT_TRUE(t.ok());
+  // Class query = one row of the class grid: p points, p/4 blocks, but
+  // optimal would be p/16.
+  EXPECT_EQ(t->RowQueryBlocks(0), static_cast<uint64_t>(p) / 4);
+  EXPECT_GT(t->RowQueryBlocks(0), static_cast<uint64_t>(p) / 16);
+}
+
+}  // namespace
+}  // namespace ccidx
