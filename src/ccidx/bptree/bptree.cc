@@ -15,7 +15,7 @@ constexpr size_t kNodeHeader = 16;
 // Routing rule for point/lower-bound descent: the last child whose
 // separator key is strictly below `key` (so duplicate runs that span a
 // split boundary are never skipped); child 0 if none.
-size_t RouteLowerBound(const std::vector<BtEntry>& seps, int64_t key) {
+size_t RouteLowerBound(std::span<const BtEntry> seps, int64_t key) {
   size_t idx = 0;
   while (idx + 1 < seps.size() && seps[idx + 1].key < key) idx++;
   return idx;
@@ -23,7 +23,7 @@ size_t RouteLowerBound(const std::vector<BtEntry>& seps, int64_t key) {
 
 // Routing rule for inserts: the last child whose separator key is <= key,
 // so new duplicates append to the right end of an equal-key run.
-size_t RouteInsert(const std::vector<BtEntry>& seps, int64_t key) {
+size_t RouteInsert(std::span<const BtEntry> seps, int64_t key) {
   size_t idx = 0;
   while (idx + 1 < seps.size() &&
          seps[idx + 1].key <= key) {
@@ -42,44 +42,56 @@ BPlusTree::BPlusTree(Pager* pager)
   CCIDX_CHECK(fanout_ >= 4);
 }
 
-Status BPlusTree::LoadNode(PageId id, Node* node) const {
-  std::vector<uint8_t> buf(pager_->page_size());
-  CCIDX_RETURN_IF_ERROR(pager_->Read(id, buf));
-  PageReader r(buf);
+Result<BPlusTree::NodeView> BPlusTree::ViewNode(PageId id) const {
+  auto ref = pager_->Pin(id);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageReader r(ref->data());
   uint32_t count = r.Get<uint32_t>();
-  node->is_leaf = r.Get<uint16_t>() != 0;
+  NodeView view;
+  view.is_leaf = r.Get<uint16_t>() != 0;
   r.Get<uint16_t>();
-  node->next = r.Get<uint64_t>();
-  node->entries.resize(count);
-  r.GetArray(std::span<BtEntry>(node->entries));
+  view.next = r.Get<uint64_t>();
+  view.entries = ViewArray<BtEntry>(*ref, kNodeHeader, count);
+  view.ref = std::move(*ref);
+  return view;
+}
+
+Status BPlusTree::LoadNode(PageId id, Node* node) const {
+  auto view = ViewNode(id);
+  CCIDX_RETURN_IF_ERROR(view.status());
+  node->is_leaf = view->is_leaf;
+  node->next = view->next;
+  node->entries.assign(view->entries.begin(), view->entries.end());
   return Status::OK();
 }
 
 Status BPlusTree::StoreNode(PageId id, const Node& node) const {
-  std::vector<uint8_t> buf(pager_->page_size());
-  PageWriter w(buf);
+  auto ref = pager_->PinMut(id, Pager::MutMode::kOverwrite);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageWriter w(ref->data());
   w.Put<uint32_t>(static_cast<uint32_t>(node.entries.size()));
   w.Put<uint16_t>(node.is_leaf ? 1 : 0);
   w.Put<uint16_t>(0);
   w.Put<uint64_t>(node.next);
   w.PutArray(std::span<const BtEntry>(node.entries));
-  return pager_->Write(id, buf);
+  return ref->Release();
 }
 
 Status BPlusTree::DescendToLeaf(
     int64_t key, std::vector<std::pair<PageId, size_t>>* path) const {
   path->clear();
   PageId id = root_;
-  Node node;
   while (true) {
-    CCIDX_RETURN_IF_ERROR(LoadNode(id, &node));
-    if (node.is_leaf) {
+    // One transient pin per level; the separators are routed in place.
+    auto view = ViewNode(id);
+    CCIDX_RETURN_IF_ERROR(view.status());
+    if (view->is_leaf) {
       path->emplace_back(id, 0);
       return Status::OK();
     }
-    size_t idx = RouteLowerBound(node.entries, key);
+    size_t idx = RouteLowerBound(view->entries, key);
     path->emplace_back(id, idx);
-    id = node.entries[idx].value;
+    id = view->entries[idx].value;
   }
 }
 
@@ -95,19 +107,25 @@ Status BPlusTree::Insert(int64_t key, uint64_t value, int64_t aux) {
     return StoreNode(root_, leaf);
   }
 
-  // Descend with insert routing, recording the path.
+  // Descend with insert routing, recording the path. Internal levels are
+  // routed in place from pinned frames; only the target leaf is
+  // materialized for modification.
   std::vector<std::pair<PageId, size_t>> path;
   PageId id = root_;
   Node node;
   while (true) {
-    CCIDX_RETURN_IF_ERROR(LoadNode(id, &node));
-    if (node.is_leaf) {
+    auto view = ViewNode(id);
+    CCIDX_RETURN_IF_ERROR(view.status());
+    if (view->is_leaf) {
+      node.is_leaf = true;
+      node.next = view->next;
+      node.entries.assign(view->entries.begin(), view->entries.end());
       path.emplace_back(id, 0);
       break;
     }
-    size_t idx = RouteInsert(node.entries, key);
+    size_t idx = RouteInsert(view->entries, key);
     path.emplace_back(id, idx);
-    id = node.entries[idx].value;
+    id = view->entries[idx].value;
   }
 
   auto pos = std::upper_bound(node.entries.begin(), node.entries.end(), entry);
@@ -192,14 +210,15 @@ Status BPlusTree::RangeScan(
   std::vector<std::pair<PageId, size_t>> path;
   CCIDX_RETURN_IF_ERROR(DescendToLeaf(lo, &path));
   PageId id = path.back().first;
-  Node node;
   while (id != kInvalidPageId) {
-    CCIDX_RETURN_IF_ERROR(LoadNode(id, &node));
-    for (const BtEntry& e : node.entries) {
+    // Leaf entries are emitted straight from the pinned frame.
+    auto view = ViewNode(id);
+    CCIDX_RETURN_IF_ERROR(view.status());
+    for (const BtEntry& e : view->entries) {
       if (e.key > hi) return Status::OK();
       if (e.key >= lo) fn(e);
     }
-    id = node.next;
+    id = view->next;
   }
   return Status::OK();
 }

@@ -93,13 +93,25 @@ class BPlusTree {
   Status CheckInvariants() const;
 
  private:
-  // In-memory image of one node page.
+  // In-memory image of one node page (update paths: the entries vector is
+  // mutated and stored back).
   struct Node {
     bool is_leaf = true;
     PageId next = kInvalidPageId;  // leaf chain (leaves only)
     std::vector<BtEntry> entries;  // leaf: data; internal: (min_key, child)
   };
 
+  // Zero-copy image of one node page: the entry span aliases the pinned
+  // buffer-pool frame and stays valid while `ref` is held. Used by the
+  // read-only hot paths (descent, range scans).
+  struct NodeView {
+    PageRef ref;
+    bool is_leaf = true;
+    PageId next = kInvalidPageId;
+    std::span<const BtEntry> entries;
+  };
+
+  Result<NodeView> ViewNode(PageId id) const;
   Status LoadNode(PageId id, Node* node) const;
   Status StoreNode(PageId id, const Node& node) const;
 

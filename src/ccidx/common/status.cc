@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode : uint8_t {
   kNotSupported,
   kIoError,
   kResourceExhausted,
+  kFailedPrecondition,
 };
 
 /// Outcome of a fallible operation. Cheap to copy when OK (no allocation).
@@ -55,6 +56,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

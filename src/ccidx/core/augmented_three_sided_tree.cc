@@ -47,16 +47,17 @@ AugmentedThreeSidedTree::AugmentedThreeSidedTree(Pager* pager)
 
 Status AugmentedThreeSidedTree::WriteControl(Pager* pager, PageId id,
                                              const Control& c) {
-  std::vector<uint8_t> buf(pager->page_size());
-  PageWriter w(buf);
+  auto ref = pager->PinMut(id, Pager::MutMode::kOverwrite);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageWriter w(ref->data());
   w.Put(c);
-  return pager->Write(id, buf);
+  return ref->Release();
 }
 
 Status AugmentedThreeSidedTree::LoadControl(PageId id, Control* c) const {
-  std::vector<uint8_t> buf(pager_->page_size());
-  CCIDX_RETURN_IF_ERROR(pager_->Read(id, buf));
-  PageReader r(buf);
+  auto ref = pager_->Pin(id);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageReader r(ref->data());
   *c = r.Get<Control>();
   return Status::OK();
 }

@@ -97,14 +97,13 @@ inline Result<bool> ScanDescYChainUntil(
     Pager* pager, PageId head, Coord ylo,
     const std::function<void(const Point&)>& emit) {
   PageIo io(pager);
-  std::vector<Point> pts;
   PageId id = head;
   while (id != kInvalidPageId) {
-    pts.clear();
-    auto next = io.ReadRecords<Point>(id, &pts);
-    CCIDX_RETURN_IF_ERROR(next.status());
+    // Zero-copy: the points are read in place from the pinned frame.
+    auto view = io.ViewRecords<Point>(id);
+    CCIDX_RETURN_IF_ERROR(view.status());
     bool crossed = false;
-    for (const Point& p : pts) {
+    for (const Point& p : view->records) {
       if (p.y >= ylo) {
         emit(p);
       } else {
@@ -112,7 +111,7 @@ inline Result<bool> ScanDescYChainUntil(
       }
     }
     if (crossed) return true;
-    id = *next;
+    id = view->next;
   }
   return false;
 }

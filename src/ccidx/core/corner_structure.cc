@@ -95,15 +95,16 @@ Result<CornerStructure> CornerStructure::Build(Pager* pager,
   auto cindex = io.WriteChain<CStarEntry>(cstar);
   CCIDX_RETURN_IF_ERROR(cindex.status());
 
-  PageId header = pager->Allocate();
-  std::vector<uint8_t> buf(pager->page_size());
-  PageWriter w(buf);
+  auto ref = pager->PinNew();
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageId header = ref->id();
+  PageWriter w(ref->data());
   Header h{static_cast<uint32_t>(vblocks.size()),
            static_cast<uint32_t>(cstar.size()),
            vindex->empty() ? kInvalidPageId : vindex->front(),
            cindex->empty() ? kInvalidPageId : cindex->front()};
   w.Put(h);
-  CCIDX_RETURN_IF_ERROR(pager->Write(header, buf));
+  CCIDX_RETURN_IF_ERROR(ref->Release());
   return CornerStructure(pager, header);
 }
 
@@ -111,12 +112,18 @@ CornerStructure CornerStructure::Open(Pager* pager, PageId header) {
   return CornerStructure(pager, header);
 }
 
+Status CornerStructure::LoadHeader(Header* h) const {
+  auto ref = pager_->Pin(header_);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageReader r(ref->data());
+  *h = r.Get<Header>();
+  return Status::OK();
+}
+
 Status CornerStructure::LoadIndexes(std::vector<VBlockEntry>* vblocks,
                                     std::vector<CStarEntry>* cstar) const {
-  std::vector<uint8_t> buf(pager_->page_size());
-  CCIDX_RETURN_IF_ERROR(pager_->Read(header_, buf));
-  PageReader r(buf);
-  Header h = r.Get<Header>();
+  Header h;
+  CCIDX_RETURN_IF_ERROR(LoadHeader(&h));
   PageIo io(pager_);
   CCIDX_RETURN_IF_ERROR(io.ReadChain<VBlockEntry>(h.vindex_head, vblocks));
   CCIDX_RETURN_IF_ERROR(io.ReadChain<CStarEntry>(h.cstar_head, cstar));
@@ -141,20 +148,19 @@ Status CornerStructure::Query(Coord a, std::vector<Point>* out) const {
   }
 
   PageIo io(pager_);
-  std::vector<Point> page_points;
 
   // Phase 1: the explicit answer at clo covers { x <= clo->x, y >= clo->x };
   // read its descending-y chain until we pass below the query bottom y = a.
+  // Both phases filter straight out of the pinned frames (zero-copy).
   Coord x_covered = kCoordMin;  // phase 2 must report only x > x_covered
   if (clo != nullptr) {
     x_covered = clo->x;
     PageId id = clo->head;
     while (id != kInvalidPageId) {
-      page_points.clear();
-      auto next = io.ReadRecords<Point>(id, &page_points);
-      CCIDX_RETURN_IF_ERROR(next.status());
+      auto view = io.ViewRecords<Point>(id);
+      CCIDX_RETURN_IF_ERROR(view.status());
       bool crossed = false;
-      for (const Point& p : page_points) {
+      for (const Point& p : view->records) {
         if (p.y >= a) {
           out->push_back(p);
         } else {
@@ -162,17 +168,16 @@ Status CornerStructure::Query(Coord a, std::vector<Point>* out) const {
         }
       }
       if (crossed) break;
-      id = *next;
+      id = view->next;
     }
   }
 
   // Phase 2: vertical blocks covering x in (x_covered, a].
   size_t begin = (clo != nullptr) ? clo->block_idx + 1 : 0;
   for (size_t i = begin; i < vblocks.size() && vblocks[i].xlo <= a; ++i) {
-    page_points.clear();
-    auto next = io.ReadRecords<Point>(vblocks[i].page, &page_points);
-    CCIDX_RETURN_IF_ERROR(next.status());
-    for (const Point& p : page_points) {
+    auto view = io.ViewRecords<Point>(vblocks[i].page);
+    CCIDX_RETURN_IF_ERROR(view.status());
+    for (const Point& p : view->records) {
       if (p.x > x_covered && p.x <= a && p.y >= a) out->push_back(p);
     }
   }
@@ -204,10 +209,8 @@ Status CornerStructure::Free() {
       CCIDX_RETURN_IF_ERROR(io.FreeChain(c.head));
     }
   }
-  std::vector<uint8_t> buf(pager_->page_size());
-  CCIDX_RETURN_IF_ERROR(pager_->Read(header_, buf));
-  PageReader r(buf);
-  Header h = r.Get<Header>();
+  Header h;
+  CCIDX_RETURN_IF_ERROR(LoadHeader(&h));
   if (h.vindex_head != kInvalidPageId) {
     CCIDX_RETURN_IF_ERROR(io.FreeChain(h.vindex_head));
   }
@@ -224,35 +227,28 @@ Result<uint64_t> CornerStructure::CountPages() const {
   PageIo io(pager_);
   uint64_t pages = 1;  // header
   pages += vblocks.size();
-  std::vector<uint8_t> buf(pager_->page_size());
-  CCIDX_RETURN_IF_ERROR(pager_->Read(header_, buf));
-  PageReader r(buf);
-  Header h = r.Get<Header>();
-  // Index chain lengths.
-  for (PageId id : {static_cast<PageId>(h.vindex_head),
-                    static_cast<PageId>(h.cstar_head)}) {
+  Header h;
+  CCIDX_RETURN_IF_ERROR(LoadHeader(&h));
+  // Walks a chain counting pages; only the 16-byte header of each page is
+  // touched, through a transient pin.
+  auto count_chain = [&](PageId id) -> Status {
     while (id != kInvalidPageId) {
       pages++;
-      std::vector<uint8_t> page(pager_->page_size());
-      CCIDX_RETURN_IF_ERROR(pager_->Read(id, page));
-      PageReader pr(page);
+      auto ref = pager_->Pin(id);
+      CCIDX_RETURN_IF_ERROR(ref.status());
+      PageReader pr(ref->data());
       pr.Get<uint32_t>();
       pr.Get<uint32_t>();
       id = pr.Get<uint64_t>();
     }
-  }
+    return Status::OK();
+  };
+  // Index chain lengths.
+  CCIDX_RETURN_IF_ERROR(count_chain(h.vindex_head));
+  CCIDX_RETURN_IF_ERROR(count_chain(h.cstar_head));
   // Explicit answer chains.
   for (const CStarEntry& c : cstar) {
-    PageId id = c.head;
-    while (id != kInvalidPageId) {
-      pages++;
-      std::vector<uint8_t> page(pager_->page_size());
-      CCIDX_RETURN_IF_ERROR(pager_->Read(id, page));
-      PageReader pr(page);
-      pr.Get<uint32_t>();
-      pr.Get<uint32_t>();
-      id = pr.Get<uint64_t>();
-    }
+    CCIDX_RETURN_IF_ERROR(count_chain(c.head));
   }
   return pages;
 }

@@ -88,6 +88,7 @@ class CornerStructure {
     uint64_t cstar_head;
   };
 
+  Status LoadHeader(Header* h) const;
   Status LoadIndexes(std::vector<VBlockEntry>* vblocks,
                      std::vector<CStarEntry>* cstar) const;
 

@@ -13,16 +13,17 @@ bool DescY(const Point& a, const Point& b) { return PointYOrder()(b, a); }
 
 Status MetablockTree::WriteControl(Pager* pager, PageId id,
                                    const Control& c) {
-  std::vector<uint8_t> buf(pager->page_size());
-  PageWriter w(buf);
+  auto ref = pager->PinMut(id, Pager::MutMode::kOverwrite);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageWriter w(ref->data());
   w.Put(c);
-  return pager->Write(id, buf);
+  return ref->Release();
 }
 
 Status MetablockTree::LoadControl(PageId id, Control* c) const {
-  std::vector<uint8_t> buf(pager_->page_size());
-  CCIDX_RETURN_IF_ERROR(pager_->Read(id, buf));
-  PageReader r(buf);
+  auto ref = pager_->Pin(id);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageReader r(ref->data());
   *c = r.Get<Control>();
   return Status::OK();
 }
@@ -169,13 +170,11 @@ Status MetablockTree::ReportOwnPoints(const Control& ctrl, Coord a,
     std::vector<VerticalBlock> index;
     CCIDX_RETURN_IF_ERROR(
         ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
-    std::vector<Point> pts;
     for (const VerticalBlock& blk : index) {
       if (blk.xlo > a) break;
-      pts.clear();
-      auto next = io.ReadRecords<Point>(blk.page, &pts);
-      CCIDX_RETURN_IF_ERROR(next.status());
-      for (const Point& p : pts) {
+      auto view = io.ViewRecords<Point>(blk.page);
+      CCIDX_RETURN_IF_ERROR(view.status());
+      for (const Point& p : view->records) {
         if (p.x <= a) out->push_back(p);
       }
     }
@@ -196,13 +195,11 @@ Status MetablockTree::ReportOwnPoints(const Control& ctrl, Coord a,
   if (ctrl.corner_header == kInvalidPageId) {
     std::vector<VerticalBlock> index;
     CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
-    std::vector<Point> pts;
     for (const VerticalBlock& blk : index) {
       if (blk.xlo > a) break;
-      pts.clear();
-      auto next = io.ReadRecords<Point>(blk.page, &pts);
-      CCIDX_RETURN_IF_ERROR(next.status());
-      for (const Point& p : pts) {
+      auto view = io.ViewRecords<Point>(blk.page);
+      CCIDX_RETURN_IF_ERROR(view.status());
+      for (const Point& p : view->records) {
         if (p.x <= a && p.y >= a) out->push_back(p);
       }
     }
@@ -366,15 +363,15 @@ Status MetablockTree::CheckSubtree(PageId control_id, Coord parent_min_y,
   CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
   std::vector<Point> vpoints;
   for (const VerticalBlock& blk : index) {
-    std::vector<Point> pts;
-    auto next = io.ReadRecords<Point>(blk.page, &pts);
-    CCIDX_RETURN_IF_ERROR(next.status());
-    for (const Point& p : pts) {
+    auto view = io.ViewRecords<Point>(blk.page);
+    CCIDX_RETURN_IF_ERROR(view.status());
+    for (const Point& p : view->records) {
       if (p.x < blk.xlo || p.x > blk.xhi) {
         return Status::Corruption("vertical block range mismatch");
       }
     }
-    vpoints.insert(vpoints.end(), pts.begin(), pts.end());
+    vpoints.insert(vpoints.end(), view->records.begin(),
+                   view->records.end());
   }
   if (!std::is_sorted(vpoints.begin(), vpoints.end(), PointXOrder())) {
     return Status::Corruption("vertical blocking not ascending by x");

@@ -19,16 +19,17 @@ Result<PageId> WriteTopK(Pager* pager, std::vector<Point> pts, size_t k) {
 
 Status ThreeSidedTree::WriteControl(Pager* pager, PageId id,
                                     const Control& c) {
-  std::vector<uint8_t> buf(pager->page_size());
-  PageWriter w(buf);
+  auto ref = pager->PinMut(id, Pager::MutMode::kOverwrite);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageWriter w(ref->data());
   w.Put(c);
-  return pager->Write(id, buf);
+  return ref->Release();
 }
 
 Status ThreeSidedTree::LoadControl(PageId id, Control* c) const {
-  std::vector<uint8_t> buf(pager_->page_size());
-  CCIDX_RETURN_IF_ERROR(pager_->Read(id, buf));
-  PageReader r(buf);
+  auto ref = pager_->Pin(id);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageReader r(ref->data());
   *c = r.Get<Control>();
   return Status::OK();
 }
@@ -185,14 +186,12 @@ Status ThreeSidedTree::ReportOwnPoints(const Control& ctrl, Coord xlo,
     // (at most two partially-useful pages).
     std::vector<VerticalBlock> index;
     CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
-    std::vector<Point> pts;
     for (const VerticalBlock& blk : index) {
       if (blk.xhi < xlo) continue;
       if (blk.xlo > xhi) break;
-      pts.clear();
-      auto next = io.ReadRecords<Point>(blk.page, &pts);
-      CCIDX_RETURN_IF_ERROR(next.status());
-      for (const Point& p : pts) {
+      auto view = io.ViewRecords<Point>(blk.page);
+      CCIDX_RETURN_IF_ERROR(view.status());
+      for (const Point& p : view->records) {
         if (p.x >= xlo && p.x <= xhi) out->push_back(p);
       }
     }

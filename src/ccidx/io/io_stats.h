@@ -19,6 +19,7 @@ struct IoStats {
   uint64_t device_writes = 0;  ///< pages written to the device
   uint64_t cache_hits = 0;     ///< pager requests served from the pool
   uint64_t cache_misses = 0;   ///< pager requests that went to the device
+  uint64_t pin_requests = 0;   ///< Pin/PinMut/PinNew calls (logical accesses)
   uint64_t pages_allocated = 0;
   uint64_t pages_freed = 0;
 

@@ -3,7 +3,9 @@
 // Pages are raw byte buffers; structures define POD record layouts and use
 // PageWriter / PageReader for bounds-checked sequential encoding, plus
 // PageIo for whole-record array pages (the common case: a block of B
-// records preceded by a small header).
+// records preceded by a small header). All helpers operate on pinned
+// buffer-pool views (Pager::Pin/PinMut) — there is no per-access scratch
+// copy anywhere on these paths.
 
 #ifndef CCIDX_IO_PAGE_BUILDER_H_
 #define CCIDX_IO_PAGE_BUILDER_H_
@@ -80,13 +82,29 @@ class PageReader {
   size_t offset_;
 };
 
+/// Typed zero-copy view of a record array inside a pinned page. The records
+/// are read in place from the buffer-pool frame; no deserialization copy is
+/// made. Alignment is guaranteed because frames are allocator-aligned and
+/// every on-page record array starts at an 8-byte-aligned offset.
+template <typename Record>
+std::span<const Record> ViewArray(const PageRef& ref, size_t offset,
+                                  size_t count) {
+  static_assert(std::is_trivially_copyable_v<Record>);
+  std::span<const uint8_t> bytes = ref.data();
+  CCIDX_CHECK(offset + count * sizeof(Record) <= bytes.size());
+  CCIDX_CHECK(reinterpret_cast<uintptr_t>(bytes.data() + offset) %
+                  alignof(Record) ==
+              0);
+  return {reinterpret_cast<const Record*>(bytes.data() + offset), count};
+}
+
 /// Whole-page helpers for the ubiquitous layout
 ///   [u32 count][u64 next_page][count * Record]
 /// used by every blocked organization in the library (vertical/horizontal
 /// blockings, TS structures, leaf chains).
 class PageIo {
  public:
-  explicit PageIo(Pager* pager) : pager_(pager), scratch_(pager->page_size()) {}
+  explicit PageIo(Pager* pager) : pager_(pager) {}
 
   /// Max records of width `record_size` a page can hold under this layout.
   uint32_t CapacityFor(size_t record_size) const {
@@ -94,33 +112,56 @@ class PageIo {
                                  record_size);
   }
 
-  /// Writes one record-array page. `records.size()` must fit.
+  /// A pinned record-array page: the record span aliases the buffer-pool
+  /// frame and stays valid while `ref` is held.
+  template <typename Record>
+  struct RecordView {
+    PageRef ref;
+    std::span<const Record> records;
+    PageId next = kInvalidPageId;
+  };
+
+  /// Pins one record-array page and returns a zero-copy view of it.
+  template <typename Record>
+  Result<RecordView<Record>> ViewRecords(PageId id) {
+    auto ref = pager_->Pin(id);
+    CCIDX_RETURN_IF_ERROR(ref.status());
+    PageReader r(ref->data());
+    uint32_t count = r.Get<uint32_t>();
+    r.Get<uint32_t>();
+    PageId next = r.Get<uint64_t>();
+    CCIDX_CHECK(count <= CapacityFor(sizeof(Record)));
+    RecordView<Record> view;
+    view.records = ViewArray<Record>(*ref, kHeaderSize, count);
+    view.next = next;
+    view.ref = std::move(*ref);
+    return view;
+  }
+
+  /// Writes one record-array page in place through a mutable pin.
+  /// `records.size()` must fit.
   template <typename Record>
   Status WriteRecords(PageId id, std::span<const Record> records,
                       PageId next = kInvalidPageId) {
     CCIDX_CHECK(records.size() <= CapacityFor(sizeof(Record)));
-    PageWriter w(scratch_);
+    auto ref = pager_->PinMut(id, Pager::MutMode::kOverwrite);
+    CCIDX_RETURN_IF_ERROR(ref.status());
+    PageWriter w(ref->data());
     w.Put<uint32_t>(static_cast<uint32_t>(records.size()));
     w.Put<uint32_t>(0);  // reserved / alignment
     w.Put<uint64_t>(next);
     w.PutArray(records);
-    std::memset(scratch_.data() + w.offset(), 0,
-                scratch_.size() - w.offset());
-    return pager_->Write(id, scratch_);
+    // kOverwrite pins start zero-filled: no tail memset needed.
+    return ref->Release();
   }
 
   /// Reads one record-array page; appends records to `out`, returns next id.
   template <typename Record>
   Result<PageId> ReadRecords(PageId id, std::vector<Record>* out) {
-    CCIDX_RETURN_IF_ERROR(pager_->Read(id, scratch_));
-    PageReader r(scratch_);
-    uint32_t count = r.Get<uint32_t>();
-    r.Get<uint32_t>();
-    PageId next = r.Get<uint64_t>();
-    size_t base = out->size();
-    out->resize(base + count);
-    r.GetArray(std::span<Record>(out->data() + base, count));
-    return next;
+    auto view = ViewRecords<Record>(id);
+    CCIDX_RETURN_IF_ERROR(view.status());
+    out->insert(out->end(), view->records.begin(), view->records.end());
+    return view->next;
   }
 
   /// Writes `records` across as many pages as needed (allocating them),
@@ -158,11 +199,17 @@ class PageIo {
   Status FreeChain(PageId head) {
     PageId id = head;
     while (id != kInvalidPageId) {
-      CCIDX_RETURN_IF_ERROR(pager_->Read(id, scratch_));
-      PageReader r(scratch_);
-      r.Get<uint32_t>();
-      r.Get<uint32_t>();
-      PageId next = r.Get<uint64_t>();
+      PageId next;
+      {
+        auto ref = pager_->Pin(id);
+        CCIDX_RETURN_IF_ERROR(ref.status());
+        PageReader r(ref->data());
+        r.Get<uint32_t>();
+        r.Get<uint32_t>();
+        next = r.Get<uint64_t>();
+        // The pin must be released before Free: freeing a pinned page is a
+        // checked error.
+      }
       CCIDX_RETURN_IF_ERROR(pager_->Free(id));
       id = next;
     }
@@ -173,7 +220,6 @@ class PageIo {
 
  private:
   Pager* pager_;
-  std::vector<uint8_t> scratch_;
 };
 
 }  // namespace ccidx

@@ -4,14 +4,78 @@
 
 namespace ccidx {
 
+// ---------------------------------------------------------------------------
+// PageRef / MutPageRef
+// ---------------------------------------------------------------------------
+
+void PageRef::Release() {
+  if (!valid()) return;
+  if (frame_ != nullptr) {
+    pager_->UnpinShared(frame_);
+  } else {
+    // Transient read pin: dropping the private copy costs nothing.
+    pager_->outstanding_pins_--;
+  }
+  pager_ = nullptr;
+  frame_ = nullptr;
+  transient_.reset();
+  data_ = nullptr;
+}
+
+MutPageRef& MutPageRef::operator=(MutPageRef&& o) noexcept {
+  if (this != &o) {
+    ReleaseToDeferred();
+    MoveFrom(o);
+  }
+  return *this;
+}
+
+MutPageRef::~MutPageRef() { ReleaseToDeferred(); }
+
+void MutPageRef::ReleaseToDeferred() {
+  if (!valid()) return;
+  // Destructor-path release: a transient write-back failure here cannot be
+  // returned, so it is parked as the pager's deferred error and surfaced
+  // by the next Flush()/DropCache().
+  Pager* pager = pager_;
+  Status s = Release();
+  if (!s.ok()) pager->RecordDeferredError(std::move(s));
+}
+
+Status MutPageRef::Release() {
+  if (!valid()) return Status::OK();
+  Pager* pager = pager_;
+  pager_ = nullptr;
+  data_ = nullptr;
+  if (frame_ != nullptr) {
+    pager->UnpinMut(frame_);
+    frame_ = nullptr;
+    return Status::OK();
+  }
+  // Uncached: the page lives only in this handle; write it back now so the
+  // caller sees the device Status (the historical Write() behavior).
+  std::unique_ptr<uint8_t[]> buf = std::move(transient_);
+  pager->outstanding_pins_--;
+  return pager->device_->Write(id_, {buf.get(), size_});
+}
+
+// ---------------------------------------------------------------------------
+// Pager
+// ---------------------------------------------------------------------------
+
 Pager::Pager(BlockDevice* device, uint32_t capacity_pages)
     : device_(device), capacity_(capacity_pages) {
   CCIDX_CHECK(device_ != nullptr);
 }
 
 Pager::~Pager() {
-  // Best-effort flush; errors here indicate test teardown after device
-  // destruction misuse, which CCIDX_CHECK would have caught earlier.
+  // All pins must be released before the pool is torn down: a live handle
+  // would point into freed frames.
+  CCIDX_CHECK(outstanding_pins_ == 0);
+  // Best-effort flush. A destructor cannot surface a Status, so both a
+  // flush failure and a still-parked deferred error die here — callers
+  // that care about durability must Flush() (and check it) before
+  // destroying the pager.
   Flush().ok();
 }
 
@@ -19,36 +83,53 @@ PageId Pager::Allocate() {
   PageId id = device_->Allocate();
   if (capacity_ == 0) return id;
   // Freshly allocated pages are zeroed on the device; cache a zero copy so
-  // the first write does not need a device read.
-  auto result = GetFrame(id, /*load_from_device=*/false);
-  CCIDX_CHECK(result.ok());
+  // the first write does not need a device read. Best-effort: if no frame
+  // can be claimed right now (e.g. every frame is pinned), the page simply
+  // starts uncached — it already exists zeroed on the device.
+  auto result = GetFrame(id, MutMode::kOverwrite);
+  if (result.ok()) (*result)->dirty = true;
   return id;
 }
 
 Status Pager::Free(PageId id) {
   auto it = index_.find(id);
   if (it != index_.end()) {
+    if (it->second->pins > 0) {
+      return Status::FailedPrecondition("free of pinned page " +
+                                        std::to_string(id));
+    }
     lru_.erase(it->second);
     index_.erase(it);
   }
   return device_->Free(id);
 }
 
-Result<Pager::Frame*> Pager::GetFrame(PageId id, bool load_from_device) {
+Result<Pager::Frame*> Pager::GetFrame(PageId id, MutMode mode) {
   auto it = index_.find(id);
   if (it != index_.end()) {
+    Frame* frame = &*it->second;
+    if (mode == MutMode::kOverwrite && frame->pins > 0) {
+      // Zero-filling the frame would mutate the page under live views.
+      return Status::FailedPrecondition("overwrite of pinned page " +
+                                        std::to_string(id));
+    }
     hits_++;
     // Move to front (most recently used).
     lru_.splice(lru_.begin(), lru_, it->second);
-    return &*lru_.begin();
+    if (mode == MutMode::kOverwrite) {
+      // Caller rewrites the page; start from deterministic zeros exactly as
+      // the historical copy-based Write did.
+      std::memset(frame->data.get(), 0, device_->page_size());
+    }
+    return frame;
   }
   misses_++;
   CCIDX_RETURN_IF_ERROR(EvictIfFull());
   Frame frame;
   frame.id = id;
-  frame.dirty = !load_from_device;
+  frame.dirty = (mode == MutMode::kOverwrite);
   frame.data = std::make_unique<uint8_t[]>(device_->page_size());
-  if (load_from_device) {
+  if (mode == MutMode::kLoad) {
     CCIDX_RETURN_IF_ERROR(
         device_->Read(id, {frame.data.get(), device_->page_size()}));
   } else {
@@ -61,10 +142,23 @@ Result<Pager::Frame*> Pager::GetFrame(PageId id, bool load_from_device) {
 
 Status Pager::EvictIfFull() {
   while (lru_.size() >= capacity_) {
-    Frame& victim = lru_.back();
-    CCIDX_RETURN_IF_ERROR(WriteBack(victim));
-    index_.erase(victim.id);
-    lru_.pop_back();
+    // LRU order with a pinned-skip scan: the victim is the least recently
+    // used frame without an outstanding pin.
+    auto victim = lru_.end();
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      if (rit->pins == 0) {
+        victim = std::prev(rit.base());
+        break;
+      }
+    }
+    if (victim == lru_.end()) {
+      return Status::ResourceExhausted(
+          "all buffer-pool frames are pinned (capacity " +
+          std::to_string(capacity_) + ")");
+    }
+    CCIDX_RETURN_IF_ERROR(WriteBack(*victim));
+    index_.erase(victim->id);
+    lru_.erase(victim);
   }
   return Status::OK();
 }
@@ -73,18 +167,125 @@ Status Pager::WriteBack(Frame& frame) {
   if (!frame.dirty) return Status::OK();
   CCIDX_RETURN_IF_ERROR(
       device_->Write(frame.id, {frame.data.get(), device_->page_size()}));
-  frame.dirty = false;
+  // Under an active writer the frame must stay dirty: the pin holder may
+  // modify the span after this write-back.
+  if (frame.mut_pins == 0) frame.dirty = false;
   return Status::OK();
+}
+
+Result<PageRef> Pager::Pin(PageId id) {
+  pin_requests_++;
+  PageRef ref;
+  ref.id_ = id;
+  ref.size_ = device_->page_size();
+  if (capacity_ == 0) {
+    auto buf = std::make_unique<uint8_t[]>(ref.size_);
+    CCIDX_RETURN_IF_ERROR(device_->Read(id, {buf.get(), ref.size_}));
+    ref.data_ = buf.get();
+    ref.transient_ = std::move(buf);
+    ref.pager_ = this;
+    outstanding_pins_++;
+    return ref;
+  }
+  auto frame = GetFrame(id, MutMode::kLoad);
+  CCIDX_RETURN_IF_ERROR(frame.status());
+  (*frame)->pins++;
+  ref.frame_ = *frame;
+  ref.data_ = (*frame)->data.get();
+  ref.pager_ = this;
+  outstanding_pins_++;
+  return ref;
+}
+
+Result<MutPageRef> Pager::TransientMutRef(PageId id, MutMode mode) {
+  MutPageRef ref;
+  ref.id_ = id;
+  ref.size_ = device_->page_size();
+  auto buf = std::make_unique<uint8_t[]>(ref.size_);
+  if (mode == MutMode::kLoad) {
+    CCIDX_RETURN_IF_ERROR(device_->Read(id, {buf.get(), ref.size_}));
+  } else {
+    std::memset(buf.get(), 0, ref.size_);
+  }
+  ref.data_ = buf.get();
+  ref.transient_ = std::move(buf);
+  ref.pager_ = this;
+  outstanding_pins_++;
+  return ref;
+}
+
+MutPageRef Pager::PoolMutRef(PageId id, Frame* frame) {
+  frame->pins++;
+  frame->mut_pins++;
+  frame->dirty = true;
+  MutPageRef ref;
+  ref.id_ = id;
+  ref.size_ = device_->page_size();
+  ref.frame_ = frame;
+  ref.data_ = frame->data.get();
+  ref.pager_ = this;
+  outstanding_pins_++;
+  return ref;
+}
+
+Result<MutPageRef> Pager::PinMut(PageId id, MutMode mode) {
+  pin_requests_++;
+  if (capacity_ == 0) return TransientMutRef(id, mode);
+  auto frame = GetFrame(id, mode);
+  CCIDX_RETURN_IF_ERROR(frame.status());
+  return PoolMutRef(id, *frame);
+}
+
+Result<MutPageRef> Pager::PinNew() {
+  // One step: the freshly allocated id has no stale frame (Free() uncaches
+  // before returning ids to the device), so this claims and pins the frame
+  // in a single miss with no redundant lookup or re-zeroing.
+  PageId id = device_->Allocate();
+  pin_requests_++;
+  if (capacity_ == 0) return TransientMutRef(id, MutMode::kOverwrite);
+  auto frame = GetFrame(id, MutMode::kOverwrite);
+  CCIDX_RETURN_IF_ERROR(frame.status());
+  return PoolMutRef(id, *frame);
+}
+
+uint64_t Pager::pinned_frames() const {
+  uint64_t n = 0;
+  for (const Frame& f : lru_) {
+    if (f.pins > 0) n++;
+  }
+  return n;
+}
+
+void Pager::UnpinShared(Frame* frame) {
+  CCIDX_CHECK(frame->pins > 0);
+  frame->pins--;
+  outstanding_pins_--;
+}
+
+void Pager::UnpinMut(Frame* frame) {
+  CCIDX_CHECK(frame->pins > 0 && frame->mut_pins > 0);
+  frame->pins--;
+  frame->mut_pins--;
+  outstanding_pins_--;
+}
+
+void Pager::RecordDeferredError(Status s) {
+  if (deferred_error_.ok()) deferred_error_ = std::move(s);
+}
+
+Status Pager::TakeDeferredError() {
+  Status s = std::move(deferred_error_);
+  deferred_error_ = Status::OK();
+  return s;
 }
 
 Status Pager::Read(PageId id, std::span<uint8_t> out) {
   if (out.size() != device_->page_size()) {
     return Status::InvalidArgument("pager read buffer size mismatch");
   }
-  if (capacity_ == 0) return device_->Read(id, out);
-  auto frame = GetFrame(id, /*load_from_device=*/true);
-  CCIDX_RETURN_IF_ERROR(frame.status());
-  std::memcpy(out.data(), (*frame)->data.get(), device_->page_size());
+  auto ref = Pin(id);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  std::memcpy(out.data(), ref->data().data(), out.size());
   return Status::OK();
 }
 
@@ -92,15 +293,14 @@ Status Pager::Write(PageId id, std::span<const uint8_t> in) {
   if (in.size() != device_->page_size()) {
     return Status::InvalidArgument("pager write buffer size mismatch");
   }
-  if (capacity_ == 0) return device_->Write(id, in);
-  auto frame = GetFrame(id, /*load_from_device=*/false);
-  CCIDX_RETURN_IF_ERROR(frame.status());
-  std::memcpy((*frame)->data.get(), in.data(), device_->page_size());
-  (*frame)->dirty = true;
-  return Status::OK();
+  auto ref = PinMut(id, MutMode::kOverwrite);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  std::memcpy(ref->data().data(), in.data(), in.size());
+  return ref->Release();
 }
 
 Status Pager::Flush() {
+  CCIDX_RETURN_IF_ERROR(TakeDeferredError());
   for (Frame& frame : lru_) {
     CCIDX_RETURN_IF_ERROR(WriteBack(frame));
   }
@@ -108,6 +308,12 @@ Status Pager::Flush() {
 }
 
 Status Pager::DropCache() {
+  CCIDX_RETURN_IF_ERROR(TakeDeferredError());
+  if (outstanding_pins_ > 0) {
+    return Status::FailedPrecondition(
+        "DropCache with " + std::to_string(outstanding_pins_) +
+        " outstanding pin(s)");
+  }
   CCIDX_RETURN_IF_ERROR(Flush());
   lru_.clear();
   index_.clear();
@@ -118,6 +324,7 @@ IoStats Pager::CombinedStats() const {
   IoStats s = device_->stats();
   s.cache_hits = hits_;
   s.cache_misses = misses_;
+  s.pin_requests = pin_requests_;
   return s;
 }
 
@@ -125,6 +332,7 @@ void Pager::ResetStats() {
   device_->stats().Reset();
   hits_ = 0;
   misses_ = 0;
+  pin_requests_ = 0;
 }
 
 }  // namespace ccidx

@@ -1,9 +1,24 @@
-// Pager: write-back LRU buffer pool over a BlockDevice.
+// Pager: write-back LRU buffer pool over a BlockDevice, with zero-copy
+// pinned-page access (DESIGN.md §3).
 //
 // The paper assumes at least O(B^2) units of main memory (§1.1); with pages
 // of B units that is on the order of B resident pages. The pool capacity is
 // configurable; benchmarks call DropCache() before each measured operation
 // so device I/O counts reflect the worst case the theorems bound.
+//
+// Access model: callers pin pages and operate on spans into the buffer-pool
+// frame itself (PostgreSQL-style page accessors), never on private copies.
+//   * Pin(id)        -> PageRef     shared, read-only view
+//   * PinMut(id)     -> MutPageRef  exclusive-intent, dirties the frame
+//   * PinNew()       -> MutPageRef  allocate + pin a zeroed page
+// A pinned frame is ineligible for eviction; eviction skips pinned frames
+// in LRU order and reports ResourceExhausted when every frame is pinned.
+//
+// When capacity_pages == 0 the pool is disabled and every pin is a private
+// transient copy: Pin costs one device read, MutPageRef::Release() costs
+// one device write. That reproduces the historical uncached Read/Write
+// cost model exactly, which the fault-injection and I/O-count tests rely
+// on. The copy-based Read/Write survive as thin wrappers over pins.
 
 #ifndef CCIDX_IO_PAGER_H_
 #define CCIDX_IO_PAGER_H_
@@ -20,10 +35,145 @@
 
 namespace ccidx {
 
-/// Buffer-pool front end for a BlockDevice. Read/Write operate on whole
-/// pages by copy; dirty pages are written back on eviction or Flush.
+class Pager;
+
+namespace internal {
+
+/// One resident page of the buffer pool. Frames with pins > 0 are
+/// eviction-ineligible; mut_pins tracks the subset of pins that may write
+/// (Flush must not clear the dirty bit under an active writer).
+struct PageFrame {
+  PageId id = kInvalidPageId;
+  bool dirty = false;
+  uint32_t pins = 0;
+  uint32_t mut_pins = 0;
+  std::unique_ptr<uint8_t[]> data;
+};
+
+}  // namespace internal
+
+/// RAII shared read pin. While alive, the page's frame stays resident and
+/// `data()` is a stable view into the buffer pool (no copy). Releasing a
+/// read pin never performs I/O.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& o) noexcept { MoveFrom(o); }
+  PageRef& operator=(PageRef&& o) noexcept {
+    if (this != &o) {
+      Release();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Release(); }
+
+  bool valid() const { return pager_ != nullptr; }
+  PageId id() const { return id_; }
+
+  /// Read-only view of the whole page. Valid until Release()/destruction.
+  std::span<const uint8_t> data() const {
+    CCIDX_CHECK(valid());
+    return {data_, size_};
+  }
+
+  /// Unpins early (idempotent). Never performs I/O.
+  void Release();
+
+ private:
+  friend class Pager;
+
+  void MoveFrom(PageRef& o) {
+    pager_ = o.pager_;
+    frame_ = o.frame_;
+    transient_ = std::move(o.transient_);
+    id_ = o.id_;
+    data_ = o.data_;
+    size_ = o.size_;
+    o.pager_ = nullptr;
+    o.frame_ = nullptr;
+    o.data_ = nullptr;
+  }
+
+  Pager* pager_ = nullptr;
+  internal::PageFrame* frame_ = nullptr;  // null => transient (uncached)
+  std::unique_ptr<uint8_t[]> transient_;
+  PageId id_ = kInvalidPageId;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// RAII mutable pin. Obtaining one marks the frame dirty; the write-back
+/// happens on eviction or Flush (cached) or at Release() (uncached), always
+/// on a Status-returning path. Prefer `return ref.Release();` over relying
+/// on the destructor: a destructor write-back failure cannot be returned
+/// and is parked as the pager's deferred error instead.
+class MutPageRef {
+ public:
+  MutPageRef() = default;
+  MutPageRef(MutPageRef&& o) noexcept { MoveFrom(o); }
+  MutPageRef& operator=(MutPageRef&& o) noexcept;
+  MutPageRef(const MutPageRef&) = delete;
+  MutPageRef& operator=(const MutPageRef&) = delete;
+  ~MutPageRef();
+
+  bool valid() const { return pager_ != nullptr; }
+  PageId id() const { return id_; }
+
+  /// Writable view of the whole page. Valid until Release()/destruction.
+  std::span<uint8_t> data() {
+    CCIDX_CHECK(valid());
+    return {data_, size_};
+  }
+
+  /// Unpins (idempotent). Uncached pins write the page back to the device
+  /// here and surface the device Status; cached pins return OK (the dirty
+  /// frame is flushed later by eviction or Flush).
+  Status Release();
+
+ private:
+  friend class Pager;
+
+  // Destructor/assignment path: releases, parking any write-back failure
+  // as the pager's deferred error (a destructor cannot return Status).
+  void ReleaseToDeferred();
+
+  void MoveFrom(MutPageRef& o) {
+    pager_ = o.pager_;
+    frame_ = o.frame_;
+    transient_ = std::move(o.transient_);
+    id_ = o.id_;
+    data_ = o.data_;
+    size_ = o.size_;
+    o.pager_ = nullptr;
+    o.frame_ = nullptr;
+    o.data_ = nullptr;
+  }
+
+  Pager* pager_ = nullptr;
+  internal::PageFrame* frame_ = nullptr;  // null => transient (uncached)
+  std::unique_ptr<uint8_t[]> transient_;
+  PageId id_ = kInvalidPageId;
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Buffer-pool front end for a BlockDevice. Pin-based access is the primary
+/// interface; dirty pages are written back on eviction or Flush.
 class Pager {
  public:
+  /// Contents policy for PinMut on a page that may not be resident.
+  enum class MutMode {
+    /// Load current page contents (read-modify-write). Costs a device read
+    /// on a pool miss / uncached pin.
+    kLoad,
+    /// Caller rewrites the whole page: the view starts zero-filled and no
+    /// device read is ever issued. This is the historical Write() cost.
+    kOverwrite,
+  };
+
   /// `capacity_pages == 0` disables caching (every access hits the device).
   Pager(BlockDevice* device, uint32_t capacity_pages);
 
@@ -36,41 +186,84 @@ class Pager {
   /// caching is enabled).
   PageId Allocate();
 
-  /// Frees a page, discarding any cached copy.
+  /// Frees a page, discarding any cached copy. Freeing a pinned page is a
+  /// checked error.
   Status Free(PageId id);
 
-  /// Copies the page into `out` (size page_size()).
+  /// Pins a page for reading. Zero-copy on cache hits; one device read on a
+  /// miss (or always, when caching is disabled).
+  Result<PageRef> Pin(PageId id);
+
+  /// Pins a page for writing; the frame is marked dirty immediately.
+  /// kOverwrite hands out a zero-filled view with no device read; asking to
+  /// overwrite a page that currently has pins is a checked error (the zero
+  /// fill would mutate the page under live views).
+  Result<MutPageRef> PinMut(PageId id, MutMode mode = MutMode::kLoad);
+
+  /// Allocates a fresh page and pins it for writing (zeroed, dirty).
+  Result<MutPageRef> PinNew();
+
+  /// Number of frames with at least one outstanding pin.
+  uint64_t pinned_frames() const;
+
+  /// Total outstanding pin handles (pool + transient).
+  uint64_t outstanding_pins() const { return outstanding_pins_; }
+
+  /// Copies the page into `out` (size page_size()). Thin wrapper over Pin,
+  /// kept for fault-injection tests and callers that need an owned copy.
   Status Read(PageId id, std::span<uint8_t> out);
 
-  /// Replaces the page contents from `in` (size page_size()).
+  /// Replaces the page contents from `in` (size page_size()). Thin wrapper
+  /// over PinMut(kOverwrite).
   Status Write(PageId id, std::span<const uint8_t> in);
 
-  /// Writes back all dirty pages (keeps them cached clean).
+  /// Writes back all dirty pages (keeps them cached clean). Frames with an
+  /// active mutable pin are written but stay dirty (the writer may still
+  /// modify them).
   Status Flush();
 
   /// Writes back dirty pages and empties the pool. Establishes a cold cache
-  /// for worst-case I/O measurement.
+  /// for worst-case I/O measurement. Calling with outstanding pins is a
+  /// checked error (FailedPrecondition): handles would dangle.
   Status DropCache();
 
-  /// Device-level counters (the paper's I/O metric) plus hit/miss counters.
+  /// Device-level counters (the paper's I/O metric) plus pin/hit/miss
+  /// counters.
   IoStats CombinedStats() const;
 
   /// Resets both pager-local and device counters.
   void ResetStats();
 
  private:
-  struct Frame {
-    PageId id;
-    bool dirty;
-    std::unique_ptr<uint8_t[]> data;
-  };
+  friend class PageRef;
+  friend class MutPageRef;
 
-  // Returns the frame for `id`, loading it from the device if needed.
-  // Returns nullptr via status on I/O error. Only called when caching is on.
-  Result<Frame*> GetFrame(PageId id, bool load_from_device);
+  using Frame = internal::PageFrame;
 
+  // Returns the resident frame for `id`, loading it from the device unless
+  // `mode == kOverwrite` (then the frame is zero-filled). Only called when
+  // caching is enabled.
+  Result<Frame*> GetFrame(PageId id, MutMode mode);
+
+  // Evicts unpinned frames (LRU order, skipping pinned ones) until a slot
+  // is free. ResourceExhausted when every frame is pinned.
   Status EvictIfFull();
+
   Status WriteBack(Frame& frame);
+
+  // Builds a mutable handle over a private transient copy (uncached mode).
+  Result<MutPageRef> TransientMutRef(PageId id, MutMode mode);
+  // Builds a mutable handle over a resident frame, taking the pins.
+  MutPageRef PoolMutRef(PageId id, Frame* frame);
+
+  void UnpinShared(Frame* frame);
+  void UnpinMut(Frame* frame);
+
+  // Destructor fallback for an unreleased transient MutPageRef: best-effort
+  // write-back whose failure is parked here and surfaced by the next
+  // Flush()/DropCache().
+  void RecordDeferredError(Status s);
+  Status TakeDeferredError();
 
   BlockDevice* device_;
   uint32_t capacity_;
@@ -79,6 +272,9 @@ class Pager {
   std::unordered_map<PageId, std::list<Frame>::iterator> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t pin_requests_ = 0;
+  uint64_t outstanding_pins_ = 0;
+  Status deferred_error_;
 };
 
 }  // namespace ccidx

@@ -24,9 +24,9 @@ uint32_t DynamicPst::NodeCapacity() const {
 
 Status DynamicPst::LoadNode(PageId id, NodeHeader* h,
                             std::vector<Point>* pts) const {
-  std::vector<uint8_t> buf(pager_->page_size());
-  CCIDX_RETURN_IF_ERROR(pager_->Read(id, buf));
-  PageReader r(buf);
+  auto ref = pager_->Pin(id);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageReader r(ref->data());
   *h = r.Get<NodeHeader>();
   pts->resize(h->count);
   r.GetArray(std::span<Point>(*pts));
@@ -37,11 +37,12 @@ Status DynamicPst::StoreNode(PageId id, NodeHeader& h,
                              std::vector<Point>* pts) const {
   h.count = static_cast<uint32_t>(pts->size());
   h.min_y = pts->empty() ? kCoordMax : pts->back().y;
-  std::vector<uint8_t> buf(pager_->page_size());
-  PageWriter w(buf);
+  auto ref = pager_->PinMut(id, Pager::MutMode::kOverwrite);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageWriter w(ref->data());
   w.Put(h);
   w.PutArray(std::span<const Point>(*pts));
-  return pager_->Write(id, buf);
+  return ref->Release();
 }
 
 Result<PageId> DynamicPst::BuildNode(Pager* pager,
@@ -81,12 +82,13 @@ Result<PageId> DynamicPst::BuildNode(Pager* pager,
   std::sort(own.begin(), own.end(), DescY);
   h.count = static_cast<uint32_t>(own.size());
   h.min_y = own.empty() ? kCoordMax : own.back().y;
-  PageId id = pager->Allocate();
-  std::vector<uint8_t> buf(pager->page_size());
-  PageWriter w(buf);
+  auto ref = pager->PinNew();
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageId id = ref->id();
+  PageWriter w(ref->data());
   w.Put(h);
   w.PutArray(std::span<const Point>(own));
-  CCIDX_RETURN_IF_ERROR(pager->Write(id, buf));
+  CCIDX_RETURN_IF_ERROR(ref->Release());
   return id;
 }
 
@@ -283,12 +285,18 @@ Status DynamicPst::QueryNode(PageId id, const ThreeSidedQuery& q,
                              std::vector<Point>* out) const {
   if (id == kInvalidPageId) return Status::OK();
   NodeHeader h;
-  std::vector<Point> pts;
-  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
-  if (h.sub_xlo > q.xhi || h.sub_xhi < q.xlo) return Status::OK();
-  for (const Point& p : pts) {
-    if (p.y < q.ylo) break;
-    if (p.x >= q.xlo && p.x <= q.xhi) out->push_back(p);
+  {
+    // Zero-copy scan of the node's points; pin dropped before recursion.
+    auto ref = pager_->Pin(id);
+    CCIDX_RETURN_IF_ERROR(ref.status());
+    PageReader r(ref->data());
+    h = r.Get<NodeHeader>();
+    if (h.sub_xlo > q.xhi || h.sub_xhi < q.xlo) return Status::OK();
+    for (const Point& p : ViewArray<Point>(*ref, sizeof(NodeHeader),
+                                           h.count)) {
+      if (p.y < q.ylo) break;
+      if (p.x >= q.xlo && p.x <= q.xhi) out->push_back(p);
+    }
   }
   if (h.min_y < q.ylo) return Status::OK();
   CCIDX_RETURN_IF_ERROR(QueryNode(h.left, q, out));

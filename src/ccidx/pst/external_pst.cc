@@ -53,12 +53,13 @@ Result<PageId> ExternalPst::BuildNode(Pager* pager,
   h.count = static_cast<uint32_t>(own.size());
   h.min_y = own.empty() ? kCoordMax : own.back().y;
 
-  PageId id = pager->Allocate();
-  std::vector<uint8_t> buf(pager->page_size());
-  PageWriter w(buf);
+  auto ref = pager->PinNew();
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageId id = ref->id();
+  PageWriter w(ref->data());
   w.Put(h);
   w.PutArray(std::span<const Point>(own));
-  CCIDX_RETURN_IF_ERROR(pager->Write(id, buf));
+  CCIDX_RETURN_IF_ERROR(ref->Release());
   return id;
 }
 
@@ -82,9 +83,9 @@ ExternalPst ExternalPst::Open(Pager* pager, PageId root) {
 
 Status ExternalPst::LoadNode(PageId id, NodeHeader* h,
                              std::vector<Point>* pts) const {
-  std::vector<uint8_t> buf(pager_->page_size());
-  CCIDX_RETURN_IF_ERROR(pager_->Read(id, buf));
-  PageReader r(buf);
+  auto ref = pager_->Pin(id);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageReader r(ref->data());
   *h = r.Get<NodeHeader>();
   pts->resize(h->count);
   r.GetArray(std::span<Point>(*pts));
@@ -95,12 +96,19 @@ Status ExternalPst::QueryNode(PageId id, const ThreeSidedQuery& q,
                               std::vector<Point>* out) const {
   if (id == kInvalidPageId) return Status::OK();
   NodeHeader h;
-  std::vector<Point> pts;
-  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
-  if (h.sub_xlo > q.xhi || h.sub_xhi < q.xlo) return Status::OK();
-  for (const Point& p : pts) {
-    if (p.y < q.ylo) break;  // descending y: nothing below qualifies
-    if (p.x >= q.xlo && p.x <= q.xhi) out->push_back(p);
+  {
+    // Zero-copy: filter the node's points in place from the pinned frame.
+    // The pin is dropped before recursing so pin depth stays O(1).
+    auto ref = pager_->Pin(id);
+    CCIDX_RETURN_IF_ERROR(ref.status());
+    PageReader r(ref->data());
+    h = r.Get<NodeHeader>();
+    if (h.sub_xlo > q.xhi || h.sub_xhi < q.xlo) return Status::OK();
+    for (const Point& p : ViewArray<Point>(*ref, sizeof(NodeHeader),
+                                           h.count)) {
+      if (p.y < q.ylo) break;  // descending y: nothing below qualifies
+      if (p.x >= q.xlo && p.x <= q.xhi) out->push_back(p);
+    }
   }
   // Heap order: every descendant's y is <= this node's min y. If some own
   // point already fell below ylo, no descendant can qualify.
