@@ -162,4 +162,4 @@ BENCHMARK(ccidx::bench::BM_ThreeSidedVsPst)
 BENCHMARK(ccidx::bench::BM_ThreeSidedVsPst)
     ->ArgsProduct({{1 << 16}, {32}, {1 << 8, 1 << 12, 1 << 16, 1 << 20}});
 
-BENCHMARK_MAIN();
+CCIDX_BENCH_MAIN();

@@ -130,4 +130,4 @@ BENCHMARK(ccidx::bench::BM_AblationSmallOutput)
 BENCHMARK(ccidx::bench::BM_AblationMidOutput)
     ->ArgsProduct({{1 << 17}, {32}});
 
-BENCHMARK_MAIN();
+CCIDX_BENCH_MAIN();

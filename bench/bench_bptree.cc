@@ -93,4 +93,4 @@ BENCHMARK(ccidx::bench::BM_BptreeRangeQuery)
 // Insert I/O.
 BENCHMARK(ccidx::bench::BM_BptreeInsert)->Arg(32)->Iterations(50000);
 
-BENCHMARK_MAIN();
+CCIDX_BENCH_MAIN();

@@ -140,4 +140,4 @@ BENCHMARK(ccidx::bench::BM_RakeVsSimple)
                    {256},
                    {ccidx::bench::kRandom}});
 
-BENCHMARK_MAIN();
+CCIDX_BENCH_MAIN();

@@ -167,4 +167,4 @@ BENCHMARK(ccidx::bench::BM_ClassUpdate)
     ->Arg(1024)
     ->Iterations(20000);
 
-BENCHMARK_MAIN();
+CCIDX_BENCH_MAIN();

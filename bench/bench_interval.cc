@@ -118,4 +118,4 @@ BENCHMARK(ccidx::bench::BM_IntervalStab)
 BENCHMARK(ccidx::bench::BM_IntervalIntersect)
     ->ArgsProduct({{1 << 18}, {32}, {0, 1 << 8, 1 << 12, 1 << 16, 1 << 20}});
 
-BENCHMARK_MAIN();
+CCIDX_BENCH_MAIN();

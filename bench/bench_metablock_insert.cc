@@ -93,4 +93,4 @@ BENCHMARK(ccidx::bench::BM_AugmentedInsert)
 BENCHMARK(ccidx::bench::BM_AugmentedQueryAfterInserts)
     ->ArgsProduct({{1 << 12, 1 << 14, 1 << 16, 1 << 18}, {32}});
 
-BENCHMARK_MAIN();
+CCIDX_BENCH_MAIN();

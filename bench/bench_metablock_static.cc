@@ -105,4 +105,4 @@ BENCHMARK(ccidx::bench::BM_MetablockDiagonalQuery)
 BENCHMARK(ccidx::bench::BM_MetablockLowerBoundStaircase)
     ->ArgsProduct({{1 << 12, 1 << 16, 1 << 20}, {32}});
 
-BENCHMARK_MAIN();
+CCIDX_BENCH_MAIN();

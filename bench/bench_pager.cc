@@ -183,4 +183,4 @@ BENCHMARK(BM_WarmPageSweepPinned);
 }  // namespace bench
 }  // namespace ccidx
 
-BENCHMARK_MAIN();
+CCIDX_BENCH_MAIN();

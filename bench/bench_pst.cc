@@ -125,4 +125,4 @@ BENCHMARK(ccidx::bench::BM_PstThreeSided)
 BENCHMARK(ccidx::bench::BM_PstThreeSided)
     ->ArgsProduct({{1 << 18}, {32}, {1 << 10, 1 << 14, 1 << 18, 1 << 21}});
 
-BENCHMARK_MAIN();
+CCIDX_BENCH_MAIN();

@@ -105,4 +105,4 @@ BENCHMARK(ccidx::bench::BM_MetablockContrast)
     ->Args({128, 16})
     ->Args({128, 64});
 
-BENCHMARK_MAIN();
+CCIDX_BENCH_MAIN();

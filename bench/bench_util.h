@@ -9,8 +9,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "ccidx/core/metablock_tree.h"
 #include "ccidx/io/block_device.h"
@@ -21,6 +24,79 @@ namespace bench {
 
 /// log base B of n.
 inline double LogB(double n, double b) { return std::log(n) / std::log(b); }
+
+/// Console reporter that additionally emits one machine-readable JSON
+/// line per (benchmark, metric) to stdout:
+///   {"bench": "...", "metric": "...", "value": ...}
+/// The driver greps these lines into BENCH_*.json so the perf trajectory
+/// is tracked across PRs. Real time and every user counter (the paper's
+/// I/O metrics) are reported.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (RunSkipped(run, 0)) continue;
+      const std::string name = run.benchmark_name();
+      PrintJson(name, "real_time_ns", run.GetAdjustedRealTime());
+      for (const auto& [counter_name, counter] : run.counters) {
+        PrintJson(name, counter_name, counter.value);
+      }
+    }
+  }
+
+ private:
+  // google-benchmark renamed Run::error_occurred to Run::skipped in 1.8;
+  // feature-detect the member so both versions compile. The int overload
+  // wins when error_occurred exists (<= 1.7); otherwise SFINAE falls
+  // through to the skipped-based overload.
+  template <typename R>
+  static auto RunSkipped(const R& run, int)
+      -> decltype(static_cast<bool>(run.error_occurred)) {
+    return static_cast<bool>(run.error_occurred);
+  }
+  template <typename R>
+  static auto RunSkipped(const R& run, long)
+      -> decltype(static_cast<bool>(run.skipped)) {
+    return static_cast<bool>(run.skipped);
+  }
+  // Benchmark and counter names are arbitrary strings; escape the two
+  // characters that would corrupt the JSON line.
+  static std::string EscapeJson(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static void PrintJson(const std::string& bench, const std::string& metric,
+                        double value) {
+    // %.17g would print bare inf/nan tokens, which are not valid JSON.
+    if (!std::isfinite(value)) {
+      std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": null}\n",
+                  EscapeJson(bench).c_str(), EscapeJson(metric).c_str());
+      return;
+    }
+    std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.17g}\n",
+                EscapeJson(bench).c_str(), EscapeJson(metric).c_str(), value);
+  }
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN() that reports through
+/// JsonLineReporter.
+#define CCIDX_BENCH_MAIN()                                                  \
+  int main(int argc, char** argv) {                                         \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::ccidx::bench::JsonLineReporter reporter;                              \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                         \
+    ::benchmark::Shutdown();                                                \
+    return 0;                                                               \
+  }                                                                         \
+  static_assert(true, "require a trailing semicolon")
 
 /// A device + pager pair sized for `b` points per page.
 struct Disk {

@@ -8,6 +8,7 @@
 
 #include "ccidx/core/metablock_tree.h"   // PageSizeForBranching
 #include "ccidx/interval/interval_index.h"
+#include "ccidx/query/sink.h"
 
 using namespace ccidx;
 
@@ -51,7 +52,25 @@ int main() {
                 static_cast<long long>(hits[i].hi));
   }
 
-  // 5. Space: O(n/B) pages.
+  // 5. Count and exists queries: sinks consume results without
+  //    materializing them (DESIGN.md §5). CountSink skips the per-record
+  //    copies; ExistsSink stops at the first hit, so the t/B term of the
+  //    query bound vanishes — compare the I/O counts.
+  device.stats().Reset();
+  CountSink<Interval> count;
+  if (!index.Stab(50000, &count).ok()) return 1;
+  std::printf("count stab(50000): %llu intervals, %llu I/Os\n",
+              static_cast<unsigned long long>(count.count()),
+              static_cast<unsigned long long>(device.stats().TotalIos()));
+
+  device.stats().Reset();
+  ExistsSink<Interval> exists;
+  if (!index.Stab(50000, &exists).ok()) return 1;
+  std::printf("exists stab(50000): %s, %llu I/Os (early termination)\n",
+              exists.exists() ? "yes" : "no",
+              static_cast<unsigned long long>(device.stats().TotalIos()));
+
+  // 6. Space: O(n/B) pages.
   std::printf("footprint: %llu pages of %u bytes for %llu intervals\n",
               static_cast<unsigned long long>(device.live_pages()),
               device.page_size(),

@@ -11,6 +11,7 @@
 
 #include "ccidx/core/metablock_tree.h"
 #include "ccidx/interval/interval_index.h"
+#include "ccidx/query/sink.h"
 
 using namespace ccidx;
 
@@ -60,6 +61,23 @@ int main() {
   uint64_t scan_pages = device.live_pages();
   std::printf("naive scan would read ~%llu pages; the index read %llu\n",
               static_cast<unsigned long long>(scan_pages),
+              static_cast<unsigned long long>(device.stats().TotalIos()));
+
+  // Dashboards rarely need the sessions themselves. A concurrency gauge
+  // counts without materializing; an alert check stops at the first hit
+  // (DESIGN.md §5) — watch the I/O column.
+  device.stats().Reset();
+  CountSink<Interval> concurrency;
+  if (!sessions.Stab(64800, &concurrency).ok()) return 1;
+  std::printf("concurrency gauge at 18:00: %llu sessions, %llu I/Os\n",
+              static_cast<unsigned long long>(concurrency.count()),
+              static_cast<unsigned long long>(device.stats().TotalIos()));
+
+  device.stats().Reset();
+  ExistsSink<Interval> any_overnight;
+  if (!sessions.Stab(86399, &any_overnight).ok()) return 1;
+  std::printf("anyone online at 23:59:59? %s — %llu I/Os (early stop)\n",
+              any_overnight.exists() ? "yes" : "no",
               static_cast<unsigned long long>(device.stats().TotalIos()));
   return 0;
 }

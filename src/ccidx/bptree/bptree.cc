@@ -198,29 +198,43 @@ Status BPlusTree::Delete(int64_t key, uint64_t value, bool* found) {
   return Status::OK();
 }
 
+Status BPlusTree::RangeScan(int64_t lo, int64_t hi,
+                            ResultSink<BtEntry>* sink) const {
+  if (root_ == kInvalidPageId || lo > hi) return Status::OK();
+  SinkEmitter<BtEntry> em(sink);
+  std::vector<std::pair<PageId, size_t>> path;
+  CCIDX_RETURN_IF_ERROR(DescendToLeaf(lo, &path));
+  PageId id = path.back().first;
+  while (id != kInvalidPageId && !em.stopped()) {
+    // Keys ascend within a leaf, so the qualifying entries are one
+    // contiguous run, emitted straight from the pinned frame.
+    auto view = ViewNode(id);
+    CCIDX_RETURN_IF_ERROR(view.status());
+    std::span<const BtEntry> tail = DropWhile(
+        view->entries, [lo](const BtEntry& e) { return e.key < lo; });
+    std::span<const BtEntry> run =
+        TakeWhile(tail, [hi](const BtEntry& e) { return e.key <= hi; });
+    em.Emit(run);
+    if (run.size() < tail.size()) return Status::OK();  // crossed above hi
+    id = view->next;
+  }
+  return Status::OK();
+}
+
 Status BPlusTree::RangeSearch(int64_t lo, int64_t hi,
                               std::vector<BtEntry>* out) const {
-  return RangeScan(lo, hi, [out](const BtEntry& e) { out->push_back(e); });
+  VectorSink<BtEntry> sink(out);
+  return RangeScan(lo, hi, &sink);
 }
 
 Status BPlusTree::RangeScan(
     int64_t lo, int64_t hi,
     const std::function<void(const BtEntry&)>& fn) const {
-  if (root_ == kInvalidPageId || lo > hi) return Status::OK();
-  std::vector<std::pair<PageId, size_t>> path;
-  CCIDX_RETURN_IF_ERROR(DescendToLeaf(lo, &path));
-  PageId id = path.back().first;
-  while (id != kInvalidPageId) {
-    // Leaf entries are emitted straight from the pinned frame.
-    auto view = ViewNode(id);
-    CCIDX_RETURN_IF_ERROR(view.status());
-    for (const BtEntry& e : view->entries) {
-      if (e.key > hi) return Status::OK();
-      if (e.key >= lo) fn(e);
-    }
-    id = view->next;
-  }
-  return Status::OK();
+  FunctionSink<BtEntry> sink([&fn](std::span<const BtEntry> batch) {
+    for (const BtEntry& e : batch) fn(e);
+    return SinkState::kContinue;
+  });
+  return RangeScan(lo, hi, &sink);
 }
 
 Result<BPlusTree> BPlusTree::BulkLoad(Pager* pager,

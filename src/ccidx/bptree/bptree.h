@@ -26,6 +26,7 @@
 
 #include "ccidx/io/page_builder.h"
 #include "ccidx/io/pager.h"
+#include "ccidx/query/sink.h"
 
 namespace ccidx {
 
@@ -64,6 +65,12 @@ class BPlusTree {
 
   /// Removes one entry equal to (key, value). Sets *found accordingly.
   Status Delete(int64_t key, uint64_t value, bool* found);
+
+  /// Streams all entries with lo <= key <= hi into `sink` in key order,
+  /// one leaf-page span at a time straight from the pinned frame; kStop
+  /// stops the leaf-chain walk before another page is pinned.
+  /// O(log_B n + t/B) I/Os.
+  Status RangeScan(int64_t lo, int64_t hi, ResultSink<BtEntry>* sink) const;
 
   /// Appends all entries with lo <= key <= hi to `out`, in key order.
   /// O(log_B n + t/B) I/Os.

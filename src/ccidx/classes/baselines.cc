@@ -1,5 +1,7 @@
 #include "ccidx/classes/baselines.h"
 
+#include <optional>
+
 namespace ccidx {
 
 SingleIndexBaseline::SingleIndexBaseline(Pager* pager,
@@ -20,15 +22,24 @@ Status SingleIndexBaseline::Delete(const Object& o, bool* found) {
 }
 
 Status SingleIndexBaseline::Query(uint32_t class_id, Coord a1, Coord a2,
-                                  std::vector<uint64_t>* out) const {
+                                  ResultSink<uint64_t>* sink) const {
   if (class_id >= hierarchy_->size()) {
     return Status::InvalidArgument("unknown class");
   }
   Coord lo = hierarchy_->code(class_id);
   Coord hi = hierarchy_->subtree_max_code(class_id);
-  return tree_.RangeScan(a1, a2, [out, lo, hi](const BtEntry& e) {
-    if (e.aux >= lo && e.aux <= hi) out->push_back(e.value);
-  });
+  TransformSink<BtEntry, uint64_t> xform(
+      sink, [lo, hi](const BtEntry& e) -> std::optional<uint64_t> {
+        if (e.aux < lo || e.aux > hi) return std::nullopt;
+        return e.value;
+      });
+  return tree_.RangeScan(a1, a2, &xform);
+}
+
+Status SingleIndexBaseline::Query(uint32_t class_id, Coord a1, Coord a2,
+                                  std::vector<uint64_t>* out) const {
+  VectorSink<uint64_t> sink(out);
+  return Query(class_id, a1, a2, &sink);
 }
 
 FullExtentIndex::FullExtentIndex(Pager* pager,
@@ -72,12 +83,19 @@ Status FullExtentIndex::Delete(const Object& o, bool* found) {
 }
 
 Status FullExtentIndex::Query(uint32_t class_id, Coord a1, Coord a2,
-                              std::vector<uint64_t>* out) const {
+                              ResultSink<uint64_t>* sink) const {
   if (class_id >= hierarchy_->size()) {
     return Status::InvalidArgument("unknown class");
   }
-  return trees_[class_id].RangeScan(
-      a1, a2, [out](const BtEntry& e) { out->push_back(e.value); });
+  TransformSink<BtEntry, uint64_t> xform(
+      sink, [](const BtEntry& e) { return std::optional<uint64_t>(e.value); });
+  return trees_[class_id].RangeScan(a1, a2, &xform);
+}
+
+Status FullExtentIndex::Query(uint32_t class_id, Coord a1, Coord a2,
+                              std::vector<uint64_t>* out) const {
+  VectorSink<uint64_t> sink(out);
+  return Query(class_id, a1, a2, &sink);
 }
 
 ExtentOnlyIndex::ExtentOnlyIndex(Pager* pager,
@@ -111,18 +129,26 @@ Status ExtentOnlyIndex::Delete(const Object& o, bool* found) {
 }
 
 Status ExtentOnlyIndex::Query(uint32_t class_id, Coord a1, Coord a2,
-                              std::vector<uint64_t>* out) const {
+                              ResultSink<uint64_t>* sink) const {
   if (class_id >= hierarchy_->size()) {
     return Status::InvalidArgument("unknown class");
   }
+  TransformSink<BtEntry, uint64_t> xform(
+      sink, [](const BtEntry& e) { return std::optional<uint64_t>(e.value); });
   // Every class of the subtree, by code range.
   for (Coord code = hierarchy_->code(class_id);
-       code <= hierarchy_->subtree_max_code(class_id); ++code) {
+       code <= hierarchy_->subtree_max_code(class_id) && !xform.stopped();
+       ++code) {
     uint32_t c = hierarchy_->class_at_code(code);
-    CCIDX_RETURN_IF_ERROR(trees_[c].RangeScan(
-        a1, a2, [out](const BtEntry& e) { out->push_back(e.value); }));
+    CCIDX_RETURN_IF_ERROR(trees_[c].RangeScan(a1, a2, &xform));
   }
   return Status::OK();
+}
+
+Status ExtentOnlyIndex::Query(uint32_t class_id, Coord a1, Coord a2,
+                              std::vector<uint64_t>* out) const {
+  VectorSink<uint64_t> sink(out);
+  return Query(class_id, a1, a2, &sink);
 }
 
 }  // namespace ccidx

@@ -32,6 +32,10 @@ class SingleIndexBaseline {
   Status Insert(const Object& o);
   Status Delete(const Object& o, bool* found);
   /// O(log_B n + t_all/B): scans every object in the attribute range.
+  /// Note kStop cannot rescue the t_all/B term here: the scan still walks
+  /// non-matching classes until enough matches surface.
+  Status Query(uint32_t class_id, Coord a1, Coord a2,
+               ResultSink<uint64_t>* sink) const;
   Status Query(uint32_t class_id, Coord a1, Coord a2,
                std::vector<uint64_t>* out) const;
   uint64_t size() const { return tree_.size(); }
@@ -51,6 +55,8 @@ class FullExtentIndex {
   Status Delete(const Object& o, bool* found);
   /// Optimal O(log_B n + t/B): one tree holds exactly the answer superset.
   Status Query(uint32_t class_id, Coord a1, Coord a2,
+               ResultSink<uint64_t>* sink) const;
+  Status Query(uint32_t class_id, Coord a1, Coord a2,
                std::vector<uint64_t>* out) const;
   uint64_t size() const { return size_; }
 
@@ -69,6 +75,9 @@ class ExtentOnlyIndex {
   Status Insert(const Object& o);
   Status Delete(const Object& o, bool* found);
   /// O(subtree_size * log_B n + t/B): one search per descendant class.
+  /// kStop skips the remaining descendant classes.
+  Status Query(uint32_t class_id, Coord a1, Coord a2,
+               ResultSink<uint64_t>* sink) const;
   Status Query(uint32_t class_id, Coord a1, Coord a2,
                std::vector<uint64_t>* out) const;
   uint64_t size() const { return size_; }

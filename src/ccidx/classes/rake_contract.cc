@@ -1,6 +1,7 @@
 #include "ccidx/classes/rake_contract.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace ccidx {
 
@@ -116,20 +117,27 @@ Result<RakeContractIndex> RakeContractIndex::Build(
 }
 
 Status RakeContractIndex::Query(uint32_t class_id, Coord a1, Coord a2,
-                                std::vector<uint64_t>* out) const {
+                                ResultSink<uint64_t>* sink) const {
   if (class_id >= hierarchy_->size()) {
     return Status::InvalidArgument("unknown class");
   }
   const PathStructure& ps = paths_[path_of_[class_id]];
   if (ps.is_btree) {
-    return ps.btree.RangeScan(
-        a1, a2, [out](const BtEntry& e) { out->push_back(e.value); });
+    TransformSink<BtEntry, uint64_t> xform(sink, [](const BtEntry& e) {
+      return std::optional<uint64_t>(e.value);
+    });
+    return ps.btree.RangeScan(a1, a2, &xform);
   }
-  std::vector<Point> pts;
-  CCIDX_RETURN_IF_ERROR(
-      ps.tstree.Query({a1, a2, pos_in_path_[class_id]}, &pts));
-  for (const Point& p : pts) out->push_back(p.id);
-  return Status::OK();
+  TransformSink<Point, uint64_t> xform(sink, [](const Point& p) {
+    return std::optional<uint64_t>(p.id);
+  });
+  return ps.tstree.Query({a1, a2, pos_in_path_[class_id]}, &xform);
+}
+
+Status RakeContractIndex::Query(uint32_t class_id, Coord a1, Coord a2,
+                                std::vector<uint64_t>* out) const {
+  VectorSink<uint64_t> sink(out);
+  return Query(class_id, a1, a2, &sink);
 }
 
 Status RakeContractIndex::Insert(const Object& o) {

@@ -59,6 +59,12 @@ class RakeContractIndex {
                                          const ClassHierarchy* hierarchy,
                                          const std::vector<Object>& objects);
 
+  /// Streams ids of all objects in the full extent of `class_id` with
+  /// a1 <= attr <= a2 into `sink`; kStop propagates into the path
+  /// structure. O(log_B n + t/B + log2 B) I/Os.
+  Status Query(uint32_t class_id, Coord a1, Coord a2,
+               ResultSink<uint64_t>* sink) const;
+
   /// Appends ids of all objects in the full extent of `class_id` with
   /// a1 <= attr <= a2. O(log_B n + t/B + log2 B) I/Os.
   Status Query(uint32_t class_id, Coord a1, Coord a2,

@@ -1,6 +1,7 @@
 #include "ccidx/classes/simple_class_index.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace ccidx {
 
@@ -92,7 +93,7 @@ Status SimpleClassIndex::Delete(const Object& o, bool* found) {
 }
 
 Status SimpleClassIndex::Query(uint32_t class_id, Coord a1, Coord a2,
-                               std::vector<uint64_t>* out) const {
+                               ResultSink<uint64_t>* sink) const {
   if (class_id >= hierarchy_->size()) {
     return Status::InvalidArgument("unknown class");
   }
@@ -100,30 +101,45 @@ Status SimpleClassIndex::Query(uint32_t class_id, Coord a1, Coord a2,
   Decompose(0, hierarchy_->code(class_id),
             hierarchy_->subtree_max_code(class_id), &canonical);
   last_query_collections_ = canonical.size();
+  TransformSink<BtEntry, uint64_t> xform(
+      sink, [](const BtEntry& e) { return std::optional<uint64_t>(e.value); });
   for (size_t node : canonical) {
-    CCIDX_RETURN_IF_ERROR(trees_[node].RangeScan(
-        a1, a2, [out](const BtEntry& e) { out->push_back(e.value); }));
+    if (xform.stopped()) break;
+    CCIDX_RETURN_IF_ERROR(trees_[node].RangeScan(a1, a2, &xform));
+  }
+  return Status::OK();
+}
+
+Status SimpleClassIndex::Query(uint32_t class_id, Coord a1, Coord a2,
+                               std::vector<uint64_t>* out) const {
+  VectorSink<uint64_t> sink(out);
+  return Query(class_id, a1, a2, &sink);
+}
+
+Status SimpleClassIndex::QueryObjects(uint32_t class_id, Coord a1, Coord a2,
+                                      ResultSink<Object>* sink) const {
+  if (class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  std::vector<size_t> canonical;
+  Decompose(0, hierarchy_->code(class_id),
+            hierarchy_->subtree_max_code(class_id), &canonical);
+  last_query_collections_ = canonical.size();
+  TransformSink<BtEntry, Object> xform(sink, [this](const BtEntry& e) {
+    return std::optional<Object>(
+        Object{e.value, hierarchy_->class_at_code(e.aux), e.key});
+  });
+  for (size_t node : canonical) {
+    if (xform.stopped()) break;
+    CCIDX_RETURN_IF_ERROR(trees_[node].RangeScan(a1, a2, &xform));
   }
   return Status::OK();
 }
 
 Status SimpleClassIndex::QueryObjects(uint32_t class_id, Coord a1, Coord a2,
                                       std::vector<Object>* out) const {
-  if (class_id >= hierarchy_->size()) {
-    return Status::InvalidArgument("unknown class");
-  }
-  std::vector<size_t> canonical;
-  Decompose(0, hierarchy_->code(class_id),
-            hierarchy_->subtree_max_code(class_id), &canonical);
-  last_query_collections_ = canonical.size();
-  for (size_t node : canonical) {
-    CCIDX_RETURN_IF_ERROR(
-        trees_[node].RangeScan(a1, a2, [this, out](const BtEntry& e) {
-          out->push_back(
-              {e.value, hierarchy_->class_at_code(e.aux), e.key});
-        }));
-  }
-  return Status::OK();
+  VectorSink<Object> sink(out);
+  return QueryObjects(class_id, a1, a2, &sink);
 }
 
 }  // namespace ccidx

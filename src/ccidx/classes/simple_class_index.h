@@ -37,13 +37,23 @@ class SimpleClassIndex {
   /// Deletes an object (by id + class + attr). O(log2 c * log_B n) I/Os.
   Status Delete(const Object& o, bool* found);
 
+  /// Streams the ids of all objects in the full extent of `class_id` with
+  /// a1 <= attr <= a2 into `sink`; kStop skips the remaining canonical
+  /// collections entirely. O(log2 c * log_B n + t/B) I/Os.
+  Status Query(uint32_t class_id, Coord a1, Coord a2,
+               ResultSink<uint64_t>* sink) const;
+
   /// Appends the ids of all objects in the full extent of `class_id` with
   /// a1 <= attr <= a2. O(log2 c * log_B n + t/B) I/Os.
   Status Query(uint32_t class_id, Coord a1, Coord a2,
                std::vector<uint64_t>* out) const;
 
-  /// As Query, but materializes full objects (class decoded from the
-  /// entry's aux code).
+  /// As Query, but streams full objects (class decoded from the entry's
+  /// aux code).
+  Status QueryObjects(uint32_t class_id, Coord a1, Coord a2,
+                      ResultSink<Object>* sink) const;
+
+  /// As Query, but materializes full objects.
   Status QueryObjects(uint32_t class_id, Coord a1, Coord a2,
                       std::vector<Object>* out) const;
 

@@ -1,5 +1,7 @@
 #include "ccidx/constraint/generalized_index.h"
 
+#include <optional>
+
 namespace ccidx {
 
 GeneralizedIndex::GeneralizedIndex(Pager* pager, uint32_t arity,
@@ -31,11 +33,16 @@ Status GeneralizedIndex::Insert(const GeneralizedTuple& tuple) {
 }
 
 Status GeneralizedIndex::RangeQueryIds(Coord a1, Coord a2,
+                                       ResultSink<uint64_t>* sink) const {
+  TransformSink<Interval, uint64_t> xform(
+      sink, [](const Interval& iv) { return std::optional<uint64_t>(iv.id); });
+  return index_.Intersect(a1, a2, &xform);
+}
+
+Status GeneralizedIndex::RangeQueryIds(Coord a1, Coord a2,
                                        std::vector<uint64_t>* out) const {
-  std::vector<Interval> hits;
-  CCIDX_RETURN_IF_ERROR(index_.Intersect(a1, a2, &hits));
-  for (const Interval& iv : hits) out->push_back(iv.id);
-  return Status::OK();
+  VectorSink<uint64_t> sink(out);
+  return RangeQueryIds(a1, a2, &sink);
 }
 
 Result<GeneralizedRelation> GeneralizedIndex::RangeQuery(Coord a1,

@@ -34,6 +34,11 @@ class GeneralizedIndex {
   /// (a1 <= x <= a2) — the operation (i) of Section 2.1.
   Result<GeneralizedRelation> RangeQuery(Coord a1, Coord a2) const;
 
+  /// Streams ids of matching tuples into `sink` (no restriction
+  /// materialization); kStop propagates into the interval index, so
+  /// count/exists consumers skip the t/B term.
+  Status RangeQueryIds(Coord a1, Coord a2, ResultSink<uint64_t>* sink) const;
+
   /// Ids of matching tuples only (no restriction materialization).
   Status RangeQueryIds(Coord a1, Coord a2, std::vector<uint64_t>* out) const;
 

@@ -588,92 +588,84 @@ Status AugmentedMetablockTree::Insert(const Point& p) {
 // ---------------------------------------------------------------------------
 
 Status AugmentedMetablockTree::ReportOwnPoints(const Control& ctrl, Coord a,
-                                               std::vector<Point>* out) const {
+                                               SinkEmitter<Point>& em) const {
+  if (em.stopped()) return Status::OK();
   PageIo io(pager_);
   // Buffered inserts are examined alongside every organization (Lemma 3.5).
   if (ctrl.update_count > 0) {
     std::vector<Point> upd;
     CCIDX_RETURN_IF_ERROR(ReadUpdatePoints(ctrl, &upd));
-    for (const Point& p : upd) {
-      if (p.x <= a && p.y >= a) out->push_back(p);
-    }
+    em.EmitFiltered(upd, [a](const Point& p) {
+      return p.x <= a && p.y >= a;
+    });
+    if (em.stopped()) return Status::OK();
   }
   if (ctrl.num_points == 0) return Status::OK();
   if (ctrl.bbox_xmin > a || ctrl.bbox_ymax < a) return Status::OK();
   const bool x_all = ctrl.bbox_xmax <= a;
   const bool y_all = ctrl.bbox_ymin >= a;
   if (x_all && y_all) {
-    return io.ReadChain<Point>(ctrl.horiz_head, out);
+    return EmitChain<Point>(pager_, ctrl.horiz_head, em);
   }
   if (y_all) {
     std::vector<VerticalBlock> index;
     CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
-    std::vector<Point> pts;
-    for (const VerticalBlock& blk : index) {
-      if (blk.xlo > a) break;
-      pts.clear();
-      auto next = io.ReadRecords<Point>(blk.page, &pts);
-      CCIDX_RETURN_IF_ERROR(next.status());
-      for (const Point& p : pts) {
-        if (p.x <= a) out->push_back(p);
-      }
-    }
-    return Status::OK();
+    return ScanVerticalBlocks(pager_, index, kCoordMin, a, em);
   }
   if (x_all) {
-    auto crossed = ScanDescYChainUntil(
-        pager_, ctrl.horiz_head, a,
-        [out](const Point& p) { out->push_back(p); });
+    auto crossed = ScanDescYChain(pager_, ctrl.horiz_head, a, em);
     return crossed.status();
   }
   CCIDX_CHECK(ctrl.corner_header != kInvalidPageId);
   CornerStructure corner = CornerStructure::Open(pager_, ctrl.corner_header);
-  return corner.Query(a, out);
+  return corner.Query(a, em);
 }
 
 Status AugmentedMetablockTree::ReportSubtree(PageId id, Coord a,
-                                             std::vector<Point>* out) const {
+                                             SinkEmitter<Point>& em) const {
+  if (em.stopped()) return Status::OK();
   Control ctrl;
   CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
   // Subtree x-interval is at or left of a (caller invariant): every point
   // with y >= a is output.
-  auto crossed = ScanDescYChainUntil(
-      pager_, ctrl.horiz_head, a, [out](const Point& p) { out->push_back(p); });
+  auto crossed = ScanDescYChain(pager_, ctrl.horiz_head, a, em);
   CCIDX_RETURN_IF_ERROR(crossed.status());
-  if (ctrl.update_count > 0) {
+  if (ctrl.update_count > 0 && !em.stopped()) {
     std::vector<Point> upd;
     CCIDX_RETURN_IF_ERROR(ReadUpdatePoints(ctrl, &upd));
-    for (const Point& p : upd) {
-      if (p.y >= a) out->push_back(p);
-    }
+    em.EmitFiltered(upd, [a](const Point& p) { return p.y >= a; });
   }
   // Descend iff some strict descendant can qualify (watermark rule; see
   // header comment — push-downs may break the static heap order, so the
   // static "stop when crossed" rule alone would be incorrect here).
-  if (ctrl.num_children == 0 || ctrl.desc_ymax < a) return Status::OK();
+  if (ctrl.num_children == 0 || ctrl.desc_ymax < a || em.stopped()) {
+    return Status::OK();
+  }
   PageIo io(pager_);
   std::vector<ChildEntry> children;
   CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
                                                  &children));
   for (const ChildEntry& c : children) {
+    if (em.stopped()) break;
     if (c.node_ymax >= a) {
-      CCIDX_RETURN_IF_ERROR(ReportSubtree(c.control, a, out));
+      CCIDX_RETURN_IF_ERROR(ReportSubtree(c.control, a, em));
     }
   }
   return Status::OK();
 }
 
 Status AugmentedMetablockTree::Query(const DiagonalQuery& q,
-                                     std::vector<Point>* out) const {
+                                     ResultSink<Point>* sink) const {
   if (root_ == kInvalidPageId) return Status::OK();
   const Coord a = q.a;
   PageIo io(pager_);
+  SinkEmitter<Point> em(sink);
 
   Control ctrl;
   CCIDX_RETURN_IF_ERROR(LoadControl(root_, &ctrl));
   while (true) {
-    CCIDX_RETURN_IF_ERROR(ReportOwnPoints(ctrl, a, out));
-    if (ctrl.num_children == 0) return Status::OK();
+    CCIDX_RETURN_IF_ERROR(ReportOwnPoints(ctrl, a, em));
+    if (ctrl.num_children == 0 || em.stopped()) return Status::OK();
 
     std::vector<ChildEntry> children;
     CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
@@ -688,44 +680,57 @@ Status AugmentedMetablockTree::Query(const DiagonalQuery& q,
     CCIDX_RETURN_IF_ERROR(LoadControl(children[j].control, &next_ctrl));
 
     if (j > 0) {
+      // TS hits must be buffered until the crossed/exhausted dichotomy is
+      // resolved (exhausted TS hits are discarded; siblings re-report).
       std::vector<Point> ts_hits;
-      auto crossed = ScanDescYChainUntil(
-          pager_, next_ctrl.ts_head, a,
-          [&ts_hits](const Point& p) { ts_hits.push_back(p); });
+      auto crossed = CollectDescYChain(
+          pager_, next_ctrl.ts_head, a, &ts_hits);
       CCIDX_RETURN_IF_ERROR(crossed.status());
       if (*crossed) {
-        out->insert(out->end(), ts_hits.begin(), ts_hits.end());
-        // TS is a snapshot: points pushed into left siblings since the last
-        // TS reorganization are found via TD(M) instead (Lemma 3.5).
-        std::vector<Point> td_hits;
-        if (ctrl.td_header != kInvalidPageId) {
-          CornerStructure td = CornerStructure::Open(pager_, ctrl.td_header);
-          CCIDX_RETURN_IF_ERROR(td.Query(a, &td_hits));
-        }
-        if (ctrl.td_update_count > 0) {
-          std::vector<Point> buf;
-          auto next = io.ReadRecords<Point>(ctrl.td_update_page, &buf);
-          CCIDX_RETURN_IF_ERROR(next.status());
-          for (const Point& p : buf) {
-            if (p.x <= a && p.y >= a) td_hits.push_back(p);
+        em.Emit(ts_hits);
+        if (!em.stopped()) {
+          // TS is a snapshot: points pushed into left siblings since the
+          // last TS reorganization are found via TD(M) instead
+          // (Lemma 3.5). TD hits are buffered too — only those routing
+          // left of j qualify. Read only if the sink still wants more.
+          std::vector<Point> td_hits;
+          if (ctrl.td_header != kInvalidPageId) {
+            CornerStructure td =
+                CornerStructure::Open(pager_, ctrl.td_header);
+            CCIDX_RETURN_IF_ERROR(td.Query(a, &td_hits));
           }
-        }
-        for (const Point& p : td_hits) {
-          if (RouteChild(children, p.x) < j) out->push_back(p);
+          if (ctrl.td_update_count > 0) {
+            std::vector<Point> buf;
+            auto next = io.ReadRecords<Point>(ctrl.td_update_page, &buf);
+            CCIDX_RETURN_IF_ERROR(next.status());
+            for (const Point& p : buf) {
+              if (p.x <= a && p.y >= a) td_hits.push_back(p);
+            }
+          }
+          em.EmitFiltered(td_hits, [&](const Point& p) {
+            return RouteChild(children, p.x) < j;
+          });
         }
       } else {
-        for (size_t i = 0; i < j; ++i) {
+        for (size_t i = 0; i < j && !em.stopped(); ++i) {
           if (children[i].node_ymax >= a) {
             CCIDX_RETURN_IF_ERROR(
-                ReportSubtree(children[i].control, a, out));
+                ReportSubtree(children[i].control, a, em));
           }
         }
       }
+      if (em.stopped()) return Status::OK();
     }
 
     if (children[j].node_ymax < a) return Status::OK();
     ctrl = next_ctrl;
   }
+}
+
+Status AugmentedMetablockTree::Query(const DiagonalQuery& q,
+                                     std::vector<Point>* out) const {
+  VectorSink<Point> sink(out);
+  return Query(q, &sink);
 }
 
 // ---------------------------------------------------------------------------

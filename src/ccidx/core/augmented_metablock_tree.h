@@ -62,6 +62,10 @@ class AugmentedMetablockTree {
   /// Inserts one point (y >= x). Amortized O(log_B n + (log_B n)^2/B) I/Os.
   Status Insert(const Point& p);
 
+  /// Streams all points with x <= q.a and y >= q.a into `sink`; kStop
+  /// halts descent (see MetablockTree::Query). O(log_B n + t/B) I/Os.
+  Status Query(const DiagonalQuery& q, ResultSink<Point>* sink) const;
+
   /// Appends all points with x <= q.a and y >= q.a to `out`.
   /// O(log_B n + t/B) I/Os.
   Status Query(const DiagonalQuery& q, std::vector<Point>* out) const;
@@ -175,8 +179,8 @@ class AugmentedMetablockTree {
 
   Status ReadUpdatePoints(const Control& ctrl, std::vector<Point>* out) const;
   Status ReportOwnPoints(const Control& ctrl, Coord a,
-                         std::vector<Point>* out) const;
-  Status ReportSubtree(PageId id, Coord a, std::vector<Point>* out) const;
+                         SinkEmitter<Point>& em) const;
+  Status ReportSubtree(PageId id, Coord a, SinkEmitter<Point>& em) const;
 
   Status CheckSubtree(PageId id, bool is_root, Coord* node_ymax_out,
                       uint64_t* count_out) const;

@@ -661,14 +661,16 @@ Status AugmentedThreeSidedTree::Insert(const Point& p) {
 
 Status AugmentedThreeSidedTree::ReportOwnPoints(
     const Control& ctrl, Coord xlo, Coord xhi, Coord ylo,
-    std::vector<Point>* out) const {
+    SinkEmitter<Point>& em) const {
+  if (em.stopped()) return Status::OK();
   PageIo io(pager_);
   if (ctrl.update_count > 0) {
     std::vector<Point> upd;
     CCIDX_RETURN_IF_ERROR(ReadUpdatePoints(ctrl, &upd));
-    for (const Point& p : upd) {
-      if (p.x >= xlo && p.x <= xhi && p.y >= ylo) out->push_back(p);
-    }
+    em.EmitFiltered(upd, [&](const Point& p) {
+      return p.x >= xlo && p.x <= xhi && p.y >= ylo;
+    });
+    if (em.stopped()) return Status::OK();
   }
   if (ctrl.num_points == 0) return Status::OK();
   if (ctrl.bbox_xmin > xhi || ctrl.bbox_xmax < xlo || ctrl.bbox_ymax < ylo) {
@@ -677,58 +679,45 @@ Status AugmentedThreeSidedTree::ReportOwnPoints(
   const bool x_all = ctrl.bbox_xmin >= xlo && ctrl.bbox_xmax <= xhi;
   const bool y_all = ctrl.bbox_ymin >= ylo;
   if (x_all && y_all) {
-    return io.ReadChain<Point>(ctrl.horiz_head, out);
+    return EmitChain<Point>(pager_, ctrl.horiz_head, em);
   }
   if (y_all) {
     std::vector<VerticalBlock> index;
     CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager_, ctrl.vindex_head,
                                             &index));
-    std::vector<Point> pts;
-    for (const VerticalBlock& blk : index) {
-      if (blk.xhi < xlo) continue;
-      if (blk.xlo > xhi) break;
-      pts.clear();
-      auto next = io.ReadRecords<Point>(blk.page, &pts);
-      CCIDX_RETURN_IF_ERROR(next.status());
-      for (const Point& p : pts) {
-        if (p.x >= xlo && p.x <= xhi) out->push_back(p);
-      }
-    }
-    return Status::OK();
+    return ScanVerticalBlocks(pager_, index, xlo, xhi, em);
   }
   if (x_all) {
-    auto crossed = ScanDescYChainUntil(
-        pager_, ctrl.horiz_head, ylo,
-        [out](const Point& p) { out->push_back(p); });
+    auto crossed = ScanDescYChain(pager_, ctrl.horiz_head, ylo, em);
     return crossed.status();
   }
   ExternalPst pst = ExternalPst::Open(pager_, ctrl.own_pst_root);
-  return pst.Query({xlo, xhi, ylo}, out);
+  return pst.Query({xlo, xhi, ylo}, em);
 }
 
 Status AugmentedThreeSidedTree::ReportSubtree(PageId id, Coord ylo,
-                                              std::vector<Point>* out) const {
+                                              SinkEmitter<Point>& em) const {
+  if (em.stopped()) return Status::OK();
   Control ctrl;
   CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
-  auto crossed = ScanDescYChainUntil(
-      pager_, ctrl.horiz_head, ylo,
-      [out](const Point& p) { out->push_back(p); });
+  auto crossed = ScanDescYChain(pager_, ctrl.horiz_head, ylo, em);
   CCIDX_RETURN_IF_ERROR(crossed.status());
-  if (ctrl.update_count > 0) {
+  if (ctrl.update_count > 0 && !em.stopped()) {
     std::vector<Point> upd;
     CCIDX_RETURN_IF_ERROR(ReadUpdatePoints(ctrl, &upd));
-    for (const Point& p : upd) {
-      if (p.y >= ylo) out->push_back(p);
-    }
+    em.EmitFiltered(upd, [ylo](const Point& p) { return p.y >= ylo; });
   }
-  if (ctrl.num_children == 0 || ctrl.desc_ymax < ylo) return Status::OK();
+  if (ctrl.num_children == 0 || ctrl.desc_ymax < ylo || em.stopped()) {
+    return Status::OK();
+  }
   PageIo io(pager_);
   std::vector<ChildEntry> children;
   CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
                                                  &children));
   for (const ChildEntry& c : children) {
+    if (em.stopped()) break;
     if (c.node_ymax >= ylo) {
-      CCIDX_RETURN_IF_ERROR(ReportSubtree(c.control, ylo, out));
+      CCIDX_RETURN_IF_ERROR(ReportSubtree(c.control, ylo, em));
     }
   }
   return Status::OK();
@@ -737,7 +726,10 @@ Status AugmentedThreeSidedTree::ReportSubtree(PageId id, Coord ylo,
 Status AugmentedThreeSidedTree::ReportTd(
     const Control& ctrl, const ThreeSidedQuery& q,
     const std::function<bool(const Point&)>& keep,
-    std::vector<Point>* out) const {
+    SinkEmitter<Point>& em) const {
+  if (em.stopped()) return Status::OK();
+  // The snapshot hits must be buffered: they are filtered by the routing
+  // predicate before any of them may reach the sink.
   std::vector<Point> hits;
   if (ctrl.td_pst_root != kInvalidPageId) {
     ExternalPst td = ExternalPst::Open(pager_, ctrl.td_pst_root);
@@ -752,20 +744,18 @@ Status AugmentedThreeSidedTree::ReportTd(
       if (q.Contains(p)) hits.push_back(p);
     }
   }
-  for (const Point& p : hits) {
-    if (keep(p)) out->push_back(p);
-  }
+  em.EmitFiltered(hits, keep);
   return Status::OK();
 }
 
 Status AugmentedThreeSidedTree::LeftPath(PageId id, Coord xlo, Coord ylo,
-                                         std::vector<Point>* out) const {
+                                         SinkEmitter<Point>& em) const {
   PageIo io(pager_);
-  while (id != kInvalidPageId) {
+  while (id != kInvalidPageId && !em.stopped()) {
     Control ctrl;
     CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
-    CCIDX_RETURN_IF_ERROR(ReportOwnPoints(ctrl, xlo, kCoordMax, ylo, out));
-    if (ctrl.num_children == 0) return Status::OK();
+    CCIDX_RETURN_IF_ERROR(ReportOwnPoints(ctrl, xlo, kCoordMax, ylo, em));
+    if (ctrl.num_children == 0 || em.stopped()) return Status::OK();
     std::vector<ChildEntry> children;
     CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
                                                    &children));
@@ -781,27 +771,29 @@ Status AugmentedThreeSidedTree::LeftPath(PageId id, Coord xlo, Coord ylo,
       Control jc;
       CCIDX_RETURN_IF_ERROR(LoadControl(children[j].control, &jc));
       std::vector<Point> ts_hits;
-      auto crossed = ScanDescYChainUntil(
-          pager_, jc.ts_right_head, ylo,
-          [&ts_hits](const Point& p) { ts_hits.push_back(p); });
+      auto crossed = CollectDescYChain(
+          pager_, jc.ts_right_head, ylo, &ts_hits);
       CCIDX_RETURN_IF_ERROR(crossed.status());
       if (*crossed) {
-        out->insert(out->end(), ts_hits.begin(), ts_hits.end());
-        // TD(M) supplements the snapshot for pushes since the last TS
-        // reorganization, restricted to the right-sibling x range.
-        Coord right_lo = children[j + 1].sub_xlo;
-        CCIDX_RETURN_IF_ERROR(ReportTd(
-            ctrl, {right_lo, kCoordMax, ylo},
-            [&](const Point& p) { return RouteChild(children, p.x) > j; },
-            out));
+        em.Emit(ts_hits);
+        if (!em.stopped()) {
+          // TD(M) supplements the snapshot for pushes since the last TS
+          // reorganization, restricted to the right-sibling x range.
+          Coord right_lo = children[j + 1].sub_xlo;
+          CCIDX_RETURN_IF_ERROR(ReportTd(
+              ctrl, {right_lo, kCoordMax, ylo},
+              [&](const Point& p) { return RouteChild(children, p.x) > j; },
+              em));
+        }
       } else {
-        for (size_t i = j + 1; i < children.size(); ++i) {
+        for (size_t i = j + 1; i < children.size() && !em.stopped(); ++i) {
           if (children[i].node_ymax >= ylo) {
             CCIDX_RETURN_IF_ERROR(
-                ReportSubtree(children[i].control, ylo, out));
+                ReportSubtree(children[i].control, ylo, em));
           }
         }
       }
+      if (em.stopped()) return Status::OK();
     }
     if (children[j].node_ymax < ylo) return Status::OK();
     id = children[j].control;
@@ -810,13 +802,13 @@ Status AugmentedThreeSidedTree::LeftPath(PageId id, Coord xlo, Coord ylo,
 }
 
 Status AugmentedThreeSidedTree::RightPath(PageId id, Coord xhi, Coord ylo,
-                                          std::vector<Point>* out) const {
+                                          SinkEmitter<Point>& em) const {
   PageIo io(pager_);
-  while (id != kInvalidPageId) {
+  while (id != kInvalidPageId && !em.stopped()) {
     Control ctrl;
     CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
-    CCIDX_RETURN_IF_ERROR(ReportOwnPoints(ctrl, kCoordMin, xhi, ylo, out));
-    if (ctrl.num_children == 0) return Status::OK();
+    CCIDX_RETURN_IF_ERROR(ReportOwnPoints(ctrl, kCoordMin, xhi, ylo, em));
+    if (ctrl.num_children == 0 || em.stopped()) return Status::OK();
     std::vector<ChildEntry> children;
     CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
                                                    &children));
@@ -829,25 +821,27 @@ Status AugmentedThreeSidedTree::RightPath(PageId id, Coord xhi, Coord ylo,
       Control jc;
       CCIDX_RETURN_IF_ERROR(LoadControl(children[j].control, &jc));
       std::vector<Point> ts_hits;
-      auto crossed = ScanDescYChainUntil(
-          pager_, jc.ts_left_head, ylo,
-          [&ts_hits](const Point& p) { ts_hits.push_back(p); });
+      auto crossed = CollectDescYChain(
+          pager_, jc.ts_left_head, ylo, &ts_hits);
       CCIDX_RETURN_IF_ERROR(crossed.status());
       if (*crossed) {
-        out->insert(out->end(), ts_hits.begin(), ts_hits.end());
-        Coord left_hi = children[j].sub_xlo - 1;
-        CCIDX_RETURN_IF_ERROR(ReportTd(
-            ctrl, {kCoordMin, left_hi, ylo},
-            [&](const Point& p) { return RouteChild(children, p.x) < j; },
-            out));
+        em.Emit(ts_hits);
+        if (!em.stopped()) {
+          Coord left_hi = children[j].sub_xlo - 1;
+          CCIDX_RETURN_IF_ERROR(ReportTd(
+              ctrl, {kCoordMin, left_hi, ylo},
+              [&](const Point& p) { return RouteChild(children, p.x) < j; },
+              em));
+        }
       } else {
-        for (size_t i = 0; i < j; ++i) {
+        for (size_t i = 0; i < j && !em.stopped(); ++i) {
           if (children[i].node_ymax >= ylo) {
             CCIDX_RETURN_IF_ERROR(
-                ReportSubtree(children[i].control, ylo, out));
+                ReportSubtree(children[i].control, ylo, em));
           }
         }
       }
+      if (em.stopped()) return Status::OK();
     }
     if (children[j].node_ymax < ylo) return Status::OK();
     id = children[j].control;
@@ -856,16 +850,17 @@ Status AugmentedThreeSidedTree::RightPath(PageId id, Coord xhi, Coord ylo,
 }
 
 Status AugmentedThreeSidedTree::Query(const ThreeSidedQuery& q,
-                                      std::vector<Point>* out) const {
+                                      ResultSink<Point>* sink) const {
   if (root_ == kInvalidPageId || q.xlo > q.xhi) return Status::OK();
   PageIo io(pager_);
+  SinkEmitter<Point> em(sink);
   PageId id = root_;
   while (true) {
     Control ctrl;
     CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
     CCIDX_RETURN_IF_ERROR(
-        ReportOwnPoints(ctrl, q.xlo, q.xhi, q.ylo, out));
-    if (ctrl.num_children == 0) return Status::OK();
+        ReportOwnPoints(ctrl, q.xlo, q.xhi, q.ylo, em));
+    if (ctrl.num_children == 0 || em.stopped()) return Status::OK();
     std::vector<ChildEntry> children;
     CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
                                                    &children));
@@ -890,39 +885,51 @@ Status AugmentedThreeSidedTree::Query(const ThreeSidedQuery& q,
     for (size_t m = jl + 1; m < jr; ++m) {
       if (children[m].node_ymax < q.ylo) continue;  // nothing anywhere
       if (children[m].desc_ymax >= q.ylo) {
+        if (em.stopped()) return Status::OK();
         CCIDX_RETURN_IF_ERROR(ReportSubtree(children[m].control, q.ylo,
-                                            out));
+                                            em));
       } else {
         use_snapshot[m] = true;
       }
     }
     bool any_snapshot = false;
     for (bool b : use_snapshot) any_snapshot |= b;
-    if (any_snapshot) {
+    if (any_snapshot && !em.stopped()) {
       auto keep = [&](const Point& p) {
         return use_snapshot[RouteChild(children, p.x)];
       };
       if (ctrl.children_pst_root != kInvalidPageId) {
         ExternalPst pst =
             ExternalPst::Open(pager_, ctrl.children_pst_root);
-        std::vector<Point> hits;
-        CCIDX_RETURN_IF_ERROR(pst.Query(q, &hits));
-        for (const Point& p : hits) {
-          if (keep(p)) out->push_back(p);
-        }
+        // Routed through the keep predicate before reaching the sink; the
+        // PST's own early termination still applies underneath.
+        FunctionSink<Point> routed([&](std::span<const Point> batch) {
+          em.EmitFiltered(batch, keep);
+          return em.stopped() ? SinkState::kStop : SinkState::kContinue;
+        });
+        SinkEmitter<Point> routed_em(&routed);
+        CCIDX_RETURN_IF_ERROR(pst.Query(q, routed_em));
       }
-      CCIDX_RETURN_IF_ERROR(ReportTd(ctrl, q, keep, out));
+      if (!em.stopped()) {
+        CCIDX_RETURN_IF_ERROR(ReportTd(ctrl, q, keep, em));
+      }
     }
-    if (children[jl].node_ymax >= q.ylo) {
+    if (children[jl].node_ymax >= q.ylo && !em.stopped()) {
       CCIDX_RETURN_IF_ERROR(
-          LeftPath(children[jl].control, q.xlo, q.ylo, out));
+          LeftPath(children[jl].control, q.xlo, q.ylo, em));
     }
-    if (children[jr].node_ymax >= q.ylo) {
+    if (children[jr].node_ymax >= q.ylo && !em.stopped()) {
       CCIDX_RETURN_IF_ERROR(
-          RightPath(children[jr].control, q.xhi, q.ylo, out));
+          RightPath(children[jr].control, q.xhi, q.ylo, em));
     }
     return Status::OK();
   }
+}
+
+Status AugmentedThreeSidedTree::Query(const ThreeSidedQuery& q,
+                                      std::vector<Point>* out) const {
+  VectorSink<Point> sink(out);
+  return Query(q, &sink);
 }
 
 // ---------------------------------------------------------------------------

@@ -50,6 +50,10 @@ class AugmentedThreeSidedTree {
   /// Inserts one point.
   Status Insert(const Point& p);
 
+  /// Streams all points with q.xlo <= x <= q.xhi and y >= q.ylo into
+  /// `sink`; kStop halts descent and every subtree scan.
+  Status Query(const ThreeSidedQuery& q, ResultSink<Point>* sink) const;
+
   /// Appends all points with q.xlo <= x <= q.xhi and y >= q.ylo to `out`.
   Status Query(const ThreeSidedQuery& q, std::vector<Point>* out) const;
 
@@ -145,17 +149,17 @@ class AugmentedThreeSidedTree {
   Status ReadUpdatePoints(const Control& ctrl, std::vector<Point>* out) const;
   // Own + update points clipped to [xlo, xhi] x [ylo, inf).
   Status ReportOwnPoints(const Control& ctrl, Coord xlo, Coord xhi,
-                         Coord ylo, std::vector<Point>* out) const;
+                         Coord ylo, SinkEmitter<Point>& em) const;
   // Full traversal of a subtree known to lie inside the x-slab.
-  Status ReportSubtree(PageId id, Coord ylo, std::vector<Point>* out) const;
+  Status ReportSubtree(PageId id, Coord ylo, SinkEmitter<Point>& em) const;
   Status LeftPath(PageId id, Coord xlo, Coord ylo,
-                  std::vector<Point>* out) const;
+                  SinkEmitter<Point>& em) const;
   Status RightPath(PageId id, Coord xhi, Coord ylo,
-                   std::vector<Point>* out) const;
+                   SinkEmitter<Point>& em) const;
   // Emits TD-structure + TD-buffer hits matching q that `keep` accepts.
   Status ReportTd(const Control& ctrl, const ThreeSidedQuery& q,
                   const std::function<bool(const Point&)>& keep,
-                  std::vector<Point>* out) const;
+                  SinkEmitter<Point>& em) const;
 
   Status CheckSubtree(PageId id, Coord* node_ymax_out,
                       uint64_t* count_out) const;

@@ -17,6 +17,7 @@
 
 #include "ccidx/core/geometry.h"
 #include "ccidx/io/page_builder.h"
+#include "ccidx/query/sink.h"
 
 namespace ccidx {
 
@@ -88,32 +89,78 @@ inline Result<PageId> WriteDescYChain(Pager* pager,
   return ids->empty() ? kInvalidPageId : ids->front();
 }
 
-/// Scans a descending-y chain from the top, invoking `emit` on every point
-/// with y >= ylo, and stops after the first page containing a point with
-/// y < ylo (the "one block of overshoot" the proofs charge for).
+/// Scans a descending-y chain from the top, emitting — one page at a time
+/// — the prefix of each page with y >= ylo as a zero-copy span into the
+/// pinned frame, and stops after the first page containing a point with
+/// y < ylo (the "one block of overshoot" the proofs charge for) or as
+/// soon as the sink requests termination (no further page is pinned).
 /// Returns true iff the scan crossed below ylo (false = chain exhausted,
-/// i.e. every stored point has y >= ylo).
-inline Result<bool> ScanDescYChainUntil(
-    Pager* pager, PageId head, Coord ylo,
-    const std::function<void(const Point&)>& emit) {
+/// i.e. every stored point has y >= ylo). When the sink stopped the scan
+/// early the verdict is not meaningful; callers short-circuit on
+/// em.stopped() first.
+inline Result<bool> ScanDescYChain(Pager* pager, PageId head, Coord ylo,
+                                   SinkEmitter<Point>& em) {
   PageIo io(pager);
   PageId id = head;
-  while (id != kInvalidPageId) {
-    // Zero-copy: the points are read in place from the pinned frame.
+  while (id != kInvalidPageId && !em.stopped()) {
     auto view = io.ViewRecords<Point>(id);
     CCIDX_RETURN_IF_ERROR(view.status());
-    bool crossed = false;
-    for (const Point& p : view->records) {
-      if (p.y >= ylo) {
-        emit(p);
-      } else {
-        crossed = true;
-      }
-    }
-    if (crossed) return true;
+    // Descending y: the qualifying points are exactly a prefix.
+    std::span<const Point> prefix = TakeWhile(
+        view->records, [ylo](const Point& p) { return p.y >= ylo; });
+    em.Emit(prefix);
+    if (prefix.size() < view->records.size()) return true;
     id = view->next;
   }
   return false;
+}
+
+/// Collecting wrapper over ScanDescYChain: appends the qualifying prefix
+/// to `out` (used where the hits must be buffered before the
+/// crossed/exhausted dichotomy is resolved, e.g. TS scans). Never stops
+/// early, so the crossed verdict is always sound.
+inline Result<bool> CollectDescYChain(Pager* pager, PageId head, Coord ylo,
+                                      std::vector<Point>* out) {
+  VectorSink<Point> sink(out);
+  SinkEmitter<Point> em(&sink);
+  return ScanDescYChain(pager, head, ylo, em);
+}
+
+/// Scans a vertical blocking across the x-slab [xlo, xhi], emitting each
+/// page's qualifying run (contiguous — pages and their points ascend by
+/// x) until the slab ends or the sink stops. At most two pages are
+/// partially useful.
+inline Status ScanVerticalBlocks(Pager* pager,
+                                 const std::vector<VerticalBlock>& index,
+                                 Coord xlo, Coord xhi,
+                                 SinkEmitter<Point>& em) {
+  PageIo io(pager);
+  for (const VerticalBlock& blk : index) {
+    if (blk.xhi < xlo) continue;
+    if (blk.xlo > xhi || em.stopped()) break;
+    auto view = io.ViewRecords<Point>(blk.page);
+    CCIDX_RETURN_IF_ERROR(view.status());
+    em.Emit(TakeWhile(
+        DropWhile(view->records,
+                  [xlo](const Point& p) { return p.x < xlo; }),
+        [xhi](const Point& p) { return p.x <= xhi; }));
+  }
+  return Status::OK();
+}
+
+/// Streams an entire [count][next][records] page chain into the sink, one
+/// page-span at a time, pinning no further page once the sink stops.
+template <typename Record>
+inline Status EmitChain(Pager* pager, PageId head, SinkEmitter<Record>& em) {
+  PageIo io(pager);
+  PageId id = head;
+  while (id != kInvalidPageId && !em.stopped()) {
+    auto view = io.template ViewRecords<Record>(id);
+    CCIDX_RETURN_IF_ERROR(view.status());
+    em.Emit(view->records);
+    id = view->next;
+  }
+  return Status::OK();
 }
 
 }  // namespace ccidx

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ccidx/core/blocking.h"
+
 namespace ccidx {
 
 namespace {
@@ -132,7 +134,8 @@ Status CornerStructure::LoadIndexes(std::vector<VBlockEntry>* vblocks,
   return Status::OK();
 }
 
-Status CornerStructure::Query(Coord a, std::vector<Point>* out) const {
+Status CornerStructure::Query(Coord a, SinkEmitter<Point>& em) const {
+  if (em.stopped()) return Status::OK();
   std::vector<VBlockEntry> vblocks;
   std::vector<CStarEntry> cstar;
   CCIDX_RETURN_IF_ERROR(LoadIndexes(&vblocks, &cstar));
@@ -150,38 +153,36 @@ Status CornerStructure::Query(Coord a, std::vector<Point>* out) const {
   PageIo io(pager_);
 
   // Phase 1: the explicit answer at clo covers { x <= clo->x, y >= clo->x };
-  // read its descending-y chain until we pass below the query bottom y = a.
-  // Both phases filter straight out of the pinned frames (zero-copy).
+  // scan its descending-y chain until we pass below the query bottom y = a.
+  // Both phases emit straight out of the pinned frames (zero-copy).
   Coord x_covered = kCoordMin;  // phase 2 must report only x > x_covered
   if (clo != nullptr) {
     x_covered = clo->x;
-    PageId id = clo->head;
-    while (id != kInvalidPageId) {
-      auto view = io.ViewRecords<Point>(id);
-      CCIDX_RETURN_IF_ERROR(view.status());
-      bool crossed = false;
-      for (const Point& p : view->records) {
-        if (p.y >= a) {
-          out->push_back(p);
-        } else {
-          crossed = true;
-        }
-      }
-      if (crossed) break;
-      id = view->next;
-    }
+    auto crossed = ScanDescYChain(pager_, clo->head, a, em);
+    CCIDX_RETURN_IF_ERROR(crossed.status());
   }
 
   // Phase 2: vertical blocks covering x in (x_covered, a].
   size_t begin = (clo != nullptr) ? clo->block_idx + 1 : 0;
-  for (size_t i = begin; i < vblocks.size() && vblocks[i].xlo <= a; ++i) {
+  for (size_t i = begin;
+       i < vblocks.size() && vblocks[i].xlo <= a && !em.stopped(); ++i) {
     auto view = io.ViewRecords<Point>(vblocks[i].page);
     CCIDX_RETURN_IF_ERROR(view.status());
-    for (const Point& p : view->records) {
-      if (p.x > x_covered && p.x <= a && p.y >= a) out->push_back(p);
-    }
+    em.EmitFiltered(view->records, [&](const Point& p) {
+      return p.x > x_covered && p.x <= a && p.y >= a;
+    });
   }
   return Status::OK();
+}
+
+Status CornerStructure::Query(Coord a, ResultSink<Point>* sink) const {
+  SinkEmitter<Point> em(sink);
+  return Query(a, em);
+}
+
+Status CornerStructure::Query(Coord a, std::vector<Point>* out) const {
+  VectorSink<Point> sink(out);
+  return Query(a, &sink);
 }
 
 Status CornerStructure::CollectPoints(std::vector<Point>* out) const {

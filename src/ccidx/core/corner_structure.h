@@ -32,6 +32,7 @@
 
 #include "ccidx/core/geometry.h"
 #include "ccidx/io/page_builder.h"
+#include "ccidx/query/sink.h"
 
 namespace ccidx {
 
@@ -48,6 +49,15 @@ class CornerStructure {
 
   /// Header page id (persist this to reopen the structure later).
   PageId header() const { return header_; }
+
+  /// Streams all points with x <= a and y >= a into `sink`,
+  /// block-at-a-time out of the pinned pages. Cost: O(1) + 2t/B I/Os;
+  /// early termination stops both phases mid-chain.
+  Status Query(Coord a, ResultSink<Point>* sink) const;
+
+  /// As above, driven by a caller-owned emitter (shared with an enclosing
+  /// metablock-tree query so kStop propagates across structures).
+  Status Query(Coord a, SinkEmitter<Point>& em) const;
 
   /// Appends all points with x <= a and y >= a to `out`.
   /// Cost: O(1) + 2t/B I/Os.

@@ -153,16 +153,17 @@ Result<MetablockTree> MetablockTree::Build(Pager* pager,
 }
 
 Status MetablockTree::ReportOwnPoints(const Control& ctrl, Coord a,
-                                      std::vector<Point>* out) const {
-  if (ctrl.num_points == 0) return Status::OK();
+                                      SinkEmitter<Point>& em) const {
+  if (ctrl.num_points == 0 || em.stopped()) return Status::OK();
   if (ctrl.bbox_xmin > a || ctrl.bbox_ymax < a) return Status::OK();
   const bool x_all = ctrl.bbox_xmax <= a;  // every own point has x <= a
   const bool y_all = ctrl.bbox_ymin >= a;  // every own point has y >= a
   PageIo io(pager_);
 
   if (x_all && y_all) {
-    // Type III: the whole metablock is output; read the horizontal chain.
-    return io.ReadChain<Point>(ctrl.horiz_head, out);
+    // Type III: the whole metablock is output; stream the horizontal
+    // chain page by page.
+    return EmitChain<Point>(pager_, ctrl.horiz_head, em);
   }
   if (y_all) {
     // Type I: only the vertical boundary x = a cuts the region. Scan
@@ -170,22 +171,12 @@ Status MetablockTree::ReportOwnPoints(const Control& ctrl, Coord a,
     std::vector<VerticalBlock> index;
     CCIDX_RETURN_IF_ERROR(
         ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
-    for (const VerticalBlock& blk : index) {
-      if (blk.xlo > a) break;
-      auto view = io.ViewRecords<Point>(blk.page);
-      CCIDX_RETURN_IF_ERROR(view.status());
-      for (const Point& p : view->records) {
-        if (p.x <= a) out->push_back(p);
-      }
-    }
-    return Status::OK();
+    return ScanVerticalBlocks(pager_, index, kCoordMin, a, em);
   }
   if (x_all) {
     // Type IV: only the horizontal boundary y = a cuts the region. Scan
     // the descending-y chain until we cross below a.
-    auto crossed = ScanDescYChainUntil(
-        pager_, ctrl.horiz_head, a,
-        [out](const Point& p) { out->push_back(p); });
+    auto crossed = ScanDescYChain(pager_, ctrl.horiz_head, a, em);
     return crossed.status();
   }
   // Type II: the corner (a, a) lies inside the bbox; by construction the
@@ -196,54 +187,58 @@ Status MetablockTree::ReportOwnPoints(const Control& ctrl, Coord a,
     std::vector<VerticalBlock> index;
     CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
     for (const VerticalBlock& blk : index) {
-      if (blk.xlo > a) break;
+      if (blk.xlo > a || em.stopped()) break;
       auto view = io.ViewRecords<Point>(blk.page);
       CCIDX_RETURN_IF_ERROR(view.status());
-      for (const Point& p : view->records) {
-        if (p.x <= a && p.y >= a) out->push_back(p);
-      }
+      em.EmitFiltered(view->records, [a](const Point& p) {
+        return p.x <= a && p.y >= a;
+      });
     }
     return Status::OK();
   }
   CornerStructure corner = CornerStructure::Open(pager_, ctrl.corner_header);
-  return corner.Query(a, out);
+  return corner.Query(a, em);
 }
 
 Status MetablockTree::ReportSubtree(PageId control_id, Coord a,
-                                    std::vector<Point>* out) const {
+                                    SinkEmitter<Point>& em) const {
+  if (em.stopped()) return Status::OK();
   Control ctrl;
   CCIDX_RETURN_IF_ERROR(LoadControl(control_id, &ctrl));
   if (ctrl.bbox_ymax < a && ctrl.num_points > 0) return Status::OK();
   // Subtree x-interval is at or left of a (caller invariant), so every
   // point here with y >= a is output. Top-down scan; if it exhausts the
   // chain (all own points inside — Type III), descendants may qualify too.
-  auto crossed = ScanDescYChainUntil(
-      pager_, ctrl.horiz_head, a, [out](const Point& p) { out->push_back(p); });
+  auto crossed = ScanDescYChain(pager_, ctrl.horiz_head, a, em);
   CCIDX_RETURN_IF_ERROR(crossed.status());
-  if (*crossed || ctrl.num_children == 0) return Status::OK();
+  if (*crossed || ctrl.num_children == 0 || em.stopped()) {
+    return Status::OK();
+  }
   PageIo io(pager_);
   std::vector<ChildEntry> children;
   CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
                                                  &children));
   for (const ChildEntry& c : children) {
+    if (em.stopped()) break;
     if (c.ymax >= a) {
-      CCIDX_RETURN_IF_ERROR(ReportSubtree(c.control, a, out));
+      CCIDX_RETURN_IF_ERROR(ReportSubtree(c.control, a, em));
     }
   }
   return Status::OK();
 }
 
-Status MetablockTree::Query(const DiagonalQuery& q, std::vector<Point>* out)
-    const {
+Status MetablockTree::Query(const DiagonalQuery& q,
+                            ResultSink<Point>* sink) const {
   if (root_ == kInvalidPageId) return Status::OK();
   const Coord a = q.a;
   PageIo io(pager_);
+  SinkEmitter<Point> em(sink);
 
   Control ctrl;
   CCIDX_RETURN_IF_ERROR(LoadControl(root_, &ctrl));
   while (true) {
-    CCIDX_RETURN_IF_ERROR(ReportOwnPoints(ctrl, a, out));
-    if (ctrl.num_children == 0) return Status::OK();
+    CCIDX_RETURN_IF_ERROR(ReportOwnPoints(ctrl, a, em));
+    if (ctrl.num_children == 0 || em.stopped()) return Status::OK();
 
     std::vector<ChildEntry> children;
     CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
@@ -263,29 +258,35 @@ Status MetablockTree::Query(const DiagonalQuery& q, std::vector<Point>* out)
       // TS(c_j) top-down. If the scan crosses y = a, TS contained every
       // qualifying sibling point and no sibling subtree can qualify. If it
       // is exhausted, the siblings hold >= B^2 output (or TS held all
-      // sibling points), and we can afford to visit each one.
+      // sibling points), and we can afford to visit each one. The hits
+      // must be buffered until the dichotomy is resolved (exhausted TS
+      // hits are discarded — siblings re-report them).
       std::vector<Point> ts_hits;
-      auto crossed = ScanDescYChainUntil(
-          pager_, next_ctrl.ts_head, a,
-          [&ts_hits](const Point& p) { ts_hits.push_back(p); });
+      auto crossed = CollectDescYChain(
+          pager_, next_ctrl.ts_head, a, &ts_hits);
       CCIDX_RETURN_IF_ERROR(crossed.status());
       if (*crossed) {
-        out->insert(out->end(), ts_hits.begin(), ts_hits.end());
+        em.Emit(ts_hits);
       } else {
-        // Discard TS hits (siblings re-report them) and visit each left
-        // sibling subtree individually.
-        for (size_t i = 0; i < j; ++i) {
+        for (size_t i = 0; i < j && !em.stopped(); ++i) {
           if (children[i].ymax >= a) {
             CCIDX_RETURN_IF_ERROR(
-                ReportSubtree(children[i].control, a, out));
+                ReportSubtree(children[i].control, a, em));
           }
         }
       }
+      if (em.stopped()) return Status::OK();
     }
 
     if (children[j].ymax < a) return Status::OK();  // subtree below query
     ctrl = next_ctrl;
   }
+}
+
+Status MetablockTree::Query(const DiagonalQuery& q, std::vector<Point>* out)
+    const {
+  VectorSink<Point> sink(out);
+  return Query(q, &sink);
 }
 
 Status MetablockTree::DestroySubtree(PageId control_id) {

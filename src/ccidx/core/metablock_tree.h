@@ -63,6 +63,13 @@ class MetablockTree {
   static Result<MetablockTree> Build(Pager* pager, std::vector<Point> points,
                                      const MetablockOptions& options = {});
 
+  /// Streams all points with x <= q.a and y >= q.a into `sink`,
+  /// block-at-a-time out of pinned pages. O(log_B n + t/B) I/Os
+  /// (Theorem 3.2); a kStop verdict halts the corner-path walk and every
+  /// subtree scan before another page is pinned, so count/exists/top-k
+  /// consumers pay only O(log_B n + k/B).
+  Status Query(const DiagonalQuery& q, ResultSink<Point>* sink) const;
+
   /// Appends all points with x <= q.a and y >= q.a to `out`.
   /// O(log_B n + t/B) I/Os (Theorem 3.2).
   Status Query(const DiagonalQuery& q, std::vector<Point>* out) const;
@@ -135,13 +142,13 @@ class MetablockTree {
   // Reports this metablock's own points that fall in the query, per its
   // Type I-IV classification.
   Status ReportOwnPoints(const Control& ctrl, Coord a,
-                         std::vector<Point>* out) const;
+                         SinkEmitter<Point>& em) const;
 
   // Reports the entire subtree rooted at `control_id`, whose x-interval is
   // known to lie at or left of a: a top-down descending-y scan per node,
   // recursing only below fully-inside (Type III) metablocks.
   Status ReportSubtree(PageId control_id, Coord a,
-                       std::vector<Point>* out) const;
+                       SinkEmitter<Point>& em) const;
 
   Status DestroySubtree(PageId control_id);
   Status CheckSubtree(PageId control_id, Coord parent_min_y,

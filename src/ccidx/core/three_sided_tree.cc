@@ -170,8 +170,8 @@ Result<ThreeSidedTree> ThreeSidedTree::Build(Pager* pager,
 
 Status ThreeSidedTree::ReportOwnPoints(const Control& ctrl, Coord xlo,
                                        Coord xhi, Coord ylo,
-                                       std::vector<Point>* out) const {
-  if (ctrl.num_points == 0) return Status::OK();
+                                       SinkEmitter<Point>& em) const {
+  if (ctrl.num_points == 0 || em.stopped()) return Status::OK();
   if (ctrl.bbox_xmin > xhi || ctrl.bbox_xmax < xlo || ctrl.bbox_ymax < ylo) {
     return Status::OK();
   }
@@ -179,57 +179,48 @@ Status ThreeSidedTree::ReportOwnPoints(const Control& ctrl, Coord xlo,
   const bool y_all = ctrl.bbox_ymin >= ylo;
   PageIo io(pager_);
   if (x_all && y_all) {
-    return io.ReadChain<Point>(ctrl.horiz_head, out);
+    return EmitChain<Point>(pager_, ctrl.horiz_head, em);
   }
   if (y_all) {
     // Only vertical boundaries cut: scan the x-slab of vertical blocks
     // (at most two partially-useful pages).
     std::vector<VerticalBlock> index;
     CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager_, ctrl.vindex_head, &index));
-    for (const VerticalBlock& blk : index) {
-      if (blk.xhi < xlo) continue;
-      if (blk.xlo > xhi) break;
-      auto view = io.ViewRecords<Point>(blk.page);
-      CCIDX_RETURN_IF_ERROR(view.status());
-      for (const Point& p : view->records) {
-        if (p.x >= xlo && p.x <= xhi) out->push_back(p);
-      }
-    }
-    return Status::OK();
+    return ScanVerticalBlocks(pager_, index, xlo, xhi, em);
   }
   if (x_all) {
     // Only the bottom boundary cuts: top-down scan.
-    auto crossed = ScanDescYChainUntil(
-        pager_, ctrl.horiz_head, ylo,
-        [out](const Point& p) { out->push_back(p); });
+    auto crossed = ScanDescYChain(pager_, ctrl.horiz_head, ylo, em);
     return crossed.status();
   }
   // A corner of the query lies inside the bbox: Lemma 4.1 structure.
   ExternalPst pst = ExternalPst::Open(pager_, ctrl.own_pst_root);
-  return pst.Query({xlo, xhi, ylo}, out);
+  return pst.Query({xlo, xhi, ylo}, em);
 }
 
 Status ThreeSidedTree::ReportSubtree(PageId id, Coord ylo,
-                                     std::vector<Point>* out) const {
+                                     SinkEmitter<Point>& em) const {
+  if (em.stopped()) return Status::OK();
   Control ctrl;
   CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
-  auto crossed = ScanDescYChainUntil(
-      pager_, ctrl.horiz_head, ylo,
-      [out](const Point& p) { out->push_back(p); });
+  auto crossed = ScanDescYChain(pager_, ctrl.horiz_head, ylo, em);
   CCIDX_RETURN_IF_ERROR(crossed.status());
-  if (*crossed || ctrl.num_children == 0) return Status::OK();
-  return DescendMiddle(ctrl, ylo, out);
+  if (*crossed || ctrl.num_children == 0 || em.stopped()) {
+    return Status::OK();
+  }
+  return DescendMiddle(ctrl, ylo, em);
 }
 
 Status ThreeSidedTree::DescendMiddle(const Control& ctrl, Coord ylo,
-                                     std::vector<Point>* out) const {
+                                     SinkEmitter<Point>& em) const {
   PageIo io(pager_);
   std::vector<ChildEntry> children;
   CCIDX_RETURN_IF_ERROR(
       io.ReadChain<ChildEntry>(ctrl.children_head, &children));
   for (const ChildEntry& c : children) {
+    if (em.stopped()) break;
     if (c.ymax >= ylo) {
-      CCIDX_RETURN_IF_ERROR(ReportSubtree(c.control, ylo, out));
+      CCIDX_RETURN_IF_ERROR(ReportSubtree(c.control, ylo, em));
     }
   }
   return Status::OK();
@@ -237,17 +228,17 @@ Status ThreeSidedTree::DescendMiddle(const Control& ctrl, Coord ylo,
 
 Status ThreeSidedTree::LeftPath(PageId id, Coord xlo, Coord ylo,
                                 bool skip_own,
-                                std::vector<Point>* out) const {
+                                SinkEmitter<Point>& em) const {
   PageIo io(pager_);
-  while (id != kInvalidPageId) {
+  while (id != kInvalidPageId && !em.stopped()) {
     Control ctrl;
     CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
     if (!skip_own) {
       CCIDX_RETURN_IF_ERROR(
-          ReportOwnPoints(ctrl, xlo, kCoordMax, ylo, out));
+          ReportOwnPoints(ctrl, xlo, kCoordMax, ylo, em));
     }
     skip_own = false;
-    if (ctrl.num_children == 0) return Status::OK();
+    if (ctrl.num_children == 0 || em.stopped()) return Status::OK();
     std::vector<ChildEntry> children;
     CCIDX_RETURN_IF_ERROR(
         io.ReadChain<ChildEntry>(ctrl.children_head, &children));
@@ -265,20 +256,20 @@ Status ThreeSidedTree::LeftPath(PageId id, Coord xlo, Coord ylo,
       Control jc;
       CCIDX_RETURN_IF_ERROR(LoadControl(children[j].control, &jc));
       std::vector<Point> ts_hits;
-      auto crossed = ScanDescYChainUntil(
-          pager_, jc.ts_right_head, ylo,
-          [&ts_hits](const Point& p) { ts_hits.push_back(p); });
+      auto crossed = CollectDescYChain(
+          pager_, jc.ts_right_head, ylo, &ts_hits);
       CCIDX_RETURN_IF_ERROR(crossed.status());
       if (*crossed) {
-        out->insert(out->end(), ts_hits.begin(), ts_hits.end());
+        em.Emit(ts_hits);
       } else {
-        for (size_t i = j + 1; i < children.size(); ++i) {
+        for (size_t i = j + 1; i < children.size() && !em.stopped(); ++i) {
           if (children[i].ymax >= ylo) {
             CCIDX_RETURN_IF_ERROR(
-                ReportSubtree(children[i].control, ylo, out));
+                ReportSubtree(children[i].control, ylo, em));
           }
         }
       }
+      if (em.stopped()) return Status::OK();
     }
     if (children[j].ymax < ylo) return Status::OK();
     id = children[j].control;
@@ -288,17 +279,17 @@ Status ThreeSidedTree::LeftPath(PageId id, Coord xlo, Coord ylo,
 
 Status ThreeSidedTree::RightPath(PageId id, Coord xhi, Coord ylo,
                                  bool skip_own,
-                                 std::vector<Point>* out) const {
+                                 SinkEmitter<Point>& em) const {
   PageIo io(pager_);
-  while (id != kInvalidPageId) {
+  while (id != kInvalidPageId && !em.stopped()) {
     Control ctrl;
     CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
     if (!skip_own) {
       CCIDX_RETURN_IF_ERROR(
-          ReportOwnPoints(ctrl, kCoordMin, xhi, ylo, out));
+          ReportOwnPoints(ctrl, kCoordMin, xhi, ylo, em));
     }
     skip_own = false;
-    if (ctrl.num_children == 0) return Status::OK();
+    if (ctrl.num_children == 0 || em.stopped()) return Status::OK();
     std::vector<ChildEntry> children;
     CCIDX_RETURN_IF_ERROR(
         io.ReadChain<ChildEntry>(ctrl.children_head, &children));
@@ -313,20 +304,20 @@ Status ThreeSidedTree::RightPath(PageId id, Coord xhi, Coord ylo,
       Control jc;
       CCIDX_RETURN_IF_ERROR(LoadControl(children[j].control, &jc));
       std::vector<Point> ts_hits;
-      auto crossed = ScanDescYChainUntil(
-          pager_, jc.ts_left_head, ylo,
-          [&ts_hits](const Point& p) { ts_hits.push_back(p); });
+      auto crossed = CollectDescYChain(
+          pager_, jc.ts_left_head, ylo, &ts_hits);
       CCIDX_RETURN_IF_ERROR(crossed.status());
       if (*crossed) {
-        out->insert(out->end(), ts_hits.begin(), ts_hits.end());
+        em.Emit(ts_hits);
       } else {
-        for (size_t i = 0; i < j; ++i) {
+        for (size_t i = 0; i < j && !em.stopped(); ++i) {
           if (children[i].ymax >= ylo) {
             CCIDX_RETURN_IF_ERROR(
-                ReportSubtree(children[i].control, ylo, out));
+                ReportSubtree(children[i].control, ylo, em));
           }
         }
       }
+      if (em.stopped()) return Status::OK();
     }
     if (children[j].ymax < ylo) return Status::OK();
     id = children[j].control;
@@ -335,16 +326,17 @@ Status ThreeSidedTree::RightPath(PageId id, Coord xhi, Coord ylo,
 }
 
 Status ThreeSidedTree::Query(const ThreeSidedQuery& q,
-                             std::vector<Point>* out) const {
+                             ResultSink<Point>* sink) const {
   if (root_ == kInvalidPageId || q.xlo > q.xhi) return Status::OK();
   PageIo io(pager_);
+  SinkEmitter<Point> em(sink);
   PageId id = root_;
   while (true) {
     Control ctrl;
     CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
     CCIDX_RETURN_IF_ERROR(
-        ReportOwnPoints(ctrl, q.xlo, q.xhi, q.ylo, out));
-    if (ctrl.num_children == 0) return Status::OK();
+        ReportOwnPoints(ctrl, q.xlo, q.xhi, q.ylo, em));
+    if (ctrl.num_children == 0 || em.stopped()) return Status::OK();
     std::vector<ChildEntry> children;
     CCIDX_RETURN_IF_ERROR(
         io.ReadChain<ChildEntry>(ctrl.children_head, &children));
@@ -366,31 +358,38 @@ Status ThreeSidedTree::Query(const ThreeSidedQuery& q,
     // Fork (case 4): the children-union PST reports every child-stored
     // point in the query in one O(log2 B^3 + t/B) access.
     ExternalPst pst = ExternalPst::Open(pager_, ctrl.children_pst_root);
-    CCIDX_RETURN_IF_ERROR(pst.Query(q, out));
+    CCIDX_RETURN_IF_ERROR(pst.Query(q, em));
+    if (em.stopped()) return Status::OK();
     // Middle children lie fully inside the slab; their own points are
     // reported; descend only below fully-inside ones (heap order kills
     // the rest).
-    for (size_t m = jl + 1; m < jr; ++m) {
+    for (size_t m = jl + 1; m < jr && !em.stopped(); ++m) {
       if (children[m].ymin >= q.ylo) {
         Control mc;
         CCIDX_RETURN_IF_ERROR(LoadControl(children[m].control, &mc));
         if (mc.num_children > 0) {
-          CCIDX_RETURN_IF_ERROR(DescendMiddle(mc, q.ylo, out));
+          CCIDX_RETURN_IF_ERROR(DescendMiddle(mc, q.ylo, em));
         }
       }
     }
     // Heap order: a fork child's descendants all lie at or below its own
     // minimum y, so the one-sided path is needed only when ymin >= ylo.
-    if (children[jl].ymin >= q.ylo) {
+    if (children[jl].ymin >= q.ylo && !em.stopped()) {
       CCIDX_RETURN_IF_ERROR(
-          LeftPath(children[jl].control, q.xlo, q.ylo, true, out));
+          LeftPath(children[jl].control, q.xlo, q.ylo, true, em));
     }
-    if (children[jr].ymin >= q.ylo) {
+    if (children[jr].ymin >= q.ylo && !em.stopped()) {
       CCIDX_RETURN_IF_ERROR(
-          RightPath(children[jr].control, q.xhi, q.ylo, true, out));
+          RightPath(children[jr].control, q.xhi, q.ylo, true, em));
     }
     return Status::OK();
   }
+}
+
+Status ThreeSidedTree::Query(const ThreeSidedQuery& q,
+                             std::vector<Point>* out) const {
+  VectorSink<Point> sink(out);
+  return Query(q, &sink);
 }
 
 Status ThreeSidedTree::DestroySubtree(PageId id) {

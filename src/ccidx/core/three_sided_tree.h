@@ -48,6 +48,11 @@ class ThreeSidedTree {
   static Result<ThreeSidedTree> Build(Pager* pager,
                                       std::vector<Point> points);
 
+  /// Streams all points with q.xlo <= x <= q.xhi and y >= q.ylo into
+  /// `sink`; kStop halts the slab walk, both one-sided paths, and every
+  /// subtree scan. O(log_B n + log2 B + t/B) I/Os.
+  Status Query(const ThreeSidedQuery& q, ResultSink<Point>* sink) const;
+
   /// Appends all points with q.xlo <= x <= q.xhi and y >= q.ylo to `out`.
   /// O(log_B n + log2 B + t/B) I/Os.
   Status Query(const ThreeSidedQuery& q, std::vector<Point>* out) const;
@@ -104,23 +109,23 @@ class ThreeSidedTree {
   // kind of boundary cuts the bbox, and the own PST when a corner lies
   // inside.
   Status ReportOwnPoints(const Control& ctrl, Coord xlo, Coord xhi,
-                         Coord ylo, std::vector<Point>* out) const;
+                         Coord ylo, SinkEmitter<Point>& em) const;
 
   // Subtree known to lie fully inside the x-slab: descending-y scans with
   // the heap-order stop rule (as in the static metablock tree).
-  Status ReportSubtree(PageId id, Coord ylo, std::vector<Point>* out) const;
+  Status ReportSubtree(PageId id, Coord ylo, SinkEmitter<Point>& em) const;
 
   // Children of a fully-inside metablock whose own points were already
   // reported by a children-PST: recurse into qualifying children only.
   Status DescendMiddle(const Control& ctrl, Coord ylo,
-                       std::vector<Point>* out) const;
+                       SinkEmitter<Point>& em) const;
 
   // One-sided paths after the fork. skip_own: the first node's own points
   // were already reported by the parent's children PST.
   Status LeftPath(PageId id, Coord xlo, Coord ylo, bool skip_own,
-                  std::vector<Point>* out) const;
+                  SinkEmitter<Point>& em) const;
   Status RightPath(PageId id, Coord xhi, Coord ylo, bool skip_own,
-                   std::vector<Point>* out) const;
+                   SinkEmitter<Point>& em) const;
 
   Status DestroySubtree(PageId id);
   Status CheckSubtree(PageId id, Coord parent_min_y, bool is_root,

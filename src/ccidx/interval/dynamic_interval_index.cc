@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ccidx/interval/interval_codec.h"
+
 namespace ccidx {
 
 DynamicIntervalIndex::DynamicIntervalIndex(Pager* pager)
@@ -50,26 +52,36 @@ Status DynamicIntervalIndex::Delete(const Interval& iv, bool* found) {
   return Status::OK();
 }
 
+using internal::EntryToInterval;
+using internal::PointToInterval;
+
+Status DynamicIntervalIndex::Stab(Coord q, ResultSink<Interval>* sink) const {
+  TransformSink<Point, Interval> xform(sink, PointToInterval);
+  return stabbing_.Query({kCoordMin, q, q}, &xform);
+}
+
 Status DynamicIntervalIndex::Stab(Coord q, std::vector<Interval>* out) const {
-  std::vector<Point> pts;
-  CCIDX_RETURN_IF_ERROR(stabbing_.Query({kCoordMin, q, q}, &pts));
-  for (const Point& p : pts) {
-    out->push_back({p.x, p.y, p.id});
+  VectorSink<Interval> sink(out);
+  return Stab(q, &sink);
+}
+
+Status DynamicIntervalIndex::Intersect(Coord qlo, Coord qhi,
+                                       ResultSink<Interval>* sink) const {
+  if (qlo > qhi) return Status::OK();
+  TransformSink<Point, Interval> stab_xform(sink, PointToInterval);
+  CCIDX_RETURN_IF_ERROR(stabbing_.Query({kCoordMin, qlo, qlo}, &stab_xform));
+  if (stab_xform.stopped()) return Status::OK();
+  if (qlo < kCoordMax) {
+    TransformSink<BtEntry, Interval> range_xform(sink, EntryToInterval);
+    return endpoints_.RangeScan(qlo + 1, qhi, &range_xform);
   }
   return Status::OK();
 }
 
 Status DynamicIntervalIndex::Intersect(Coord qlo, Coord qhi,
                                        std::vector<Interval>* out) const {
-  if (qlo > qhi) return Status::OK();
-  CCIDX_RETURN_IF_ERROR(Stab(qlo, out));
-  if (qlo < kCoordMax) {
-    CCIDX_RETURN_IF_ERROR(endpoints_.RangeScan(
-        qlo + 1, qhi, [out](const BtEntry& e) {
-          out->push_back({e.key, e.aux, e.value});
-        }));
-  }
-  return Status::OK();
+  VectorSink<Interval> sink(out);
+  return Intersect(qlo, qhi, &sink);
 }
 
 Status DynamicIntervalIndex::Destroy() {

@@ -38,8 +38,15 @@ class DynamicIntervalIndex {
   /// Removes the exact interval (lo, hi, id). Sets *found.
   Status Delete(const Interval& iv, bool* found);
 
+  /// Streams all intervals containing q into `sink`; kStop propagates
+  /// into the PST. O(log2 n + t/B) I/Os.
+  Status Stab(Coord q, ResultSink<Interval>* sink) const;
+
   /// All intervals containing q. O(log2 n + t/B) I/Os.
   Status Stab(Coord q, std::vector<Interval>* out) const;
+
+  /// Streams all intervals intersecting [qlo, qhi] into `sink`.
+  Status Intersect(Coord qlo, Coord qhi, ResultSink<Interval>* sink) const;
 
   /// All intervals intersecting [qlo, qhi]. O(log2 n + t/B) I/Os.
   Status Intersect(Coord qlo, Coord qhi, std::vector<Interval>* out) const;

@@ -1,0 +1,31 @@
+// Shared record<->Interval converters for the interval indexes: both the
+// semi-dynamic (metablock) and fully dynamic (PST) compositions store an
+// interval [lo, hi] as the planar point (lo, hi) and as the endpoint entry
+// (key = lo, aux = hi, value = id).
+
+#ifndef CCIDX_INTERVAL_INTERVAL_CODEC_H_
+#define CCIDX_INTERVAL_INTERVAL_CODEC_H_
+
+#include <optional>
+
+#include "ccidx/bptree/bptree.h"
+#include "ccidx/core/geometry.h"
+#include "ccidx/testutil/oracles.h"  // Interval
+
+namespace ccidx {
+namespace internal {
+
+/// A stored point (lo, hi) decodes back to the interval it encodes.
+inline std::optional<Interval> PointToInterval(const Point& p) {
+  return Interval{p.x, p.y, p.id};
+}
+
+/// An endpoint entry (key = lo, aux = hi, value = id) likewise.
+inline std::optional<Interval> EntryToInterval(const BtEntry& e) {
+  return Interval{e.key, e.aux, e.value};
+}
+
+}  // namespace internal
+}  // namespace ccidx
+
+#endif  // CCIDX_INTERVAL_INTERVAL_CODEC_H_

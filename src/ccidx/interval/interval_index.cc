@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ccidx/interval/interval_codec.h"
+
 namespace ccidx {
 
 IntervalIndex::IntervalIndex(Pager* pager)
@@ -36,28 +38,38 @@ Status IntervalIndex::Insert(const Interval& iv) {
   return stabbing_.Insert({iv.lo, iv.hi, iv.id});
 }
 
+using internal::EntryToInterval;
+using internal::PointToInterval;
+
+Status IntervalIndex::Stab(Coord q, ResultSink<Interval>* sink) const {
+  TransformSink<Point, Interval> xform(sink, PointToInterval);
+  return stabbing_.Query({q}, &xform);
+}
+
 Status IntervalIndex::Stab(Coord q, std::vector<Interval>* out) const {
-  std::vector<Point> pts;
-  CCIDX_RETURN_IF_ERROR(stabbing_.Query({q}, &pts));
-  for (const Point& p : pts) {
-    out->push_back({p.x, p.y, p.id});
+  VectorSink<Interval> sink(out);
+  return Stab(q, &sink);
+}
+
+Status IntervalIndex::Intersect(Coord qlo, Coord qhi,
+                                ResultSink<Interval>* sink) const {
+  if (qlo > qhi) return Status::OK();
+  // Types 3 & 4: intervals containing qlo (first endpoint <= qlo).
+  TransformSink<Point, Interval> stab_xform(sink, PointToInterval);
+  CCIDX_RETURN_IF_ERROR(stabbing_.Query({qlo}, &stab_xform));
+  if (stab_xform.stopped()) return Status::OK();
+  // Types 1 & 2: first endpoint strictly inside (qlo, qhi].
+  if (qlo < kCoordMax) {
+    TransformSink<BtEntry, Interval> range_xform(sink, EntryToInterval);
+    return endpoints_.RangeScan(qlo + 1, qhi, &range_xform);
   }
   return Status::OK();
 }
 
 Status IntervalIndex::Intersect(Coord qlo, Coord qhi,
                                 std::vector<Interval>* out) const {
-  if (qlo > qhi) return Status::OK();
-  // Types 3 & 4: intervals containing qlo (first endpoint <= qlo).
-  CCIDX_RETURN_IF_ERROR(Stab(qlo, out));
-  // Types 1 & 2: first endpoint strictly inside (qlo, qhi].
-  if (qlo < kCoordMax) {
-    CCIDX_RETURN_IF_ERROR(endpoints_.RangeScan(
-        qlo + 1, qhi, [out](const BtEntry& e) {
-          out->push_back({e.key, e.aux, e.value});
-        }));
-  }
-  return Status::OK();
+  VectorSink<Interval> sink(out);
+  return Intersect(qlo, qhi, &sink);
 }
 
 Status IntervalIndex::Destroy() {

@@ -41,9 +41,17 @@ class IntervalIndex {
   /// Inserts an interval (lo <= hi). Amortized O(log_B n + (log_B n)^2/B).
   Status Insert(const Interval& iv);
 
+  /// Streams every interval containing `q` into `sink` (stabbing query);
+  /// kStop propagates into the metablock tree. O(log_B n + t/B) I/Os —
+  /// O(log_B n + k/B) for count/exists/first-k sinks.
+  Status Stab(Coord q, ResultSink<Interval>* sink) const;
+
   /// Appends every interval containing `q` to `out` (stabbing query).
   /// O(log_B n + t/B) I/Os.
   Status Stab(Coord q, std::vector<Interval>* out) const;
+
+  /// Streams every interval intersecting [qlo, qhi] into `sink`.
+  Status Intersect(Coord qlo, Coord qhi, ResultSink<Interval>* sink) const;
 
   /// Appends every interval intersecting [qlo, qhi] to `out`.
   /// O(log_B n + t/B) I/Os.

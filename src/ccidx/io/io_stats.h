@@ -29,6 +29,21 @@ struct IoStats {
   void Reset() { *this = IoStats{}; }
 };
 
+/// Snapshot/diff helper: `after - before` yields the per-operation cost.
+/// Tests and benches snapshot the counters, run the operation, and
+/// subtract, instead of hand-computing one delta per field.
+inline IoStats operator-(const IoStats& a, const IoStats& b) {
+  IoStats d;
+  d.device_reads = a.device_reads - b.device_reads;
+  d.device_writes = a.device_writes - b.device_writes;
+  d.cache_hits = a.cache_hits - b.cache_hits;
+  d.cache_misses = a.cache_misses - b.cache_misses;
+  d.pin_requests = a.pin_requests - b.pin_requests;
+  d.pages_allocated = a.pages_allocated - b.pages_allocated;
+  d.pages_freed = a.pages_freed - b.pages_freed;
+  return d;
+}
+
 }  // namespace ccidx
 
 #endif  // CCIDX_IO_IO_STATS_H_

@@ -37,6 +37,7 @@ class PageWriter {
   template <typename T>
   void PutArray(std::span<const T> values) {
     static_assert(std::is_trivially_copyable_v<T>);
+    if (values.empty()) return;  // empty spans may carry a null data()
     size_t bytes = values.size() * sizeof(T);
     CCIDX_CHECK(offset_ + bytes <= buf_.size());
     std::memcpy(buf_.data() + offset_, values.data(), bytes);
@@ -69,6 +70,7 @@ class PageReader {
   template <typename T>
   void GetArray(std::span<T> out) {
     static_assert(std::is_trivially_copyable_v<T>);
+    if (out.empty()) return;  // empty spans may carry a null data()
     size_t bytes = out.size() * sizeof(T);
     CCIDX_CHECK(offset_ + bytes <= buf_.size());
     std::memcpy(out.data(), buf_.data() + offset_, bytes);

@@ -282,8 +282,8 @@ Status DynamicPst::Delete(const Point& p, bool* found) {
 }
 
 Status DynamicPst::QueryNode(PageId id, const ThreeSidedQuery& q,
-                             std::vector<Point>* out) const {
-  if (id == kInvalidPageId) return Status::OK();
+                             SinkEmitter<Point>& em) const {
+  if (id == kInvalidPageId || em.stopped()) return Status::OK();
   NodeHeader h;
   {
     // Zero-copy scan of the node's points; pin dropped before recursion.
@@ -292,21 +292,28 @@ Status DynamicPst::QueryNode(PageId id, const ThreeSidedQuery& q,
     PageReader r(ref->data());
     h = r.Get<NodeHeader>();
     if (h.sub_xlo > q.xhi || h.sub_xhi < q.xlo) return Status::OK();
-    for (const Point& p : ViewArray<Point>(*ref, sizeof(NodeHeader),
-                                           h.count)) {
-      if (p.y < q.ylo) break;
-      if (p.x >= q.xlo && p.x <= q.xhi) out->push_back(p);
-    }
+    std::span<const Point> pts =
+        ViewArray<Point>(*ref, sizeof(NodeHeader), h.count);
+    em.EmitFiltered(
+        TakeWhile(pts, [&q](const Point& p) { return p.y >= q.ylo; }),
+        [&q](const Point& p) { return p.x >= q.xlo && p.x <= q.xhi; });
   }
-  if (h.min_y < q.ylo) return Status::OK();
-  CCIDX_RETURN_IF_ERROR(QueryNode(h.left, q, out));
-  return QueryNode(h.right, q, out);
+  if (h.min_y < q.ylo || em.stopped()) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(QueryNode(h.left, q, em));
+  return QueryNode(h.right, q, em);
+}
+
+Status DynamicPst::Query(const ThreeSidedQuery& q,
+                         ResultSink<Point>* sink) const {
+  if (q.xlo > q.xhi) return Status::OK();
+  SinkEmitter<Point> em(sink);
+  return QueryNode(root_, q, em);
 }
 
 Status DynamicPst::Query(const ThreeSidedQuery& q,
                          std::vector<Point>* out) const {
-  if (q.xlo > q.xhi) return Status::OK();
-  return QueryNode(root_, q, out);
+  VectorSink<Point> sink(out);
+  return Query(q, &sink);
 }
 
 Status DynamicPst::CollectNode(PageId id, std::vector<Point>* out) const {

@@ -30,6 +30,7 @@
 
 #include "ccidx/core/geometry.h"
 #include "ccidx/io/page_builder.h"
+#include "ccidx/query/sink.h"
 
 namespace ccidx {
 
@@ -48,6 +49,10 @@ class DynamicPst {
   /// Deletes the exact point (x, y, id). Sets *found accordingly.
   /// Amortized O(log2 n + (log2 n)^2/B) I/Os.
   Status Delete(const Point& p, bool* found);
+
+  /// Streams all points with q.xlo <= x <= q.xhi and y >= q.ylo into
+  /// `sink`; kStop halts the recursion. O(log2 n + t/B) I/Os.
+  Status Query(const ThreeSidedQuery& q, ResultSink<Point>* sink) const;
 
   /// Appends all points with q.xlo <= x <= q.xhi and y >= q.ylo.
   /// O(log2 n + t/B) I/Os.
@@ -85,7 +90,7 @@ class DynamicPst {
                                   uint32_t cap);
 
   Status QueryNode(PageId id, const ThreeSidedQuery& q,
-                   std::vector<Point>* out) const;
+                   SinkEmitter<Point>& em) const;
   Status CollectNode(PageId id, std::vector<Point>* out) const;
   Status FreeNode(PageId id);
   // Rebuilds the subtree at *id as a balanced static tree; updates *id.

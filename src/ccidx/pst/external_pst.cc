@@ -93,8 +93,8 @@ Status ExternalPst::LoadNode(PageId id, NodeHeader* h,
 }
 
 Status ExternalPst::QueryNode(PageId id, const ThreeSidedQuery& q,
-                              std::vector<Point>* out) const {
-  if (id == kInvalidPageId) return Status::OK();
+                              SinkEmitter<Point>& em) const {
+  if (id == kInvalidPageId || em.stopped()) return Status::OK();
   NodeHeader h;
   {
     // Zero-copy: filter the node's points in place from the pinned frame.
@@ -104,23 +104,37 @@ Status ExternalPst::QueryNode(PageId id, const ThreeSidedQuery& q,
     PageReader r(ref->data());
     h = r.Get<NodeHeader>();
     if (h.sub_xlo > q.xhi || h.sub_xhi < q.xlo) return Status::OK();
-    for (const Point& p : ViewArray<Point>(*ref, sizeof(NodeHeader),
-                                           h.count)) {
-      if (p.y < q.ylo) break;  // descending y: nothing below qualifies
-      if (p.x >= q.xlo && p.x <= q.xhi) out->push_back(p);
-    }
+    std::span<const Point> pts =
+        ViewArray<Point>(*ref, sizeof(NodeHeader), h.count);
+    // Descending y: qualifying points lie in the y >= ylo prefix; the
+    // x-slab filter applies within it.
+    em.EmitFiltered(
+        TakeWhile(pts, [&q](const Point& p) { return p.y >= q.ylo; }),
+        [&q](const Point& p) { return p.x >= q.xlo && p.x <= q.xhi; });
   }
   // Heap order: every descendant's y is <= this node's min y. If some own
   // point already fell below ylo, no descendant can qualify.
-  if (h.min_y < q.ylo) return Status::OK();
-  CCIDX_RETURN_IF_ERROR(QueryNode(h.left, q, out));
-  return QueryNode(h.right, q, out);
+  if (h.min_y < q.ylo || em.stopped()) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(QueryNode(h.left, q, em));
+  return QueryNode(h.right, q, em);
+}
+
+Status ExternalPst::Query(const ThreeSidedQuery& q,
+                          SinkEmitter<Point>& em) const {
+  if (q.xlo > q.xhi) return Status::OK();
+  return QueryNode(root_, q, em);
+}
+
+Status ExternalPst::Query(const ThreeSidedQuery& q,
+                          ResultSink<Point>* sink) const {
+  SinkEmitter<Point> em(sink);
+  return Query(q, em);
 }
 
 Status ExternalPst::Query(const ThreeSidedQuery& q,
                           std::vector<Point>* out) const {
-  if (q.xlo > q.xhi) return Status::OK();
-  return QueryNode(root_, q, out);
+  VectorSink<Point> sink(out);
+  return Query(q, &sink);
 }
 
 namespace {

@@ -24,6 +24,7 @@
 
 #include "ccidx/core/geometry.h"
 #include "ccidx/io/page_builder.h"
+#include "ccidx/query/sink.h"
 
 namespace ccidx {
 
@@ -35,6 +36,15 @@ class ExternalPst {
 
   /// Re-attaches to a previously built tree by its root page.
   static ExternalPst Open(Pager* pager, PageId root);
+
+  /// Streams all points with xlo <= x <= xhi and y >= ylo into `sink`;
+  /// kStop halts the recursion before another node page is pinned.
+  /// O(log2 n + t/B) I/Os.
+  Status Query(const ThreeSidedQuery& q, ResultSink<Point>* sink) const;
+
+  /// As above, driven by a caller-owned emitter (shared with an enclosing
+  /// 3-sided-tree query so kStop propagates across structures).
+  Status Query(const ThreeSidedQuery& q, SinkEmitter<Point>& em) const;
 
   /// Appends all points with xlo <= x <= xhi and y >= ylo to `out`.
   /// O(log2 n + t/B) I/Os.
@@ -81,7 +91,7 @@ class ExternalPst {
   Status LoadNode(PageId id, NodeHeader* h, std::vector<Point>* pts) const;
 
   Status QueryNode(PageId id, const ThreeSidedQuery& q,
-                   std::vector<Point>* out) const;
+                   SinkEmitter<Point>& em) const;
   Status FreeNode(PageId id);
   Status CheckNode(PageId id, Coord parent_min_y, bool is_root,
                    uint64_t* count) const;

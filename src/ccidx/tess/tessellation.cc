@@ -35,30 +35,28 @@ Result<Tessellation> Tessellation::ColumnStrips(Coord p, Coord block_points) {
   return Tiles(p, 1, block_points);
 }
 
+void Tessellation::VisitRangeBlocks(const RangeQuery2D& q,
+                                    ResultSink<TessBlock>* sink) const {
+  SinkEmitter<TessBlock> em(sink);
+  em.EmitFiltered(blocks_, [&q](const TessBlock& b) {
+    bool x_overlap = b.x <= q.xhi && q.xlo <= b.x + b.w - 1;
+    bool y_overlap = b.y <= q.yhi && q.ylo <= b.y + b.h - 1;
+    return x_overlap && y_overlap;
+  });
+}
+
 uint64_t Tessellation::RowQueryBlocks(Coord y) const {
-  uint64_t n = 0;
-  for (const TessBlock& b : blocks_) {
-    if (y >= b.y && y < b.y + b.h) n++;
-  }
-  return n;
+  return RangeQueryBlocks({0, p_ - 1, y, y});
 }
 
 uint64_t Tessellation::ColumnQueryBlocks(Coord x) const {
-  uint64_t n = 0;
-  for (const TessBlock& b : blocks_) {
-    if (x >= b.x && x < b.x + b.w) n++;
-  }
-  return n;
+  return RangeQueryBlocks({x, x, 0, p_ - 1});
 }
 
 uint64_t Tessellation::RangeQueryBlocks(const RangeQuery2D& q) const {
-  uint64_t n = 0;
-  for (const TessBlock& b : blocks_) {
-    bool x_overlap = b.x <= q.xhi && q.xlo <= b.x + b.w - 1;
-    bool y_overlap = b.y <= q.yhi && q.ylo <= b.y + b.h - 1;
-    if (x_overlap && y_overlap) n++;
-  }
-  return n;
+  CountSink<TessBlock> count;
+  VisitRangeBlocks(q, &count);
+  return count.count();
 }
 
 double Tessellation::RowK() const {

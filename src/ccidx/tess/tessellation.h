@@ -22,6 +22,7 @@
 
 #include "ccidx/common/status.h"
 #include "ccidx/core/geometry.h"
+#include "ccidx/query/sink.h"
 
 namespace ccidx {
 
@@ -51,6 +52,12 @@ class Tessellation {
   Coord p() const { return p_; }
   Coord block_points() const { return block_points_; }
   const std::vector<TessBlock>& blocks() const { return blocks_; }
+
+  /// Streams every block intersecting the rectangle query into `sink`
+  /// (the module is in-core; the sink contract exists so the same
+  /// count/exists/limit consumers drive the lower-bound study).
+  void VisitRangeBlocks(const RangeQuery2D& q,
+                        ResultSink<TessBlock>* sink) const;
 
   /// Number of blocks intersecting grid row `y` (a p-point query).
   uint64_t RowQueryBlocks(Coord y) const;

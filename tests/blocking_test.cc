@@ -95,9 +95,8 @@ TEST_F(BlockingTest, ScanStopsWithinOneBlockOfCrossing) {
   Coord threshold = points[2 * kB + kB / 2].y;  // mid page 2
   dev_.stats().Reset();
   std::vector<Point> got;
-  auto crossed = ScanDescYChainUntil(
-      &pager_, *head, threshold,
-      [&got](const Point& p) { got.push_back(p); });
+  auto crossed = CollectDescYChain(
+      &pager_, *head, threshold, &got);
   ASSERT_TRUE(crossed.ok());
   EXPECT_TRUE(*crossed);
   EXPECT_EQ(dev_.stats().device_reads, 3u);
@@ -118,8 +117,8 @@ TEST_F(BlockingTest, ScanExhaustsWhenNothingCrosses) {
   auto head = WriteDescYChain(&pager_, points);
   ASSERT_TRUE(head.ok());
   std::vector<Point> got;
-  auto crossed = ScanDescYChainUntil(
-      &pager_, *head, 100, [&got](const Point& p) { got.push_back(p); });
+  auto crossed = CollectDescYChain(
+      &pager_, *head, 100, &got);
   ASSERT_TRUE(crossed.ok());
   EXPECT_FALSE(*crossed);  // every point qualifies
   EXPECT_EQ(got.size(), points.size());
@@ -127,8 +126,8 @@ TEST_F(BlockingTest, ScanExhaustsWhenNothingCrosses) {
 
 TEST_F(BlockingTest, ScanOnEmptyChain) {
   std::vector<Point> got;
-  auto crossed = ScanDescYChainUntil(
-      &pager_, kInvalidPageId, 5, [&got](const Point& p) { got.push_back(p); });
+  auto crossed = CollectDescYChain(
+      &pager_, kInvalidPageId, 5, &got);
   ASSERT_TRUE(crossed.ok());
   EXPECT_FALSE(*crossed);
   EXPECT_TRUE(got.empty());
@@ -144,15 +143,15 @@ TEST_F(BlockingTest, TieHeavyScan) {
   auto head = WriteDescYChain(&pager_, points);
   ASSERT_TRUE(head.ok());
   std::vector<Point> got;
-  auto crossed = ScanDescYChainUntil(
-      &pager_, *head, 42, [&got](const Point& p) { got.push_back(p); });
+  auto crossed = CollectDescYChain(
+      &pager_, *head, 42, &got);
   ASSERT_TRUE(crossed.ok());
   EXPECT_FALSE(*crossed);
   EXPECT_EQ(got.size(), points.size());
   got.clear();
   dev_.stats().Reset();
-  crossed = ScanDescYChainUntil(
-      &pager_, *head, 43, [&got](const Point& p) { got.push_back(p); });
+  crossed = CollectDescYChain(
+      &pager_, *head, 43, &got);
   ASSERT_TRUE(crossed.ok());
   EXPECT_TRUE(*crossed);
   EXPECT_TRUE(got.empty());
