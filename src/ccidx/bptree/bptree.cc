@@ -237,64 +237,142 @@ Status BPlusTree::RangeScan(
   return RangeScan(lo, hi, &sink);
 }
 
+// Streaming level-by-level packer: each level holds at most two pending
+// nodes (the previous full node waits for its successor's page id before
+// it is written, and for the tail rebalance at finish).
+class BtBulkLoader {
+ public:
+  BtBulkLoader(BPlusTree* tree, Pager* pager, uint32_t cap)
+      : tree_(tree), pager_(pager), cap_(cap) {}
+
+  Status Add(size_t depth, const BtEntry& e) {
+    if (levels_.size() <= depth) levels_.emplace_back();
+    Level& lv = levels_[depth];
+    if (!lv.has_cur) OpenNode(lv, depth);
+    if (lv.cur.entries.size() == cap_) {
+      CCIDX_RETURN_IF_ERROR(Rotate(lv, depth));
+    }
+    levels_[depth].cur.entries.push_back(e);
+    return Status::OK();
+  }
+
+  // Flushes every level bottom-up; returns the root. Add() may grow
+  // levels_ (separators propagate upward), so no Level reference is held
+  // across an Add() call and the loop bound is re-read each iteration.
+  Result<PageId> Finish(uint32_t* height) {
+    for (size_t depth = 0; depth < levels_.size(); ++depth) {
+      CCIDX_CHECK(levels_[depth].has_cur);
+      *height = static_cast<uint32_t>(depth + 1);
+      if (!levels_[depth].has_prev && levels_.size() == depth + 1) {
+        // A single node with nothing above it: the root.
+        Level& lv = levels_[depth];
+        CCIDX_RETURN_IF_ERROR(tree_->StoreNode(lv.cur_id, lv.cur));
+        return lv.cur_id;
+      }
+      if (levels_[depth].has_prev) {
+        Level& lv = levels_[depth];
+        // Tail rebalance: never leave the last node below half full.
+        if (lv.cur.entries.size() < (cap_ + 1) / 2) {
+          std::vector<BtEntry>& a = lv.prev.entries;
+          std::vector<BtEntry>& b = lv.cur.entries;
+          size_t left = (a.size() + b.size()) / 2;
+          b.insert(b.begin(), a.begin() + left, a.end());
+          a.resize(left);
+        }
+        if (depth == 0) lv.prev.next = lv.cur_id;
+        BtEntry sep{lv.prev.entries[0].key, lv.prev_id, 0};
+        CCIDX_RETURN_IF_ERROR(tree_->StoreNode(lv.prev_id, lv.prev));
+        CCIDX_RETURN_IF_ERROR(Add(depth + 1, sep));
+      }
+      BtEntry sep{levels_[depth].cur.entries[0].key, levels_[depth].cur_id,
+                  0};
+      CCIDX_RETURN_IF_ERROR(
+          tree_->StoreNode(levels_[depth].cur_id, levels_[depth].cur));
+      CCIDX_RETURN_IF_ERROR(Add(depth + 1, sep));
+    }
+    return Status::Corruption("bulk load produced no root");
+  }
+
+ private:
+  struct Level {
+    BPlusTree::Node prev;
+    PageId prev_id = kInvalidPageId;
+    bool has_prev = false;
+    BPlusTree::Node cur;
+    PageId cur_id = kInvalidPageId;
+    bool has_cur = false;
+  };
+
+  void OpenNode(Level& lv, size_t depth) {
+    lv.cur = BPlusTree::Node{};
+    lv.cur.is_leaf = (depth == 0);
+    lv.cur_id = pager_->Allocate();
+    lv.has_cur = true;
+  }
+
+  // The current node is full and another entry is coming: the previous
+  // node's successor is now known, so it can be written out; its
+  // separator ascends one level.
+  Status Rotate(Level& lv, size_t depth) {
+    if (lv.has_prev) {
+      if (depth == 0) lv.prev.next = lv.cur_id;
+      CCIDX_RETURN_IF_ERROR(tree_->StoreNode(lv.prev_id, lv.prev));
+      CCIDX_RETURN_IF_ERROR(
+          Add(depth + 1, {lv.prev.entries[0].key, lv.prev_id, 0}));
+    }
+    // Add() may have grown levels_ and invalidated `lv`.
+    Level& fresh = levels_[depth];
+    fresh.prev = std::move(fresh.cur);
+    fresh.prev_id = fresh.cur_id;
+    fresh.has_prev = true;
+    OpenNode(fresh, depth);
+    return Status::OK();
+  }
+
+  BPlusTree* tree_;
+  Pager* pager_;
+  uint32_t cap_;
+  std::vector<Level> levels_;
+};
+
+Result<BPlusTree> BPlusTree::BulkLoad(Pager* pager,
+                                      RecordStream<BtEntry>* sorted) {
+  BPlusTree tree(pager);
+  AllocationScope scope(pager);
+  BtBulkLoader loader(&tree, pager, tree.fanout_);
+  uint64_t n = 0;
+  BtEntry prev{};
+  while (true) {
+    auto block = sorted->Next();
+    CCIDX_RETURN_IF_ERROR(block.status());
+    if (block->empty()) break;
+    for (const BtEntry& e : *block) {
+      if (n > 0 && e < prev) {
+        return Status::InvalidArgument("bulk-load input not sorted");
+      }
+      prev = e;
+      CCIDX_RETURN_IF_ERROR(loader.Add(0, e));
+      n++;
+    }
+  }
+  if (n == 0) {
+    scope.Commit();
+    return tree;
+  }
+  uint32_t height = 0;
+  auto root = loader.Finish(&height);
+  CCIDX_RETURN_IF_ERROR(root.status());
+  tree.root_ = *root;
+  tree.height_ = height;
+  tree.size_ = n;
+  scope.Commit();
+  return tree;
+}
+
 Result<BPlusTree> BPlusTree::BulkLoad(Pager* pager,
                                       std::span<const BtEntry> sorted) {
-  BPlusTree tree(pager);
-  if (sorted.empty()) return tree;
-  for (size_t i = 1; i < sorted.size(); ++i) {
-    if (sorted[i] < sorted[i - 1]) {
-      return Status::InvalidArgument("bulk-load input not sorted");
-    }
-  }
-
-  uint32_t cap = tree.fanout_;
-  // Build the leaf level.
-  struct Built {
-    int64_t min_key;
-    PageId id;
-  };
-  std::vector<Built> level;
-  size_t num_leaves = (sorted.size() + cap - 1) / cap;
-  // Spread entries evenly so no leaf is less than half full.
-  std::vector<PageId> leaf_ids(num_leaves);
-  for (size_t i = 0; i < num_leaves; ++i) leaf_ids[i] = pager->Allocate();
-  size_t taken = 0;
-  for (size_t i = 0; i < num_leaves; ++i) {
-    size_t want = (sorted.size() - taken) / (num_leaves - i);
-    Node leaf;
-    leaf.is_leaf = true;
-    leaf.entries.assign(sorted.begin() + taken, sorted.begin() + taken + want);
-    leaf.next = (i + 1 < num_leaves) ? leaf_ids[i + 1] : kInvalidPageId;
-    CCIDX_RETURN_IF_ERROR(tree.StoreNode(leaf_ids[i], leaf));
-    level.push_back({leaf.entries[0].key, leaf_ids[i]});
-    taken += want;
-  }
-  tree.height_ = 1;
-
-  // Build internal levels bottom-up until one node remains.
-  while (level.size() > 1) {
-    std::vector<Built> parents;
-    size_t num_nodes = (level.size() + cap - 1) / cap;
-    size_t used = 0;
-    for (size_t i = 0; i < num_nodes; ++i) {
-      size_t want = (level.size() - used) / (num_nodes - i);
-      Node internal;
-      internal.is_leaf = false;
-      for (size_t j = 0; j < want; ++j) {
-        internal.entries.push_back(
-            {level[used + j].min_key, level[used + j].id, 0});
-      }
-      PageId id = pager->Allocate();
-      CCIDX_RETURN_IF_ERROR(tree.StoreNode(id, internal));
-      parents.push_back({internal.entries[0].key, id});
-      used += want;
-    }
-    level = std::move(parents);
-    tree.height_++;
-  }
-  tree.root_ = level[0].id;
-  tree.size_ = sorted.size();
-  return tree;
+  SpanStream<BtEntry> stream(sorted);
+  return BulkLoad(pager, &stream);
 }
 
 Status BPlusTree::Destroy() {

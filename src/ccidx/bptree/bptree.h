@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "ccidx/build/record_stream.h"
 #include "ccidx/io/page_builder.h"
 #include "ccidx/io/pager.h"
 #include "ccidx/query/sink.h"
@@ -55,7 +56,15 @@ class BPlusTree {
   /// Creates an empty tree whose pages are managed by `pager`.
   explicit BPlusTree(Pager* pager);
 
-  /// Bulk-loads from entries sorted by (key, value); O(n/B) I/Os.
+  /// Bulk-loads from a stream of entries sorted by (key, value): true
+  /// leaf packing, one level of node builders deep — O(n/B) I/Os with
+  /// O(B log_B n) working memory, so inputs need never be materialized.
+  /// The last two nodes of each level are rebalanced so no node ends
+  /// below half full. Fault-atomic.
+  static Result<BPlusTree> BulkLoad(Pager* pager,
+                                    RecordStream<BtEntry>* sorted);
+
+  /// In-memory wrapper over the streaming bulk load.
   static Result<BPlusTree> BulkLoad(Pager* pager,
                                     std::span<const BtEntry> sorted);
 
@@ -100,6 +109,8 @@ class BPlusTree {
   Status CheckInvariants() const;
 
  private:
+  friend class BtBulkLoader;  // streaming bulk-load packer (bptree.cc)
+
   // In-memory image of one node page (update paths: the entries vector is
   // mutated and stored back).
   struct Node {

@@ -1,0 +1,88 @@
+// Loser tree: the classic k-way merge selection tree.
+//
+// A tournament tree over k "ways" in which each internal node remembers
+// the LOSER of its match and the overall winner is kept at the root.
+// After the winner's way advances to its next record, restoring the
+// invariant replays exactly one leaf-to-root path — log2 k comparisons,
+// half of what a binary heap's pop+push pays, which is why external merge
+// sorts standardized on it.
+//
+// The tree is agnostic to what a "way" is: the caller supplies two
+// callables over way indices,
+//   exhausted(w) -> bool   — way w has no current record
+//   less(a, b)   -> bool   — way a's current record sorts before way b's
+// Exhausted ways lose every match; ties break toward the lower index so
+// merges are deterministic.
+
+#ifndef CCIDX_BUILD_LOSER_TREE_H_
+#define CCIDX_BUILD_LOSER_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ccidx/common/status.h"
+
+namespace ccidx {
+
+template <typename Exhausted, typename Less>
+class LoserTree {
+ public:
+  LoserTree(size_t ways, Exhausted exhausted, Less less)
+      : k_(ways), exhausted_(std::move(exhausted)), less_(std::move(less)),
+        tree_(ways) {
+    CCIDX_CHECK(k_ >= 1);
+  }
+
+  /// (Re)builds the tree from scratch: O(k) matches. Call once after the
+  /// ways are primed.
+  void Rebuild() {
+    if (k_ == 1) {
+      winner_ = 0;
+      return;
+    }
+    // Leaf w sits conceptually at index k_ + w; internal nodes 1..k_-1.
+    std::vector<size_t> win(2 * k_);
+    for (size_t w = 0; w < k_; ++w) win[k_ + w] = w;
+    for (size_t i = k_ - 1; i >= 1; --i) {
+      size_t a = win[2 * i];
+      size_t b = win[2 * i + 1];
+      bool a_wins = Wins(a, b);
+      win[i] = a_wins ? a : b;
+      tree_[i] = a_wins ? b : a;
+    }
+    winner_ = win[1];
+  }
+
+  /// The way holding the least current record. Meaningless once every way
+  /// is exhausted — callers check exhausted(winner()) to terminate.
+  size_t winner() const { return winner_; }
+
+  /// Restores the invariant after winner()'s way advanced (or exhausted).
+  void Replay() {
+    if (k_ == 1) return;
+    size_t w = winner_;
+    for (size_t node = (w + k_) / 2; node >= 1; node /= 2) {
+      if (Wins(tree_[node], w)) std::swap(tree_[node], w);
+    }
+    winner_ = w;
+  }
+
+ private:
+  bool Wins(size_t a, size_t b) const {
+    if (exhausted_(a)) return false;
+    if (exhausted_(b)) return true;
+    if (less_(a, b)) return true;
+    if (less_(b, a)) return false;
+    return a < b;
+  }
+
+  size_t k_;
+  Exhausted exhausted_;
+  Less less_;
+  std::vector<size_t> tree_;  // internal nodes: loser way indices
+  size_t winner_ = 0;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_BUILD_LOSER_TREE_H_

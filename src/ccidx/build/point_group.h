@@ -1,0 +1,108 @@
+// PointGroup: the unit of work of every metablock / PST bulk build
+// (DESIGN.md §6).
+//
+// Each tree family's recursive builder repeats the same three accesses
+// over an x-sorted point set:
+//   * read it whole (the leaf case — guaranteed small),
+//   * select the k highest-y points (the metablock / PST node set),
+//   * distribute the rest into f x-contiguous children (even-split rule).
+// PointGroup provides exactly those, over either of two representations:
+//   * resident — an in-memory vector (insert-time rebuilds, inputs below
+//     the sort budget);
+//   * run — a device-resident sorted run, processed block-at-a-time with
+//     O(keep + fanout * B) working memory: one scan selects the top set
+//     through a bounded min-heap, a second scan distributes the rest into
+//     per-child RunWriters, freeing input pages behind the cursor.
+// Both representations produce bit-identical partitions (same selection
+// cutoff, same even-split child sizes, x order preserved), which is what
+// lets every family keep exactly one construction implementation.
+
+#ifndef CCIDX_BUILD_POINT_GROUP_H_
+#define CCIDX_BUILD_POINT_GROUP_H_
+
+#include <vector>
+
+#include "ccidx/build/record_stream.h"
+#include "ccidx/build/run.h"
+#include "ccidx/core/geometry.h"
+
+namespace ccidx {
+
+/// An x-sorted point set, resident or device-resident.
+class PointGroup {
+ public:
+  PointGroup() = default;
+  PointGroup(PointGroup&&) = default;
+  PointGroup& operator=(PointGroup&&) = default;
+  PointGroup(const PointGroup&) = delete;
+  PointGroup& operator=(const PointGroup&) = delete;
+
+  /// Wraps an in-memory vector (must already be sorted by PointXOrder).
+  static PointGroup FromVector(std::vector<Point> sorted_by_x);
+
+  /// Stages a sorted stream. Inputs of at most `resident_limit` records
+  /// stay in memory; larger inputs spill to a device-resident run,
+  /// holding only one block in memory. Verifies x order, and y >= x per
+  /// point when `require_above_diagonal`.
+  static Result<PointGroup> FromStream(Pager* pager,
+                                       RecordStream<Point>* sorted_by_x,
+                                       size_t resident_limit,
+                                       bool require_above_diagonal);
+
+  uint64_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool resident() const { return resident_; }
+
+  /// First / last x of the set (the subtree x-interval). Empty group: 0.
+  Coord first_x() const { return first_x_; }
+  Coord last_x() const { return last_x_; }
+
+  /// Consumes the group: every point, ascending by x. Frees run pages.
+  /// Only for groups the caller knows are small (leaf metablocks).
+  Result<std::vector<Point>> TakeAll() &&;
+
+  /// Child-boundary policy for PartitionTopY.
+  enum class SplitMode {
+    /// child i of f receives floor(rest/(f - i)) of what remains (zero-
+    /// want slots are skipped) — the metablock / PST rule.
+    kEven,
+    /// at least one point per child, boundaries never split an equal-x
+    /// run, last child takes the remainder — the augmented 3-sided rule
+    /// (routing by sub_xlo must equal membership).
+    kTieFreeX,
+  };
+
+  struct Partition {
+    /// The `keep` highest-y points (PointYOrder), descending by y.
+    std::vector<Point> top;
+    /// The rest, split into at most `fanout` non-empty x-contiguous
+    /// groups per the SplitMode, preserving x order.
+    std::vector<PointGroup> children;
+  };
+
+  /// Consumes the group (requires size() > keep): selects the top set and
+  /// distributes the rest. Run-backed input pages are freed behind the
+  /// distribution scan.
+  Result<Partition> PartitionTopY(uint32_t keep, uint32_t fanout,
+                                  SplitMode mode = SplitMode::kEven) &&;
+
+ private:
+  Pager* pager_ = nullptr;
+  bool resident_ = true;
+  std::vector<Point> mem_;
+  SortedRun run_;
+  uint64_t count_ = 0;
+  Coord first_x_ = 0;
+  Coord last_x_ = 0;
+};
+
+/// Sorts an arbitrarily-ordered point stream (ExternalSorter under the
+/// default budget) and stages the result as a group — the shared front
+/// half of every point-tree stream build. Sub-budget inputs stay
+/// resident and cost no device I/O.
+Result<PointGroup> SortPointStream(Pager* pager, RecordStream<Point>* points,
+                                   bool require_above_diagonal);
+
+}  // namespace ccidx
+
+#endif  // CCIDX_BUILD_POINT_GROUP_H_

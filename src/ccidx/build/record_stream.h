@@ -1,0 +1,209 @@
+// RecordStream: block-at-a-time record producers — the construction-side
+// dual of the query layer's ResultSink (DESIGN.md §6).
+//
+// Every bulk-build path in the library consumes records through this
+// interface, so construction never requires the caller to materialize the
+// full dataset: generators, device-resident sorted runs, and in-memory
+// vectors all present the same block-at-a-time face.
+//
+// Contract:
+//   * Next() returns the next block; an EMPTY span signals end-of-stream.
+//   * A returned span is valid only until the next Next() call — it may
+//     alias a pinned page or an internal scratch buffer.
+//   * After end-of-stream, further Next() calls keep returning empty.
+
+#ifndef CCIDX_BUILD_RECORD_STREAM_H_
+#define CCIDX_BUILD_RECORD_STREAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ccidx/common/status.h"
+
+namespace ccidx {
+
+/// Producer of records, block-at-a-time.
+template <typename T>
+class RecordStream {
+ public:
+  virtual ~RecordStream() = default;
+
+  /// Produces the next block (empty span = end of stream).
+  virtual Result<std::span<const T>> Next() = 0;
+};
+
+/// Default block granularity for in-memory producers.
+inline constexpr size_t kDefaultStreamBlock = 1024;
+
+/// Serves an in-memory span in fixed-size blocks (no copy: blocks alias
+/// the underlying storage, which must outlive the stream).
+template <typename T>
+class SpanStream final : public RecordStream<T> {
+ public:
+  explicit SpanStream(std::span<const T> records,
+                      size_t block_records = kDefaultStreamBlock)
+      : records_(records), block_(block_records == 0 ? 1 : block_records) {}
+
+  Result<std::span<const T>> Next() override {
+    size_t n = std::min(block_, records_.size() - pos_);
+    std::span<const T> out = records_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  std::span<const T> records_;
+  size_t block_;
+  size_t pos_ = 0;
+};
+
+/// Maps each record of an inner stream through `fn` (In -> Out), staging
+/// one block at a time.
+template <typename In, typename Out, typename Fn>
+class MapStream final : public RecordStream<Out> {
+ public:
+  MapStream(RecordStream<In>* in, Fn fn) : in_(in), fn_(std::move(fn)) {}
+
+  Result<std::span<const Out>> Next() override {
+    auto block = in_->Next();
+    CCIDX_RETURN_IF_ERROR(block.status());
+    buf_.clear();
+    buf_.reserve(block->size());
+    for (const In& v : *block) buf_.push_back(fn_(v));
+    return std::span<const Out>(buf_);
+  }
+
+ private:
+  RecordStream<In>* in_;
+  Fn fn_;
+  std::vector<Out> buf_;
+};
+
+/// Record-at-a-time view over a RecordStream, for consumers that need to
+/// split a stream at content-defined boundaries (e.g. one B+-tree bulk
+/// load per key group).
+template <typename T>
+class StreamCursor {
+ public:
+  explicit StreamCursor(RecordStream<T>* in) : in_(in) {}
+
+  /// Ensures block() is non-empty; returns false at end of stream.
+  Result<bool> Fill() {
+    while (pos_ >= block_.size()) {
+      if (eof_) return false;
+      auto next = in_->Next();
+      CCIDX_RETURN_IF_ERROR(next.status());
+      block_ = *next;
+      pos_ = 0;
+      if (block_.empty()) {
+        eof_ = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Unconsumed remainder of the current block (valid after Fill()).
+  std::span<const T> block() const { return block_.subspan(pos_); }
+
+  /// Consumes n records of the current block.
+  void Skip(size_t n) { pos_ += n; }
+
+ private:
+  RecordStream<T>* in_;
+  std::span<const T> block_;
+  size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+/// A record tagged with a grouping key: the unit the class indexes sort
+/// when one logical build fans out into many per-collection structures
+/// (key = collection ordinal).
+template <typename T>
+struct Keyed {
+  uint64_t key;
+  T rec;
+};
+
+/// Orders Keyed records by (key, Less on the payload).
+template <typename T, typename Less>
+struct KeyedLess {
+  Less less{};
+  bool operator()(const Keyed<T>& a, const Keyed<T>& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return less(a.rec, b.rec);
+  }
+};
+
+/// Iterates a key-sorted stream of Keyed<T> records group by group.
+/// Usage:
+///   GroupedStream<BtEntry> groups(&merged);
+///   uint64_t key;
+///   while (*groups.NextGroup(&key)) {        // check .status() first
+///     consume(groups.records());             // stream of this group's T
+///   }
+/// records() serves the current group's payloads and reports end-of-stream
+/// at the group boundary; NextGroup() skips any unconsumed remainder.
+template <typename T>
+class GroupedStream {
+ public:
+  explicit GroupedStream(RecordStream<Keyed<T>>* in)
+      : cursor_(in), records_(this) {}
+
+  /// Advances to the next group; false at end of the underlying stream.
+  Result<bool> NextGroup(uint64_t* key) {
+    // Skip whatever the consumer left of the current group.
+    while (true) {
+      auto has = cursor_.Fill();
+      CCIDX_RETURN_IF_ERROR(has.status());
+      if (!*has) return false;
+      if (!started_ || cursor_.block().front().key != key_) break;
+      std::span<const Keyed<T>> block = cursor_.block();
+      size_t n = 0;
+      while (n < block.size() && block[n].key == key_) n++;
+      cursor_.Skip(n);
+    }
+    key_ = cursor_.block().front().key;
+    started_ = true;
+    *key = key_;
+    return true;
+  }
+
+  /// Stream of the current group's payload records.
+  RecordStream<T>* records() { return &records_; }
+
+ private:
+  class GroupRecords final : public RecordStream<T> {
+   public:
+    explicit GroupRecords(GroupedStream* parent) : parent_(parent) {}
+
+    Result<std::span<const T>> Next() override {
+      auto has = parent_->cursor_.Fill();
+      CCIDX_RETURN_IF_ERROR(has.status());
+      buf_.clear();
+      if (!*has) return std::span<const T>(buf_);
+      std::span<const Keyed<T>> block = parent_->cursor_.block();
+      size_t n = 0;
+      while (n < block.size() && block[n].key == parent_->key_) n++;
+      buf_.reserve(n);
+      for (size_t i = 0; i < n; ++i) buf_.push_back(block[i].rec);
+      parent_->cursor_.Skip(n);
+      return std::span<const T>(buf_);
+    }
+
+   private:
+    GroupedStream* parent_;
+    std::vector<T> buf_;
+  };
+
+  StreamCursor<Keyed<T>> cursor_;
+  GroupRecords records_;
+  uint64_t key_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_BUILD_RECORD_STREAM_H_

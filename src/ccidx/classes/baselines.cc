@@ -2,12 +2,85 @@
 
 #include <optional>
 
+#include "ccidx/classes/class_build_util.h"
+
 namespace ccidx {
+
+namespace {
+
+// Drains an object stream, tagging each object's replicas with the
+// collection ordinals `fan` yields, then bulk-loads every collection tree
+// from the merged sorted stream. The per-scheme Build functions differ
+// only in the fan-out rule.
+template <typename Fan>
+Status BulkLoadCollections(Pager* pager, const ClassHierarchy& h,
+                           RecordStream<Object>* objects,
+                           std::vector<BPlusTree>* trees, uint64_t* count,
+                           Fan fan) {
+  internal::CollectionSorter sorter(pager);
+  uint64_t n = 0;
+  while (true) {
+    auto block = objects->Next();
+    CCIDX_RETURN_IF_ERROR(block.status());
+    if (block->empty()) break;
+    for (const Object& o : *block) {
+      if (o.class_id >= h.size()) {
+        return Status::InvalidArgument("unknown class");
+      }
+      CCIDX_RETURN_IF_ERROR(fan(o, &sorter));
+      n++;
+    }
+  }
+  auto merged = sorter.Finish();
+  CCIDX_RETURN_IF_ERROR(merged.status());
+  CCIDX_RETURN_IF_ERROR(internal::LoadGroupedTrees(pager, *merged, trees));
+  *count = n;
+  return Status::OK();
+}
+
+}  // namespace
 
 SingleIndexBaseline::SingleIndexBaseline(Pager* pager,
                                          const ClassHierarchy* hierarchy)
     : hierarchy_(hierarchy), tree_(pager) {
   CCIDX_CHECK(hierarchy_ != nullptr && hierarchy_->frozen());
+}
+
+Result<SingleIndexBaseline> SingleIndexBaseline::Build(
+    Pager* pager, const ClassHierarchy* hierarchy,
+    RecordStream<Object>* objects) {
+  if (hierarchy == nullptr || !hierarchy->frozen()) {
+    return Status::InvalidArgument("hierarchy must be frozen");
+  }
+  SingleIndexBaseline index(pager, hierarchy);
+  AllocationScope scope(pager);
+  ExternalSorter<BtEntry> sorter(pager);
+  while (true) {
+    auto block = objects->Next();
+    CCIDX_RETURN_IF_ERROR(block.status());
+    if (block->empty()) break;
+    for (const Object& o : *block) {
+      if (o.class_id >= hierarchy->size()) {
+        return Status::InvalidArgument("unknown class");
+      }
+      CCIDX_RETURN_IF_ERROR(
+          sorter.Add({o.attr, o.id, hierarchy->code(o.class_id)}));
+    }
+  }
+  auto merged = sorter.Finish();
+  CCIDX_RETURN_IF_ERROR(merged.status());
+  auto tree = BPlusTree::BulkLoad(pager, *merged);
+  CCIDX_RETURN_IF_ERROR(tree.status());
+  index.tree_ = std::move(*tree);
+  scope.Commit();
+  return index;
+}
+
+Result<SingleIndexBaseline> SingleIndexBaseline::Build(
+    Pager* pager, const ClassHierarchy* hierarchy,
+    std::span<const Object> objects) {
+  SpanStream<Object> stream(objects);
+  return Build(pager, hierarchy, &stream);
 }
 
 Status SingleIndexBaseline::Insert(const Object& o) {
@@ -50,6 +123,35 @@ FullExtentIndex::FullExtentIndex(Pager* pager,
   for (uint32_t i = 0; i < hierarchy_->size(); ++i) {
     trees_.emplace_back(pager);
   }
+}
+
+Result<FullExtentIndex> FullExtentIndex::Build(Pager* pager,
+                                               const ClassHierarchy* hierarchy,
+                                               RecordStream<Object>* objects) {
+  if (hierarchy == nullptr || !hierarchy->frozen()) {
+    return Status::InvalidArgument("hierarchy must be frozen");
+  }
+  FullExtentIndex index(pager, hierarchy);
+  AllocationScope scope(pager);
+  const ClassHierarchy& h = *hierarchy;
+  CCIDX_RETURN_IF_ERROR(BulkLoadCollections(
+      pager, h, objects, &index.trees_, &index.size_,
+      [&h](const Object& o, internal::CollectionSorter* sorter) {
+        Coord code = h.code(o.class_id);
+        for (uint32_t c = o.class_id; c != kNoClass; c = h.parent(c)) {
+          CCIDX_RETURN_IF_ERROR(sorter->Add({c, {o.attr, o.id, code}}));
+        }
+        return Status::OK();
+      }));
+  scope.Commit();
+  return index;
+}
+
+Result<FullExtentIndex> FullExtentIndex::Build(Pager* pager,
+                                               const ClassHierarchy* hierarchy,
+                                               std::span<const Object> objects) {
+  SpanStream<Object> stream(objects);
+  return Build(pager, hierarchy, &stream);
 }
 
 Status FullExtentIndex::Insert(const Object& o) {
@@ -106,6 +208,31 @@ ExtentOnlyIndex::ExtentOnlyIndex(Pager* pager,
   for (uint32_t i = 0; i < hierarchy_->size(); ++i) {
     trees_.emplace_back(pager);
   }
+}
+
+Result<ExtentOnlyIndex> ExtentOnlyIndex::Build(Pager* pager,
+                                               const ClassHierarchy* hierarchy,
+                                               RecordStream<Object>* objects) {
+  if (hierarchy == nullptr || !hierarchy->frozen()) {
+    return Status::InvalidArgument("hierarchy must be frozen");
+  }
+  ExtentOnlyIndex index(pager, hierarchy);
+  AllocationScope scope(pager);
+  const ClassHierarchy& h = *hierarchy;
+  CCIDX_RETURN_IF_ERROR(BulkLoadCollections(
+      pager, h, objects, &index.trees_, &index.size_,
+      [&h](const Object& o, internal::CollectionSorter* sorter) {
+        return sorter->Add({o.class_id, {o.attr, o.id, h.code(o.class_id)}});
+      }));
+  scope.Commit();
+  return index;
+}
+
+Result<ExtentOnlyIndex> ExtentOnlyIndex::Build(Pager* pager,
+                                               const ClassHierarchy* hierarchy,
+                                               std::span<const Object> objects) {
+  SpanStream<Object> stream(objects);
+  return Build(pager, hierarchy, &stream);
 }
 
 Status ExtentOnlyIndex::Insert(const Object& o) {

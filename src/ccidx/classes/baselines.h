@@ -17,9 +17,11 @@
 #ifndef CCIDX_CLASSES_BASELINES_H_
 #define CCIDX_CLASSES_BASELINES_H_
 
+#include <span>
 #include <vector>
 
 #include "ccidx/bptree/bptree.h"
+#include "ccidx/build/record_stream.h"
 #include "ccidx/classes/hierarchy.h"
 
 namespace ccidx {
@@ -28,6 +30,14 @@ namespace ccidx {
 class SingleIndexBaseline {
  public:
   SingleIndexBaseline(Pager* pager, const ClassHierarchy* hierarchy);
+
+  /// Bulk-builds via one external sort + B+-tree bulk load. Fault-atomic.
+  static Result<SingleIndexBaseline> Build(Pager* pager,
+                                           const ClassHierarchy* hierarchy,
+                                           RecordStream<Object>* objects);
+  static Result<SingleIndexBaseline> Build(Pager* pager,
+                                           const ClassHierarchy* hierarchy,
+                                           std::span<const Object> objects);
 
   Status Insert(const Object& o);
   Status Delete(const Object& o, bool* found);
@@ -50,6 +60,15 @@ class FullExtentIndex {
  public:
   FullExtentIndex(Pager* pager, const ClassHierarchy* hierarchy);
 
+  /// Bulk-builds: one external sort of the per-ancestor replicas, then a
+  /// bulk load per class tree. Fault-atomic.
+  static Result<FullExtentIndex> Build(Pager* pager,
+                                       const ClassHierarchy* hierarchy,
+                                       RecordStream<Object>* objects);
+  static Result<FullExtentIndex> Build(Pager* pager,
+                                       const ClassHierarchy* hierarchy,
+                                       std::span<const Object> objects);
+
   /// O(depth * log_B n) I/Os: inserts into every ancestor's tree.
   Status Insert(const Object& o);
   Status Delete(const Object& o, bool* found);
@@ -70,6 +89,15 @@ class FullExtentIndex {
 class ExtentOnlyIndex {
  public:
   ExtentOnlyIndex(Pager* pager, const ClassHierarchy* hierarchy);
+
+  /// Bulk-builds: one external sort by (class, attr), then a bulk load
+  /// per extent tree. Fault-atomic.
+  static Result<ExtentOnlyIndex> Build(Pager* pager,
+                                       const ClassHierarchy* hierarchy,
+                                       RecordStream<Object>* objects);
+  static Result<ExtentOnlyIndex> Build(Pager* pager,
+                                       const ClassHierarchy* hierarchy,
+                                       std::span<const Object> objects);
 
   /// O(log_B n) I/Os.
   Status Insert(const Object& o);

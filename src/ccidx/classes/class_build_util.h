@@ -1,0 +1,47 @@
+// Shared bulk-build plumbing for the class indexes (DESIGN.md §6).
+//
+// Every class-indexing scheme fans one logical object stream out into
+// many per-collection B+-trees (canonical range-tree nodes, ancestor
+// extents, own extents). The bulk path is the same for all of them: tag
+// each replicated entry with its collection ordinal, external-sort the
+// tagged records by (collection, entry), then bulk-load each collection's
+// tree from its contiguous group of the merged stream — one sort plus
+// O(total/B) build I/Os, never materializing the replicated set.
+
+#ifndef CCIDX_CLASSES_CLASS_BUILD_UTIL_H_
+#define CCIDX_CLASSES_CLASS_BUILD_UTIL_H_
+
+#include <vector>
+
+#include "ccidx/bptree/bptree.h"
+#include "ccidx/build/external_sorter.h"
+#include "ccidx/build/record_stream.h"
+
+namespace ccidx {
+namespace internal {
+
+/// Sorter over (collection ordinal, BtEntry) records.
+using CollectionSorter =
+    ExternalSorter<Keyed<BtEntry>, KeyedLess<BtEntry, std::less<BtEntry>>>;
+
+/// Bulk-loads (*trees)[key] from each key group of the merged stream.
+inline Status LoadGroupedTrees(Pager* pager,
+                               RecordStream<Keyed<BtEntry>>* merged,
+                               std::vector<BPlusTree>* trees) {
+  GroupedStream<BtEntry> groups(merged);
+  while (true) {
+    uint64_t key = 0;
+    auto has = groups.NextGroup(&key);
+    CCIDX_RETURN_IF_ERROR(has.status());
+    if (!*has) return Status::OK();
+    CCIDX_CHECK(key < trees->size());
+    auto tree = BPlusTree::BulkLoad(pager, groups.records());
+    CCIDX_RETURN_IF_ERROR(tree.status());
+    (*trees)[key] = std::move(*tree);
+  }
+}
+
+}  // namespace internal
+}  // namespace ccidx
+
+#endif  // CCIDX_CLASSES_CLASS_BUILD_UTIL_H_

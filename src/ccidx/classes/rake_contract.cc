@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <optional>
 
+#include "ccidx/build/external_sorter.h"
+#include "ccidx/build/point_group.h"
+
 namespace ccidx {
 
 std::vector<uint32_t> ComputeThickEdges(const ClassHierarchy& h) {
@@ -36,19 +39,19 @@ uint32_t ThinEdgesToRoot(const ClassHierarchy& h,
 
 Result<RakeContractIndex> RakeContractIndex::Build(
     Pager* pager, const ClassHierarchy* hierarchy,
-    const std::vector<Object>& objects) {
+    RecordStream<Object>* objects) {
   if (hierarchy == nullptr || !hierarchy->frozen()) {
     return Status::InvalidArgument("hierarchy must be frozen");
   }
   const ClassHierarchy& h = *hierarchy;
   RakeContractIndex index(hierarchy);
+  AllocationScope scope(pager);
 
   // Thick-path decomposition (label-edges).
   std::vector<uint32_t> thick = ComputeThickEdges(h);
   index.path_of_.assign(h.size(), 0);
   index.pos_in_path_.assign(h.size(), 0);
   std::vector<std::vector<uint32_t>> path_classes;
-  std::vector<uint32_t> path_top;
   for (uint32_t c = 0; c < h.size(); ++c) {
     // c is a path top iff it is a root or its parent edge is thin.
     uint32_t p = h.parent(c);
@@ -59,61 +62,108 @@ Result<RakeContractIndex> RakeContractIndex::Build(
       index.pos_in_path_[v] = static_cast<Coord>(cls.size());
       cls.push_back(v);
     }
-    path_top.push_back(c);
     path_classes.push_back(std::move(cls));
   }
 
   // Distribute objects: each object lands in its own class's path, and in
   // the path of every class reached by walking thin edges toward the root
-  // (the rake/contract "copy collection to parent" steps).
-  std::vector<std::vector<Point>> path_points(path_classes.size());
+  // (the rake/contract "copy collection to parent" steps). The tagged
+  // copies are external-sorted by (path, point) in one pass.
+  ExternalSorter<Keyed<Point>, KeyedLess<Point, PointXOrder>> sorter(pager);
   uint32_t max_rep = 0;
-  for (const Object& o : objects) {
-    if (o.class_id >= h.size()) {
-      return Status::InvalidArgument("object with unknown class");
+  while (true) {
+    auto block = objects->Next();
+    CCIDX_RETURN_IF_ERROR(block.status());
+    if (block->empty()) break;
+    for (const Object& o : *block) {
+      if (o.class_id >= h.size()) {
+        return Status::InvalidArgument("object with unknown class");
+      }
+      uint32_t copies = 0;
+      uint32_t c = o.class_id;
+      while (true) {
+        size_t pid = index.path_of_[c];
+        CCIDX_RETURN_IF_ERROR(
+            sorter.Add({pid, {o.attr, index.pos_in_path_[c], o.id}}));
+        copies++;
+        uint32_t top = path_classes[pid].front();
+        uint32_t p = h.parent(top);
+        if (p == kNoClass) break;
+        c = p;  // thin edge: the copy lands at the attachment class
+      }
+      max_rep = std::max(max_rep, copies);
     }
-    uint32_t copies = 0;
-    uint32_t c = o.class_id;
-    while (true) {
-      size_t pid = index.path_of_[c];
-      path_points[pid].push_back({o.attr, index.pos_in_path_[c], o.id});
-      copies++;
-      uint32_t top = path_classes[pid].front();
-      uint32_t p = h.parent(top);
-      if (p == kNoClass) break;
-      c = p;  // thin edge: the copy lands at the attachment class
-    }
-    max_rep = std::max(max_rep, copies);
   }
   index.max_replication_ = max_rep;
 
-  // One structure per path: raked B+-tree for singletons, 3-sided tree for
-  // longer paths. Full extent of class at position i == points with y >= i.
+  // One structure per path: raked B+-tree for singletons, 3-sided tree
+  // for longer paths. Full extent of class at position i == points with
+  // y >= i. Paths stream their groups out of the merged sorted run in
+  // ordinal order; paths with no objects build empty.
+  auto merged = sorter.Finish();
+  CCIDX_RETURN_IF_ERROR(merged.status());
+  GroupedStream<Point> groups(*merged);
+  uint64_t group_key = 0;
+  auto has_group = groups.NextGroup(&group_key);
+  CCIDX_RETURN_IF_ERROR(has_group.status());
+  bool pending = *has_group;
   for (size_t pid = 0; pid < path_classes.size(); ++pid) {
+    const bool populated = pending && group_key == pid;
     if (path_classes[pid].size() == 1) {
-      std::vector<BtEntry> entries;
-      entries.reserve(path_points[pid].size());
-      for (const Point& pt : path_points[pid]) {
-        entries.push_back({pt.x, pt.id,
-                           h.code(path_classes[pid][0])});
+      Result<BPlusTree> bt = BPlusTree(pager);
+      if (populated) {
+        // Within one path the points ascend by (x, pos, id); a singleton
+        // path has constant pos, so the mapped entries ascend by
+        // (key, value) as BulkLoad requires.
+        Coord code = h.code(path_classes[pid][0]);
+        auto to_entry = [code](const Point& pt) {
+          return BtEntry{pt.x, pt.id, code};
+        };
+        MapStream<Point, BtEntry, decltype(to_entry)> entries(
+            groups.records(), to_entry);
+        bt = BPlusTree::BulkLoad(pager, &entries);
+        CCIDX_RETURN_IF_ERROR(bt.status());
       }
-      std::sort(entries.begin(), entries.end());
-      auto bt = BPlusTree::BulkLoad(pager, entries);
-      CCIDX_RETURN_IF_ERROR(bt.status());
-      auto ts = AugmentedThreeSidedTree::Build(pager, {});
+      auto ts = AugmentedThreeSidedTree::Build(pager, std::vector<Point>{});
       CCIDX_RETURN_IF_ERROR(ts.status());
       index.paths_.emplace_back(std::move(*bt), std::move(*ts), true,
                                 path_classes[pid]);
     } else {
-      auto ts =
-          AugmentedThreeSidedTree::Build(pager, std::move(path_points[pid]));
+      Result<AugmentedThreeSidedTree> ts =
+          AugmentedThreeSidedTree::Build(pager, std::vector<Point>{});
+      if (populated) {
+        auto group = PointGroup::FromStream(
+            pager, groups.records(), DefaultSortBudget(pager, sizeof(Point)),
+            /*require_above_diagonal=*/false);
+        CCIDX_RETURN_IF_ERROR(group.status());
+        ts = AugmentedThreeSidedTree::Build(pager, std::move(*group));
+      }
       CCIDX_RETURN_IF_ERROR(ts.status());
       BPlusTree bt(pager);
       index.paths_.emplace_back(std::move(bt), std::move(*ts), false,
                                 path_classes[pid]);
     }
+    if (populated) {
+      has_group = groups.NextGroup(&group_key);
+      CCIDX_RETURN_IF_ERROR(has_group.status());
+      pending = *has_group;
+    }
   }
+  scope.Commit();
   return index;
+}
+
+Result<RakeContractIndex> RakeContractIndex::Build(
+    Pager* pager, const ClassHierarchy* hierarchy,
+    std::span<const Object> objects) {
+  SpanStream<Object> stream(objects);
+  return Build(pager, hierarchy, &stream);
+}
+
+Result<RakeContractIndex> RakeContractIndex::Build(
+    Pager* pager, const ClassHierarchy* hierarchy,
+    const std::vector<Object>& objects) {
+  return Build(pager, hierarchy, std::span<const Object>(objects));
 }
 
 Status RakeContractIndex::Query(uint32_t class_id, Coord a1, Coord a2,

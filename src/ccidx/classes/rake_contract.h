@@ -33,9 +33,11 @@
 #ifndef CCIDX_CLASSES_RAKE_CONTRACT_H_
 #define CCIDX_CLASSES_RAKE_CONTRACT_H_
 
+#include <span>
 #include <vector>
 
 #include "ccidx/bptree/bptree.h"
+#include "ccidx/build/record_stream.h"
 #include "ccidx/classes/hierarchy.h"
 #include "ccidx/core/augmented_three_sided_tree.h"
 
@@ -54,7 +56,19 @@ uint32_t ThinEdgesToRoot(const ClassHierarchy& h,
 /// Theorem 4.7 class index (bulk build + semi-dynamic inserts).
 class RakeContractIndex {
  public:
-  /// Builds over a frozen hierarchy and an object set.
+  /// Builds over a frozen hierarchy from a stream of objects: each
+  /// object's <= log2 c + 1 path copies are tagged with their thick-path
+  /// ordinal and external-sorted once; every path structure then
+  /// bulk-loads from its contiguous group of the merged stream.
+  /// Fault-atomic.
+  static Result<RakeContractIndex> Build(Pager* pager,
+                                         const ClassHierarchy* hierarchy,
+                                         RecordStream<Object>* objects);
+
+  /// In-memory wrappers over the stream build.
+  static Result<RakeContractIndex> Build(Pager* pager,
+                                         const ClassHierarchy* hierarchy,
+                                         std::span<const Object> objects);
   static Result<RakeContractIndex> Build(Pager* pager,
                                          const ClassHierarchy* hierarchy,
                                          const std::vector<Object>& objects);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "ccidx/classes/class_build_util.h"
+
 namespace ccidx {
 
 SimpleClassIndex::SimpleClassIndex(Pager* pager,
@@ -15,6 +17,56 @@ SimpleClassIndex::SimpleClassIndex(Pager* pager,
   for (size_t i = 0; i < nodes_.size(); ++i) {
     trees_.emplace_back(pager);
   }
+}
+
+Result<SimpleClassIndex> SimpleClassIndex::Build(
+    Pager* pager, const ClassHierarchy* hierarchy,
+    RecordStream<Object>* objects) {
+  if (hierarchy == nullptr || !hierarchy->frozen()) {
+    return Status::InvalidArgument("hierarchy must be frozen");
+  }
+  SimpleClassIndex index(pager, hierarchy);
+  AllocationScope scope(pager);
+  internal::CollectionSorter sorter(pager);
+  std::vector<size_t> path;
+  uint64_t n = 0;
+  while (true) {
+    auto block = objects->Next();
+    CCIDX_RETURN_IF_ERROR(block.status());
+    if (block->empty()) break;
+    for (const Object& o : *block) {
+      if (o.class_id >= hierarchy->size()) {
+        return Status::InvalidArgument("unknown class");
+      }
+      Coord code = hierarchy->code(o.class_id);
+      path.clear();
+      index.PathTo(code, &path);
+      for (size_t node : path) {
+        CCIDX_RETURN_IF_ERROR(sorter.Add({node, {o.attr, o.id, code}}));
+      }
+      n++;
+    }
+  }
+  auto merged = sorter.Finish();
+  CCIDX_RETURN_IF_ERROR(merged.status());
+  CCIDX_RETURN_IF_ERROR(
+      internal::LoadGroupedTrees(pager, *merged, &index.trees_));
+  index.size_ = n;
+  scope.Commit();
+  return index;
+}
+
+Result<SimpleClassIndex> SimpleClassIndex::Build(
+    Pager* pager, const ClassHierarchy* hierarchy,
+    std::span<const Object> objects) {
+  SpanStream<Object> stream(objects);
+  return Build(pager, hierarchy, &stream);
+}
+
+Result<SimpleClassIndex> SimpleClassIndex::Build(
+    Pager* pager, const ClassHierarchy* hierarchy,
+    std::vector<Object>&& objects) {
+  return Build(pager, hierarchy, std::span<const Object>(objects));
 }
 
 size_t SimpleClassIndex::BuildNode(Coord lo, Coord hi) {

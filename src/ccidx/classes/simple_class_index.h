@@ -18,9 +18,11 @@
 #ifndef CCIDX_CLASSES_SIMPLE_CLASS_INDEX_H_
 #define CCIDX_CLASSES_SIMPLE_CLASS_INDEX_H_
 
+#include <span>
 #include <vector>
 
 #include "ccidx/bptree/bptree.h"
+#include "ccidx/build/record_stream.h"
 #include "ccidx/classes/hierarchy.h"
 
 namespace ccidx {
@@ -30,6 +32,22 @@ class SimpleClassIndex {
  public:
   /// `hierarchy` must be frozen and outlive the index.
   SimpleClassIndex(Pager* pager, const ClassHierarchy* hierarchy);
+
+  /// Bulk-builds from a stream of objects: each object's log2 c covering
+  /// collections are tagged and external-sorted once, then every
+  /// collection bulk-loads from its group of the merged stream —
+  /// O(log2 c) sorted replicas, never materialized. Fault-atomic.
+  static Result<SimpleClassIndex> Build(Pager* pager,
+                                        const ClassHierarchy* hierarchy,
+                                        RecordStream<Object>* objects);
+
+  /// In-memory wrappers over the stream build.
+  static Result<SimpleClassIndex> Build(Pager* pager,
+                                        const ClassHierarchy* hierarchy,
+                                        std::span<const Object> objects);
+  static Result<SimpleClassIndex> Build(Pager* pager,
+                                        const ClassHierarchy* hierarchy,
+                                        std::vector<Object>&& objects);
 
   /// Inserts an object. O(log2 c * log_B n) I/Os.
   Status Insert(const Object& o);

@@ -98,7 +98,7 @@ Status AugmentedMetablockTree::RebuildOrganizations(Control* ctrl,
 }
 
 Result<AugmentedMetablockTree::BuiltNode>
-AugmentedMetablockTree::BuildNode(Pager* pager, std::vector<Point> group,
+AugmentedMetablockTree::BuildNode(Pager* pager, PointGroup group,
                                   uint32_t branching) {
   const uint32_t b2 = branching * branching;
   CCIDX_CHECK(!group.empty());
@@ -117,34 +117,24 @@ AugmentedMetablockTree::BuildNode(Pager* pager, std::vector<Point> group,
   ctrl.td_update_page = kInvalidPageId;
   ctrl.update_ymax = kCoordMin;
   ctrl.desc_ymax = kCoordMin;
-  ctrl.sub_xlo = group.front().x;
-  ctrl.sub_xhi = group.back().x;
+  ctrl.sub_xlo = group.first_x();
+  ctrl.sub_xhi = group.last_x();
   ctrl.update_page = pager->Allocate();
   CCIDX_RETURN_IF_ERROR(io.WriteRecords<Point>(ctrl.update_page, {}));
 
   std::vector<Point> own;
   if (group.size() <= b2) {
-    own = std::move(group);
+    auto all = std::move(group).TakeAll();
+    CCIDX_RETURN_IF_ERROR(all.status());
+    own = std::move(*all);
   } else {
-    std::vector<Point> by_y = group;
-    std::sort(by_y.begin(), by_y.end(), DescY);
-    const Point cutoff = by_y[b2 - 1];
-    own.assign(by_y.begin(), by_y.begin() + b2);
-    std::vector<Point> rest;
-    rest.reserve(group.size() - b2);
-    for (const Point& p : group) {
-      if (PointYOrder()(p, cutoff)) rest.push_back(p);
-    }
+    auto part = std::move(group).PartitionTopY(b2, branching);
+    CCIDX_RETURN_IF_ERROR(part.status());
+    own = std::move(part->top);
 
     std::vector<ChildEntry> child_entries;
     std::vector<Point> left_union;
-    size_t taken = 0;
-    for (uint32_t i = 0; i < branching && taken < rest.size(); ++i) {
-      size_t want = (rest.size() - taken) / (branching - i);
-      if (want == 0) continue;
-      std::vector<Point> sub(rest.begin() + taken,
-                             rest.begin() + taken + want);
-      taken += want;
+    for (PointGroup& sub : part->children) {
       auto child = BuildNode(pager, std::move(sub), branching);
       CCIDX_RETURN_IF_ERROR(child.status());
       if (!left_union.empty()) {
@@ -204,27 +194,45 @@ AugmentedMetablockTree::BuildNode(Pager* pager, std::vector<Point> group,
 }
 
 Result<AugmentedMetablockTree> AugmentedMetablockTree::Build(
-    Pager* pager, std::vector<Point> points) {
+    Pager* pager, PointGroup points) {
   PageIo io(pager);
   const uint32_t branching = io.CapacityFor(sizeof(Point));
   if (branching < 8 || sizeof(Control) > pager->page_size()) {
     return Status::InvalidArgument(
         "page size too small for augmented metablock tree (need B >= 8)");
   }
-  for (const Point& p : points) {
-    if (p.y < p.x) {
-      return Status::InvalidArgument("points must satisfy y >= x");
-    }
-  }
   if (points.empty()) {
     return AugmentedMetablockTree(pager, kInvalidPageId, 0, branching);
   }
+  AllocationScope scope(pager);
   uint64_t n = points.size();
-  std::sort(points.begin(), points.end(), PointXOrder());
   auto root = BuildNode(pager, std::move(points), branching);
   CCIDX_RETURN_IF_ERROR(root.status());
   CCIDX_RETURN_IF_ERROR(WriteControl(pager, root->control_page, root->ctrl));
+  scope.Commit();
   return AugmentedMetablockTree(pager, root->control_page, n, branching);
+}
+
+Result<AugmentedMetablockTree> AugmentedMetablockTree::Build(
+    Pager* pager, RecordStream<Point>* points) {
+  AllocationScope scope(pager);
+  auto group = SortPointStream(pager, points, /*require_above_diagonal=*/true);
+  CCIDX_RETURN_IF_ERROR(group.status());
+  auto tree = Build(pager, std::move(*group));
+  CCIDX_RETURN_IF_ERROR(tree.status());
+  scope.Commit();
+  return tree;
+}
+
+Result<AugmentedMetablockTree> AugmentedMetablockTree::Build(
+    Pager* pager, std::span<const Point> points) {
+  SpanStream<Point> stream(points);
+  return Build(pager, &stream);
+}
+
+Result<AugmentedMetablockTree> AugmentedMetablockTree::Build(
+    Pager* pager, std::vector<Point>&& points) {
+  return Build(pager, std::span<const Point>(points));
 }
 
 // ---------------------------------------------------------------------------
@@ -534,7 +542,8 @@ Result<PageId> AugmentedMetablockTree::RebuildSubtree(PageId id) {
   CCIDX_RETURN_IF_ERROR(DestroySubtree(id, /*keep_ts=*/false));
   CCIDX_CHECK(!all.empty());
   std::sort(all.begin(), all.end(), PointXOrder());
-  auto built = BuildNode(pager_, std::move(all), branching_);
+  auto built = BuildNode(pager_, PointGroup::FromVector(std::move(all)),
+                         branching_);
   CCIDX_RETURN_IF_ERROR(built.status());
   if (!ts_points.empty()) {
     auto head = WriteDescYChain(pager_, std::move(ts_points));
@@ -551,7 +560,7 @@ Status AugmentedMetablockTree::Insert(const Point& p) {
     return Status::InvalidArgument("points must satisfy y >= x");
   }
   if (root_ == kInvalidPageId) {
-    auto built = BuildNode(pager_, {p}, branching_);
+    auto built = BuildNode(pager_, PointGroup::FromVector({p}), branching_);
     CCIDX_RETURN_IF_ERROR(built.status());
     CCIDX_RETURN_IF_ERROR(
         WriteControl(pager_, built->control_page, built->ctrl));
@@ -573,7 +582,8 @@ Status AugmentedMetablockTree::Insert(const Point& p) {
       CCIDX_RETURN_IF_ERROR(DestroySubtree(s.id, false));
     }
     std::sort(all.begin(), all.end(), PointXOrder());
-    auto built = BuildNode(pager_, std::move(all), branching_);
+    auto built = BuildNode(pager_, PointGroup::FromVector(std::move(all)),
+                           branching_);
     CCIDX_RETURN_IF_ERROR(built.status());
     CCIDX_RETURN_IF_ERROR(
         WriteControl(pager_, built->control_page, built->ctrl));

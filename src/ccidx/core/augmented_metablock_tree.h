@@ -40,8 +40,11 @@
 #ifndef CCIDX_CORE_AUGMENTED_METABLOCK_TREE_H_
 #define CCIDX_CORE_AUGMENTED_METABLOCK_TREE_H_
 
+#include <span>
 #include <vector>
 
+#include "ccidx/build/point_group.h"
+#include "ccidx/build/record_stream.h"
 #include "ccidx/core/blocking.h"
 #include "ccidx/core/corner_structure.h"
 #include "ccidx/core/geometry.h"
@@ -55,9 +58,20 @@ class AugmentedMetablockTree {
   /// Creates an empty tree.
   explicit AugmentedMetablockTree(Pager* pager);
 
-  /// Bulk-builds a balanced tree over `points` (y >= x required each).
+  /// Bulk-builds a balanced tree from an x-sorted group (y >= x required
+  /// each). The one construction implementation; fault-atomic.
   static Result<AugmentedMetablockTree> Build(Pager* pager,
-                                              std::vector<Point> points);
+                                              PointGroup points);
+
+  /// Bulk-builds from a stream in any order (external sort, then build).
+  static Result<AugmentedMetablockTree> Build(Pager* pager,
+                                              RecordStream<Point>* points);
+
+  /// In-memory wrappers over the stream build.
+  static Result<AugmentedMetablockTree> Build(Pager* pager,
+                                              std::span<const Point> points);
+  static Result<AugmentedMetablockTree> Build(Pager* pager,
+                                              std::vector<Point>&& points);
 
   /// Inserts one point (y >= x). Amortized O(log_B n + (log_B n)^2/B) I/Os.
   Status Insert(const Point& p);
@@ -140,8 +154,7 @@ class AugmentedMetablockTree {
                          uint32_t branching)
       : pager_(pager), root_(root), size_(size), branching_(branching) {}
 
-  static Result<BuiltNode> BuildNode(Pager* pager,
-                                     std::vector<Point> group_sorted_by_x,
+  static Result<BuiltNode> BuildNode(Pager* pager, PointGroup group,
                                      uint32_t branching);
   static Status WriteControl(Pager* pager, PageId id, const Control& c);
   Status LoadControl(PageId id, Control* c) const;

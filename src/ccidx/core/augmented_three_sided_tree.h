@@ -28,8 +28,11 @@
 #ifndef CCIDX_CORE_AUGMENTED_THREE_SIDED_TREE_H_
 #define CCIDX_CORE_AUGMENTED_THREE_SIDED_TREE_H_
 
+#include <span>
 #include <vector>
 
+#include "ccidx/build/point_group.h"
+#include "ccidx/build/record_stream.h"
 #include "ccidx/core/blocking.h"
 #include "ccidx/core/geometry.h"
 #include "ccidx/io/pager.h"
@@ -43,9 +46,20 @@ class AugmentedThreeSidedTree {
   /// Creates an empty tree (B >= 8 required; B from the pager page size).
   explicit AugmentedThreeSidedTree(Pager* pager);
 
-  /// Bulk-builds a balanced tree over arbitrary planar points.
+  /// Bulk-builds a balanced tree from an x-sorted group of arbitrary
+  /// planar points — the one construction implementation (fault-atomic).
   static Result<AugmentedThreeSidedTree> Build(Pager* pager,
-                                               std::vector<Point> points);
+                                               PointGroup points);
+
+  /// Bulk-builds from a stream in any order (external sort, then build).
+  static Result<AugmentedThreeSidedTree> Build(Pager* pager,
+                                               RecordStream<Point>* points);
+
+  /// In-memory wrappers over the stream build.
+  static Result<AugmentedThreeSidedTree> Build(Pager* pager,
+                                               std::span<const Point> points);
+  static Result<AugmentedThreeSidedTree> Build(Pager* pager,
+                                               std::vector<Point>&& points);
 
   /// Inserts one point.
   Status Insert(const Point& p);
@@ -126,8 +140,7 @@ class AugmentedThreeSidedTree {
                           uint32_t branching)
       : pager_(pager), root_(root), size_(size), branching_(branching) {}
 
-  static Result<BuiltNode> BuildNode(Pager* pager,
-                                     std::vector<Point> group_sorted_by_x,
+  static Result<BuiltNode> BuildNode(Pager* pager, PointGroup group,
                                      uint32_t branching);
   static Status WriteControl(Pager* pager, PageId id, const Control& c);
   Status LoadControl(PageId id, Control* c) const;

@@ -29,7 +29,7 @@ Status MetablockTree::LoadControl(PageId id, Control* c) const {
 }
 
 Result<MetablockTree::BuiltNode> MetablockTree::BuildNode(
-    Pager* pager, std::vector<Point> group, uint32_t branching,
+    Pager* pager, PointGroup group, uint32_t branching,
     const MetablockOptions& options) {
   const uint32_t b2 = branching * branching;
   CCIDX_CHECK(!group.empty());
@@ -43,36 +43,24 @@ Result<MetablockTree::BuiltNode> MetablockTree::BuildNode(
   ctrl.horiz_head = kInvalidPageId;
   ctrl.ts_head = kInvalidPageId;
   ctrl.corner_header = kInvalidPageId;
-  ctrl.sub_xlo = group.front().x;
-  ctrl.sub_xhi = group.back().x;
+  ctrl.sub_xlo = group.first_x();
+  ctrl.sub_xhi = group.last_x();
 
   std::vector<Point> own;
   if (group.size() <= b2) {
-    own = std::move(group);
+    auto all = std::move(group).TakeAll();
+    CCIDX_RETURN_IF_ERROR(all.status());
+    own = std::move(*all);
   } else {
     // The B^2 points with the largest y values stay here; the rest are
     // divided by x into `branching` groups, one child each (Fig. 8).
-    std::vector<Point> by_y = group;
-    std::sort(by_y.begin(), by_y.end(), DescY);
-    const Point cutoff = by_y[b2 - 1];  // smallest y kept in this metablock
-    own.assign(by_y.begin(), by_y.begin() + b2);
-    std::vector<Point> rest;
-    rest.reserve(group.size() - b2);
-    for (const Point& p : group) {  // preserves x order
-      // In `own` iff p >= cutoff in descending-y order.
-      if (PointYOrder()(p, cutoff)) rest.push_back(p);
-    }
-    CCIDX_CHECK(rest.size() == group.size() - b2);
+    auto part = std::move(group).PartitionTopY(b2, branching);
+    CCIDX_RETURN_IF_ERROR(part.status());
+    own = std::move(part->top);
 
     std::vector<ChildEntry> child_entries;
     std::vector<Point> left_union;  // own points of left siblings so far
-    size_t taken = 0;
-    for (uint32_t i = 0; i < branching && taken < rest.size(); ++i) {
-      size_t want = (rest.size() - taken) / (branching - i);
-      if (want == 0) continue;
-      std::vector<Point> sub(rest.begin() + taken,
-                             rest.begin() + taken + want);
-      taken += want;
+    for (PointGroup& sub : part->children) {
       auto child = BuildNode(pager, std::move(sub), branching, options);
       CCIDX_RETURN_IF_ERROR(child.status());
 
@@ -126,30 +114,49 @@ Result<MetablockTree::BuiltNode> MetablockTree::BuildNode(
   return node;
 }
 
-Result<MetablockTree> MetablockTree::Build(Pager* pager,
-                                           std::vector<Point> points,
+Result<MetablockTree> MetablockTree::Build(Pager* pager, PointGroup points,
                                            const MetablockOptions& options) {
   PageIo io(pager);
   const uint32_t branching = io.CapacityFor(sizeof(Point));
   if (branching < 2) {
     return Status::InvalidArgument("page size too small for metablock tree");
   }
-  for (const Point& p : points) {
-    if (p.y < p.x) {
-      return Status::InvalidArgument(
-          "metablock tree requires points with y >= x");
-    }
-  }
   if (points.empty()) {
     return MetablockTree(pager, kInvalidPageId, 0, branching, options);
   }
+  AllocationScope scope(pager);
   uint64_t n = points.size();
-  std::sort(points.begin(), points.end(), PointXOrder());
   auto root = BuildNode(pager, std::move(points), branching, options);
   CCIDX_RETURN_IF_ERROR(root.status());
   CCIDX_RETURN_IF_ERROR(
       WriteControl(pager, root->control_page, root->ctrl));
+  scope.Commit();
   return MetablockTree(pager, root->control_page, n, branching, options);
+}
+
+Result<MetablockTree> MetablockTree::Build(Pager* pager,
+                                           RecordStream<Point>* points,
+                                           const MetablockOptions& options) {
+  AllocationScope scope(pager);
+  auto group = SortPointStream(pager, points, /*require_above_diagonal=*/true);
+  CCIDX_RETURN_IF_ERROR(group.status());
+  auto tree = Build(pager, std::move(*group), options);
+  CCIDX_RETURN_IF_ERROR(tree.status());
+  scope.Commit();
+  return tree;
+}
+
+Result<MetablockTree> MetablockTree::Build(Pager* pager,
+                                           std::span<const Point> points,
+                                           const MetablockOptions& options) {
+  SpanStream<Point> stream(points);
+  return Build(pager, &stream, options);
+}
+
+Result<MetablockTree> MetablockTree::Build(Pager* pager,
+                                           std::vector<Point>&& points,
+                                           const MetablockOptions& options) {
+  return Build(pager, std::span<const Point>(points), options);
 }
 
 Status MetablockTree::ReportOwnPoints(const Control& ctrl, Coord a,

@@ -27,8 +27,11 @@
 #ifndef CCIDX_CORE_METABLOCK_TREE_H_
 #define CCIDX_CORE_METABLOCK_TREE_H_
 
+#include <span>
 #include <vector>
 
+#include "ccidx/build/point_group.h"
+#include "ccidx/build/record_stream.h"
 #include "ccidx/core/blocking.h"
 #include "ccidx/core/corner_structure.h"
 #include "ccidx/core/geometry.h"
@@ -58,9 +61,31 @@ struct MetablockOptions {
 /// insertions use AugmentedMetablockTree (Section 3.2).
 class MetablockTree {
  public:
-  /// Builds over `points`; every point must satisfy y >= x.
-  /// Space O(n/B) pages; build work is in-core.
-  static Result<MetablockTree> Build(Pager* pager, std::vector<Point> points,
+  /// Builds from an x-sorted group (resident or device-resident); every
+  /// point must satisfy y >= x. This is the one construction
+  /// implementation — the overloads below funnel here. Space O(n/B)
+  /// pages; build I/O O((n/B) log_B n); fault-atomic (a failed build
+  /// frees every page it allocated).
+  static Result<MetablockTree> Build(Pager* pager, PointGroup points,
+                                     const MetablockOptions& options = {});
+
+  /// Builds from a stream of points in any order, sorting externally via
+  /// ExternalSorter at O((n/B) log_{M/B}(n/B)) I/Os — datasets far larger
+  /// than main memory stage through device-resident runs.
+  static Result<MetablockTree> Build(Pager* pager,
+                                     RecordStream<Point>* points,
+                                     const MetablockOptions& options = {});
+
+  /// As above over an in-memory point set (streamed block-at-a-time; no
+  /// extra copy of the dataset is made beyond the sorter's bounded
+  /// working memory).
+  static Result<MetablockTree> Build(Pager* pager,
+                                     std::span<const Point> points,
+                                     const MetablockOptions& options = {});
+
+  /// Rvalue convenience (braced initializers, generator temporaries).
+  static Result<MetablockTree> Build(Pager* pager,
+                                     std::vector<Point>&& points,
                                      const MetablockOptions& options = {});
 
   /// Streams all points with x <= q.a and y >= q.a into `sink`,
@@ -132,8 +157,7 @@ class MetablockTree {
         branching_(branching),
         options_(options) {}
 
-  static Result<BuiltNode> BuildNode(Pager* pager,
-                                     std::vector<Point> group_sorted_by_x,
+  static Result<BuiltNode> BuildNode(Pager* pager, PointGroup group,
                                      uint32_t branching,
                                      const MetablockOptions& options);
   static Status WriteControl(Pager* pager, PageId id, const Control& c);

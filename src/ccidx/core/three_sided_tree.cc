@@ -35,7 +35,7 @@ Status ThreeSidedTree::LoadControl(PageId id, Control* c) const {
 }
 
 Result<ThreeSidedTree::BuiltNode> ThreeSidedTree::BuildNode(
-    Pager* pager, std::vector<Point> group, uint32_t branching) {
+    Pager* pager, PointGroup group, uint32_t branching) {
   const uint32_t b2 = branching * branching;
   CCIDX_CHECK(!group.empty());
   PageIo io(pager);
@@ -51,32 +51,22 @@ Result<ThreeSidedTree::BuiltNode> ThreeSidedTree::BuildNode(
   ctrl.ts_right_head = kInvalidPageId;
   ctrl.own_pst_root = kInvalidPageId;
   ctrl.children_pst_root = kInvalidPageId;
-  ctrl.sub_xlo = group.front().x;
-  ctrl.sub_xhi = group.back().x;
+  ctrl.sub_xlo = group.first_x();
+  ctrl.sub_xhi = group.last_x();
 
   std::vector<Point> own;
   if (group.size() <= b2) {
-    own = std::move(group);
+    auto all = std::move(group).TakeAll();
+    CCIDX_RETURN_IF_ERROR(all.status());
+    own = std::move(*all);
   } else {
-    std::vector<Point> by_y = group;
-    std::sort(by_y.begin(), by_y.end(), DescY);
-    const Point cutoff = by_y[b2 - 1];
-    own.assign(by_y.begin(), by_y.begin() + b2);
-    std::vector<Point> rest;
-    rest.reserve(group.size() - b2);
-    for (const Point& p : group) {
-      if (PointYOrder()(p, cutoff)) rest.push_back(p);
-    }
+    auto part = std::move(group).PartitionTopY(b2, branching);
+    CCIDX_RETURN_IF_ERROR(part.status());
+    own = std::move(part->top);
 
     // Build all children first; TS structures need both directions.
     std::vector<BuiltNode> children;
-    size_t taken = 0;
-    for (uint32_t i = 0; i < branching && taken < rest.size(); ++i) {
-      size_t want = (rest.size() - taken) / (branching - i);
-      if (want == 0) continue;
-      std::vector<Point> sub(rest.begin() + taken,
-                             rest.begin() + taken + want);
-      taken += want;
+    for (PointGroup& sub : part->children) {
       auto child = BuildNode(pager, std::move(sub), branching);
       CCIDX_RETURN_IF_ERROR(child.status());
       children.push_back(std::move(*child));
@@ -151,7 +141,7 @@ Result<ThreeSidedTree::BuiltNode> ThreeSidedTree::BuildNode(
 }
 
 Result<ThreeSidedTree> ThreeSidedTree::Build(Pager* pager,
-                                             std::vector<Point> points) {
+                                             PointGroup points) {
   PageIo io(pager);
   const uint32_t branching = io.CapacityFor(sizeof(Point));
   if (branching < 4 || sizeof(Control) > pager->page_size()) {
@@ -160,12 +150,36 @@ Result<ThreeSidedTree> ThreeSidedTree::Build(Pager* pager,
   if (points.empty()) {
     return ThreeSidedTree(pager, kInvalidPageId, 0, branching);
   }
+  AllocationScope scope(pager);
   uint64_t n = points.size();
-  std::sort(points.begin(), points.end(), PointXOrder());
   auto root = BuildNode(pager, std::move(points), branching);
   CCIDX_RETURN_IF_ERROR(root.status());
   CCIDX_RETURN_IF_ERROR(WriteControl(pager, root->control_page, root->ctrl));
+  scope.Commit();
   return ThreeSidedTree(pager, root->control_page, n, branching);
+}
+
+Result<ThreeSidedTree> ThreeSidedTree::Build(Pager* pager,
+                                             RecordStream<Point>* points) {
+  AllocationScope scope(pager);
+  auto group =
+      SortPointStream(pager, points, /*require_above_diagonal=*/false);
+  CCIDX_RETURN_IF_ERROR(group.status());
+  auto tree = Build(pager, std::move(*group));
+  CCIDX_RETURN_IF_ERROR(tree.status());
+  scope.Commit();
+  return tree;
+}
+
+Result<ThreeSidedTree> ThreeSidedTree::Build(Pager* pager,
+                                             std::span<const Point> points) {
+  SpanStream<Point> stream(points);
+  return Build(pager, &stream);
+}
+
+Result<ThreeSidedTree> ThreeSidedTree::Build(Pager* pager,
+                                             std::vector<Point>&& points) {
+  return Build(pager, std::span<const Point>(points));
 }
 
 Status ThreeSidedTree::ReportOwnPoints(const Control& ctrl, Coord xlo,

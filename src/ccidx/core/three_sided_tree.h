@@ -32,8 +32,11 @@
 #ifndef CCIDX_CORE_THREE_SIDED_TREE_H_
 #define CCIDX_CORE_THREE_SIDED_TREE_H_
 
+#include <span>
 #include <vector>
 
+#include "ccidx/build/point_group.h"
+#include "ccidx/build/record_stream.h"
 #include "ccidx/core/blocking.h"
 #include "ccidx/core/geometry.h"
 #include "ccidx/io/pager.h"
@@ -44,9 +47,19 @@ namespace ccidx {
 /// Static metablock tree answering 3-sided queries (Lemma 4.3).
 class ThreeSidedTree {
  public:
-  /// Builds over arbitrary planar points.
+  /// Builds from an x-sorted group of arbitrary planar points — the one
+  /// construction implementation (fault-atomic).
+  static Result<ThreeSidedTree> Build(Pager* pager, PointGroup points);
+
+  /// Builds from a stream in any order (external sort, then build).
   static Result<ThreeSidedTree> Build(Pager* pager,
-                                      std::vector<Point> points);
+                                      RecordStream<Point>* points);
+
+  /// In-memory wrappers over the stream build.
+  static Result<ThreeSidedTree> Build(Pager* pager,
+                                      std::span<const Point> points);
+  static Result<ThreeSidedTree> Build(Pager* pager,
+                                      std::vector<Point>&& points);
 
   /// Streams all points with q.xlo <= x <= q.xhi and y >= q.ylo into
   /// `sink`; kStop halts the slab walk, both one-sided paths, and every
@@ -98,8 +111,7 @@ class ThreeSidedTree {
   ThreeSidedTree(Pager* pager, PageId root, uint64_t size, uint32_t branching)
       : pager_(pager), root_(root), size_(size), branching_(branching) {}
 
-  static Result<BuiltNode> BuildNode(Pager* pager,
-                                     std::vector<Point> group_sorted_by_x,
+  static Result<BuiltNode> BuildNode(Pager* pager, PointGroup group,
                                      uint32_t branching);
   static Status WriteControl(Pager* pager, PageId id, const Control& c);
   Status LoadControl(PageId id, Control* c) const;

@@ -16,9 +16,11 @@
 #ifndef CCIDX_INTERVAL_DYNAMIC_INTERVAL_INDEX_H_
 #define CCIDX_INTERVAL_DYNAMIC_INTERVAL_INDEX_H_
 
+#include <span>
 #include <vector>
 
 #include "ccidx/bptree/bptree.h"
+#include "ccidx/build/record_stream.h"
 #include "ccidx/pst/dynamic_pst.h"
 #include "ccidx/testutil/oracles.h"  // Interval
 
@@ -29,8 +31,15 @@ class DynamicIntervalIndex {
  public:
   explicit DynamicIntervalIndex(Pager* pager);
 
+  /// Bulk-builds from a stream of intervals (see IntervalIndex::Build).
   static Result<DynamicIntervalIndex> Build(Pager* pager,
-                                            std::vector<Interval> intervals);
+                                            RecordStream<Interval>* intervals);
+
+  /// In-memory wrappers over the stream build.
+  static Result<DynamicIntervalIndex> Build(Pager* pager,
+                                            std::span<const Interval> intervals);
+  static Result<DynamicIntervalIndex> Build(Pager* pager,
+                                            std::vector<Interval>&& intervals);
 
   /// Amortized O(log2 n + (log2 n)^2/B) I/Os.
   Status Insert(const Interval& iv);

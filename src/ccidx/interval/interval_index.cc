@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ccidx/build/external_sorter.h"
 #include "ccidx/interval/interval_codec.h"
 
 namespace ccidx {
@@ -10,24 +11,47 @@ IntervalIndex::IntervalIndex(Pager* pager)
     : endpoints_(pager), stabbing_(pager) {}
 
 Result<IntervalIndex> IntervalIndex::Build(Pager* pager,
-                                           std::vector<Interval> intervals) {
-  std::vector<BtEntry> entries;
-  std::vector<Point> points;
-  entries.reserve(intervals.size());
-  points.reserve(intervals.size());
-  for (const Interval& iv : intervals) {
-    if (iv.lo > iv.hi) {
-      return Status::InvalidArgument("interval with lo > hi");
+                                           RecordStream<Interval>* intervals) {
+  AllocationScope scope(pager);
+  ExternalSorter<BtEntry> entry_sorter(pager);
+  ExternalSorter<Point, PointXOrder> point_sorter(pager);
+  while (true) {
+    auto block = intervals->Next();
+    CCIDX_RETURN_IF_ERROR(block.status());
+    if (block->empty()) break;
+    for (const Interval& iv : *block) {
+      if (iv.lo > iv.hi) {
+        return Status::InvalidArgument("interval with lo > hi");
+      }
+      CCIDX_RETURN_IF_ERROR(entry_sorter.Add({iv.lo, iv.id, iv.hi}));
+      CCIDX_RETURN_IF_ERROR(point_sorter.Add({iv.lo, iv.hi, iv.id}));
     }
-    entries.push_back({iv.lo, iv.id, iv.hi});
-    points.push_back({iv.lo, iv.hi, iv.id});
   }
-  std::sort(entries.begin(), entries.end());
-  auto endpoints = BPlusTree::BulkLoad(pager, entries);
+  auto sorted_entries = entry_sorter.Finish();
+  CCIDX_RETURN_IF_ERROR(sorted_entries.status());
+  auto endpoints = BPlusTree::BulkLoad(pager, *sorted_entries);
   CCIDX_RETURN_IF_ERROR(endpoints.status());
-  auto stabbing = AugmentedMetablockTree::Build(pager, std::move(points));
+  auto sorted_points = point_sorter.Finish();
+  CCIDX_RETURN_IF_ERROR(sorted_points.status());
+  auto points = PointGroup::FromStream(pager, *sorted_points,
+                                       point_sorter.budget(),
+                                       /*require_above_diagonal=*/true);
+  CCIDX_RETURN_IF_ERROR(points.status());
+  auto stabbing = AugmentedMetablockTree::Build(pager, std::move(*points));
   CCIDX_RETURN_IF_ERROR(stabbing.status());
+  scope.Commit();
   return IntervalIndex(std::move(*endpoints), std::move(*stabbing));
+}
+
+Result<IntervalIndex> IntervalIndex::Build(Pager* pager,
+                                           std::span<const Interval> intervals) {
+  SpanStream<Interval> stream(intervals);
+  return Build(pager, &stream);
+}
+
+Result<IntervalIndex> IntervalIndex::Build(Pager* pager,
+                                           std::vector<Interval>&& intervals) {
+  return Build(pager, std::span<const Interval>(intervals));
 }
 
 Status IntervalIndex::Insert(const Interval& iv) {

@@ -19,9 +19,11 @@
 #ifndef CCIDX_INTERVAL_INTERVAL_INDEX_H_
 #define CCIDX_INTERVAL_INTERVAL_INDEX_H_
 
+#include <span>
 #include <vector>
 
 #include "ccidx/bptree/bptree.h"
+#include "ccidx/build/record_stream.h"
 #include "ccidx/core/augmented_metablock_tree.h"
 #include "ccidx/testutil/oracles.h"  // Interval
 
@@ -34,9 +36,18 @@ class IntervalIndex {
   /// size determines B (see PageSizeForBranching); B >= 8 required.
   explicit IntervalIndex(Pager* pager);
 
-  /// Bulk-builds from a set of intervals.
+  /// Bulk-builds from a stream of intervals: one pass feeds two external
+  /// sorters (endpoints by lo, stabbing points by x), then both component
+  /// structures bulk-load from the sorted streams. Never materializes the
+  /// input; fault-atomic.
   static Result<IntervalIndex> Build(Pager* pager,
-                                     std::vector<Interval> intervals);
+                                     RecordStream<Interval>* intervals);
+
+  /// In-memory wrappers over the stream build.
+  static Result<IntervalIndex> Build(Pager* pager,
+                                     std::span<const Interval> intervals);
+  static Result<IntervalIndex> Build(Pager* pager,
+                                     std::vector<Interval>&& intervals);
 
   /// Inserts an interval (lo <= hi). Amortized O(log_B n + (log_B n)^2/B).
   Status Insert(const Interval& iv);

@@ -79,8 +79,44 @@ Pager::~Pager() {
   Flush().ok();
 }
 
+void Pager::RecordAllocation(PageId id) {
+  if (!alloc_scopes_.empty()) alloc_scopes_.back().insert(id);
+}
+
+void Pager::ForgetAllocation(PageId id) {
+  // A page is recorded in at most one scope; erase wherever it lives.
+  for (auto& scope : alloc_scopes_) {
+    if (scope.erase(id) > 0) return;
+  }
+}
+
+AllocationScope::AllocationScope(Pager* pager) : pager_(pager) {
+  pager_->alloc_scopes_.emplace_back();
+}
+
+AllocationScope::~AllocationScope() {
+  std::unordered_set<PageId> pages = std::move(pager_->alloc_scopes_.back());
+  pager_->alloc_scopes_.pop_back();
+  if (committed_) {
+    // Fold into the enclosing scope (if any) so an outer rollback still
+    // covers these pages.
+    if (!pager_->alloc_scopes_.empty()) {
+      pager_->alloc_scopes_.back().merge(pages);
+    }
+    return;
+  }
+  // Rollback: free every recorded page that is still live. Free() needs
+  // no device transfer, so this succeeds under active fault injection.
+  for (PageId id : pages) {
+    (void)pager_->Free(id);
+  }
+}
+
+void AllocationScope::Commit() { committed_ = true; }
+
 PageId Pager::Allocate() {
   PageId id = device_->Allocate();
+  RecordAllocation(id);
   if (capacity_ == 0) return id;
   // Freshly allocated pages are zeroed on the device; cache a zero copy so
   // the first write does not need a device read. Best-effort: if no frame
@@ -101,7 +137,9 @@ Status Pager::Free(PageId id) {
     lru_.erase(it->second);
     index_.erase(it);
   }
-  return device_->Free(id);
+  Status s = device_->Free(id);
+  if (s.ok()) ForgetAllocation(id);
+  return s;
 }
 
 Result<Pager::Frame*> Pager::GetFrame(PageId id, MutMode mode) {
@@ -241,6 +279,7 @@ Result<MutPageRef> Pager::PinNew() {
   // before returning ids to the device), so this claims and pins the frame
   // in a single miss with no redundant lookup or re-zeroing.
   PageId id = device_->Allocate();
+  RecordAllocation(id);
   pin_requests_++;
   if (capacity_ == 0) return TransientMutRef(id, MutMode::kOverwrite);
   auto frame = GetFrame(id, MutMode::kOverwrite);

@@ -28,6 +28,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ccidx/common/status.h"
@@ -160,6 +161,29 @@ class MutPageRef {
   size_t size_ = 0;
 };
 
+/// RAII allocation tracker for fault-atomic multi-page constructions
+/// (DESIGN.md §6). While a scope is active, every page allocated through
+/// the pager is recorded; unless Commit() is called, the destructor frees
+/// whichever recorded pages are still live. Rollback never reads the
+/// device (the ids are known), so it reclaims everything even while fault
+/// injection is rejecting transfers — chain-walking cleanup cannot.
+/// Scopes nest: committing an inner scope folds its pages into the
+/// enclosing one, so a sub-build participates in its caller's atomicity.
+class AllocationScope {
+ public:
+  explicit AllocationScope(Pager* pager);
+  ~AllocationScope();
+  AllocationScope(const AllocationScope&) = delete;
+  AllocationScope& operator=(const AllocationScope&) = delete;
+
+  /// Keeps the recorded pages (the build succeeded).
+  void Commit();
+
+ private:
+  Pager* pager_;
+  bool committed_ = false;
+};
+
 /// Buffer-pool front end for a BlockDevice. Pin-based access is the primary
 /// interface; dirty pages are written back on eviction or Flush.
 class Pager {
@@ -237,8 +261,14 @@ class Pager {
  private:
   friend class PageRef;
   friend class MutPageRef;
+  friend class AllocationScope;
 
   using Frame = internal::PageFrame;
+
+  // AllocationScope bookkeeping: Allocate/PinNew record into the active
+  // scope; Free forgets the id wherever it is recorded.
+  void RecordAllocation(PageId id);
+  void ForgetAllocation(PageId id);
 
   // Returns the resident frame for `id`, loading it from the device unless
   // `mode == kOverwrite` (then the frame is zero-filled). Only called when
@@ -275,6 +305,8 @@ class Pager {
   uint64_t pin_requests_ = 0;
   uint64_t outstanding_pins_ = 0;
   Status deferred_error_;
+  // Stack of active AllocationScopes (innermost last).
+  std::vector<std::unordered_set<PageId>> alloc_scopes_;
 };
 
 }  // namespace ccidx

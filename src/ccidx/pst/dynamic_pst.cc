@@ -45,38 +45,36 @@ Status DynamicPst::StoreNode(PageId id, NodeHeader& h,
   return ref->Release();
 }
 
-Result<PageId> DynamicPst::BuildNode(Pager* pager,
-                                     std::span<const Point> sorted_by_x,
+Result<PageId> DynamicPst::BuildNode(Pager* pager, PointGroup group,
                                      uint32_t cap) {
-  if (sorted_by_x.empty()) return kInvalidPageId;
+  if (group.empty()) return kInvalidPageId;
   NodeHeader h{};
   h.left = kInvalidPageId;
   h.right = kInvalidPageId;
-  h.sub_xlo = sorted_by_x.front().x;
-  h.sub_xhi = sorted_by_x.back().x;
-  h.weight = sorted_by_x.size();
+  h.sub_xlo = group.first_x();
+  h.sub_xhi = group.last_x();
+  h.weight = group.size();
 
   std::vector<Point> own;
-  std::vector<Point> pts(sorted_by_x.begin(), sorted_by_x.end());
-  if (pts.size() <= cap) {
-    own = std::move(pts);
+  if (group.size() <= cap) {
+    auto all = std::move(group).TakeAll();
+    CCIDX_RETURN_IF_ERROR(all.status());
+    own = std::move(*all);
   } else {
-    std::vector<Point> by_y = pts;
-    std::sort(by_y.begin(), by_y.end(), DescY);
-    const Point cutoff = by_y[cap - 1];
-    own.assign(by_y.begin(), by_y.begin() + cap);
-    std::vector<Point> rest;
-    rest.reserve(pts.size() - cap);
-    for (const Point& p : pts) {
-      if (PointYOrder()(p, cutoff)) rest.push_back(p);
+    auto part = std::move(group).PartitionTopY(cap, 2);
+    CCIDX_RETURN_IF_ERROR(part.status());
+    own = std::move(part->top);
+    PointGroup* left_group =
+        part->children.size() > 1 ? &part->children[0] : nullptr;
+    PointGroup* right_group =
+        part->children.size() > 1 ? &part->children[1] : &part->children[0];
+    if (left_group != nullptr) {
+      auto left = BuildNode(pager, std::move(*left_group), cap);
+      CCIDX_RETURN_IF_ERROR(left.status());
+      h.left = *left;
     }
-    size_t half = rest.size() / 2;
-    auto left = BuildNode(pager, {rest.data(), half}, cap);
-    CCIDX_RETURN_IF_ERROR(left.status());
-    auto right =
-        BuildNode(pager, {rest.data() + half, rest.size() - half}, cap);
+    auto right = BuildNode(pager, std::move(*right_group), cap);
     CCIDX_RETURN_IF_ERROR(right.status());
-    h.left = *left;
     h.right = *right;
   }
   std::sort(own.begin(), own.end(), DescY);
@@ -92,15 +90,39 @@ Result<PageId> DynamicPst::BuildNode(Pager* pager,
   return id;
 }
 
-Result<DynamicPst> DynamicPst::Build(Pager* pager,
-                                     std::vector<Point> points) {
+Result<DynamicPst> DynamicPst::Build(Pager* pager, PointGroup points) {
   DynamicPst tree(pager);
-  std::sort(points.begin(), points.end(), PointXOrder());
-  auto root = BuildNode(pager, points, tree.NodeCapacity());
+  AllocationScope scope(pager);
+  uint64_t n = points.size();
+  auto root = BuildNode(pager, std::move(points), tree.NodeCapacity());
   CCIDX_RETURN_IF_ERROR(root.status());
   tree.root_ = *root;
-  tree.size_ = points.size();
+  tree.size_ = n;
+  scope.Commit();
   return tree;
+}
+
+Result<DynamicPst> DynamicPst::Build(Pager* pager,
+                                     RecordStream<Point>* points) {
+  AllocationScope scope(pager);
+  auto group =
+      SortPointStream(pager, points, /*require_above_diagonal=*/false);
+  CCIDX_RETURN_IF_ERROR(group.status());
+  auto tree = Build(pager, std::move(*group));
+  CCIDX_RETURN_IF_ERROR(tree.status());
+  scope.Commit();
+  return tree;
+}
+
+Result<DynamicPst> DynamicPst::Build(Pager* pager,
+                                     std::span<const Point> points) {
+  return Build(pager, std::vector<Point>(points.begin(), points.end()));
+}
+
+Result<DynamicPst> DynamicPst::Build(Pager* pager,
+                                     std::vector<Point>&& points) {
+  std::sort(points.begin(), points.end(), PointXOrder());
+  return Build(pager, PointGroup::FromVector(std::move(points)));
 }
 
 Status DynamicPst::Insert(const Point& p) {
@@ -341,7 +363,8 @@ Status DynamicPst::RebuildAt(PageId* id) {
   CCIDX_RETURN_IF_ERROR(CollectNode(*id, &all));
   CCIDX_RETURN_IF_ERROR(FreeNode(*id));
   std::sort(all.begin(), all.end(), PointXOrder());
-  auto fresh = BuildNode(pager_, all, NodeCapacity());
+  auto fresh = BuildNode(pager_, PointGroup::FromVector(std::move(all)),
+                         NodeCapacity());
   CCIDX_RETURN_IF_ERROR(fresh.status());
   *id = *fresh;
   return Status::OK();

@@ -26,8 +26,11 @@
 #ifndef CCIDX_PST_DYNAMIC_PST_H_
 #define CCIDX_PST_DYNAMIC_PST_H_
 
+#include <span>
 #include <vector>
 
+#include "ccidx/build/point_group.h"
+#include "ccidx/build/record_stream.h"
 #include "ccidx/core/geometry.h"
 #include "ccidx/io/page_builder.h"
 #include "ccidx/query/sink.h"
@@ -40,8 +43,16 @@ class DynamicPst {
   /// Creates an empty tree.
   explicit DynamicPst(Pager* pager);
 
-  /// Bulk-builds a balanced tree.
-  static Result<DynamicPst> Build(Pager* pager, std::vector<Point> points);
+  /// Bulk-builds a balanced tree from an x-sorted group — the one
+  /// construction implementation (fault-atomic).
+  static Result<DynamicPst> Build(Pager* pager, PointGroup points);
+
+  /// Bulk-builds from a stream in any order, sorting externally.
+  static Result<DynamicPst> Build(Pager* pager, RecordStream<Point>* points);
+
+  /// In-core wrappers (sort in memory, then build).
+  static Result<DynamicPst> Build(Pager* pager, std::span<const Point> points);
+  static Result<DynamicPst> Build(Pager* pager, std::vector<Point>&& points);
 
   /// Inserts a point. Amortized O(log2 n + (log2 n)^2/B) I/Os.
   Status Insert(const Point& p);
@@ -85,8 +96,7 @@ class DynamicPst {
   Status LoadNode(PageId id, NodeHeader* h, std::vector<Point>* pts) const;
   Status StoreNode(PageId id, NodeHeader& h, std::vector<Point>* pts) const;
 
-  static Result<PageId> BuildNode(Pager* pager,
-                                  std::span<const Point> sorted_by_x,
+  static Result<PageId> BuildNode(Pager* pager, PointGroup group,
                                   uint32_t cap);
 
   Status QueryNode(PageId id, const ThreeSidedQuery& q,

@@ -13,40 +13,40 @@ uint32_t ExternalPst::NodeCapacity() const {
       (pager_->page_size() - sizeof(NodeHeader)) / sizeof(Point));
 }
 
-Result<PageId> ExternalPst::BuildNode(Pager* pager,
-                                      std::span<const Point> sorted_by_x,
+Result<PageId> ExternalPst::BuildNode(Pager* pager, PointGroup group,
                                       uint32_t cap) {
-  if (sorted_by_x.empty()) return kInvalidPageId;
+  if (group.empty()) return kInvalidPageId;
 
   // The node keeps the `cap` highest-y points of its range; the rest split
   // into two x-halves.
-  std::vector<Point> pts(sorted_by_x.begin(), sorted_by_x.end());
   NodeHeader h{};
-  h.sub_xlo = sorted_by_x.front().x;
-  h.sub_xhi = sorted_by_x.back().x;
+  h.sub_xlo = group.first_x();
+  h.sub_xhi = group.last_x();
   h.left = kInvalidPageId;
   h.right = kInvalidPageId;
 
   std::vector<Point> own;
-  if (pts.size() <= cap) {
-    own = std::move(pts);
+  if (group.size() <= cap) {
+    auto all = std::move(group).TakeAll();
+    CCIDX_RETURN_IF_ERROR(all.status());
+    own = std::move(*all);
   } else {
-    std::vector<Point> by_y = pts;
-    std::sort(by_y.begin(), by_y.end(), DescY);
-    const Point cutoff = by_y[cap - 1];
-    own.assign(by_y.begin(), by_y.begin() + cap);
-    std::vector<Point> rest;
-    rest.reserve(pts.size() - cap);
-    for (const Point& p : pts) {
-      if (PointYOrder()(p, cutoff)) rest.push_back(p);  // preserves x order
+    auto part = std::move(group).PartitionTopY(cap, 2);
+    CCIDX_RETURN_IF_ERROR(part.status());
+    own = std::move(part->top);
+    // A one-element rest yields a single child: the right half (the even
+    // split gives the left child floor(rest/2) = 0 points).
+    PointGroup* left_group =
+        part->children.size() > 1 ? &part->children[0] : nullptr;
+    PointGroup* right_group =
+        part->children.size() > 1 ? &part->children[1] : &part->children[0];
+    if (left_group != nullptr) {
+      auto left = BuildNode(pager, std::move(*left_group), cap);
+      CCIDX_RETURN_IF_ERROR(left.status());
+      h.left = *left;
     }
-    size_t half = rest.size() / 2;
-    auto left = BuildNode(pager, {rest.data(), half}, cap);
-    CCIDX_RETURN_IF_ERROR(left.status());
-    auto right = BuildNode(pager, {rest.data() + half, rest.size() - half},
-                           cap);
+    auto right = BuildNode(pager, std::move(*right_group), cap);
     CCIDX_RETURN_IF_ERROR(right.status());
-    h.left = *left;
     h.right = *right;
   }
   std::sort(own.begin(), own.end(), DescY);
@@ -63,18 +63,41 @@ Result<PageId> ExternalPst::BuildNode(Pager* pager,
   return id;
 }
 
-Result<ExternalPst> ExternalPst::Build(Pager* pager,
-                                       std::vector<Point> points) {
+Result<ExternalPst> ExternalPst::Build(Pager* pager, PointGroup points) {
   ExternalPst tree(pager, kInvalidPageId);
   uint32_t cap = tree.NodeCapacity();
   if (cap < 1) {
     return Status::InvalidArgument("page size too small for external PST");
   }
-  std::sort(points.begin(), points.end(), PointXOrder());
-  auto root = BuildNode(pager, points, cap);
+  AllocationScope scope(pager);
+  auto root = BuildNode(pager, std::move(points), cap);
   CCIDX_RETURN_IF_ERROR(root.status());
   tree.root_ = *root;
+  scope.Commit();
   return tree;
+}
+
+Result<ExternalPst> ExternalPst::Build(Pager* pager,
+                                       RecordStream<Point>* points) {
+  AllocationScope scope(pager);
+  auto group =
+      SortPointStream(pager, points, /*require_above_diagonal=*/false);
+  CCIDX_RETURN_IF_ERROR(group.status());
+  auto tree = Build(pager, std::move(*group));
+  CCIDX_RETURN_IF_ERROR(tree.status());
+  scope.Commit();
+  return tree;
+}
+
+Result<ExternalPst> ExternalPst::Build(Pager* pager,
+                                       std::span<const Point> points) {
+  return Build(pager, std::vector<Point>(points.begin(), points.end()));
+}
+
+Result<ExternalPst> ExternalPst::Build(Pager* pager,
+                                       std::vector<Point>&& points) {
+  std::sort(points.begin(), points.end(), PointXOrder());
+  return Build(pager, PointGroup::FromVector(std::move(points)));
 }
 
 ExternalPst ExternalPst::Open(Pager* pager, PageId root) {

@@ -20,8 +20,11 @@
 #ifndef CCIDX_PST_EXTERNAL_PST_H_
 #define CCIDX_PST_EXTERNAL_PST_H_
 
+#include <span>
 #include <vector>
 
+#include "ccidx/build/point_group.h"
+#include "ccidx/build/record_stream.h"
 #include "ccidx/core/geometry.h"
 #include "ccidx/io/page_builder.h"
 #include "ccidx/query/sink.h"
@@ -31,8 +34,19 @@ namespace ccidx {
 /// Static external priority search tree for 3-sided queries.
 class ExternalPst {
  public:
-  /// Builds over `points` (any planar points; no y >= x restriction).
-  static Result<ExternalPst> Build(Pager* pager, std::vector<Point> points);
+  /// Builds from an x-sorted group (any planar points; no y >= x
+  /// restriction) — the one construction implementation (fault-atomic).
+  static Result<ExternalPst> Build(Pager* pager, PointGroup points);
+
+  /// Builds from a stream in any order, sorting externally.
+  static Result<ExternalPst> Build(Pager* pager, RecordStream<Point>* points);
+
+  /// In-core wrappers (sort in memory, then build). The PST doubles as
+  /// the per-metablock sub-structure of the Section 4 trees, whose
+  /// inputs are bounded by O(B^3) — within the model's working memory —
+  /// so these paths deliberately skip the external sorter.
+  static Result<ExternalPst> Build(Pager* pager, std::span<const Point> points);
+  static Result<ExternalPst> Build(Pager* pager, std::vector<Point>&& points);
 
   /// Re-attaches to a previously built tree by its root page.
   static ExternalPst Open(Pager* pager, PageId root);
@@ -85,8 +99,7 @@ class ExternalPst {
 
   uint32_t NodeCapacity() const;
 
-  static Result<PageId> BuildNode(Pager* pager,
-                                  std::span<const Point> sorted_by_x,
+  static Result<PageId> BuildNode(Pager* pager, PointGroup group,
                                   uint32_t cap);
   Status LoadNode(PageId id, NodeHeader* h, std::vector<Point>* pts) const;
 

@@ -89,6 +89,80 @@ std::vector<Point> LowerBoundStaircase(size_t n) {
   return out;
 }
 
+PointStream::PointStream(Shape shape, size_t n, Coord domain, uint32_t seed,
+                         size_t block_records)
+    : shape_(shape),
+      n_(n),
+      rng_(shape == Shape::kUniform ? (seed ^ 0x9E3779B97F4A7C15ull) : seed),
+      dist_(0, domain - 1),
+      block_(block_records == 0 ? 1 : block_records) {}
+
+Result<std::span<const Point>> PointStream::Next() {
+  buf_.clear();
+  while (buf_.size() < block_ && produced_ < n_) {
+    Coord a = dist_(rng_), b = dist_(rng_);
+    if (shape_ == Shape::kAboveDiagonal && a > b) std::swap(a, b);
+    buf_.push_back({a, b, produced_});
+    produced_++;
+  }
+  return std::span<const Point>(buf_);
+}
+
+IntervalStream::IntervalStream(IntervalWorkload shape, size_t n, Coord domain,
+                               uint32_t seed, size_t block_records)
+    : shape_(shape),
+      n_(n),
+      domain_(domain),
+      rng_(seed),
+      dist_(0, domain - 1),
+      len_dist_(0, domain / 64 + 1),
+      block_(block_records == 0 ? 1 : block_records) {
+  if (shape_ == IntervalWorkload::kClustered) {
+    // Same rng consumption order as RandomIntervals: hot spots first.
+    for (int h = 0; h < 16; ++h) hot_.push_back(dist_(rng_));
+  }
+}
+
+Interval IntervalStream::Generate(size_t i) {
+  switch (shape_) {
+    case IntervalWorkload::kUniform: {
+      Coord a = dist_(rng_), b = dist_(rng_);
+      if (a > b) std::swap(a, b);
+      return {a, b, i};
+    }
+    case IntervalWorkload::kNested: {
+      Coord step =
+          std::max<Coord>(1, domain_ / (2 * static_cast<Coord>(n_) + 2));
+      Coord lo = static_cast<Coord>(i) * step;
+      Coord hi = domain_ - 1 - static_cast<Coord>(i) * step;
+      if (lo > hi) lo = hi;
+      return {lo, hi, i};
+    }
+    case IntervalWorkload::kClustered: {
+      Coord center = hot_[rng_() % hot_.size()];
+      Coord len = len_dist_(rng_);
+      Coord lo = std::max<Coord>(0, center - len / 2);
+      return {lo, lo + len, i};
+    }
+    case IntervalWorkload::kUnit: {
+      Coord stride =
+          std::max<Coord>(2, domain_ / static_cast<Coord>(n_ + 1));
+      Coord lo = static_cast<Coord>(i) * stride % (domain_ - 1);
+      return {lo, lo + 1, i};
+    }
+  }
+  CCIDX_CHECK(false);
+}
+
+Result<std::span<const Interval>> IntervalStream::Next() {
+  buf_.clear();
+  while (buf_.size() < block_ && produced_ < n_) {
+    buf_.push_back(Generate(produced_));
+    produced_++;
+  }
+  return std::span<const Interval>(buf_);
+}
+
 std::vector<Point> UniformGrid(Coord p) {
   std::vector<Point> out;
   out.reserve(static_cast<size_t>(p) * static_cast<size_t>(p));

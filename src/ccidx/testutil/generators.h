@@ -10,6 +10,7 @@
 #include <random>
 #include <vector>
 
+#include "ccidx/build/record_stream.h"
 #include "ccidx/core/geometry.h"
 #include "ccidx/testutil/oracles.h"
 
@@ -43,6 +44,60 @@ std::vector<Point> LowerBoundStaircase(size_t n);
 
 /// Uniform p x p grid of points (Lemma 2.7 / Thm. 2.8 workloads).
 std::vector<Point> UniformGrid(Coord p);
+
+// ---------------------------------------------------------------------------
+// Streaming front ends: the same deterministic sequences, produced
+// block-at-a-time into a RecordStream so tests and benches can drive
+// builds of datasets that are never resident as one vector. For every
+// (shape, n, domain, seed), collecting the stream yields exactly the
+// vector generator's output (asserted in build_test).
+// ---------------------------------------------------------------------------
+
+/// Streams the RandomPointsAboveDiagonal / RandomPoints sequences.
+class PointStream final : public RecordStream<Point> {
+ public:
+  enum class Shape {
+    kAboveDiagonal,  ///< matches RandomPointsAboveDiagonal
+    kUniform,        ///< matches RandomPoints
+  };
+
+  PointStream(Shape shape, size_t n, Coord domain, uint32_t seed,
+              size_t block_records = kDefaultStreamBlock);
+
+  Result<std::span<const Point>> Next() override;
+
+ private:
+  Shape shape_;
+  size_t n_;
+  size_t produced_ = 0;
+  std::mt19937_64 rng_;
+  std::uniform_int_distribution<Coord> dist_;
+  size_t block_;
+  std::vector<Point> buf_;
+};
+
+/// Streams the RandomIntervals sequences (all four workload shapes).
+class IntervalStream final : public RecordStream<Interval> {
+ public:
+  IntervalStream(IntervalWorkload shape, size_t n, Coord domain,
+                 uint32_t seed, size_t block_records = kDefaultStreamBlock);
+
+  Result<std::span<const Interval>> Next() override;
+
+ private:
+  Interval Generate(size_t i);
+
+  IntervalWorkload shape_;
+  size_t n_;
+  Coord domain_;
+  size_t produced_ = 0;
+  std::mt19937_64 rng_;
+  std::uniform_int_distribution<Coord> dist_;
+  std::uniform_int_distribution<Coord> len_dist_;
+  std::vector<Coord> hot_;  // kClustered hot spots
+  size_t block_;
+  std::vector<Interval> buf_;
+};
 
 }  // namespace ccidx
 

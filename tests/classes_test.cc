@@ -485,7 +485,7 @@ TEST_F(RakeContractTest, DynamicInsertsMatchOracle) {
 
 TEST_F(RakeContractTest, InsertFromEmptyIndex) {
   PeopleHierarchy ph;
-  auto idx = RakeContractIndex::Build(&pager_, &ph.h, {});
+  auto idx = RakeContractIndex::Build(&pager_, &ph.h, std::vector<Object>{});
   ASSERT_TRUE(idx.ok());
   ASSERT_TRUE(idx->Insert({1, ph.asst_prof, 42}).ok());
   ASSERT_TRUE(idx->Insert({2, ph.student, 17}).ok());

@@ -26,7 +26,7 @@ class ExternalPstTest : public ::testing::Test {
 };
 
 TEST_F(ExternalPstTest, EmptyTree) {
-  auto pst = ExternalPst::Build(&pager_, {});
+  auto pst = ExternalPst::Build(&pager_, std::vector<Point>{});
   ASSERT_TRUE(pst.ok());
   std::vector<Point> out;
   ASSERT_TRUE(pst->Query({0, 100, 0}, &out).ok());
@@ -35,7 +35,7 @@ TEST_F(ExternalPstTest, EmptyTree) {
 }
 
 TEST_F(ExternalPstTest, SinglePoint) {
-  auto pst = ExternalPst::Build(&pager_, {{5, 7, 42}});
+  auto pst = ExternalPst::Build(&pager_, std::vector<Point>{{5, 7, 42}});
   ASSERT_TRUE(pst.ok());
   std::vector<Point> out;
   ASSERT_TRUE(pst->Query({0, 10, 0}, &out).ok());

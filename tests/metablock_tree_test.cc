@@ -25,7 +25,7 @@ class MetablockTreeTest : public ::testing::Test {
 };
 
 TEST_F(MetablockTreeTest, EmptyTree) {
-  auto tree = MetablockTree::Build(&pager_, {});
+  auto tree = MetablockTree::Build(&pager_, std::vector<Point>{});
   ASSERT_TRUE(tree.ok());
   EXPECT_EQ(tree->size(), 0u);
   std::vector<Point> out;
@@ -35,13 +35,13 @@ TEST_F(MetablockTreeTest, EmptyTree) {
 }
 
 TEST_F(MetablockTreeTest, RejectsPointsBelowDiagonal) {
-  auto tree = MetablockTree::Build(&pager_, {{5, 3, 0}});
+  auto tree = MetablockTree::Build(&pager_, std::vector<Point>{{5, 3, 0}});
   EXPECT_FALSE(tree.ok());
   EXPECT_EQ(tree.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(MetablockTreeTest, BranchingDerivedFromPageSize) {
-  auto tree = MetablockTree::Build(&pager_, {{1, 2, 0}});
+  auto tree = MetablockTree::Build(&pager_, std::vector<Point>{{1, 2, 0}});
   ASSERT_TRUE(tree.ok());
   EXPECT_EQ(tree->branching(), kB);
   EXPECT_EQ(tree->metablock_capacity(), kB * kB);

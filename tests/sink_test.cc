@@ -141,7 +141,7 @@ TEST_F(SinkQueryTest, MetablockTreeAblatedPathsAgree) {
 TEST_F(SinkQueryTest, AugmentedMetablockTreeAgreesWithVectorOverload) {
   auto points = RandomPointsAboveDiagonal(1200, 2500, 13);
   auto tree = AugmentedMetablockTree::Build(
-      &pager_, {points.begin(), points.begin() + 600});
+      &pager_, std::vector<Point>(points.begin(), points.begin() + 600));
   ASSERT_TRUE(tree.ok());
   for (size_t i = 600; i < points.size(); ++i) {
     ASSERT_TRUE(tree->Insert(points[i]).ok());
@@ -179,7 +179,7 @@ TEST_F(SinkQueryTest, ThreeSidedTreeAgreesWithVectorOverload) {
 TEST_F(SinkQueryTest, AugmentedThreeSidedTreeAgreesWithVectorOverload) {
   auto points = RandomPoints(1200, 2000, 19);
   auto tree = AugmentedThreeSidedTree::Build(
-      &pager_, {points.begin(), points.begin() + 600});
+      &pager_, std::vector<Point>(points.begin(), points.begin() + 600));
   ASSERT_TRUE(tree.ok());
   for (size_t i = 600; i < points.size(); ++i) {
     ASSERT_TRUE(tree->Insert(points[i]).ok());
@@ -228,7 +228,7 @@ TEST_F(SinkQueryTest, ExternalPstAgreesWithVectorOverload) {
 TEST_F(SinkQueryTest, DynamicPstAgreesWithVectorOverload) {
   auto points = RandomPoints(1200, 2000, 31);
   auto pst = DynamicPst::Build(
-      &pager_, {points.begin(), points.begin() + 600});
+      &pager_, std::vector<Point>(points.begin(), points.begin() + 600));
   ASSERT_TRUE(pst.ok());
   for (size_t i = 600; i < points.size(); ++i) {
     ASSERT_TRUE(pst->Insert(points[i]).ok());

@@ -27,7 +27,7 @@ class ThreeSidedTreeTest : public ::testing::Test {
 };
 
 TEST_F(ThreeSidedTreeTest, EmptyTree) {
-  auto tree = ThreeSidedTree::Build(&pager_, {});
+  auto tree = ThreeSidedTree::Build(&pager_, std::vector<Point>{});
   ASSERT_TRUE(tree.ok());
   std::vector<Point> out;
   ASSERT_TRUE(tree->Query({0, 10, 0}, &out).ok());
