@@ -46,12 +46,12 @@ void BM_ThreeSidedVsPst(benchmark::State& state) {
   Coord x = kDomain / 9;
   for (auto _ : state) {
     ThreeSidedQuery q{x, x + width, kDomain - kDomain / 6};
-    s->tree_disk.device.stats().Reset();
+    s->tree_disk.device.ResetStats();
     std::vector<Point> out1;
     CCIDX_CHECK(s->tree->Query(q, &out1).ok());
     tree_ios += s->tree_disk.device.stats().TotalIos();
 
-    s->pst_disk.device.stats().Reset();
+    s->pst_disk.device.ResetStats();
     std::vector<Point> out2;
     CCIDX_CHECK(s->pst->Query(q, &out2).ok());
     pst_ios += s->pst_disk.device.stats().TotalIos();
@@ -87,7 +87,7 @@ void BM_AugmentedThreeSidedInsert(benchmark::State& state) {
     Disk disk(b);
     AugmentedThreeSidedTree tree(&disk.pager);
     auto points = RandomPoints(n, kDomain, static_cast<uint32_t>(rounds));
-    disk.device.stats().Reset();
+    disk.device.ResetStats();
     state.ResumeTiming();
     for (const Point& p : points) CCIDX_CHECK(tree.Insert(p).ok());
     total_ios += disk.device.stats().TotalIos();
@@ -122,7 +122,7 @@ void BM_AugmentedThreeSidedQuery(benchmark::State& state) {
   Coord x = kDomain / 9;
   for (auto _ : state) {
     ThreeSidedQuery q{x, x + (1 << 15), kDomain - kDomain / 6};
-    s->disk.device.stats().Reset();
+    s->disk.device.ResetStats();
     std::vector<Point> out;
     CCIDX_CHECK(s->tree.Query(q, &out).ok());
     ios += s->disk.device.stats().TotalIos();

@@ -60,7 +60,7 @@ void BM_AblationSmallOutput(benchmark::State& state) {
   Coord a = kDomain - kDomain / 64;
   for (auto _ : state) {
     auto run = [&](Disk& d, MetablockTree* t) {
-      d.device.stats().Reset();
+      d.device.ResetStats();
       std::vector<Point> out;
       CCIDX_CHECK(t->Query({a}, &out).ok());
       return std::make_pair(d.device.stats().TotalIos(), out.size());
@@ -96,7 +96,7 @@ void BM_AblationMidOutput(benchmark::State& state) {
   Coord a = kDomain / 2;
   for (auto _ : state) {
     auto run = [&](Disk& d, MetablockTree* t) {
-      d.device.stats().Reset();
+      d.device.ResetStats();
       std::vector<Point> out;
       CCIDX_CHECK(t->Query({a}, &out).ok());
       return std::make_pair(d.device.stats().TotalIos(), out.size());

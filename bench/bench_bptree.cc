@@ -41,7 +41,7 @@ void BM_BptreeRangeQuery(benchmark::State& state) {
   uint64_t ios = 0, queries = 0;
   int64_t lo = n / 3;
   for (auto _ : state) {
-    s->disk.device.stats().Reset();
+    s->disk.device.ResetStats();
     std::vector<BtEntry> out;
     CCIDX_CHECK(s->tree->RangeSearch(lo, lo + t - 1, &out).ok());
     CCIDX_CHECK(out.size() == static_cast<size_t>(t));

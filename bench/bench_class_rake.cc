@@ -88,12 +88,12 @@ void BM_RakeVsSimple(benchmark::State& state) {
     Coord a1 = static_cast<Coord>(rng() % kAttrDomain);
     Coord a2 = a1 + kAttrDomain / 64;
 
-    s->simple_disk.device.stats().Reset();
+    s->simple_disk.device.ResetStats();
     std::vector<uint64_t> out1;
     CCIDX_CHECK(s->simple.Query(cls, a1, a2, &out1).ok());
     io_simple += s->simple_disk.device.stats().TotalIos();
 
-    s->rake_disk.device.stats().Reset();
+    s->rake_disk.device.ResetStats();
     std::vector<uint64_t> out2;
     CCIDX_CHECK(s->rake->Query(cls, a1, a2, &out2).ok());
     io_rake += s->rake_disk.device.stats().TotalIos();

@@ -80,7 +80,7 @@ void BM_ClassQuery(benchmark::State& state) {
     Coord a1 = static_cast<Coord>(rng() % kAttrDomain);
     Coord a2 = a1 + kAttrDomain / 64;
     auto measure = [&](Disk& d, auto&& q) {
-      d.device.stats().Reset();
+      d.device.ResetStats();
       std::vector<uint64_t> out;
       CCIDX_CHECK(q(&out).ok());
       return std::make_pair(d.device.stats().TotalIos(), out.size());

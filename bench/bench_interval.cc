@@ -52,14 +52,14 @@ void BM_IntervalStab(benchmark::State& state) {
   uint64_t ios = 0, pst_ios = 0, total_t = 0, queries = 0;
   Coord q = kDomain / 3;
   for (auto _ : state) {
-    s->disk.device.stats().Reset();
+    s->disk.device.ResetStats();
     std::vector<Interval> out;
     CCIDX_CHECK(s->index->Stab(q, &out).ok());
     ios += s->disk.device.stats().TotalIos();
     total_t += out.size();
 
     // PST baseline: stabbing = 2-sided query (x <= q, y >= q).
-    s->pst_disk.device.stats().Reset();
+    s->pst_disk.device.ResetStats();
     std::vector<Point> pst_out;
     CCIDX_CHECK(s->pst->Query({kCoordMin, q, q}, &pst_out).ok());
     CCIDX_CHECK(pst_out.size() == out.size());
@@ -88,7 +88,7 @@ void BM_IntervalIntersect(benchmark::State& state) {
   uint64_t ios = 0, total_t = 0, queries = 0;
   Coord q = kDomain / 3;
   for (auto _ : state) {
-    s->disk.device.stats().Reset();
+    s->disk.device.ResetStats();
     std::vector<Interval> out;
     CCIDX_CHECK(s->index->Intersect(q, q + width, &out).ok());
     ios += s->disk.device.stats().TotalIos();

@@ -24,7 +24,7 @@ void BM_AugmentedInsert(benchmark::State& state) {
     AugmentedMetablockTree tree(&disk.pager);
     auto points = RandomPointsAboveDiagonal(n, kDomain,
                                             static_cast<uint32_t>(rounds));
-    disk.device.stats().Reset();
+    disk.device.ResetStats();
     state.ResumeTiming();
     for (const Point& p : points) {
       CCIDX_CHECK(tree.Insert(p).ok());
@@ -62,7 +62,7 @@ void BM_AugmentedQueryAfterInserts(benchmark::State& state) {
   uint64_t ios = 0, total_t = 0, queries = 0;
   Coord a = kDomain / 5;
   for (auto _ : state) {
-    s->disk.device.stats().Reset();
+    s->disk.device.ResetStats();
     std::vector<Point> out;
     CCIDX_CHECK(s->tree.Query({a}, &out).ok());
     ios += s->disk.device.stats().TotalIos();

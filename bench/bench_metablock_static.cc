@@ -42,7 +42,7 @@ void BM_MetablockDiagonalQuery(benchmark::State& state) {
   uint64_t ios = 0, total_t = 0, queries = 0;
   Coord a = kDomain / 7;
   for (auto _ : state) {
-    s->disk.device.stats().Reset();
+    s->disk.device.ResetStats();
     std::vector<Point> out;
     CCIDX_CHECK(s->tree->Query({a}, &out).ok());
     ios += s->disk.device.stats().TotalIos();
@@ -78,7 +78,7 @@ void BM_MetablockLowerBoundStaircase(benchmark::State& state) {
   uint64_t ios = 0, queries = 0;
   int64_t i = 0;
   for (auto _ : state) {
-    s->disk.device.stats().Reset();
+    s->disk.device.ResetStats();
     std::vector<Point> out;
     CCIDX_CHECK(s->tree->Query({2 * (i % n) + 1}, &out).ok());
     CCIDX_CHECK(out.size() == 1);

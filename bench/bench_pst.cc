@@ -41,7 +41,7 @@ void BM_PstThreeSided(benchmark::State& state) {
   uint64_t ios = 0, total_t = 0, queries = 0;
   Coord x = kDomain / 5;
   for (auto _ : state) {
-    s->disk.device.stats().Reset();
+    s->disk.device.ResetStats();
     std::vector<Point> out;
     ThreeSidedQuery q{x, x + width, kDomain - kDomain / 8};
     CCIDX_CHECK(s->pst->Query(q, &out).ok());
@@ -71,7 +71,7 @@ void BM_DynamicPstChurn(benchmark::State& state) {
   CCIDX_CHECK(pst.ok());
   std::vector<Point> live = RandomPoints(n, kDomain, 29);
   std::mt19937 rng(31);
-  disk.device.stats().Reset();
+  disk.device.ResetStats();
   uint64_t updates = 0;
   uint64_t next_id = static_cast<uint64_t>(n);
   for (auto _ : state) {
@@ -97,7 +97,7 @@ void BM_DynamicPstChurn(benchmark::State& state) {
   state.counters["bound"] = log2n + log2n * log2n / b;
 
   // Query cost after the churn.
-  disk.device.stats().Reset();
+  disk.device.ResetStats();
   std::vector<Point> out;
   CCIDX_CHECK(
       pst->Query({kDomain / 4, kDomain / 2, kDomain - kDomain / 8}, &out)

@@ -67,7 +67,7 @@ void BM_MetablockContrast(benchmark::State& state) {
   });
   uint64_t ios = 0, total_t = 0, queries = 0;
   for (auto _ : state) {
-    s->disk.device.stats().Reset();
+    s->disk.device.ResetStats();
     std::vector<Point> out;
     CCIDX_CHECK(s->tree->Query({2 * p - 1}, &out).ok());
     ios += s->disk.device.stats().TotalIos();

@@ -1,0 +1,203 @@
+// Experiment ET — wall-clock query throughput under concurrency
+// (DESIGN.md §7): queries/sec of QueryExecutor::RunBatch over one shared
+// structure + sharded buffer pool, vs 1/2/4/8 worker threads, on a warm
+// pool (all hits: the lock/atomic overhead of the serving path itself)
+// and a cold pool (concurrent misses, device reads, and eviction churn).
+//
+// Workloads: metablock diagonal queries, B+-tree range scans, interval
+// stabbing — the three serving shapes of the paper's applications. This
+// is the project's first wall-clock (not I/O-count) axis: the paper's
+// bounds fix the per-query page count; these numbers measure how many
+// such queries one warm pool serves per second as threads scale.
+//
+// Reported per run: qps (queries/sec, the headline), threads, and the
+// batch's device reads (0 when warm — proof the batch really was served
+// from the pool).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bench_util.h"
+#include "ccidx/bptree/bptree.h"
+#include "ccidx/core/metablock_tree.h"
+#include "ccidx/interval/interval_index.h"
+#include "ccidx/query/executor.h"
+#include "ccidx/query/sink.h"
+#include "ccidx/testutil/generators.h"
+
+namespace ccidx {
+namespace {
+
+constexpr uint32_t kB = 64;
+constexpr size_t kBatch = 128;  // queries per RunBatch call
+
+// One cached disk per workload, sized so the whole structure fits (warm
+// runs must never fault).
+struct CachedDisk {
+  explicit CachedDisk(uint32_t pool_pages)
+      : device(PageSizeForBranching(kB)), pager(&device, pool_pages) {}
+
+  BlockDevice device;
+  Pager pager;
+};
+
+struct MetaSetup {
+  CachedDisk disk{1u << 14};
+  std::optional<MetablockTree> tree;
+  std::vector<Coord> queries;
+};
+
+MetaSetup* GetMetaSetup() {
+  static auto* setup = [] {
+    auto* s = new MetaSetup();
+    const size_t n = 1u << 16;
+    const Coord domain = 1 << 20;
+    auto points = RandomPointsAboveDiagonal(n, domain, 7);
+    auto tree = MetablockTree::Build(&s->disk.pager, points);
+    CCIDX_CHECK(tree.ok());
+    s->tree.emplace(std::move(*tree));
+    for (size_t i = 0; i < kBatch; ++i) {
+      s->queries.push_back(static_cast<Coord>((i * 2654435761u) % domain));
+    }
+    return s;
+  }();
+  return setup;
+}
+
+struct BtSetup {
+  CachedDisk disk{1u << 13};
+  std::optional<BPlusTree> tree;
+  std::vector<int64_t> queries;
+};
+
+BtSetup* GetBtSetup() {
+  static auto* setup = [] {
+    auto* s = new BtSetup();
+    const int64_t n = 1 << 17;
+    std::vector<BtEntry> entries;
+    entries.reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      entries.push_back({i, static_cast<uint64_t>(i), i});
+    }
+    auto tree = BPlusTree::BulkLoad(&s->disk.pager, entries);
+    CCIDX_CHECK(tree.ok());
+    s->tree.emplace(std::move(*tree));
+    for (size_t i = 0; i < kBatch; ++i) {
+      s->queries.push_back(
+          static_cast<int64_t>((i * 48271) % (n - 2048)));
+    }
+    return s;
+  }();
+  return setup;
+}
+
+struct IvSetup {
+  CachedDisk disk{1u << 14};
+  std::optional<IntervalIndex> index;
+  std::vector<Coord> queries;
+};
+
+IvSetup* GetIvSetup() {
+  static auto* setup = [] {
+    auto* s = new IvSetup();
+    const size_t n = 1u << 16;
+    const Coord domain = 1 << 20;
+    auto intervals =
+        RandomIntervals(n, domain, IntervalWorkload::kUniform, 11);
+    auto index = IntervalIndex::Build(&s->disk.pager, intervals);
+    CCIDX_CHECK(index.ok());
+    s->index.emplace(std::move(*index));
+    for (size_t i = 0; i < kBatch; ++i) {
+      s->queries.push_back(static_cast<Coord>((i * 2654435761u) % domain));
+    }
+    return s;
+  }();
+  return setup;
+}
+
+// Shared driver: runs the batch under `threads` workers; warm runs fault
+// the working set in once before timing, cold runs DropCache outside the
+// timed region of each iteration.
+template <typename T, typename Q, typename Runner>
+void RunThroughput(benchmark::State& state, CachedDisk* disk,
+                   const std::vector<Q>& queries, Runner runner) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const bool warm = state.range(1) != 0;
+  QueryExecutor exec(threads);
+  auto run_batch = [&] {
+    return exec.RunBatch<T>(
+        std::span<const Q>(queries),
+        [](size_t) { return std::make_unique<CountSink<T>>(); }, runner,
+        &disk->pager);
+  };
+  if (warm) {
+    auto warmup = run_batch();
+    CCIDX_CHECK(warmup.ok());
+  }
+  uint64_t queries_done = 0;
+  uint64_t device_reads = 0;
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      CCIDX_CHECK(disk->pager.DropCache().ok());
+      state.ResumeTiming();
+    }
+    auto batch = run_batch();
+    if (!batch.ok()) {
+      state.SkipWithError("batch failed");
+      return;
+    }
+    queries_done += queries.size();
+    device_reads = batch.report.io.device_reads;  // per batch
+  }
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(queries_done), benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["batch_device_reads"] = static_cast<double>(device_reads);
+}
+
+void BM_MetablockDiagonalBatch(benchmark::State& state) {
+  MetaSetup* s = GetMetaSetup();
+  RunThroughput<Point>(state, &s->disk, s->queries,
+                       [&](Coord a, ResultSink<Point>* sink) {
+                         return s->tree->Query({a}, sink);
+                       });
+}
+
+void BM_BPlusTreeRangeBatch(benchmark::State& state) {
+  BtSetup* s = GetBtSetup();
+  RunThroughput<BtEntry>(state, &s->disk, s->queries,
+                         [&](int64_t lo, ResultSink<BtEntry>* sink) {
+                           return s->tree->RangeScan(lo, lo + 2048, sink);
+                         });
+}
+
+void BM_IntervalStabBatch(benchmark::State& state) {
+  IvSetup* s = GetIvSetup();
+  RunThroughput<Interval>(state, &s->disk, s->queries,
+                          [&](Coord q, ResultSink<Interval>* sink) {
+                            return s->index->Stab(q, sink);
+                          });
+}
+
+// Arg0 = worker threads, Arg1 = warm pool (1) / cold pool (0).
+BENCHMARK(BM_MetablockDiagonalBatch)
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 0}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_BPlusTreeRangeBatch)
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 0}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_IntervalStabBatch)
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 0}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace ccidx
+
+CCIDX_BENCH_MAIN();

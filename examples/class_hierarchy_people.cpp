@@ -79,7 +79,7 @@ int main() {
               "Thm2.6", "single", "fullext", "Thm4.7");
   for (const Q& q : queries) {
     auto run = [&](auto&& fn) -> std::pair<size_t, uint64_t> {
-      device.stats().Reset();
+      device.ResetStats();
       std::vector<uint64_t> out;
       if (!fn(&out).ok()) std::exit(1);
       return {out.size(), device.stats().TotalIos()};

@@ -62,7 +62,7 @@ int main() {
   // Evaluate the intersection query: for each rectangle, probe the x-index
   // for tuples whose x-projection overlaps, then check y-overlap on the
   // candidates' projections (CQL conjunction, evaluated in closed form).
-  device.stats().Reset();
+  device.ResetStats();
   uint64_t pairs = 0;
   for (uint64_t n = 0; n < rects.size(); ++n) {
     const Rect& r = rects[n];

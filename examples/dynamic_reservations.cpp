@@ -27,7 +27,7 @@ int main() {
   uint64_t next_id = 0;
   uint64_t created = 0, cancelled = 0;
 
-  device.stats().Reset();
+  device.ResetStats();
   const int kOps = 60000;
   for (int op = 0; op < kOps; ++op) {
     if (rng() % 3 != 0 || active.empty()) {
@@ -58,7 +58,7 @@ int main() {
 
   // "What overlaps the maintenance window on day 12, 09:00-11:00?"
   Coord w_lo = (12 * 24 + 9) * 60, w_hi = (12 * 24 + 11) * 60;
-  device.stats().Reset();
+  device.ResetStats();
   std::vector<Interval> clashes;
   if (!calendar.Intersect(w_lo, w_hi, &clashes).ok()) return 1;
   std::printf("maintenance window clashes: %zu bookings, %llu I/Os\n",

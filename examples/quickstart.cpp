@@ -32,14 +32,14 @@ int main() {
   }
 
   // 3. Stabbing query: which intervals contain the point 50000?
-  device.stats().Reset();
+  device.ResetStats();
   std::vector<Interval> hits;
   if (!index.Stab(50000, &hits).ok()) return 1;
   std::printf("stab(50000): %zu intervals, %llu I/Os\n", hits.size(),
               static_cast<unsigned long long>(device.stats().TotalIos()));
 
   // 4. Intersection query: which intervals overlap [42000, 42420]?
-  device.stats().Reset();
+  device.ResetStats();
   hits.clear();
   if (!index.Intersect(42000, 42420, &hits).ok()) return 1;
   std::printf("intersect([42000,42420]): %zu intervals, %llu I/Os\n",
@@ -56,14 +56,14 @@ int main() {
   //    materializing them (DESIGN.md §5). CountSink skips the per-record
   //    copies; ExistsSink stops at the first hit, so the t/B term of the
   //    query bound vanishes — compare the I/O counts.
-  device.stats().Reset();
+  device.ResetStats();
   CountSink<Interval> count;
   if (!index.Stab(50000, &count).ok()) return 1;
   std::printf("count stab(50000): %llu intervals, %llu I/Os\n",
               static_cast<unsigned long long>(count.count()),
               static_cast<unsigned long long>(device.stats().TotalIos()));
 
-  device.stats().Reset();
+  device.ResetStats();
   ExistsSink<Interval> exists;
   if (!index.Stab(50000, &exists).ok()) return 1;
   std::printf("exists stab(50000): %s, %llu I/Os (early termination)\n",

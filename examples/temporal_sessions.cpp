@@ -27,7 +27,7 @@ int main() {
   std::mt19937 rng(99);
   const size_t kSessions = 50000;
   std::printf("ingesting %zu sessions...\n", kSessions);
-  device.stats().Reset();
+  device.ResetStats();
   for (uint64_t i = 0; i < kSessions; ++i) {
     Coord start = static_cast<Coord>((86400.0 * i) / kSessions);
     Coord len = 30 + static_cast<Coord>(rng() % 7200);
@@ -39,7 +39,7 @@ int main() {
               per_insert);
 
   // Point-in-time audit: who was online at 12:00:00?
-  device.stats().Reset();
+  device.ResetStats();
   std::vector<Interval> online;
   if (!sessions.Stab(43200, &online).ok()) return 1;
   std::printf("online at 12:00: %zu sessions, %llu I/Os (%.1f sessions/IO)\n",
@@ -50,7 +50,7 @@ int main() {
                                     device.stats().TotalIos())));
 
   // Incident window: sessions overlapping 13:00-13:05.
-  device.stats().Reset();
+  device.ResetStats();
   std::vector<Interval> affected;
   if (!sessions.Intersect(46800, 47100, &affected).ok()) return 1;
   std::printf("overlapping incident window: %zu sessions, %llu I/Os\n",
@@ -66,14 +66,14 @@ int main() {
   // Dashboards rarely need the sessions themselves. A concurrency gauge
   // counts without materializing; an alert check stops at the first hit
   // (DESIGN.md §5) — watch the I/O column.
-  device.stats().Reset();
+  device.ResetStats();
   CountSink<Interval> concurrency;
   if (!sessions.Stab(64800, &concurrency).ok()) return 1;
   std::printf("concurrency gauge at 18:00: %llu sessions, %llu I/Os\n",
               static_cast<unsigned long long>(concurrency.count()),
               static_cast<unsigned long long>(device.stats().TotalIos()));
 
-  device.stats().Reset();
+  device.ResetStats();
   ExistsSink<Interval> any_overnight;
   if (!sessions.Stab(86399, &any_overnight).ok()) return 1;
   std::printf("anyone online at 23:59:59? %s — %llu I/Os (early stop)\n",

@@ -51,6 +51,11 @@ struct BtEntry {
 };
 
 /// A dynamic external-memory B+-tree over (int64 key, uint64 value) entries.
+///
+/// Thread safety (DESIGN.md §7): RangeScan/RangeSearch are const and safe
+/// to run from any number of threads concurrently over one shared Pager.
+/// Insert/Delete/BulkLoad/Destroy are writes and require external
+/// synchronization.
 class BPlusTree {
  public:
   /// Creates an empty tree whose pages are managed by `pager`.

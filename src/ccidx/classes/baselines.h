@@ -27,6 +27,10 @@
 namespace ccidx {
 
 /// One B+-tree over all objects; query-time class filtering.
+///
+/// Thread safety (all three baselines, DESIGN.md §7): Query is const and
+/// safe to run from any number of threads concurrently over one shared
+/// Pager; Insert/Delete are writes and require external synchronization.
 class SingleIndexBaseline {
  public:
   SingleIndexBaseline(Pager* pager, const ClassHierarchy* hierarchy);

@@ -54,6 +54,10 @@ uint32_t ThinEdgesToRoot(const ClassHierarchy& h,
                          uint32_t class_id);
 
 /// Theorem 4.7 class index (bulk build + semi-dynamic inserts).
+///
+/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
+/// number of threads concurrently over one shared Pager. Insert/Build are
+/// writes and require external synchronization.
 class RakeContractIndex {
  public:
   /// Builds over a frozen hierarchy from a stream of objects: each

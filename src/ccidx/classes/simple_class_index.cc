@@ -152,7 +152,7 @@ Status SimpleClassIndex::Query(uint32_t class_id, Coord a1, Coord a2,
   std::vector<size_t> canonical;
   Decompose(0, hierarchy_->code(class_id),
             hierarchy_->subtree_max_code(class_id), &canonical);
-  last_query_collections_ = canonical.size();
+  last_query_collections_.store(canonical.size(), std::memory_order_relaxed);
   TransformSink<BtEntry, uint64_t> xform(
       sink, [](const BtEntry& e) { return std::optional<uint64_t>(e.value); });
   for (size_t node : canonical) {
@@ -176,7 +176,7 @@ Status SimpleClassIndex::QueryObjects(uint32_t class_id, Coord a1, Coord a2,
   std::vector<size_t> canonical;
   Decompose(0, hierarchy_->code(class_id),
             hierarchy_->subtree_max_code(class_id), &canonical);
-  last_query_collections_ = canonical.size();
+  last_query_collections_.store(canonical.size(), std::memory_order_relaxed);
   TransformSink<BtEntry, Object> xform(sink, [this](const BtEntry& e) {
     return std::optional<Object>(
         Object{e.value, hierarchy_->class_at_code(e.aux), e.key});

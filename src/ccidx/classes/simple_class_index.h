@@ -18,6 +18,7 @@
 #ifndef CCIDX_CLASSES_SIMPLE_CLASS_INDEX_H_
 #define CCIDX_CLASSES_SIMPLE_CLASS_INDEX_H_
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -28,10 +29,34 @@
 namespace ccidx {
 
 /// Theorem 2.6 class index (range tree of B+-trees).
+///
+/// Thread safety (DESIGN.md §7): Query/QueryObjects are const and safe to
+/// run from any number of threads concurrently over one shared Pager.
+/// Insert/Delete/Build are writes and require external synchronization.
 class SimpleClassIndex {
  public:
   /// `hierarchy` must be frozen and outlive the index.
   SimpleClassIndex(Pager* pager, const ClassHierarchy* hierarchy);
+
+  // Movable (the atomic diagnostics counter requires spelling it out;
+  // moving is a write, externally synchronized like all writes).
+  SimpleClassIndex(SimpleClassIndex&& o) noexcept
+      : hierarchy_(o.hierarchy_),
+        nodes_(std::move(o.nodes_)),
+        trees_(std::move(o.trees_)),
+        size_(o.size_),
+        last_query_collections_(
+            o.last_query_collections_.load(std::memory_order_relaxed)) {}
+  SimpleClassIndex& operator=(SimpleClassIndex&& o) noexcept {
+    hierarchy_ = o.hierarchy_;
+    nodes_ = std::move(o.nodes_);
+    trees_ = std::move(o.trees_);
+    size_ = o.size_;
+    last_query_collections_.store(
+        o.last_query_collections_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Bulk-builds from a stream of objects: each object's log2 c covering
   /// collections are tagged and external-sorted once, then every
@@ -81,7 +106,11 @@ class SimpleClassIndex {
   size_t num_collections() const { return nodes_.size(); }
 
   /// Collections consulted by the last Query (must be <= 2*ceil(log2 c)).
-  size_t last_query_collections() const { return last_query_collections_; }
+  /// Under concurrent queries this reports one of the in-flight queries'
+  /// counts (relaxed atomic — diagnostics only, never torn).
+  size_t last_query_collections() const {
+    return last_query_collections_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct RangeNode {
@@ -101,7 +130,7 @@ class SimpleClassIndex {
   std::vector<RangeNode> nodes_;
   std::vector<BPlusTree> trees_;  // parallel to nodes_
   uint64_t size_ = 0;
-  mutable size_t last_query_collections_ = 0;
+  mutable std::atomic<size_t> last_query_collections_{0};
 };
 
 }  // namespace ccidx

@@ -20,6 +20,10 @@ namespace ccidx {
 
 /// An index on one variable of a generalized relation (semi-dynamic:
 /// inserts only, matching the underlying metablock tree).
+///
+/// Thread safety (DESIGN.md §7): RangeQueryIds is const and safe to run
+/// from any number of threads concurrently over one shared Pager. Insert
+/// is a write and requires external synchronization.
 class GeneralizedIndex {
  public:
   /// Indexes variable `indexed_var` of `arity`-ary tuples.

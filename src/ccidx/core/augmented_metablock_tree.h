@@ -53,6 +53,11 @@
 namespace ccidx {
 
 /// Semi-dynamic (insert-only) metablock tree (Section 3.2, Theorem 3.7).
+///
+/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
+/// number of threads concurrently over one shared Pager. Insert/Build/
+/// Destroy are writes and require external synchronization (no concurrent
+/// queries while an insert runs).
 class AugmentedMetablockTree {
  public:
   /// Creates an empty tree.

@@ -41,6 +41,10 @@
 namespace ccidx {
 
 /// Semi-dynamic (insert-only) 3-sided metablock tree (Lemma 4.4).
+///
+/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
+/// number of threads concurrently over one shared Pager. Insert/Build/
+/// Destroy are writes and require external synchronization.
 class AugmentedThreeSidedTree {
  public:
   /// Creates an empty tree (B >= 8 required; B from the pager page size).

@@ -7,6 +7,10 @@
 //   * horizontally oriented blocking — points sorted by descending y in a
 //     page chain, used to scan "from the top down" and stop within one page
 //     of crossing a horizontal boundary.
+//
+// Thread safety (DESIGN.md §7): the scan helpers only Pin pages and keep
+// all state on the stack, so they are safe from any number of threads
+// concurrently; the writer-side builders require external synchronization.
 
 #ifndef CCIDX_CORE_BLOCKING_H_
 #define CCIDX_CORE_BLOCKING_H_

@@ -37,6 +37,10 @@
 namespace ccidx {
 
 /// On-disk corner structure for one metablock (Lemma 3.1).
+///
+/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
+/// number of threads concurrently over one shared Pager. Build/Free are
+/// writes and require external synchronization.
 class CornerStructure {
  public:
   /// Builds over `points` (need not be sorted; all must satisfy y >= x).

@@ -45,6 +45,10 @@
 namespace ccidx {
 
 /// Static metablock tree answering 3-sided queries (Lemma 4.3).
+///
+/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
+/// number of threads concurrently over one shared Pager. Build/Destroy
+/// are writes and require external synchronization.
 class ThreeSidedTree {
  public:
   /// Builds from an x-sorted group of arbitrary planar points — the one

@@ -27,6 +27,11 @@
 namespace ccidx {
 
 /// Fully dynamic (insert + delete) external interval index (§5).
+///
+/// Thread safety (DESIGN.md §7): Stab/Intersect are const and safe to run
+/// from any number of threads concurrently over one shared Pager.
+/// Insert/Delete/Build/Destroy are writes and require external
+/// synchronization.
 class DynamicIntervalIndex {
  public:
   explicit DynamicIntervalIndex(Pager* pager);

@@ -30,6 +30,10 @@
 namespace ccidx {
 
 /// Semi-dynamic external-memory interval index (stabbing + intersection).
+///
+/// Thread safety (DESIGN.md §7): Stab/Intersect are const and safe to run
+/// from any number of threads concurrently over one shared Pager.
+/// Insert/Build/Destroy are writes and require external synchronization.
 class IntervalIndex {
  public:
   /// Creates an empty index whose pages live on `pager`. The pager's page

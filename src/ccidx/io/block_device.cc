@@ -9,7 +9,8 @@ BlockDevice::BlockDevice(uint32_t page_size) : page_size_(page_size) {
 }
 
 PageId BlockDevice::Allocate() {
-  stats_.pages_allocated++;
+  std::unique_lock lock(mu_);
+  pages_allocated_.fetch_add(1, std::memory_order_relaxed);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
@@ -30,24 +31,32 @@ bool BlockDevice::IsLive(PageId id) const {
 }
 
 Status BlockDevice::Free(PageId id) {
+  std::unique_lock lock(mu_);
   if (!IsLive(id)) {
     return Status::InvalidArgument("free of invalid or already-freed page " +
                                    std::to_string(id));
   }
   freed_[id] = true;
   free_list_.push_back(id);
-  stats_.pages_freed++;
+  pages_freed_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 bool BlockDevice::ShouldFail() {
-  if (fail_after_ < 0) return false;
-  if (fail_after_ == 0) return true;
-  fail_after_--;
+  // Fast path: fault injection disabled (the only concurrent case; tests
+  // that inject faults are single-threaded, but the budget is still
+  // consumed race-free under fail_mu_).
+  if (fail_after_.load(std::memory_order_relaxed) < 0) return false;
+  std::lock_guard lock(fail_mu_);
+  int64_t budget = fail_after_.load(std::memory_order_relaxed);
+  if (budget < 0) return false;
+  if (budget == 0) return true;
+  fail_after_.store(budget - 1, std::memory_order_relaxed);
   return false;
 }
 
 Status BlockDevice::Read(PageId id, std::span<uint8_t> out) {
+  std::shared_lock lock(mu_);
   if (!IsLive(id)) {
     return Status::IoError("read of invalid page " + std::to_string(id));
   }
@@ -58,11 +67,12 @@ Status BlockDevice::Read(PageId id, std::span<uint8_t> out) {
     return Status::IoError("injected device failure (read)");
   }
   std::memcpy(out.data(), pages_[id].get(), page_size_);
-  stats_.device_reads++;
+  device_reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status BlockDevice::Write(PageId id, std::span<const uint8_t> in) {
+  std::shared_lock lock(mu_);
   if (!IsLive(id)) {
     return Status::IoError("write of invalid page " + std::to_string(id));
   }
@@ -73,8 +83,34 @@ Status BlockDevice::Write(PageId id, std::span<const uint8_t> in) {
     return Status::IoError("injected device failure (write)");
   }
   std::memcpy(pages_[id].get(), in.data(), page_size_);
-  stats_.device_writes++;
+  device_writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+uint64_t BlockDevice::live_pages() const {
+  std::shared_lock lock(mu_);
+  return pages_.size() - free_list_.size();
+}
+
+uint64_t BlockDevice::total_pages() const {
+  std::shared_lock lock(mu_);
+  return pages_.size();
+}
+
+IoStats BlockDevice::stats() const {
+  IoStats s;
+  s.device_reads = device_reads_.load(std::memory_order_relaxed);
+  s.device_writes = device_writes_.load(std::memory_order_relaxed);
+  s.pages_allocated = pages_allocated_.load(std::memory_order_relaxed);
+  s.pages_freed = pages_freed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BlockDevice::ResetStats() {
+  device_reads_.store(0, std::memory_order_relaxed);
+  device_writes_.store(0, std::memory_order_relaxed);
+  pages_allocated_.store(0, std::memory_order_relaxed);
+  pages_freed_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ccidx

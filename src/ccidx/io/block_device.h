@@ -5,12 +5,23 @@
 // cost model exactly and deterministically — each Read/Write of a page
 // increments IoStats. All library structures access storage only through
 // this interface (via Pager), so measured I/O counts are faithful.
+//
+// Thread safety (DESIGN.md §7): concurrent Read/Write of *distinct* pages
+// is safe (page transfers take a shared lock on the page table; the I/O
+// counters are relaxed atomics, so readers never serialize on stats).
+// Allocate/Free mutate the page table under the exclusive lock and are
+// safe against concurrent transfers. Concurrent Write (or Write + Read)
+// of the *same* page is the caller's race, exactly as on real hardware —
+// the Pager's pin protocol prevents it for all library structures.
 
 #ifndef CCIDX_IO_BLOCK_DEVICE_H_
 #define CCIDX_IO_BLOCK_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -26,7 +37,7 @@ using PageId = uint64_t;
 inline constexpr PageId kInvalidPageId = ~static_cast<PageId>(0);
 
 /// A simulated disk: an append-allocated array of `page_size()`-byte pages
-/// with a free list. Not thread-safe (single-threaded simulation).
+/// with a free list.
 class BlockDevice {
  public:
   /// Creates a device whose pages hold `page_size` bytes. The paper's B is
@@ -52,32 +63,51 @@ class BlockDevice {
 
   /// Number of live (allocated, not freed) pages — the structure's footprint
   /// in disk blocks, compared against the paper's space bounds.
-  uint64_t live_pages() const { return pages_.size() - free_list_.size(); }
+  uint64_t live_pages() const;
 
   /// Total pages ever allocated (high-water mark of the address space).
-  uint64_t total_pages() const { return pages_.size(); }
+  uint64_t total_pages() const;
 
-  IoStats& stats() { return stats_; }
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot of the transfer counters (relaxed-atomic internally, so
+  /// concurrent readers never contend). Returned by value: diff snapshots
+  /// with `operator-`; clear the live counters with ResetStats().
+  IoStats stats() const;
+
+  /// Zeroes the live transfer counters.
+  void ResetStats();
 
   /// Fault injection for tests: after `ops` further successful transfers,
   /// every Read/Write fails with IoError until cleared (ops < 0 clears).
   /// Lets tests verify that every structure surfaces device failures as
   /// Status instead of crashing or corrupting in-memory state.
-  void SetFailAfter(int64_t ops) { fail_after_ = ops; }
+  void SetFailAfter(int64_t ops) {
+    fail_after_.store(ops, std::memory_order_relaxed);
+  }
 
  private:
   // Returns true if this transfer should fail (and consumes budget).
   bool ShouldFail();
 
+  // Requires mu_ (shared or exclusive).
   bool IsLive(PageId id) const;
 
   uint32_t page_size_;
+  // Guards the page-table *structure* (pages_/free_list_/freed_). Transfers
+  // take it shared — page unique_ptrs give stable data addresses, so
+  // concurrent reads of distinct pages proceed in parallel; Allocate/Free
+  // take it exclusive.
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<uint8_t[]>> pages_;
   std::vector<PageId> free_list_;
   std::vector<bool> freed_;  // parallel to pages_: true if on free list
-  IoStats stats_;
-  int64_t fail_after_ = -1;  // < 0: fault injection disabled
+  // Contention-free counters: relaxed atomics, merged into an IoStats
+  // snapshot by stats().
+  std::atomic<uint64_t> device_reads_{0};
+  std::atomic<uint64_t> device_writes_{0};
+  std::atomic<uint64_t> pages_allocated_{0};
+  std::atomic<uint64_t> pages_freed_{0};
+  std::atomic<int64_t> fail_after_{-1};  // < 0: fault injection disabled
+  std::mutex fail_mu_;  // serializes budget consumption (test-only path)
 };
 
 }  // namespace ccidx

@@ -5,6 +5,11 @@
 // page transfer; the Pager additionally tracks buffer-pool hits/misses.
 // Benchmarks report device reads+writes with a cold cache, which is exactly
 // the quantity the theorems bound.
+//
+// IoStats itself is a plain value snapshot. The live counters behind it
+// (BlockDevice internals, per-shard Pager counters) are updated without
+// cross-thread contention and *merged* into one IoStats when read
+// (DESIGN.md §7), so concurrent query serving never serializes on stats.
 
 #ifndef CCIDX_IO_IO_STATS_H_
 #define CCIDX_IO_IO_STATS_H_
@@ -26,7 +31,11 @@ struct IoStats {
   /// Total device transfers — the paper's "number of IO's".
   uint64_t TotalIos() const { return device_reads + device_writes; }
 
-  void Reset() { *this = IoStats{}; }
+  /// Lvalue-qualified so `dev.stats().Reset()` fails to compile now that
+  /// stats() returns a snapshot by value — resetting the temporary would
+  /// silently do nothing. Use BlockDevice::ResetStats() / Pager::ResetStats()
+  /// to clear the live counters.
+  void Reset() & { *this = IoStats{}; }
 };
 
 /// Snapshot/diff helper: `after - before` yields the per-operation cost.
@@ -42,6 +51,19 @@ inline IoStats operator-(const IoStats& a, const IoStats& b) {
   d.pages_allocated = a.pages_allocated - b.pages_allocated;
   d.pages_freed = a.pages_freed - b.pages_freed;
   return d;
+}
+
+/// Merge helper for per-shard / per-thread counter aggregation.
+inline IoStats operator+(const IoStats& a, const IoStats& b) {
+  IoStats s;
+  s.device_reads = a.device_reads + b.device_reads;
+  s.device_writes = a.device_writes + b.device_writes;
+  s.cache_hits = a.cache_hits + b.cache_hits;
+  s.cache_misses = a.cache_misses + b.cache_misses;
+  s.pin_requests = a.pin_requests + b.pin_requests;
+  s.pages_allocated = a.pages_allocated + b.pages_allocated;
+  s.pages_freed = a.pages_freed + b.pages_freed;
+  return s;
 }
 
 }  // namespace ccidx

@@ -1,8 +1,37 @@
 #include "ccidx/io/pager.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
 #include <cstring>
+#include <new>
+#include <thread>
 
 namespace ccidx {
+
+namespace {
+
+// Minimum frames a shard must keep for sharding to be worth it: below
+// this, splitting the pool would concentrate pin pressure (a pin set far
+// smaller than the pool could exhaust one shard), so small pools collapse
+// to one shard and behave exactly like the historical single pool
+// (pager_pin_test semantics). 64 also covers the external sorter's merge
+// fan-in (~B simultaneous run pins) for the default O(B^2) budget: at
+// capacity >= 2 shards x 64 frames the fan-in can no longer fill a shard.
+constexpr uint32_t kMinFramesPerShard = 64;
+
+// splitmix64 finalizer: page ids are sequential, so the bits must be well
+// mixed before use. The low bits select the shard; the high bits are the
+// open-addressed table home (the two must be independent — every id in a
+// shard shares the low bits).
+inline uint64_t MixPageId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // PageRef / MutPageRef
@@ -11,14 +40,21 @@ namespace ccidx {
 void PageRef::Release() {
   if (!valid()) return;
   if (frame_ != nullptr) {
-    pager_->UnpinShared(frame_);
+    // Lock-free unpin: a read pin releases with a single atomic decrement,
+    // no shard lock. The release order pairs with the eviction sweep's
+    // acquire load, so a frame observed unpinned is safe to reuse.
+    uint32_t prev = frame_->pins.fetch_sub(1, std::memory_order_release);
+    CCIDX_CHECK(prev > 0);
   } else {
-    // Transient read pin: dropping the private copy costs nothing.
-    pager_->outstanding_pins_--;
+    // Transient read pin: recycle the arena slot (or drop the heap
+    // fallback). No I/O.
+    pager_->ReleaseTransient(transient_slot_);
+    transient_heap_.reset();
+    pager_->transient_outstanding_.fetch_sub(1, std::memory_order_relaxed);
   }
   pager_ = nullptr;
   frame_ = nullptr;
-  transient_.reset();
+  transient_slot_ = -1;
   data_ = nullptr;
 }
 
@@ -45,45 +81,160 @@ void MutPageRef::ReleaseToDeferred() {
 Status MutPageRef::Release() {
   if (!valid()) return Status::OK();
   Pager* pager = pager_;
+  uint8_t* buf = data_;
   pager_ = nullptr;
   data_ = nullptr;
   if (frame_ != nullptr) {
-    pager->UnpinMut(frame_);
+    // Lock-free unpin, mut count first so an observer that sees pins == 0
+    // also sees mut_pins == 0.
+    uint32_t prev_mut =
+        frame_->mut_pins.fetch_sub(1, std::memory_order_release);
+    CCIDX_CHECK(prev_mut > 0);
+    uint32_t prev = frame_->pins.fetch_sub(1, std::memory_order_release);
+    CCIDX_CHECK(prev > 0);
     frame_ = nullptr;
     return Status::OK();
   }
   // Uncached: the page lives only in this handle; write it back now so the
   // caller sees the device Status (the historical Write() behavior).
-  std::unique_ptr<uint8_t[]> buf = std::move(transient_);
-  pager->outstanding_pins_--;
-  return pager->device_->Write(id_, {buf.get(), size_});
+  Status s = pager->device_->Write(id_, {buf, size_});
+  pager->ReleaseTransient(transient_slot_);
+  transient_slot_ = -1;
+  transient_heap_.reset();
+  pager->transient_outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  return s;
 }
 
 // ---------------------------------------------------------------------------
-// Pager
+// Pager: construction and shard layout
 // ---------------------------------------------------------------------------
+
+uint32_t Pager::PickShardCount(uint32_t capacity_pages) {
+  if (capacity_pages < 2 * kMinFramesPerShard) return 1;
+  // CCIDX_PAGER_SHARDS pins the shard count (rounded to a power of two,
+  // capped by capacity) for experiments that must produce identical
+  // cached eviction patterns across machines with different core counts.
+  uint32_t target = 0;
+  if (const char* env = std::getenv("CCIDX_PAGER_SHARDS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) target = std::bit_ceil(static_cast<uint32_t>(v));
+  }
+  if (target == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    target = std::bit_ceil(4 * hw);
+  }
+  uint32_t by_capacity = 1;
+  while (by_capacity * 2 * kMinFramesPerShard <= capacity_pages) {
+    by_capacity <<= 1;
+  }
+  return std::min(target, by_capacity);
+}
 
 Pager::Pager(BlockDevice* device, uint32_t capacity_pages)
     : device_(device), capacity_(capacity_pages) {
   CCIDX_CHECK(device_ != nullptr);
+  num_shards_ = PickShardCount(capacity_);
+  shard_mask_ = num_shards_ - 1;
+
+  // One contiguous page-aligned arena for every frame. Strides are
+  // cache-line rounded so adjacent frames never false-share.
+  frame_stride_ =
+      (static_cast<size_t>(device_->page_size()) + 63) & ~size_t{63};
+  uint32_t arena_frames = capacity_ > 0 ? capacity_ : kTransientArenaFrames;
+  arena_bytes_ = frame_stride_ * arena_frames;
+  arena_ = static_cast<uint8_t*>(
+      ::operator new(arena_bytes_, std::align_val_t{4096}));
+
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  if (capacity_ > 0) {
+    uint32_t base = capacity_ / num_shards_;
+    uint32_t rem = capacity_ % num_shards_;
+    uint32_t next_arena_slot = 0;
+    for (uint32_t i = 0; i < num_shards_; ++i) {
+      Shard& shard = shards_[i];
+      shard.capacity = base + (i < rem ? 1 : 0);
+      shard.frames = std::make_unique<Frame[]>(shard.capacity);
+      // >= 2x capacity keeps open-addressing load factor <= 1/2.
+      uint32_t table_size = std::bit_ceil(std::max(4u, 2 * shard.capacity));
+      shard.table.assign(table_size, -1);
+      shard.table_mask = table_size - 1;
+      shard.free_slots.reserve(shard.capacity);
+      for (uint32_t s = 0; s < shard.capacity; ++s) {
+        shard.frames[s].data = arena_ + frame_stride_ * next_arena_slot++;
+        // Reverse so slot 0 is handed out first (matches fill order).
+        shard.free_slots.push_back(shard.capacity - 1 - s);
+      }
+    }
+  } else {
+    // Uncached mode: the arena backs recycled transient buffers instead.
+    transient_free_.reserve(kTransientArenaFrames);
+    for (uint32_t s = 0; s < kTransientArenaFrames; ++s) {
+      transient_free_.push_back(kTransientArenaFrames - 1 - s);
+    }
+  }
 }
 
 Pager::~Pager() {
   // All pins must be released before the pool is torn down: a live handle
   // would point into freed frames.
-  CCIDX_CHECK(outstanding_pins_ == 0);
+  CCIDX_CHECK(outstanding_pins() == 0);
   // Best-effort flush. A destructor cannot surface a Status, so both a
   // flush failure and a still-parked deferred error die here — callers
   // that care about durability must Flush() (and check it) before
   // destroying the pager.
   Flush().ok();
+  ::operator delete(arena_, std::align_val_t{4096});
 }
 
+// ---------------------------------------------------------------------------
+// Open-addressed page table (per shard, under the shard lock)
+// ---------------------------------------------------------------------------
+
+uint32_t Pager::ProbeLocked(const Shard& shard, PageId id,
+                            uint64_t hash) const {
+  const uint32_t mask = shard.table_mask;
+  uint32_t pos = static_cast<uint32_t>(hash >> 32) & mask;
+  for (;;) {
+    int32_t slot = shard.table[pos];
+    if (slot < 0 || shard.frames[slot].id == id) return pos;
+    pos = (pos + 1) & mask;
+  }
+}
+
+void Pager::TableEraseLocked(Shard& shard, uint32_t pos) {
+  // Backshift deletion (linear probing without tombstones): walk the
+  // cluster after the hole and move back every entry whose home position
+  // does not lie cyclically inside (hole, current].
+  const uint32_t mask = shard.table_mask;
+  shard.table[pos] = -1;
+  uint32_t hole = pos;
+  uint32_t j = pos;
+  for (;;) {
+    j = (j + 1) & mask;
+    int32_t slot = shard.table[j];
+    if (slot < 0) return;
+    uint32_t home =
+        static_cast<uint32_t>(MixPageId(shard.frames[slot].id) >> 32) & mask;
+    if (((j - home) & mask) >= ((j - hole) & mask)) {
+      shard.table[hole] = slot;
+      shard.table[j] = -1;
+      hole = j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AllocationScope
+// ---------------------------------------------------------------------------
+
 void Pager::RecordAllocation(PageId id) {
+  std::lock_guard lock(alloc_scopes_mu_);
   if (!alloc_scopes_.empty()) alloc_scopes_.back().insert(id);
 }
 
 void Pager::ForgetAllocation(PageId id) {
+  std::lock_guard lock(alloc_scopes_mu_);
   // A page is recorded in at most one scope; erase wherever it lives.
   for (auto& scope : alloc_scopes_) {
     if (scope.erase(id) > 0) return;
@@ -91,19 +242,24 @@ void Pager::ForgetAllocation(PageId id) {
 }
 
 AllocationScope::AllocationScope(Pager* pager) : pager_(pager) {
+  std::lock_guard lock(pager_->alloc_scopes_mu_);
   pager_->alloc_scopes_.emplace_back();
 }
 
 AllocationScope::~AllocationScope() {
-  std::unordered_set<PageId> pages = std::move(pager_->alloc_scopes_.back());
-  pager_->alloc_scopes_.pop_back();
-  if (committed_) {
-    // Fold into the enclosing scope (if any) so an outer rollback still
-    // covers these pages.
-    if (!pager_->alloc_scopes_.empty()) {
-      pager_->alloc_scopes_.back().merge(pages);
+  std::unordered_set<PageId> pages;
+  {
+    std::lock_guard lock(pager_->alloc_scopes_mu_);
+    pages = std::move(pager_->alloc_scopes_.back());
+    pager_->alloc_scopes_.pop_back();
+    if (committed_) {
+      // Fold into the enclosing scope (if any) so an outer rollback still
+      // covers these pages.
+      if (!pager_->alloc_scopes_.empty()) {
+        pager_->alloc_scopes_.back().merge(pages);
+      }
+      return;
     }
-    return;
   }
   // Rollback: free every recorded page that is still live. Free() needs
   // no device transfer, so this succeeds under active fault injection.
@@ -114,6 +270,113 @@ AllocationScope::~AllocationScope() {
 
 void AllocationScope::Commit() { committed_ = true; }
 
+// ---------------------------------------------------------------------------
+// Frame acquisition: hits, misses, clock eviction
+// ---------------------------------------------------------------------------
+
+Result<uint32_t> Pager::EvictSlotLocked(Shard& shard) {
+  // Clock / second-chance sweep, resuming from the hand position left by
+  // the previous eviction (never an O(capacity) restart). Two full
+  // rotations suffice: the first pass clears reference bits, so the
+  // second pass must take the first unpinned frame — if none was found,
+  // every frame is pinned.
+  const uint32_t n = shard.capacity;
+  for (uint32_t step = 0; step < 2 * n; ++step) {
+    uint32_t slot = shard.hand;
+    shard.hand = (shard.hand + 1 == n) ? 0 : shard.hand + 1;
+    Frame& frame = shard.frames[slot];
+    if (frame.id == kInvalidPageId) continue;  // unoccupied slot
+    // Pairs with the lock-free release decrement; pin *increments* only
+    // happen under this shard's lock, so an unpinned frame stays
+    // unpinned for the rest of the sweep.
+    if (frame.pins.load(std::memory_order_acquire) > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;  // second chance
+      continue;
+    }
+    CCIDX_RETURN_IF_ERROR(WriteBack(frame));
+    TableEraseLocked(shard,
+                     ProbeLocked(shard, frame.id, MixPageId(frame.id)));
+    frame.id = kInvalidPageId;
+    frame.dirty = false;
+    return slot;
+  }
+  return Status::ResourceExhausted(
+      "all buffer-pool frames are pinned (shard capacity " +
+      std::to_string(n) + " of " + std::to_string(capacity_) + ")");
+}
+
+Status Pager::WriteBack(Frame& frame) {
+  if (!frame.dirty) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(
+      device_->Write(frame.id, {frame.data, device_->page_size()}));
+  // Under an active writer the frame must stay dirty: the pin holder may
+  // modify the span after this write-back.
+  if (frame.mut_pins.load(std::memory_order_acquire) == 0) {
+    frame.dirty = false;
+  }
+  return Status::OK();
+}
+
+Result<Pager::Frame*> Pager::GetFrameLocked(Shard& shard, PageId id,
+                                            uint64_t hash, MutMode mode) {
+  uint32_t pos = ProbeLocked(shard, id, hash);
+  int32_t hit_slot = shard.table[pos];
+  if (hit_slot >= 0) {
+    Frame& frame = shard.frames[hit_slot];
+    if (mode == MutMode::kOverwrite &&
+        frame.pins.load(std::memory_order_acquire) > 0) {
+      // Zero-filling the frame would mutate the page under live views.
+      return Status::FailedPrecondition("overwrite of pinned page " +
+                                        std::to_string(id));
+    }
+    shard.hits++;
+    frame.referenced = true;  // clock: a warm hit touches one flag, no list
+    if (mode == MutMode::kOverwrite) {
+      // Caller rewrites the page; start from deterministic zeros exactly as
+      // the historical copy-based Write did.
+      std::memset(frame.data, 0, device_->page_size());
+    }
+    return &frame;
+  }
+  shard.misses++;
+  uint32_t slot;
+  if (!shard.free_slots.empty()) {
+    slot = shard.free_slots.back();
+    shard.free_slots.pop_back();
+  } else {
+    auto victim = EvictSlotLocked(shard);
+    CCIDX_RETURN_IF_ERROR(victim.status());
+    slot = *victim;
+    // The eviction's backshift may have moved table entries; re-probe for
+    // the (still absent) id's insertion point.
+    pos = ProbeLocked(shard, id, hash);
+  }
+  Frame& frame = shard.frames[slot];
+  frame.id = id;
+  frame.dirty = (mode == MutMode::kOverwrite);
+  frame.referenced = true;
+  if (mode == MutMode::kLoad) {
+    Status s = device_->Read(id, {frame.data, device_->page_size()});
+    if (!s.ok()) {
+      // Nothing was inserted into the table yet; just return the slot.
+      frame.id = kInvalidPageId;
+      frame.dirty = false;
+      frame.referenced = false;
+      shard.free_slots.push_back(slot);
+      return s;
+    }
+  } else {
+    std::memset(frame.data, 0, device_->page_size());
+  }
+  shard.table[pos] = static_cast<int32_t>(slot);
+  return &frame;
+}
+
+// ---------------------------------------------------------------------------
+// Public pin / allocate / free surface
+// ---------------------------------------------------------------------------
+
 PageId Pager::Allocate() {
   PageId id = device_->Allocate();
   RecordAllocation(id);
@@ -122,156 +385,169 @@ PageId Pager::Allocate() {
   // the first write does not need a device read. Best-effort: if no frame
   // can be claimed right now (e.g. every frame is pinned), the page simply
   // starts uncached — it already exists zeroed on the device.
-  auto result = GetFrame(id, MutMode::kOverwrite);
+  uint64_t hash = MixPageId(id);
+  Shard& shard = shards_[static_cast<uint32_t>(hash) & shard_mask_];
+  std::lock_guard lock(shard.mu);
+  auto result = GetFrameLocked(shard, id, hash, MutMode::kOverwrite);
   if (result.ok()) (*result)->dirty = true;
   return id;
 }
 
 Status Pager::Free(PageId id) {
-  auto it = index_.find(id);
-  if (it != index_.end()) {
-    if (it->second->pins > 0) {
-      return Status::FailedPrecondition("free of pinned page " +
-                                        std::to_string(id));
+  if (capacity_ > 0) {
+    uint64_t hash = MixPageId(id);
+    Shard& shard = shards_[static_cast<uint32_t>(hash) & shard_mask_];
+    std::lock_guard lock(shard.mu);
+    uint32_t pos = ProbeLocked(shard, id, hash);  // the only lookup
+    int32_t slot = shard.table[pos];
+    if (slot >= 0) {
+      Frame& frame = shard.frames[slot];
+      if (frame.pins.load(std::memory_order_acquire) > 0) {
+        return Status::FailedPrecondition("free of pinned page " +
+                                          std::to_string(id));
+      }
+      frame.id = kInvalidPageId;
+      frame.dirty = false;
+      frame.referenced = false;
+      shard.free_slots.push_back(static_cast<uint32_t>(slot));
+      TableEraseLocked(shard, pos);
     }
-    lru_.erase(it->second);
-    index_.erase(it);
   }
   Status s = device_->Free(id);
   if (s.ok()) ForgetAllocation(id);
   return s;
 }
 
-Result<Pager::Frame*> Pager::GetFrame(PageId id, MutMode mode) {
-  auto it = index_.find(id);
-  if (it != index_.end()) {
-    Frame* frame = &*it->second;
-    if (mode == MutMode::kOverwrite && frame->pins > 0) {
-      // Zero-filling the frame would mutate the page under live views.
-      return Status::FailedPrecondition("overwrite of pinned page " +
-                                        std::to_string(id));
-    }
-    hits_++;
-    // Move to front (most recently used).
-    lru_.splice(lru_.begin(), lru_, it->second);
-    if (mode == MutMode::kOverwrite) {
-      // Caller rewrites the page; start from deterministic zeros exactly as
-      // the historical copy-based Write did.
-      std::memset(frame->data.get(), 0, device_->page_size());
-    }
-    return frame;
-  }
-  misses_++;
-  CCIDX_RETURN_IF_ERROR(EvictIfFull());
-  Frame frame;
-  frame.id = id;
-  frame.dirty = (mode == MutMode::kOverwrite);
-  frame.data = std::make_unique<uint8_t[]>(device_->page_size());
-  if (mode == MutMode::kLoad) {
-    CCIDX_RETURN_IF_ERROR(
-        device_->Read(id, {frame.data.get(), device_->page_size()}));
-  } else {
-    std::memset(frame.data.get(), 0, device_->page_size());
-  }
-  lru_.push_front(std::move(frame));
-  index_[id] = lru_.begin();
-  return &*lru_.begin();
-}
-
-Status Pager::EvictIfFull() {
-  while (lru_.size() >= capacity_) {
-    // LRU order with a pinned-skip scan: the victim is the least recently
-    // used frame without an outstanding pin.
-    auto victim = lru_.end();
-    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
-      if (rit->pins == 0) {
-        victim = std::prev(rit.base());
-        break;
-      }
-    }
-    if (victim == lru_.end()) {
-      return Status::ResourceExhausted(
-          "all buffer-pool frames are pinned (capacity " +
-          std::to_string(capacity_) + ")");
-    }
-    CCIDX_RETURN_IF_ERROR(WriteBack(*victim));
-    index_.erase(victim->id);
-    lru_.erase(victim);
-  }
-  return Status::OK();
-}
-
-Status Pager::WriteBack(Frame& frame) {
-  if (!frame.dirty) return Status::OK();
-  CCIDX_RETURN_IF_ERROR(
-      device_->Write(frame.id, {frame.data.get(), device_->page_size()}));
-  // Under an active writer the frame must stay dirty: the pin holder may
-  // modify the span after this write-back.
-  if (frame.mut_pins == 0) frame.dirty = false;
-  return Status::OK();
-}
-
 Result<PageRef> Pager::Pin(PageId id) {
-  pin_requests_++;
   PageRef ref;
   ref.id_ = id;
   ref.size_ = device_->page_size();
   if (capacity_ == 0) {
-    auto buf = std::make_unique<uint8_t[]>(ref.size_);
-    CCIDX_RETURN_IF_ERROR(device_->Read(id, {buf.get(), ref.size_}));
-    ref.data_ = buf.get();
-    ref.transient_ = std::move(buf);
+    transient_pin_requests_.fetch_add(1, std::memory_order_relaxed);
+    int32_t slot = -1;
+    std::unique_ptr<uint8_t[]> heap;
+    uint8_t* buf = AcquireTransient(&slot, &heap);
+    Status s = device_->Read(id, {buf, ref.size_});
+    if (!s.ok()) {
+      ReleaseTransient(slot);
+      return s;
+    }
+    ref.data_ = buf;
+    ref.transient_heap_ = std::move(heap);
+    ref.transient_slot_ = slot;
     ref.pager_ = this;
-    outstanding_pins_++;
+    transient_outstanding_.fetch_add(1, std::memory_order_relaxed);
     return ref;
   }
-  auto frame = GetFrame(id, MutMode::kLoad);
-  CCIDX_RETURN_IF_ERROR(frame.status());
-  (*frame)->pins++;
-  ref.frame_ = *frame;
-  ref.data_ = (*frame)->data.get();
+  uint64_t hash = MixPageId(id);
+  uint32_t shard_idx = static_cast<uint32_t>(hash) & shard_mask_;
+  Shard& shard = shards_[shard_idx];
+  {
+    std::lock_guard lock(shard.mu);
+    shard.pin_requests++;
+    auto frame = GetFrameLocked(shard, id, hash, MutMode::kLoad);
+    if (frame.ok()) {
+      (*frame)->pins.fetch_add(1, std::memory_order_relaxed);
+      ref.frame_ = *frame;
+      ref.data_ = (*frame)->data;
+      ref.pager_ = this;
+      return ref;
+    }
+    if (frame.status().code() != StatusCode::kResourceExhausted) {
+      return frame.status();
+    }
+  }
+  // The home shard is fully pinned. If the *pool* is fully pinned, that
+  // is the caller's error (the historical contract); but while other
+  // shards still have capacity, a read pin degrades gracefully to a
+  // private transient copy instead of failing — the page missed, so the
+  // device copy is current (any dirtier version would be resident), and
+  // the handle releases through the transient path like an uncached pin.
+  if (!AnyOtherShardHasCapacity(shard_idx)) {
+    return Status::ResourceExhausted(
+        "all buffer-pool frames are pinned (capacity " +
+        std::to_string(capacity_) + ")");
+  }
+  int32_t slot = -1;
+  std::unique_ptr<uint8_t[]> heap;
+  uint8_t* buf = AcquireTransient(&slot, &heap);
+  Status s = device_->Read(id, {buf, ref.size_});
+  if (!s.ok()) {
+    ReleaseTransient(slot);
+    return s;
+  }
+  ref.data_ = buf;
+  ref.transient_heap_ = std::move(heap);
+  ref.transient_slot_ = slot;
   ref.pager_ = this;
-  outstanding_pins_++;
+  transient_outstanding_.fetch_add(1, std::memory_order_relaxed);
   return ref;
+}
+
+bool Pager::AnyOtherShardHasCapacity(uint32_t except) const {
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (i == except) continue;
+    Shard& shard = shards_[i];
+    std::lock_guard lock(shard.mu);
+    if (!shard.free_slots.empty()) return true;
+    for (uint32_t s = 0; s < shard.capacity; ++s) {
+      if (shard.frames[s].pins.load(std::memory_order_acquire) == 0) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 Result<MutPageRef> Pager::TransientMutRef(PageId id, MutMode mode) {
   MutPageRef ref;
   ref.id_ = id;
   ref.size_ = device_->page_size();
-  auto buf = std::make_unique<uint8_t[]>(ref.size_);
+  int32_t slot = -1;
+  std::unique_ptr<uint8_t[]> heap;
+  uint8_t* buf = AcquireTransient(&slot, &heap);
   if (mode == MutMode::kLoad) {
-    CCIDX_RETURN_IF_ERROR(device_->Read(id, {buf.get(), ref.size_}));
+    Status s = device_->Read(id, {buf, ref.size_});
+    if (!s.ok()) {
+      ReleaseTransient(slot);
+      return s;
+    }
   } else {
-    std::memset(buf.get(), 0, ref.size_);
+    std::memset(buf, 0, ref.size_);
   }
-  ref.data_ = buf.get();
-  ref.transient_ = std::move(buf);
+  ref.data_ = buf;
+  ref.transient_heap_ = std::move(heap);
+  ref.transient_slot_ = slot;
   ref.pager_ = this;
-  outstanding_pins_++;
+  transient_outstanding_.fetch_add(1, std::memory_order_relaxed);
   return ref;
 }
 
-MutPageRef Pager::PoolMutRef(PageId id, Frame* frame) {
-  frame->pins++;
-  frame->mut_pins++;
+MutPageRef Pager::PoolMutRefLocked(PageId id, Frame* frame) {
+  frame->pins.fetch_add(1, std::memory_order_relaxed);
+  frame->mut_pins.fetch_add(1, std::memory_order_relaxed);
   frame->dirty = true;
   MutPageRef ref;
   ref.id_ = id;
   ref.size_ = device_->page_size();
   ref.frame_ = frame;
-  ref.data_ = frame->data.get();
+  ref.data_ = frame->data;
   ref.pager_ = this;
-  outstanding_pins_++;
   return ref;
 }
 
 Result<MutPageRef> Pager::PinMut(PageId id, MutMode mode) {
-  pin_requests_++;
-  if (capacity_ == 0) return TransientMutRef(id, mode);
-  auto frame = GetFrame(id, mode);
+  if (capacity_ == 0) {
+    transient_pin_requests_.fetch_add(1, std::memory_order_relaxed);
+    return TransientMutRef(id, mode);
+  }
+  uint64_t hash = MixPageId(id);
+  Shard& shard = shards_[static_cast<uint32_t>(hash) & shard_mask_];
+  std::lock_guard lock(shard.mu);
+  shard.pin_requests++;
+  auto frame = GetFrameLocked(shard, id, hash, mode);
   CCIDX_RETURN_IF_ERROR(frame.status());
-  return PoolMutRef(id, *frame);
+  return PoolMutRefLocked(id, *frame);
 }
 
 Result<MutPageRef> Pager::PinNew() {
@@ -280,39 +556,87 @@ Result<MutPageRef> Pager::PinNew() {
   // in a single miss with no redundant lookup or re-zeroing.
   PageId id = device_->Allocate();
   RecordAllocation(id);
-  pin_requests_++;
-  if (capacity_ == 0) return TransientMutRef(id, MutMode::kOverwrite);
-  auto frame = GetFrame(id, MutMode::kOverwrite);
+  if (capacity_ == 0) {
+    transient_pin_requests_.fetch_add(1, std::memory_order_relaxed);
+    return TransientMutRef(id, MutMode::kOverwrite);
+  }
+  uint64_t hash = MixPageId(id);
+  Shard& shard = shards_[static_cast<uint32_t>(hash) & shard_mask_];
+  std::lock_guard lock(shard.mu);
+  shard.pin_requests++;
+  auto frame = GetFrameLocked(shard, id, hash, MutMode::kOverwrite);
   CCIDX_RETURN_IF_ERROR(frame.status());
-  return PoolMutRef(id, *frame);
+  return PoolMutRefLocked(id, *frame);
 }
+
+// ---------------------------------------------------------------------------
+// Transient (uncached) buffer recycling
+// ---------------------------------------------------------------------------
+
+uint8_t* Pager::AcquireTransient(int32_t* slot,
+                                 std::unique_ptr<uint8_t[]>* heap) {
+  {
+    std::lock_guard lock(transient_mu_);
+    if (!transient_free_.empty()) {
+      *slot = static_cast<int32_t>(transient_free_.back());
+      transient_free_.pop_back();
+      return arena_ + frame_stride_ * static_cast<size_t>(*slot);
+    }
+  }
+  // Arena exhausted (more than kTransientArenaFrames simultaneous
+  // transient pins): fall back to the heap for this one.
+  *slot = -1;
+  *heap = std::make_unique<uint8_t[]>(device_->page_size());
+  return heap->get();
+}
+
+void Pager::ReleaseTransient(int32_t slot) {
+  if (slot < 0) return;
+  std::lock_guard lock(transient_mu_);
+  transient_free_.push_back(static_cast<uint32_t>(slot));
+}
+
+// ---------------------------------------------------------------------------
+// Introspection, flush, stats
+// ---------------------------------------------------------------------------
 
 uint64_t Pager::pinned_frames() const {
   uint64_t n = 0;
-  for (const Frame& f : lru_) {
-    if (f.pins > 0) n++;
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard lock(shard.mu);
+    for (uint32_t s = 0; s < shard.capacity; ++s) {
+      if (shard.frames[s].id != kInvalidPageId &&
+          shard.frames[s].pins.load(std::memory_order_acquire) > 0) {
+        n++;
+      }
+    }
   }
   return n;
 }
 
-void Pager::UnpinShared(Frame* frame) {
-  CCIDX_CHECK(frame->pins > 0);
-  frame->pins--;
-  outstanding_pins_--;
-}
-
-void Pager::UnpinMut(Frame* frame) {
-  CCIDX_CHECK(frame->pins > 0 && frame->mut_pins > 0);
-  frame->pins--;
-  frame->mut_pins--;
-  outstanding_pins_--;
+uint64_t Pager::outstanding_pins() const {
+  // Derived instead of counted: frame pin counts are the ground truth for
+  // pool handles (keeps the per-pin hot path to one atomic each way);
+  // transient handles keep their own counter (no frames to consult).
+  uint64_t n = transient_outstanding_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard lock(shard.mu);
+    for (uint32_t s = 0; s < shard.capacity; ++s) {
+      n += shard.frames[s].pins.load(std::memory_order_acquire);
+    }
+  }
+  return n;
 }
 
 void Pager::RecordDeferredError(Status s) {
+  std::lock_guard lock(deferred_mu_);
   if (deferred_error_.ok()) deferred_error_ = std::move(s);
 }
 
 Status Pager::TakeDeferredError() {
+  std::lock_guard lock(deferred_mu_);
   Status s = std::move(deferred_error_);
   deferred_error_ = Status::OK();
   return s;
@@ -340,38 +664,66 @@ Status Pager::Write(PageId id, std::span<const uint8_t> in) {
 
 Status Pager::Flush() {
   CCIDX_RETURN_IF_ERROR(TakeDeferredError());
-  for (Frame& frame : lru_) {
-    CCIDX_RETURN_IF_ERROR(WriteBack(frame));
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard lock(shard.mu);
+    for (uint32_t s = 0; s < shard.capacity; ++s) {
+      Frame& frame = shard.frames[s];
+      if (frame.id == kInvalidPageId) continue;
+      CCIDX_RETURN_IF_ERROR(WriteBack(frame));
+    }
   }
   return Status::OK();
 }
 
 Status Pager::DropCache() {
   CCIDX_RETURN_IF_ERROR(TakeDeferredError());
-  if (outstanding_pins_ > 0) {
+  uint64_t pins = outstanding_pins();
+  if (pins > 0) {
     return Status::FailedPrecondition(
-        "DropCache with " + std::to_string(outstanding_pins_) +
-        " outstanding pin(s)");
+        "DropCache with " + std::to_string(pins) + " outstanding pin(s)");
   }
   CCIDX_RETURN_IF_ERROR(Flush());
-  lru_.clear();
-  index_.clear();
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard lock(shard.mu);
+    std::fill(shard.table.begin(), shard.table.end(), -1);
+    shard.free_slots.clear();
+    for (uint32_t s = 0; s < shard.capacity; ++s) {
+      Frame& frame = shard.frames[s];
+      frame.id = kInvalidPageId;
+      frame.dirty = false;
+      frame.referenced = false;
+      shard.free_slots.push_back(shard.capacity - 1 - s);
+    }
+    shard.hand = 0;
+  }
   return Status::OK();
 }
 
 IoStats Pager::CombinedStats() const {
   IoStats s = device_->stats();
-  s.cache_hits = hits_;
-  s.cache_misses = misses_;
-  s.pin_requests = pin_requests_;
+  s.pin_requests = transient_pin_requests_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard lock(shard.mu);
+    s.cache_hits += shard.hits;
+    s.cache_misses += shard.misses;
+    s.pin_requests += shard.pin_requests;
+  }
   return s;
 }
 
 void Pager::ResetStats() {
-  device_->stats().Reset();
-  hits_ = 0;
-  misses_ = 0;
-  pin_requests_ = 0;
+  device_->ResetStats();
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard lock(shard.mu);
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.pin_requests = 0;
+  }
+  transient_pin_requests_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ccidx

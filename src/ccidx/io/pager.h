@@ -1,5 +1,6 @@
-// Pager: write-back LRU buffer pool over a BlockDevice, with zero-copy
-// pinned-page access (DESIGN.md §3).
+// Pager: sharded write-back buffer pool over a BlockDevice, with zero-copy
+// pinned-page access (DESIGN.md §3) and thread-safe read serving
+// (DESIGN.md §7).
 //
 // The paper assumes at least O(B^2) units of main memory (§1.1); with pages
 // of B units that is on the order of B resident pages. The pool capacity is
@@ -11,23 +12,50 @@
 //   * Pin(id)        -> PageRef     shared, read-only view
 //   * PinMut(id)     -> MutPageRef  exclusive-intent, dirties the frame
 //   * PinNew()       -> MutPageRef  allocate + pin a zeroed page
-// A pinned frame is ineligible for eviction; eviction skips pinned frames
-// in LRU order and reports ResourceExhausted when every frame is pinned.
+// A pinned frame is ineligible for eviction. When the whole pool is
+// pinned, pinning anything else is ResourceExhausted (the historical
+// contract); when only the page's home shard is pin-saturated, a read
+// pin degrades to a private transient copy (one device read) instead of
+// failing, so a pin set smaller than the pool can never be starved by
+// hash skew. Write pins report ResourceExhausted per shard.
+//
+// Concurrency (DESIGN.md §7): the pool is partitioned into S shards by a
+// hash of the page id, S = the smallest power of two >= 4x hardware
+// threads (capped so every shard keeps a useful number of frames; tiny
+// pools collapse to one shard and behave exactly like the historical
+// single pool). Each shard owns its own mutex, page table, clock hand,
+// and stats counters, so read pins on pages of distinct shards never
+// serialize. Pin counts are atomics: releasing a pin takes no lock at
+// all. Replacement is clock / second-chance: a warm hit sets one flag —
+// no list splice, no allocation — and the sweep resumes from the hand
+// position left by the previous eviction. Frame storage is one
+// contiguous page-aligned arena sized at construction; frames never
+// allocate per page.
+//
+//   Thread-safe against each other: Pin, PageRef::Release, and the
+//     evictions / device reads they trigger — the read-serving hot path.
+//   Externally synchronized (single writer, no concurrent readers of the
+//     same page): PinMut, PinNew, Allocate, Free, Write, Flush,
+//     DropCache, AllocationScope — the build/update paths, exactly the
+//     operations every index family documents as "writes external".
 //
 // When capacity_pages == 0 the pool is disabled and every pin is a private
 // transient copy: Pin costs one device read, MutPageRef::Release() costs
 // one device write. That reproduces the historical uncached Read/Write
 // cost model exactly, which the fault-injection and I/O-count tests rely
-// on. The copy-based Read/Write survive as thin wrappers over pins.
+// on. Transient copies are carved from a small recycled arena (heap
+// fallback when it runs dry), so steady-state uncached pins do not
+// allocate either. The copy-based Read/Write survive as thin wrappers
+// over pins.
 
 #ifndef CCIDX_IO_PAGER_H_
 #define CCIDX_IO_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
+#include <mutex>
 #include <span>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -40,22 +68,54 @@ class Pager;
 
 namespace internal {
 
-/// One resident page of the buffer pool. Frames with pins > 0 are
+/// One resident page of the buffer pool. `data` points at this frame's
+/// fixed slot in the pager's arena. Frames with pins > 0 are
 /// eviction-ineligible; mut_pins tracks the subset of pins that may write
 /// (Flush must not clear the dirty bit under an active writer).
+///
+/// Locking: id / dirty / referenced are guarded by the owning shard's
+/// lock. Pin counts are atomic — increments happen under the shard lock
+/// (so the eviction sweep, which also holds it, can never race a new pin),
+/// but decrements are lock-free releases.
 struct PageFrame {
-  PageId id = kInvalidPageId;
+  PageId id = kInvalidPageId;  // kInvalidPageId => slot unoccupied
   bool dirty = false;
-  uint32_t pins = 0;
-  uint32_t mut_pins = 0;
-  std::unique_ptr<uint8_t[]> data;
+  bool referenced = false;  // clock second-chance bit
+  std::atomic<uint32_t> pins{0};
+  std::atomic<uint32_t> mut_pins{0};
+  uint8_t* data = nullptr;
+};
+
+/// One buffer-pool shard: its own lock, page table, frames, clock hand,
+/// and stats. The page table is open-addressed linear probing over frame
+/// slots (table[i] is a frame index or -1), sized >= 2x capacity: a warm
+/// hit costs one mixed-hash probe into a contiguous int32 array instead
+/// of an unordered_map bucket chase. alignas keeps shards on distinct
+/// cache lines so per-shard state never false-shares.
+struct alignas(64) PagerShard {
+  // Guards everything below. Shard critical sections are tens of ns (an
+  // open-addressed probe plus flag writes; at worst one device transfer
+  // on a miss), and shards outnumber hardware threads 4x, so this is
+  // uncontended in the common case — and a futex mutex sleeps instead of
+  // burning cores when it is not.
+  std::mutex mu;
+  std::unique_ptr<PageFrame[]> frames;
+  std::vector<int32_t> table;  // open addressing; -1 = empty
+  uint32_t table_mask = 0;
+  std::vector<uint32_t> free_slots;
+  uint32_t capacity = 0;
+  uint32_t hand = 0;  // clock sweep position; persists across evictions
+  // Per-shard stats, merged by Pager::CombinedStats() (guarded by mu).
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t pin_requests = 0;
 };
 
 }  // namespace internal
 
 /// RAII shared read pin. While alive, the page's frame stays resident and
 /// `data()` is a stable view into the buffer pool (no copy). Releasing a
-/// read pin never performs I/O.
+/// read pin never performs I/O and never takes a lock.
 class PageRef {
  public:
   PageRef() = default;
@@ -89,18 +149,21 @@ class PageRef {
   void MoveFrom(PageRef& o) {
     pager_ = o.pager_;
     frame_ = o.frame_;
-    transient_ = std::move(o.transient_);
+    transient_heap_ = std::move(o.transient_heap_);
+    transient_slot_ = o.transient_slot_;
     id_ = o.id_;
     data_ = o.data_;
     size_ = o.size_;
     o.pager_ = nullptr;
     o.frame_ = nullptr;
+    o.transient_slot_ = -1;
     o.data_ = nullptr;
   }
 
   Pager* pager_ = nullptr;
   internal::PageFrame* frame_ = nullptr;  // null => transient (uncached)
-  std::unique_ptr<uint8_t[]> transient_;
+  std::unique_ptr<uint8_t[]> transient_heap_;  // arena-overflow fallback
+  int32_t transient_slot_ = -1;  // >= 0: slot in the transient arena
   PageId id_ = kInvalidPageId;
   const uint8_t* data_ = nullptr;
   size_t size_ = 0;
@@ -144,18 +207,21 @@ class MutPageRef {
   void MoveFrom(MutPageRef& o) {
     pager_ = o.pager_;
     frame_ = o.frame_;
-    transient_ = std::move(o.transient_);
+    transient_heap_ = std::move(o.transient_heap_);
+    transient_slot_ = o.transient_slot_;
     id_ = o.id_;
     data_ = o.data_;
     size_ = o.size_;
     o.pager_ = nullptr;
     o.frame_ = nullptr;
+    o.transient_slot_ = -1;
     o.data_ = nullptr;
   }
 
   Pager* pager_ = nullptr;
   internal::PageFrame* frame_ = nullptr;  // null => transient (uncached)
-  std::unique_ptr<uint8_t[]> transient_;
+  std::unique_ptr<uint8_t[]> transient_heap_;
+  int32_t transient_slot_ = -1;
   PageId id_ = kInvalidPageId;
   uint8_t* data_ = nullptr;
   size_t size_ = 0;
@@ -169,6 +235,7 @@ class MutPageRef {
 /// injection is rejecting transfers — chain-walking cleanup cannot.
 /// Scopes nest: committing an inner scope folds its pages into the
 /// enclosing one, so a sub-build participates in its caller's atomicity.
+/// Build-path facility: externally synchronized like all writes.
 class AllocationScope {
  public:
   explicit AllocationScope(Pager* pager);
@@ -185,7 +252,8 @@ class AllocationScope {
 };
 
 /// Buffer-pool front end for a BlockDevice. Pin-based access is the primary
-/// interface; dirty pages are written back on eviction or Flush.
+/// interface; dirty pages are written back on eviction or Flush. See the
+/// file comment for the shard layout and the thread-safety contract.
 class Pager {
  public:
   /// Contents policy for PinMut on a page that may not be resident.
@@ -199,12 +267,17 @@ class Pager {
   };
 
   /// `capacity_pages == 0` disables caching (every access hits the device).
+  /// The frame arena (capacity_pages pages, page-aligned) is allocated
+  /// here, up front — no per-frame allocation ever happens afterwards.
   Pager(BlockDevice* device, uint32_t capacity_pages);
 
   ~Pager();
 
   uint32_t page_size() const { return device_->page_size(); }
   BlockDevice* device() { return device_; }
+
+  /// Number of shards the pool is split into (1 for small/uncached pools).
+  uint32_t shard_count() const { return num_shards_; }
 
   /// Allocates a fresh zeroed page (cached as dirty; no device I/O yet when
   /// caching is enabled).
@@ -215,7 +288,8 @@ class Pager {
   Status Free(PageId id);
 
   /// Pins a page for reading. Zero-copy on cache hits; one device read on a
-  /// miss (or always, when caching is disabled).
+  /// miss (or always, when caching is disabled). Safe to call from any
+  /// number of threads concurrently.
   Result<PageRef> Pin(PageId id);
 
   /// Pins a page for writing; the frame is marked dirty immediately.
@@ -231,7 +305,7 @@ class Pager {
   uint64_t pinned_frames() const;
 
   /// Total outstanding pin handles (pool + transient).
-  uint64_t outstanding_pins() const { return outstanding_pins_; }
+  uint64_t outstanding_pins() const;
 
   /// Copies the page into `out` (size page_size()). Thin wrapper over Pin,
   /// kept for fault-injection tests and callers that need an owned copy.
@@ -252,10 +326,10 @@ class Pager {
   Status DropCache();
 
   /// Device-level counters (the paper's I/O metric) plus pin/hit/miss
-  /// counters.
+  /// counters, merged across shards (DESIGN.md §7 stats merge rule).
   IoStats CombinedStats() const;
 
-  /// Resets both pager-local and device counters.
+  /// Resets both pager-local (every shard) and device counters.
   void ResetStats();
 
  private:
@@ -264,30 +338,61 @@ class Pager {
   friend class AllocationScope;
 
   using Frame = internal::PageFrame;
+  using Shard = internal::PagerShard;
+
+  // Frames a transient (uncached) arena holds for recycling pin buffers.
+  static constexpr uint32_t kTransientArenaFrames = 16;
+
+  // Smallest power of two >= 4x hardware threads, capped so every shard
+  // keeps >= kMinFramesPerShard frames (1 shard for tiny pools).
+  static uint32_t PickShardCount(uint32_t capacity_pages);
 
   // AllocationScope bookkeeping: Allocate/PinNew record into the active
   // scope; Free forgets the id wherever it is recorded.
   void RecordAllocation(PageId id);
   void ForgetAllocation(PageId id);
 
-  // Returns the resident frame for `id`, loading it from the device unless
-  // `mode == kOverwrite` (then the frame is zero-filled). Only called when
-  // caching is enabled.
-  Result<Frame*> GetFrame(PageId id, MutMode mode);
+  // Returns the resident frame for `id` within `shard` (whose lock the
+  // caller holds), loading it from the device unless `mode == kOverwrite`
+  // (then the frame is zero-filled). `hash` is the mixed page-id hash (the
+  // same value that selected the shard); the open-addressed probe serves
+  // both the hit check and the miss insert — one table walk per pin.
+  Result<Frame*> GetFrameLocked(Shard& shard, PageId id, uint64_t hash,
+                                MutMode mode);
 
-  // Evicts unpinned frames (LRU order, skipping pinned ones) until a slot
-  // is free. ResourceExhausted when every frame is pinned.
-  Status EvictIfFull();
+  // Clock / second-chance sweep: returns a reclaimed frame slot, resuming
+  // from the hand position of the previous sweep. ResourceExhausted when
+  // every frame of the shard is pinned. Requires shard.mu.
+  Result<uint32_t> EvictSlotLocked(Shard& shard);
+
+  // True if any shard other than `except` has a free or unpinned frame.
+  // Distinguishes "one shard is pin-saturated" (read pins degrade to a
+  // transient copy) from "the whole pool is pinned" (ResourceExhausted,
+  // the historical contract). Takes each shard's lock briefly; callers
+  // hold no shard lock.
+  bool AnyOtherShardHasCapacity(uint32_t except) const;
+
+  // Open-addressed page-table helpers; all require shard.mu.
+  // Probe for `id`: returns the table position holding it, or the first
+  // empty position (insertion point) if absent.
+  uint32_t ProbeLocked(const Shard& shard, PageId id, uint64_t hash) const;
+  // Removes the table entry at position `pos` (backshift deletion keeps
+  // probe chains tombstone-free).
+  void TableEraseLocked(Shard& shard, uint32_t pos);
 
   Status WriteBack(Frame& frame);
+
+  // Transient (uncached-mode) buffers: recycled arena slots with a heap
+  // fallback. `heap` is set only when slot == -1.
+  uint8_t* AcquireTransient(int32_t* slot,
+                            std::unique_ptr<uint8_t[]>* heap);
+  void ReleaseTransient(int32_t slot);
 
   // Builds a mutable handle over a private transient copy (uncached mode).
   Result<MutPageRef> TransientMutRef(PageId id, MutMode mode);
   // Builds a mutable handle over a resident frame, taking the pins.
-  MutPageRef PoolMutRef(PageId id, Frame* frame);
-
-  void UnpinShared(Frame* frame);
-  void UnpinMut(Frame* frame);
+  // Requires the shard lock.
+  MutPageRef PoolMutRefLocked(PageId id, Frame* frame);
 
   // Destructor fallback for an unreleased transient MutPageRef: best-effort
   // write-back whose failure is parked here and surfaced by the next
@@ -297,15 +402,26 @@ class Pager {
 
   BlockDevice* device_;
   uint32_t capacity_;
-  // LRU list: front = most recent. Map from page id to list iterator.
-  std::list<Frame> lru_;
-  std::unordered_map<PageId, std::list<Frame>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t pin_requests_ = 0;
-  uint64_t outstanding_pins_ = 0;
+  uint32_t num_shards_ = 1;
+  uint32_t shard_mask_ = 0;
+  // One contiguous page-aligned arena backing every frame (and, in
+  // uncached mode, the transient buffer pool). Sized at construction.
+  size_t frame_stride_ = 0;
+  uint8_t* arena_ = nullptr;
+  size_t arena_bytes_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+
+  // Uncached-mode transient buffer recycling.
+  std::mutex transient_mu_;
+  std::vector<uint32_t> transient_free_;
+  std::atomic<uint64_t> transient_outstanding_{0};
+  std::atomic<uint64_t> transient_pin_requests_{0};
+
+  std::mutex deferred_mu_;
   Status deferred_error_;
-  // Stack of active AllocationScopes (innermost last).
+  // Stack of active AllocationScopes (innermost last). Build-path state,
+  // guarded for safety but externally synchronized like all writes.
+  std::mutex alloc_scopes_mu_;
   std::vector<std::unordered_set<PageId>> alloc_scopes_;
 };
 

@@ -38,6 +38,10 @@
 namespace ccidx {
 
 /// Fully dynamic external priority search tree (§5 dynamization of [17]).
+///
+/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
+/// number of threads concurrently over one shared Pager. Insert/Delete/
+/// Build/Destroy are writes and require external synchronization.
 class DynamicPst {
  public:
   /// Creates an empty tree.

@@ -32,6 +32,10 @@
 namespace ccidx {
 
 /// Static external priority search tree for 3-sided queries.
+///
+/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
+/// number of threads concurrently over one shared Pager. Build/Free are
+/// writes and require external synchronization.
 class ExternalPst {
  public:
   /// Builds from an x-sorted group (any planar points; no y >= x

@@ -1,0 +1,55 @@
+#include "ccidx/query/executor.h"
+
+namespace ccidx {
+
+QueryExecutor::QueryExecutor(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void QueryExecutor::RunOnWorkers(const std::function<void(unsigned)>& job) {
+  std::unique_lock lock(mu_);
+  job_ = &job;
+  running_ = num_threads();
+  generation_++;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void QueryExecutor::WorkerLoop(unsigned thread) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(thread);
+    {
+      std::lock_guard lock(mu_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace ccidx

@@ -1,0 +1,162 @@
+// QueryExecutor: a fixed worker pool that fans a batch of queries across
+// threads over one shared structure + pager (DESIGN.md §7).
+//
+// Every index family's query path is const and thread-safe over a shared
+// Pager (reads pin pages; the sharded pool serializes nothing across
+// shards), so serving a read batch is embarrassingly parallel: workers
+// claim queries from a shared atomic cursor, each query runs against its
+// own sink / SinkEmitter (created on the executing worker), and the batch
+// report carries per-query statuses, per-thread query counts, and the
+// IoStats diff over the whole batch (counters are merged across pager
+// shards on read, preserving the `operator-` snapshot semantics).
+//
+// Writes (Insert/Delete/build) stay externally synchronized — do not run
+// them concurrently with a batch.
+
+#ifndef CCIDX_QUERY_EXECUTOR_H_
+#define CCIDX_QUERY_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "ccidx/common/status.h"
+#include "ccidx/io/pager.h"
+#include "ccidx/query/sink.h"
+
+namespace ccidx {
+
+/// Outcome of one RunBatch call.
+struct BatchReport {
+  /// statuses[i] is the Status of queries[i] (order preserved).
+  std::vector<Status> statuses;
+  /// Pager stats diff across the whole batch (zero unless a pager was
+  /// passed to RunBatch). Device reads/writes are the paper's I/O metric.
+  IoStats io;
+  /// Queries executed by each worker (sums to statuses.size()).
+  std::vector<uint64_t> per_thread_queries;
+
+  bool ok() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+
+  /// First non-OK status, or OK.
+  Status FirstError() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+};
+
+/// BatchReport plus the per-query sinks created by the sink factory, so
+/// callers harvest results (counts, top-k, vectors) after the batch.
+template <typename T>
+struct SinkBatchReport {
+  BatchReport report;
+  std::vector<std::unique_ptr<ResultSink<T>>> sinks;
+
+  bool ok() const { return report.ok(); }
+};
+
+/// Fixed pool of worker threads serving query batches. Construction starts
+/// the workers; destruction joins them. RunBatch blocks the caller until
+/// the batch drains. One executor can serve any number of batches (over
+/// any structures) sequentially; batches themselves parallelize
+/// internally.
+class QueryExecutor {
+ public:
+  /// Starts `num_threads` workers (0 => one per hardware thread).
+  explicit QueryExecutor(unsigned num_threads);
+  ~QueryExecutor();
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Fans `queries` across the workers. `runner` is invoked as
+  ///   Status runner(const Query& q, size_t query_index, unsigned thread)
+  /// concurrently from the workers; it must only perform const/thread-safe
+  /// operations (queries over pins). When `pager` is non-null the report
+  /// carries the batch's IoStats diff.
+  template <typename Query, typename Runner>
+  BatchReport RunBatch(std::span<const Query> queries, Runner&& runner,
+                       Pager* pager = nullptr) {
+    BatchReport report;
+    report.statuses.assign(queries.size(), Status::OK());
+    report.per_thread_queries.assign(num_threads(), 0);
+    IoStats before = pager != nullptr ? pager->CombinedStats() : IoStats{};
+    std::atomic<size_t> next{0};
+    RunOnWorkers([&](unsigned thread) {
+      // Count locally and store once: adjacent per_thread_queries slots
+      // share cache lines, and an increment per claimed query would
+      // ping-pong that line across every worker.
+      uint64_t ran = 0;
+      for (size_t i;
+           (i = next.fetch_add(1, std::memory_order_relaxed)) <
+           queries.size();) {
+        report.statuses[i] = runner(queries[i], i, thread);
+        ran++;
+      }
+      report.per_thread_queries[thread] = ran;
+    });
+    if (pager != nullptr) report.io = pager->CombinedStats() - before;
+    return report;
+  }
+
+  /// Sink-based convenience: `sink_factory(i)` builds the sink for
+  /// queries[i] (any unique_ptr to a ResultSink<T> subclass); `runner` is
+  ///   Status runner(const Query& q, ResultSink<T>* sink)
+  /// — exactly the signature of every family's sink query entry point, so
+  /// a runner is usually a one-line lambda. Each query drives its own
+  /// sink (and the per-query SinkEmitter the family builds over it) on
+  /// the executing worker. Returns the sinks for harvesting. Call as
+  /// `exec.RunBatch<T>(queries, factory, runner)`.
+  template <typename T, typename Query, typename SinkFactory,
+            typename Runner>
+  SinkBatchReport<T> RunBatch(std::span<const Query> queries,
+                              SinkFactory&& sink_factory, Runner&& runner,
+                              Pager* pager = nullptr) {
+    SinkBatchReport<T> out;
+    out.sinks.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out.sinks.push_back(sink_factory(i));
+    }
+    out.report = RunBatch(
+        queries,
+        [&](const Query& q, size_t index, unsigned) {
+          return runner(q, out.sinks[index].get());
+        },
+        pager);
+    return out;
+  }
+
+ private:
+  // Runs `job(thread)` on every worker and blocks until all return.
+  void RunOnWorkers(const std::function<void(unsigned)>& job);
+  void WorkerLoop(unsigned thread);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;  // guarded by mu_
+  uint64_t generation_ = 0;
+  unsigned running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_QUERY_EXECUTOR_H_

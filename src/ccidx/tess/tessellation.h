@@ -30,9 +30,15 @@ namespace ccidx {
 struct TessBlock {
   Coord x, y;
   Coord w, h;
+
+  bool operator==(const TessBlock&) const = default;
 };
 
 /// A tessellation of the p x p grid into B-point rectangles.
+///
+/// Thread safety: immutable after construction (fully in-core), so every
+/// const method — including VisitRangeBlocks — is safe to run from any
+/// number of threads concurrently.
 class Tessellation {
  public:
   /// sqrt(B) x sqrt(B) tiles (grid-file-like). Requires sqrt(B) integral

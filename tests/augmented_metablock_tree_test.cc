@@ -186,7 +186,7 @@ TEST_F(AugmentedTreeTest, AmortizedInsertIoWithinBound) {
   AugmentedMetablockTree tree(&pager_);
   const size_t n = 30 * kB * kB;
   auto points = RandomPointsAboveDiagonal(n, 100000, 7);
-  dev_.stats().Reset();
+  dev_.ResetStats();
   for (const Point& p : points) ASSERT_TRUE(tree.Insert(p).ok());
   double per_insert =
       static_cast<double>(dev_.stats().TotalIos()) / static_cast<double>(n);
@@ -204,7 +204,7 @@ TEST_F(AugmentedTreeTest, QueryIoAfterInsertionsWithinBound) {
   PointOracle oracle(points);
   double logb = std::log(static_cast<double>(n)) / std::log(kB);
   for (Coord a = 0; a <= 100000; a += 3331) {
-    dev_.stats().Reset();
+    dev_.ResetStats();
     std::vector<Point> got;
     ASSERT_TRUE(tree.Query({a}, &got).ok());
     size_t t = oracle.Diagonal({a}).size();

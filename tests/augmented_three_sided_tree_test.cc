@@ -183,7 +183,7 @@ TEST_F(AugmentedThreeSidedTest, QueryIoWithinLemmaBound) {
     Coord x2 = std::min<Coord>(99999, x1 + static_cast<Coord>(rng() % 30000));
     ThreeSidedQuery q{x1, x2, static_cast<Coord>(rng() % 100000)};
     size_t t = oracle.ThreeSided(q).size();
-    dev_.stats().Reset();
+    dev_.ResetStats();
     std::vector<Point> got;
     ASSERT_TRUE(tree.Query(q, &got).ok());
     ASSERT_EQ(got.size(), t) << q.ToString();
@@ -197,7 +197,7 @@ TEST_F(AugmentedThreeSidedTest, AmortizedInsertIo) {
   AugmentedThreeSidedTree tree(&pager_);
   const size_t n = 20 * kB * kB;
   auto points = RandomPoints(n, 100000, 10);
-  dev_.stats().Reset();
+  dev_.ResetStats();
   for (const Point& p : points) ASSERT_TRUE(tree.Insert(p).ok());
   double per_insert =
       static_cast<double>(dev_.stats().TotalIos()) / static_cast<double>(n);

@@ -93,7 +93,7 @@ TEST_F(BlockingTest, ScanStopsWithinOneBlockOfCrossing) {
   auto head = WriteDescYChain(&pager_, points);
   ASSERT_TRUE(head.ok());
   Coord threshold = points[2 * kB + kB / 2].y;  // mid page 2
-  dev_.stats().Reset();
+  dev_.ResetStats();
   std::vector<Point> got;
   auto crossed = CollectDescYChain(
       &pager_, *head, threshold, &got);
@@ -149,7 +149,7 @@ TEST_F(BlockingTest, TieHeavyScan) {
   EXPECT_FALSE(*crossed);
   EXPECT_EQ(got.size(), points.size());
   got.clear();
-  dev_.stats().Reset();
+  dev_.ResetStats();
   crossed = CollectDescYChain(
       &pager_, *head, 43, &got);
   ASSERT_TRUE(crossed.ok());

@@ -228,7 +228,7 @@ TEST_F(BPlusTreeTest, QueryIoIsLogarithmicPlusOutput) {
   ASSERT_TRUE(tree.ok());
 
   for (int64_t t : {1, 10, 100, 1000, 5000}) {
-    dev_.stats().Reset();
+    dev_.ResetStats();
     std::vector<BtEntry> out;
     ASSERT_TRUE(tree->RangeSearch(1000, 1000 + t - 1, &out).ok());
     ASSERT_EQ(out.size(), static_cast<size_t>(t));

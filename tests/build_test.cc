@@ -498,7 +498,7 @@ TEST_F(BuildTest, RakeContractBulkBuildEqualsInserts) {
 TEST_F(BuildTest, MetablockBuildIoTracksSortBound) {
   const size_t n = 30 * kB * kB;
   PointStream stream(PointStream::Shape::kAboveDiagonal, n, kDomain, 26);
-  dev_.stats().Reset();
+  dev_.ResetStats();
   auto tree = MetablockTree::Build(&pager_, &stream);
   ASSERT_TRUE(tree.ok());
   double n_over_b = static_cast<double>(n) / kB;
@@ -522,7 +522,7 @@ TEST_F(BuildTest, MetablockStreamBuildFaultAtomic) {
   const size_t n = 6 * kB * kB;
   uint64_t baseline = dev_.live_pages();
   ASSERT_EQ(baseline, 0u);
-  dev_.stats().Reset();
+  dev_.ResetStats();
   {
     PointStream stream(PointStream::Shape::kAboveDiagonal, n, 2000, 27);
     auto tree = MetablockTree::Build(&pager_, &stream);
@@ -556,7 +556,7 @@ TEST_F(BuildTest, MetablockStreamBuildFaultAtomic) {
 TEST_F(BuildTest, IntervalIndexStreamBuildFaultAtomic) {
   const size_t n = 1500;
   ASSERT_EQ(dev_.live_pages(), 0u);
-  dev_.stats().Reset();
+  dev_.ResetStats();
   {
     IntervalStream stream(IntervalWorkload::kUniform, n, 5000, 28);
     auto idx = IntervalIndex::Build(&pager_, &stream);

@@ -444,7 +444,7 @@ TEST_F(RakeContractTest, QueryIoWithinTheorem47Bound) {
     Coord a1 = static_cast<Coord>(rng() % 50000);
     Coord a2 = a1 + static_cast<Coord>(rng() % 20000);
     auto want = NaiveClassQuery(h, objects, c, a1, a2);
-    dev_.stats().Reset();
+    dev_.ResetStats();
     std::vector<uint64_t> got;
     ASSERT_TRUE(idx->Query(c, a1, a2, &got).ok());
     ASSERT_EQ(got.size(), want.size());

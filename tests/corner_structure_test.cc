@@ -106,7 +106,7 @@ TEST_F(CornerStructureTest, QueryIoWithinLemmaBound) {
   auto cs = CornerStructure::Build(&pager_, points);
   ASSERT_TRUE(cs.ok());
   for (Coord a = 0; a <= 10000; a += 307) {
-    dev_.stats().Reset();
+    dev_.ResetStats();
     std::vector<Point> got;
     ASSERT_TRUE(cs->Query(a, &got).ok());
     size_t t = oracle.Diagonal({a}).size();

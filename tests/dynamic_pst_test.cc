@@ -72,7 +72,7 @@ TEST_F(DynamicPstTest, SortedInsertsStayBalanced) {
   }
   ASSERT_TRUE(pst.CheckInvariants().ok());
   // Query cost must be logarithmic, not linear.
-  dev_.stats().Reset();
+  dev_.ResetStats();
   std::vector<Point> out;
   ASSERT_TRUE(pst.Query({2000, 2000, 0}, &out).ok());
   EXPECT_LE(dev_.stats().device_reads,
@@ -173,7 +173,7 @@ TEST_F(DynamicPstTest, QueryIoStaysLogarithmicUnderChurn) {
     Coord x2 = std::min<Coord>(99999, x1 + 30000);
     ThreeSidedQuery q{x1, x2, static_cast<Coord>(rng() % 100000)};
     size_t t = oracle.ThreeSided(q).size();
-    dev_.stats().Reset();
+    dev_.ResetStats();
     std::vector<Point> got;
     ASSERT_TRUE(pst.Query(q, &got).ok());
     ASSERT_EQ(got.size(), t);

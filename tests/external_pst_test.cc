@@ -127,7 +127,7 @@ TEST_F(ExternalPstTest, QueryIoIsLog2PlusOutput) {
     Coord y = static_cast<Coord>(rng() % 100000);
     ThreeSidedQuery q{x1, x2, y};
     size_t t = oracle.ThreeSided(q).size();
-    dev_.stats().Reset();
+    dev_.ResetStats();
     std::vector<Point> got;
     ASSERT_TRUE(pst->Query(q, &got).ok());
     ASSERT_EQ(got.size(), t);

@@ -40,7 +40,7 @@ TEST(FaultInjectionTest, BptreeQueryPropagatesErrors) {
   for (int i = 0; i < 500; ++i) {
     ASSERT_TRUE(tree.Insert(i, static_cast<uint64_t>(i)).ok());
   }
-  dev.stats().Reset();
+  dev.ResetStats();
   std::vector<BtEntry> out;
   ASSERT_TRUE(tree.RangeSearch(100, 200, &out).ok());
   uint64_t healthy = dev.stats().TotalIos();
@@ -57,7 +57,7 @@ TEST(FaultInjectionTest, MetablockQueryPropagatesErrors) {
   auto tree = MetablockTree::Build(
       &pager, RandomPointsAboveDiagonal(10 * kB * kB, 2000, 1));
   ASSERT_TRUE(tree.ok());
-  dev.stats().Reset();
+  dev.ResetStats();
   std::vector<Point> out;
   ASSERT_TRUE(tree->Query({500}, &out).ok());
   uint64_t healthy = dev.stats().TotalIos();
@@ -73,7 +73,7 @@ TEST(FaultInjectionTest, ThreeSidedQueryPropagatesErrors) {
   auto tree =
       ThreeSidedTree::Build(&pager, RandomPoints(10 * kB * kB, 2000, 2));
   ASSERT_TRUE(tree.ok());
-  dev.stats().Reset();
+  dev.ResetStats();
   std::vector<Point> out;
   ASSERT_TRUE(tree->Query({200, 1500, 300}, &out).ok());
   uint64_t healthy = dev.stats().TotalIos();
@@ -88,7 +88,7 @@ TEST(FaultInjectionTest, PstQueryPropagatesErrors) {
   Pager pager(&dev, 0);
   auto pst = ExternalPst::Build(&pager, RandomPoints(1000, 2000, 3));
   ASSERT_TRUE(pst.ok());
-  dev.stats().Reset();
+  dev.ResetStats();
   std::vector<Point> out;
   ASSERT_TRUE(pst->Query({100, 1900, 100}, &out).ok());
   uint64_t healthy = dev.stats().TotalIos();
@@ -104,7 +104,7 @@ TEST(FaultInjectionTest, IntervalStabPropagatesErrors) {
   auto idx = IntervalIndex::Build(
       &pager, RandomIntervals(800, 5000, IntervalWorkload::kUniform, 4));
   ASSERT_TRUE(idx.ok());
-  dev.stats().Reset();
+  dev.ResetStats();
   std::vector<Interval> out;
   ASSERT_TRUE(idx->Intersect(1000, 1500, &out).ok());
   uint64_t healthy = dev.stats().TotalIos();

@@ -52,7 +52,7 @@ TEST(PagerIntegrationTest, WarmCacheReducesDeviceReads) {
   ASSERT_TRUE(tree.ok());
   std::vector<Point> out;
   ASSERT_TRUE(tree->Query({1500}, &out).ok());  // warm the pool
-  dev.stats().Reset();
+  dev.ResetStats();
   out.clear();
   ASSERT_TRUE(tree->Query({1500}, &out).ok());  // fully cached now
   EXPECT_EQ(dev.stats().device_reads, 0u);
@@ -125,8 +125,8 @@ TEST(AblationTest, CornerStructureAvoidsVerticalSweep) {
   // Anchors deep in the x-range: many vertical blocks to the left.
   for (uint64_t i = b * b / 2; i < static_cast<uint64_t>(b) * b; i += 7) {
     Coord a = static_cast<Coord>(2 * i);
-    d0.stats().Reset();
-    d1.stats().Reset();
+    d0.ResetStats();
+    d1.ResetStats();
     std::vector<Point> o0, o1;
     ASSERT_TRUE(full->Query({a}, &o0).ok());
     ASSERT_TRUE(nc->Query({a}, &o1).ok());
@@ -172,8 +172,8 @@ TEST(AblationTest, TsStructureAvoidsPerSiblingVisits) {
   auto nt = MetablockTree::Build(&p1, points, no_ts);
   ASSERT_TRUE(full.ok() && nt.ok());
 
-  d0.stats().Reset();
-  d1.stats().Reset();
+  d0.ResetStats();
+  d1.ResetStats();
   std::vector<Point> o0, o1;
   ASSERT_TRUE(full->Query({kQualY}, &o0).ok());
   ASSERT_TRUE(nt->Query({kQualY}, &o1).ok());

@@ -168,7 +168,7 @@ TEST_F(IntervalIndexTest, StabbingIoWithinBound) {
   ASSERT_TRUE(idx.ok());
   double logb = std::log(static_cast<double>(n)) / std::log(kB);
   for (Coord q = 0; q <= 50000; q += 1499) {
-    dev_.stats().Reset();
+    dev_.ResetStats();
     std::vector<Interval> got;
     ASSERT_TRUE(idx->Stab(q, &got).ok());
     size_t t = oracle.Stab(q).size();

@@ -134,7 +134,7 @@ TEST(PagerTest, DropCacheForcesColdReads) {
   std::vector<uint8_t> buf(kPageSize, 9);
   ASSERT_TRUE(pager.Write(id, buf).ok());
   ASSERT_TRUE(pager.DropCache().ok());
-  dev.stats().Reset();
+  dev.ResetStats();
   ASSERT_TRUE(pager.Read(id, buf).ok());
   EXPECT_EQ(dev.stats().device_reads, 1u);
   EXPECT_EQ(buf[5], 9);
@@ -238,7 +238,7 @@ TEST(PageIoTest, ChainReadCostsOneIoPerPage) {
   }
   auto ids = io.WriteChain<Rec>(recs);
   ASSERT_TRUE(ids.ok());
-  dev.stats().Reset();
+  dev.ResetStats();
   std::vector<Rec> out;
   ASSERT_TRUE(io.ReadChain<Rec>(ids->front(), &out).ok());
   // Exactly t/B reads: the "compact output" property the paper demands.

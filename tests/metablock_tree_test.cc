@@ -116,7 +116,7 @@ TEST_F(MetablockTreeTest, QueryIoWithinTheoremBound) {
   ASSERT_TRUE(tree.ok());
   double logb_n = std::log(static_cast<double>(n)) / std::log(kB);
   for (Coord a = 0; a <= 100000; a += 1777) {
-    dev_.stats().Reset();
+    dev_.ResetStats();
     std::vector<Point> got;
     ASSERT_TRUE(tree->Query({a}, &got).ok());
     size_t t = oracle.Diagonal({a}).size();

@@ -168,7 +168,7 @@ TEST_F(ThreeSidedTreeTest, QueryIoWithinLemmaBound) {
     Coord x2 = std::min<Coord>(99999, x1 + static_cast<Coord>(rng() % 30000));
     ThreeSidedQuery q{x1, x2, static_cast<Coord>(rng() % 100000)};
     size_t t = oracle.ThreeSided(q).size();
-    dev_.stats().Reset();
+    dev_.ResetStats();
     std::vector<Point> got;
     ASSERT_TRUE(tree->Query(q, &got).ok());
     ASSERT_EQ(got.size(), t);
