@@ -1,0 +1,200 @@
+// Update benchmark (DESIGN.md §8): amortized device I/Os per update
+// (cold cache — the paper's cost model) vs each family's documented
+// amortized bound, across the dynamized families. Every run emits JSON
+// metric lines (bench_util's reporter), so the update-cost trajectory is
+// tracked per PR next to the build and query series.
+//
+// The workload holds the structure size steady: each measured update
+// pair inserts one fresh short-span record and deletes one old record,
+// cycling deletions through the live set so tombstone purges and
+// log-method merges fire at their natural cadence.
+
+#include "bench_util.h"
+
+#include <deque>
+#include <random>
+
+#include "ccidx/bptree/bptree.h"
+#include "ccidx/core/augmented_metablock_tree.h"
+#include "ccidx/dynamic/adapters.h"
+#include "ccidx/interval/interval_index.h"
+#include "ccidx/pst/dynamic_pst.h"
+#include "ccidx/pst/external_pst.h"
+#include "ccidx/testutil/generators.h"
+
+namespace ccidx {
+namespace bench {
+namespace {
+
+constexpr Coord kDomain = 1 << 22;
+
+// Short spans keep delete membership probes output-sparse (see
+// tests/update_io_test.cc): the measured cost is the update machinery,
+// not a t/B reporting term.
+Point ShortSpan(std::mt19937_64& rng, uint64_t id) {
+  Coord x = static_cast<Coord>(rng() % (kDomain - 256));
+  return {x, x + static_cast<Coord>(rng() % 256), id};
+}
+
+std::vector<Point> ShortSpanSet(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) pts.push_back(ShortSpan(rng, i));
+  return pts;
+}
+
+void ReportUpdate(benchmark::State& state, double per_update, double bound) {
+  state.counters["update_ios"] = per_update;
+  state.counters["bound_ios"] = bound;
+  state.counters["io_vs_bound"] = per_update / bound;
+}
+
+// Drives one insert+delete pair per measured step against `st`
+// (Insert/Delete surface), reporting amortized I/Os per single update.
+template <typename St>
+void RunUpdateLoop(benchmark::State& state, BlockDevice& dev, St* st,
+                   std::vector<Point> live, uint64_t next_id, double bound) {
+  std::mt19937_64 rng(0xBE9C);
+  std::deque<Point> fifo(live.begin(), live.end());
+  uint64_t updates = 0;
+  IoStats before = dev.stats();
+  for (auto _ : state) {
+    Point fresh = ShortSpan(rng, next_id++);
+    CCIDX_CHECK(st->Insert(fresh).ok());
+    fifo.push_back(fresh);
+    bool found = false;
+    CCIDX_CHECK(st->Delete(fifo.front(), &found).ok());
+    fifo.pop_front();
+    updates += 2;
+  }
+  uint64_t ios = (dev.stats() - before).TotalIos();
+  ReportUpdate(state, static_cast<double>(ios) / updates, bound);
+}
+
+void BM_UpdateAugmentedMetablock(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  uint32_t b = static_cast<uint32_t>(state.range(1));
+  Disk disk(b);
+  auto pts = ShortSpanSet(n, 7);
+  auto tree = AugmentedMetablockTree::Build(&disk.pager,
+                                            std::vector<Point>(pts));
+  CCIDX_CHECK(tree.ok());
+  double lb = LogB(static_cast<double>(n), b);
+  // Thm 3.7 insert + weak-delete probe and purge charge.
+  RunUpdateLoop(state, disk.device, &*tree, std::move(pts), n,
+                lb + lb * lb / b + 1.0);
+}
+
+void BM_UpdateDynamicMetablock(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  uint32_t b = static_cast<uint32_t>(state.range(1));
+  Disk disk(b);
+  auto pts = ShortSpanSet(n, 8);
+  auto tree = DynamicMetablockTree::Build(&disk.pager,
+                                          std::vector<Point>(pts));
+  CCIDX_CHECK(tree.ok());
+  double levels = std::log2(static_cast<double>(n) / b) + 1;
+  RunUpdateLoop(state, disk.device, &*tree, std::move(pts), n,
+                levels * (LogB(static_cast<double>(n), b) + 1.0));
+}
+
+void BM_UpdateExternalPst(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  uint32_t b = static_cast<uint32_t>(state.range(1));
+  Disk disk(b);
+  auto pts = ShortSpanSet(n, 9);
+  auto tree = ExternalPst::Build(&disk.pager, std::vector<Point>(pts));
+  CCIDX_CHECK(tree.ok());
+  double l2 = std::log2(static_cast<double>(n));
+  RunUpdateLoop(state, disk.device, &*tree, std::move(pts), n,
+                l2 + l2 * l2 / b);
+}
+
+void BM_UpdateDynamicPst(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  uint32_t b = static_cast<uint32_t>(state.range(1));
+  Disk disk(b);
+  auto pts = ShortSpanSet(n, 10);
+  auto tree = DynamicPst::Build(&disk.pager, std::vector<Point>(pts));
+  CCIDX_CHECK(tree.ok());
+  double l2 = std::log2(static_cast<double>(n));
+  RunUpdateLoop(state, disk.device, &*tree, std::move(pts), n,
+                l2 + l2 * l2 / b);
+}
+
+void BM_UpdateBPlusTree(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  uint32_t b = static_cast<uint32_t>(state.range(1));
+  Disk disk(b);
+  auto pts = ShortSpanSet(n, 11);
+  std::vector<BtEntry> init;
+  for (const Point& p : pts) init.push_back({p.x, p.id, p.y});
+  std::sort(init.begin(), init.end());
+  auto tree = BPlusTree::BulkLoad(&disk.pager, init);
+  CCIDX_CHECK(tree.ok());
+  std::mt19937_64 rng(0xBE9D);
+  std::deque<Point> fifo(pts.begin(), pts.end());
+  uint64_t next_id = n, updates = 0;
+  IoStats before = disk.device.stats();
+  for (auto _ : state) {
+    Point fresh = ShortSpan(rng, next_id++);
+    CCIDX_CHECK(tree->Insert(fresh.x, fresh.id, fresh.y).ok());
+    fifo.push_back(fresh);
+    bool found = false;
+    CCIDX_CHECK(tree->Delete(fifo.front().x, fifo.front().id, &found).ok());
+    fifo.pop_front();
+    updates += 2;
+  }
+  uint64_t ios = (disk.device.stats() - before).TotalIos();
+  ReportUpdate(state, static_cast<double>(ios) / updates,
+               LogB(static_cast<double>(n), b));
+}
+
+void BM_UpdateIntervalIndex(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  uint32_t b = static_cast<uint32_t>(state.range(1));
+  Disk disk(b);
+  auto pts = ShortSpanSet(n, 12);
+  std::vector<Interval> init;
+  for (const Point& p : pts) init.push_back({p.x, p.y, p.id});
+  auto idx = IntervalIndex::Build(&disk.pager, std::move(init));
+  CCIDX_CHECK(idx.ok());
+  std::mt19937_64 rng(0xBE9E);
+  std::deque<Point> fifo(pts.begin(), pts.end());
+  uint64_t next_id = n, updates = 0;
+  IoStats before = disk.device.stats();
+  for (auto _ : state) {
+    Point fresh = ShortSpan(rng, next_id++);
+    CCIDX_CHECK(idx->Insert({fresh.x, fresh.y, fresh.id}).ok());
+    fifo.push_back(fresh);
+    const Point& old = fifo.front();
+    bool found = false;
+    CCIDX_CHECK(idx->Delete({old.x, old.y, old.id}, &found).ok());
+    fifo.pop_front();
+    updates += 2;
+  }
+  uint64_t ios = (disk.device.stats() - before).TotalIos();
+  double lb = LogB(static_cast<double>(n), b);
+  ReportUpdate(state, static_cast<double>(ios) / updates,
+               2 * lb + lb * lb / b + 1.0);
+}
+
+BENCHMARK(BM_UpdateAugmentedMetablock)
+    ->Args({1 << 14, 64})
+    ->Args({1 << 16, 64});
+BENCHMARK(BM_UpdateDynamicMetablock)
+    ->Args({1 << 14, 64})
+    ->Args({1 << 16, 64});
+BENCHMARK(BM_UpdateExternalPst)->Args({1 << 14, 64})->Args({1 << 16, 64});
+BENCHMARK(BM_UpdateDynamicPst)->Args({1 << 14, 64})->Args({1 << 16, 64});
+BENCHMARK(BM_UpdateBPlusTree)->Args({1 << 14, 64})->Args({1 << 16, 64});
+BENCHMARK(BM_UpdateIntervalIndex)
+    ->Args({1 << 14, 64})
+    ->Args({1 << 16, 64});
+
+}  // namespace
+}  // namespace bench
+}  // namespace ccidx
+
+CCIDX_BENCH_MAIN();

@@ -51,11 +51,14 @@ struct BtEntry {
 };
 
 /// A dynamic external-memory B+-tree over (int64 key, uint64 value) entries.
+/// Insert and Delete are worst-case O(log_B n) I/Os (no amortization) —
+/// the reference point for the dynamization layer's amortized families
+/// (DESIGN.md §8).
 ///
 /// Thread safety (DESIGN.md §7): RangeScan/RangeSearch are const and safe
 /// to run from any number of threads concurrently over one shared Pager.
 /// Insert/Delete/BulkLoad/Destroy are writes and require external
-/// synchronization.
+/// synchronization (QueryExecutor::Quiesce composes the two).
 class BPlusTree {
  public:
   /// Creates an empty tree whose pages are managed by `pager`.

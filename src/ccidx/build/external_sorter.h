@@ -201,10 +201,19 @@ class ExternalSorter {
 
   Status Add(const T& rec) {
     CCIDX_CHECK(!finished_);
+    // Spill lazily — only when this record would overflow the budget.
+    // Spilling eagerly at exactly-full (the historical `>=` after the
+    // push) sent an input of exactly `budget` records through a device
+    // run + merge even though it fit in memory: the boundary input was
+    // staged twice (buffer AND run), missing the in-memory fast path and
+    // inflating high_water_records() accounting with a pointless merge
+    // phase. Covered by build_test's budget-boundary test.
+    if (buffer_.size() >= budget_) {
+      CCIDX_RETURN_IF_ERROR(SpillRun());
+    }
     buffer_.push_back(rec);
     records_ += 1;
     Note(buffer_.size());
-    if (buffer_.size() >= budget_) return SpillRun();
     return Status::OK();
   }
 

@@ -217,4 +217,42 @@ Status RakeContractIndex::Insert(const Object& o) {
   return Status::OK();
 }
 
+Status RakeContractIndex::Delete(const Object& o, bool* found) {
+  *found = false;
+  if (o.class_id >= hierarchy_->size()) {
+    return Status::InvalidArgument("unknown class");
+  }
+  const ClassHierarchy& h = *hierarchy_;
+  // Same walk as Insert: the object's <= log2 c + 1 covering structures.
+  // Raked B+-trees delete natively; path 3-sided trees weak-delete
+  // through the shared dynamization layer (each with its own scheduled
+  // purge), so a delete costs O(log2 c) component deletes.
+  //
+  // Each component delete is individually atomic under device faults,
+  // but the composite is RESUMABLE rather than atomic (like Insert's
+  // replica walk): a fault mid-walk returns the error with only a prefix
+  // of the replicas removed, and retrying the same Delete removes the
+  // rest — found reports whether ANY replica was removed, so a retry
+  // after a partial failure still reports true and converges instead of
+  // wedging on replica-count disagreement.
+  uint32_t c = o.class_id;
+  while (true) {
+    size_t pid = path_of_[c];
+    PathStructure& ps = paths_[pid];
+    bool hit = false;
+    if (ps.is_btree) {
+      CCIDX_RETURN_IF_ERROR(ps.btree.Delete(o.attr, o.id, &hit));
+    } else {
+      CCIDX_RETURN_IF_ERROR(
+          ps.tstree.Delete({o.attr, pos_in_path_[c], o.id}, &hit));
+    }
+    *found = *found || hit;
+    uint32_t top = ps.classes.front();
+    uint32_t p = h.parent(top);
+    if (p == kNoClass) break;
+    c = p;
+  }
+  return Status::OK();
+}
+
 }  // namespace ccidx

@@ -53,11 +53,13 @@ uint32_t ThinEdgesToRoot(const ClassHierarchy& h,
                          const std::vector<uint32_t>& thick,
                          uint32_t class_id);
 
-/// Theorem 4.7 class index (bulk build + semi-dynamic inserts).
+/// Theorem 4.7 class index (bulk build + dynamic updates: native inserts,
+/// deletes via the per-path structures' native/weak deletes).
 ///
 /// Thread safety (DESIGN.md §7): Query is const and safe to run from any
-/// number of threads concurrently over one shared Pager. Insert/Build are
-/// writes and require external synchronization.
+/// number of threads concurrently over one shared Pager. Insert/Delete/
+/// Build are writes and require external synchronization
+/// (QueryExecutor::Quiesce composes batch serving with updates).
 class RakeContractIndex {
  public:
   /// Builds over a frozen hierarchy from a stream of objects: each
@@ -91,6 +93,16 @@ class RakeContractIndex {
   /// Inserts an object into every covering structure (<= log2 c + 1 of
   /// them). Amortized O(log2 c * (log_B n + log2 B + ...)) I/Os.
   Status Insert(const Object& o);
+
+  /// Deletes an object from every covering structure; sets *found (true
+  /// iff any replica was removed). Raked B+-trees delete natively
+  /// (O(log_B n) each); path 3-sided trees weak-delete through the
+  /// dynamization layer (DESIGN.md §8) — amortized O(log2 c * log_B n)
+  /// I/Os plus the per-structure purge charges. Under a device fault the
+  /// composite walk is resumable, not atomic: retry the same Delete to
+  /// remove the remaining replicas (each component delete is itself
+  /// atomic). Writes external (DESIGN.md §7).
+  Status Delete(const Object& o, bool* found);
 
   /// Max copies of any object across all structures (Lemma 4.6: <= log2 c
   /// thin edges + 1).

@@ -28,11 +28,16 @@
 
 namespace ccidx {
 
-/// Theorem 2.6 class index (range tree of B+-trees).
+/// Theorem 2.6 class index (range tree of B+-trees). Natively fully
+/// dynamic: every update touches the ceil(log2 c) covering collections'
+/// B+-trees at O(log2 c * log_B n) I/Os worst case, no amortization —
+/// the baseline the dynamization layer's amortized families are measured
+/// against (DESIGN.md §8).
 ///
 /// Thread safety (DESIGN.md §7): Query/QueryObjects are const and safe to
 /// run from any number of threads concurrently over one shared Pager.
-/// Insert/Delete/Build are writes and require external synchronization.
+/// Insert/Delete/Build are writes and require external synchronization
+/// (QueryExecutor::Quiesce composes batch serving with updates).
 class SimpleClassIndex {
  public:
   /// `hierarchy` must be frozen and outlive the index.

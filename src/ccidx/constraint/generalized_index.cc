@@ -32,6 +32,39 @@ Status GeneralizedIndex::Insert(const GeneralizedTuple& tuple) {
   return Status::OK();
 }
 
+Status GeneralizedIndex::Delete(uint64_t tuple_id, bool* found) {
+  *found = false;
+  if (tuple_id >= id_to_slot_.size() ||
+      id_to_slot_[tuple_id] == static_cast<size_t>(-1)) {
+    return Status::OK();
+  }
+  size_t slot = id_to_slot_[tuple_id];
+  // Recompute the generalized key from the catalog: the same projection
+  // that was indexed at insert time.
+  auto key = catalog_[slot].Project(indexed_var_);
+  CCIDX_RETURN_IF_ERROR(key.status());
+  // IntervalIndex::Delete may set found=true and still return an error:
+  // the delete landed but the scheduled purge it triggered failed (and
+  // will retry on a later update). The catalog must follow the landed
+  // delete either way, or the two would desynchronize permanently.
+  bool in_index = false;
+  Status delete_status = index_.Delete(*key, &in_index);
+  if (!in_index) {
+    CCIDX_RETURN_IF_ERROR(delete_status);
+    return Status::Corruption("catalog tuple missing from interval index");
+  }
+  // Swap-pop the catalog entry, keeping id_to_slot_ dense and O(1).
+  size_t last = catalog_.size() - 1;
+  if (slot != last) {
+    id_to_slot_[catalog_[last].id()] = slot;
+    catalog_[slot] = std::move(catalog_[last]);
+  }
+  catalog_.pop_back();
+  id_to_slot_[tuple_id] = static_cast<size_t>(-1);
+  *found = true;
+  return delete_status;  // non-OK only for a failed (retryable) purge
+}
+
 Status GeneralizedIndex::RangeQueryIds(Coord a1, Coord a2,
                                        ResultSink<uint64_t>* sink) const {
   TransformSink<Interval, uint64_t> xform(

@@ -18,12 +18,16 @@
 
 namespace ccidx {
 
-/// An index on one variable of a generalized relation (semi-dynamic:
-/// inserts only, matching the underlying metablock tree).
+/// An index on one variable of a generalized relation. Fully dynamic via
+/// the dynamization layer (DESIGN.md §8): inserts are the metablock
+/// tree's native amortized path, deletes ride IntervalIndex::Delete
+/// (endpoint B+-tree natively, stabbing tree by weak delete + scheduled
+/// purge) — amortized O(log_B n + (log_B n)^2/B) I/Os per update.
 ///
-/// Thread safety (DESIGN.md §7): RangeQueryIds is const and safe to run
-/// from any number of threads concurrently over one shared Pager. Insert
-/// is a write and requires external synchronization.
+/// Thread safety (DESIGN.md §7): RangeQuery/RangeQueryIds are const and
+/// safe to run from any number of threads concurrently over one shared
+/// Pager. Insert/Delete are writes and require external synchronization
+/// (QueryExecutor::Quiesce composes the two).
 class GeneralizedIndex {
  public:
   /// Indexes variable `indexed_var` of `arity`-ary tuples.
@@ -32,6 +36,14 @@ class GeneralizedIndex {
   /// Inserts a satisfiable tuple; its x-projection becomes the generalized
   /// key. Tuple ids must be unique (they key the catalog).
   Status Insert(const GeneralizedTuple& tuple);
+
+  /// Deletes the tuple with the given id (its generalized key is
+  /// recomputed from the catalog); sets *found. Amortized
+  /// O(log_B n + (log_B n)^2/B) I/Os (see class comment). May return a
+  /// non-OK status with *found == true: the delete landed (catalog and
+  /// index both updated) but the scheduled purge it triggered failed —
+  /// the purge retries on a later update.
+  Status Delete(uint64_t tuple_id, bool* found);
 
   /// Returns the generalized relation representing all stored tuples whose
   /// x attribute admits a value in [a1, a2], each conjoined with

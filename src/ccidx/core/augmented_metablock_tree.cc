@@ -559,6 +559,13 @@ Status AugmentedMetablockTree::Insert(const Point& p) {
   if (p.y < p.x) {
     return Status::InvalidArgument("points must satisfy y >= x");
   }
+  if (tombstones_.Consume(p)) {
+    // The identical point is still stored, only tombstoned: consuming the
+    // tombstone resurrects it at zero I/O.
+    sched_.NoteTombstoneConsumed();
+    size_++;
+    return Status::OK();
+  }
   if (root_ == kInvalidPageId) {
     auto built = BuildNode(pager_, PointGroup::FromVector({p}), branching_);
     CCIDX_RETURN_IF_ERROR(built.status());
@@ -590,6 +597,104 @@ Status AugmentedMetablockTree::Insert(const Point& p) {
     root_ = built->control_page;
   }
   size_++;
+  return Status::OK();
+}
+
+Status AugmentedMetablockTree::Delete(const Point& p, bool* found) {
+  *found = false;
+  if (root_ == kInvalidPageId || p.y < p.x) return Status::OK();
+  if (tombstones_.Contains(p)) return Status::OK();  // already dead
+  // Membership probe: the diagonal query anchored at the point's own y
+  // contains it; stop at the first exact match. Read-only — a device
+  // failure here leaves the tree untouched.
+  bool exists = false;
+  ExactMatchSink<Point> finder(p, &exists);
+  CCIDX_RETURN_IF_ERROR(QueryRaw(DiagonalQuery{p.y}, &finder));
+  if (!exists) return Status::OK();
+  *found = true;
+  return DeleteKnown(p);
+}
+
+Status AugmentedMetablockTree::DeleteKnown(const Point& p) {
+  if (!tombstones_.Add(p)) return Status::OK();  // already dead
+  sched_.NoteDelete();
+  if (size_ > 0) size_--;
+  if (sched_.ShouldPurge(size_)) return GlobalPurgeRebuild();
+  return Status::OK();
+}
+
+Status AugmentedMetablockTree::VisitSubtreePages(
+    PageId id, std::vector<PageId>* out) const {
+  Control ctrl;
+  CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
+  PageIo io(pager_);
+  CCIDX_RETURN_IF_ERROR(VisitVerticalBlocking(pager_, ctrl.vindex_head, out));
+  if (ctrl.horiz_head != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(io.VisitChain(ctrl.horiz_head, out));
+  }
+  if (ctrl.ts_head != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(io.VisitChain(ctrl.ts_head, out));
+  }
+  if (ctrl.corner_header != kInvalidPageId) {
+    CornerStructure corner = CornerStructure::Open(pager_, ctrl.corner_header);
+    CCIDX_RETURN_IF_ERROR(corner.VisitPages(out));
+  }
+  out->push_back(ctrl.update_page);
+  if (ctrl.td_update_page != kInvalidPageId) {
+    out->push_back(ctrl.td_update_page);
+  }
+  if (ctrl.td_header != kInvalidPageId) {
+    CornerStructure td = CornerStructure::Open(pager_, ctrl.td_header);
+    CCIDX_RETURN_IF_ERROR(td.VisitPages(out));
+  }
+  if (ctrl.num_children > 0) {
+    std::vector<ChildEntry> children;
+    CCIDX_RETURN_IF_ERROR(
+        io.ReadChain<ChildEntry>(ctrl.children_head, &children));
+    for (const ChildEntry& c : children) {
+      CCIDX_RETURN_IF_ERROR(VisitSubtreePages(c.control, out));
+    }
+    CCIDX_RETURN_IF_ERROR(io.VisitChain(ctrl.children_head, out));
+  }
+  out->push_back(id);
+  return Status::OK();
+}
+
+Status AugmentedMetablockTree::GlobalPurgeRebuild() {
+  // Fault-atomic purge (DESIGN.md §8): (1) harvest points and page ids
+  // read-only — a failure changes nothing; (2) rebuild the live set
+  // through the bulk-build pipeline under an AllocationScope — a failure
+  // rolls the new pages back and the old tree still answers queries;
+  // (3) only then retire the old pages by id, which needs no device
+  // transfer and cannot fail mid-way.
+  std::vector<Point> all;
+  CCIDX_RETURN_IF_ERROR(CollectSubtree(root_, &all));
+  std::vector<PageId> old_pages;
+  CCIDX_RETURN_IF_ERROR(VisitSubtreePages(root_, &old_pages));
+  std::vector<Point> live;
+  live.reserve(all.size());
+  for (const Point& p : all) {
+    if (tombstones_.Live(p)) live.push_back(p);
+  }
+  std::sort(live.begin(), live.end(), PointXOrder());
+
+  AllocationScope scope(pager_);
+  PageId new_root = kInvalidPageId;
+  if (!live.empty()) {
+    auto built = BuildNode(pager_, PointGroup::FromVector(std::move(live)),
+                           branching_);
+    CCIDX_RETURN_IF_ERROR(built.status());
+    CCIDX_RETURN_IF_ERROR(
+        WriteControl(pager_, built->control_page, built->ctrl));
+    new_root = built->control_page;
+  }
+  scope.Commit();
+  for (PageId id : old_pages) {
+    (void)pager_->Free(id);
+  }
+  root_ = new_root;
+  tombstones_.Clear();
+  sched_.Reset();
   return Status::OK();
 }
 
@@ -666,6 +771,16 @@ Status AugmentedMetablockTree::ReportSubtree(PageId id, Coord a,
 
 Status AugmentedMetablockTree::Query(const DiagonalQuery& q,
                                      ResultSink<Point>* sink) const {
+  if (tombstones_.empty()) return QueryRaw(q, sink);
+  // Weak deletes outstanding: filter dead points out of every reporting
+  // path (a hash probe per emitted record, zero extra I/O). kStop from
+  // the consumer still latches through the filter.
+  PointLiveFilterSink filter(&tombstones_, sink);
+  return QueryRaw(q, &filter);
+}
+
+Status AugmentedMetablockTree::QueryRaw(const DiagonalQuery& q,
+                                        ResultSink<Point>* sink) const {
   if (root_ == kInvalidPageId) return Status::OK();
   const Coord a = q.a;
   PageIo io(pager_);
@@ -805,6 +920,8 @@ Status AugmentedMetablockTree::Destroy() {
   CCIDX_RETURN_IF_ERROR(DestroySubtree(root_, false));
   root_ = kInvalidPageId;
   size_ = 0;
+  tombstones_.Clear();
+  sched_.Reset();
   return Status::OK();
 }
 
@@ -932,7 +1049,8 @@ Status AugmentedMetablockTree::CheckInvariants() const {
   Coord ymax = kCoordMin;
   uint64_t count = 0;
   CCIDX_RETURN_IF_ERROR(CheckSubtree(root_, true, &ymax, &count));
-  if (count != size_) {
+  // Tombstoned points remain physically stored until the next purge.
+  if (count != size_ + tombstones_.size()) {
     return Status::Corruption("total point count mismatch");
   }
   return Status::OK();

@@ -48,16 +48,31 @@
 #include "ccidx/core/blocking.h"
 #include "ccidx/core/corner_structure.h"
 #include "ccidx/core/geometry.h"
+#include "ccidx/dynamic/rebuild.h"
+#include "ccidx/dynamic/tombstones.h"
 #include "ccidx/io/pager.h"
 
 namespace ccidx {
 
-/// Semi-dynamic (insert-only) metablock tree (Section 3.2, Theorem 3.7).
+/// Dynamic metablock tree: the paper's semi-dynamic structure of Section
+/// 3.2 (Theorem 3.7, native inserts) extended with weak deletes through
+/// the shared dynamization layer (DESIGN.md §8).
+///
+/// Amortized I/O bounds:
+///   insert O(log_B n + (log_B n)^2 / B)            (Theorem 3.7)
+///   delete O(log_B n + t_probe/B) membership probe + O((log_B n)/B)
+///          global-rebuild charge: deletes tombstone the point (queries
+///          filter at zero extra I/O) and the shared RebuildScheduler
+///          purges — a fault-atomic global rebuild through the bulk-build
+///          pipeline — before dead points reach half the live weight, so
+///          queries stay O(log_B n + t/B) on live output and space stays
+///          O(n/B) pages.
 ///
 /// Thread safety (DESIGN.md §7): Query is const and safe to run from any
-/// number of threads concurrently over one shared Pager. Insert/Build/
-/// Destroy are writes and require external synchronization (no concurrent
-/// queries while an insert runs).
+/// number of threads concurrently over one shared Pager. Insert/Delete/
+/// Build/Destroy are writes and require external synchronization (no
+/// concurrent queries while an update runs; QueryExecutor::Quiesce
+/// composes the two).
 class AugmentedMetablockTree {
  public:
   /// Creates an empty tree.
@@ -79,7 +94,20 @@ class AugmentedMetablockTree {
                                               std::vector<Point>&& points);
 
   /// Inserts one point (y >= x). Amortized O(log_B n + (log_B n)^2/B) I/Os.
+  /// Re-inserting a tombstoned identity resurrects the stored point.
   Status Insert(const Point& p);
+
+  /// Weak-deletes the exact point (x, y, id); sets *found. One membership
+  /// probe + amortized O((log_B n)/B) purge charge (see class comment).
+  Status Delete(const Point& p, bool* found);
+
+  /// Weak-deletes a point the caller KNOWS is stored (a composition
+  /// invariant, e.g. IntervalIndex's endpoint entry for the same
+  /// interval). Skips the membership probe, so the deletion itself is
+  /// pure memory and cannot fail part-way: an error can only come from
+  /// the scheduled purge, by which time the delete has landed — the
+  /// fault-atomicity hook for composite indexes.
+  Status DeleteKnown(const Point& p);
 
   /// Streams all points with x <= q.a and y >= q.a into `sink`; kStop
   /// halts descent (see MetablockTree::Query). O(log_B n + t/B) I/Os.
@@ -89,7 +117,11 @@ class AugmentedMetablockTree {
   /// O(log_B n + t/B) I/Os.
   Status Query(const DiagonalQuery& q, std::vector<Point>* out) const;
 
+  /// Live points (excludes tombstoned-but-not-yet-purged points).
   uint64_t size() const { return size_; }
+  /// Weak deletes awaiting the next purge (diagnostics; always less than
+  /// half the live weight by the scheduler's purge rule).
+  size_t outstanding_tombstones() const { return tombstones_.size(); }
   uint32_t branching() const { return branching_; }
   uint32_t metablock_capacity() const { return branching_ * branching_; }
 
@@ -200,13 +232,27 @@ class AugmentedMetablockTree {
                          SinkEmitter<Point>& em) const;
   Status ReportSubtree(PageId id, Coord a, SinkEmitter<Point>& em) const;
 
+  // The pre-dynamization reporting path (no tombstone filter); the public
+  // Query wraps it when weak deletes are outstanding.
+  Status QueryRaw(const DiagonalQuery& q, ResultSink<Point>* sink) const;
+
+  // Read-only mirror of DestroySubtree: every page id of the subtree.
+  // The fail-safe first half of the fault-atomic purge rebuild.
+  Status VisitSubtreePages(PageId id, std::vector<PageId>* out) const;
+
+  // Collects live points, rebuilds the whole tree through the bulk-build
+  // pipeline, then retires the old pages by id (fault-atomic).
+  Status GlobalPurgeRebuild();
+
   Status CheckSubtree(PageId id, bool is_root, Coord* node_ymax_out,
                       uint64_t* count_out) const;
 
   Pager* pager_;
   PageId root_;
-  uint64_t size_;
+  uint64_t size_;  // live points (physical count = size_ + tombstones)
   uint32_t branching_;
+  PointTombstones tombstones_;
+  RebuildScheduler sched_;
 };
 
 }  // namespace ccidx

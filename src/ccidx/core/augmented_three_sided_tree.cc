@@ -635,6 +635,13 @@ Result<PageId> AugmentedThreeSidedTree::RebuildSubtree(PageId id) {
 }
 
 Status AugmentedThreeSidedTree::Insert(const Point& p) {
+  if (tombstones_.Consume(p)) {
+    // The identical point is still stored, only tombstoned: consuming the
+    // tombstone resurrects it at zero I/O.
+    sched_.NoteTombstoneConsumed();
+    size_++;
+    return Status::OK();
+  }
   if (root_ == kInvalidPageId) {
     auto built = BuildNode(pager_, PointGroup::FromVector({p}), branching_);
     CCIDX_RETURN_IF_ERROR(built.status());
@@ -664,6 +671,101 @@ Status AugmentedThreeSidedTree::Insert(const Point& p) {
     root_ = built->control_page;
   }
   size_++;
+  return Status::OK();
+}
+
+Status AugmentedThreeSidedTree::Delete(const Point& p, bool* found) {
+  *found = false;
+  if (root_ == kInvalidPageId) return Status::OK();
+  if (tombstones_.Contains(p)) return Status::OK();  // already dead
+  // Membership probe: the degenerate slab through the point; stop at the
+  // first exact match. Read-only — a failure changes nothing.
+  bool exists = false;
+  ExactMatchSink<Point> finder(p, &exists);
+  CCIDX_RETURN_IF_ERROR(QueryRaw(ThreeSidedQuery{p.x, p.x, p.y}, &finder));
+  if (!exists) return Status::OK();
+  *found = true;
+  return DeleteKnown(p);
+}
+
+Status AugmentedThreeSidedTree::DeleteKnown(const Point& p) {
+  if (!tombstones_.Add(p)) return Status::OK();  // already dead
+  sched_.NoteDelete();
+  if (size_ > 0) size_--;
+  if (sched_.ShouldPurge(size_)) return GlobalPurgeRebuild();
+  return Status::OK();
+}
+
+Status AugmentedThreeSidedTree::VisitSubtreePages(
+    PageId id, std::vector<PageId>* out) const {
+  Control ctrl;
+  CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
+  PageIo io(pager_);
+  CCIDX_RETURN_IF_ERROR(VisitVerticalBlocking(pager_, ctrl.vindex_head, out));
+  for (PageId head : {static_cast<PageId>(ctrl.horiz_head),
+                      static_cast<PageId>(ctrl.ts_left_head),
+                      static_cast<PageId>(ctrl.ts_right_head)}) {
+    if (head != kInvalidPageId) {
+      CCIDX_RETURN_IF_ERROR(io.VisitChain(head, out));
+    }
+  }
+  for (PageId root : {static_cast<PageId>(ctrl.own_pst_root),
+                      static_cast<PageId>(ctrl.children_pst_root),
+                      static_cast<PageId>(ctrl.td_pst_root)}) {
+    if (root != kInvalidPageId) {
+      ExternalPst pst = ExternalPst::Open(pager_, root);
+      CCIDX_RETURN_IF_ERROR(pst.VisitPages(out));
+    }
+  }
+  out->push_back(ctrl.update_page);
+  if (ctrl.td_update_page != kInvalidPageId) {
+    out->push_back(ctrl.td_update_page);
+  }
+  if (ctrl.num_children > 0) {
+    std::vector<ChildEntry> children;
+    CCIDX_RETURN_IF_ERROR(
+        io.ReadChain<ChildEntry>(ctrl.children_head, &children));
+    for (const ChildEntry& c : children) {
+      CCIDX_RETURN_IF_ERROR(VisitSubtreePages(c.control, out));
+    }
+    CCIDX_RETURN_IF_ERROR(io.VisitChain(ctrl.children_head, out));
+  }
+  out->push_back(id);
+  return Status::OK();
+}
+
+Status AugmentedThreeSidedTree::GlobalPurgeRebuild() {
+  // Fault-atomic purge (DESIGN.md §8): harvest points + page ids
+  // read-only, rebuild the live set under an AllocationScope, then
+  // retire the old pages by id (no device reads — cannot fail mid-way).
+  std::vector<Point> all;
+  CCIDX_RETURN_IF_ERROR(CollectSubtree(root_, &all));
+  std::vector<PageId> old_pages;
+  CCIDX_RETURN_IF_ERROR(VisitSubtreePages(root_, &old_pages));
+  std::vector<Point> live;
+  live.reserve(all.size());
+  for (const Point& p : all) {
+    if (tombstones_.Live(p)) live.push_back(p);
+  }
+  std::sort(live.begin(), live.end(), PointXOrder());
+
+  AllocationScope scope(pager_);
+  PageId new_root = kInvalidPageId;
+  if (!live.empty()) {
+    auto built = BuildNode(pager_, PointGroup::FromVector(std::move(live)),
+                           branching_);
+    CCIDX_RETURN_IF_ERROR(built.status());
+    CCIDX_RETURN_IF_ERROR(
+        WriteControl(pager_, built->control_page, built->ctrl));
+    new_root = built->control_page;
+  }
+  scope.Commit();
+  for (PageId id : old_pages) {
+    (void)pager_->Free(id);
+  }
+  root_ = new_root;
+  tombstones_.Clear();
+  sched_.Reset();
   return Status::OK();
 }
 
@@ -863,6 +965,15 @@ Status AugmentedThreeSidedTree::RightPath(PageId id, Coord xhi, Coord ylo,
 
 Status AugmentedThreeSidedTree::Query(const ThreeSidedQuery& q,
                                       ResultSink<Point>* sink) const {
+  if (tombstones_.empty()) return QueryRaw(q, sink);
+  // Weak deletes outstanding: filter dead points out of every reporting
+  // path (a hash probe per emitted record, zero extra I/O).
+  PointLiveFilterSink filter(&tombstones_, sink);
+  return QueryRaw(q, &filter);
+}
+
+Status AugmentedThreeSidedTree::QueryRaw(const ThreeSidedQuery& q,
+                                         ResultSink<Point>* sink) const {
   if (root_ == kInvalidPageId || q.xlo > q.xhi) return Status::OK();
   PageIo io(pager_);
   SinkEmitter<Point> em(sink);
@@ -1011,6 +1122,8 @@ Status AugmentedThreeSidedTree::Destroy() {
   CCIDX_RETURN_IF_ERROR(DestroySubtree(root_, false));
   root_ = kInvalidPageId;
   size_ = 0;
+  tombstones_.Clear();
+  sched_.Reset();
   return Status::OK();
 }
 
@@ -1094,7 +1207,8 @@ Status AugmentedThreeSidedTree::CheckInvariants() const {
   Coord ymax = kCoordMin;
   uint64_t count = 0;
   CCIDX_RETURN_IF_ERROR(CheckSubtree(root_, &ymax, &count));
-  if (count != size_) {
+  // Tombstoned points remain physically stored until the next purge.
+  if (count != size_ + tombstones_.size()) {
     return Status::Corruption("total count mismatch");
   }
   return Status::OK();

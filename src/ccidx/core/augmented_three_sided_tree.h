@@ -35,16 +35,29 @@
 #include "ccidx/build/record_stream.h"
 #include "ccidx/core/blocking.h"
 #include "ccidx/core/geometry.h"
+#include "ccidx/dynamic/rebuild.h"
+#include "ccidx/dynamic/tombstones.h"
 #include "ccidx/io/pager.h"
 #include "ccidx/pst/external_pst.h"
 
 namespace ccidx {
 
-/// Semi-dynamic (insert-only) 3-sided metablock tree (Lemma 4.4).
+/// Dynamic 3-sided metablock tree: Lemma 4.4's native inserts plus weak
+/// deletes through the shared dynamization layer (DESIGN.md §8).
+///
+/// Amortized I/O bounds:
+///   insert O(log_B n + log2 B + (log_B n)^2 / B)   (Lemma 4.4)
+///   delete one membership probe (a degenerate-slab query) + amortized
+///          O((log_B n)/B) purge charge: tombstoned points are filtered
+///          out of every reporting path at zero extra I/O, and the shared
+///          RebuildScheduler triggers a fault-atomic global rebuild
+///          before dead points reach half the live weight, keeping space
+///          O(n/B) and queries O(log_B n + log2 B + t/B) on live output.
 ///
 /// Thread safety (DESIGN.md §7): Query is const and safe to run from any
-/// number of threads concurrently over one shared Pager. Insert/Build/
-/// Destroy are writes and require external synchronization.
+/// number of threads concurrently over one shared Pager. Insert/Delete/
+/// Build/Destroy are writes and require external synchronization
+/// (QueryExecutor::Quiesce composes batch serving with updates).
 class AugmentedThreeSidedTree {
  public:
   /// Creates an empty tree (B >= 8 required; B from the pager page size).
@@ -65,8 +78,19 @@ class AugmentedThreeSidedTree {
   static Result<AugmentedThreeSidedTree> Build(Pager* pager,
                                                std::vector<Point>&& points);
 
-  /// Inserts one point.
+  /// Inserts one point. Re-inserting a tombstoned identity resurrects
+  /// the stored point at zero I/O.
   Status Insert(const Point& p);
+
+  /// Weak-deletes the exact point (x, y, id); sets *found. One membership
+  /// probe + amortized O((log_B n)/B) purge charge (see class comment).
+  Status Delete(const Point& p, bool* found);
+
+  /// Weak-deletes a point the caller KNOWS is stored (composition
+  /// invariant — see AugmentedMetablockTree::DeleteKnown). Pure memory
+  /// except the scheduled purge, which can only fail after the delete
+  /// has landed.
+  Status DeleteKnown(const Point& p);
 
   /// Streams all points with q.xlo <= x <= q.xhi and y >= q.ylo into
   /// `sink`; kStop halts descent and every subtree scan.
@@ -75,7 +99,10 @@ class AugmentedThreeSidedTree {
   /// Appends all points with q.xlo <= x <= q.xhi and y >= q.ylo to `out`.
   Status Query(const ThreeSidedQuery& q, std::vector<Point>* out) const;
 
+  /// Live points (excludes tombstoned-but-not-yet-purged points).
   uint64_t size() const { return size_; }
+  /// Weak deletes awaiting the next purge (diagnostics).
+  size_t outstanding_tombstones() const { return tombstones_.size(); }
   uint32_t branching() const { return branching_; }
   uint32_t metablock_capacity() const { return branching_ * branching_; }
 
@@ -178,13 +205,27 @@ class AugmentedThreeSidedTree {
                   const std::function<bool(const Point&)>& keep,
                   SinkEmitter<Point>& em) const;
 
+  // The pre-dynamization reporting path (no tombstone filter); the public
+  // Query wraps it when weak deletes are outstanding.
+  Status QueryRaw(const ThreeSidedQuery& q, ResultSink<Point>* sink) const;
+
+  // Read-only mirror of DestroySubtree (every page id of the subtree) —
+  // the fail-safe first half of the fault-atomic purge rebuild.
+  Status VisitSubtreePages(PageId id, std::vector<PageId>* out) const;
+
+  // Collects live points, rebuilds the whole tree, then retires the old
+  // pages by id (fault-atomic; DESIGN.md §8).
+  Status GlobalPurgeRebuild();
+
   Status CheckSubtree(PageId id, Coord* node_ymax_out,
                       uint64_t* count_out) const;
 
   Pager* pager_;
   PageId root_;
-  uint64_t size_;
+  uint64_t size_;  // live points (physical count = size_ + tombstones)
   uint32_t branching_;
+  PointTombstones tombstones_;
+  RebuildScheduler sched_;
 };
 
 }  // namespace ccidx

@@ -81,6 +81,24 @@ inline Status FreeVerticalBlocking(Pager* pager, PageId index_head) {
   return Status::OK();
 }
 
+/// Appends every page id of a vertical blocking (data pages + index
+/// chain) to `out` without freeing — the read-only half of
+/// FreeVerticalBlocking, used by fault-atomic rebuilds (see
+/// PageIo::VisitChain).
+inline Status VisitVerticalBlocking(Pager* pager, PageId index_head,
+                                    std::vector<PageId>* out) {
+  std::vector<VerticalBlock> index;
+  CCIDX_RETURN_IF_ERROR(ReadVerticalIndex(pager, index_head, &index));
+  for (const VerticalBlock& b : index) {
+    out->push_back(b.page);
+  }
+  PageIo io(pager);
+  if (index_head != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(io.VisitChain(index_head, out));
+  }
+  return Status::OK();
+}
+
 /// Sorts `points` by descending y and writes them as a page chain.
 /// Returns the chain head (kInvalidPageId for empty input).
 inline Result<PageId> WriteDescYChain(Pager* pager,

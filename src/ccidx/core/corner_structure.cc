@@ -107,7 +107,9 @@ Result<CornerStructure> CornerStructure::Build(Pager* pager,
            cindex->empty() ? kInvalidPageId : cindex->front()};
   w.Put(h);
   CCIDX_RETURN_IF_ERROR(ref->Release());
-  return CornerStructure(pager, header);
+  CornerStructure out(pager, header);
+  out.stored_count_ = points.size();
+  return out;
 }
 
 CornerStructure CornerStructure::Open(Pager* pager, PageId header) {
@@ -176,8 +178,120 @@ Status CornerStructure::Query(Coord a, SinkEmitter<Point>& em) const {
 }
 
 Status CornerStructure::Query(Coord a, ResultSink<Point>* sink) const {
-  SinkEmitter<Point> em(sink);
-  return Query(a, em);
+  if (pending_.empty() && tombstones_.empty()) {
+    SinkEmitter<Point> em(sink);
+    return Query(a, em);
+  }
+  // Dynamized handle: filter tombstoned points out of the stored
+  // structure's output, then overlay the pending buffer (never
+  // tombstoned). The emitter-based Query overload stays the static path
+  // the enclosing metablock trees drive directly.
+  PointLiveFilterSink filter(&tombstones_, sink);
+  SinkEmitter<Point> em(&filter);
+  CCIDX_RETURN_IF_ERROR(Query(a, em));
+  em.EmitFiltered(std::span<const Point>(pending_), [a](const Point& p) {
+    return p.x <= a && p.y >= a;
+  });
+  return Status::OK();
+}
+
+Status CornerStructure::Insert(const Point& p) {
+  CCIDX_CHECK(p.y >= p.x);
+  if (tombstones_.Consume(p)) {  // resurrect the stored copy
+    sched_.NoteTombstoneConsumed();
+    return Status::OK();
+  }
+  sched_.NoteInsert();
+  pending_.push_back(p);
+  const uint32_t b = PageIo(pager_).CapacityFor(sizeof(Point));
+  if (pending_.size() >= b) return Rebuild();  // level-I cadence
+  return Status::OK();
+}
+
+Status CornerStructure::Delete(const Point& p, bool* found) {
+  *found = false;
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (*it == p) {
+      pending_.erase(it);
+      *found = true;
+      return Status::OK();
+    }
+  }
+  if (tombstones_.Contains(p)) return Status::OK();  // already dead
+  // Membership probe against the stored structure: query at the point's
+  // own y and look for the exact record (stops at the first hit).
+  bool exists = false;
+  ExactMatchSink<Point> finder(p, &exists);
+  SinkEmitter<Point> em(&finder);
+  CCIDX_RETURN_IF_ERROR(Query(p.y, em));
+  if (!exists) return Status::OK();
+  tombstones_.Add(p);
+  sched_.NoteDelete();
+  *found = true;
+  if (sched_.ShouldPurge(size())) return Rebuild();
+  return Status::OK();
+}
+
+Status CornerStructure::Rebuild() {
+  // Fault-atomic: harvest points + page ids read-only, build the
+  // replacement under a scope, then retire the old pages by id.
+  std::vector<Point> all;
+  CCIDX_RETURN_IF_ERROR(CollectPoints(&all));
+  std::vector<PageId> old_pages;
+  CCIDX_RETURN_IF_ERROR(VisitPages(&old_pages));
+  std::vector<Point> merged;
+  merged.reserve(all.size() + pending_.size());
+  std::vector<Point> purged;
+  for (const Point& p : all) {
+    if (tombstones_.Contains(p)) {
+      purged.push_back(p);
+      continue;
+    }
+    merged.push_back(p);
+  }
+  merged.insert(merged.end(), pending_.begin(), pending_.end());
+
+  AllocationScope scope(pager_);
+  const uint64_t n = merged.size();
+  auto fresh = Build(pager_, std::move(merged));
+  CCIDX_RETURN_IF_ERROR(fresh.status());
+  scope.Commit();
+  for (PageId id : old_pages) {
+    (void)pager_->Free(id);
+  }
+  header_ = fresh->header_;
+  stored_count_ = n;
+  pending_.clear();
+  for (const Point& p : purged) {
+    tombstones_.Consume(p);
+  }
+  sched_.Reset();
+  return Status::OK();
+}
+
+Status CornerStructure::VisitPages(std::vector<PageId>* out) const {
+  std::vector<VBlockEntry> vblocks;
+  std::vector<CStarEntry> cstar;
+  CCIDX_RETURN_IF_ERROR(LoadIndexes(&vblocks, &cstar));
+  PageIo io(pager_);
+  for (const VBlockEntry& v : vblocks) {
+    out->push_back(v.page);
+  }
+  for (const CStarEntry& c : cstar) {
+    if (c.head != kInvalidPageId) {
+      CCIDX_RETURN_IF_ERROR(io.VisitChain(c.head, out));
+    }
+  }
+  Header h;
+  CCIDX_RETURN_IF_ERROR(LoadHeader(&h));
+  if (h.vindex_head != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(io.VisitChain(h.vindex_head, out));
+  }
+  if (h.cstar_head != kInvalidPageId) {
+    CCIDX_RETURN_IF_ERROR(io.VisitChain(h.cstar_head, out));
+  }
+  out->push_back(header_);
+  return Status::OK();
 }
 
 Status CornerStructure::Query(Coord a, std::vector<Point>* out) const {

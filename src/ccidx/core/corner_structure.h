@@ -24,6 +24,18 @@
 // index as short page chains (the augmented tree grows metablocks to 2B^2
 // points, whose indexes no longer fit one page). Queries read these chains
 // in full — O(1 + k/B^2) = O(1) extra I/Os.
+//
+// Dynamization (DESIGN.md §8): a Build-constructed handle supports
+// Insert/Delete through the shared dynamization layer — one buffered
+// page of pending inserts (rebuilt into the structure every B inserts,
+// the paper's level-I cadence) and weak deletes (tombstones, purged by
+// the RebuildScheduler before they reach half the live weight). The
+// structure is bounded (k <= O(B^2)), so a rebuild costs O(k/B) = O(B)
+// I/Os and updates amortize to O(1) I/Os each. Rebuilds are fault-atomic:
+// the old pages are enumerated read-only, the replacement is built under
+// an AllocationScope, and the old pages are freed by id afterwards.
+// Handles re-attached with Open() are static views (the enclosing
+// metablock trees use them that way) and must not be updated.
 
 #ifndef CCIDX_CORE_CORNER_STRUCTURE_H_
 #define CCIDX_CORE_CORNER_STRUCTURE_H_
@@ -31,6 +43,8 @@
 #include <vector>
 
 #include "ccidx/core/geometry.h"
+#include "ccidx/dynamic/rebuild.h"
+#include "ccidx/dynamic/tombstones.h"
 #include "ccidx/io/page_builder.h"
 #include "ccidx/query/sink.h"
 
@@ -48,11 +62,26 @@ class CornerStructure {
   static Result<CornerStructure> Build(Pager* pager,
                                        std::vector<Point> points);
 
-  /// Re-attaches to a previously built structure by its header page.
+  /// Re-attaches to a previously built structure by its header page (a
+  /// static view: no update support, size not tracked).
   static CornerStructure Open(Pager* pager, PageId header);
 
   /// Header page id (persist this to reopen the structure later).
   PageId header() const { return header_; }
+
+  /// Inserts a point (y >= x) into the pending buffer; every B inserts
+  /// the structure is rebuilt fault-atomically. Amortized O(1) I/Os.
+  Status Insert(const Point& p);
+
+  /// Deletes the exact point (x, y, id); sets *found. Weak delete +
+  /// scheduled purge; amortized O(1) I/Os.
+  Status Delete(const Point& p, bool* found);
+
+  /// Live points (stored + pending - tombstoned); Build-constructed
+  /// handles only.
+  uint64_t size() const {
+    return stored_count_ + pending_.size() - tombstones_.size();
+  }
 
   /// Streams all points with x <= a and y >= a into `sink`,
   /// block-at-a-time out of the pinned pages. Cost: O(1) + 2t/B I/Os;
@@ -69,6 +98,11 @@ class CornerStructure {
 
   /// Frees every page of the structure.
   Status Free();
+
+  /// Appends every page id of the structure to `out` (read-only mirror of
+  /// Free; the fail-safe first half of a fault-atomic rebuild). Used by
+  /// the enclosing trees' purge rebuilds as well.
+  Status VisitPages(std::vector<PageId>* out) const;
 
   /// Appends every stored point to `out` (reads the vertical blocking;
   /// O(k/B) I/Os). Used when a TD structure is rebuilt (Section 3.2).
@@ -106,8 +140,18 @@ class CornerStructure {
   Status LoadIndexes(std::vector<VBlockEntry>* vblocks,
                      std::vector<CStarEntry>* cstar) const;
 
+  // Merges pending inserts, drops tombstoned points, and replaces the
+  // on-device structure (fault-atomic; see file comment).
+  Status Rebuild();
+
   Pager* pager_;
   PageId header_;
+  // Dynamization overlay (DESIGN.md §8) — lives in the handle; static
+  // Open() views leave it empty.
+  uint64_t stored_count_ = 0;
+  std::vector<Point> pending_;
+  PointTombstones tombstones_;
+  RebuildScheduler sched_;
 };
 
 }  // namespace ccidx

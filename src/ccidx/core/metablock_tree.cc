@@ -296,6 +296,32 @@ Status MetablockTree::Query(const DiagonalQuery& q, std::vector<Point>* out)
   return Query(q, &sink);
 }
 
+Status MetablockTree::ScanSubtree(PageId control_id,
+                                  SinkEmitter<Point>& em) const {
+  Control ctrl;
+  CCIDX_RETURN_IF_ERROR(LoadControl(control_id, &ctrl));
+  // Own points live exactly once in the horizontal chain (vertical
+  // blockings, TS chains, and corner structures hold copies).
+  CCIDX_RETURN_IF_ERROR(EmitChain<Point>(pager_, ctrl.horiz_head, em));
+  if (ctrl.children_head != kInvalidPageId && !em.stopped()) {
+    std::vector<ChildEntry> children;
+    PageIo io(pager_);
+    CCIDX_RETURN_IF_ERROR(
+        io.ReadChain<ChildEntry>(ctrl.children_head, &children));
+    for (const ChildEntry& c : children) {
+      if (em.stopped()) break;
+      CCIDX_RETURN_IF_ERROR(ScanSubtree(c.control, em));
+    }
+  }
+  return Status::OK();
+}
+
+Status MetablockTree::ScanAll(ResultSink<Point>* sink) const {
+  if (root_ == kInvalidPageId) return Status::OK();
+  SinkEmitter<Point> em(sink);
+  return ScanSubtree(root_, em);
+}
+
 Status MetablockTree::DestroySubtree(PageId control_id) {
   Control ctrl;
   CCIDX_RETURN_IF_ERROR(LoadControl(control_id, &ctrl));

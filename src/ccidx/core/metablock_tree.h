@@ -112,6 +112,13 @@ class MetablockTree {
   /// B^2: capacity of one metablock.
   uint32_t metablock_capacity() const { return branching_ * branching_; }
 
+  /// Streams every stored point into `sink`, in no particular order (each
+  /// metablock's horizontal chain, top-down). O(n/B) I/Os. This is the
+  /// merge source of the dynamization layer (DESIGN.md §8): the
+  /// logarithmic-method adapter DynamicMetablockTree scans retiring
+  /// levels through it into the bulk-build pipeline.
+  Status ScanAll(ResultSink<Point>* sink) const;
+
   /// Frees all pages.
   Status Destroy();
 
@@ -178,6 +185,7 @@ class MetablockTree {
   Status ReportSubtree(PageId control_id, Coord a,
                        SinkEmitter<Point>& em) const;
 
+  Status ScanSubtree(PageId control_id, SinkEmitter<Point>& em) const;
   Status DestroySubtree(PageId control_id);
   Status CheckSubtree(PageId control_id, Coord parent_min_y,
                       bool is_root) const;

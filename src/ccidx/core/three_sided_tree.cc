@@ -406,6 +406,31 @@ Status ThreeSidedTree::Query(const ThreeSidedQuery& q,
   return Query(q, &sink);
 }
 
+Status ThreeSidedTree::ScanSubtree(PageId id, SinkEmitter<Point>& em) const {
+  Control ctrl;
+  CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));
+  // Own points live exactly once in the horizontal chain; the PSTs, TS
+  // chains, and vertical blockings hold copies.
+  CCIDX_RETURN_IF_ERROR(EmitChain<Point>(pager_, ctrl.horiz_head, em));
+  if (ctrl.num_children > 0 && !em.stopped()) {
+    std::vector<ChildEntry> children;
+    PageIo io(pager_);
+    CCIDX_RETURN_IF_ERROR(
+        io.ReadChain<ChildEntry>(ctrl.children_head, &children));
+    for (const ChildEntry& c : children) {
+      if (em.stopped()) break;
+      CCIDX_RETURN_IF_ERROR(ScanSubtree(c.control, em));
+    }
+  }
+  return Status::OK();
+}
+
+Status ThreeSidedTree::ScanAll(ResultSink<Point>* sink) const {
+  if (root_ == kInvalidPageId) return Status::OK();
+  SinkEmitter<Point> em(sink);
+  return ScanSubtree(root_, em);
+}
+
 Status ThreeSidedTree::DestroySubtree(PageId id) {
   Control ctrl;
   CCIDX_RETURN_IF_ERROR(LoadControl(id, &ctrl));

@@ -77,6 +77,12 @@ class ThreeSidedTree {
   uint64_t size() const { return size_; }
   uint32_t branching() const { return branching_; }
 
+  /// Streams every stored point into `sink`, in no particular order (each
+  /// metablock's horizontal chain, top-down; PSTs, TS chains and vertical
+  /// blockings hold copies). O(n/B) I/Os. The merge source of the
+  /// dynamization layer's DynamicThreeSidedTree adapter (DESIGN.md §8).
+  Status ScanAll(ResultSink<Point>* sink) const;
+
   /// Frees all pages.
   Status Destroy();
 
@@ -143,6 +149,7 @@ class ThreeSidedTree {
   Status RightPath(PageId id, Coord xhi, Coord ylo, bool skip_own,
                    SinkEmitter<Point>& em) const;
 
+  Status ScanSubtree(PageId id, SinkEmitter<Point>& em) const;
   Status DestroySubtree(PageId id);
   Status CheckSubtree(PageId id, Coord parent_min_y, bool is_root,
                       uint64_t* count) const;

@@ -1,0 +1,106 @@
+// Logarithmic-method adapters for the build-once families (DESIGN.md §8).
+//
+// MetablockTree (Section 3.1) and ThreeSidedTree (Lemma 4.3) are static:
+// the paper dynamizes them by hand into the augmented trees. These
+// aliases instead wrap the static structures with Dynamized<Traits> —
+// the generic weak-delete / amortized-merge adapter — which preserves
+// the family query semantics while adding a uniform Insert/Delete:
+//
+//   DynamicMetablockTree   diagonal corner queries
+//     query  O(log2(n/B) * (log_B n) + t/B) I/Os (a level fan-out over
+//            Theorem 3.2), insert amortized
+//            O((log2(n/B) * log_B n)/B), delete one membership probe +
+//            amortized O((log_B n)/B)
+//   DynamicThreeSidedTree  3-sided queries
+//     query  O(log2(n/B) * (log_B n + log2 B) + t/B) I/Os (over Lemma
+//            4.3), updates as above
+//
+// Space stays O(n/B) pages: levels are geometric and tombstones are
+// purged before they reach half the live weight. Reads-concurrent /
+// writes-external per the DESIGN.md §7 contract.
+
+#ifndef CCIDX_DYNAMIC_ADAPTERS_H_
+#define CCIDX_DYNAMIC_ADAPTERS_H_
+
+#include "ccidx/build/point_group.h"
+#include "ccidx/core/metablock_tree.h"
+#include "ccidx/core/three_sided_tree.h"
+#include "ccidx/dynamic/log_method.h"
+
+namespace ccidx {
+
+namespace internal {
+
+/// Shared scaffolding for Point-record families bulk-built from x-sorted
+/// PointGroups.
+template <typename St, bool kAboveDiagonal>
+struct PointFamilyTraits {
+  using Record = Point;
+  using Structure = St;
+  using IdentityHash = PointIdentityHash;
+  using BuildLess = PointXOrder;
+
+  static Result<Structure> BuildFromSorted(Pager* pager,
+                                           RecordStream<Point>* sorted,
+                                           uint64_t count) {
+    (void)count;
+    auto group = PointGroup::FromStream(
+        pager, sorted, DefaultSortBudget(pager, sizeof(Point)),
+        /*require_above_diagonal=*/kAboveDiagonal);
+    CCIDX_RETURN_IF_ERROR(group.status());
+    return Structure::Build(pager, std::move(*group));
+  }
+
+  static Status Scan(const Structure& st, ResultSink<Point>* sink) {
+    return st.ScanAll(sink);
+  }
+  static Status Check(const Structure& st) { return st.CheckInvariants(); }
+  static uint64_t Size(const Structure& st) { return st.size(); }
+};
+
+}  // namespace internal
+
+/// Traits adapting MetablockTree (diagonal corner queries, y >= x).
+struct MetablockTreeTraits
+    : internal::PointFamilyTraits<MetablockTree, /*kAboveDiagonal=*/true> {
+  using Query = DiagonalQuery;
+
+  static Status Run(const MetablockTree& st, const DiagonalQuery& q,
+                    ResultSink<Point>* sink) {
+    return st.Query(q, sink);
+  }
+  static bool Matches(const DiagonalQuery& q, const Point& p) {
+    return q.Contains(p);
+  }
+  /// Any anchor a in [x, y] covers the point; a = y keeps the region as
+  /// high as possible (membership probes stop at the first hit).
+  static DiagonalQuery ProbeQuery(const Point& p) { return {p.y}; }
+};
+
+/// Traits adapting ThreeSidedTree (3-sided queries, arbitrary points).
+struct ThreeSidedTreeTraits
+    : internal::PointFamilyTraits<ThreeSidedTree, /*kAboveDiagonal=*/false> {
+  using Query = ThreeSidedQuery;
+
+  static Status Run(const ThreeSidedTree& st, const ThreeSidedQuery& q,
+                    ResultSink<Point>* sink) {
+    return st.Query(q, sink);
+  }
+  static bool Matches(const ThreeSidedQuery& q, const Point& p) {
+    return q.Contains(p);
+  }
+  /// The degenerate slab through the point: O(log_B n + matches/B) probe.
+  static ThreeSidedQuery ProbeQuery(const Point& p) {
+    return {p.x, p.x, p.y};
+  }
+};
+
+/// Fully dynamic diagonal-corner index over static metablock trees.
+using DynamicMetablockTree = Dynamized<MetablockTreeTraits>;
+
+/// Fully dynamic 3-sided index over static Lemma 4.3 trees.
+using DynamicThreeSidedTree = Dynamized<ThreeSidedTreeTraits>;
+
+}  // namespace ccidx
+
+#endif  // CCIDX_DYNAMIC_ADAPTERS_H_

@@ -1,0 +1,402 @@
+// Dynamized<Traits>: the logarithmic-method adapter that gives a fully
+// static structure Insert and Delete (DESIGN.md §8).
+//
+// The paper dynamizes its structures by hand (update blocks, level I/II
+// reorganizations, Section 3.2); for the families whose native form is
+// build-once (MetablockTree, ThreeSidedTree) this adapter applies the
+// generic equivalent — Bentley–Saxe logarithmic decomposition with weak
+// deletes — on top of the PR 3 bulk-build pipeline:
+//
+//   * One resident buffer of B records (one page's worth — the analogue
+//     of the paper's per-metablock update block) absorbs inserts.
+//   * A full buffer is merged, together with every lower level it spills
+//     over, into the smallest level k whose capacity B·2^(k+1) holds the
+//     merged total. Each merge streams the old levels' records through an
+//     ExternalSorter into the family's PointGroup bulk build, so a merge
+//     of m records costs O((m/B) log_{M/B}(m/B)) sort + build I/Os and a
+//     record is rewritten at most once per level it is promoted through:
+//     amortized insert O((log2(n/B) * log_B n) / B) I/Os on top of the
+//     O(1) buffer append.
+//   * Deletes are weak (TombstoneSet): reporting filters dead records at
+//     zero extra I/O, and the shared RebuildScheduler forces a global
+//     merge-and-purge before tombstones reach half the live weight, so
+//     space stays O(n/B) pages and queries stay within a factor of two of
+//     the live-output t/B term. Amortized delete: one membership probe
+//     (a query anchored at the record) + O((log_B n)/B) rebuild charge.
+//   * Queries fan over the buffer and every occupied level — at most
+//     log2(n/B) structures — multiplying the family's search term by
+//     log2(n/B) but leaving the t/B reporting term intact. kStop
+//     propagates: the shared filter sink latches, and no further level is
+//     consulted once the consumer stops.
+//
+// Fault atomicity: every merge runs inside a Pager::AllocationScope. The
+// source levels are only read; the replacement structure (and any sorter
+// spill runs) is built under the scope, each level's complete page set is
+// retained from the scope snapshot, and the old levels are freed only
+// after the build commits — by page id, with no device reads, the same
+// property rollback itself relies on. A failed merge therefore leaves
+// the adapter exactly as it was, still answering queries, with
+// live_pages back to its pre-merge baseline.
+//
+// Thread safety (DESIGN.md §7): Query is const and safe from any number
+// of threads concurrently. Insert/Delete/Destroy are writes and require
+// external synchronization (QueryExecutor::Quiesce composes batch serving
+// with updates).
+
+#ifndef CCIDX_DYNAMIC_LOG_METHOD_H_
+#define CCIDX_DYNAMIC_LOG_METHOD_H_
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ccidx/build/external_sorter.h"
+#include "ccidx/dynamic/rebuild.h"
+#include "ccidx/dynamic/tombstones.h"
+#include "ccidx/io/pager.h"
+#include "ccidx/query/sink.h"
+
+namespace ccidx {
+
+/// Logarithmic-method dynamization of a static structure.
+///
+/// Traits contract:
+///   using Record        — stored record type (value identity, ==)
+///   using Structure     — the static family (movable)
+///   using Query         — the family's query type
+///   using IdentityHash  — hash over full record identity
+///   using BuildLess     — the bulk-build sort order (e.g. PointXOrder)
+///   static Result<Structure> BuildFromSorted(Pager*,
+///       RecordStream<Record>* sorted, uint64_t count)
+///   static Status Run(const Structure&, const Query&, ResultSink<Record>*)
+///   static Status Scan(const Structure&, ResultSink<Record>*)  — full
+///       enumeration of stored records, any order
+///   static bool Matches(const Query&, const Record&)
+///   static Query ProbeQuery(const Record&) — a query whose region is
+///       guaranteed to contain the record (membership probes)
+///   static Status Check(const Structure&) — structural invariants
+///   static uint64_t Size(const Structure&)
+template <typename Traits>
+class Dynamized {
+ public:
+  using Record = typename Traits::Record;
+  using Structure = typename Traits::Structure;
+  using QueryT = typename Traits::Query;
+  using Tombstones = TombstoneSet<Record, typename Traits::IdentityHash>;
+
+  /// Empty adapter. `buffer_capacity` 0 = one page of records (B).
+  explicit Dynamized(Pager* pager, uint32_t buffer_capacity = 0)
+      : pager_(pager),
+        buffer_cap_(buffer_capacity != 0
+                        ? buffer_capacity
+                        : PageIo(pager).CapacityFor(sizeof(Record))) {
+    CCIDX_CHECK(buffer_cap_ > 0);
+  }
+
+  /// Bulk build: the records become one bottom level (fault-atomic).
+  static Result<Dynamized> Build(Pager* pager, std::vector<Record>&& records,
+                                 uint32_t buffer_capacity = 0) {
+    Dynamized out(pager, buffer_capacity);
+    if (records.empty()) return out;
+    std::sort(records.begin(), records.end(), typename Traits::BuildLess());
+    size_t k = 0;
+    while (out.LevelCapacity(k) < records.size()) k++;
+    out.EnsureLevels(k + 1);
+
+    AllocationScope scope(pager);
+    const uint64_t n = records.size();
+    SpanStream<Record> stream(std::span<const Record>(records),
+                              PageIo(pager).CapacityFor(sizeof(Record)));
+    auto st = Traits::BuildFromSorted(pager, &stream, n);
+    CCIDX_RETURN_IF_ERROR(st.status());
+    out.levels_[k].pages = scope.pages();
+    scope.Commit();
+    out.levels_[k].st.emplace(std::move(*st));
+    out.levels_[k].count = n;
+    out.stored_ = n;
+    return out;
+  }
+
+  /// Inserts a record (unique identity). Amortized
+  /// O((log2(n/B) * log_B n) / B) I/Os. Re-inserting a tombstoned
+  /// identity resurrects the stored record at zero I/O.
+  Status Insert(const Record& r) {
+    if (tombstones_.Consume(r)) {
+      sched_.NoteTombstoneConsumed();
+      return Status::OK();
+    }
+    buffer_.push_back(r);
+    if (buffer_.size() >= buffer_cap_) return Flush();
+    return Status::OK();
+  }
+
+  /// Weak delete. Sets *found. One membership probe (family query
+  /// anchored at the record) + amortized O((log_B n)/B) purge charge.
+  Status Delete(const Record& r, bool* found) {
+    *found = false;
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+      if (*it == r) {
+        buffer_.erase(it);
+        *found = true;
+        return Status::OK();
+      }
+    }
+    if (tombstones_.Contains(r)) return Status::OK();  // already dead
+    bool exists = false;
+    CCIDX_RETURN_IF_ERROR(Lookup(r, &exists));
+    if (!exists) return Status::OK();
+    tombstones_.Add(r);
+    sched_.NoteDelete();
+    *found = true;
+    if (sched_.ShouldPurge(size())) return GlobalRebuild();
+    return Status::OK();
+  }
+
+  /// Streams every live record matching `q` into `sink` (buffer first,
+  /// then levels). kStop latches across levels.
+  Status Query(const QueryT& q, ResultSink<Record>* sink) const {
+    if (tombstones_.empty()) {
+      // No weak deletes outstanding: skip the filter staging, keep only
+      // a latch so kStop still halts the level fan-out.
+      StopLatchSink latch(sink);
+      return QueryThrough(q, &latch, [&] { return latch.stopped(); });
+    }
+    LiveFilterSink<Record, typename Traits::IdentityHash> filter(
+        &tombstones_, sink);
+    return QueryThrough(q, &filter, [&] { return filter.stopped(); });
+  }
+
+  Status Query(const QueryT& q, std::vector<Record>* out) const {
+    VectorSink<Record> sink(out);
+    return Query(q, &sink);
+  }
+
+  /// Live records (stored + buffered - tombstoned).
+  uint64_t size() const {
+    return stored_ + buffer_.size() - tombstones_.size();
+  }
+
+  size_t num_levels() const {
+    size_t n = 0;
+    for (const Level& lv : levels_) n += lv.st.has_value() ? 1 : 0;
+    return n;
+  }
+  size_t outstanding_tombstones() const { return tombstones_.size(); }
+  uint64_t merges() const { return merges_; }
+
+  /// Frees every page of every level — by retained page id, no device
+  /// reads, so it succeeds even under active fault injection.
+  Status Destroy() {
+    Status first = Status::OK();
+    for (Level& lv : levels_) {
+      for (PageId id : lv.pages) {
+        Status s = pager_->Free(id);
+        if (!s.ok() && first.ok()) first = s;
+      }
+      lv = Level{};
+    }
+    levels_.clear();
+    buffer_.clear();
+    tombstones_.Clear();
+    stored_ = 0;
+    sched_.Reset();
+    return first;
+  }
+
+  /// Level-size envelope + per-level structural checks + count agreement.
+  Status CheckInvariants() const {
+    if (buffer_.size() > buffer_cap_) {
+      return Status::Corruption("dynamized buffer over capacity");
+    }
+    uint64_t stored = 0;
+    for (size_t i = 0; i < levels_.size(); ++i) {
+      const Level& lv = levels_[i];
+      if (!lv.st.has_value()) {
+        if (lv.count != 0 || !lv.pages.empty()) {
+          return Status::Corruption("empty level with residue");
+        }
+        continue;
+      }
+      if (lv.count == 0 || lv.count > LevelCapacity(i)) {
+        return Status::Corruption("level count outside envelope");
+      }
+      if (Traits::Size(*lv.st) != lv.count) {
+        return Status::Corruption("level structure size mismatch");
+      }
+      CCIDX_RETURN_IF_ERROR(Traits::Check(*lv.st));
+      stored += lv.count;
+    }
+    if (stored != stored_) {
+      return Status::Corruption("stored-record accounting mismatch");
+    }
+    if (tombstones_.size() > stored_) {
+      return Status::Corruption("more tombstones than stored records");
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Level {
+    std::optional<Structure> st;
+    uint64_t count = 0;           // physically stored (incl. tombstoned)
+    std::vector<PageId> pages;    // complete page set (scope snapshot)
+  };
+
+  uint64_t LevelCapacity(size_t i) const {
+    return static_cast<uint64_t>(buffer_cap_) << (i + 1);
+  }
+
+  void EnsureLevels(size_t n) {
+    if (levels_.size() < n) levels_.resize(n);
+  }
+
+  // Forwards verbatim, remembering a kStop so the level fan-out halts.
+  class StopLatchSink final : public ResultSink<Record> {
+   public:
+    explicit StopLatchSink(ResultSink<Record>* inner) : inner_(inner) {}
+    SinkState Emit(std::span<const Record> batch) override {
+      if (stopped_) return SinkState::kStop;
+      SinkState s = inner_->Emit(batch);
+      stopped_ = s == SinkState::kStop;
+      return s;
+    }
+    bool stopped() const { return stopped_; }
+
+   private:
+    ResultSink<Record>* inner_;
+    bool stopped_ = false;
+  };
+
+  // Buffer scan + level fan-out into `target`; `stopped()` reports the
+  // latched consumer verdict between levels.
+  template <typename Stopped>
+  Status QueryThrough(const QueryT& q, ResultSink<Record>* target,
+                      Stopped stopped) const {
+    SinkEmitter<Record> em(target);
+    em.EmitFiltered(std::span<const Record>(buffer_),
+                    [&q](const Record& r) { return Traits::Matches(q, r); });
+    for (const Level& lv : levels_) {
+      if (em.stopped() || stopped()) break;
+      if (!lv.st.has_value()) continue;
+      CCIDX_RETURN_IF_ERROR(Traits::Run(*lv.st, q, target));
+    }
+    return Status::OK();
+  }
+
+  Status Lookup(const Record& r, bool* exists) const {
+    *exists = false;
+    QueryT probe = Traits::ProbeQuery(r);
+    ExactMatchSink<Record> finder(r, exists);
+    for (const Level& lv : levels_) {
+      if (!lv.st.has_value()) continue;
+      CCIDX_RETURN_IF_ERROR(Traits::Run(*lv.st, probe, &finder));
+      if (*exists) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  // Merges the buffer and levels [0, k] into level k, purging tombstoned
+  // records. Fault-atomic (see file comment).
+  Status MergeInto(size_t k) {
+    EnsureLevels(k + 1);
+    AllocationScope scope(pager_);
+    ExternalSorter<Record, typename Traits::BuildLess> sorter(pager_);
+    std::vector<Record> purged;
+
+    Status feed = Status::OK();
+    for (const Record& r : buffer_) {
+      feed = sorter.Add(r);
+      if (!feed.ok()) return feed;
+    }
+    for (size_t i = 0; i <= k; ++i) {
+      if (!levels_[i].st.has_value()) continue;
+      FunctionSink<Record> into_sorter(
+          [&](std::span<const Record> batch) -> SinkState {
+            for (const Record& r : batch) {
+              if (tombstones_.Contains(r)) {
+                purged.push_back(r);  // applied only after the merge lands
+                continue;
+              }
+              feed = sorter.Add(r);
+              if (!feed.ok()) return SinkState::kStop;
+            }
+            return SinkState::kContinue;
+          });
+      Status s = Traits::Scan(*levels_[i].st, &into_sorter);
+      CCIDX_RETURN_IF_ERROR(s);
+      CCIDX_RETURN_IF_ERROR(feed);
+    }
+
+    const uint64_t merged = sorter.records_added();
+    std::optional<Structure> fresh;
+    std::vector<PageId> fresh_pages;
+    if (merged > 0) {
+      auto sorted = sorter.Finish();
+      CCIDX_RETURN_IF_ERROR(sorted.status());
+      auto st = Traits::BuildFromSorted(pager_, *sorted, merged);
+      CCIDX_RETURN_IF_ERROR(st.status());
+      fresh.emplace(std::move(*st));
+      fresh_pages = scope.pages();
+    }
+    scope.Commit();
+
+    // Point of no return: the replacement is durable. Retire the old
+    // levels by page id (no device reads — cannot fail mid-way) and
+    // consume the tombstones the merge expunged.
+    uint64_t old_total = 0;
+    for (size_t i = 0; i <= k; ++i) {
+      old_total += levels_[i].count;
+      for (PageId id : levels_[i].pages) {
+        (void)pager_->Free(id);
+      }
+      levels_[i] = Level{};
+    }
+    levels_[k].st = std::move(fresh);
+    levels_[k].count = merged;
+    levels_[k].pages = std::move(fresh_pages);
+    for (const Record& r : purged) {
+      tombstones_.Consume(r);
+      sched_.NoteTombstoneConsumed();
+    }
+    stored_ = stored_ - old_total + merged;  // merged includes the buffer
+    buffer_.clear();
+    merges_ += 1;
+    return Status::OK();
+  }
+
+  Status Flush() {
+    uint64_t total = buffer_.size();
+    size_t k = 0;
+    while (true) {
+      total += k < levels_.size() ? levels_[k].count : 0;
+      if (total <= LevelCapacity(k)) break;
+      k++;
+    }
+    return MergeInto(k);
+  }
+
+  // Global merge-and-purge: everything (buffer + all levels) lands in one
+  // level and every expungeable tombstone is consumed.
+  Status GlobalRebuild() {
+    size_t k = levels_.empty() ? 0 : levels_.size() - 1;
+    uint64_t total = buffer_.size() + stored_;
+    while (LevelCapacity(k) < total) k++;
+    CCIDX_RETURN_IF_ERROR(MergeInto(k));
+    sched_.Reset();
+    return Status::OK();
+  }
+
+  Pager* pager_;
+  uint32_t buffer_cap_;
+  std::vector<Record> buffer_;
+  std::vector<Level> levels_;
+  Tombstones tombstones_;
+  RebuildScheduler sched_;
+  uint64_t stored_ = 0;  // records in levels, incl. tombstoned
+  uint64_t merges_ = 0;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_DYNAMIC_LOG_METHOD_H_

@@ -1,0 +1,98 @@
+// RebuildScheduler: the shared amortized-rebuild policy of the
+// dynamization layer (DESIGN.md §8).
+//
+// Every dynamized structure in the library restores its invariants the
+// same way the paper does (level I/II reorganizations, Lemma 3.6): let
+// updates accumulate until they amount to a constant fraction of the
+// structure's live weight, then rebuild — the rebuild cost is paid for by
+// the Omega(weight) updates since the structure was last built. This
+// class centralizes that accounting so every family (DynamicPst, the
+// weak-delete paths of the augmented trees, ExternalPst, CornerStructure,
+// the logarithmic-method adapter, and through them both interval indexes)
+// triggers on exactly the same rule and tests can reason about one
+// policy.
+//
+// Two thresholds are tracked:
+//   * ShouldRebuild(live)  — total updates (inserts + deletes) since the
+//     last rebuild exceed `fraction * live + min_updates`: the structure
+//     may have drifted out of its balance envelope.
+//   * ShouldPurge(live)    — outstanding weak deletes (tombstones) alone
+//     exceed the fraction: dead records threaten the O(n/B) space bound
+//     and the t/B output term, so a global rebuild must expunge them.
+// `min_updates` keeps tiny structures from rebuilding on every update.
+//
+// Thread safety: plain counters, mutated only on update paths, which are
+// externally synchronized (DESIGN.md §7 writes-external contract).
+
+#ifndef CCIDX_DYNAMIC_REBUILD_H_
+#define CCIDX_DYNAMIC_REBUILD_H_
+
+#include <cstdint>
+
+namespace ccidx {
+
+/// Amortized rebuild trigger shared by every update path (DESIGN.md §8).
+class RebuildScheduler {
+ public:
+  struct Options {
+    /// Updates must exceed fraction_num/fraction_den of the live weight
+    /// (integer arithmetic: the historical "half the weight" rule).
+    uint64_t fraction_num = 1;
+    uint64_t fraction_den = 2;
+    /// Constant slack so small structures do not thrash.
+    uint64_t min_updates = 16;
+  };
+
+  RebuildScheduler() = default;
+  explicit RebuildScheduler(Options options) : options_(options) {}
+
+  void NoteInsert() { updates_ += 1; }
+  void NoteDelete() {
+    updates_ += 1;
+    deletes_ += 1;
+  }
+  /// A purge consumed one outstanding tombstone without a rebuild (e.g. a
+  /// re-insert resurrected the record, or a partial rebuild expunged it).
+  void NoteTombstoneConsumed() {
+    if (deletes_ > 0) deletes_ -= 1;
+  }
+
+  /// True when total updates since the last rebuild amount to the
+  /// configured fraction of the live weight.
+  bool ShouldRebuild(uint64_t live_weight) const {
+    return Exceeds(updates_, live_weight);
+  }
+
+  /// True when outstanding deletes alone amount to the fraction of the
+  /// live weight (space/report bounds require expunging tombstones).
+  bool ShouldPurge(uint64_t live_weight) const {
+    return Exceeds(deletes_, live_weight);
+  }
+
+  /// Call after a global rebuild: the structure is freshly balanced and
+  /// holds no dead records.
+  void Reset() {
+    updates_ = 0;
+    deletes_ = 0;
+  }
+
+  uint64_t updates_since_rebuild() const { return updates_; }
+  uint64_t deletes_since_rebuild() const { return deletes_; }
+  const Options& options() const { return options_; }
+
+ private:
+  bool Exceeds(uint64_t count, uint64_t live_weight) const {
+    // count > fraction * live + min_updates, in overflow-safe integers.
+    return count > options_.min_updates &&
+           (count - options_.min_updates) * options_.fraction_den >
+               live_weight * options_.fraction_num;
+  }
+
+  Options options_;
+  uint64_t updates_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_DYNAMIC_REBUILD_H_

@@ -1,0 +1,151 @@
+// TombstoneSet: weak-delete bookkeeping for the dynamization layer
+// (DESIGN.md §8).
+//
+// A weak delete does not touch the on-device structure at all: the record
+// is marked dead in this resident set, every reporting path filters its
+// output against it (a hash probe per emitted record, zero extra I/O),
+// and the RebuildScheduler forces a global rebuild — which expunges the
+// dead records and clears the set — before tombstones can amount to a
+// constant fraction of the live weight. That is the classic
+// weak-delete/global-rebuild dynamization: amortized delete cost =
+// rebuild cost / Omega(weight), and the O(n/B) space and t/B reporting
+// bounds survive because dead records never exceed half the structure.
+//
+// Resident-memory note (documented deviation, DESIGN.md §8): tombstones
+// live in main memory between rebuilds, like the buffer pool's page table
+// and the block device's own page directory. Their count is bounded by
+// the purge threshold (half the live weight); an engine whose delete
+// volume outgrows memory would spill this set to device-resident runs.
+//
+// Records are identified by full value identity (operator==); callers
+// must not store two records with identical identity. Re-inserting a
+// tombstoned identity "resurrects" the stored record (the tombstone is
+// consumed) instead of adding a duplicate.
+//
+// Thread safety: reads (Contains/Filter) are safe concurrently with each
+// other; mutation happens only on update paths, which are externally
+// synchronized (DESIGN.md §7).
+
+#ifndef CCIDX_DYNAMIC_TOMBSTONES_H_
+#define CCIDX_DYNAMIC_TOMBSTONES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "ccidx/core/geometry.h"
+#include "ccidx/query/sink.h"
+
+namespace ccidx {
+
+namespace internal {
+/// splitmix64 finalizer: the library's standard bit mixer (pager shards
+/// use the same one), applied to combine record fields.
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return MixU64(h ^ MixU64(v));
+}
+}  // namespace internal
+
+/// Identity hash for Point (x, y, id).
+struct PointIdentityHash {
+  size_t operator()(const Point& p) const {
+    uint64_t h = internal::MixU64(static_cast<uint64_t>(p.x));
+    h = internal::HashCombine(h, static_cast<uint64_t>(p.y));
+    return static_cast<size_t>(internal::HashCombine(h, p.id));
+  }
+};
+
+/// The set of weakly deleted records of one structure.
+template <typename Record, typename Hash>
+class TombstoneSet {
+ public:
+  /// Marks a record dead. Returns false if it was already tombstoned.
+  bool Add(const Record& r) { return set_.insert(r).second; }
+
+  /// Consumes a tombstone (the record was expunged by a rebuild, or
+  /// resurrected by a re-insert). Returns true iff it was present.
+  bool Consume(const Record& r) { return set_.erase(r) > 0; }
+
+  bool Contains(const Record& r) const { return set_.count(r) > 0; }
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+  void Clear() { set_.clear(); }
+
+  /// Filter predicate for reporting paths: true iff the record is live.
+  bool Live(const Record& r) const { return !Contains(r); }
+
+ private:
+  std::unordered_set<Record, Hash> set_;
+};
+
+using PointTombstones = TombstoneSet<Point, PointIdentityHash>;
+
+/// Membership-probe sink: sets *found and stops at the first record with
+/// exact value identity. Every dynamized family's Delete drives its
+/// anchored probe query through one of these.
+template <typename Record>
+class ExactMatchSink final : public ResultSink<Record> {
+ public:
+  ExactMatchSink(const Record& target, bool* found)
+      : target_(target), found_(found) {}
+
+  SinkState Emit(std::span<const Record> batch) override {
+    for (const Record& r : batch) {
+      if (r == target_) {
+        *found_ = true;
+        return SinkState::kStop;
+      }
+    }
+    return SinkState::kContinue;
+  }
+
+ private:
+  Record target_;
+  bool* found_;
+};
+
+/// Forwards only live (non-tombstoned) records to `inner`, staging each
+/// block through a scratch buffer (one Emit per page, like
+/// SinkEmitter::EmitFiltered). Latches the inner verdict so a producer
+/// driving several scans (or log-method levels) through one filter can
+/// short-circuit via stopped(). No type erasure: the tombstone probe
+/// inlines on the reporting hot path.
+template <typename Record, typename Hash>
+class LiveFilterSink final : public ResultSink<Record> {
+ public:
+  LiveFilterSink(const TombstoneSet<Record, Hash>* tombstones,
+                 ResultSink<Record>* inner)
+      : tombstones_(tombstones), inner_(inner) {}
+
+  SinkState Emit(std::span<const Record> batch) override {
+    if (state_ == SinkState::kStop) return state_;
+    scratch_.clear();
+    for (const Record& r : batch) {
+      if (tombstones_->Live(r)) scratch_.push_back(r);
+    }
+    if (!scratch_.empty()) state_ = inner_->Emit(scratch_);
+    return state_;
+  }
+
+  bool stopped() const { return state_ == SinkState::kStop; }
+
+ private:
+  const TombstoneSet<Record, Hash>* tombstones_;
+  ResultSink<Record>* inner_;
+  std::vector<Record> scratch_;
+  SinkState state_ = SinkState::kContinue;
+};
+
+using PointLiveFilterSink = LiveFilterSink<Point, PointIdentityHash>;
+
+}  // namespace ccidx
+
+#endif  // CCIDX_DYNAMIC_TOMBSTONES_H_

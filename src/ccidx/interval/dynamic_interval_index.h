@@ -28,10 +28,16 @@ namespace ccidx {
 
 /// Fully dynamic (insert + delete) external interval index (§5).
 ///
+/// Amortized I/O bounds: query O(log2 n + t/B), update O(log2 n +
+/// (log2 n)^2/B) — the stabbing DynamicPst re-balances through the shared
+/// RebuildScheduler policy of the dynamization layer (DESIGN.md §8), the
+/// same scheduler driving IntervalIndex's weak-delete purges, so both
+/// interval indexes amortize on one rule.
+///
 /// Thread safety (DESIGN.md §7): Stab/Intersect are const and safe to run
 /// from any number of threads concurrently over one shared Pager.
 /// Insert/Delete/Build/Destroy are writes and require external
-/// synchronization.
+/// synchronization (QueryExecutor::Quiesce composes the two).
 class DynamicIntervalIndex {
  public:
   explicit DynamicIntervalIndex(Pager* pager);

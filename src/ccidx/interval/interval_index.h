@@ -13,8 +13,18 @@
 //
 // Costs (Theorems 3.7 + B+-tree): stabbing O(log_B n + t/B) I/Os,
 // intersection O(log_B n + t/B), insert amortized
-// O(log_B n + (log_B n)^2/B), space O(n/B) pages. Deletion is the paper's
-// open problem (§5) and is not supported.
+// O(log_B n + (log_B n)^2/B), space O(n/B) pages.
+//
+// Deletion — the paper's open problem (§5) for this composition — is
+// provided by the shared dynamization layer (DESIGN.md §8): the endpoint
+// B+-tree deletes natively at O(log_B n), and the stabbing metablock tree
+// weak-deletes (tombstone + scheduled fault-atomic purge rebuild) at one
+// membership probe + amortized O((log_B n)/B). That preserves the
+// optimal log_B query term, at the price of amortized (not worst-case)
+// delete cost — the worst-case-optimal fully dynamic structure remains
+// open, as the paper conjectures; DynamicIntervalIndex trades the search
+// term to log2 n for the classical fully dynamic bounds, with both
+// update paths driven by the same RebuildScheduler policy.
 
 #ifndef CCIDX_INTERVAL_INTERVAL_INDEX_H_
 #define CCIDX_INTERVAL_INTERVAL_INDEX_H_
@@ -29,11 +39,13 @@
 
 namespace ccidx {
 
-/// Semi-dynamic external-memory interval index (stabbing + intersection).
+/// Dynamic external-memory interval index (stabbing + intersection) with
+/// the optimal log_B search term: native inserts, weak deletes.
 ///
 /// Thread safety (DESIGN.md §7): Stab/Intersect are const and safe to run
 /// from any number of threads concurrently over one shared Pager.
-/// Insert/Build/Destroy are writes and require external synchronization.
+/// Insert/Delete/Build/Destroy are writes and require external
+/// synchronization (QueryExecutor::Quiesce composes the two).
 class IntervalIndex {
  public:
   /// Creates an empty index whose pages live on `pager`. The pager's page
@@ -55,6 +67,11 @@ class IntervalIndex {
 
   /// Inserts an interval (lo <= hi). Amortized O(log_B n + (log_B n)^2/B).
   Status Insert(const Interval& iv);
+
+  /// Deletes the exact interval (lo, hi, id); sets *found. O(log_B n) on
+  /// the endpoint tree + a weak delete on the stabbing tree (membership
+  /// probe + amortized O((log_B n)/B) purge charge — see file comment).
+  Status Delete(const Interval& iv, bool* found);
 
   /// Streams every interval containing `q` into `sink` (stabbing query);
   /// kStop propagates into the metablock tree. O(log_B n + t/B) I/Os —

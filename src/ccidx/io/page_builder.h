@@ -197,6 +197,25 @@ class PageIo {
     return Status::OK();
   }
 
+  /// Appends every page id of a chain to `out` without freeing — the
+  /// read-only half of FreeChain. Fault-atomic rebuilds enumerate the old
+  /// structure's pages up front (reads may fail, nothing is mutated),
+  /// build the replacement, and only then free the collected ids, which
+  /// requires no device transfer and so cannot fail mid-way.
+  Status VisitChain(PageId head, std::vector<PageId>* out) {
+    PageId id = head;
+    while (id != kInvalidPageId) {
+      out->push_back(id);
+      auto ref = pager_->Pin(id);
+      CCIDX_RETURN_IF_ERROR(ref.status());
+      PageReader r(ref->data());
+      r.Get<uint32_t>();
+      r.Get<uint32_t>();
+      id = r.Get<uint64_t>();
+    }
+    return Status::OK();
+  }
+
   /// Frees every page of a chain.
   Status FreeChain(PageId head) {
     PageId id = head;

@@ -243,7 +243,15 @@ void Pager::ForgetAllocation(PageId id) {
 
 AllocationScope::AllocationScope(Pager* pager) : pager_(pager) {
   std::lock_guard lock(pager_->alloc_scopes_mu_);
+  depth_ = pager_->alloc_scopes_.size();
   pager_->alloc_scopes_.emplace_back();
+}
+
+std::vector<PageId> AllocationScope::pages() const {
+  std::lock_guard lock(pager_->alloc_scopes_mu_);
+  CCIDX_CHECK(depth_ < pager_->alloc_scopes_.size());
+  const std::unordered_set<PageId>& set = pager_->alloc_scopes_[depth_];
+  return std::vector<PageId>(set.begin(), set.end());
 }
 
 AllocationScope::~AllocationScope() {

@@ -246,8 +246,17 @@ class AllocationScope {
   /// Keeps the recorded pages (the build succeeded).
   void Commit();
 
+  /// Snapshot of the pages recorded by this scope so far (allocated under
+  /// it and still live). The dynamization layer retains this as the page
+  /// set of a structure built inside the scope, so the structure can later
+  /// be freed without any device reads — the same property rollback
+  /// relies on. Take the snapshot before Commit() (committing folds the
+  /// set into the enclosing scope).
+  std::vector<PageId> pages() const;
+
  private:
   Pager* pager_;
+  size_t depth_ = 0;  // index of this scope's set in the pager's stack
   bool committed_ = false;
 };
 

@@ -10,10 +10,7 @@ bool DescY(const Point& a, const Point& b) { return PointYOrder()(b, a); }
 }  // namespace
 
 DynamicPst::DynamicPst(Pager* pager)
-    : pager_(pager),
-      root_(kInvalidPageId),
-      size_(0),
-      updates_since_rebuild_(0) {
+    : pager_(pager), root_(kInvalidPageId), size_(0) {
   CCIDX_CHECK(NodeCapacity() >= 2);
 }
 
@@ -128,7 +125,7 @@ Result<DynamicPst> DynamicPst::Build(Pager* pager,
 Status DynamicPst::Insert(const Point& p) {
   const uint32_t cap = NodeCapacity();
   size_++;
-  updates_since_rebuild_++;
+  sched_.NoteInsert();
   if (root_ == kInvalidPageId) {
     NodeHeader h{};
     h.left = kInvalidPageId;
@@ -245,9 +242,9 @@ Status DynamicPst::Insert(const Point& p) {
       break;
     }
   }
-  if (updates_since_rebuild_ > size_ / 2 + 16) {
+  if (sched_.ShouldRebuild(size_)) {
     CCIDX_RETURN_IF_ERROR(RebuildAt(&root_));
-    updates_since_rebuild_ = 0;
+    sched_.Reset();
   }
   return Status::OK();
 }
@@ -294,10 +291,10 @@ Status DynamicPst::Delete(const Point& p, bool* found) {
   CCIDX_RETURN_IF_ERROR(DeleteNode(root_, p, found));
   if (*found) {
     size_--;
-    updates_since_rebuild_++;
-    if (updates_since_rebuild_ > size_ / 2 + 16) {
+    sched_.NoteDelete();
+    if (sched_.ShouldRebuild(size_)) {
       CCIDX_RETURN_IF_ERROR(RebuildAt(&root_));
-      updates_since_rebuild_ = 0;
+      sched_.Reset();
     }
   }
   return Status::OK();

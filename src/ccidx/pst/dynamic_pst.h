@@ -14,11 +14,12 @@
 //   * Balance and fullness are restored by amortized partial rebuilds in
 //     the spirit of the paper's level-II reorganizations: every node
 //     tracks its subtree weight, and when a child outweighs the
-//     scapegoat fraction of its parent (or accumulated updates reach half
-//     the weight), the subtree is rebuilt as a perfectly balanced static
-//     PST. Each rebuild costs O(w/B + w-in-core) for weight w and is paid
-//     for by the Omega(w) updates since the subtree was last built, the
-//     same accounting as Lemma 3.6.
+//     scapegoat fraction of its parent (or the shared RebuildScheduler's
+//     accumulated updates reach half the weight — the same policy every
+//     dynamized family uses, DESIGN.md §8), the subtree is rebuilt as a
+//     perfectly balanced static PST. Each rebuild costs O(w/B +
+//     w-in-core) for weight w and is paid for by the Omega(w) updates
+//     since the subtree was last built, the same accounting as Lemma 3.6.
 //
 // Space O(n/B); query O(log2 n + t/B) (Lemma 4.1 plus the balance bound);
 // amortized update O(log2 n + (log2 n)^2/B).
@@ -32,6 +33,7 @@
 #include "ccidx/build/point_group.h"
 #include "ccidx/build/record_stream.h"
 #include "ccidx/core/geometry.h"
+#include "ccidx/dynamic/rebuild.h"
 #include "ccidx/io/page_builder.h"
 #include "ccidx/query/sink.h"
 
@@ -117,7 +119,7 @@ class DynamicPst {
   Pager* pager_;
   PageId root_;
   uint64_t size_;
-  uint64_t updates_since_rebuild_;
+  RebuildScheduler sched_;  // shared global-rebuild policy (DESIGN.md §8)
 };
 
 }  // namespace ccidx

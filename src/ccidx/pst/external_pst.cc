@@ -70,9 +70,11 @@ Result<ExternalPst> ExternalPst::Build(Pager* pager, PointGroup points) {
     return Status::InvalidArgument("page size too small for external PST");
   }
   AllocationScope scope(pager);
+  uint64_t n = points.size();
   auto root = BuildNode(pager, std::move(points), cap);
   CCIDX_RETURN_IF_ERROR(root.status());
   tree.root_ = *root;
+  tree.size_ = n;
   scope.Commit();
   return tree;
 }
@@ -102,6 +104,272 @@ Result<ExternalPst> ExternalPst::Build(Pager* pager,
 
 ExternalPst ExternalPst::Open(Pager* pager, PageId root) {
   return ExternalPst(pager, root);
+}
+
+Status ExternalPst::StoreNode(PageId id, NodeHeader& h,
+                              const std::vector<Point>& pts) const {
+  h.count = static_cast<uint32_t>(pts.size());
+  h.min_y = pts.empty() ? kCoordMax : pts.back().y;
+  auto ref = pager_->PinMut(id, Pager::MutMode::kOverwrite);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  PageWriter w(ref->data());
+  w.Put(h);
+  w.PutArray(std::span<const Point>(pts));
+  return ref->Release();
+}
+
+uint32_t ExternalPst::MaxDepth() const {
+  uint32_t depth = 2;
+  uint64_t nodes = size_ / std::max<uint32_t>(1, NodeCapacity()) + 2;
+  while (nodes > 1) {
+    nodes >>= 1;
+    depth += 2;  // 2x the perfectly balanced height + slack
+  }
+  return depth + 6;
+}
+
+Status ExternalPst::Insert(const Point& p) {
+  const uint32_t cap = NodeCapacity();
+  sched_.NoteInsert();
+  if (root_ == kInvalidPageId) {
+    AllocationScope scope(pager_);
+    NodeHeader h{};
+    h.left = kInvalidPageId;
+    h.right = kInvalidPageId;
+    h.sub_xlo = h.sub_xhi = p.x;
+    PageId id = pager_->Allocate();
+    std::vector<Point> pts = {p};
+    CCIDX_RETURN_IF_ERROR(StoreNode(id, h, pts));
+    scope.Commit();
+    root_ = id;
+    size_ = 1;
+    return Status::OK();
+  }
+
+  // Phase 1 — plan the insertion read-only: descend the x-routing path,
+  // deciding per node whether the carried point is absorbed, displaces
+  // the node minimum, or routes onward. Nothing is written, so a device
+  // failure here changes nothing.
+  struct PlanEntry {
+    PageId old_id;
+    NodeHeader h;
+    std::vector<Point> pts;
+    int side = -1;  // side routed onward (0 = L, 1 = R), -1 = none
+  };
+  std::vector<PlanEntry> plan;
+  bool create_leaf = false;
+  Point carried = p;
+  PageId id = root_;
+  // The routing peek at a child is reused as the next level's node, so
+  // the descent costs ~2 page reads per level, not 3.
+  bool have_next = false;
+  NodeHeader next_h{};
+  std::vector<Point> next_pts;
+  while (true) {
+    PlanEntry e;
+    if (have_next) {
+      e.h = next_h;
+      e.pts = std::move(next_pts);
+      have_next = false;
+    } else {
+      CCIDX_RETURN_IF_ERROR(LoadNode(id, &e.h, &e.pts));
+    }
+    e.old_id = id;
+    e.h.sub_xlo = std::min(e.h.sub_xlo, carried.x);
+    e.h.sub_xhi = std::max(e.h.sub_xhi, carried.x);
+
+    const bool is_leaf =
+        e.h.left == kInvalidPageId && e.h.right == kInvalidPageId;
+    const Coord old_min = e.h.min_y;
+    // An internal node may only absorb a point at or above its current
+    // minimum (descendants sit at or below it; a lower point staying here
+    // would break the heap prune).
+    if (e.pts.size() < cap && (is_leaf || carried.y >= old_min)) {
+      auto pos = std::lower_bound(e.pts.begin(), e.pts.end(), carried, DescY);
+      e.pts.insert(pos, carried);
+      plan.push_back(std::move(e));
+      break;
+    }
+    if (carried.y > old_min) {  // displace the minimum downward
+      auto pos = std::lower_bound(e.pts.begin(), e.pts.end(), carried, DescY);
+      e.pts.insert(pos, carried);
+      carried = e.pts.back();
+      e.pts.pop_back();
+    }
+    // Route the carried point by x, creating a leaf below if needed.
+    int side;
+    NodeHeader lh, rh;
+    std::vector<Point> lpts, rpts;
+    if (e.h.left == kInvalidPageId && e.h.right == kInvalidPageId) {
+      side = 0;
+    } else if (e.h.left == kInvalidPageId) {
+      CCIDX_RETURN_IF_ERROR(LoadNode(e.h.right, &rh, &rpts));
+      side = carried.x < rh.sub_xlo ? 0 : 1;
+    } else if (e.h.right == kInvalidPageId) {
+      CCIDX_RETURN_IF_ERROR(LoadNode(e.h.left, &lh, &lpts));
+      side = carried.x > lh.sub_xhi ? 1 : 0;
+    } else {
+      CCIDX_RETURN_IF_ERROR(LoadNode(e.h.left, &lh, &lpts));
+      CCIDX_RETURN_IF_ERROR(LoadNode(e.h.right, &rh, &rpts));
+      if (carried.x <= lh.sub_xhi) {
+        side = 0;
+      } else if (carried.x >= rh.sub_xlo) {
+        side = 1;
+      } else {
+        // No subtree weights here: widen the NARROWER subtree, a cheap
+        // proxy for filling the lighter side. Unsigned arithmetic — the
+        // spans are non-negative but may exceed the signed Coord range.
+        uint64_t lw = static_cast<uint64_t>(lh.sub_xhi) -
+                      static_cast<uint64_t>(lh.sub_xlo);
+        uint64_t rw = static_cast<uint64_t>(rh.sub_xhi) -
+                      static_cast<uint64_t>(rh.sub_xlo);
+        side = lw <= rw ? 0 : 1;
+      }
+    }
+    e.side = side;
+    PageId child = side == 0 ? e.h.left : e.h.right;
+    plan.push_back(std::move(e));
+    if (child == kInvalidPageId) {
+      create_leaf = true;
+      break;
+    }
+    // A valid routed child was always peeked above — reuse the load.
+    if (side == 0) {
+      next_h = lh;
+      next_pts = std::move(lpts);
+    } else {
+      next_h = rh;
+      next_pts = std::move(rpts);
+    }
+    have_next = true;
+    id = child;
+  }
+
+  // Phase 2 — shadow the path: every planned node is written as a fresh
+  // page (bottom-up, children wired to the replacements) under an
+  // AllocationScope. A failure rolls the new pages back and leaves the
+  // old tree — still rooted at root_ — untouched.
+  AllocationScope scope(pager_);
+  PageId below = kInvalidPageId;
+  if (create_leaf) {
+    NodeHeader nh{};
+    nh.left = kInvalidPageId;
+    nh.right = kInvalidPageId;
+    nh.sub_xlo = nh.sub_xhi = carried.x;
+    below = pager_->Allocate();
+    std::vector<Point> npts = {carried};
+    CCIDX_RETURN_IF_ERROR(StoreNode(below, nh, npts));
+  }
+  for (size_t i = plan.size(); i-- > 0;) {
+    PlanEntry& e = plan[i];
+    if (e.side == 0) {
+      e.h.left = below;
+    } else if (e.side == 1) {
+      e.h.right = below;
+    }
+    PageId nid = pager_->Allocate();
+    CCIDX_RETURN_IF_ERROR(StoreNode(nid, e.h, e.pts));
+    below = nid;
+  }
+  scope.Commit();
+  // Point of no return: retire the old path by id (no device reads).
+  for (const PlanEntry& e : plan) {
+    (void)pager_->Free(e.old_id);
+  }
+  root_ = below;
+  size_++;
+  if (plan.size() + (create_leaf ? 1u : 0u) > MaxDepth() ||
+      sched_.ShouldRebuild(size_)) {
+    return GlobalRebuild();
+  }
+  return Status::OK();
+}
+
+Status ExternalPst::DeleteNode(PageId id, const Point& p, bool* found) {
+  if (id == kInvalidPageId) {
+    *found = false;
+    return Status::OK();
+  }
+  NodeHeader h;
+  std::vector<Point> pts;
+  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+  if (p.x < h.sub_xlo || p.x > h.sub_xhi) {
+    *found = false;
+    return Status::OK();
+  }
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i] == p) {
+      pts.erase(pts.begin() + i);
+      *found = true;
+      // The single in-place write of the whole operation: atomic under
+      // fault injection (a failed device write leaves the old page).
+      return StoreNode(id, h, pts);
+    }
+  }
+  // Heap order: every descendant lies at or below this node's minimum.
+  if (!pts.empty() && p.y > h.min_y) {
+    *found = false;
+    return Status::OK();
+  }
+  CCIDX_RETURN_IF_ERROR(DeleteNode(h.left, p, found));
+  if (!*found) {
+    CCIDX_RETURN_IF_ERROR(DeleteNode(h.right, p, found));
+  }
+  return Status::OK();
+}
+
+Status ExternalPst::Delete(const Point& p, bool* found) {
+  *found = false;
+  if (root_ == kInvalidPageId) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(DeleteNode(root_, p, found));
+  if (!*found) return Status::OK();
+  if (size_ > 0) size_--;
+  sched_.NoteDelete();
+  if (sched_.ShouldRebuild(size_)) return GlobalRebuild();
+  return Status::OK();
+}
+
+Status ExternalPst::Harvest(std::vector<Point>* pts,
+                            std::vector<PageId>* pages) const {
+  std::vector<PageId> stack;
+  if (root_ != kInvalidPageId) stack.push_back(root_);
+  NodeHeader h;
+  std::vector<Point> own;
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &own));
+    if (pts != nullptr) pts->insert(pts->end(), own.begin(), own.end());
+    if (pages != nullptr) pages->push_back(id);
+    if (h.left != kInvalidPageId) stack.push_back(h.left);
+    if (h.right != kInvalidPageId) stack.push_back(h.right);
+  }
+  return Status::OK();
+}
+
+Status ExternalPst::VisitPages(std::vector<PageId>* out) const {
+  return Harvest(nullptr, out);
+}
+
+Status ExternalPst::GlobalRebuild() {
+  // Fault-atomic rebuild: harvest points + page ids read-only (a failure
+  // changes nothing), build the replacement under a scope (a failure
+  // rolls it back), and only then retire the old tree by id — no reads.
+  std::vector<Point> all;
+  std::vector<PageId> old_pages;
+  CCIDX_RETURN_IF_ERROR(Harvest(&all, &old_pages));
+  std::sort(all.begin(), all.end(), PointXOrder());
+  AllocationScope scope(pager_);
+  auto fresh =
+      BuildNode(pager_, PointGroup::FromVector(std::move(all)), NodeCapacity());
+  CCIDX_RETURN_IF_ERROR(fresh.status());
+  scope.Commit();
+  for (PageId id : old_pages) {
+    (void)pager_->Free(id);
+  }
+  root_ = *fresh;
+  sched_.Reset();
+  return Status::OK();
 }
 
 Status ExternalPst::LoadNode(PageId id, NodeHeader* h,
@@ -160,24 +428,8 @@ Status ExternalPst::Query(const ThreeSidedQuery& q,
   return Query(q, &sink);
 }
 
-namespace {
-// Iterative node walk shared by CollectPoints.
-}  // namespace
-
 Status ExternalPst::CollectPoints(std::vector<Point>* out) const {
-  std::vector<PageId> stack;
-  if (root_ != kInvalidPageId) stack.push_back(root_);
-  NodeHeader h;
-  std::vector<Point> pts;
-  while (!stack.empty()) {
-    PageId id = stack.back();
-    stack.pop_back();
-    CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
-    out->insert(out->end(), pts.begin(), pts.end());
-    if (h.left != kInvalidPageId) stack.push_back(h.left);
-    if (h.right != kInvalidPageId) stack.push_back(h.right);
-  }
-  return Status::OK();
+  return Harvest(out, nullptr);
 }
 
 Status ExternalPst::FreeNode(PageId id) {
@@ -193,11 +445,13 @@ Status ExternalPst::FreeNode(PageId id) {
 Status ExternalPst::Free() {
   CCIDX_RETURN_IF_ERROR(FreeNode(root_));
   root_ = kInvalidPageId;
+  size_ = 0;
+  sched_.Reset();
   return Status::OK();
 }
 
 Status ExternalPst::CheckNode(PageId id, Coord parent_min_y, bool is_root,
-                              uint64_t* count) const {
+                              bool allow_underfull, uint64_t* count) const {
   if (id == kInvalidPageId) return Status::OK();
   NodeHeader h;
   std::vector<Point> pts;
@@ -216,18 +470,28 @@ Status ExternalPst::CheckNode(PageId id, Coord parent_min_y, bool is_root,
   if (!pts.empty() && h.min_y != pts.back().y) {
     return Status::Corruption("PST min_y field incorrect");
   }
-  if ((h.left != kInvalidPageId || h.right != kInvalidPageId) &&
+  if (pts.empty() && h.min_y != kCoordMax) {
+    return Status::Corruption("empty PST node min_y sentinel wrong");
+  }
+  // Deletes may leave nodes under-full until the scheduled rebuild.
+  if (!allow_underfull &&
+      (h.left != kInvalidPageId || h.right != kInvalidPageId) &&
       pts.size() < NodeCapacity()) {
     return Status::Corruption("internal PST node not full");
   }
+  // An empty node passes its own constraint (none) through: descendants
+  // remain bounded by the nearest non-empty ancestor's minimum.
+  Coord pass_min = pts.empty() ? parent_min_y : h.min_y;
   *count += pts.size();
-  CCIDX_RETURN_IF_ERROR(CheckNode(h.left, h.min_y, false, count));
-  return CheckNode(h.right, h.min_y, false, count);
+  CCIDX_RETURN_IF_ERROR(
+      CheckNode(h.left, pass_min, false, allow_underfull, count));
+  return CheckNode(h.right, pass_min, false, allow_underfull, count);
 }
 
 Status ExternalPst::CheckInvariants() const {
   uint64_t count = 0;
-  return CheckNode(root_, kCoordMax, true, &count);
+  bool allow_underfull = sched_.deletes_since_rebuild() > 0;
+  return CheckNode(root_, kCoordMax, true, allow_underfull, &count);
 }
 
 Result<uint64_t> ExternalPst::CountNode(PageId id) const {

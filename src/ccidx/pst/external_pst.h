@@ -16,6 +16,22 @@
 //   * the per-metablock / per-children 3-sided sub-structure of the
 //     Section 4 class-indexing tree (where it only ever holds O(B^3)
 //     points, so its log2 term is the paper's log2 B additive cost).
+//
+// Dynamization (DESIGN.md §8): Build-constructed handles support updates.
+//   * Insert is a shadow-path PST insertion: the x-routing descent is
+//     planned read-only, every node on the path is rewritten as a fresh
+//     page under an AllocationScope, and the old path is freed — by page
+//     id, no reads — only after the new path commits, so a failed insert
+//     leaves the old tree untouched and fault-atomic. O(log2 n) I/Os
+//     per insert plus an amortized O((log2 n)/B) global-rebuild charge
+//     (the shared RebuildScheduler re-balances after Theta(n) updates or
+//     when the routing path outgrows the balance envelope).
+//   * Delete locates the point (heap order prunes), erases it in place
+//     (one page write — atomic under fault injection), lets the node go
+//     under-full, and pays the same amortized rebuild charge.
+//     O(log2 n) I/Os amortized.
+// Sub-structure handles re-attached with Open() are static views: they
+// do not track size and must not be updated.
 
 #ifndef CCIDX_PST_EXTERNAL_PST_H_
 #define CCIDX_PST_EXTERNAL_PST_H_
@@ -26,6 +42,7 @@
 #include "ccidx/build/point_group.h"
 #include "ccidx/build/record_stream.h"
 #include "ccidx/core/geometry.h"
+#include "ccidx/dynamic/rebuild.h"
 #include "ccidx/io/page_builder.h"
 #include "ccidx/query/sink.h"
 
@@ -52,8 +69,21 @@ class ExternalPst {
   static Result<ExternalPst> Build(Pager* pager, std::span<const Point> points);
   static Result<ExternalPst> Build(Pager* pager, std::vector<Point>&& points);
 
-  /// Re-attaches to a previously built tree by its root page.
+  /// Re-attaches to a previously built tree by its root page (a static
+  /// view: size is not tracked, updates are not supported).
   static ExternalPst Open(Pager* pager, PageId root);
+
+  /// Inserts a point via a shadow path (see file comment): fault-atomic,
+  /// O(log2 n) I/Os + amortized O((log2 n)/B) rebuild charge. Writes
+  /// external (DESIGN.md §7).
+  Status Insert(const Point& p);
+
+  /// Deletes the exact point (x, y, id); sets *found. One in-place page
+  /// write after a pruned search; amortized O(log2 n) I/Os.
+  Status Delete(const Point& p, bool* found);
+
+  /// Points stored (tracked only on Build-constructed handles).
+  uint64_t size() const { return size_; }
 
   /// Streams all points with xlo <= x <= xhi and y >= ylo into `sink`;
   /// kStop halts the recursion before another node page is pinned.
@@ -76,6 +106,10 @@ class ExternalPst {
   /// Appends every stored point to `out` (O(n/B) I/Os). Used when a
   /// Lemma 4.4 TD structure is rebuilt.
   Status CollectPoints(std::vector<Point>* out) const;
+
+  /// Appends every page id of the tree to `out` (read-only mirror of
+  /// Free; the fail-safe first half of a fault-atomic rebuild).
+  Status VisitPages(std::vector<PageId>* out) const;
 
   /// Structural checks: heap order on y between node and children, x-range
   /// nesting, point counts.
@@ -102,20 +136,30 @@ class ExternalPst {
   };
 
   uint32_t NodeCapacity() const;
+  uint32_t MaxDepth() const;
 
   static Result<PageId> BuildNode(Pager* pager, PointGroup group,
                                   uint32_t cap);
   Status LoadNode(PageId id, NodeHeader* h, std::vector<Point>* pts) const;
+  Status StoreNode(PageId id, NodeHeader& h,
+                   const std::vector<Point>& pts) const;
 
   Status QueryNode(PageId id, const ThreeSidedQuery& q,
                    SinkEmitter<Point>& em) const;
   Status FreeNode(PageId id);
+  // One read-only walk gathering every stored point and/or page id (the
+  // fail-safe first half of a fault-atomic global rebuild).
+  Status Harvest(std::vector<Point>* pts, std::vector<PageId>* pages) const;
+  Status GlobalRebuild();
+  Status DeleteNode(PageId id, const Point& p, bool* found);
   Status CheckNode(PageId id, Coord parent_min_y, bool is_root,
-                   uint64_t* count) const;
+                   bool allow_underfull, uint64_t* count) const;
   Result<uint64_t> CountNode(PageId id) const;
 
   Pager* pager_;
   PageId root_;
+  uint64_t size_ = 0;
+  RebuildScheduler sched_;
 };
 
 }  // namespace ccidx

@@ -10,8 +10,13 @@
 // IoStats diff over the whole batch (counters are merged across pager
 // shards on read, preserving the `operator-` snapshot semantics).
 //
-// Writes (Insert/Delete/build) stay externally synchronized — do not run
-// them concurrently with a batch.
+// Writes (Insert/Delete/build) stay externally synchronized against
+// queries, and the executor provides the synchronization point: Quiesce()
+// returns an RAII guard for an exclusive update epoch — it blocks until
+// every in-flight batch drains, holds off new batches, and releases them
+// when the guard dies. Batch serving and structure updates compose
+// through this epoch-style quiesce without any per-query locking
+// (RunBatch takes the epoch lock shared, once per batch).
 
 #ifndef CCIDX_QUERY_EXECUTOR_H_
 #define CCIDX_QUERY_EXECUTOR_H_
@@ -22,6 +27,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -85,6 +91,34 @@ class QueryExecutor {
     return static_cast<unsigned>(workers_.size());
   }
 
+  /// RAII exclusive update epoch (see file comment). While alive, no
+  /// batch runs; batches blocked on the epoch resume when it dies.
+  class QuiesceGuard {
+   public:
+    QuiesceGuard(QuiesceGuard&&) = default;
+    QuiesceGuard& operator=(QuiesceGuard&&) = default;
+
+   private:
+    friend class QueryExecutor;
+    explicit QuiesceGuard(std::shared_mutex* mu) : lock_(*mu) {}
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+
+  /// Blocks until in-flight batches drain and returns the exclusive
+  /// update epoch. Run Insert/Delete/rebuilds while holding the guard;
+  /// do not call RunBatch from the same thread while it is alive (the
+  /// batch would deadlock on its own epoch).
+  QuiesceGuard Quiesce() {
+    QuiesceGuard g(&epoch_mu_);
+    quiesce_epochs_.fetch_add(1, std::memory_order_relaxed);
+    return g;
+  }
+
+  /// Update epochs begun so far (diagnostics for tests/benches).
+  uint64_t quiesce_epochs() const {
+    return quiesce_epochs_.load(std::memory_order_relaxed);
+  }
+
   /// Fans `queries` across the workers. `runner` is invoked as
   ///   Status runner(const Query& q, size_t query_index, unsigned thread)
   /// concurrently from the workers; it must only perform const/thread-safe
@@ -93,6 +127,9 @@ class QueryExecutor {
   template <typename Query, typename Runner>
   BatchReport RunBatch(std::span<const Query> queries, Runner&& runner,
                        Pager* pager = nullptr) {
+    // One shared epoch acquisition per batch: batches run concurrently
+    // with each other, and an updater holding Quiesce() excludes them.
+    std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
     BatchReport report;
     report.statuses.assign(queries.size(), Status::OK());
     report.per_thread_queries.assign(num_threads(), 0);
@@ -148,6 +185,9 @@ class QueryExecutor {
   void WorkerLoop(unsigned thread);
 
   std::vector<std::thread> workers_;
+  // Epoch-style quiesce point: batches shared, updates exclusive.
+  mutable std::shared_mutex epoch_mu_;
+  std::atomic<uint64_t> quiesce_epochs_{0};
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

@@ -19,6 +19,16 @@ void SortIntervals(std::vector<Interval>* ivs) {
 PointOracle::PointOracle(std::vector<Point> points)
     : points_(std::move(points)) {}
 
+bool PointOracle::Erase(const Point& p) {
+  for (auto it = points_.begin(); it != points_.end(); ++it) {
+    if (*it == p) {
+      points_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 template <typename Query>
 std::vector<Point> Filter(const std::vector<Point>& pts, const Query& q) {

@@ -38,6 +38,8 @@ class PointOracle {
   explicit PointOracle(std::vector<Point> points);
 
   void Insert(const Point& p) { points_.push_back(p); }
+  /// Removes one copy of the exact point; returns whether it was present.
+  bool Erase(const Point& p);
 
   /// Points with x <= q.a and y >= q.a, sorted by (x, y, id).
   std::vector<Point> Diagonal(const DiagonalQuery& q) const;

@@ -1,0 +1,128 @@
+// Seeded randomized differential workload driver (DESIGN.md §8).
+//
+// The dynamization layer's update paths are interleaving-sensitive:
+// whether a bug surfaces depends on the exact order of inserts, deletes,
+// and queries and on where the rebuild thresholds fall. This harness
+// keeps them honest the only way that scales — run a long random
+// interleaving against the in-core oracles and compare every query's
+// output exactly. Everything derives from one printed seed, so any
+// failure replays bit-for-bit:
+//
+//   workload_test ... failure: [workload seed=12345 op=871 kind=delete] ...
+//   CCIDX_WORKLOAD_SEED=12345 ./workload_test   # replays just that trace
+//
+// The driver is gtest-free (it lives in the library's testutil like the
+// oracles) and reports failures as Status so non-gtest consumers (the
+// nightly stress runner, benches) can use it too.
+//
+// Adapter contract (one per index family, defined in the tests):
+//   Status Insert(std::mt19937_64& rng)    — insert a fresh random record
+//                                            into structure AND oracle
+//   Status Delete(std::mt19937_64& rng)    — delete a record (sometimes
+//                                            present, sometimes not) from
+//                                            both; compare *found
+//   Status Query(std::mt19937_64& rng)     — run a random query on both
+//                                            and compare outputs exactly
+//   Status Check()                         — structural invariants + a
+//                                            full-extent differential
+//                                            comparison
+
+#ifndef CCIDX_TESTUTIL_WORKLOAD_H_
+#define CCIDX_TESTUTIL_WORKLOAD_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "ccidx/common/status.h"
+
+namespace ccidx {
+
+/// Shape of one differential workload run.
+struct WorkloadOptions {
+  uint64_t seed = 1;
+  /// Interleaved operations to run (on top of any initial bulk build the
+  /// adapter performed).
+  size_t ops = 1000;
+  /// Operation mix in percent; the remainder are queries.
+  uint32_t insert_pct = 35;
+  uint32_t delete_pct = 25;
+  /// Run Check() every this many ops (0 = only at the end). Invariant
+  /// walks are O(n/B) reads — keep sparse for big traces.
+  size_t check_every = 0;
+};
+
+namespace workload_internal {
+inline Status Annotate(const Status& s, uint64_t seed, size_t op,
+                       const char* kind) {
+  std::string msg = "[workload seed=" + std::to_string(seed) +
+                    " op=" + std::to_string(op) + " kind=" + kind + "] " +
+                    s.ToString();
+  // Preserve the failure class where it matters for the caller
+  // (IoError = injected fault vs Corruption = differential mismatch).
+  switch (s.code()) {
+    case StatusCode::kIoError:
+      return Status::IoError(std::move(msg));
+    default:
+      return Status::Corruption(std::move(msg));
+  }
+}
+}  // namespace workload_internal
+
+/// Overrides `seed` from the CCIDX_WORKLOAD_SEED environment variable
+/// when set — paste a failing seed to replay its trace exactly.
+inline uint64_t EffectiveWorkloadSeed(uint64_t seed) {
+  if (const char* env = std::getenv("CCIDX_WORKLOAD_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return seed;
+}
+
+/// Stress multiplier for trace counts: CCIDX_WORKLOAD_ITERS (default 1).
+/// The nightly stress workflow sets 50.
+inline size_t WorkloadIterations() {
+  if (const char* env = std::getenv("CCIDX_WORKLOAD_ITERS")) {
+    size_t n = std::strtoull(env, nullptr, 10);
+    return n == 0 ? 1 : n;
+  }
+  return 1;
+}
+
+/// Runs one seeded differential trace through `adapter`. Every failure is
+/// annotated with the seed, operation index, and operation kind, so it
+/// replays from the printed line alone.
+template <typename Adapter>
+Status RunDifferentialWorkload(Adapter& adapter,
+                               const WorkloadOptions& opt) {
+  using workload_internal::Annotate;
+  std::mt19937_64 rng(opt.seed);
+  std::uniform_int_distribution<uint32_t> pct(0, 99);
+  for (size_t i = 0; i < opt.ops; ++i) {
+    uint32_t roll = pct(rng);
+    Status s;
+    const char* kind;
+    if (roll < opt.insert_pct) {
+      kind = "insert";
+      s = adapter.Insert(rng);
+    } else if (roll < opt.insert_pct + opt.delete_pct) {
+      kind = "delete";
+      s = adapter.Delete(rng);
+    } else {
+      kind = "query";
+      s = adapter.Query(rng);
+    }
+    if (!s.ok()) return Annotate(s, opt.seed, i, kind);
+    if (opt.check_every != 0 && (i + 1) % opt.check_every == 0) {
+      s = adapter.Check();
+      if (!s.ok()) return Annotate(s, opt.seed, i, "check");
+    }
+  }
+  Status s = adapter.Check();
+  if (!s.ok()) return Annotate(s, opt.seed, opt.ops, "final-check");
+  return Status::OK();
+}
+
+}  // namespace ccidx
+
+#endif  // CCIDX_TESTUTIL_WORKLOAD_H_

@@ -89,6 +89,52 @@ TEST_F(BuildTest, SorterSmallInputStaysInMemory) {
   EXPECT_EQ(dev_.stats().TotalIos(), 0u);  // never touched the device
 }
 
+TEST_F(BuildTest, SorterExactBudgetBoundaryStaysInMemory) {
+  // Boundary-value regression: an input of EXACTLY the record budget must
+  // take the in-memory fast path. The historical eager spill (`>=` after
+  // the push) staged the boundary input twice — a full device run plus
+  // the merge machinery — double-counting the staging work for an input
+  // that never needed the device at all.
+  const size_t budget = 512;
+  auto pts = RandomPointsAboveDiagonal(budget, kDomain, 14);
+  ExternalSorter<Point, PointXOrder> sorter(&pager_, PointXOrder(),
+                                            {.memory_budget_records = budget});
+  ASSERT_TRUE(sorter.AddSpan(pts).ok());
+  auto out = sorter.Finish();
+  ASSERT_TRUE(out.ok());
+  std::vector<Point> sorted = Collect(*out);
+  std::sort(pts.begin(), pts.end(), PointXOrder());
+  EXPECT_EQ(sorted, pts);
+  EXPECT_TRUE(sorter.in_memory());
+  EXPECT_EQ(sorter.runs_created(), 0u);
+  // The buffer held exactly the budget — no merge-phase inflation.
+  EXPECT_EQ(sorter.high_water_records(), budget);
+  EXPECT_EQ(dev_.stats().TotalIos(), 0u);  // never touched the device
+}
+
+TEST_F(BuildTest, SorterOneOverBudgetSpills) {
+  // One past the boundary: the sorter must spill, and the budget remains
+  // a hard ceiling on resident records.
+  const size_t budget = 512;
+  auto pts = RandomPointsAboveDiagonal(budget + 1, kDomain, 15);
+  AllocationScope scope(&pager_);
+  ExternalSorter<Point, PointXOrder> sorter(&pager_, PointXOrder(),
+                                            {.memory_budget_records = budget});
+  ASSERT_TRUE(sorter.AddSpan(pts).ok());
+  auto out = sorter.Finish();
+  ASSERT_TRUE(out.ok());
+  std::vector<Point> sorted = Collect(*out);
+  std::sort(pts.begin(), pts.end(), PointXOrder());
+  EXPECT_EQ(sorted, pts);
+  EXPECT_FALSE(sorter.in_memory());
+  // The full-buffer spill plus Finish()'s one-record remainder run.
+  EXPECT_EQ(sorter.runs_created(), 2u);
+  EXPECT_LE(sorter.high_water_records(), budget);
+  EXPECT_GT(dev_.stats().TotalIos(), 0u);
+  scope.Commit();
+  EXPECT_EQ(dev_.live_pages(), 0u);  // free-behind reclaimed the run
+}
+
 TEST_F(BuildTest, SorterIoWithinSortBound) {
   // O((n/B) log_{M/B}(n/B)) I/Os: every record is written and read once
   // per merge level, run formation included.

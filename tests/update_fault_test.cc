@@ -1,0 +1,629 @@
+// Fault-injection sweep over every new update path (DESIGN.md §8).
+//
+// For each dynamized family, a fixed update script (inserts crossing the
+// merge/buffer thresholds, then enough deletes to trigger the scheduled
+// purge rebuild) runs with a device fault injected at every transfer
+// offset k. The contract under any injected failure:
+//   * the Status propagates (no crash, no CHECK),
+//   * live_pages returns to the pre-op baseline (the failed operation
+//     leaked nothing — AllocationScope rollback plus free-by-id),
+//   * the structure still answers queries correctly afterwards.
+// An operation that fails mid-way may or may not have logically landed
+// (e.g. the tombstone was recorded but the purge it triggered failed, or
+// a buffered insert was staged but its merge failed); the sweep accepts
+// either the pre-op or post-op oracle state — anything else is a bug.
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ccidx/classes/hierarchy.h"
+#include "ccidx/classes/rake_contract.h"
+#include "ccidx/constraint/generalized_index.h"
+#include "ccidx/core/augmented_metablock_tree.h"
+#include "ccidx/core/augmented_three_sided_tree.h"
+#include "ccidx/core/corner_structure.h"
+#include "ccidx/core/metablock_tree.h"
+#include "ccidx/dynamic/adapters.h"
+#include "ccidx/interval/interval_index.h"
+#include "ccidx/io/block_device.h"
+#include "ccidx/io/pager.h"
+#include "ccidx/pst/external_pst.h"
+#include "ccidx/testutil/oracles.h"
+
+namespace ccidx {
+namespace {
+
+constexpr Coord kDomain = 1024;
+constexpr uint32_t kBranching = 8;
+
+// ---------------------------------------------------------------------------
+// Sweep driver
+// ---------------------------------------------------------------------------
+
+// Setup contract:
+//   Status Reset(Pager*)    — fresh structure + oracle model
+//   size_t NumOps() const   — script length
+//   Status ApplyOp(size_t)  — apply op i to the structure only
+//   void CommitOp(size_t)   — apply op i to the oracle model
+//   Status Verify() const   — structure == model (+ invariants)
+template <typename Setup>
+void FaultSweep(Setup& setup) {
+  // Dry run: the script must succeed fault-free and gives the transfer
+  // budget to sweep.
+  uint64_t total;
+  {
+    BlockDevice dev(PageSizeForBranching(kBranching));
+    Pager pager(&dev, 0);
+    ASSERT_TRUE(setup.Reset(&pager).ok());
+    IoStats before = dev.stats();
+    for (size_t i = 0; i < setup.NumOps(); ++i) {
+      Status s = setup.ApplyOp(i);
+      ASSERT_TRUE(s.ok()) << "dry run op " << i << ": " << s.ToString();
+      setup.CommitOp(i);
+    }
+    Status v = setup.Verify();
+    ASSERT_TRUE(v.ok()) << v.ToString();
+    IoStats used = dev.stats() - before;
+    total = used.device_reads + used.device_writes;
+  }
+  ASSERT_GT(total, 0u);
+
+  size_t injected = 0, observed_failures = 0;
+  for (uint64_t k = 0; k < total; ++k) {
+    BlockDevice dev(PageSizeForBranching(kBranching));
+    Pager pager(&dev, 0);
+    ASSERT_TRUE(setup.Reset(&pager).ok());
+    dev.SetFailAfter(static_cast<int64_t>(k));
+    injected++;
+    bool failed = false;
+    for (size_t i = 0; i < setup.NumOps(); ++i) {
+      uint64_t live_before = dev.live_pages();
+      Status s = setup.ApplyOp(i);
+      if (s.ok()) {
+        setup.CommitOp(i);
+        continue;
+      }
+      failed = true;
+      dev.SetFailAfter(-1);
+      EXPECT_EQ(dev.live_pages(), live_before)
+          << "page leak after injected fault at transfer " << k << ", op "
+          << i;
+      // Pre-op or post-op state both acceptable (see file comment).
+      Status v = setup.Verify();
+      if (!v.ok()) {
+        setup.CommitOp(i);
+        v = setup.Verify();
+      }
+      EXPECT_TRUE(v.ok()) << "structure corrupt after fault at transfer "
+                          << k << ", op " << i << ": " << v.ToString();
+      break;
+    }
+    dev.SetFailAfter(-1);
+    if (failed) {
+      observed_failures++;
+    } else {
+      // The ops consumed fewer transfers than k: the remaining offsets
+      // land in no-op territory — the sweep is complete.
+      break;
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
+  EXPECT_GT(observed_failures, 0u) << "sweep injected " << injected
+                                   << " faults but none fired";
+}
+
+// Resumable-composite sweep: the class/constraint composites delete from
+// several component structures; each component delete is atomic but the
+// composite is documented as RESUMABLE — after an injected failure,
+// retrying the same op (fault cleared) must converge, and the final
+// state must equal the fully-applied model. Setup contract as FaultSweep
+// minus CommitOp (ops always land eventually).
+template <typename Setup>
+void FaultSweepResumable(Setup& setup) {
+  uint64_t total;
+  {
+    BlockDevice dev(PageSizeForBranching(kBranching));
+    Pager pager(&dev, 0);
+    ASSERT_TRUE(setup.Reset(&pager).ok());
+    IoStats before = dev.stats();
+    for (size_t i = 0; i < setup.NumOps(); ++i) {
+      Status s = setup.ApplyOp(i);
+      ASSERT_TRUE(s.ok()) << "dry run op " << i << ": " << s.ToString();
+    }
+    Status v = setup.Verify();
+    ASSERT_TRUE(v.ok()) << v.ToString();
+    IoStats used = dev.stats() - before;
+    total = used.device_reads + used.device_writes;
+  }
+  ASSERT_GT(total, 0u);
+
+  size_t observed_failures = 0;
+  for (uint64_t k = 0; k < total; ++k) {
+    BlockDevice dev(PageSizeForBranching(kBranching));
+    Pager pager(&dev, 0);
+    ASSERT_TRUE(setup.Reset(&pager).ok());
+    dev.SetFailAfter(static_cast<int64_t>(k));
+    bool failed = false;
+    for (size_t i = 0; i < setup.NumOps(); ++i) {
+      Status s = setup.ApplyOp(i);
+      if (!s.ok()) {
+        failed = true;
+        dev.SetFailAfter(-1);
+        // Resume: the same op must converge once the device recovers.
+        Status retry = setup.ApplyOp(i);
+        ASSERT_TRUE(retry.ok())
+            << "op " << i << " did not resume after fault at transfer "
+            << k << ": " << retry.ToString();
+      }
+    }
+    dev.SetFailAfter(-1);
+    Status v = setup.Verify();
+    EXPECT_TRUE(v.ok()) << "state diverged after fault at transfer " << k
+                        << ": " << v.ToString();
+    if (failed) {
+      observed_failures++;
+    } else {
+      break;  // k beyond the script's transfer count: sweep complete
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
+  EXPECT_GT(observed_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Point-family setup
+// ---------------------------------------------------------------------------
+
+// Script: a few inserts (crossing buffer/merge thresholds), then deletes
+// of most live points (crossing the purge threshold).
+struct ScriptOp {
+  bool is_insert;
+  Point p;
+};
+
+// When `inserts_in_script` the fresh points are script ops (swept under
+// fault injection — only for families whose insert path is fault-atomic:
+// the shadow-path PST, the corner buffer, the log-method merges). When
+// false they land in `pre_inserts`, applied fault-free during Reset so
+// the sweep still starts from a state with populated update buffers but
+// targets only the (new) delete/purge paths — the historical incremental
+// insert cascades of the augmented trees are not fault-atomic and are
+// out of this sweep's contract.
+std::vector<ScriptOp> MakePointScript(std::vector<Point>* initial,
+                                      std::vector<Point>* pre_inserts,
+                                      bool above_diagonal, size_t n_init,
+                                      size_t n_insert, size_t n_delete,
+                                      bool inserts_in_script) {
+  std::mt19937_64 rng(0xFA017);
+  std::uniform_int_distribution<Coord> d(0, kDomain - 1);
+  uint64_t id = 0;
+  auto fresh = [&]() -> Point {
+    Coord a = d(rng), b = d(rng);
+    if (above_diagonal) return {std::min(a, b), std::max(a, b), id++};
+    return {a, b, id++};
+  };
+  initial->clear();
+  pre_inserts->clear();
+  for (size_t i = 0; i < n_init; ++i) initial->push_back(fresh());
+  std::vector<ScriptOp> script;
+  std::vector<Point> live = *initial;
+  for (size_t i = 0; i < n_insert; ++i) {
+    Point p = fresh();
+    if (inserts_in_script) {
+      script.push_back({true, p});
+    } else {
+      pre_inserts->push_back(p);
+    }
+    live.push_back(p);
+  }
+  for (size_t i = 0; i < n_delete && i < live.size(); ++i) {
+    script.push_back({false, live[i]});
+  }
+  return script;
+}
+
+// St needs Insert/Delete/Query/size/CheckInvariants; `Make` builds it
+// from (Pager*, vector<Point>). Diagonal families compare at anchors,
+// 3-sided families over the full extent.
+template <typename St, bool kDiagonal, bool kInsertsInScript>
+struct PointFaultSetup {
+  std::vector<Point> initial;
+  std::vector<Point> pre_inserts;
+  std::vector<ScriptOp> script;
+  std::optional<St> st;
+  PointOracle model;
+
+  template <typename Make>
+  Status ResetWith(Pager* pager, Make make) {
+    if (script.empty()) {
+      script = MakePointScript(&initial, &pre_inserts, kDiagonal, 32, 12, 36,
+                               kInsertsInScript);
+    }
+    st.reset();
+    auto built = make(pager, std::vector<Point>(initial));
+    CCIDX_RETURN_IF_ERROR(built.status());
+    st.emplace(std::move(*built));
+    model = PointOracle(std::vector<Point>(initial));
+    for (const Point& p : pre_inserts) {  // fault-free (before injection)
+      CCIDX_RETURN_IF_ERROR(st->Insert(p));
+      model.Insert(p);
+    }
+    return Status::OK();
+  }
+
+  size_t NumOps() const { return script.size(); }
+
+  Status ApplyOp(size_t i) {
+    const ScriptOp& op = script[i];
+    if (op.is_insert) return st->Insert(op.p);
+    bool found = false;
+    return st->Delete(op.p, &found);
+  }
+
+  void CommitOp(size_t i) {
+    const ScriptOp& op = script[i];
+    if (op.is_insert) {
+      model.Insert(op.p);
+    } else {
+      model.Erase(op.p);
+    }
+  }
+
+  Status Verify() const {
+    CCIDX_RETURN_IF_ERROR(st->CheckInvariants());
+    if (st->size() != model.size()) {
+      return Status::Corruption("size mismatch");
+    }
+    if constexpr (kDiagonal) {
+      for (Coord a : {Coord{0}, kDomain / 4, kDomain / 2, kDomain}) {
+        std::vector<Point> got;
+        CCIDX_RETURN_IF_ERROR(st->Query(DiagonalQuery{a}, &got));
+        SortPoints(&got);
+        if (got != model.Diagonal({a})) {
+          return Status::Corruption("diagonal anchor mismatch");
+        }
+      }
+    } else {
+      ThreeSidedQuery all{kCoordMin, kCoordMax, kCoordMin};
+      std::vector<Point> got;
+      CCIDX_RETURN_IF_ERROR(st->Query(all, &got));
+      SortPoints(&got);
+      if (got != model.ThreeSided(all)) {
+        return Status::Corruption("full extent mismatch");
+      }
+    }
+    return Status::OK();
+  }
+};
+
+struct AmtSetup : PointFaultSetup<AugmentedMetablockTree, true, false> {
+  Status Reset(Pager* pager) {
+    return ResetWith(pager, [](Pager* p, std::vector<Point> pts) {
+      return AugmentedMetablockTree::Build(p, std::move(pts));
+    });
+  }
+};
+
+struct AtsSetup : PointFaultSetup<AugmentedThreeSidedTree, false, false> {
+  Status Reset(Pager* pager) {
+    return ResetWith(pager, [](Pager* p, std::vector<Point> pts) {
+      return AugmentedThreeSidedTree::Build(p, std::move(pts));
+    });
+  }
+};
+
+struct PstSetup : PointFaultSetup<ExternalPst, false, true> {
+  Status Reset(Pager* pager) {
+    return ResetWith(pager, [](Pager* p, std::vector<Point> pts) {
+      return ExternalPst::Build(p, std::move(pts));
+    });
+  }
+};
+
+struct DynMetaSetup : PointFaultSetup<DynamicMetablockTree, true, true> {
+  Status Reset(Pager* pager) {
+    return ResetWith(pager, [](Pager* p, std::vector<Point> pts) {
+      return DynamicMetablockTree::Build(p, std::move(pts));
+    });
+  }
+};
+
+struct DynThreeSetup : PointFaultSetup<DynamicThreeSidedTree, false, true> {
+  Status Reset(Pager* pager) {
+    return ResetWith(pager, [](Pager* p, std::vector<Point> pts) {
+      return DynamicThreeSidedTree::Build(p, std::move(pts));
+    });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Corner structure (bounded component): its own small script.
+// ---------------------------------------------------------------------------
+
+struct CornerSetup {
+  std::vector<Point> initial;
+  std::vector<Point> pre_inserts;
+  std::vector<ScriptOp> script;
+  std::optional<CornerStructure> st;
+  PointOracle model;
+
+  Status Reset(Pager* pager) {
+    if (script.empty()) {
+      script = MakePointScript(&initial, &pre_inserts, true, 24, 12, 24,
+                               /*inserts_in_script=*/true);
+    }
+    st.reset();
+    auto built = CornerStructure::Build(pager, std::vector<Point>(initial));
+    CCIDX_RETURN_IF_ERROR(built.status());
+    st.emplace(std::move(*built));
+    model = PointOracle(std::vector<Point>(initial));
+    return Status::OK();
+  }
+
+  size_t NumOps() const { return script.size(); }
+
+  Status ApplyOp(size_t i) {
+    const ScriptOp& op = script[i];
+    if (op.is_insert) return st->Insert(op.p);
+    bool found = false;
+    return st->Delete(op.p, &found);
+  }
+
+  void CommitOp(size_t i) {
+    const ScriptOp& op = script[i];
+    if (op.is_insert) {
+      model.Insert(op.p);
+    } else {
+      model.Erase(op.p);
+    }
+  }
+
+  Status Verify() const {
+    if (st->size() != model.size()) {
+      return Status::Corruption("corner size mismatch");
+    }
+    for (Coord a : {Coord{0}, kDomain / 4, kDomain / 2, kDomain}) {
+      std::vector<Point> got;
+      CCIDX_RETURN_IF_ERROR(st->Query(a, &got));
+      SortPoints(&got);
+      if (got != model.Diagonal({a})) {
+        return Status::Corruption("corner anchor mismatch");
+      }
+    }
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Interval index
+// ---------------------------------------------------------------------------
+
+struct IntervalSetup {
+  std::vector<Interval> initial;
+  std::vector<Interval> pre_inserts;
+  std::vector<std::pair<bool, Interval>> script;  // (is_insert, interval)
+  std::optional<IntervalIndex> st;
+  IntervalOracle model;
+
+  Status Reset(Pager* pager) {
+    if (script.empty()) {
+      std::mt19937_64 rng(0xFA118);
+      std::uniform_int_distribution<Coord> d(0, kDomain - 1);
+      uint64_t id = 0;
+      auto fresh = [&]() -> Interval {
+        Coord a = d(rng), b = d(rng);
+        return {std::min(a, b), std::max(a, b), id++};
+      };
+      for (int i = 0; i < 32; ++i) initial.push_back(fresh());
+      // Inserts ride the historical (non-fault-atomic) B+-tree/metablock
+      // insert cascades, so they run fault-free in Reset; the sweep
+      // targets the new Delete path.
+      for (int i = 0; i < 8; ++i) pre_inserts.push_back(fresh());
+      std::vector<Interval> live = initial;
+      live.insert(live.end(), pre_inserts.begin(), pre_inserts.end());
+      for (int i = 0; i < 32; ++i) script.push_back({false, live[i]});
+    }
+    st.reset();
+    auto built = IntervalIndex::Build(pager, std::vector<Interval>(initial));
+    CCIDX_RETURN_IF_ERROR(built.status());
+    st.emplace(std::move(*built));
+    model = IntervalOracle();
+    for (const Interval& iv : initial) model.Insert(iv);
+    for (const Interval& iv : pre_inserts) {
+      CCIDX_RETURN_IF_ERROR(st->Insert(iv));
+      model.Insert(iv);
+    }
+    return Status::OK();
+  }
+
+  size_t NumOps() const { return script.size(); }
+
+  Status ApplyOp(size_t i) {
+    if (script[i].first) return st->Insert(script[i].second);
+    bool found = false;
+    return st->Delete(script[i].second, &found);
+  }
+
+  void CommitOp(size_t i) {
+    if (script[i].first) {
+      model.Insert(script[i].second);
+    } else {
+      model.Erase(script[i].second);
+    }
+  }
+
+  Status Verify() const {
+    if (st->size() != model.size()) {
+      return Status::Corruption("interval size mismatch");
+    }
+    std::vector<Interval> got;
+    CCIDX_RETURN_IF_ERROR(st->Intersect(-1, kDomain + 1, &got));
+    SortIntervals(&got);
+    if (got != model.Intersect(-1, kDomain + 1)) {
+      return Status::Corruption("interval full extent mismatch");
+    }
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Composite families (resumable delete walks)
+// ---------------------------------------------------------------------------
+
+struct RakeSetup {
+  std::unique_ptr<ClassHierarchy> hierarchy;
+  std::vector<Object> initial;
+  std::vector<Object> to_delete;
+  std::optional<RakeContractIndex> st;
+  std::vector<Object> model;  // final expected live set
+
+  Status Reset(Pager* pager) {
+    if (hierarchy == nullptr) {
+      hierarchy = std::make_unique<ClassHierarchy>();
+      uint32_t spine = *hierarchy->AddClass("root");
+      for (int i = 0; i < 3; ++i) {
+        uint32_t mid = *hierarchy->AddClass("mid", spine);
+        (void)*hierarchy->AddClass("leafA", mid);
+        (void)*hierarchy->AddClass("leafB", mid);
+        spine = mid;
+      }
+      CCIDX_RETURN_IF_ERROR(hierarchy->Freeze());
+      std::mt19937_64 rng(0xFA219);
+      for (uint64_t i = 0; i < 40; ++i) {
+        initial.push_back({i, static_cast<uint32_t>(rng() % hierarchy->size()),
+                           static_cast<Coord>(rng() % kDomain)});
+      }
+      to_delete.assign(initial.begin(), initial.begin() + 28);
+      model.assign(initial.begin() + 28, initial.end());
+    }
+    st.reset();
+    auto built = RakeContractIndex::Build(pager, hierarchy.get(), initial);
+    CCIDX_RETURN_IF_ERROR(built.status());
+    st.emplace(std::move(*built));
+    return Status::OK();
+  }
+
+  size_t NumOps() const { return to_delete.size(); }
+
+  Status ApplyOp(size_t i) {
+    bool found = false;
+    return st->Delete(to_delete[i], &found);
+  }
+
+  Status Verify() const {
+    for (uint32_t cls = 0; cls < hierarchy->size(); ++cls) {
+      std::vector<uint64_t> got;
+      CCIDX_RETURN_IF_ERROR(st->Query(cls, 0, kDomain, &got));
+      std::sort(got.begin(), got.end());
+      std::vector<uint64_t> want =
+          NaiveClassQuery(*hierarchy, model, cls, 0, kDomain);
+      if (got != want) {
+        return Status::Corruption("rake class " + std::to_string(cls) +
+                                  " mismatch");
+      }
+    }
+    return Status::OK();
+  }
+};
+
+struct GeneralizedSetup {
+  std::vector<Interval> initial;  // x-projections, id = tuple id
+  size_t n_delete = 24;
+  std::optional<GeneralizedIndex> st;
+
+  Status Reset(Pager* pager) {
+    if (initial.empty()) {
+      std::mt19937_64 rng(0xFA31A);
+      for (uint64_t i = 0; i < 36; ++i) {
+        Coord a = static_cast<Coord>(rng() % kDomain);
+        Coord b = static_cast<Coord>(rng() % kDomain);
+        initial.push_back({std::min(a, b), std::max(a, b), i});
+      }
+    }
+    st.emplace(pager, /*arity=*/2, /*indexed_var=*/0);
+    for (const Interval& key : initial) {
+      GeneralizedTuple t(key.id, 2);
+      CCIDX_RETURN_IF_ERROR(t.AddRange(0, key.lo, key.hi));
+      CCIDX_RETURN_IF_ERROR(st->Insert(t));
+    }
+    return Status::OK();
+  }
+
+  size_t NumOps() const { return n_delete; }
+
+  Status ApplyOp(size_t i) {
+    bool found = false;
+    return st->Delete(initial[i].id, &found);
+  }
+
+  Status Verify() const {
+    std::vector<uint64_t> got;
+    CCIDX_RETURN_IF_ERROR(st->RangeQueryIds(0, kDomain, &got));
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> want;
+    for (size_t i = n_delete; i < initial.size(); ++i) {
+      want.push_back(initial[i].id);
+    }
+    std::sort(want.begin(), want.end());
+    if (got != want || st->size() != want.size()) {
+      return Status::Corruption("generalized live-set mismatch");
+    }
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Sweeps
+// ---------------------------------------------------------------------------
+
+TEST(UpdateFaultSweep, AugmentedMetablockTreeDeletePurge) {
+  AmtSetup setup;
+  FaultSweep(setup);
+}
+
+TEST(UpdateFaultSweep, AugmentedThreeSidedTreeDeletePurge) {
+  AtsSetup setup;
+  FaultSweep(setup);
+}
+
+TEST(UpdateFaultSweep, ExternalPstInsertDeleteRebuild) {
+  PstSetup setup;
+  FaultSweep(setup);
+}
+
+TEST(UpdateFaultSweep, CornerStructureInsertDeleteRebuild) {
+  CornerSetup setup;
+  FaultSweep(setup);
+}
+
+TEST(UpdateFaultSweep, DynamicMetablockTreeMergePurge) {
+  DynMetaSetup setup;
+  FaultSweep(setup);
+}
+
+TEST(UpdateFaultSweep, DynamicThreeSidedTreeMergePurge) {
+  DynThreeSetup setup;
+  FaultSweep(setup);
+}
+
+TEST(UpdateFaultSweep, IntervalIndexDelete) {
+  IntervalSetup setup;
+  FaultSweep(setup);
+}
+
+TEST(UpdateFaultSweep, RakeContractDeleteResumes) {
+  RakeSetup setup;
+  FaultSweepResumable(setup);
+}
+
+TEST(UpdateFaultSweep, GeneralizedIndexDeleteResumes) {
+  GeneralizedSetup setup;
+  FaultSweepResumable(setup);
+}
+
+}  // namespace
+}  // namespace ccidx
