@@ -18,6 +18,7 @@
 #include "ccidx/core/metablock_tree.h"
 #include "ccidx/io/block_device.h"
 #include "ccidx/io/pager.h"
+#include "ccidx/simd/simd.h"
 
 namespace ccidx {
 namespace bench {
@@ -74,14 +75,23 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
 
   static void PrintJson(const std::string& bench, const std::string& metric,
                         double value) {
+    // Every line carries the kernel dispatch level the process resolved
+    // (DESIGN.md §9), so perf series from hosts or CI jobs with different
+    // vector ISAs are never conflated.
+    const char* dispatch = simd::LevelName(simd::ActiveLevel());
     // %.17g would print bare inf/nan tokens, which are not valid JSON.
     if (!std::isfinite(value)) {
-      std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": null}\n",
-                  EscapeJson(bench).c_str(), EscapeJson(metric).c_str());
+      std::printf(
+          "{\"bench\": \"%s\", \"metric\": \"%s\", \"dispatch\": \"%s\", "
+          "\"value\": null}\n",
+          EscapeJson(bench).c_str(), EscapeJson(metric).c_str(), dispatch);
       return;
     }
-    std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.17g}\n",
-                EscapeJson(bench).c_str(), EscapeJson(metric).c_str(), value);
+    std::printf(
+        "{\"bench\": \"%s\", \"metric\": \"%s\", \"dispatch\": \"%s\", "
+        "\"value\": %.17g}\n",
+        EscapeJson(bench).c_str(), EscapeJson(metric).c_str(), dispatch,
+        value);
   }
 };
 

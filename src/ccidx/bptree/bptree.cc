@@ -1,6 +1,9 @@
 #include "ccidx/bptree/bptree.h"
 
 #include <algorithm>
+#include <cstddef>
+
+#include "ccidx/simd/simd.h"
 
 namespace ccidx {
 
@@ -12,24 +15,28 @@ namespace {
 // in their entries; `next` is used only by the leaf chain.
 constexpr size_t kNodeHeader = 16;
 
+// Separator keys ascend, so both routing rules are partition points over
+// seps[1..] (seps[0] is the leftmost child's min key, always taken when
+// nothing else routes left of `key`), found by the dispatched branchless
+// search — no per-level compare-and-branch walk down the node.
+
 // Routing rule for point/lower-bound descent: the last child whose
 // separator key is strictly below `key` (so duplicate runs that span a
 // split boundary are never skipped); child 0 if none.
 size_t RouteLowerBound(std::span<const BtEntry> seps, int64_t key) {
-  size_t idx = 0;
-  while (idx + 1 < seps.size() && seps[idx + 1].key < key) idx++;
-  return idx;
+  if (seps.size() <= 1) return 0;
+  return simd::LowerBoundI64(
+      simd::Kernels(), simd::FieldBase(seps.data() + 1, offsetof(BtEntry, key)),
+      sizeof(BtEntry), seps.size() - 1, key);
 }
 
 // Routing rule for inserts: the last child whose separator key is <= key,
 // so new duplicates append to the right end of an equal-key run.
 size_t RouteInsert(std::span<const BtEntry> seps, int64_t key) {
-  size_t idx = 0;
-  while (idx + 1 < seps.size() &&
-         seps[idx + 1].key <= key) {
-    idx++;
-  }
-  return idx;
+  if (seps.size() <= 1) return 0;
+  return simd::UpperBoundI64(
+      simd::Kernels(), simd::FieldBase(seps.data() + 1, offsetof(BtEntry, key)),
+      sizeof(BtEntry), seps.size() - 1, key);
 }
 
 }  // namespace
@@ -210,10 +217,19 @@ Status BPlusTree::RangeScan(int64_t lo, int64_t hi,
     // contiguous run, emitted straight from the pinned frame.
     auto view = ViewNode(id);
     CCIDX_RETURN_IF_ERROR(view.status());
-    std::span<const BtEntry> tail = DropWhile(
-        view->entries, [lo](const BtEntry& e) { return e.key < lo; });
-    std::span<const BtEntry> run =
-        TakeWhile(tail, [hi](const BtEntry& e) { return e.key <= hi; });
+    const simd::KernelTable& k = simd::Kernels();
+    const uint8_t* keys =
+        simd::FieldBase(view->entries.data(), offsetof(BtEntry, key));
+    std::span<const BtEntry> tail = view->entries.subspan(
+        k.first_i64_ge(keys, sizeof(BtEntry), view->entries.size(), lo));
+    std::span<const BtEntry> run = tail.first(k.first_i64_gt(
+        simd::FieldBase(tail.data(), offsetof(BtEntry, key)), sizeof(BtEntry),
+        tail.size(), hi));
+    if (run.size() == tail.size() && view->next != kInvalidPageId) {
+      // Scan continues into the next leaf (unless the sink stops): stage
+      // its read so it overlaps the emit.
+      pager_->Prefetch({&view->next, 1});
+    }
     em.Emit(run);
     if (run.size() < tail.size()) return Status::OK();  // crossed above hi
     id = view->next;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ccidx/dynamic/purge_rebuild.h"
+
 namespace ccidx {
 
 namespace {
@@ -661,40 +663,27 @@ Status AugmentedMetablockTree::VisitSubtreePages(
 }
 
 Status AugmentedMetablockTree::GlobalPurgeRebuild() {
-  // Fault-atomic purge (DESIGN.md §8): (1) harvest points and page ids
-  // read-only — a failure changes nothing; (2) rebuild the live set
-  // through the bulk-build pipeline under an AllocationScope — a failure
-  // rolls the new pages back and the old tree still answers queries;
-  // (3) only then retire the old pages by id, which needs no device
-  // transfer and cannot fail mid-way.
-  std::vector<Point> all;
-  CCIDX_RETURN_IF_ERROR(CollectSubtree(root_, &all));
-  std::vector<PageId> old_pages;
-  CCIDX_RETURN_IF_ERROR(VisitSubtreePages(root_, &old_pages));
-  std::vector<Point> live;
-  live.reserve(all.size());
-  for (const Point& p : all) {
-    if (tombstones_.Live(p)) live.push_back(p);
-  }
-  std::sort(live.begin(), live.end(), PointXOrder());
-
-  AllocationScope scope(pager_);
+  // Shared fault-atomic skeleton (dynamic/purge_rebuild.h): harvest
+  // points + page ids read-only, drop tombstoned points, rebuild the
+  // live set through the bulk-build pipeline under an AllocationScope,
+  // then retire the old pages by id.
   PageId new_root = kInvalidPageId;
-  if (!live.empty()) {
-    auto built = BuildNode(pager_, PointGroup::FromVector(std::move(live)),
-                           branching_);
-    CCIDX_RETURN_IF_ERROR(built.status());
-    CCIDX_RETURN_IF_ERROR(
-        WriteControl(pager_, built->control_page, built->ctrl));
-    new_root = built->control_page;
-  }
-  scope.Commit();
-  for (PageId id : old_pages) {
-    (void)pager_->Free(id);
-  }
+  CCIDX_RETURN_IF_ERROR(PurgeRebuild(
+      pager_, &tombstones_, &sched_,
+      [&](std::vector<Point>* out) { return CollectSubtree(root_, out); },
+      [&](std::vector<PageId>* out) { return VisitSubtreePages(root_, out); },
+      [&](std::vector<Point> live) {
+        if (live.empty()) return Status::OK();
+        std::sort(live.begin(), live.end(), PointXOrder());
+        auto built = BuildNode(pager_, PointGroup::FromVector(std::move(live)),
+                               branching_);
+        CCIDX_RETURN_IF_ERROR(built.status());
+        CCIDX_RETURN_IF_ERROR(
+            WriteControl(pager_, built->control_page, built->ctrl));
+        new_root = built->control_page;
+        return Status::OK();
+      }));
   root_ = new_root;
-  tombstones_.Clear();
-  sched_.Reset();
   return Status::OK();
 }
 
@@ -710,9 +699,7 @@ Status AugmentedMetablockTree::ReportOwnPoints(const Control& ctrl, Coord a,
   if (ctrl.update_count > 0) {
     std::vector<Point> upd;
     CCIDX_RETURN_IF_ERROR(ReadUpdatePoints(ctrl, &upd));
-    em.EmitFiltered(upd, [a](const Point& p) {
-      return p.x <= a && p.y >= a;
-    });
+    simd::EmitFiltered2Sided(em, upd, a, a);
     if (em.stopped()) return Status::OK();
   }
   if (ctrl.num_points == 0) return Status::OK();
@@ -748,7 +735,7 @@ Status AugmentedMetablockTree::ReportSubtree(PageId id, Coord a,
   if (ctrl.update_count > 0 && !em.stopped()) {
     std::vector<Point> upd;
     CCIDX_RETURN_IF_ERROR(ReadUpdatePoints(ctrl, &upd));
-    em.EmitFiltered(upd, [a](const Point& p) { return p.y >= a; });
+    simd::EmitFilteredYAtLeast(em, upd, a);
   }
   // Descend iff some strict descendant can qualify (watermark rule; see
   // header comment — push-downs may break the static heap order, so the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ccidx/dynamic/purge_rebuild.h"
+
 namespace ccidx {
 
 namespace {
@@ -735,37 +737,27 @@ Status AugmentedThreeSidedTree::VisitSubtreePages(
 }
 
 Status AugmentedThreeSidedTree::GlobalPurgeRebuild() {
-  // Fault-atomic purge (DESIGN.md §8): harvest points + page ids
-  // read-only, rebuild the live set under an AllocationScope, then
-  // retire the old pages by id (no device reads — cannot fail mid-way).
-  std::vector<Point> all;
-  CCIDX_RETURN_IF_ERROR(CollectSubtree(root_, &all));
-  std::vector<PageId> old_pages;
-  CCIDX_RETURN_IF_ERROR(VisitSubtreePages(root_, &old_pages));
-  std::vector<Point> live;
-  live.reserve(all.size());
-  for (const Point& p : all) {
-    if (tombstones_.Live(p)) live.push_back(p);
-  }
-  std::sort(live.begin(), live.end(), PointXOrder());
-
-  AllocationScope scope(pager_);
+  // Shared fault-atomic skeleton (dynamic/purge_rebuild.h): harvest
+  // points + page ids read-only, drop tombstoned points, rebuild the
+  // live set through the bulk-build pipeline under an AllocationScope,
+  // then retire the old pages by id.
   PageId new_root = kInvalidPageId;
-  if (!live.empty()) {
-    auto built = BuildNode(pager_, PointGroup::FromVector(std::move(live)),
-                           branching_);
-    CCIDX_RETURN_IF_ERROR(built.status());
-    CCIDX_RETURN_IF_ERROR(
-        WriteControl(pager_, built->control_page, built->ctrl));
-    new_root = built->control_page;
-  }
-  scope.Commit();
-  for (PageId id : old_pages) {
-    (void)pager_->Free(id);
-  }
+  CCIDX_RETURN_IF_ERROR(PurgeRebuild(
+      pager_, &tombstones_, &sched_,
+      [&](std::vector<Point>* out) { return CollectSubtree(root_, out); },
+      [&](std::vector<PageId>* out) { return VisitSubtreePages(root_, out); },
+      [&](std::vector<Point> live) {
+        if (live.empty()) return Status::OK();
+        std::sort(live.begin(), live.end(), PointXOrder());
+        auto built = BuildNode(pager_, PointGroup::FromVector(std::move(live)),
+                               branching_);
+        CCIDX_RETURN_IF_ERROR(built.status());
+        CCIDX_RETURN_IF_ERROR(
+            WriteControl(pager_, built->control_page, built->ctrl));
+        new_root = built->control_page;
+        return Status::OK();
+      }));
   root_ = new_root;
-  tombstones_.Clear();
-  sched_.Reset();
   return Status::OK();
 }
 
@@ -781,9 +773,7 @@ Status AugmentedThreeSidedTree::ReportOwnPoints(
   if (ctrl.update_count > 0) {
     std::vector<Point> upd;
     CCIDX_RETURN_IF_ERROR(ReadUpdatePoints(ctrl, &upd));
-    em.EmitFiltered(upd, [&](const Point& p) {
-      return p.x >= xlo && p.x <= xhi && p.y >= ylo;
-    });
+    simd::EmitFiltered3Sided(em, upd, xlo, xhi, ylo);
     if (em.stopped()) return Status::OK();
   }
   if (ctrl.num_points == 0) return Status::OK();
@@ -819,7 +809,7 @@ Status AugmentedThreeSidedTree::ReportSubtree(PageId id, Coord ylo,
   if (ctrl.update_count > 0 && !em.stopped()) {
     std::vector<Point> upd;
     CCIDX_RETURN_IF_ERROR(ReadUpdatePoints(ctrl, &upd));
-    em.EmitFiltered(upd, [ylo](const Point& p) { return p.y >= ylo; });
+    simd::EmitFilteredYAtLeast(em, upd, ylo);
   }
   if (ctrl.num_children == 0 || ctrl.desc_ymax < ylo || em.stopped()) {
     return Status::OK();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ccidx/core/blocking.h"
+#include "ccidx/dynamic/purge_rebuild.h"
 
 namespace ccidx {
 
@@ -170,9 +171,10 @@ Status CornerStructure::Query(Coord a, SinkEmitter<Point>& em) const {
        i < vblocks.size() && vblocks[i].xlo <= a && !em.stopped(); ++i) {
     auto view = io.ViewRecords<Point>(vblocks[i].page);
     CCIDX_RETURN_IF_ERROR(view.status());
-    em.EmitFiltered(view->records, [&](const Point& p) {
-      return p.x > x_covered && p.x <= a && p.y >= a;
-    });
+    // x > x_covered as a closed bound; x_covered == kCoordMax would wrap,
+    // but then x > x_covered matches nothing — skip the page outright.
+    if (x_covered == kCoordMax) break;
+    simd::EmitFiltered3Sided(em, view->records, x_covered + 1, a, a);
   }
   return Status::OK();
 }
@@ -189,9 +191,7 @@ Status CornerStructure::Query(Coord a, ResultSink<Point>* sink) const {
   PointLiveFilterSink filter(&tombstones_, sink);
   SinkEmitter<Point> em(&filter);
   CCIDX_RETURN_IF_ERROR(Query(a, em));
-  em.EmitFiltered(std::span<const Point>(pending_), [a](const Point& p) {
-    return p.x <= a && p.y >= a;
-  });
+  simd::EmitFiltered2Sided(em, std::span<const Point>(pending_), a, a);
   return Status::OK();
 }
 
@@ -233,39 +233,27 @@ Status CornerStructure::Delete(const Point& p, bool* found) {
 }
 
 Status CornerStructure::Rebuild() {
-  // Fault-atomic: harvest points + page ids read-only, build the
-  // replacement under a scope, then retire the old pages by id.
-  std::vector<Point> all;
-  CCIDX_RETURN_IF_ERROR(CollectPoints(&all));
-  std::vector<PageId> old_pages;
-  CCIDX_RETURN_IF_ERROR(VisitPages(&old_pages));
-  std::vector<Point> merged;
-  merged.reserve(all.size() + pending_.size());
-  std::vector<Point> purged;
-  for (const Point& p : all) {
-    if (tombstones_.Contains(p)) {
-      purged.push_back(p);
-      continue;
-    }
-    merged.push_back(p);
-  }
-  merged.insert(merged.end(), pending_.begin(), pending_.end());
-
-  AllocationScope scope(pager_);
-  const uint64_t n = merged.size();
-  auto fresh = Build(pager_, std::move(merged));
-  CCIDX_RETURN_IF_ERROR(fresh.status());
-  scope.Commit();
-  for (PageId id : old_pages) {
-    (void)pager_->Free(id);
-  }
-  header_ = fresh->header_;
-  stored_count_ = n;
+  // Shared fault-atomic skeleton (dynamic/purge_rebuild.h): harvest
+  // read-only, drop tombstoned points, build under a scope, retire the
+  // old pages by id. The pending buffer joins the live set in the build
+  // step (it is never tombstoned).
+  PageId new_header = kInvalidPageId;
+  uint64_t new_count = 0;
+  CCIDX_RETURN_IF_ERROR(PurgeRebuild(
+      pager_, &tombstones_, &sched_,
+      [&](std::vector<Point>* out) { return CollectPoints(out); },
+      [&](std::vector<PageId>* out) { return VisitPages(out); },
+      [&](std::vector<Point> live) {
+        live.insert(live.end(), pending_.begin(), pending_.end());
+        new_count = live.size();
+        auto fresh = Build(pager_, std::move(live));
+        CCIDX_RETURN_IF_ERROR(fresh.status());
+        new_header = fresh->header_;
+        return Status::OK();
+      }));
+  header_ = new_header;
+  stored_count_ = new_count;
   pending_.clear();
-  for (const Point& p : purged) {
-    tombstones_.Consume(p);
-  }
-  sched_.Reset();
   return Status::OK();
 }
 

@@ -1,6 +1,9 @@
 #include "ccidx/core/metablock_tree.h"
 
 #include <algorithm>
+#include <cstddef>
+
+#include "ccidx/simd/filter_emit.h"
 
 namespace ccidx {
 
@@ -197,9 +200,7 @@ Status MetablockTree::ReportOwnPoints(const Control& ctrl, Coord a,
       if (blk.xlo > a || em.stopped()) break;
       auto view = io.ViewRecords<Point>(blk.page);
       CCIDX_RETURN_IF_ERROR(view.status());
-      em.EmitFiltered(view->records, [a](const Point& p) {
-        return p.x <= a && p.y >= a;
-      });
+      simd::EmitFiltered2Sided(em, view->records, a, a);
     }
     return Status::OK();
   }
@@ -250,12 +251,15 @@ Status MetablockTree::Query(const DiagonalQuery& q,
     std::vector<ChildEntry> children;
     CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
                                                    &children));
-    // Corner path: the last child whose subtree starts at or left of a.
-    size_t j = children.size();
-    for (size_t i = 0; i < children.size(); ++i) {
-      if (children[i].sub_xlo <= a) j = i;
-    }
-    if (j == children.size()) return Status::OK();  // all children right of a
+    // Corner path: the last child whose subtree starts at or left of a —
+    // children ascend by sub_xlo, so that is the upper bound minus one
+    // (found by the dispatched branchless search).
+    size_t ub = simd::UpperBoundI64(
+        simd::Kernels(),
+        simd::FieldBase(children.data(), offsetof(ChildEntry, sub_xlo)),
+        sizeof(ChildEntry), children.size(), a);
+    if (ub == 0) return Status::OK();  // all children right of a
+    size_t j = ub - 1;
 
     Control next_ctrl;
     CCIDX_RETURN_IF_ERROR(LoadControl(children[j].control, &next_ctrl));

@@ -29,14 +29,17 @@
 #ifndef CCIDX_DYNAMIC_TOMBSTONES_H_
 #define CCIDX_DYNAMIC_TOMBSTONES_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <unordered_set>
 #include <vector>
 
 #include "ccidx/core/geometry.h"
 #include "ccidx/query/sink.h"
+#include "ccidx/simd/simd.h"
 
 namespace ccidx {
 
@@ -54,7 +57,9 @@ inline uint64_t HashCombine(uint64_t h, uint64_t v) {
 }
 }  // namespace internal
 
-/// Identity hash for Point (x, y, id).
+/// Identity hash for Point (x, y, id). The chain must stay in lockstep
+/// with simd::internal::PointHash: the vectorized tombstone probe
+/// reproduces it lane-wise, and the counting filter below indexes by it.
 struct PointIdentityHash {
   size_t operator()(const Point& p) const {
     uint64_t h = internal::MixU64(static_cast<uint64_t>(p.x));
@@ -64,26 +69,69 @@ struct PointIdentityHash {
 };
 
 /// The set of weakly deleted records of one structure.
+///
+/// Alongside the exact hash set, the set maintains a counting filter:
+/// `counters[Hash(r) & mask]` counts the tombstones hashing to each slot
+/// (sized to stay at most 1/4 loaded, grown by doubling). A record whose
+/// slot is zero is provably live without touching the unordered_set —
+/// which is what lets the reporting hot path batch-probe whole page
+/// spans through the dispatched simd kernel (DESIGN.md §9): the kernel
+/// hashes every record of the span and returns only the "maybe dead"
+/// candidates, and the exact per-record probe runs for those alone.
 template <typename Record, typename Hash>
 class TombstoneSet {
  public:
+  TombstoneSet() : counters_(kMinSlots, 0), mask_(kMinSlots - 1) {}
+
   /// Marks a record dead. Returns false if it was already tombstoned.
-  bool Add(const Record& r) { return set_.insert(r).second; }
+  bool Add(const Record& r) {
+    if (!set_.insert(r).second) return false;
+    if (set_.size() * 4 > counters_.size()) GrowFilter();
+    counters_[Hash{}(r) & mask_]++;
+    return true;
+  }
 
   /// Consumes a tombstone (the record was expunged by a rebuild, or
   /// resurrected by a re-insert). Returns true iff it was present.
-  bool Consume(const Record& r) { return set_.erase(r) > 0; }
+  bool Consume(const Record& r) {
+    if (set_.erase(r) == 0) return false;
+    counters_[Hash{}(r) & mask_]--;
+    return true;
+  }
 
-  bool Contains(const Record& r) const { return set_.count(r) > 0; }
+  bool Contains(const Record& r) const {
+    // The counting filter decides the common (live) case with one probe
+    // of a flat array; only colliding slots pay the bucket chase.
+    return counters_[Hash{}(r) & mask_] != 0 && set_.count(r) > 0;
+  }
   size_t size() const { return set_.size(); }
   bool empty() const { return set_.empty(); }
-  void Clear() { set_.clear(); }
+  void Clear() {
+    set_.clear();
+    counters_.assign(kMinSlots, 0);
+    mask_ = kMinSlots - 1;
+  }
 
   /// Filter predicate for reporting paths: true iff the record is live.
   bool Live(const Record& r) const { return !Contains(r); }
 
+  /// Counting-filter view for the batch-probe kernel.
+  const uint32_t* filter_counters() const { return counters_.data(); }
+  uint64_t filter_mask() const { return mask_; }
+
  private:
+  static constexpr size_t kMinSlots = 64;
+
+  void GrowFilter() {
+    size_t slots = std::bit_ceil(set_.size() * 8);
+    counters_.assign(slots, 0);
+    mask_ = slots - 1;
+    for (const Record& r : set_) counters_[Hash{}(r) & mask_]++;
+  }
+
   std::unordered_set<Record, Hash> set_;
+  std::vector<uint32_t> counters_;
+  uint64_t mask_;
 };
 
 using PointTombstones = TombstoneSet<Point, PointIdentityHash>;
@@ -118,6 +166,11 @@ class ExactMatchSink final : public ResultSink<Record> {
 /// driving several scans (or log-method levels) through one filter can
 /// short-circuit via stopped(). No type erasure: the tombstone probe
 /// inlines on the reporting hot path.
+///
+/// Fast paths: an empty tombstone set — and, for Point records, a batch
+/// the vectorized counting-filter probe clears entirely — forwards the
+/// original span zero-copy; only batches with "maybe dead" candidates
+/// pay the staging copy and exact probes (for the candidates alone).
 template <typename Record, typename Hash>
 class LiveFilterSink final : public ResultSink<Record> {
  public:
@@ -127,9 +180,37 @@ class LiveFilterSink final : public ResultSink<Record> {
 
   SinkState Emit(std::span<const Record> batch) override {
     if (state_ == SinkState::kStop) return state_;
-    scratch_.clear();
-    for (const Record& r : batch) {
-      if (tombstones_->Live(r)) scratch_.push_back(r);
+    if (tombstones_->empty()) {
+      state_ = inner_->Emit(batch);
+      return state_;
+    }
+    if constexpr (std::is_same_v<Record, Point> &&
+                  std::is_same_v<Hash, PointIdentityHash>) {
+      // Batch-probe the counting filter through the dispatched kernel:
+      // `candidates_` receives the indices whose filter slot is non-zero.
+      if (candidates_.size() < batch.size()) candidates_.resize(batch.size());
+      size_t cnt = simd::Kernels().tombstone_candidates(
+          batch.data(), batch.size(), tombstones_->filter_counters(),
+          tombstones_->filter_mask(), candidates_.data());
+      if (cnt == 0) {
+        state_ = inner_->Emit(batch);
+        return state_;
+      }
+      scratch_.clear();
+      size_t next = 0;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (next < cnt && candidates_[next] == i) {
+          ++next;
+          if (tombstones_->Live(batch[i])) scratch_.push_back(batch[i]);
+        } else {
+          scratch_.push_back(batch[i]);  // filter slot zero: provably live
+        }
+      }
+    } else {
+      scratch_.clear();
+      for (const Record& r : batch) {
+        if (tombstones_->Live(r)) scratch_.push_back(r);
+      }
     }
     if (!scratch_.empty()) state_ = inner_->Emit(scratch_);
     return state_;
@@ -141,6 +222,7 @@ class LiveFilterSink final : public ResultSink<Record> {
   const TombstoneSet<Record, Hash>* tombstones_;
   ResultSink<Record>* inner_;
   std::vector<Record> scratch_;
+  std::vector<uint32_t> candidates_;
   SinkState state_ = SinkState::kContinue;
 };
 

@@ -136,6 +136,14 @@ Pager::Pager(BlockDevice* device, uint32_t capacity_pages)
   CCIDX_CHECK(device_ != nullptr);
   num_shards_ = PickShardCount(capacity_);
   shard_mask_ = num_shards_ - 1;
+  // Readahead is only meaningful with a pool to land frames in; uncached
+  // pagers must keep the exact historical cost model (every test that
+  // counts I/Os relies on it). CCIDX_PREFETCH=0 disables the hint
+  // globally for differential prefetch-on/off replays.
+  const char* prefetch_env = std::getenv("CCIDX_PREFETCH");
+  prefetch_enabled_ =
+      capacity_ > 0 &&
+      !(prefetch_env != nullptr && std::strcmp(prefetch_env, "0") == 0);
 
   // One contiguous page-aligned arena for every frame. Strides are
   // cache-line rounded so adjacent frames never false-share.
@@ -176,6 +184,14 @@ Pager::Pager(BlockDevice* device, uint32_t capacity_pages)
 }
 
 Pager::~Pager() {
+  // Stop the readahead pool first: workers touch shard state and the
+  // arena, so they must be joined before anything is torn down.
+  {
+    std::lock_guard lock(prefetch_mu_);
+    prefetch_stop_ = true;
+  }
+  prefetch_cv_.notify_all();
+  for (std::thread& t : prefetch_threads_) t.join();
   // All pins must be released before the pool is torn down: a live handle
   // would point into freed frames.
   CCIDX_CHECK(outstanding_pins() == 0);
@@ -492,6 +508,73 @@ Result<PageRef> Pager::Pin(PageId id) {
   return ref;
 }
 
+// ---------------------------------------------------------------------------
+// Readahead (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+void Pager::LoadResidentForPrefetch(PageId id) {
+  uint64_t hash = MixPageId(id);
+  Shard& shard = shards_[static_cast<uint32_t>(hash) & shard_mask_];
+  std::lock_guard lock(shard.mu);
+  // The ordinary miss path, minus the pin: the frame lands resident with
+  // the reference bit set (one clock rotation of protection) but stays
+  // eviction-eligible. A hit just refreshes the reference bit. Errors —
+  // shard pin-saturated, device read rejected — are dropped: a prefetch
+  // is a hint, and the foreground Pin will redo and surface them.
+  (void)GetFrameLocked(shard, id, hash, MutMode::kLoad);
+}
+
+void Pager::PrefetchWorker() {
+  std::unique_lock lock(prefetch_mu_);
+  for (;;) {
+    prefetch_cv_.wait(lock, [this] {
+      return prefetch_stop_ || !prefetch_queue_.empty();
+    });
+    if (prefetch_stop_) return;
+    PageId id = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    prefetch_inflight_++;
+    lock.unlock();
+    LoadResidentForPrefetch(id);
+    lock.lock();
+    prefetch_inflight_--;
+    if (prefetch_queue_.empty() && prefetch_inflight_ == 0) {
+      prefetch_idle_cv_.notify_all();
+    }
+  }
+}
+
+void Pager::Prefetch(std::span<const PageId> ids) {
+  if (!prefetch_enabled_ || ids.empty()) return;
+  bool enqueued = false;
+  {
+    std::lock_guard lock(prefetch_mu_);
+    if (prefetch_stop_) return;
+    if (prefetch_threads_.empty()) {
+      // Lazy start: pagers that never prefetch never spawn threads.
+      prefetch_threads_.reserve(kPrefetchThreads);
+      for (size_t i = 0; i < kPrefetchThreads; ++i) {
+        prefetch_threads_.emplace_back([this] { PrefetchWorker(); });
+      }
+    }
+    for (PageId id : ids) {
+      if (id == kInvalidPageId) continue;
+      if (prefetch_queue_.size() >= kPrefetchQueueCap) break;  // best-effort
+      prefetch_queue_.push_back(id);
+      prefetches_issued_.fetch_add(1, std::memory_order_relaxed);
+      enqueued = true;
+    }
+  }
+  if (enqueued) prefetch_cv_.notify_all();
+}
+
+void Pager::DrainPrefetch() {
+  std::unique_lock lock(prefetch_mu_);
+  prefetch_idle_cv_.wait(lock, [this] {
+    return prefetch_queue_.empty() && prefetch_inflight_ == 0;
+  });
+}
+
 bool Pager::AnyOtherShardHasCapacity(uint32_t except) const {
   for (uint32_t i = 0; i < num_shards_; ++i) {
     if (i == except) continue;
@@ -685,6 +768,9 @@ Status Pager::Flush() {
 }
 
 Status Pager::DropCache() {
+  // Quiesce readahead first: a straggler landing after the clear would
+  // leave the "cold" cache warm for exactly the page about to be pinned.
+  DrainPrefetch();
   CCIDX_RETURN_IF_ERROR(TakeDeferredError());
   uint64_t pins = outstanding_pins();
   if (pins > 0) {

@@ -52,10 +52,13 @@
 #define CCIDX_IO_PAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -301,6 +304,27 @@ class Pager {
   /// number of threads concurrently.
   Result<PageRef> Pin(PageId id);
 
+  /// Best-effort asynchronous readahead hint (DESIGN.md §9): stages device
+  /// reads of `ids` on a small background pool, so a subsequent Pin finds
+  /// the page resident and the device latency overlaps the caller's
+  /// per-page CPU work. Frames land unpinned-but-resident with the clock
+  /// reference bit set — a hint can never block Free/DropCache and an
+  /// unwanted page is simply evicted. Read errors are dropped (the real
+  /// Pin re-reads and surfaces them). Strict no-op when caching is
+  /// disabled — the uncached cost model stays exact — or when
+  /// CCIDX_PREFETCH=0. Thread-safe alongside Pin.
+  void Prefetch(std::span<const PageId> ids);
+
+  /// Blocks until every staged prefetch has been applied or dropped.
+  /// DropCache and the destructor drain implicitly; tests use this to
+  /// make residency deterministic.
+  void DrainPrefetch();
+
+  /// Pages staged through Prefetch since construction (diagnostics).
+  uint64_t prefetches_issued() const {
+    return prefetches_issued_.load(std::memory_order_relaxed);
+  }
+
   /// Pins a page for writing; the frame is marked dirty immediately.
   /// kOverwrite hands out a zero-filled view with no device read; asking to
   /// overwrite a page that currently has pins is a checked error (the zero
@@ -425,6 +449,27 @@ class Pager {
   std::vector<uint32_t> transient_free_;
   std::atomic<uint64_t> transient_outstanding_{0};
   std::atomic<uint64_t> transient_pin_requests_{0};
+
+  // Readahead (DESIGN.md §9): a bounded FIFO of page ids served by lazily
+  // started worker threads. Workers load frames through the ordinary
+  // GetFrameLocked path under the shard lock but never take a pin, so a
+  // prefetched frame is immediately eviction-eligible and the pin
+  // accounting (outstanding_pins, DropCache's precondition) is untouched.
+  void PrefetchWorker();
+  void LoadResidentForPrefetch(PageId id);
+
+  static constexpr size_t kPrefetchThreads = 2;
+  static constexpr size_t kPrefetchQueueCap = 64;
+
+  std::mutex prefetch_mu_;
+  std::condition_variable prefetch_cv_;       // workers: work available
+  std::condition_variable prefetch_idle_cv_;  // drainers: queue quiesced
+  std::vector<std::thread> prefetch_threads_;
+  std::deque<PageId> prefetch_queue_;
+  size_t prefetch_inflight_ = 0;
+  bool prefetch_stop_ = false;
+  bool prefetch_enabled_ = false;
+  std::atomic<uint64_t> prefetches_issued_{0};
 
   std::mutex deferred_mu_;
   Status deferred_error_;

@@ -1,6 +1,8 @@
 #include "ccidx/pst/dynamic_pst.h"
 
 #include <algorithm>
+
+#include "ccidx/simd/filter_emit.h"
 #include <cmath>
 
 namespace ccidx {
@@ -313,9 +315,9 @@ Status DynamicPst::QueryNode(PageId id, const ThreeSidedQuery& q,
     if (h.sub_xlo > q.xhi || h.sub_xhi < q.xlo) return Status::OK();
     std::span<const Point> pts =
         ViewArray<Point>(*ref, sizeof(NodeHeader), h.count);
-    em.EmitFiltered(
-        TakeWhile(pts, [&q](const Point& p) { return p.y >= q.ylo; }),
-        [&q](const Point& p) { return p.x >= q.xlo && p.x <= q.xhi; });
+    simd::EmitFilteredXRange(
+        em, pts.first(simd::PrefixYAtLeast(simd::Kernels(), pts, q.ylo)),
+        q.xlo, q.xhi);
   }
   if (h.min_y < q.ylo || em.stopped()) return Status::OK();
   CCIDX_RETURN_IF_ERROR(QueryNode(h.left, q, em));

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "ccidx/dynamic/purge_rebuild.h"
+#include "ccidx/simd/filter_emit.h"
+
 namespace ccidx {
 
 namespace {
@@ -352,23 +355,24 @@ Status ExternalPst::VisitPages(std::vector<PageId>* out) const {
 }
 
 Status ExternalPst::GlobalRebuild() {
-  // Fault-atomic rebuild: harvest points + page ids read-only (a failure
-  // changes nothing), build the replacement under a scope (a failure
-  // rolls it back), and only then retire the old tree by id — no reads.
-  std::vector<Point> all;
-  std::vector<PageId> old_pages;
-  CCIDX_RETURN_IF_ERROR(Harvest(&all, &old_pages));
-  std::sort(all.begin(), all.end(), PointXOrder());
-  AllocationScope scope(pager_);
-  auto fresh =
-      BuildNode(pager_, PointGroup::FromVector(std::move(all)), NodeCapacity());
-  CCIDX_RETURN_IF_ERROR(fresh.status());
-  scope.Commit();
-  for (PageId id : old_pages) {
-    (void)pager_->Free(id);
-  }
-  root_ = *fresh;
-  sched_.Reset();
+  // Shared fault-atomic skeleton (dynamic/purge_rebuild.h). The PST
+  // deletes records eagerly (no tombstone set), so every harvested point
+  // is live; the skeleton still supplies the harvest / scoped-build /
+  // retire-by-id sequencing.
+  PageId new_root = kInvalidPageId;
+  CCIDX_RETURN_IF_ERROR(PurgeRebuild(
+      pager_, static_cast<PointTombstones*>(nullptr), &sched_,
+      [&](std::vector<Point>* out) { return Harvest(out, nullptr); },
+      [&](std::vector<PageId>* out) { return VisitPages(out); },
+      [&](std::vector<Point> live) {
+        std::sort(live.begin(), live.end(), PointXOrder());
+        auto fresh = BuildNode(pager_, PointGroup::FromVector(std::move(live)),
+                               NodeCapacity());
+        CCIDX_RETURN_IF_ERROR(fresh.status());
+        new_root = *fresh;
+        return Status::OK();
+      }));
+  root_ = new_root;
   return Status::OK();
 }
 
@@ -399,9 +403,9 @@ Status ExternalPst::QueryNode(PageId id, const ThreeSidedQuery& q,
         ViewArray<Point>(*ref, sizeof(NodeHeader), h.count);
     // Descending y: qualifying points lie in the y >= ylo prefix; the
     // x-slab filter applies within it.
-    em.EmitFiltered(
-        TakeWhile(pts, [&q](const Point& p) { return p.y >= q.ylo; }),
-        [&q](const Point& p) { return p.x >= q.xlo && p.x <= q.xhi; });
+    simd::EmitFilteredXRange(
+        em, pts.first(simd::PrefixYAtLeast(simd::Kernels(), pts, q.ylo)),
+        q.xlo, q.xhi);
   }
   // Heap order: every descendant's y is <= this node's min y. If some own
   // point already fell below ylo, no descendant can qualify.

@@ -215,6 +215,19 @@ class SinkEmitter {
     return Emit(scratch_);
   }
 
+  /// Emits the records of `batch` selected by a compacted index list (the
+  /// output format of the simd/ filter kernels). When every record was
+  /// selected the original span is forwarded zero-copy — the all-match
+  /// page, common in range reporting, pays no gather at all.
+  bool EmitGather(std::span<const T> batch, std::span<const uint32_t> idx) {
+    if (stopped_ || idx.empty()) return stopped_;
+    if (idx.size() == batch.size()) return Emit(batch);
+    scratch_.clear();
+    scratch_.reserve(idx.size());
+    for (uint32_t i : idx) scratch_.push_back(batch[i]);
+    return Emit(scratch_);
+  }
+
  private:
   ResultSink<T>* sink_;
   std::vector<T> scratch_;

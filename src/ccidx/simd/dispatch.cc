@@ -1,0 +1,130 @@
+#include "ccidx/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace ccidx {
+namespace simd {
+namespace {
+
+std::atomic<const KernelTable*> g_kernels{nullptr};
+std::atomic<int> g_level{static_cast<int>(Level::kScalar)};
+
+bool CpuSupports(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kSse42:
+      return __builtin_cpu_supports("sse4.2") != 0;
+    case Level::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Level::kAvx512:
+      // The 512-bit filter kernels use F-level compares/compress plus
+      // BMI2 pext for the mask fold.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("bmi2") != 0;
+  }
+  return false;
+}
+
+bool LevelUsable(Level level) {
+  return TableFor(level) != nullptr;
+}
+
+// CCIDX_SIMD=scalar|sse|avx2|avx512 (anything else, incl. unset: auto).
+bool ParseEnvLevel(Level* out) {
+  const char* env = std::getenv("CCIDX_SIMD");
+  if (env == nullptr) return false;
+  if (std::strcmp(env, "scalar") == 0) {
+    *out = Level::kScalar;
+  } else if (std::strcmp(env, "sse") == 0) {
+    *out = Level::kSse42;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    *out = Level::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    *out = Level::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Level BestLevel() {
+  if (LevelUsable(Level::kAvx512)) return Level::kAvx512;
+  if (LevelUsable(Level::kAvx2)) return Level::kAvx2;
+  if (LevelUsable(Level::kSse42)) return Level::kSse42;
+  return Level::kScalar;
+}
+
+const KernelTable* Resolve() {
+  Level level = BestLevel();
+  Level pinned;
+  if (ParseEnvLevel(&pinned) && LevelUsable(pinned)) level = pinned;
+  const KernelTable* table = TableFor(level);
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_kernels.store(table, std::memory_order_release);
+  return table;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse42:
+      return "sse";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const KernelTable* TableFor(Level level) {
+  if (!CpuSupports(level)) return nullptr;
+  switch (level) {
+    case Level::kScalar:
+      return &ScalarTable();
+    case Level::kSse42:
+      return Sse42Table();  // nullptr when not compiled in
+    case Level::kAvx2:
+      return Avx2Table();
+    case Level::kAvx512:
+      return Avx512Table();
+  }
+  return nullptr;
+}
+
+const KernelTable& Kernels() {
+  const KernelTable* table = g_kernels.load(std::memory_order_acquire);
+  if (table == nullptr) table = Resolve();
+  return *table;
+}
+
+Level ActiveLevel() {
+  Kernels();  // force resolution
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+std::vector<Level> SupportedLevels() {
+  std::vector<Level> levels;
+  for (Level l :
+       {Level::kScalar, Level::kSse42, Level::kAvx2, Level::kAvx512}) {
+    if (LevelUsable(l)) levels.push_back(l);
+  }
+  return levels;
+}
+
+bool SetLevel(Level level) {
+  const KernelTable* table = TableFor(level);
+  if (table == nullptr) return false;
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_kernels.store(table, std::memory_order_release);
+  return true;
+}
+
+}  // namespace simd
+}  // namespace ccidx

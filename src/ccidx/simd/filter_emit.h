@@ -1,0 +1,112 @@
+// Kernel-backed per-page emission: the bridge between the simd/ filter
+// kernels and the sink machinery (DESIGN.md §9).
+//
+// Every index family's reporting path used to filter page spans with
+// SinkEmitter::EmitFiltered and a per-record lambda; these helpers route
+// the same predicate shapes — 3-sided, x-range, y-threshold, and the
+// 2-sided / diagonal special cases expressed as 3-sided with an open
+// x-end — through the dispatched kernels instead. The kernel emits a
+// compacted index list into a thread-local staging buffer (query paths
+// are served concurrently; DESIGN.md §7) and EmitGather forwards the
+// all-match case zero-copy.
+//
+// Equivalence: the emitted record sequence is bit-identical to the
+// EmitFiltered formulation under every dispatch level — the differential
+// suite (tests/simd_test.cc, testutil/workload.h harness) enforces it.
+
+#ifndef CCIDX_SIMD_FILTER_EMIT_H_
+#define CCIDX_SIMD_FILTER_EMIT_H_
+
+#include <span>
+#include <vector>
+
+#include "ccidx/core/geometry.h"
+#include "ccidx/query/sink.h"
+#include "ccidx/simd/simd.h"
+
+namespace ccidx {
+namespace simd {
+
+namespace internal {
+// Per-thread index staging for the filter kernels. Sized to the batch on
+// use; never shrinks, so steady-state emission does not allocate.
+inline std::vector<uint32_t>& IndexScratch() {
+  thread_local std::vector<uint32_t> scratch;
+  return scratch;
+}
+}  // namespace internal
+
+/// Emits the records of `batch` inside the 3-sided region
+/// { xlo <= x <= xhi, y >= ylo }. Returns em.stopped().
+inline bool EmitFiltered3Sided(SinkEmitter<Point>& em,
+                               std::span<const Point> batch, Coord xlo,
+                               Coord xhi, Coord ylo) {
+  if (em.stopped() || batch.empty()) return em.stopped();
+  std::vector<uint32_t>& idx = internal::IndexScratch();
+  if (idx.size() < batch.size()) idx.resize(batch.size());
+  const KernelTable& k = Kernels();
+  size_t cnt =
+      k.filter_3sided(batch.data(), batch.size(), xlo, xhi, ylo, idx.data());
+  return em.EmitGather(batch, {idx.data(), cnt});
+}
+
+/// 2-sided region { x <= xc, y >= yc } (open x-start).
+inline bool EmitFiltered2Sided(SinkEmitter<Point>& em,
+                               std::span<const Point> batch, Coord xc,
+                               Coord yc) {
+  return EmitFiltered3Sided(em, batch, kCoordMin, xc, yc);
+}
+
+/// x in [xlo, xhi], y unconstrained.
+inline bool EmitFilteredXRange(SinkEmitter<Point>& em,
+                               std::span<const Point> batch, Coord xlo,
+                               Coord xhi) {
+  if (em.stopped() || batch.empty()) return em.stopped();
+  std::vector<uint32_t>& idx = internal::IndexScratch();
+  if (idx.size() < batch.size()) idx.resize(batch.size());
+  const KernelTable& k = Kernels();
+  size_t cnt =
+      k.filter_x_range(batch.data(), batch.size(), xlo, xhi, idx.data());
+  return em.EmitGather(batch, {idx.data(), cnt});
+}
+
+/// y >= ylo, x unconstrained.
+inline bool EmitFilteredYAtLeast(SinkEmitter<Point>& em,
+                                 std::span<const Point> batch, Coord ylo) {
+  if (em.stopped() || batch.empty()) return em.stopped();
+  std::vector<uint32_t>& idx = internal::IndexScratch();
+  if (idx.size() < batch.size()) idx.resize(batch.size());
+  const KernelTable& k = Kernels();
+  size_t cnt =
+      k.filter_y_at_least(batch.data(), batch.size(), ylo, idx.data());
+  return em.EmitGather(batch, {idx.data(), cnt});
+}
+
+/// TakeWhile boundary for Point spans on a strided int64 field: the size
+/// of the longest prefix whose `field` stays >= v / <= v etc. are spelled
+/// at call sites via these three thin wrappers so the offsets stay typed.
+inline size_t PrefixYAtLeast(const KernelTable& k, std::span<const Point> s,
+                             Coord ylo) {
+  // First index with y < ylo == length of the y >= ylo prefix.
+  return k.first_i64_lt(FieldBase(s.data(), offsetof(Point, y)),
+                        sizeof(Point), s.size(), ylo);
+}
+
+inline size_t PrefixXBelow(const KernelTable& k, std::span<const Point> s,
+                           Coord xlo) {
+  // First index with x >= xlo == length of the x < xlo prefix (DropWhile).
+  return k.first_i64_ge(FieldBase(s.data(), offsetof(Point, x)),
+                        sizeof(Point), s.size(), xlo);
+}
+
+inline size_t PrefixXAtMost(const KernelTable& k, std::span<const Point> s,
+                            Coord xhi) {
+  // First index with x > xhi == length of the x <= xhi prefix (TakeWhile).
+  return k.first_i64_gt(FieldBase(s.data(), offsetof(Point, x)),
+                        sizeof(Point), s.size(), xhi);
+}
+
+}  // namespace simd
+}  // namespace ccidx
+
+#endif  // CCIDX_SIMD_FILTER_EMIT_H_

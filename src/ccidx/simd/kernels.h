@@ -1,0 +1,103 @@
+// The in-page kernel table: the contract between the dispatch layer and
+// the per-ISA implementations (DESIGN.md §9).
+//
+// Each kernel is a plain function pointer operating on raw spans so the
+// table can be swapped atomically at startup (or by tests) without
+// touching any call site. Kernels are *exactly equivalent* to their
+// scalar references: the same inputs produce the same outputs bit for
+// bit, under every dispatch level — the differential suite in
+// tests/simd_test.cc enforces this, and CI runs the whole test matrix
+// under CCIDX_SIMD=scalar as well.
+//
+// Contracts:
+//   * Filter kernels append the indices (not the records) of matching
+//     elements to `out`, in input order, and return the match count.
+//     `out` must have room for `n` entries. Index lists feed
+//     SinkEmitter::EmitGather, which forwards the whole span zero-copy
+//     when everything matched.
+//   * first_i64_* scan a strided int64 field left to right and return the
+//     first index whose field satisfies the predicate (n when none does).
+//     On a sorted field that is exactly the partition point
+//     (lower/upper bound); on unsorted data it is exactly the
+//     TakeWhile/DropWhile boundary — the kernels promise the left-to-
+//     right semantics, not just the sorted one.
+//   * tombstone_candidates probes a counting filter (counters[h & mask],
+//     h = the PointIdentityHash chain) and appends the indices of points
+//     whose counter slot is non-zero — the "maybe dead" candidates that
+//     still need an exact hash-set probe. Liveness of everything else is
+//     decided without touching the hash set at all.
+
+#ifndef CCIDX_SIMD_KERNELS_H_
+#define CCIDX_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ccidx/core/geometry.h"
+
+namespace ccidx {
+namespace simd {
+
+struct KernelTable {
+  // --- predicate filters over Point spans (indices out) ---
+  // 3-sided: x in [xlo, xhi] and y >= ylo.
+  size_t (*filter_3sided)(const Point* pts, size_t n, Coord xlo, Coord xhi,
+                          Coord ylo, uint32_t* out);
+  // x in [xlo, xhi].
+  size_t (*filter_x_range)(const Point* pts, size_t n, Coord xlo, Coord xhi,
+                           uint32_t* out);
+  // y >= ylo.
+  size_t (*filter_y_at_least)(const Point* pts, size_t n, Coord ylo,
+                              uint32_t* out);
+
+  // --- partition-point scans over a strided int64 field ---
+  // `base` points at the field of element 0; element i's field lives at
+  // base + i * stride (stride in bytes, a multiple of 8).
+  size_t (*first_i64_ge)(const uint8_t* base, size_t stride, size_t n,
+                         int64_t v);
+  size_t (*first_i64_gt)(const uint8_t* base, size_t stride, size_t n,
+                         int64_t v);
+  size_t (*first_i64_lt)(const uint8_t* base, size_t stride, size_t n,
+                         int64_t v);
+
+  // --- tombstone counting-filter batch probe ---
+  // `counters` has mask + 1 (power of two) entries.
+  size_t (*tombstone_candidates)(const Point* pts, size_t n,
+                                 const uint32_t* counters, uint64_t mask,
+                                 uint32_t* out);
+};
+
+// Per-ISA tables. The scalar table is always available; the SSE4.2 and
+// AVX2 accessors return nullptr when the toolchain could not build that
+// translation unit with the required -m flags (the dispatcher then treats
+// the level as unsupported regardless of what the CPU offers).
+const KernelTable& ScalarTable();
+const KernelTable* Sse42Table();
+const KernelTable* Avx2Table();
+const KernelTable* Avx512Table();
+
+namespace internal {
+// splitmix64 finalizer — must stay in lockstep with internal::MixU64 in
+// dynamic/tombstones.h (the vector tombstone kernel reproduces this chain
+// lane-wise and the differential tests assert exact equality).
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// The PointIdentityHash chain (tombstones.h), spelled out over fields so
+// both the scalar reference kernel and the counting-filter maintenance in
+// TombstoneSet share one definition.
+inline uint64_t PointHash(int64_t x, int64_t y, uint64_t id) {
+  uint64_t h = MixU64(static_cast<uint64_t>(x));
+  h = MixU64(h ^ MixU64(static_cast<uint64_t>(y)));
+  return MixU64(h ^ MixU64(id));
+}
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace ccidx
+
+#endif  // CCIDX_SIMD_KERNELS_H_

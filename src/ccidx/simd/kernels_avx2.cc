@@ -1,0 +1,304 @@
+// AVX2 kernels: 4 points (or 4 strided int64 fields) per iteration.
+//
+// This translation unit is the only one compiled with -mavx2 (CMake sets
+// the flag per-file, guarded by check_cxx_compiler_flag), so the rest of
+// the library — and therefore the binary's startup path — contains no
+// AVX2 instruction. When the toolchain cannot build it, Avx2Table()
+// returns nullptr and the dispatcher treats the level as unsupported.
+//
+// Point is 24 bytes {x, y, id}, so 4 points span 96 bytes. The x/y lanes
+// are assembled from four overlapping 32-byte loads (the last one ends
+// exactly at the 96-byte group boundary — never past the span) plus
+// cross-lane permutes; this beats vpgatherqq by a wide margin on every
+// AVX2 part we care about. Comparisons use the identity
+//   a >= b  <=>  !(b > a)
+// because AVX2 only provides a signed greater-than for int64 — no
+// subtraction tricks, so kCoordMin/kCoordMax bounds are handled exactly.
+
+#include "ccidx/simd/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace ccidx {
+namespace simd {
+namespace {
+
+// Compacted lane indices for every 4-bit pass mask: entry m holds the
+// positions of m's set bits in ascending order (unused slots zero).
+alignas(16) constexpr uint32_t kCompact4[16][4] = {
+    {0, 0, 0, 0}, {0, 0, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0},
+    {2, 0, 0, 0}, {0, 2, 0, 0}, {1, 2, 0, 0}, {0, 1, 2, 0},
+    {3, 0, 0, 0}, {0, 3, 0, 0}, {1, 3, 0, 0}, {0, 1, 3, 0},
+    {2, 3, 0, 0}, {0, 2, 3, 0}, {1, 2, 3, 0}, {0, 1, 2, 3},
+};
+
+// Appends the indices selected by the low-4 `pass` bits, in order, with
+// one unconditional 16-byte store + popcount advance — no per-match
+// branch. The overstore stays in bounds: in the 4-wide loop count <= i
+// and i <= n - 4, so the highest byte touched is out[i + 3] <= out[n-1],
+// and callers size `out` to hold n indices.
+inline size_t CompactStore(uint32_t pass, size_t i, uint32_t* out,
+                           size_t count) {
+  __m128i sel =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kCompact4[pass]));
+  __m128i idx = _mm_add_epi32(sel, _mm_set1_epi32(static_cast<int>(i)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + count), idx);
+  return count + static_cast<size_t>(__builtin_popcount(pass));
+}
+
+// x lanes {p[0].x, p[1].x, p[2].x, p[3].x} and y lanes alike, from the
+// four overlapping loads described in the file comment.
+struct PointLanes {
+  __m256i xs;
+  __m256i ys;
+};
+
+inline PointLanes LoadXY4(const Point* p) {
+  const uint8_t* b = reinterpret_cast<const uint8_t*>(p);
+  __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 8));
+  __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 48));
+  __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 56));
+  // a0 = {x0 y0 i0 x1}, a1 = {x2 y2 i2 x3}: lanes 0 and 3 are the x's.
+  __m256i xlo = _mm256_permute4x64_epi64(a0, _MM_SHUFFLE(3, 3, 3, 0));
+  __m256i xhi = _mm256_permute4x64_epi64(a1, _MM_SHUFFLE(3, 0, 0, 0));
+  // b0 = {y0 i0 x1 y1}, b1 = {y2 i2 x3 y3}: lanes 0 and 3 are the y's.
+  __m256i ylo = _mm256_permute4x64_epi64(b0, _MM_SHUFFLE(3, 3, 3, 0));
+  __m256i yhi = _mm256_permute4x64_epi64(b1, _MM_SHUFFLE(3, 0, 0, 0));
+  PointLanes lanes;
+  lanes.xs = _mm256_blend_epi32(xlo, xhi, 0xF0);
+  lanes.ys = _mm256_blend_epi32(ylo, yhi, 0xF0);
+  return lanes;
+}
+
+inline uint32_t PassBits(__m256i fail) {
+  return ~static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(fail))) &
+         0xFu;
+}
+
+size_t Filter3SidedAvx2(const Point* pts, size_t n, Coord xlo, Coord xhi,
+                        Coord ylo, uint32_t* out) {
+  const __m256i vxlo = _mm256_set1_epi64x(xlo);
+  const __m256i vxhi = _mm256_set1_epi64x(xhi);
+  const __m256i vylo = _mm256_set1_epi64x(ylo);
+  size_t count = 0;
+  size_t i = 0;
+  // Two independent 4-point groups per iteration: the permute chains of
+  // group b overlap the compare/compact of group a in the pipeline.
+  for (; i + 8 <= n; i += 8) {
+    PointLanes a = LoadXY4(pts + i);
+    PointLanes b = LoadXY4(pts + i + 4);
+    __m256i fail_a = _mm256_or_si256(
+        _mm256_or_si256(_mm256_cmpgt_epi64(vxlo, a.xs),
+                        _mm256_cmpgt_epi64(a.xs, vxhi)),
+        _mm256_cmpgt_epi64(vylo, a.ys));
+    __m256i fail_b = _mm256_or_si256(
+        _mm256_or_si256(_mm256_cmpgt_epi64(vxlo, b.xs),
+                        _mm256_cmpgt_epi64(b.xs, vxhi)),
+        _mm256_cmpgt_epi64(vylo, b.ys));
+    count = CompactStore(PassBits(fail_a), i, out, count);
+    count = CompactStore(PassBits(fail_b), i + 4, out, count);
+  }
+  for (; i + 4 <= n; i += 4) {
+    PointLanes l = LoadXY4(pts + i);
+    __m256i fail = _mm256_or_si256(
+        _mm256_or_si256(_mm256_cmpgt_epi64(vxlo, l.xs),
+                        _mm256_cmpgt_epi64(l.xs, vxhi)),
+        _mm256_cmpgt_epi64(vylo, l.ys));
+    count = CompactStore(PassBits(fail), i, out, count);
+  }
+  for (; i < n; ++i) {
+    const Point& p = pts[i];
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(p.x >= xlo) & static_cast<size_t>(p.x <= xhi) &
+             static_cast<size_t>(p.y >= ylo);
+  }
+  return count;
+}
+
+size_t FilterXRangeAvx2(const Point* pts, size_t n, Coord xlo, Coord xhi,
+                        uint32_t* out) {
+  const __m256i vxlo = _mm256_set1_epi64x(xlo);
+  const __m256i vxhi = _mm256_set1_epi64x(xhi);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    PointLanes l = LoadXY4(pts + i);
+    __m256i fail = _mm256_or_si256(_mm256_cmpgt_epi64(vxlo, l.xs),
+                                   _mm256_cmpgt_epi64(l.xs, vxhi));
+    count = CompactStore(PassBits(fail), i, out, count);
+  }
+  for (; i < n; ++i) {
+    const Point& p = pts[i];
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(p.x >= xlo) & static_cast<size_t>(p.x <= xhi);
+  }
+  return count;
+}
+
+size_t FilterYAtLeastAvx2(const Point* pts, size_t n, Coord ylo,
+                          uint32_t* out) {
+  const __m256i vylo = _mm256_set1_epi64x(ylo);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    PointLanes l = LoadXY4(pts + i);
+    count = CompactStore(PassBits(_mm256_cmpgt_epi64(vylo, l.ys)), i, out,
+                         count);
+  }
+  for (; i < n; ++i) {
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(pts[i].y >= ylo);
+  }
+  return count;
+}
+
+// --- strided partition-point scans ---
+// Arbitrary byte stride, so the four fields come in via vpgatherqq with
+// byte offsets and scale 1. The scan exits at the first vector containing
+// a satisfying lane — left-to-right semantics preserved exactly.
+
+inline int64_t FieldAt(const uint8_t* base, size_t stride, size_t i) {
+  int64_t v;
+  std::memcpy(&v, base + i * stride, sizeof(v));
+  return v;
+}
+
+template <typename ScalarTail>
+inline size_t FirstScan(const uint8_t* base, size_t stride, size_t n,
+                        int64_t v, bool want_ge_complement, bool swap,
+                        ScalarTail tail) {
+  // want mask bits of:
+  //   swap=false, complement=false:  field >  v   (gt)
+  //   swap=true,  complement=false:  v > field    (lt)
+  //   swap=true,  complement=true:   !(v > field) == field >= v  (ge)
+  const __m256i vv = _mm256_set1_epi64x(v);
+  const __m256i voff = _mm256_setr_epi64x(0, static_cast<int64_t>(stride),
+                                          static_cast<int64_t>(2 * stride),
+                                          static_cast<int64_t>(3 * stride));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const long long* p =
+        reinterpret_cast<const long long*>(base + i * stride);
+    __m256i g = _mm256_i64gather_epi64(p, voff, 1);
+    __m256i cmp = swap ? _mm256_cmpgt_epi64(vv, g) : _mm256_cmpgt_epi64(g, vv);
+    uint32_t m =
+        static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(cmp)));
+    if (want_ge_complement) m = ~m & 0xFu;
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+  }
+  for (; i < n; ++i) {
+    if (tail(FieldAt(base, stride, i))) return i;
+  }
+  return n;
+}
+
+size_t FirstGeAvx2(const uint8_t* base, size_t stride, size_t n, int64_t v) {
+  return FirstScan(base, stride, n, v, /*complement=*/true, /*swap=*/true,
+                   [v](int64_t f) { return f >= v; });
+}
+
+size_t FirstGtAvx2(const uint8_t* base, size_t stride, size_t n, int64_t v) {
+  return FirstScan(base, stride, n, v, /*complement=*/false, /*swap=*/false,
+                   [v](int64_t f) { return f > v; });
+}
+
+size_t FirstLtAvx2(const uint8_t* base, size_t stride, size_t n, int64_t v) {
+  return FirstScan(base, stride, n, v, /*complement=*/false, /*swap=*/true,
+                   [v](int64_t f) { return f < v; });
+}
+
+// --- tombstone counting-filter probe ---
+// Reproduces the PointIdentityHash splitmix64 chain lane-wise. AVX2 has
+// no 64x64->64 multiply, so Mul64 decomposes against the constant:
+//   a * c = lo(a)*lo(c) + ((hi(a)*lo(c) + lo(a)*hi(c)) << 32)
+
+inline __m256i Mul64Const(__m256i a, uint64_t c) {
+  const __m256i vc = _mm256_set1_epi64x(static_cast<int64_t>(c));
+  const __m256i vch =
+      _mm256_set1_epi64x(static_cast<int64_t>(c >> 32));
+  __m256i lo = _mm256_mul_epu32(a, vc);
+  __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), vc),
+                                   _mm256_mul_epu32(a, vch));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+inline __m256i Mix4(__m256i x) {
+  x = _mm256_add_epi64(x, _mm256_set1_epi64x(0x9e3779b97f4a7c15ll));
+  x = Mul64Const(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+                 0xbf58476d1ce4e5b9ull);
+  x = Mul64Const(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+                 0x94d049bb133111ebull);
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+// id lanes {p[0].id, .., p[3].id}: the loads at byte offsets +16 and +64
+// are {id0, x1, y1, id1} and {id2, x3, y3, id3}, so the ids sit at lanes
+// 0 and 3 — the same assembly pattern as LoadXY4 (the +64 load ends at
+// byte 96, the group boundary).
+inline __m256i LoadIds4(const Point* p) {
+  const uint8_t* b = reinterpret_cast<const uint8_t*>(p);
+  __m256i c0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 16));
+  __m256i c1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 64));
+  __m256i lo = _mm256_permute4x64_epi64(c0, _MM_SHUFFLE(3, 3, 3, 0));
+  __m256i hi = _mm256_permute4x64_epi64(c1, _MM_SHUFFLE(3, 0, 0, 0));
+  return _mm256_blend_epi32(lo, hi, 0xF0);
+}
+
+size_t TombstoneCandidatesAvx2(const Point* pts, size_t n,
+                               const uint32_t* counters, uint64_t mask,
+                               uint32_t* out) {
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<int64_t>(mask));
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    PointLanes l = LoadXY4(pts + i);
+    __m256i ids = LoadIds4(pts + i);
+    __m256i h = Mix4(l.xs);
+    h = Mix4(_mm256_xor_si256(h, Mix4(l.ys)));
+    h = Mix4(_mm256_xor_si256(h, Mix4(ids)));
+    __m256i slot = _mm256_and_si256(h, vmask);
+    __m128i c = _mm256_i64gather_epi32(reinterpret_cast<const int*>(counters),
+                                       slot, 4);
+    __m128i zero = _mm_cmpeq_epi32(c, _mm_setzero_si128());
+    uint32_t candidates =
+        ~static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(zero))) & 0xFu;
+    count = CompactStore(candidates, i, out, count);
+  }
+  for (; i < n; ++i) {
+    const Point& p = pts[i];
+    uint64_t h = internal::PointHash(p.x, p.y, p.id);
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(counters[h & mask] != 0);
+  }
+  return count;
+}
+
+}  // namespace
+
+const KernelTable* Avx2Table() {
+  static const KernelTable table = {
+      &Filter3SidedAvx2,    &FilterXRangeAvx2, &FilterYAtLeastAvx2,
+      &FirstGeAvx2,         &FirstGtAvx2,      &FirstLtAvx2,
+      &TombstoneCandidatesAvx2,
+  };
+  return &table;
+}
+
+}  // namespace simd
+}  // namespace ccidx
+
+#else  // !defined(__AVX2__)
+
+namespace ccidx {
+namespace simd {
+const KernelTable* Avx2Table() { return nullptr; }
+}  // namespace simd
+}  // namespace ccidx
+
+#endif

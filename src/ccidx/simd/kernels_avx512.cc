@@ -1,0 +1,203 @@
+// AVX-512 kernels: 8 points per iteration, compared *in place*.
+//
+// This translation unit is the only one compiled with -mavx512f -mbmi2
+// (CMake sets the flags per-file, guarded by check_cxx_compiler_flag);
+// when the toolchain cannot build it, Avx512Table() returns nullptr and
+// the dispatcher treats the level as unsupported regardless of the CPU.
+//
+// Point is 24 bytes {x, y, id}, so 8 points span exactly three 64-byte
+// zmm loads — 24 contiguous int64 lanes where point k's fields sit at
+// lanes 3k (x), 3k+1 (y), 3k+2 (id) counted across the three vectors.
+// Instead of gathering the x's and y's into their own vectors (the AVX2
+// strategy), each vector is compared against *patterned* bound vectors
+// that carry the x-bound on x lanes, the y-bound on y lanes and
+// never-failing sentinels (INT64_MIN / INT64_MAX) on id lanes. Mask
+// registers make the fold cheap where it was serial on AVX2:
+//
+//   fails24 = k0 | k1 << 8 | k2 << 16        // bit f = field f failed
+//   g       = fails24 | (fails24 >> 1)       // bit 3k = point k failed
+//   pass    = ~pext(g, 0b001...001001) & 0xFF
+//
+// and VPCOMPRESSD appends the surviving indices in order with a single
+// masked store — no shuffle table, no overstore.
+//
+// Every 512-bit kernel here keeps the bit-exact contract of kernels.h;
+// the differential suite runs it against the scalar reference whenever
+// the host supports the level. The strided scans and the tombstone
+// probe stay on the 256-bit (or scalar) paths — they are gather-bound,
+// and widening the gather does not pay on current parts — so the table
+// borrows those entries from the best lower-level table at startup.
+
+#include "ccidx/simd/kernels.h"
+
+#if defined(__AVX512F__) && defined(__BMI2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace ccidx {
+namespace simd {
+namespace {
+
+constexpr int64_t kNeverLt = INT64_MIN;  // [kNeverLt, kNeverGt] is all of
+constexpr int64_t kNeverGt = INT64_MAX;  // Coord: that bound never fails
+
+// Per-vector bounds for one 8-point group, in sub-and-unsigned-compare
+// form: field f is in [lo_f, hi_f] (signed) iff
+//   (uint64)(v_f - lo_f) <= (uint64)(hi_f - lo_f)
+// — the classic two's-complement range check, exact for every signed
+// lo_f <= hi_f. Id lanes carry lo = 0, range = ~0 and therefore always
+// pass.
+struct VecBounds {
+  __m512i lo;
+  __m512i rg;
+};
+
+struct GroupBounds {
+  VecBounds z[3];
+};
+
+// Builds the three bound patterns from four broadcasts + constant-mask
+// blends (a handful of instructions — lane-by-lane vector construction
+// would cost more than a whole 64-point call at page sizes). Field
+// sequence per vector:
+//   z0: x0 y0 i0 x1 y1 i1 x2 y2     x lanes 0x49, y lanes 0x92
+//   z1: i2 x3 y3 i3 x4 y4 i4 x5     x lanes 0x92, y lanes 0x24
+//   z2: y5 i5 x6 y6 i6 x7 y7 i7     x lanes 0x24, y lanes 0x49
+inline GroupBounds MakeBounds(Coord xlo, Coord xhi, Coord ylo, Coord yhi) {
+  const __m512i vxlo = _mm512_set1_epi64(xlo);
+  const __m512i vylo = _mm512_set1_epi64(ylo);
+  const __m512i vxrg = _mm512_set1_epi64(static_cast<int64_t>(
+      static_cast<uint64_t>(xhi) - static_cast<uint64_t>(xlo)));
+  const __m512i vyrg = _mm512_set1_epi64(static_cast<int64_t>(
+      static_cast<uint64_t>(yhi) - static_cast<uint64_t>(ylo)));
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i ones = _mm512_set1_epi64(-1);
+  constexpr __mmask8 kXLanes[3] = {0x49, 0x92, 0x24};
+  constexpr __mmask8 kYLanes[3] = {0x92, 0x24, 0x49};
+  GroupBounds b;
+  for (int v = 0; v < 3; ++v) {
+    b.z[v].lo = _mm512_mask_blend_epi64(
+        kYLanes[v], _mm512_mask_blend_epi64(kXLanes[v], zero, vxlo), vylo);
+    b.z[v].rg = _mm512_mask_blend_epi64(
+        kYLanes[v], _mm512_mask_blend_epi64(kXLanes[v], ones, vxrg), vyrg);
+  }
+  return b;
+}
+
+inline uint32_t PassMask(__m512i v, const VecBounds& b) {
+  return static_cast<uint32_t>(
+      _mm512_cmple_epu64_mask(_mm512_sub_epi64(v, b.lo), b.rg));
+}
+
+// Shared core: the one rectangle filter every public kernel is a
+// specialization of (x in [xlo, xhi], y in [ylo, yhi]).
+size_t FilterRect(const Point* pts, size_t n, Coord xlo, Coord xhi, Coord ylo,
+                  Coord yhi, uint32_t* out) {
+  // The range form needs lo <= hi; an inverted rectangle matches nothing
+  // under the scalar contract, so settle it here. (Callers never pass
+  // one, but the kernels promise bit-equality unconditionally.)
+  if (xlo > xhi || ylo > yhi) return 0;
+  const GroupBounds b = MakeBounds(xlo, xhi, ylo, yhi);
+  const __m512i lane_base =
+      _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  size_t count = 0;
+  size_t i = 0;
+  // Two 8-point groups per iteration: 16 candidate indices are exactly
+  // one zmm of epi32, so both groups retire through a single 16-lane
+  // VPCOMPRESSD — one store-address dependency per 16 points instead of
+  // per 8, and the two groups' mask arithmetic overlaps.
+  for (; i + 16 <= n; i += 16) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(pts + i);
+    __m512i a0 = _mm512_loadu_si512(p);
+    __m512i a1 = _mm512_loadu_si512(p + 64);
+    __m512i a2 = _mm512_loadu_si512(p + 128);
+    __m512i b0 = _mm512_loadu_si512(p + 192);
+    __m512i b1 = _mm512_loadu_si512(p + 256);
+    __m512i b2 = _mm512_loadu_si512(p + 320);
+    uint32_t pa = PassMask(a0, b.z[0]) | PassMask(a1, b.z[1]) << 8 |
+                  PassMask(a2, b.z[2]) << 16;
+    uint32_t pb = PassMask(b0, b.z[0]) | PassMask(b1, b.z[1]) << 8 |
+                  PassMask(b2, b.z[2]) << 16;
+    uint32_t ga = pa & (pa >> 1);
+    uint32_t gb = pb & (pb >> 1);
+    uint32_t pass = _pext_u32(ga, 0x00249249u) |
+                    _pext_u32(gb, 0x00249249u) << 8;
+    __m512i idx = _mm512_add_epi32(lane_base, _mm512_set1_epi32(
+                                                  static_cast<int>(i)));
+    _mm512_mask_compressstoreu_epi32(out + count,
+                                     static_cast<__mmask16>(pass), idx);
+    count += static_cast<size_t>(__builtin_popcount(pass));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(pts + i);
+    __m512i z0 = _mm512_loadu_si512(p);
+    __m512i z1 = _mm512_loadu_si512(p + 64);
+    __m512i z2 = _mm512_loadu_si512(p + 128);
+    uint32_t pass24 = PassMask(z0, b.z[0]) | PassMask(z1, b.z[1]) << 8 |
+                      PassMask(z2, b.z[2]) << 16;
+    // Point k passes iff its x bit (3k) and y bit (3k + 1) are both set
+    // (id bits are always set); fold y onto the 3k position and extract.
+    uint32_t g = pass24 & (pass24 >> 1);
+    uint32_t pass = _pext_u32(g, 0x00249249u);
+    __m512i idx = _mm512_add_epi32(lane_base, _mm512_set1_epi32(
+                                                  static_cast<int>(i)));
+    _mm512_mask_compressstoreu_epi32(out + count,
+                                     static_cast<__mmask16>(pass), idx);
+    count += static_cast<size_t>(__builtin_popcount(pass));
+  }
+  for (; i < n; ++i) {
+    const Point& pt = pts[i];
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(pt.x >= xlo && pt.x <= xhi && pt.y >= ylo &&
+                                 pt.y <= yhi);
+  }
+  return count;
+}
+
+size_t Filter3SidedAvx512(const Point* pts, size_t n, Coord xlo, Coord xhi,
+                          Coord ylo, uint32_t* out) {
+  return FilterRect(pts, n, xlo, xhi, ylo, kNeverGt, out);
+}
+
+size_t FilterXRangeAvx512(const Point* pts, size_t n, Coord xlo, Coord xhi,
+                          uint32_t* out) {
+  return FilterRect(pts, n, xlo, xhi, kNeverLt, kNeverGt, out);
+}
+
+size_t FilterYAtLeastAvx512(const Point* pts, size_t n, Coord ylo,
+                            uint32_t* out) {
+  return FilterRect(pts, n, kNeverLt, kNeverGt, ylo, kNeverGt, out);
+}
+
+}  // namespace
+
+const KernelTable* Avx512Table() {
+  // The non-filter entries ride on the widest lower-level table the
+  // build produced (a CPU reporting AVX-512F always has AVX2, but the
+  // *toolchain* may not have built that TU).
+  static const KernelTable table = [] {
+    const KernelTable* base = Avx2Table();
+    if (base == nullptr) base = Sse42Table();
+    KernelTable t = base != nullptr ? *base : ScalarTable();
+    t.filter_3sided = &Filter3SidedAvx512;
+    t.filter_x_range = &FilterXRangeAvx512;
+    t.filter_y_at_least = &FilterYAtLeastAvx512;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace simd
+}  // namespace ccidx
+
+#else  // !(defined(__AVX512F__) && defined(__BMI2__))
+
+namespace ccidx {
+namespace simd {
+const KernelTable* Avx512Table() { return nullptr; }
+}  // namespace simd
+}  // namespace ccidx
+
+#endif

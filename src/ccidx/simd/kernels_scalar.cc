@@ -1,0 +1,103 @@
+// Portable scalar kernels: the reference implementation every vector
+// table is differentially tested against, and the fallback on hosts (or
+// builds) without SSE4.2/AVX2. Written branchless where it matters — the
+// match/no-match decision never takes a data-dependent branch — so the
+// scalar floor is already respectable and the vector speedups reported by
+// bench_simd are honest.
+
+#include <cstring>
+
+#include "ccidx/simd/kernels.h"
+
+namespace ccidx {
+namespace simd {
+namespace {
+
+size_t Filter3SidedScalar(const Point* pts, size_t n, Coord xlo, Coord xhi,
+                          Coord ylo, uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& p = pts[i];
+    // Branchless: the store is unconditional, the count advances by the
+    // 0/1 verdict.
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(p.x >= xlo) & static_cast<size_t>(p.x <= xhi) &
+             static_cast<size_t>(p.y >= ylo);
+  }
+  return count;
+}
+
+size_t FilterXRangeScalar(const Point* pts, size_t n, Coord xlo, Coord xhi,
+                          uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& p = pts[i];
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(p.x >= xlo) & static_cast<size_t>(p.x <= xhi);
+  }
+  return count;
+}
+
+size_t FilterYAtLeastScalar(const Point* pts, size_t n, Coord ylo,
+                            uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(pts[i].y >= ylo);
+  }
+  return count;
+}
+
+inline int64_t FieldAt(const uint8_t* base, size_t stride, size_t i) {
+  int64_t v;
+  std::memcpy(&v, base + i * stride, sizeof(v));
+  return v;
+}
+
+size_t FirstGeScalar(const uint8_t* base, size_t stride, size_t n, int64_t v) {
+  for (size_t i = 0; i < n; ++i) {
+    if (FieldAt(base, stride, i) >= v) return i;
+  }
+  return n;
+}
+
+size_t FirstGtScalar(const uint8_t* base, size_t stride, size_t n, int64_t v) {
+  for (size_t i = 0; i < n; ++i) {
+    if (FieldAt(base, stride, i) > v) return i;
+  }
+  return n;
+}
+
+size_t FirstLtScalar(const uint8_t* base, size_t stride, size_t n, int64_t v) {
+  for (size_t i = 0; i < n; ++i) {
+    if (FieldAt(base, stride, i) < v) return i;
+  }
+  return n;
+}
+
+size_t TombstoneCandidatesScalar(const Point* pts, size_t n,
+                                 const uint32_t* counters, uint64_t mask,
+                                 uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& p = pts[i];
+    uint64_t h = internal::PointHash(p.x, p.y, p.id);
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(counters[h & mask] != 0);
+  }
+  return count;
+}
+
+}  // namespace
+
+const KernelTable& ScalarTable() {
+  static const KernelTable table = {
+      &Filter3SidedScalar,    &FilterXRangeScalar, &FilterYAtLeastScalar,
+      &FirstGeScalar,         &FirstGtScalar,      &FirstLtScalar,
+      &TombstoneCandidatesScalar,
+  };
+  return table;
+}
+
+}  // namespace simd
+}  // namespace ccidx

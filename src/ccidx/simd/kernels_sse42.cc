@@ -1,0 +1,182 @@
+// SSE4.2 kernels: 2 points (or 2 strided int64 fields) per iteration.
+//
+// Compiled with -msse4.2 (per-file, like the AVX2 unit) because
+// _mm_cmpgt_epi64 is an SSE4.2 instruction. Two consecutive 16-byte
+// loads at p and p+24 land {x0,y0} and {x1,y1}, so unpacklo/unpackhi
+// produce the x and y lanes with no shuffle gymnastics. The tombstone
+// probe is dominated by the splitmix64 multiply chain, which SSE cannot
+// vectorize profitably at width 2, so this table reuses the scalar
+// implementation for it (the dispatcher's tables may share entries —
+// equivalence, not provenance, is the contract).
+
+#include "ccidx/simd/kernels.h"
+
+#if defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+
+#include <cstring>
+
+namespace ccidx {
+namespace simd {
+namespace {
+
+inline size_t CompactMask2(uint32_t pass, size_t i, uint32_t* out,
+                           size_t count) {
+  while (pass != 0) {
+    out[count++] = static_cast<uint32_t>(i) +
+                   static_cast<uint32_t>(__builtin_ctz(pass));
+    pass &= pass - 1;
+  }
+  return count;
+}
+
+struct PointLanes2 {
+  __m128i xs;
+  __m128i ys;
+};
+
+inline PointLanes2 LoadXY2(const Point* p) {
+  const uint8_t* b = reinterpret_cast<const uint8_t*>(p);
+  __m128i p0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));       // x0 y0
+  __m128i p1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + 24));  // x1 y1
+  PointLanes2 lanes;
+  lanes.xs = _mm_unpacklo_epi64(p0, p1);
+  lanes.ys = _mm_unpackhi_epi64(p0, p1);
+  return lanes;
+}
+
+inline uint32_t PassBits2(__m128i fail) {
+  return ~static_cast<uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(fail))) & 0x3u;
+}
+
+size_t Filter3SidedSse42(const Point* pts, size_t n, Coord xlo, Coord xhi,
+                         Coord ylo, uint32_t* out) {
+  const __m128i vxlo = _mm_set1_epi64x(xlo);
+  const __m128i vxhi = _mm_set1_epi64x(xhi);
+  const __m128i vylo = _mm_set1_epi64x(ylo);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    PointLanes2 l = LoadXY2(pts + i);
+    __m128i fail =
+        _mm_or_si128(_mm_or_si128(_mm_cmpgt_epi64(vxlo, l.xs),
+                                  _mm_cmpgt_epi64(l.xs, vxhi)),
+                     _mm_cmpgt_epi64(vylo, l.ys));
+    count = CompactMask2(PassBits2(fail), i, out, count);
+  }
+  for (; i < n; ++i) {
+    const Point& p = pts[i];
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(p.x >= xlo) & static_cast<size_t>(p.x <= xhi) &
+             static_cast<size_t>(p.y >= ylo);
+  }
+  return count;
+}
+
+size_t FilterXRangeSse42(const Point* pts, size_t n, Coord xlo, Coord xhi,
+                         uint32_t* out) {
+  const __m128i vxlo = _mm_set1_epi64x(xlo);
+  const __m128i vxhi = _mm_set1_epi64x(xhi);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    PointLanes2 l = LoadXY2(pts + i);
+    __m128i fail = _mm_or_si128(_mm_cmpgt_epi64(vxlo, l.xs),
+                                _mm_cmpgt_epi64(l.xs, vxhi));
+    count = CompactMask2(PassBits2(fail), i, out, count);
+  }
+  for (; i < n; ++i) {
+    const Point& p = pts[i];
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(p.x >= xlo) & static_cast<size_t>(p.x <= xhi);
+  }
+  return count;
+}
+
+size_t FilterYAtLeastSse42(const Point* pts, size_t n, Coord ylo,
+                           uint32_t* out) {
+  const __m128i vylo = _mm_set1_epi64x(ylo);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    PointLanes2 l = LoadXY2(pts + i);
+    count =
+        CompactMask2(PassBits2(_mm_cmpgt_epi64(vylo, l.ys)), i, out, count);
+  }
+  for (; i < n; ++i) {
+    out[count] = static_cast<uint32_t>(i);
+    count += static_cast<size_t>(pts[i].y >= ylo);
+  }
+  return count;
+}
+
+inline int64_t FieldAt(const uint8_t* base, size_t stride, size_t i) {
+  int64_t v;
+  std::memcpy(&v, base + i * stride, sizeof(v));
+  return v;
+}
+
+template <typename ScalarTail>
+inline size_t FirstScan2(const uint8_t* base, size_t stride, size_t n,
+                         int64_t v, bool complement, bool swap,
+                         ScalarTail tail) {
+  const __m128i vv = _mm_set1_epi64x(v);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i g = _mm_set_epi64x(FieldAt(base, stride, i + 1),
+                               FieldAt(base, stride, i));
+    __m128i cmp = swap ? _mm_cmpgt_epi64(vv, g) : _mm_cmpgt_epi64(g, vv);
+    uint32_t m =
+        static_cast<uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(cmp)));
+    if (complement) m = ~m & 0x3u;
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+  }
+  for (; i < n; ++i) {
+    if (tail(FieldAt(base, stride, i))) return i;
+  }
+  return n;
+}
+
+size_t FirstGeSse42(const uint8_t* base, size_t stride, size_t n, int64_t v) {
+  return FirstScan2(base, stride, n, v, /*complement=*/true, /*swap=*/true,
+                    [v](int64_t f) { return f >= v; });
+}
+
+size_t FirstGtSse42(const uint8_t* base, size_t stride, size_t n, int64_t v) {
+  return FirstScan2(base, stride, n, v, /*complement=*/false, /*swap=*/false,
+                    [v](int64_t f) { return f > v; });
+}
+
+size_t FirstLtSse42(const uint8_t* base, size_t stride, size_t n, int64_t v) {
+  return FirstScan2(base, stride, n, v, /*complement=*/false, /*swap=*/true,
+                    [v](int64_t f) { return f < v; });
+}
+
+}  // namespace
+
+const KernelTable* Sse42Table() {
+  static const KernelTable table = {
+      &Filter3SidedSse42,
+      &FilterXRangeSse42,
+      &FilterYAtLeastSse42,
+      &FirstGeSse42,
+      &FirstGtSse42,
+      &FirstLtSse42,
+      ScalarTable().tombstone_candidates,  // see file comment
+  };
+  return &table;
+}
+
+}  // namespace simd
+}  // namespace ccidx
+
+#else  // !defined(__SSE4_2__)
+
+namespace ccidx {
+namespace simd {
+const KernelTable* Sse42Table() { return nullptr; }
+}  // namespace simd
+}  // namespace ccidx
+
+#endif

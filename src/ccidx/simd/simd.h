@@ -1,0 +1,101 @@
+// Runtime SIMD dispatch for the in-page kernels (DESIGN.md §9).
+//
+// The kernel table is resolved exactly once, the first time Kernels() is
+// called: the best level both compiled into the binary AND supported by
+// the host CPU wins, unless CCIDX_SIMD=scalar|sse|avx2|avx512 pins a level (for
+// bit-identical CI traces; pinning an unsupported level falls back to the
+// best supported one). Hot call sites grab the table reference once per
+// page and call through plain function pointers — no per-record branch
+// on the dispatch level anywhere.
+//
+// Thread safety: the resolved table is published through an atomic
+// pointer with release/acquire ordering; concurrent first calls race
+// benignly (both resolve the same table). SetSimdLevel is a test/bench
+// hook and is externally synchronized like all configuration.
+
+#ifndef CCIDX_SIMD_SIMD_H_
+#define CCIDX_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ccidx/simd/kernels.h"
+
+namespace ccidx {
+namespace simd {
+
+enum class Level : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// Human-readable level name ("scalar" / "sse" / "avx2" / "avx512")
+/// — the same
+/// tokens CCIDX_SIMD accepts and bench JSON lines report.
+const char* LevelName(Level level);
+
+/// The active kernel table (resolved on first use; see file comment).
+const KernelTable& Kernels();
+
+/// The level Kernels() currently dispatches to.
+Level ActiveLevel();
+
+/// Levels usable in this binary on this CPU (always includes kScalar).
+std::vector<Level> SupportedLevels();
+
+/// The table for one specific level, or nullptr when that level is not
+/// usable here. Differential tests iterate tables directly through this
+/// instead of mutating the global dispatch state.
+const KernelTable* TableFor(Level level);
+
+/// Re-points the global dispatch at `level`. Returns false (and leaves
+/// the dispatch unchanged) when the level is unsupported. Test/bench
+/// hook; not for concurrent use with in-flight queries.
+bool SetLevel(Level level);
+
+/// Branchless lower bound over a sorted strided int64 field: the first
+/// index whose field is >= v. Binary-narrows to a small window, then
+/// finishes with the dispatched left-to-right scan — the partition point
+/// of large sorted arrays without per-step branch mispredicts.
+inline size_t LowerBoundI64(const KernelTable& k, const uint8_t* base,
+                            size_t stride, size_t n, int64_t v) {
+  size_t lo = 0;
+  while (n - lo > 16) {
+    size_t mid = lo + (n - lo) / 2;
+    int64_t f;
+    __builtin_memcpy(&f, base + mid * stride, sizeof(f));
+    // Condition chosen so the compiler emits a cmov, not a branch.
+    lo = (f < v) ? mid + 1 : lo;
+    n = (f < v) ? n : mid;
+  }
+  return lo + k.first_i64_ge(base + lo * stride, stride, n - lo, v);
+}
+
+/// First index whose field is > v (upper bound on sorted data).
+inline size_t UpperBoundI64(const KernelTable& k, const uint8_t* base,
+                            size_t stride, size_t n, int64_t v) {
+  size_t lo = 0;
+  while (n - lo > 16) {
+    size_t mid = lo + (n - lo) / 2;
+    int64_t f;
+    __builtin_memcpy(&f, base + mid * stride, sizeof(f));
+    lo = (f <= v) ? mid + 1 : lo;
+    n = (f <= v) ? n : mid;
+  }
+  return lo + k.first_i64_gt(base + lo * stride, stride, n - lo, v);
+}
+
+/// Typed convenience over first_i64_* for record arrays: the strided
+/// field starts `field_offset` bytes into each record.
+template <typename Record>
+inline const uint8_t* FieldBase(const Record* records, size_t field_offset) {
+  return reinterpret_cast<const uint8_t*>(records) + field_offset;
+}
+
+}  // namespace simd
+}  // namespace ccidx
+
+#endif  // CCIDX_SIMD_SIMD_H_
