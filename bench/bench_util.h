@@ -26,6 +26,22 @@ namespace bench {
 /// log base B of n.
 inline double LogB(double n, double b) { return std::log(n) / std::log(b); }
 
+/// Storage-backend label for this process, from the same environment the
+/// devices resolve (DESIGN.md §10): "mem", "file", and a "+lat<us>" suffix
+/// when read latency is injected — e.g. "mem+lat50". Perf series from
+/// different backends are never conflated.
+inline const char* BackendLabel() {
+  static const std::string label = [] {
+    BlockDeviceOptions opts = DeviceOptionsFromEnv();
+    std::string s = opts.backend;
+    if (opts.read_latency_us > 0) {
+      s += "+lat" + std::to_string(opts.read_latency_us);
+    }
+    return s;
+  }();
+  return label.c_str();
+}
+
 /// Console reporter that additionally emits one machine-readable JSON
 /// line per (benchmark, metric) to stdout:
 ///   {"bench": "...", "metric": "...", "value": ...}
@@ -79,19 +95,21 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
     // (DESIGN.md §9), so perf series from hosts or CI jobs with different
     // vector ISAs are never conflated.
     const char* dispatch = simd::LevelName(simd::ActiveLevel());
+    const char* backend = BackendLabel();
     // %.17g would print bare inf/nan tokens, which are not valid JSON.
     if (!std::isfinite(value)) {
       std::printf(
           "{\"bench\": \"%s\", \"metric\": \"%s\", \"dispatch\": \"%s\", "
-          "\"value\": null}\n",
-          EscapeJson(bench).c_str(), EscapeJson(metric).c_str(), dispatch);
+          "\"backend\": \"%s\", \"value\": null}\n",
+          EscapeJson(bench).c_str(), EscapeJson(metric).c_str(), dispatch,
+          backend);
       return;
     }
     std::printf(
         "{\"bench\": \"%s\", \"metric\": \"%s\", \"dispatch\": \"%s\", "
-        "\"value\": %.17g}\n",
+        "\"backend\": \"%s\", \"value\": %.17g}\n",
         EscapeJson(bench).c_str(), EscapeJson(metric).c_str(), dispatch,
-        value);
+        backend, value);
   }
 };
 

@@ -49,18 +49,24 @@ BPlusTree::BPlusTree(Pager* pager)
   CCIDX_CHECK(fanout_ >= 4);
 }
 
-Result<BPlusTree::NodeView> BPlusTree::ViewNode(PageId id) const {
-  auto ref = pager_->Pin(id);
-  CCIDX_RETURN_IF_ERROR(ref.status());
-  PageReader r(ref->data());
+BPlusTree::NodeView BPlusTree::ParseNode(PageRef ref) {
+  PageReader r(ref.data());
   uint32_t count = r.Get<uint32_t>();
   NodeView view;
   view.is_leaf = r.Get<uint16_t>() != 0;
   r.Get<uint16_t>();
   view.next = r.Get<uint64_t>();
-  view.entries = ViewArray<BtEntry>(*ref, kNodeHeader, count);
-  view.ref = std::move(*ref);
+  // The span aliases the frame (or transient buffer), whose address is
+  // stable under PageRef moves.
+  view.entries = ViewArray<BtEntry>(ref, kNodeHeader, count);
+  view.ref = std::move(ref);
   return view;
+}
+
+Result<BPlusTree::NodeView> BPlusTree::ViewNode(PageId id) const {
+  auto ref = pager_->Pin(id);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  return ParseNode(std::move(*ref));
 }
 
 Status BPlusTree::LoadNode(PageId id, Node* node) const {
@@ -87,6 +93,8 @@ Status BPlusTree::StoreNode(PageId id, const Node& node) const {
 Status BPlusTree::DescendToLeaf(
     int64_t key, std::vector<std::pair<PageId, size_t>>* path) const {
   path->clear();
+  const uint32_t spec = pager_->speculation_budget();
+  std::vector<PageId> warm;
   PageId id = root_;
   while (true) {
     // One transient pin per level; the separators are routed in place.
@@ -97,6 +105,16 @@ Status BPlusTree::DescendToLeaf(
       return Status::OK();
     }
     size_t idx = RouteLowerBound(view->entries, key);
+    // Speculative descent (DESIGN.md §10): stage the routed child and its
+    // right siblings as one batched device round, so the next level's pin
+    // hits and a rightward walk finds neighbors resident. spec is zero in
+    // cost-model mode, keeping counted I/Os untouched there.
+    size_t n = std::min<size_t>(spec, view->entries.size() - idx);
+    if (n >= 2) {
+      warm.clear();
+      for (size_t i = 0; i < n; ++i) warm.push_back(view->entries[idx + i].value);
+      pager_->WarmMany(warm);
+    }
     path->emplace_back(id, idx);
     id = view->entries[idx].value;
   }
@@ -205,10 +223,145 @@ Status BPlusTree::Delete(int64_t key, uint64_t value, bool* found) {
   return Status::OK();
 }
 
+namespace {
+
+// The page-local qualifying run of one leaf: entries with lo <= key <= hi,
+// computed with the dispatched SIMD bound kernels. `tail_size` reports how
+// many entries had key >= lo — when the run is shorter than that, the scan
+// crossed above hi and must stop.
+std::span<const BtEntry> QualifyingRun(std::span<const BtEntry> entries,
+                                       int64_t lo, int64_t hi,
+                                       size_t* tail_size) {
+  const simd::KernelTable& k = simd::Kernels();
+  const uint8_t* keys = simd::FieldBase(entries.data(), offsetof(BtEntry, key));
+  std::span<const BtEntry> tail = entries.subspan(
+      k.first_i64_ge(keys, sizeof(BtEntry), entries.size(), lo));
+  *tail_size = tail.size();
+  return tail.first(k.first_i64_gt(
+      simd::FieldBase(tail.data(), offsetof(BtEntry, key)), sizeof(BtEntry),
+      tail.size(), hi));
+}
+
+}  // namespace
+
+Status BPlusTree::RangeScanBatched(int64_t lo, int64_t hi,
+                                   SinkEmitter<BtEntry>* em) const {
+  const size_t budget = std::max<uint32_t>(pager_->speculation_budget(), 1);
+
+  // Descend to the first qualifying leaf. Each internal node's child ids
+  // right of the routed child are copied out (the pin is released before
+  // the next level is touched, so the scan never holds more pins than the
+  // current leaf window), and the routed child plus its right siblings are
+  // staged as one batched device round.
+  std::vector<std::vector<PageId>> anc;  // per level: routed child + right sibs
+  std::vector<size_t> anc_idx;           // position within anc[level]
+  std::vector<PageId> scratch;
+  NodeView leaf;
+  {
+    PageId id = root_;
+    while (true) {
+      auto view = ViewNode(id);
+      CCIDX_RETURN_IF_ERROR(view.status());
+      if (view->is_leaf) {
+        leaf = std::move(*view);
+        break;
+      }
+      size_t idx = RouteLowerBound(view->entries, lo);
+      std::vector<PageId> kids;
+      kids.reserve(view->entries.size() - idx);
+      for (size_t i = idx; i < view->entries.size(); ++i) {
+        kids.push_back(view->entries[i].value);
+      }
+      size_t n = std::min(budget, kids.size());
+      if (n >= 2) pager_->WarmMany(std::span<const PageId>(kids).first(n));
+      id = kids[0];
+      anc.push_back(std::move(kids));
+      anc_idx.push_back(0);
+    }
+  }
+
+  // Leaf-window loop: emit the current leaf, then advance — first within
+  // the batch-pinned window, else pin the next window of up to `budget`
+  // sibling leaves from the deepest ancestor with children left (one
+  // PinMany = one concurrent device round). Crossing a parent boundary
+  // re-reads one internal node per crossed level; together with up to
+  // budget-1 pinned-but-unused leaves past hi, that is the documented
+  // speculation overshoot — and the reason this path is never taken in
+  // cost-model mode.
+  std::vector<PageRef> window;
+  size_t window_pos = 0;
+  while (!em->stopped()) {
+    size_t tail_size = 0;
+    std::span<const BtEntry> run =
+        QualifyingRun(leaf.entries, lo, hi, &tail_size);
+    em->Emit(run);
+    if (run.size() < tail_size) return Status::OK();  // crossed above hi
+    if (em->stopped()) return Status::OK();
+    leaf = NodeView{};  // release before pinning the next window
+
+    if (window_pos < window.size()) {
+      leaf = ParseNode(std::move(window[window_pos++]));
+      continue;
+    }
+    window.clear();
+    window_pos = 0;
+
+    // Deepest ancestor with an unvisited child; none => right edge.
+    size_t level = anc.size();
+    while (level > 0 && anc_idx[level - 1] + 1 >= anc[level - 1].size()) {
+      level--;
+    }
+    if (level == 0) return Status::OK();
+    anc_idx[level - 1]++;
+    anc.resize(level);
+    anc_idx.resize(level);
+    // Re-descend leftmost to the leaf-parent depth (boundary-crossing
+    // internal reads: part of the overshoot bound).
+    while (anc.size() + 1 < height_) {
+      auto v = ViewNode(anc.back()[anc_idx.back()]);
+      CCIDX_RETURN_IF_ERROR(v.status());
+      CCIDX_CHECK(!v->is_leaf);
+      std::vector<PageId> kids;
+      kids.reserve(v->entries.size());
+      for (const BtEntry& e : v->entries) kids.push_back(e.value);
+      anc.push_back(std::move(kids));
+      anc_idx.push_back(0);
+    }
+
+    const std::vector<PageId>& parent = anc.back();
+    size_t idx = anc_idx.back();
+    size_t n = std::min(budget, parent.size() - idx);
+    scratch.assign(parent.begin() + idx, parent.begin() + idx + n);
+    auto refs = pager_->PinMany(scratch);
+    if (!refs.ok() && n > 1 &&
+        refs.status().code() == StatusCode::kResourceExhausted) {
+      // The window itself exhausted the pool: degrade to the serial
+      // one-leaf-at-a-time footprint rather than failing a scan that
+      // would succeed without speculation.
+      n = 1;
+      scratch.resize(1);
+      refs = pager_->PinMany(scratch);
+    }
+    CCIDX_RETURN_IF_ERROR(refs.status());
+    window = std::move(*refs);
+    anc_idx.back() = idx + n - 1;
+    leaf = ParseNode(std::move(window[0]));
+    window_pos = 1;
+  }
+  return Status::OK();
+}
+
 Status BPlusTree::RangeScan(int64_t lo, int64_t hi,
                             ResultSink<BtEntry>* sink) const {
   if (root_ == kInvalidPageId || lo > hi) return Status::OK();
   SinkEmitter<BtEntry> em(sink);
+  if (pager_->speculation_budget() > 0 && height_ > 1) {
+    // Overlap pays (latency-injecting or file-backed device): batch the
+    // leaf level instead of chasing next pointers one device round at a
+    // time. Cost-model runs (speculation_budget() == 0) keep the exact
+    // historical access pattern below.
+    return RangeScanBatched(lo, hi, &em);
+  }
   std::vector<std::pair<PageId, size_t>> path;
   CCIDX_RETURN_IF_ERROR(DescendToLeaf(lo, &path));
   PageId id = path.back().first;
@@ -217,21 +370,16 @@ Status BPlusTree::RangeScan(int64_t lo, int64_t hi,
     // contiguous run, emitted straight from the pinned frame.
     auto view = ViewNode(id);
     CCIDX_RETURN_IF_ERROR(view.status());
-    const simd::KernelTable& k = simd::Kernels();
-    const uint8_t* keys =
-        simd::FieldBase(view->entries.data(), offsetof(BtEntry, key));
-    std::span<const BtEntry> tail = view->entries.subspan(
-        k.first_i64_ge(keys, sizeof(BtEntry), view->entries.size(), lo));
-    std::span<const BtEntry> run = tail.first(k.first_i64_gt(
-        simd::FieldBase(tail.data(), offsetof(BtEntry, key)), sizeof(BtEntry),
-        tail.size(), hi));
-    if (run.size() == tail.size() && view->next != kInvalidPageId) {
+    size_t tail_size = 0;
+    std::span<const BtEntry> run =
+        QualifyingRun(view->entries, lo, hi, &tail_size);
+    if (run.size() == tail_size && view->next != kInvalidPageId) {
       // Scan continues into the next leaf (unless the sink stops): stage
       // its read so it overlaps the emit.
       pager_->Prefetch({&view->next, 1});
     }
     em.Emit(run);
-    if (run.size() < tail.size()) return Status::OK();  // crossed above hi
+    if (run.size() < tail_size) return Status::OK();  // crossed above hi
     id = view->next;
   }
   return Status::OK();

@@ -106,6 +106,10 @@ class BPlusTree {
   /// Root page id (kInvalidPageId when empty).
   PageId root() const { return root_; }
 
+  /// Owning pager. Composite indexes use this to stage batched warm-ups
+  /// of several component-tree roots before querying them serially.
+  Pager* pager() const { return pager_; }
+
   /// Maximum entries per node for this pager's page size.
   uint32_t fanout() const { return fanout_; }
 
@@ -137,9 +141,22 @@ class BPlusTree {
     std::span<const BtEntry> entries;
   };
 
+  // Decodes the node header/entries of an already-pinned page; the view
+  // takes ownership of the ref. Shared by ViewNode and the batched scan
+  // path (which pins whole leaf windows via Pager::PinMany).
+  static NodeView ParseNode(PageRef ref);
+
   Result<NodeView> ViewNode(PageId id) const;
   Status LoadNode(PageId id, Node* node) const;
   Status StoreNode(PageId id, const Node& node) const;
+
+  // Speculation-gated scan (DESIGN.md §10): reached only when
+  // pager_->speculation_budget() > 0 (never in cost-model mode). Walks the
+  // leaf level through parent child-id windows pinned as one concurrent
+  // device batch instead of the dependent next-pointer chain, so a t/B-leaf
+  // scan costs ~t/(B*budget) device round-trips of latency instead of t/B.
+  Status RangeScanBatched(int64_t lo, int64_t hi,
+                          SinkEmitter<BtEntry>* em) const;
 
   // Descends to the leaf that should hold `key`, recording the path as
   // (page id, child index within parent). path->back() is the leaf.

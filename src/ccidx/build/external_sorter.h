@@ -57,10 +57,13 @@ class MergeStream final : public RecordStream<T> {
  public:
   MergeStream(Pager* pager, std::vector<SortedRun> runs, Less less,
               size_t out_block)
-      : less_(less), out_block_(out_block == 0 ? 1 : out_block) {
+      : pager_(pager), less_(less),
+        out_block_(out_block == 0 ? 1 : out_block) {
     ways_.reserve(runs.size());
+    heads_.reserve(runs.size());
     for (const SortedRun& run : runs) {
       ways_.push_back(std::make_unique<Way>(pager, run));
+      if (run.head != kInvalidPageId) heads_.push_back(run.head);
     }
   }
 
@@ -142,6 +145,14 @@ class MergeStream final : public RecordStream<T> {
 
   Status Prime() {
     primed_ = true;
+    // Merge fan-in (DESIGN.md §10): every way's head page is known up
+    // front and independent of the others — stage them all as one batched
+    // device round before the serial priming loop, instead of paying one
+    // dependent device round-trip per way. Gated on the speculation
+    // budget, so cost-model runs keep the historical access pattern.
+    if (pager_->speculation_budget() > 0 && heads_.size() >= 2) {
+      pager_->WarmMany(heads_);
+    }
     for (auto& way : ways_) {
       auto first = way->reader.Next();
       CCIDX_RETURN_IF_ERROR(first.status());
@@ -155,9 +166,11 @@ class MergeStream final : public RecordStream<T> {
     return Status::OK();
   }
 
+  Pager* pager_;
   Less less_;
   size_t out_block_;
   std::vector<std::unique_ptr<Way>> ways_;
+  std::vector<PageId> heads_;  // run head pages, for the batched prime
   std::optional<LoserTree<WayExhausted, WayLess>> tree_;
   std::vector<T> out_;
   bool primed_ = false;

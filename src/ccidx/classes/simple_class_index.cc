@@ -144,6 +144,20 @@ Status SimpleClassIndex::Delete(const Object& o, bool* found) {
   return Status::OK();
 }
 
+void SimpleClassIndex::WarmCanonicalRoots(
+    const std::vector<size_t>& canonical) const {
+  if (canonical.size() < 2 || trees_.empty()) return;
+  Pager* pager = trees_[canonical[0]].pager();
+  if (pager->speculation_budget() == 0) return;
+  std::vector<PageId> roots;
+  roots.reserve(canonical.size());
+  for (size_t node : canonical) {
+    PageId r = trees_[node].root();
+    if (r != kInvalidPageId) roots.push_back(r);
+  }
+  if (roots.size() >= 2) pager->WarmMany(roots);
+}
+
 Status SimpleClassIndex::Query(uint32_t class_id, Coord a1, Coord a2,
                                ResultSink<uint64_t>* sink) const {
   if (class_id >= hierarchy_->size()) {
@@ -153,6 +167,7 @@ Status SimpleClassIndex::Query(uint32_t class_id, Coord a1, Coord a2,
   Decompose(0, hierarchy_->code(class_id),
             hierarchy_->subtree_max_code(class_id), &canonical);
   last_query_collections_.store(canonical.size(), std::memory_order_relaxed);
+  WarmCanonicalRoots(canonical);
   TransformSink<BtEntry, uint64_t> xform(
       sink, [](const BtEntry& e) { return std::optional<uint64_t>(e.value); });
   for (size_t node : canonical) {
@@ -177,6 +192,7 @@ Status SimpleClassIndex::QueryObjects(uint32_t class_id, Coord a1, Coord a2,
   Decompose(0, hierarchy_->code(class_id),
             hierarchy_->subtree_max_code(class_id), &canonical);
   last_query_collections_.store(canonical.size(), std::memory_order_relaxed);
+  WarmCanonicalRoots(canonical);
   TransformSink<BtEntry, Object> xform(sink, [this](const BtEntry& e) {
     return std::optional<Object>(
         Object{e.value, hierarchy_->class_at_code(e.aux), e.key});

@@ -128,6 +128,10 @@ class SimpleClassIndex {
   // Canonical decomposition of [lo, hi] into node indices.
   void Decompose(size_t node, Coord lo, Coord hi,
                  std::vector<size_t>* out) const;
+  // Stages the root pages of the canonical collections as one batched
+  // device round before the serial per-collection scans (DESIGN.md §10).
+  // No-op in cost-model mode (speculation budget zero).
+  void WarmCanonicalRoots(const std::vector<size_t>& canonical) const;
   // Nodes on the path covering a single code.
   void PathTo(Coord code, std::vector<size_t>* out) const;
 

@@ -125,6 +125,12 @@ class AugmentedMetablockTree {
   uint32_t branching() const { return branching_; }
   uint32_t metablock_capacity() const { return branching_ * branching_; }
 
+  /// Root control page (kInvalidPageId when empty) and owning pager —
+  /// exposed so composite indexes can stage batched warm-ups of their
+  /// component roots before the serial query sequence touches them.
+  PageId root_page() const { return root_; }
+  Pager* pager() const { return pager_; }
+
   /// Frees all pages.
   Status Destroy();
 

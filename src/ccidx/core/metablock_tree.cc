@@ -12,6 +12,12 @@ namespace {
 // Descending-y comparator (PointYOrder reversed).
 bool DescY(const Point& a, const Point& b) { return PointYOrder()(b, a); }
 
+// Upper bound on one fan-out batch staged through WarmMany: keeps a
+// single subtree visit's speculative footprint (and thus the pages an
+// early-stopping sink can leave unused) small and independent of the
+// node's branching factor.
+constexpr size_t kWarmFanoutCap = 16;
+
 }  // namespace
 
 Status MetablockTree::WriteControl(Pager* pager, PageId id,
@@ -226,6 +232,18 @@ Status MetablockTree::ReportSubtree(PageId control_id, Coord a,
   std::vector<ChildEntry> children;
   CCIDX_RETURN_IF_ERROR(io.ReadChain<ChildEntry>(ctrl.children_head,
                                                  &children));
+  if (pager_->speculation_budget() > 0) {
+    // Every qualifying child's control page will be read by the recursion
+    // below (unless the sink stops early): one batched device round now
+    // instead of a dependent read per child.
+    std::vector<PageId> warm;
+    for (const ChildEntry& c : children) {
+      if (c.ymax >= a && warm.size() < kWarmFanoutCap) {
+        warm.push_back(c.control);
+      }
+    }
+    if (warm.size() >= 2) pager_->WarmMany(warm);
+  }
   for (const ChildEntry& c : children) {
     if (em.stopped()) break;
     if (c.ymax >= a) {
@@ -263,6 +281,26 @@ Status MetablockTree::Query(const DiagonalQuery& q,
 
     Control next_ctrl;
     CCIDX_RETURN_IF_ERROR(LoadControl(children[j].control, &next_ctrl));
+
+    if (pager_->speculation_budget() > 0) {
+      // Speculative descent (DESIGN.md §10): the pages the rest of this
+      // round touches first — the TS chain head for the sibling dichotomy,
+      // then the child's own-point chains and children index — are all
+      // known now. Stage them as one device batch instead of a dependent
+      // read each; whichever the query type skips is bounded overshoot.
+      std::vector<PageId> warm;
+      auto stage = [&](PageId id) {
+        if (id != kInvalidPageId &&
+            warm.size() < pager_->speculation_budget()) {
+          warm.push_back(id);
+        }
+      };
+      if (j > 0) stage(next_ctrl.ts_head);
+      stage(next_ctrl.horiz_head);
+      stage(next_ctrl.vindex_head);
+      stage(next_ctrl.children_head);
+      if (warm.size() >= 2) pager_->WarmMany(warm);
+    }
 
     if (j > 0) {
       // Left siblings of the corner-path child, via TS (Fig. 17): read
@@ -312,6 +350,14 @@ Status MetablockTree::ScanSubtree(PageId control_id,
     PageIo io(pager_);
     CCIDX_RETURN_IF_ERROR(
         io.ReadChain<ChildEntry>(ctrl.children_head, &children));
+    if (pager_->speculation_budget() > 0 && children.size() >= 2) {
+      std::vector<PageId> warm;
+      for (const ChildEntry& c : children) {
+        if (warm.size() >= kWarmFanoutCap) break;
+        warm.push_back(c.control);
+      }
+      pager_->WarmMany(warm);
+    }
     for (const ChildEntry& c : children) {
       if (em.stopped()) break;
       CCIDX_RETURN_IF_ERROR(ScanSubtree(c.control, em));

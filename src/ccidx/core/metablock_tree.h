@@ -106,6 +106,10 @@ class MetablockTree {
   /// Number of indexed points.
   uint64_t size() const { return size_; }
 
+  /// Root control page (kInvalidPageId when empty) — the entry page a
+  /// batch warm-up stages before cold serving (QueryExecutor::Warmup).
+  PageId root_page() const { return root_; }
+
   /// B: points per page (the branching factor).
   uint32_t branching() const { return branching_; }
 

@@ -110,6 +110,21 @@ Status IntervalIndex::Stab(Coord q, std::vector<Interval>* out) const {
 Status IntervalIndex::Intersect(Coord qlo, Coord qhi,
                                 ResultSink<Interval>* sink) const {
   if (qlo > qhi) return Status::OK();
+  Pager* pager = stabbing_.pager();
+  if (pager->speculation_budget() > 0) {
+    // Both component lookups are coming (the stab, then the endpoint range
+    // scan): stage their roots as one batched device round (DESIGN.md §10)
+    // instead of two dependent cold reads.
+    PageId warm[2];
+    size_t n = 0;
+    if (stabbing_.root_page() != kInvalidPageId) {
+      warm[n++] = stabbing_.root_page();
+    }
+    if (qlo < kCoordMax && endpoints_.root() != kInvalidPageId) {
+      warm[n++] = endpoints_.root();
+    }
+    if (n == 2) pager->WarmMany({warm, n});
+  }
   // Types 3 & 4: intervals containing qlo (first endpoint <= qlo).
   TransformSink<Point, Interval> stab_xform(sink, PointToInterval);
   CCIDX_RETURN_IF_ERROR(stabbing_.Query({qlo}, &stab_xform));

@@ -91,6 +91,12 @@ class IntervalIndex {
 
   uint64_t size() const { return stabbing_.size(); }
 
+  /// Entry pages of the two component structures (for batch warm-ups:
+  /// QueryExecutor::Warmup stages them as one device round before cold
+  /// serving). May contain kInvalidPageId when a component is empty.
+  PageId stabbing_root() const { return stabbing_.root_page(); }
+  PageId endpoints_root() const { return endpoints_.root(); }
+
   /// Frees all pages.
   Status Destroy();
 

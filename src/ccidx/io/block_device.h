@@ -1,18 +1,32 @@
-// BlockDevice: an in-memory simulated disk of fixed-size pages.
+// BlockDevice: a disk of fixed-size pages over a pluggable StorageBackend.
 //
-// Substitution note (see DESIGN.md §2): the paper measures algorithms by
-// page transfers to/from secondary storage. This simulator reproduces that
+// Substitution note (see DESIGN.md §2, §10): the paper measures algorithms
+// by page transfers to/from secondary storage. This device reproduces that
 // cost model exactly and deterministically — each Read/Write of a page
-// increments IoStats. All library structures access storage only through
-// this interface (via Pager), so measured I/O counts are faithful.
+// increments IoStats, and every cost-model concern (transfer counters,
+// fault injection, the allocation table, latency injection) lives in this
+// front end, so IoStats are bit-identical no matter which backend moves
+// the bytes:
+//
+//   * mem  (default)             — the historical in-memory simulator
+//   * file (CCIDX_DEVICE=file)   — a real unlinked temp file, pread/pwrite
+//                                  (+ O_DIRECT / io_uring where available)
+//
+// CCIDX_DEVICE_LATENCY_US=N injects a deterministic N-microsecond delay
+// per device read — and *one* delay per ReadBatch, which models a real
+// device accepting a queue of concurrent requests. That is what makes
+// I/O overlap benchmarkable in CI without real hardware: a serial descent
+// pays one delay per level while a batched fan-out pays one per batch.
+// Writes are not delayed (builds stay fast; every overlap optimization in
+// this codebase targets the read path).
 //
 // Thread safety (DESIGN.md §7): concurrent Read/Write of *distinct* pages
-// is safe (page transfers take a shared lock on the page table; the I/O
-// counters are relaxed atomics, so readers never serialize on stats).
-// Allocate/Free mutate the page table under the exclusive lock and are
-// safe against concurrent transfers. Concurrent Write (or Write + Read)
-// of the *same* page is the caller's race, exactly as on real hardware —
-// the Pager's pin protocol prevents it for all library structures.
+// is safe (page transfers take a shared lock on the allocation table; the
+// I/O counters are relaxed atomics, so readers never serialize on stats).
+// Allocate/Free mutate the table under the exclusive lock and are safe
+// against concurrent transfers. Concurrent Write (or Write + Read) of the
+// *same* page is the caller's race, exactly as on real hardware — the
+// Pager's pin protocol prevents it for all library structures.
 
 #ifndef CCIDX_IO_BLOCK_DEVICE_H_
 #define CCIDX_IO_BLOCK_DEVICE_H_
@@ -23,29 +37,54 @@
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ccidx/common/status.h"
 #include "ccidx/io/io_stats.h"
+#include "ccidx/io/storage_backend.h"
 
 namespace ccidx {
 
-/// Identifier of a page on the device.
-using PageId = uint64_t;
+/// Backend selection + latency injection for a BlockDevice. The default-
+/// constructed device resolves these from the environment (see
+/// DeviceOptionsFromEnv); tests and benches pass them explicitly.
+struct BlockDeviceOptions {
+  std::string backend = "mem";   ///< "mem" or "file"
+  std::string dir;               ///< file backend directory ("" = $TMPDIR)
+  uint32_t read_latency_us = 0;  ///< injected delay per read / per batch
+};
 
-/// Sentinel for "no page".
-inline constexpr PageId kInvalidPageId = ~static_cast<PageId>(0);
+/// Reads CCIDX_DEVICE ("mem" | "file"), CCIDX_DEVICE_DIR and
+/// CCIDX_DEVICE_LATENCY_US. This is how CI replays the entire unmodified
+/// test suite against the file backend or the latency simulator.
+BlockDeviceOptions DeviceOptionsFromEnv();
 
-/// A simulated disk: an append-allocated array of `page_size()`-byte pages
-/// with a free list.
+/// A disk: an append-allocated array of `page_size()`-byte pages with a
+/// free list, delegating byte storage to a StorageBackend.
 class BlockDevice {
  public:
-  /// Creates a device whose pages hold `page_size` bytes. The paper's B is
-  /// expressed by each data structure as "records per page"; page_size
-  /// bounds that via the record width.
+  /// Creates a device whose pages hold `page_size` bytes, with the backend
+  /// chosen by the environment (mem unless CCIDX_DEVICE says otherwise).
+  /// The paper's B is expressed by each data structure as "records per
+  /// page"; page_size bounds that via the record width.
   explicit BlockDevice(uint32_t page_size);
 
+  /// Creates a device with an explicit backend/latency configuration.
+  /// A misconfigured file backend (unwritable dir) is a checked error.
+  BlockDevice(uint32_t page_size, const BlockDeviceOptions& options);
+
   uint32_t page_size() const { return page_size_; }
+
+  /// Short label of the storage backend ("mem", "file", "file+uring").
+  const char* backend_name() const { return backend_->name(); }
+
+  /// True when transfers leave the process (file backend) — overlap pays
+  /// even without injected latency.
+  bool real_io() const { return backend_->real_io(); }
+
+  /// The injected per-read delay (0 = cost-model mode).
+  uint32_t read_latency_us() const { return latency_us_; }
 
   /// Allocates a zeroed page and returns its id (reuses freed pages).
   PageId Allocate();
@@ -56,6 +95,15 @@ class BlockDevice {
   /// Copies the page contents into `out` (out.size() == page_size()).
   /// Counts one device read.
   Status Read(PageId id, std::span<uint8_t> out);
+
+  /// Reads a batch of pages as one concurrent device operation. Counting
+  /// semantics are serial-equivalent: each request is validated and
+  /// consumes fault-injection budget in array order, the approved prefix
+  /// is issued (and counted) as a batch, and the first failure's Status is
+  /// returned — exactly the reads a serial loop stopping at that failure
+  /// would have performed. Latency injection sleeps once for the whole
+  /// batch: concurrent requests on a real device overlap.
+  Status ReadBatch(std::span<const PageReadRequest> reqs);
 
   /// Overwrites the page from `in` (in.size() == page_size()).
   /// Counts one device write.
@@ -91,19 +139,24 @@ class BlockDevice {
   // Requires mu_ (shared or exclusive).
   bool IsLive(PageId id) const;
 
+  // Latency injection: called after a successful read outside mu_.
+  void InjectReadLatency() const;
+
   uint32_t page_size_;
-  // Guards the page-table *structure* (pages_/free_list_/freed_). Transfers
-  // take it shared — page unique_ptrs give stable data addresses, so
-  // concurrent reads of distinct pages proceed in parallel; Allocate/Free
-  // take it exclusive.
+  uint32_t latency_us_ = 0;
+  std::unique_ptr<StorageBackend> backend_;
+  // Guards the allocation-table *structure* (freed_/free_list_) and the
+  // backend's capacity. Transfers take it shared — backends give stable
+  // per-page storage, so concurrent reads of distinct pages proceed in
+  // parallel; Allocate/Free take it exclusive.
   mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<uint8_t[]>> pages_;
   std::vector<PageId> free_list_;
-  std::vector<bool> freed_;  // parallel to pages_: true if on free list
+  std::vector<bool> freed_;  // indexed by id: true if on free list
   // Contention-free counters: relaxed atomics, merged into an IoStats
   // snapshot by stats().
   std::atomic<uint64_t> device_reads_{0};
   std::atomic<uint64_t> device_writes_{0};
+  std::atomic<uint64_t> read_batches_{0};
   std::atomic<uint64_t> pages_allocated_{0};
   std::atomic<uint64_t> pages_freed_{0};
   std::atomic<int64_t> fail_after_{-1};  // < 0: fault injection disabled

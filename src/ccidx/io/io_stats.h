@@ -22,6 +22,7 @@ namespace ccidx {
 struct IoStats {
   uint64_t device_reads = 0;   ///< pages read from the device
   uint64_t device_writes = 0;  ///< pages written to the device
+  uint64_t read_batches = 0;   ///< ReadBatch calls (>= 1 approved request)
   uint64_t cache_hits = 0;     ///< pager requests served from the pool
   uint64_t cache_misses = 0;   ///< pager requests that went to the device
   uint64_t pin_requests = 0;   ///< Pin/PinMut/PinNew calls (logical accesses)
@@ -45,6 +46,7 @@ inline IoStats operator-(const IoStats& a, const IoStats& b) {
   IoStats d;
   d.device_reads = a.device_reads - b.device_reads;
   d.device_writes = a.device_writes - b.device_writes;
+  d.read_batches = a.read_batches - b.read_batches;
   d.cache_hits = a.cache_hits - b.cache_hits;
   d.cache_misses = a.cache_misses - b.cache_misses;
   d.pin_requests = a.pin_requests - b.pin_requests;
@@ -58,6 +60,7 @@ inline IoStats operator+(const IoStats& a, const IoStats& b) {
   IoStats s;
   s.device_reads = a.device_reads + b.device_reads;
   s.device_writes = a.device_writes + b.device_writes;
+  s.read_batches = a.read_batches + b.read_batches;
   s.cache_hits = a.cache_hits + b.cache_hits;
   s.cache_misses = a.cache_misses + b.cache_misses;
   s.pin_requests = a.pin_requests + b.pin_requests;

@@ -144,6 +144,20 @@ Pager::Pager(BlockDevice* device, uint32_t capacity_pages)
   prefetch_enabled_ =
       capacity_ > 0 &&
       !(prefetch_env != nullptr && std::strcmp(prefetch_env, "0") == 0);
+  // Speculation (WarmMany, speculative descent fetches) turns on only when
+  // overlapping device requests actually buys latency: injected per-read
+  // delay or real kernel I/O. A zero-latency in-memory device stays in
+  // cost-model mode, where a speculative read would *add* counted I/Os —
+  // so there it is structurally impossible, not just disabled.
+  overlap_enabled_ = prefetch_enabled_ &&
+                     (device_->read_latency_us() > 0 || device_->real_io());
+  if (overlap_enabled_) {
+    spec_budget_ = 4;
+    if (const char* env = std::getenv("CCIDX_SPEC_BUDGET")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v >= 0) spec_budget_ = static_cast<uint32_t>(v);
+    }
+  }
 
   // One contiguous page-aligned arena for every frame. Strides are
   // cache-line rounded so adjacent frames never false-share.
@@ -463,6 +477,13 @@ Result<PageRef> Pager::Pin(PageId id) {
     transient_outstanding_.fetch_add(1, std::memory_order_relaxed);
     return ref;
   }
+  // If a prefetch of this very page is queued or in flight, wait for it to
+  // land instead of issuing a second device read: the prefetch workers
+  // read outside the shard lock, so without this the pin would race the
+  // in-flight load and double-count the transfer.
+  if (prefetch_pending_count_.load(std::memory_order_relaxed) > 0) {
+    WaitPrefetchDone(id);
+  }
   uint64_t hash = MixPageId(id);
   uint32_t shard_idx = static_cast<uint32_t>(hash) & shard_mask_;
   Shard& shard = shards_[shard_idx];
@@ -509,35 +530,296 @@ Result<PageRef> Pager::Pin(PageId id) {
 }
 
 // ---------------------------------------------------------------------------
-// Readahead (DESIGN.md §9)
+// Batched loading: PinMany / WarmMany (DESIGN.md §10)
 // ---------------------------------------------------------------------------
 
-void Pager::LoadResidentForPrefetch(PageId id) {
+PageRef Pager::PoolRef(PageId id, Frame* frame) {
+  PageRef ref;
+  ref.id_ = id;
+  ref.size_ = device_->page_size();
+  ref.frame_ = frame;
+  ref.data_ = frame->data;
+  ref.pager_ = this;
+  return ref;
+}
+
+PageRef Pager::TransientRefFromHeap(PageId id,
+                                    std::unique_ptr<uint8_t[]> buf) {
+  PageRef ref;
+  ref.id_ = id;
+  ref.size_ = device_->page_size();
+  ref.data_ = buf.get();
+  ref.transient_heap_ = std::move(buf);
+  ref.transient_slot_ = -1;
+  ref.pager_ = this;
+  transient_outstanding_.fetch_add(1, std::memory_order_relaxed);
+  return ref;
+}
+
+Status Pager::BatchLoadResident(std::span<const PageId> ids,
+                                std::vector<PageRef>* out) {
+  const bool pin = out != nullptr;
+  const uint32_t page_size = device_->page_size();
+  if (pin) {
+    out->clear();
+    out->resize(ids.size());
+  }
+  std::vector<MissEntry> misses;
+  // Output index -> index into `misses` filling it; -1 = phase-A hit.
+  std::vector<int32_t> miss_of;
+  if (pin) miss_of.assign(ids.size(), -1);
+
+  // Phase A: pin hits under shard locks; collect distinct misses.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    PageId id = ids[i];
+    if (id == kInvalidPageId) {
+      if (pin) return Status::InvalidArgument("pin of invalid page id");
+      continue;
+    }
+    int32_t dup = -1;
+    for (size_t m = 0; m < misses.size(); ++m) {
+      if (misses[m].id == id) {
+        dup = static_cast<int32_t>(m);
+        break;
+      }
+    }
+    uint64_t hash = MixPageId(id);
+    uint32_t shard_idx = static_cast<uint32_t>(hash) & shard_mask_;
+    Shard& shard = shards_[shard_idx];
+    std::lock_guard lock(shard.mu);
+    if (pin) shard.pin_requests++;
+    uint32_t pos = ProbeLocked(shard, id, hash);
+    int32_t slot = shard.table[pos];
+    if (slot >= 0) {
+      Frame& frame = shard.frames[slot];
+      shard.hits++;
+      frame.referenced = true;
+      if (pin) {
+        frame.pins.fetch_add(1, std::memory_order_relaxed);
+        (*out)[i] = PoolRef(id, &frame);
+      }
+      continue;
+    }
+    if (dup >= 0) {
+      // Serial equivalence: the second pin of a page this batch already
+      // fetches would hit the frame the first pin loaded.
+      shard.hits++;
+      if (pin) miss_of[i] = dup;
+      continue;
+    }
+    shard.misses++;
+    misses.push_back(
+        {id, shard_idx, hash, std::make_unique<uint8_t[]>(page_size)});
+    if (pin) miss_of[i] = static_cast<int32_t>(misses.size()) - 1;
+  }
+  if (misses.empty()) return Status::OK();
+
+  // Phase B: one concurrent device round-trip into scratch buffers, with
+  // no lock held — device latency here never blocks a foreground pin.
+  std::vector<PageReadRequest> reqs;
+  reqs.reserve(misses.size());
+  for (const MissEntry& m : misses) reqs.push_back({m.id, m.buf.get()});
+  Status read_status = device_->ReadBatch(reqs);
+  if (!read_status.ok()) {
+    if (pin) out->clear();  // unwinds every phase-A pin
+    return read_status;
+  }
+
+  // Pin mode: how many output slots each miss fills (duplicate ids).
+  std::vector<uint32_t> uses;
+  if (pin) {
+    uses.assign(misses.size(), 0);
+    for (int32_t m : miss_of) {
+      if (m >= 0) uses[m]++;
+    }
+  }
+
+  // Phase C: install each loaded page under its shard lock, re-probing
+  // first — another thread may have loaded it since phase A, in which
+  // case the scratch copy is discarded. Pins are taken under the same
+  // lock acquisition that installs the frame, so the eviction sweep can
+  // never reclaim it in between.
+  std::vector<Frame*> installed(misses.size(), nullptr);
+  for (size_t m = 0; m < misses.size(); ++m) {
+    MissEntry& e = misses[m];
+    Shard& shard = shards_[e.shard_idx];
+    {
+      std::lock_guard lock(shard.mu);
+      uint32_t pos = ProbeLocked(shard, e.id, e.hash);
+      int32_t slot = shard.table[pos];
+      Frame* frame = nullptr;
+      if (slot >= 0) {
+        frame = &shard.frames[slot];
+        frame->referenced = true;
+      } else {
+        uint32_t claimed = 0;
+        bool have = false;
+        if (!shard.free_slots.empty()) {
+          claimed = shard.free_slots.back();
+          shard.free_slots.pop_back();
+          have = true;
+        } else {
+          auto victim = EvictSlotLocked(shard);
+          if (victim.ok()) {
+            claimed = *victim;
+            // The eviction's backshift may have moved table entries.
+            pos = ProbeLocked(shard, e.id, e.hash);
+            have = true;
+          } else if (victim.status().code() !=
+                     StatusCode::kResourceExhausted) {
+            // A dirty victim's write-back failed: a real device error.
+            if (pin) out->clear();
+            return victim.status();
+          }
+          // ResourceExhausted: fall through to the transient/drop path.
+        }
+        if (have) {
+          frame = &shard.frames[claimed];
+          frame->id = e.id;
+          frame->dirty = false;
+          frame->referenced = true;
+          std::memcpy(frame->data, e.buf.get(), page_size);
+          shard.table[pos] = static_cast<int32_t>(claimed);
+        }
+      }
+      if (frame != nullptr) {
+        if (pin && uses[m] > 0) {
+          frame->pins.fetch_add(uses[m], std::memory_order_relaxed);
+        }
+        installed[m] = frame;
+      }
+    }
+    if (installed[m] != nullptr || !pin) continue;  // warm: drop silently
+    // Home shard pin-saturated: degrade to transient handles over the
+    // already-read scratch bytes (Pin's contract, at the same device
+    // cost), unless the whole pool is pinned.
+    if (!AnyOtherShardHasCapacity(e.shard_idx)) {
+      out->clear();
+      return Status::ResourceExhausted(
+          "all buffer-pool frames are pinned (capacity " +
+          std::to_string(capacity_) + ")");
+    }
+  }
+  if (!pin) return Status::OK();
+
+  // Fill the outputs that waited on a miss.
+  std::vector<const uint8_t*> transient_src(misses.size(), nullptr);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    int32_t m = miss_of[i];
+    if (m < 0) continue;
+    Frame* frame = installed[m];
+    if (frame != nullptr) {
+      (*out)[i] = PoolRef(ids[i], frame);  // pins pre-counted via uses[m]
+      continue;
+    }
+    std::unique_ptr<uint8_t[]> buf;
+    if (misses[m].buf != nullptr) {
+      buf = std::move(misses[m].buf);
+    } else {
+      // A duplicate landed transient: every handle owns its buffer.
+      buf = std::make_unique<uint8_t[]>(page_size);
+      std::memcpy(buf.get(), transient_src[m], page_size);
+    }
+    transient_src[m] = buf.get();
+    (*out)[i] = TransientRefFromHeap(ids[i], std::move(buf));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PageRef>> Pager::PinMany(std::span<const PageId> ids) {
+  std::vector<PageRef> out;
+  if (ids.empty()) return out;
+  if (capacity_ == 0) {
+    // Uncached: one transient read per request — exactly the cost of a
+    // loop of Pin — issued as a single concurrent device batch.
+    const uint32_t page_size = device_->page_size();
+    out.resize(ids.size());
+    std::vector<int32_t> slots(ids.size(), -1);
+    std::vector<std::unique_ptr<uint8_t[]>> heaps(ids.size());
+    std::vector<PageReadRequest> reqs(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      transient_pin_requests_.fetch_add(1, std::memory_order_relaxed);
+      reqs[i] = {ids[i], AcquireTransient(&slots[i], &heaps[i])};
+    }
+    Status s = device_->ReadBatch(reqs);
+    if (!s.ok()) {
+      for (size_t i = 0; i < ids.size(); ++i) ReleaseTransient(slots[i]);
+      return s;
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      PageRef& ref = out[i];
+      ref.id_ = ids[i];
+      ref.size_ = page_size;
+      ref.data_ = reqs[i].out;
+      ref.transient_heap_ = std::move(heaps[i]);
+      ref.transient_slot_ = slots[i];
+      ref.pager_ = this;
+      transient_outstanding_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return out;
+  }
+  if (prefetch_pending_count_.load(std::memory_order_relaxed) > 0) {
+    for (PageId id : ids) WaitPrefetchDone(id);
+  }
+  CCIDX_RETURN_IF_ERROR(BatchLoadResident(ids, &out));
+  return out;
+}
+
+void Pager::WarmMany(std::span<const PageId> ids) {
+  if (!overlap_enabled_ || ids.empty()) return;
+  (void)BatchLoadResident(ids, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Readahead (DESIGN.md §9, §10)
+// ---------------------------------------------------------------------------
+
+bool Pager::TouchIfResident(PageId id) {
   uint64_t hash = MixPageId(id);
   Shard& shard = shards_[static_cast<uint32_t>(hash) & shard_mask_];
-  std::lock_guard lock(shard.mu);
-  // The ordinary miss path, minus the pin: the frame lands resident with
-  // the reference bit set (one clock rotation of protection) but stays
-  // eviction-eligible. A hit just refreshes the reference bit. Errors —
-  // shard pin-saturated, device read rejected — are dropped: a prefetch
-  // is a hint, and the foreground Pin will redo and surface them.
-  (void)GetFrameLocked(shard, id, hash, MutMode::kLoad);
+  std::unique_lock lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) return false;  // contended: let a worker decide
+  uint32_t pos = ProbeLocked(shard, id, hash);
+  int32_t slot = shard.table[pos];
+  if (slot < 0) return false;
+  shard.frames[slot].referenced = true;
+  return true;
+}
+
+void Pager::WaitPrefetchDone(PageId id) {
+  std::unique_lock lock(prefetch_mu_);
+  prefetch_done_cv_.wait(lock, [&] {
+    return prefetch_stop_ || prefetch_pending_.count(id) == 0;
+  });
 }
 
 void Pager::PrefetchWorker() {
   std::unique_lock lock(prefetch_mu_);
+  std::vector<PageId> batch;
   for (;;) {
     prefetch_cv_.wait(lock, [this] {
       return prefetch_stop_ || !prefetch_queue_.empty();
     });
     if (prefetch_stop_) return;
-    PageId id = prefetch_queue_.front();
-    prefetch_queue_.pop_front();
-    prefetch_inflight_++;
+    batch.clear();
+    while (!prefetch_queue_.empty() && batch.size() < kPrefetchBatchMax) {
+      batch.push_back(prefetch_queue_.front());
+      prefetch_queue_.pop_front();
+    }
+    prefetch_inflight_ += batch.size();
     lock.unlock();
-    LoadResidentForPrefetch(id);
+    // The device reads happen here with neither the queue lock nor any
+    // shard lock held: a staged batch overlaps into one device
+    // round-trip, and a foreground pin of an unrelated page never waits
+    // behind its latency. Errors are dropped — a prefetch is a hint; the
+    // real Pin re-reads and surfaces them.
+    (void)BatchLoadResident(batch, nullptr);
     lock.lock();
-    prefetch_inflight_--;
+    prefetch_inflight_ -= batch.size();
+    for (PageId id : batch) prefetch_pending_.erase(id);
+    prefetch_pending_count_.store(prefetch_pending_.size(),
+                                  std::memory_order_relaxed);
+    prefetch_done_cv_.notify_all();
     if (prefetch_queue_.empty() && prefetch_inflight_ == 0) {
       prefetch_idle_cv_.notify_all();
     }
@@ -550,17 +832,27 @@ void Pager::Prefetch(std::span<const PageId> ids) {
   {
     std::lock_guard lock(prefetch_mu_);
     if (prefetch_stop_) return;
-    if (prefetch_threads_.empty()) {
-      // Lazy start: pagers that never prefetch never spawn threads.
-      prefetch_threads_.reserve(kPrefetchThreads);
-      for (size_t i = 0; i < kPrefetchThreads; ++i) {
-        prefetch_threads_.emplace_back([this] { PrefetchWorker(); });
-      }
-    }
     for (PageId id : ids) {
       if (id == kInvalidPageId) continue;
       if (prefetch_queue_.size() >= kPrefetchQueueCap) break;  // best-effort
+      // Dedupe before enqueue: an id already staged (or in flight) and an
+      // id already resident would both make the round trip through the
+      // queue and a worker's shard-lock acquisition just to find a warm
+      // frame — the chained single-id hints from leaf-run walks hit this
+      // constantly on warm pools.
+      if (prefetch_pending_.count(id) > 0) continue;
+      if (TouchIfResident(id)) continue;
+      if (prefetch_threads_.empty()) {
+        // Lazy start: pagers that never prefetch never spawn threads.
+        prefetch_threads_.reserve(kPrefetchThreads);
+        for (size_t i = 0; i < kPrefetchThreads; ++i) {
+          prefetch_threads_.emplace_back([this] { PrefetchWorker(); });
+        }
+      }
       prefetch_queue_.push_back(id);
+      prefetch_pending_.insert(id);
+      prefetch_pending_count_.store(prefetch_pending_.size(),
+                                    std::memory_order_relaxed);
       prefetches_issued_.fetch_add(1, std::memory_order_relaxed);
       enqueued = true;
     }
@@ -631,6 +923,9 @@ Result<MutPageRef> Pager::PinMut(PageId id, MutMode mode) {
   if (capacity_ == 0) {
     transient_pin_requests_.fetch_add(1, std::memory_order_relaxed);
     return TransientMutRef(id, mode);
+  }
+  if (prefetch_pending_count_.load(std::memory_order_relaxed) > 0) {
+    WaitPrefetchDone(id);
   }
   uint64_t hash = MixPageId(id);
   Shard& shard = shards_[static_cast<uint32_t>(hash) & shard_mask_];

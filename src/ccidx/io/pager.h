@@ -304,15 +304,48 @@ class Pager {
   /// number of threads concurrently.
   Result<PageRef> Pin(PageId id);
 
+  /// Pins a batch of pages for reading, issuing every pool miss as one
+  /// concurrent device operation (BlockDevice::ReadBatch) instead of a
+  /// serial miss-per-miss walk — under a latency-injecting or file-backed
+  /// device the misses overlap and the batch costs one device round-trip.
+  /// Counting semantics are serial-equivalent in every mode: the same
+  /// hits, misses and device reads a loop of Pin(ids[i]) would produce
+  /// (duplicate ids load once and hit thereafter; uncached pools read one
+  /// copy per request, as uncached Pin does). Returned refs are in input
+  /// order. On error (fault injection, pool exhaustion) nothing is pinned.
+  Result<std::vector<PageRef>> PinMany(std::span<const PageId> ids);
+
+  /// Speculative batch warm-up: loads `ids` resident-but-unpinned as one
+  /// concurrent device batch, so an imminent Pin hits. Unlike Prefetch
+  /// this is synchronous — when it returns, the pages are resident (or
+  /// were dropped because their shard is pin-saturated; a warm is a hint
+  /// and never fails). Strict no-op unless overlap pays (see
+  /// speculation_budget()), which is what keeps counted I/Os in
+  /// cost-model mode bit-identical: a zero-latency in-memory device never
+  /// sees a speculative read.
+  void WarmMany(std::span<const PageId> ids);
+
+  /// Number of pages a dependent descent may speculatively fetch alongside
+  /// the routed child (CCIDX_SPEC_BUDGET, default 4; the documented
+  /// overshoot bound is <= this many unused pages per descent level).
+  /// Zero whenever speculation is off: cost-model devices (in-memory with
+  /// zero injected latency), uncached pools, or CCIDX_PREFETCH=0. Call
+  /// sites gate their speculative/batched paths on this being nonzero, so
+  /// cost-model I/O counts never change.
+  uint32_t speculation_budget() const { return spec_budget_; }
+
   /// Best-effort asynchronous readahead hint (DESIGN.md §9): stages device
   /// reads of `ids` on a small background pool, so a subsequent Pin finds
   /// the page resident and the device latency overlaps the caller's
   /// per-page CPU work. Frames land unpinned-but-resident with the clock
   /// reference bit set — a hint can never block Free/DropCache and an
   /// unwanted page is simply evicted. Read errors are dropped (the real
-  /// Pin re-reads and surfaces them). Strict no-op when caching is
-  /// disabled — the uncached cost model stays exact — or when
-  /// CCIDX_PREFETCH=0. Thread-safe alongside Pin.
+  /// Pin re-reads and surfaces them). Ids already resident or already
+  /// queued/in flight are skipped at enqueue time, so chained single-id
+  /// hints on a warm pool cost one table probe instead of a queue round
+  /// trip per call. Strict no-op when caching is disabled — the uncached
+  /// cost model stays exact — or when CCIDX_PREFETCH=0. Thread-safe
+  /// alongside Pin.
   void Prefetch(std::span<const PageId> ids);
 
   /// Blocks until every staged prefetch has been applied or dropped.
@@ -450,26 +483,72 @@ class Pager {
   std::atomic<uint64_t> transient_outstanding_{0};
   std::atomic<uint64_t> transient_pin_requests_{0};
 
-  // Readahead (DESIGN.md §9): a bounded FIFO of page ids served by lazily
-  // started worker threads. Workers load frames through the ordinary
-  // GetFrameLocked path under the shard lock but never take a pin, so a
-  // prefetched frame is immediately eviction-eligible and the pin
-  // accounting (outstanding_pins, DropCache's precondition) is untouched.
+  // One pool miss in flight through BatchLoadResident: the page id, its
+  // home shard, and the scratch buffer the device batch fills (no shard
+  // lock is held across the device operation).
+  struct MissEntry {
+    PageId id;
+    uint32_t shard_idx;
+    uint64_t hash;
+    std::unique_ptr<uint8_t[]> buf;
+  };
+
+  // Shared engine of PinMany / WarmMany / the prefetch workers. Three
+  // phases: (A) probe + pin hits under shard locks, collecting distinct
+  // misses; (B) one BlockDevice::ReadBatch into scratch buffers with no
+  // locks held, so foreground pins never wait behind device latency;
+  // (C) install under shard locks — re-probing first, because another
+  // thread may have loaded the page meanwhile. `out == nullptr` is warm
+  // mode: nothing is pinned, install failures are dropped (a warm is a
+  // hint); otherwise refs land in input order and any failure unwinds
+  // every pin taken so far.
+  Status BatchLoadResident(std::span<const PageId> ids,
+                           std::vector<PageRef>* out);
+
+  // Ref constructors for BatchLoadResident (pins/counters already taken).
+  PageRef PoolRef(PageId id, Frame* frame);
+  PageRef TransientRefFromHeap(PageId id, std::unique_ptr<uint8_t[]> buf);
+
+  // Readahead (DESIGN.md §9, §10): a bounded deduplicated FIFO of page ids
+  // served by lazily started worker threads. Workers drain the queue in
+  // batches through BatchLoadResident, performing the device reads with no
+  // shard lock held (a 50 us injected latency must not block foreground
+  // pins) and never taking a pin, so a prefetched frame is immediately
+  // eviction-eligible and the pin accounting (outstanding_pins,
+  // DropCache's precondition) is untouched. `prefetch_pending_` holds
+  // every id queued or in flight: the enqueue side skips duplicates, and
+  // a foreground Pin that misses on a pending id waits for the in-flight
+  // load instead of issuing a second device read.
   void PrefetchWorker();
-  void LoadResidentForPrefetch(PageId id);
+  // True if `id` is resident (then its reference bit is refreshed).
+  // Best-effort: backs off to false when the shard lock is contended.
+  bool TouchIfResident(PageId id);
+  // Blocks until no prefetch of `id` is queued or in flight.
+  void WaitPrefetchDone(PageId id);
 
   static constexpr size_t kPrefetchThreads = 2;
   static constexpr size_t kPrefetchQueueCap = 64;
+  static constexpr size_t kPrefetchBatchMax = 16;
 
   std::mutex prefetch_mu_;
   std::condition_variable prefetch_cv_;       // workers: work available
   std::condition_variable prefetch_idle_cv_;  // drainers: queue quiesced
+  std::condition_variable prefetch_done_cv_;  // pinners: a batch applied
   std::vector<std::thread> prefetch_threads_;
   std::deque<PageId> prefetch_queue_;
+  std::unordered_set<PageId> prefetch_pending_;  // queued or in flight
   size_t prefetch_inflight_ = 0;
   bool prefetch_stop_ = false;
   bool prefetch_enabled_ = false;
+  // Mirror of prefetch_pending_.size(): lets the Pin hot path skip the
+  // pending check with one relaxed load when nothing is queued.
+  std::atomic<uint64_t> prefetch_pending_count_{0};
   std::atomic<uint64_t> prefetches_issued_{0};
+  // Speculation gate (DESIGN.md §10): batched warm-ups and speculative
+  // descent fetches are enabled only when overlap pays — injected latency
+  // or real kernel I/O — and the pool + prefetch machinery is on.
+  bool overlap_enabled_ = false;
+  uint32_t spec_budget_ = 0;
 
   std::mutex deferred_mu_;
   Status deferred_error_;

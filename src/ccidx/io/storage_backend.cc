@@ -1,0 +1,386 @@
+#include "ccidx/io/storage_backend.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#if defined(__has_include)
+#if __has_include(<liburing.h>)
+#define CCIDX_HAVE_LIBURING 1
+#include <liburing.h>
+#endif
+#endif
+
+namespace ccidx {
+
+Status StorageBackend::ReadPages(const PageReadRequest* reqs, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    CCIDX_RETURN_IF_ERROR(ReadPage(reqs[i].id, reqs[i].out));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// mem: the historical in-memory simulator. One zeroed heap allocation per
+// page; unique_ptr gives stable data addresses, so concurrent transfers of
+// distinct pages under the device's shared lock are safe while the vector
+// grows only under the exclusive lock (EnsureCapacity).
+// ---------------------------------------------------------------------------
+
+class MemStorageBackend final : public StorageBackend {
+ public:
+  explicit MemStorageBackend(uint32_t page_size) : page_size_(page_size) {}
+
+  const char* name() const override { return "mem"; }
+  bool real_io() const override { return false; }
+
+  Status EnsureCapacity(uint64_t num_pages) override {
+    while (pages_.size() < num_pages) {
+      auto page = std::make_unique<uint8_t[]>(page_size_);
+      std::memset(page.get(), 0, page_size_);
+      pages_.push_back(std::move(page));
+    }
+    return Status::OK();
+  }
+
+  Status ZeroPage(PageId id) override {
+    CCIDX_CHECK(id < pages_.size());
+    std::memset(pages_[id].get(), 0, page_size_);
+    return Status::OK();
+  }
+
+  Status ReadPage(PageId id, uint8_t* out) override {
+    CCIDX_CHECK(id < pages_.size());
+    std::memcpy(out, pages_[id].get(), page_size_);
+    return Status::OK();
+  }
+
+  Status WritePage(PageId id, const uint8_t* in) override {
+    CCIDX_CHECK(id < pages_.size());
+    std::memcpy(pages_[id].get(), in, page_size_);
+    return Status::OK();
+  }
+
+ private:
+  uint32_t page_size_;
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+};
+
+// ---------------------------------------------------------------------------
+// file: a real (anonymous, unlinked) file accessed with pread/pwrite.
+// ---------------------------------------------------------------------------
+
+// O_DIRECT alignment unit: buffers, offsets and sizes must be multiples of
+// the logical block size; 4096 is safe on every modern device.
+constexpr size_t kDirectAlign = 4096;
+
+// Batches below this run as a plain serial loop: on tmpfs a pread costs
+// about a microsecond, so fan-out overhead would dominate.
+constexpr size_t kBatchSpawnThreshold = 4;
+
+// Extra reader threads a batch may fan out to (the submitting thread also
+// works, so parallelism is kMaxBatchThreads + 1).
+constexpr size_t kMaxBatchThreads = 3;
+
+std::string PickDir(const std::string& dir) {
+  if (!dir.empty()) return dir;
+  if (const char* env = std::getenv("CCIDX_DEVICE_DIR")) {
+    if (*env != '\0') return env;
+  }
+  if (const char* env = std::getenv("TMPDIR")) {
+    if (*env != '\0') return env;
+  }
+  return "/tmp";
+}
+
+class FileStorageBackend final : public StorageBackend {
+ public:
+  FileStorageBackend(int fd, uint32_t page_size, bool direct)
+      : fd_(fd), page_size_(page_size), direct_(direct) {
+    if (direct_) {
+      zero_buf_ = static_cast<uint8_t*>(
+          std::aligned_alloc(kDirectAlign, page_size_));
+    } else {
+      zero_buf_ = static_cast<uint8_t*>(std::malloc(page_size_));
+    }
+    CCIDX_CHECK(zero_buf_ != nullptr);
+    std::memset(zero_buf_, 0, page_size_);
+#if defined(CCIDX_HAVE_LIBURING)
+    // io_uring is strictly opt-in (CCIDX_URING=1): kernels and seccomp
+    // sandboxes that reject io_uring_setup are common, and the thread-pool
+    // fallback is always correct.
+    const char* env = std::getenv("CCIDX_URING");
+    if (env != nullptr && std::strcmp(env, "1") == 0) {
+      uring_ok_ = io_uring_queue_init(64, &ring_, 0) == 0;
+    }
+#endif
+  }
+
+  ~FileStorageBackend() override {
+#if defined(CCIDX_HAVE_LIBURING)
+    if (uring_ok_) io_uring_queue_exit(&ring_);
+#endif
+    std::free(zero_buf_);
+    ::close(fd_);
+  }
+
+  const char* name() const override {
+#if defined(CCIDX_HAVE_LIBURING)
+    if (uring_ok_) return "file+uring";
+#endif
+    return "file";
+  }
+  bool real_io() const override { return true; }
+
+  Status EnsureCapacity(uint64_t num_pages) override {
+    uint64_t bytes = num_pages * static_cast<uint64_t>(page_size_);
+    if (bytes <= file_bytes_) return Status::OK();
+    // ftruncate extension reads back as zeros, matching the simulator's
+    // zero-filled fresh pages.
+    if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
+      return Status::IoError("ftruncate failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    file_bytes_ = bytes;
+    return Status::OK();
+  }
+
+  Status ZeroPage(PageId id) override {
+    return WritePage(id, zero_buf_);
+  }
+
+  Status ReadPage(PageId id, uint8_t* out) override {
+    if (NeedsBounce(out)) {
+      AlignedBuf buf = MakeAligned();
+      CCIDX_RETURN_IF_ERROR(PreadFull(buf.get(), Offset(id)));
+      std::memcpy(out, buf.get(), page_size_);
+      return Status::OK();
+    }
+    return PreadFull(out, Offset(id));
+  }
+
+  Status WritePage(PageId id, const uint8_t* in) override {
+    if (NeedsBounce(in)) {
+      AlignedBuf buf = MakeAligned();
+      std::memcpy(buf.get(), in, page_size_);
+      return PwriteFull(buf.get(), Offset(id));
+    }
+    return PwriteFull(in, Offset(id));
+  }
+
+  Status ReadPages(const PageReadRequest* reqs, size_t count) override {
+    if (count < kBatchSpawnThreshold) {
+      return StorageBackend::ReadPages(reqs, count);
+    }
+#if defined(CCIDX_HAVE_LIBURING)
+    if (uring_ok_ && !AnyBounce(reqs, count)) {
+      return ReadPagesUring(reqs, count);
+    }
+#endif
+    return ReadPagesThreaded(reqs, count);
+  }
+
+ private:
+  struct FreeDeleter {
+    void operator()(uint8_t* p) const { std::free(p); }
+  };
+  using AlignedBuf = std::unique_ptr<uint8_t, FreeDeleter>;
+
+  AlignedBuf MakeAligned() const {
+    auto* p =
+        static_cast<uint8_t*>(std::aligned_alloc(kDirectAlign, page_size_));
+    CCIDX_CHECK(p != nullptr);
+    return AlignedBuf(p);
+  }
+
+  bool NeedsBounce(const void* p) const {
+    return direct_ &&
+           (reinterpret_cast<uintptr_t>(p) % kDirectAlign) != 0;
+  }
+
+  bool AnyBounce(const PageReadRequest* reqs, size_t count) const {
+    if (!direct_) return false;
+    for (size_t i = 0; i < count; ++i) {
+      if (NeedsBounce(reqs[i].out)) return true;
+    }
+    return false;
+  }
+
+  off_t Offset(PageId id) const {
+    return static_cast<off_t>(id * static_cast<uint64_t>(page_size_));
+  }
+
+  Status PreadFull(uint8_t* dst, off_t off) {
+    size_t done = 0;
+    while (done < page_size_) {
+      ssize_t n = ::pread(fd_, dst + done, page_size_ - done,
+                          off + static_cast<off_t>(done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("pread failed: " +
+                               std::string(std::strerror(errno)));
+      }
+      if (n == 0) {
+        return Status::IoError("pread hit EOF inside a page");
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status PwriteFull(const uint8_t* src, off_t off) {
+    size_t done = 0;
+    while (done < page_size_) {
+      ssize_t n = ::pwrite(fd_, src + done, page_size_ - done,
+                           off + static_cast<off_t>(done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("pwrite failed: " +
+                               std::string(std::strerror(errno)));
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  // Portable concurrent batch: the submitting thread plus up to
+  // kMaxBatchThreads helpers drain an atomic cursor over the request
+  // array. Each request is an independent pread, so no coordination
+  // beyond the cursor and a first-error slot is needed.
+  Status ReadPagesThreaded(const PageReadRequest* reqs, size_t count) {
+    std::atomic<size_t> next{0};
+    std::mutex err_mu;
+    Status first_err;
+    auto work = [&] {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        Status s = ReadPage(reqs[i].id, reqs[i].out);
+        if (!s.ok()) {
+          std::lock_guard lock(err_mu);
+          if (first_err.ok()) first_err = std::move(s);
+        }
+      }
+    };
+    size_t helpers = std::min(kMaxBatchThreads, count / 2);
+    std::vector<std::thread> threads;
+    threads.reserve(helpers);
+    for (size_t i = 0; i < helpers; ++i) threads.emplace_back(work);
+    work();
+    for (std::thread& t : threads) t.join();
+    return first_err;
+  }
+
+#if defined(CCIDX_HAVE_LIBURING)
+  // io_uring batch submission: one submit_and_wait per chunk of the ring.
+  // Serialized under uring_mu_ — the ring is a single shared resource; the
+  // parallelism is inside the kernel.
+  Status ReadPagesUring(const PageReadRequest* reqs, size_t count) {
+    std::lock_guard lock(uring_mu_);
+    size_t submitted = 0;
+    while (submitted < count) {
+      unsigned chunk = 0;
+      while (submitted + chunk < count) {
+        struct io_uring_sqe* sqe = io_uring_get_sqe(&ring_);
+        if (sqe == nullptr) break;
+        const PageReadRequest& r = reqs[submitted + chunk];
+        io_uring_prep_read(sqe, fd_, r.out, page_size_, Offset(r.id));
+        chunk++;
+      }
+      if (chunk == 0) {
+        return Status::IoError("io_uring submission queue stalled");
+      }
+      int rc = io_uring_submit_and_wait(&ring_, chunk);
+      if (rc < 0) {
+        return Status::IoError("io_uring_submit_and_wait failed");
+      }
+      Status first_err;
+      for (unsigned i = 0; i < chunk; ++i) {
+        struct io_uring_cqe* cqe = nullptr;
+        if (io_uring_wait_cqe(&ring_, &cqe) != 0) {
+          return Status::IoError("io_uring_wait_cqe failed");
+        }
+        if (first_err.ok() &&
+            cqe->res != static_cast<int32_t>(page_size_)) {
+          first_err = Status::IoError("io_uring short or failed read");
+        }
+        io_uring_cqe_seen(&ring_, cqe);
+      }
+      CCIDX_RETURN_IF_ERROR(first_err);
+      submitted += chunk;
+    }
+    return Status::OK();
+  }
+#endif
+
+  int fd_;
+  uint32_t page_size_;
+  bool direct_;
+  uint64_t file_bytes_ = 0;
+  uint8_t* zero_buf_ = nullptr;
+#if defined(CCIDX_HAVE_LIBURING)
+  bool uring_ok_ = false;
+  std::mutex uring_mu_;
+  struct io_uring ring_;
+#endif
+};
+
+// Opens an anonymous temp file in `dir`: O_TMPFILE when the filesystem
+// supports it, else mkstemp + unlink. Returns -1 on failure.
+int OpenAnonFile(const std::string& dir, bool direct) {
+  int flags = O_RDWR | O_CLOEXEC | (direct ? O_DIRECT : 0);
+  int fd = -1;
+#if defined(O_TMPFILE)
+  fd = ::open(dir.c_str(), flags | O_TMPFILE, 0600);
+  if (fd >= 0) return fd;
+#endif
+  std::string tmpl = dir + "/ccidx-device-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  fd = ::mkstemp(buf.data());
+  if (fd < 0) return -1;
+  ::unlink(buf.data());
+  if (direct && ::fcntl(fd, F_SETFL, O_DIRECT) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::unique_ptr<StorageBackend> MakeMemStorageBackend(uint32_t page_size) {
+  return std::make_unique<MemStorageBackend>(page_size);
+}
+
+Result<std::unique_ptr<StorageBackend>> MakeFileStorageBackend(
+    uint32_t page_size, const std::string& dir) {
+  std::string d = PickDir(dir);
+  // O_DIRECT where available: only meaningful when pages are multiples of
+  // the alignment unit; fall back to buffered I/O when the open is refused
+  // (e.g. tmpfs rejects O_DIRECT).
+  bool direct = page_size % kDirectAlign == 0;
+  int fd = direct ? OpenAnonFile(d, /*direct=*/true) : -1;
+  if (fd < 0) {
+    direct = false;
+    fd = OpenAnonFile(d, /*direct=*/false);
+  }
+  if (fd < 0) {
+    return Status::IoError("cannot create device file in '" + d +
+                           "': " + std::string(std::strerror(errno)));
+  }
+  return std::unique_ptr<StorageBackend>(
+      std::make_unique<FileStorageBackend>(fd, page_size, direct));
+}
+
+}  // namespace ccidx

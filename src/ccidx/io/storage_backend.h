@@ -1,0 +1,93 @@
+// StorageBackend: pluggable byte storage behind BlockDevice (DESIGN.md §10).
+//
+// The paper's cost model lives entirely in BlockDevice: transfer counters,
+// fault injection, the allocation table, and latency injection are all
+// front-end concerns and are bit-identical across backends. A backend only
+// moves page-sized byte ranges:
+//
+//   * mem  — the historical in-memory simulator (default): one zeroed
+//            heap allocation per page, stable addresses.
+//   * file — a real file (pread/pwrite), O_DIRECT where the page size
+//            permits it, io_uring batch submission behind the CCIDX_URING
+//            gate with a portable thread-pool fallback. Exists so the
+//            full test suite can replay against real kernel I/O paths.
+//
+// Locking discipline is inherited from BlockDevice and is part of this
+// contract: EnsureCapacity / ZeroPage are invoked only under the device's
+// exclusive lock; ReadPage / WritePage / ReadPages under its shared lock,
+// concurrently, but never two writers (or a writer and a reader) of the
+// same page. Backends therefore need no locking of their own beyond what
+// their batch machinery requires internally.
+
+#ifndef CCIDX_IO_STORAGE_BACKEND_H_
+#define CCIDX_IO_STORAGE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ccidx/common/status.h"
+
+namespace ccidx {
+
+/// Identifier of a page on the device.
+using PageId = uint64_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = ~static_cast<PageId>(0);
+
+/// One entry of a batch read: fill `out[0, page_size)` from page `id`.
+/// The caller owns the buffer and keeps it alive across the call.
+struct PageReadRequest {
+  PageId id = kInvalidPageId;
+  uint8_t* out = nullptr;
+};
+
+/// Byte-moving interface implemented by each storage backend. All page ids
+/// passed in have been validated (allocated, in range) by BlockDevice.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Short stable label ("mem", "file", "file+uring") for logs and the
+  /// per-line `backend` field in benchmark JSON.
+  virtual const char* name() const = 0;
+
+  /// True when transfers leave the process (real kernel I/O): overlap pays
+  /// even without injected latency, so the pager enables speculation.
+  virtual bool real_io() const = 0;
+
+  /// Grows the store so pages [0, num_pages) are addressable; new pages
+  /// read as zeros. Called under the device's exclusive lock.
+  virtual Status EnsureCapacity(uint64_t num_pages) = 0;
+
+  /// Zero-fills one existing page (free-list reuse). Exclusive lock.
+  virtual Status ZeroPage(PageId id) = 0;
+
+  /// Copies one page into `out` (exactly page_size bytes). Shared lock.
+  virtual Status ReadPage(PageId id, uint8_t* out) = 0;
+
+  /// Overwrites one page from `in` (exactly page_size bytes). Shared lock.
+  virtual Status WritePage(PageId id, const uint8_t* in) = 0;
+
+  /// Reads `count` pages, as concurrently as the backend can (io_uring /
+  /// thread pool for file, plain loop for mem). All-or-error: on failure
+  /// the buffer contents are unspecified and the caller retries or aborts
+  /// page-at-a-time. Shared lock. The base implementation is the serial
+  /// loop, which is exact for zero-latency memory.
+  virtual Status ReadPages(const PageReadRequest* reqs, size_t count);
+};
+
+/// The historical in-memory simulator.
+std::unique_ptr<StorageBackend> MakeMemStorageBackend(uint32_t page_size);
+
+/// File-backed storage in `dir` (an anonymous unlinked temp file; empty
+/// dir means $TMPDIR or /tmp). Attempts O_DIRECT when page_size is a
+/// multiple of 4096; uses io_uring for ReadPages when built against
+/// liburing *and* CCIDX_URING=1, else a small persistent thread pool.
+Result<std::unique_ptr<StorageBackend>> MakeFileStorageBackend(
+    uint32_t page_size, const std::string& dir);
+
+}  // namespace ccidx
+
+#endif  // CCIDX_IO_STORAGE_BACKEND_H_

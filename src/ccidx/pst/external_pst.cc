@@ -410,6 +410,13 @@ Status ExternalPst::QueryNode(PageId id, const ThreeSidedQuery& q,
   // Heap order: every descendant's y is <= this node's min y. If some own
   // point already fell below ylo, no descendant can qualify.
   if (h.min_y < q.ylo || em.stopped()) return Status::OK();
+  if (pager_->speculation_budget() > 0 && h.left != kInvalidPageId &&
+      h.right != kInvalidPageId) {
+    // Both subtrees will be descended: stage the two roots as one batched
+    // device round before the left recursion (DESIGN.md §10).
+    PageId both[2] = {h.left, h.right};
+    pager_->WarmMany(both);
+  }
   CCIDX_RETURN_IF_ERROR(QueryNode(h.left, q, em));
   return QueryNode(h.right, q, em);
 }

@@ -119,6 +119,22 @@ class QueryExecutor {
     return quiesce_epochs_.load(std::memory_order_relaxed);
   }
 
+  /// Batch warm-up (DESIGN.md §10): stages `roots` — the entry pages of
+  /// the structures an imminent batch will query — as one concurrent
+  /// device round, so a cold pool under a latency-injecting or file-backed
+  /// device does not pay one dependent read per root on first touch.
+  /// Strict no-op in cost-model mode (speculation budget zero), keeping
+  /// counted batch I/Os identical there.
+  static void Warmup(Pager* pager, std::span<const PageId> roots) {
+    if (pager == nullptr || pager->speculation_budget() == 0) return;
+    std::vector<PageId> ids;
+    ids.reserve(roots.size());
+    for (PageId id : roots) {
+      if (id != kInvalidPageId) ids.push_back(id);
+    }
+    if (!ids.empty()) pager->WarmMany(ids);
+  }
+
   /// Fans `queries` across the workers. `runner` is invoked as
   ///   Status runner(const Query& q, size_t query_index, unsigned thread)
   /// concurrently from the workers; it must only perform const/thread-safe

@@ -312,6 +312,7 @@ TEST_F(PrefetchTest, ChainReadMatchesUnprefetchedAndAddsNoDeviceReads) {
   BlockDevice dev_ref(kPageSize);
   Pager pager_ref(&dev_ref, 64);
   PageId head_ref = WriteChain(&pager_ref, kPoints);
+  ASSERT_TRUE(pager_ref.DropCache().ok());  // cold: the walk must read
   dev_ref.ResetStats();
   std::vector<Point> expect;
   ASSERT_TRUE(PageIo(&pager_ref).ReadChain<Point>(head_ref, &expect).ok());
@@ -323,6 +324,9 @@ TEST_F(PrefetchTest, ChainReadMatchesUnprefetchedAndAddsNoDeviceReads) {
   BlockDevice dev(kPageSize);
   Pager pager(&dev, 64);
   PageId head = WriteChain(&pager, kPoints);
+  // Cold pool: on a warm pool the enqueue-time dedupe would (correctly)
+  // skip every resident id and stage nothing.
+  ASSERT_TRUE(pager.DropCache().ok());
   dev.ResetStats();
   std::vector<Point> got;
   ASSERT_TRUE(PageIo(&pager).ReadChain<Point>(head, &got).ok());
