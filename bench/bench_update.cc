@@ -11,8 +11,10 @@
 
 #include "bench_util.h"
 
+#include <atomic>
 #include <deque>
 #include <random>
+#include <thread>
 
 #include "ccidx/bptree/bptree.h"
 #include "ccidx/core/augmented_metablock_tree.h"
@@ -20,6 +22,8 @@
 #include "ccidx/interval/interval_index.h"
 #include "ccidx/pst/dynamic_pst.h"
 #include "ccidx/pst/external_pst.h"
+#include "ccidx/query/epoch_gate.h"
+#include "ccidx/query/update_executor.h"
 #include "ccidx/testutil/generators.h"
 
 namespace ccidx {
@@ -180,6 +184,96 @@ void BM_UpdateIntervalIndex(benchmark::State& state) {
                2 * lb + lb * lb / b + 1.0);
 }
 
+// Multi-writer scaling series (DESIGN.md §11): each measured step is one
+// update batch entering the EpochGate as a single write epoch, fanned
+// across W writer threads by UpdateExecutor's per-key partition, against
+// the B+-tree's subtree-striped write paths. The readers=1 variants run
+// a saturating reader-batch stream on the same gate, so the series also
+// tracks writer throughput under read interference. Reported:
+// updates_per_sec (the scaling trajectory — the CI update-scaling job
+// asserts >= 1.5x going 1 -> 4 writers on the multicore runner) and the
+// cumulative writer-side gate-wait p50/p99 from the gate histogram.
+void BM_UpdateMultiWriterBPlusTree(benchmark::State& state) {
+  const unsigned writers = static_cast<unsigned>(state.range(0));
+  const bool with_readers = state.range(1) != 0;
+  constexpr size_t kN = size_t{1} << 15;
+  constexpr uint32_t kB = 64;
+  constexpr size_t kBatch = 2048;
+  Disk disk(kB);
+  auto pts = ShortSpanSet(kN, 13);
+  std::vector<BtEntry> init;
+  for (const Point& p : pts) init.push_back({p.x, p.id, p.y});
+  std::sort(init.begin(), init.end());
+  auto tree = BPlusTree::BulkLoad(&disk.pager, init);
+  CCIDX_CHECK(tree.ok());
+
+  EpochGate gate;
+  UpdateExecutor exec(writers);
+  std::atomic<bool> stop{false};
+  std::thread reader;
+  if (with_readers) {
+    reader = std::thread([&] {
+      std::mt19937_64 rrng(0xC0FE);
+      while (!stop.load(std::memory_order_relaxed)) {
+        gate.EnterRead();
+        Coord lo = static_cast<Coord>(rrng() % (kDomain - 4096));
+        uint64_t seen = 0;
+        CCIDX_CHECK(tree->RangeScan(lo, lo + 4096,
+                                    [&](const BtEntry&) { ++seen; })
+                        .ok());
+        benchmark::DoNotOptimize(seen);
+        gate.ExitRead();
+      }
+    });
+  }
+
+  struct WOp {
+    bool insert;
+    Point p;
+  };
+  std::mt19937_64 rng(0xBE9F);
+  std::deque<Point> live(pts.begin(), pts.end());
+  uint64_t next_id = kN, updates = 0;
+  WaitHistogram hist;
+  for (auto _ : state) {
+    // Batch generation is sequential bookkeeping, not the write path —
+    // keep it out of the timed region so it doesn't dampen the scaling
+    // signal. Deletes target the live-set front (inserted at bulk load
+    // or >= one full batch earlier), so no batch deletes a key it also
+    // inserts out of order across workers.
+    state.PauseTiming();
+    std::vector<WOp> ops;
+    ops.reserve(kBatch);
+    for (size_t i = 0; i < kBatch / 2; ++i) {
+      Point fresh = ShortSpan(rng, next_id++);
+      ops.push_back({true, fresh});
+      ops.push_back({false, live.front()});
+      live.pop_front();
+      live.push_back(fresh);
+    }
+    state.ResumeTiming();
+    UpdateReport report = exec.RunUpdates(
+        std::span<const WOp>(ops), [](const WOp& op) { return op.p.id; },
+        [&](const WOp& op, size_t, unsigned) -> Status {
+          if (op.insert) return tree->Insert(op.p.x, op.p.id, op.p.y);
+          bool found = false;
+          return tree->Delete(op.p.x, op.p.id, &found);
+        },
+        &gate);
+    CCIDX_CHECK(report.ok());
+    hist = report.gate_wait_hist;
+    updates += kBatch;
+  }
+  stop.store(true);
+  if (reader.joinable()) reader.join();
+  state.counters["updates_per_sec"] = benchmark::Counter(
+      static_cast<double>(updates), benchmark::Counter::kIsRate);
+  state.counters["gate_wait_p50_ns"] =
+      static_cast<double>(hist.PercentileNs(50.0));
+  state.counters["gate_wait_p99_ns"] =
+      static_cast<double>(hist.PercentileNs(99.0));
+}
+
 BENCHMARK(BM_UpdateAugmentedMetablock)
     ->Args({1 << 14, 64})
     ->Args({1 << 16, 64});
@@ -192,6 +286,17 @@ BENCHMARK(BM_UpdateBPlusTree)->Args({1 << 14, 64})->Args({1 << 16, 64});
 BENCHMARK(BM_UpdateIntervalIndex)
     ->Args({1 << 14, 64})
     ->Args({1 << 16, 64});
+// Writer threads do the measured work while the caller blocks on the
+// pool, so rates must come off wall-clock time.
+BENCHMARK(BM_UpdateMultiWriterBPlusTree)
+    ->ArgNames({"writers", "readers"})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace bench

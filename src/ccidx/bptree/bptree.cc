@@ -42,7 +42,10 @@ size_t RouteInsert(std::span<const BtEntry> seps, int64_t key) {
 }  // namespace
 
 BPlusTree::BPlusTree(Pager* pager)
-    : pager_(pager), root_(kInvalidPageId), size_(0), height_(0) {
+    : pager_(pager),
+      root_(kInvalidPageId),
+      height_(0),
+      sy_(std::make_unique<Sync>()) {
   CCIDX_CHECK(pager_ != nullptr);
   fanout_ = static_cast<uint32_t>((pager_->page_size() - kNodeHeader) /
                                   sizeof(BtEntry));
@@ -91,11 +94,12 @@ Status BPlusTree::StoreNode(PageId id, const Node& node) const {
 }
 
 Status BPlusTree::DescendToLeaf(
-    int64_t key, std::vector<std::pair<PageId, size_t>>* path) const {
+    PageId start, int64_t key,
+    std::vector<std::pair<PageId, size_t>>* path) const {
   path->clear();
   const uint32_t spec = pager_->speculation_budget();
   std::vector<PageId> warm;
-  PageId id = root_;
+  PageId id = start;
   while (true) {
     // One transient pin per level; the separators are routed in place.
     auto view = ViewNode(id);
@@ -120,15 +124,75 @@ Status BPlusTree::DescendToLeaf(
   }
 }
 
+Status BPlusTree::DescendInsert(
+    PageId start, int64_t key, std::vector<std::pair<PageId, size_t>>* path,
+    Node* leaf, bool* all_full) const {
+  path->clear();
+  *all_full = true;
+  PageId id = start;
+  while (true) {
+    auto view = ViewNode(id);
+    CCIDX_RETURN_IF_ERROR(view.status());
+    if (view->entries.size() < fanout_) *all_full = false;
+    if (view->is_leaf) {
+      leaf->is_leaf = true;
+      leaf->next = view->next;
+      leaf->entries.assign(view->entries.begin(), view->entries.end());
+      path->emplace_back(id, 0);
+      return Status::OK();
+    }
+    size_t idx = RouteInsert(view->entries, key);
+    path->emplace_back(id, idx);
+    id = view->entries[idx].value;
+  }
+}
+
 Status BPlusTree::Insert(int64_t key, uint64_t value, int64_t aux) {
   BtEntry entry{key, value, aux};
+  {
+    // Shared-mode attempt: route through the root read-only, latch the
+    // routed subtree, and insert inside it. Restarts exclusive when the
+    // split cascade would reach the root (every path node full).
+    std::shared_lock<std::shared_mutex> tl(sy_->tree_mu);
+    if (root_ != kInvalidPageId && height_ > 1) {
+      size_t idx;
+      PageId child;
+      {
+        auto view = ViewNode(root_);
+        CCIDX_RETURN_IF_ERROR(view.status());
+        idx = RouteInsert(view->entries, key);
+        child = view->entries[idx].value;
+      }  // root pin released before blocking on the stripe
+      std::lock_guard<std::mutex> sg(sy_->stripes[idx % kStripes]);
+      std::vector<std::pair<PageId, size_t>> path;
+      Node node;
+      bool all_full = true;
+      CCIDX_RETURN_IF_ERROR(
+          DescendInsert(child, key, &path, &node, &all_full));
+      if (!all_full) {
+        // Some path node absorbs the cascade, so no write escapes the
+        // latched subtree (path[0] = the root child; SplitAndPropagate
+        // stops at the first non-full ancestor).
+        auto pos = std::upper_bound(node.entries.begin(),
+                                    node.entries.end(), entry);
+        node.entries.insert(pos, entry);
+        sy_->size.fetch_add(1, std::memory_order_relaxed);
+        return SplitAndPropagate(std::move(path), std::move(node));
+      }
+    }
+  }
+  std::unique_lock<std::shared_mutex> tl(sy_->tree_mu);
+  return InsertExclusive(entry);
+}
+
+Status BPlusTree::InsertExclusive(const BtEntry& entry) {
   if (root_ == kInvalidPageId) {
     Node leaf;
     leaf.is_leaf = true;
     leaf.entries.push_back(entry);
     root_ = pager_->Allocate();
     height_ = 1;
-    size_ = 1;
+    sy_->size.store(1, std::memory_order_relaxed);
     return StoreNode(root_, leaf);
   }
 
@@ -136,26 +200,14 @@ Status BPlusTree::Insert(int64_t key, uint64_t value, int64_t aux) {
   // routed in place from pinned frames; only the target leaf is
   // materialized for modification.
   std::vector<std::pair<PageId, size_t>> path;
-  PageId id = root_;
   Node node;
-  while (true) {
-    auto view = ViewNode(id);
-    CCIDX_RETURN_IF_ERROR(view.status());
-    if (view->is_leaf) {
-      node.is_leaf = true;
-      node.next = view->next;
-      node.entries.assign(view->entries.begin(), view->entries.end());
-      path.emplace_back(id, 0);
-      break;
-    }
-    size_t idx = RouteInsert(view->entries, key);
-    path.emplace_back(id, idx);
-    id = view->entries[idx].value;
-  }
+  bool all_full = true;
+  CCIDX_RETURN_IF_ERROR(
+      DescendInsert(root_, entry.key, &path, &node, &all_full));
 
   auto pos = std::upper_bound(node.entries.begin(), node.entries.end(), entry);
   node.entries.insert(pos, entry);
-  size_++;
+  sy_->size.fetch_add(1, std::memory_order_relaxed);
   return SplitAndPropagate(std::move(path), std::move(node));
 }
 
@@ -201,9 +253,53 @@ Status BPlusTree::SplitAndPropagate(
 
 Status BPlusTree::Delete(int64_t key, uint64_t value, bool* found) {
   *found = false;
+  {
+    // Shared-mode attempt: latch the routed subtree and resolve the
+    // delete inside its first candidate leaf. A duplicate run that
+    // continues into the next leaf may cross a subtree boundary, so that
+    // case restarts under the exclusive tree latch.
+    std::shared_lock<std::shared_mutex> tl(sy_->tree_mu);
+    if (root_ == kInvalidPageId) return Status::OK();
+    if (height_ > 1) {
+      size_t idx;
+      PageId child;
+      {
+        auto view = ViewNode(root_);
+        CCIDX_RETURN_IF_ERROR(view.status());
+        idx = RouteLowerBound(view->entries, key);
+        child = view->entries[idx].value;
+      }
+      std::lock_guard<std::mutex> sg(sy_->stripes[idx % kStripes]);
+      std::vector<std::pair<PageId, size_t>> path;
+      CCIDX_RETURN_IF_ERROR(DescendToLeaf(child, key, &path));
+      Node node;
+      CCIDX_RETURN_IF_ERROR(LoadNode(path.back().first, &node));
+      bool passed = false;
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        const BtEntry& e = node.entries[i];
+        if (e.key > key) {
+          passed = true;
+          break;
+        }
+        if (e.key == key && e.value == value) {
+          node.entries.erase(node.entries.begin() + i);
+          sy_->size.fetch_sub(1, std::memory_order_relaxed);
+          *found = true;
+          return StoreNode(path.back().first, node);
+        }
+      }
+      if (passed || node.next == kInvalidPageId) return Status::OK();
+    }
+  }
+  std::unique_lock<std::shared_mutex> tl(sy_->tree_mu);
+  return DeleteExclusive(key, value, found);
+}
+
+Status BPlusTree::DeleteExclusive(int64_t key, uint64_t value, bool* found) {
+  *found = false;
   if (root_ == kInvalidPageId) return Status::OK();
   std::vector<std::pair<PageId, size_t>> path;
-  CCIDX_RETURN_IF_ERROR(DescendToLeaf(key, &path));
+  CCIDX_RETURN_IF_ERROR(DescendToLeaf(root_, key, &path));
   PageId id = path.back().first;
   Node node;
   while (id != kInvalidPageId) {
@@ -213,7 +309,7 @@ Status BPlusTree::Delete(int64_t key, uint64_t value, bool* found) {
       if (e.key > key) return Status::OK();  // passed all candidates
       if (e.key == key && e.value == value) {
         node.entries.erase(node.entries.begin() + i);
-        size_--;
+        sy_->size.fetch_sub(1, std::memory_order_relaxed);
         *found = true;
         return StoreNode(id, node);
       }
@@ -363,7 +459,7 @@ Status BPlusTree::RangeScan(int64_t lo, int64_t hi,
     return RangeScanBatched(lo, hi, &em);
   }
   std::vector<std::pair<PageId, size_t>> path;
-  CCIDX_RETURN_IF_ERROR(DescendToLeaf(lo, &path));
+  CCIDX_RETURN_IF_ERROR(DescendToLeaf(root_, lo, &path));
   PageId id = path.back().first;
   while (id != kInvalidPageId && !em.stopped()) {
     // Keys ascend within a leaf, so the qualifying entries are one
@@ -528,7 +624,7 @@ Result<BPlusTree> BPlusTree::BulkLoad(Pager* pager,
   CCIDX_RETURN_IF_ERROR(root.status());
   tree.root_ = *root;
   tree.height_ = height;
-  tree.size_ = n;
+  tree.sy_->size.store(n, std::memory_order_relaxed);
   scope.Commit();
   return tree;
 }
@@ -554,14 +650,14 @@ Status BPlusTree::Destroy() {
     CCIDX_RETURN_IF_ERROR(pager_->Free(id));
   }
   root_ = kInvalidPageId;
-  size_ = 0;
+  sy_->size.store(0, std::memory_order_relaxed);
   height_ = 0;
   return Status::OK();
 }
 
 Status BPlusTree::CheckInvariants() const {
   if (root_ == kInvalidPageId) {
-    if (size_ != 0) return Status::Corruption("empty tree with size != 0");
+    if (size() != 0) return Status::Corruption("empty tree with size != 0");
     return Status::OK();
   }
 
@@ -619,7 +715,7 @@ Status BPlusTree::CheckInvariants() const {
       }
     }
   }
-  if (counted != size_) {
+  if (counted != size()) {
     return Status::Corruption("entry count mismatch");
   }
 

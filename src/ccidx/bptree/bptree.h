@@ -20,8 +20,13 @@
 #ifndef CCIDX_BPTREE_BPTREE_H_
 #define CCIDX_BPTREE_BPTREE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "ccidx/build/record_stream.h"
@@ -55,10 +60,18 @@ struct BtEntry {
 /// the reference point for the dynamization layer's amortized families
 /// (DESIGN.md §8).
 ///
-/// Thread safety (DESIGN.md §7): RangeScan/RangeSearch are const and safe
-/// to run from any number of threads concurrently over one shared Pager.
-/// Insert/Delete/BulkLoad/Destroy are writes and require external
-/// synchronization (QueryExecutor::Quiesce composes the two).
+/// Thread safety (DESIGN.md §11): RangeScan/RangeSearch are const and safe
+/// to run from any number of threads concurrently over one shared Pager;
+/// the epoch gate excludes them from writes. Within a write epoch, Insert
+/// and Delete are safe from N threads concurrently: each takes the tree
+/// latch shared plus one striped subtree latch keyed by the root child it
+/// routes through, so updates to different root subtrees run in parallel
+/// (no write ever touches another subtree's pages — the root page is
+/// read-only in shared mode). An insert whose split cascade would reach
+/// the root (every node on the descent path full — decided read-only
+/// before any write) and a delete whose duplicate run crosses a leaf
+/// boundary restart under the exclusive tree latch instead. BulkLoad,
+/// Destroy, and CheckInvariants still require full quiescence.
 class BPlusTree {
  public:
   /// Creates an empty tree whose pages are managed by `pager`.
@@ -97,8 +110,10 @@ class BPlusTree {
   Status RangeScan(int64_t lo, int64_t hi,
                    const std::function<void(const BtEntry&)>& fn) const;
 
-  /// Number of entries.
-  uint64_t size() const { return size_; }
+  /// Number of entries. Thread-safe (relaxed read).
+  uint64_t size() const {
+    return sy_->size.load(std::memory_order_relaxed);
+  }
 
   /// Height in nodes (0 for empty tree, 1 for a single leaf).
   uint32_t height() const { return height_; }
@@ -158,9 +173,10 @@ class BPlusTree {
   Status RangeScanBatched(int64_t lo, int64_t hi,
                           SinkEmitter<BtEntry>* em) const;
 
-  // Descends to the leaf that should hold `key`, recording the path as
-  // (page id, child index within parent). path->back() is the leaf.
-  Status DescendToLeaf(int64_t key,
+  // Descends from `start` to the leaf that should hold `key`, recording
+  // the path as (page id, child index within parent). path->back() is
+  // the leaf.
+  Status DescendToLeaf(PageId start, int64_t key,
                        std::vector<std::pair<PageId, size_t>>* path) const;
 
   Status InsertIntoLeaf(const std::vector<std::pair<PageId, size_t>>& path,
@@ -168,11 +184,34 @@ class BPlusTree {
   Status SplitAndPropagate(std::vector<std::pair<PageId, size_t>> path,
                            Node node);
 
+  // Shared-mode descent for Insert: records the path from `start` down
+  // (insert routing), materializes the leaf into `*leaf`, and reports in
+  // `*all_full` whether every node on the path is at capacity — the exact
+  // predicate for "the split cascade reaches above `start`".
+  Status DescendInsert(PageId start, int64_t key,
+                       std::vector<std::pair<PageId, size_t>>* path,
+                       Node* leaf, bool* all_full) const;
+
+  // Full insert/delete under the exclusive tree latch (also the
+  // sequential path for trees of height <= 1).
+  Status InsertExclusive(const BtEntry& entry);
+  Status DeleteExclusive(int64_t key, uint64_t value, bool* found);
+
+  static constexpr size_t kStripes = 16;
+
+  // Write-epoch latches (DESIGN.md §11), boxed so the tree stays
+  // movable. Lock order: tree_mu (shared) -> one stripe.
+  struct Sync {
+    std::shared_mutex tree_mu;
+    std::array<std::mutex, kStripes> stripes;
+    std::atomic<uint64_t> size{0};
+  };
+
   Pager* pager_;
   PageId root_;
-  uint64_t size_;
   uint32_t height_;
   uint32_t fanout_;
+  std::unique_ptr<Sync> sy_;
 };
 
 }  // namespace ccidx

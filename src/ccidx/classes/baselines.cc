@@ -134,8 +134,9 @@ Result<FullExtentIndex> FullExtentIndex::Build(Pager* pager,
   FullExtentIndex index(pager, hierarchy);
   AllocationScope scope(pager);
   const ClassHierarchy& h = *hierarchy;
+  uint64_t n = 0;
   CCIDX_RETURN_IF_ERROR(BulkLoadCollections(
-      pager, h, objects, &index.trees_, &index.size_,
+      pager, h, objects, &index.trees_, &n,
       [&h](const Object& o, internal::CollectionSorter* sorter) {
         Coord code = h.code(o.class_id);
         for (uint32_t c = o.class_id; c != kNoClass; c = h.parent(c)) {
@@ -144,6 +145,7 @@ Result<FullExtentIndex> FullExtentIndex::Build(Pager* pager,
         return Status::OK();
       }));
   scope.Commit();
+  index.size_.store(n, std::memory_order_relaxed);
   return index;
 }
 
@@ -162,7 +164,7 @@ Status FullExtentIndex::Insert(const Object& o) {
   for (uint32_t c = o.class_id; c != kNoClass; c = hierarchy_->parent(c)) {
     CCIDX_RETURN_IF_ERROR(trees_[c].Insert(o.attr, o.id, code));
   }
-  size_++;
+  size_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -178,7 +180,7 @@ Status FullExtentIndex::Delete(const Object& o, bool* found) {
     any |= f;
   }
   if (any) {
-    size_--;
+    size_.fetch_sub(1, std::memory_order_relaxed);
     *found = true;
   }
   return Status::OK();
@@ -219,12 +221,14 @@ Result<ExtentOnlyIndex> ExtentOnlyIndex::Build(Pager* pager,
   ExtentOnlyIndex index(pager, hierarchy);
   AllocationScope scope(pager);
   const ClassHierarchy& h = *hierarchy;
+  uint64_t n = 0;
   CCIDX_RETURN_IF_ERROR(BulkLoadCollections(
-      pager, h, objects, &index.trees_, &index.size_,
+      pager, h, objects, &index.trees_, &n,
       [&h](const Object& o, internal::CollectionSorter* sorter) {
         return sorter->Add({o.class_id, {o.attr, o.id, h.code(o.class_id)}});
       }));
   scope.Commit();
+  index.size_.store(n, std::memory_order_relaxed);
   return index;
 }
 
@@ -241,7 +245,7 @@ Status ExtentOnlyIndex::Insert(const Object& o) {
   }
   CCIDX_RETURN_IF_ERROR(
       trees_[o.class_id].Insert(o.attr, o.id, hierarchy_->code(o.class_id)));
-  size_++;
+  size_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -251,7 +255,7 @@ Status ExtentOnlyIndex::Delete(const Object& o, bool* found) {
     return Status::InvalidArgument("unknown class");
   }
   CCIDX_RETURN_IF_ERROR(trees_[o.class_id].Delete(o.attr, o.id, found));
-  if (*found) size_--;
+  if (*found) size_.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -17,6 +17,8 @@
 #ifndef CCIDX_CLASSES_BASELINES_H_
 #define CCIDX_CLASSES_BASELINES_H_
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -28,9 +30,12 @@ namespace ccidx {
 
 /// One B+-tree over all objects; query-time class filtering.
 ///
-/// Thread safety (all three baselines, DESIGN.md §7): Query is const and
-/// safe to run from any number of threads concurrently over one shared
-/// Pager; Insert/Delete are writes and require external synchronization.
+/// Thread safety (all three baselines, DESIGN.md §7/§11): Query is const
+/// and safe to run from any number of threads concurrently over one
+/// shared Pager. Insert/Delete are N-writer safe *within a write epoch*:
+/// they delegate to B+-trees (subtree-striped latches) and keep their own
+/// size counters atomic. Build/Destroy still require full quiescence
+/// (QueryExecutor::Quiesce; writers fan out via UpdateExecutor).
 class SingleIndexBaseline {
  public:
   SingleIndexBaseline(Pager* pager, const ClassHierarchy* hierarchy);
@@ -64,6 +69,20 @@ class FullExtentIndex {
  public:
   FullExtentIndex(Pager* pager, const ClassHierarchy* hierarchy);
 
+  // Movable (the atomic size counter requires spelling it out; moving is
+  // a write, externally synchronized like all writes).
+  FullExtentIndex(FullExtentIndex&& o) noexcept
+      : hierarchy_(o.hierarchy_),
+        trees_(std::move(o.trees_)),
+        size_(o.size_.load(std::memory_order_relaxed)) {}
+  FullExtentIndex& operator=(FullExtentIndex&& o) noexcept {
+    hierarchy_ = o.hierarchy_;
+    trees_ = std::move(o.trees_);
+    size_.store(o.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Bulk-builds: one external sort of the per-ancestor replicas, then a
   /// bulk load per class tree. Fault-atomic.
   static Result<FullExtentIndex> Build(Pager* pager,
@@ -81,18 +100,31 @@ class FullExtentIndex {
                ResultSink<uint64_t>* sink) const;
   Status Query(uint32_t class_id, Coord a1, Coord a2,
                std::vector<uint64_t>* out) const;
-  uint64_t size() const { return size_; }
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
 
  private:
   const ClassHierarchy* hierarchy_;
   std::vector<BPlusTree> trees_;  // one per class
-  uint64_t size_ = 0;
+  std::atomic<uint64_t> size_{0};
 };
 
 /// One B+-tree per class over the class's own extent (single copy).
 class ExtentOnlyIndex {
  public:
   ExtentOnlyIndex(Pager* pager, const ClassHierarchy* hierarchy);
+
+  // Movable (see FullExtentIndex).
+  ExtentOnlyIndex(ExtentOnlyIndex&& o) noexcept
+      : hierarchy_(o.hierarchy_),
+        trees_(std::move(o.trees_)),
+        size_(o.size_.load(std::memory_order_relaxed)) {}
+  ExtentOnlyIndex& operator=(ExtentOnlyIndex&& o) noexcept {
+    hierarchy_ = o.hierarchy_;
+    trees_ = std::move(o.trees_);
+    size_.store(o.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Bulk-builds: one external sort by (class, attr), then a bulk load
   /// per extent tree. Fault-atomic.
@@ -112,12 +144,12 @@ class ExtentOnlyIndex {
                ResultSink<uint64_t>* sink) const;
   Status Query(uint32_t class_id, Coord a1, Coord a2,
                std::vector<uint64_t>* out) const;
-  uint64_t size() const { return size_; }
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
 
  private:
   const ClassHierarchy* hierarchy_;
   std::vector<BPlusTree> trees_;
-  uint64_t size_ = 0;
+  std::atomic<uint64_t> size_{0};
 };
 
 }  // namespace ccidx

@@ -213,7 +213,11 @@ Status RakeContractIndex::Insert(const Object& o) {
     if (p == kNoClass) break;
     c = p;
   }
-  max_replication_ = std::max(max_replication_, copies);
+  // CAS max: concurrent inserters only ever raise the watermark.
+  uint32_t cur = max_replication_.load(std::memory_order_relaxed);
+  while (copies > cur && !max_replication_.compare_exchange_weak(
+                             cur, copies, std::memory_order_relaxed)) {
+  }
   return Status::OK();
 }
 

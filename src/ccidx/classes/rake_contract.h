@@ -33,6 +33,7 @@
 #ifndef CCIDX_CLASSES_RAKE_CONTRACT_H_
 #define CCIDX_CLASSES_RAKE_CONTRACT_H_
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -56,12 +57,35 @@ uint32_t ThinEdgesToRoot(const ClassHierarchy& h,
 /// Theorem 4.7 class index (bulk build + dynamic updates: native inserts,
 /// deletes via the per-path structures' native/weak deletes).
 ///
-/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
-/// number of threads concurrently over one shared Pager. Insert/Delete/
-/// Build are writes and require external synchronization
-/// (QueryExecutor::Quiesce composes batch serving with updates).
+/// Thread safety (DESIGN.md §7/§11): Query is const and safe to run from
+/// any number of threads concurrently over one shared Pager. Insert/
+/// Delete are N-writer safe within a write epoch by delegation: raked
+/// B+-trees use subtree-striped latches, path 3-sided trees their
+/// per-structure write latch, and the replication watermark is atomic
+/// (updates to the SAME object must stay ordered — route them through
+/// one writer, as UpdateExecutor's per-key partition does). Build
+/// requires full quiescence (QueryExecutor::Quiesce).
 class RakeContractIndex {
  public:
+  // Movable (the atomic watermark requires spelling it out; moving is a
+  // write, externally synchronized like all writes).
+  RakeContractIndex(RakeContractIndex&& o) noexcept
+      : hierarchy_(o.hierarchy_),
+        paths_(std::move(o.paths_)),
+        path_of_(std::move(o.path_of_)),
+        pos_in_path_(std::move(o.pos_in_path_)),
+        max_replication_(
+            o.max_replication_.load(std::memory_order_relaxed)) {}
+  RakeContractIndex& operator=(RakeContractIndex&& o) noexcept {
+    hierarchy_ = o.hierarchy_;
+    paths_ = std::move(o.paths_);
+    path_of_ = std::move(o.path_of_);
+    pos_in_path_ = std::move(o.pos_in_path_);
+    max_replication_.store(
+        o.max_replication_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
   /// Builds over a frozen hierarchy from a stream of objects: each
   /// object's <= log2 c + 1 path copies are tagged with their thick-path
   /// ordinal and external-sorted once; every path structure then
@@ -101,12 +125,14 @@ class RakeContractIndex {
   /// I/Os plus the per-structure purge charges. Under a device fault the
   /// composite walk is resumable, not atomic: retry the same Delete to
   /// remove the remaining replicas (each component delete is itself
-  /// atomic). Writes external (DESIGN.md §7).
+  /// atomic). N-writer safe within a write epoch (see class comment).
   Status Delete(const Object& o, bool* found);
 
   /// Max copies of any object across all structures (Lemma 4.6: <= log2 c
   /// thin edges + 1).
-  uint32_t max_replication() const { return max_replication_; }
+  uint32_t max_replication() const {
+    return max_replication_.load(std::memory_order_relaxed);
+  }
 
   /// Number of thick paths (== number of structures).
   size_t num_paths() const { return paths_.size(); }
@@ -135,7 +161,8 @@ class RakeContractIndex {
   std::vector<PathStructure> paths_;
   std::vector<size_t> path_of_;  // class -> index into paths_
   std::vector<Coord> pos_in_path_;  // class -> position from path top
-  uint32_t max_replication_ = 0;
+  // Monotone watermark, raised by concurrent inserters (CAS max).
+  std::atomic<uint32_t> max_replication_{0};
 };
 
 }  // namespace ccidx

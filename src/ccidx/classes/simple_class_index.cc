@@ -51,7 +51,7 @@ Result<SimpleClassIndex> SimpleClassIndex::Build(
   CCIDX_RETURN_IF_ERROR(merged.status());
   CCIDX_RETURN_IF_ERROR(
       internal::LoadGroupedTrees(pager, *merged, &index.trees_));
-  index.size_ = n;
+  index.size_.store(n, std::memory_order_relaxed);
   scope.Commit();
   return index;
 }
@@ -115,7 +115,7 @@ Status SimpleClassIndex::Insert(const Object& o) {
   for (size_t node : path) {
     CCIDX_RETURN_IF_ERROR(trees_[node].Insert(o.attr, o.id, code));
   }
-  size_++;
+  size_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -138,7 +138,7 @@ Status SimpleClassIndex::Delete(const Object& o, bool* found) {
     return Status::Corruption("object present in only part of its path");
   }
   if (any) {
-    size_--;
+    size_.fetch_sub(1, std::memory_order_relaxed);
     *found = true;
   }
   return Status::OK();

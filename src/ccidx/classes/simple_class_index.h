@@ -34,29 +34,32 @@ namespace ccidx {
 /// the baseline the dynamization layer's amortized families are measured
 /// against (DESIGN.md §8).
 ///
-/// Thread safety (DESIGN.md §7): Query/QueryObjects are const and safe to
-/// run from any number of threads concurrently over one shared Pager.
-/// Insert/Delete/Build are writes and require external synchronization
-/// (QueryExecutor::Quiesce composes batch serving with updates).
+/// Thread safety (DESIGN.md §7/§11): Query/QueryObjects are const and
+/// safe to run from any number of threads concurrently over one shared
+/// Pager. Insert/Delete are N-writer safe within a write epoch: every
+/// covering collection is a B+-tree (subtree-striped latches) and the
+/// size counter is atomic. Build still requires full quiescence
+/// (QueryExecutor::Quiesce; writers fan out via UpdateExecutor).
 class SimpleClassIndex {
  public:
   /// `hierarchy` must be frozen and outlive the index.
   SimpleClassIndex(Pager* pager, const ClassHierarchy* hierarchy);
 
-  // Movable (the atomic diagnostics counter requires spelling it out;
-  // moving is a write, externally synchronized like all writes).
+  // Movable (the atomic counters require spelling it out; moving is a
+  // write, externally synchronized like all writes).
   SimpleClassIndex(SimpleClassIndex&& o) noexcept
       : hierarchy_(o.hierarchy_),
         nodes_(std::move(o.nodes_)),
         trees_(std::move(o.trees_)),
-        size_(o.size_),
+        size_(o.size_.load(std::memory_order_relaxed)),
         last_query_collections_(
             o.last_query_collections_.load(std::memory_order_relaxed)) {}
   SimpleClassIndex& operator=(SimpleClassIndex&& o) noexcept {
     hierarchy_ = o.hierarchy_;
     nodes_ = std::move(o.nodes_);
     trees_ = std::move(o.trees_);
-    size_ = o.size_;
+    size_.store(o.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
     last_query_collections_.store(
         o.last_query_collections_.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
@@ -105,7 +108,7 @@ class SimpleClassIndex {
   Status QueryObjects(uint32_t class_id, Coord a1, Coord a2,
                       std::vector<Object>* out) const;
 
-  uint64_t size() const { return size_; }
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
 
   /// Number of collections (B+-trees) — O(c).
   size_t num_collections() const { return nodes_.size(); }
@@ -138,7 +141,7 @@ class SimpleClassIndex {
   const ClassHierarchy* hierarchy_;
   std::vector<RangeNode> nodes_;
   std::vector<BPlusTree> trees_;  // parallel to nodes_
-  uint64_t size_ = 0;
+  std::atomic<uint64_t> size_{0};
   mutable std::atomic<size_t> last_query_collections_{0};
 };
 

@@ -19,6 +19,7 @@ Status GeneralizedIndex::Insert(const GeneralizedTuple& tuple) {
   }
   auto key = tuple.Project(indexed_var_);
   CCIDX_RETURN_IF_ERROR(key.status());
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
   if (tuple.id() < id_to_slot_.size() &&
       id_to_slot_[tuple.id()] != static_cast<size_t>(-1)) {
     return Status::InvalidArgument("duplicate tuple id");
@@ -33,6 +34,7 @@ Status GeneralizedIndex::Insert(const GeneralizedTuple& tuple) {
 }
 
 Status GeneralizedIndex::Delete(uint64_t tuple_id, bool* found) {
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
   *found = false;
   if (tuple_id >= id_to_slot_.size() ||
       id_to_slot_[tuple_id] == static_cast<size_t>(-1)) {

@@ -11,6 +11,8 @@
 #ifndef CCIDX_CONSTRAINT_GENERALIZED_INDEX_H_
 #define CCIDX_CONSTRAINT_GENERALIZED_INDEX_H_
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ccidx/constraint/generalized_relation.h"
@@ -24,10 +26,12 @@ namespace ccidx {
 /// (endpoint B+-tree natively, stabbing tree by weak delete + scheduled
 /// purge) — amortized O(log_B n + (log_B n)^2/B) I/Os per update.
 ///
-/// Thread safety (DESIGN.md §7): RangeQuery/RangeQueryIds are const and
-/// safe to run from any number of threads concurrently over one shared
-/// Pager. Insert/Delete are writes and require external synchronization
-/// (QueryExecutor::Quiesce composes the two).
+/// Thread safety (DESIGN.md §7/§11): RangeQuery/RangeQueryIds are const
+/// and safe to run from any number of threads concurrently over one
+/// shared Pager. Insert/Delete serialize on an internal per-structure
+/// write latch (the in-memory tuple catalog is rewritten on every
+/// update) — N writer threads may call them within a write epoch.
+/// Build/Destroy require full quiescence (QueryExecutor::Quiesce).
 class GeneralizedIndex {
  public:
   /// Indexes variable `indexed_var` of `arity`-ary tuples.
@@ -71,6 +75,9 @@ class GeneralizedIndex {
   // in-memory catalog here (a heap file in a full DBMS).
   std::vector<GeneralizedTuple> catalog_;
   std::vector<size_t> id_to_slot_;
+  // Per-structure write latch (boxed so the class stays movable):
+  // serializes Insert/Delete within a write epoch (DESIGN.md §11).
+  std::unique_ptr<std::mutex> write_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace ccidx

@@ -561,6 +561,7 @@ Status AugmentedMetablockTree::Insert(const Point& p) {
   if (p.y < p.x) {
     return Status::InvalidArgument("points must satisfy y >= x");
   }
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
   if (tombstones_.Consume(p)) {
     // The identical point is still stored, only tombstoned: consuming the
     // tombstone resurrects it at zero I/O.
@@ -603,6 +604,7 @@ Status AugmentedMetablockTree::Insert(const Point& p) {
 }
 
 Status AugmentedMetablockTree::Delete(const Point& p, bool* found) {
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
   *found = false;
   if (root_ == kInvalidPageId || p.y < p.x) return Status::OK();
   if (tombstones_.Contains(p)) return Status::OK();  // already dead
@@ -614,10 +616,15 @@ Status AugmentedMetablockTree::Delete(const Point& p, bool* found) {
   CCIDX_RETURN_IF_ERROR(QueryRaw(DiagonalQuery{p.y}, &finder));
   if (!exists) return Status::OK();
   *found = true;
-  return DeleteKnown(p);
+  return DeleteKnownLocked(p);
 }
 
 Status AugmentedMetablockTree::DeleteKnown(const Point& p) {
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
+  return DeleteKnownLocked(p);
+}
+
+Status AugmentedMetablockTree::DeleteKnownLocked(const Point& p) {
   if (!tombstones_.Add(p)) return Status::OK();  // already dead
   sched_.NoteDelete();
   if (size_ > 0) size_--;
@@ -903,6 +910,7 @@ Status AugmentedMetablockTree::DestroySubtree(PageId id, bool keep_ts) {
 }
 
 Status AugmentedMetablockTree::Destroy() {
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
   if (root_ == kInvalidPageId) return Status::OK();
   CCIDX_RETURN_IF_ERROR(DestroySubtree(root_, false));
   root_ = kInvalidPageId;

@@ -40,6 +40,8 @@
 #ifndef CCIDX_CORE_AUGMENTED_METABLOCK_TREE_H_
 #define CCIDX_CORE_AUGMENTED_METABLOCK_TREE_H_
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -68,11 +70,15 @@ namespace ccidx {
 ///          queries stay O(log_B n + t/B) on live output and space stays
 ///          O(n/B) pages.
 ///
-/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
-/// number of threads concurrently over one shared Pager. Insert/Delete/
-/// Build/Destroy are writes and require external synchronization (no
-/// concurrent queries while an update runs; QueryExecutor::Quiesce
-/// composes the two).
+/// Thread safety (DESIGN.md §7/§11): Query is const and safe to run from
+/// any number of threads concurrently over one shared Pager. Insert/
+/// Delete/DeleteKnown/Destroy serialize on an internal per-structure
+/// write latch — N writer threads may call them within a write epoch
+/// (progress is one-at-a-time: metablock reorganizations rewrite control
+/// pages, buffers, and TS chains in place along arbitrary paths; spread
+/// load across structures when write scaling matters). Build and
+/// CheckInvariants require full quiescence (QueryExecutor::Quiesce;
+/// writers fan out via UpdateExecutor).
 class AugmentedMetablockTree {
  public:
   /// Creates an empty tree.
@@ -117,8 +123,12 @@ class AugmentedMetablockTree {
   /// O(log_B n + t/B) I/Os.
   Status Query(const DiagonalQuery& q, std::vector<Point>* out) const;
 
-  /// Live points (excludes tombstoned-but-not-yet-purged points).
-  uint64_t size() const { return size_; }
+  /// Live points (excludes tombstoned-but-not-yet-purged points). Safe
+  /// against concurrent updates (reads under the write latch).
+  uint64_t size() const {
+    std::lock_guard<std::mutex> lk(*write_mu_);
+    return size_;
+  }
   /// Weak deletes awaiting the next purge (diagnostics; always less than
   /// half the live weight by the scheduler's purge rule).
   size_t outstanding_tombstones() const { return tombstones_.size(); }
@@ -250,6 +260,10 @@ class AugmentedMetablockTree {
   // pipeline, then retires the old pages by id (fault-atomic).
   Status GlobalPurgeRebuild();
 
+  // DeleteKnown's body, called with write_mu_ held (Delete holds the
+  // latch across its membership probe, so it must not re-lock).
+  Status DeleteKnownLocked(const Point& p);
+
   Status CheckSubtree(PageId id, bool is_root, Coord* node_ymax_out,
                       uint64_t* count_out) const;
 
@@ -259,6 +273,10 @@ class AugmentedMetablockTree {
   uint32_t branching_;
   PointTombstones tombstones_;
   RebuildScheduler sched_;
+  // Per-structure write latch (boxed so the class stays movable):
+  // serializes Insert/Delete/DeleteKnown/Destroy within a write epoch
+  // (DESIGN.md §11).
+  std::unique_ptr<std::mutex> write_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace ccidx

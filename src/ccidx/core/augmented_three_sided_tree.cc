@@ -637,6 +637,7 @@ Result<PageId> AugmentedThreeSidedTree::RebuildSubtree(PageId id) {
 }
 
 Status AugmentedThreeSidedTree::Insert(const Point& p) {
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
   if (tombstones_.Consume(p)) {
     // The identical point is still stored, only tombstoned: consuming the
     // tombstone resurrects it at zero I/O.
@@ -677,6 +678,7 @@ Status AugmentedThreeSidedTree::Insert(const Point& p) {
 }
 
 Status AugmentedThreeSidedTree::Delete(const Point& p, bool* found) {
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
   *found = false;
   if (root_ == kInvalidPageId) return Status::OK();
   if (tombstones_.Contains(p)) return Status::OK();  // already dead
@@ -687,10 +689,15 @@ Status AugmentedThreeSidedTree::Delete(const Point& p, bool* found) {
   CCIDX_RETURN_IF_ERROR(QueryRaw(ThreeSidedQuery{p.x, p.x, p.y}, &finder));
   if (!exists) return Status::OK();
   *found = true;
-  return DeleteKnown(p);
+  return DeleteKnownLocked(p);
 }
 
 Status AugmentedThreeSidedTree::DeleteKnown(const Point& p) {
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
+  return DeleteKnownLocked(p);
+}
+
+Status AugmentedThreeSidedTree::DeleteKnownLocked(const Point& p) {
   if (!tombstones_.Add(p)) return Status::OK();  // already dead
   sched_.NoteDelete();
   if (size_ > 0) size_--;
@@ -1108,6 +1115,7 @@ Status AugmentedThreeSidedTree::DestroySubtree(PageId id, bool keep_ts) {
 }
 
 Status AugmentedThreeSidedTree::Destroy() {
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
   if (root_ == kInvalidPageId) return Status::OK();
   CCIDX_RETURN_IF_ERROR(DestroySubtree(root_, false));
   root_ = kInvalidPageId;

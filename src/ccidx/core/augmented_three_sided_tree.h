@@ -28,6 +28,8 @@
 #ifndef CCIDX_CORE_AUGMENTED_THREE_SIDED_TREE_H_
 #define CCIDX_CORE_AUGMENTED_THREE_SIDED_TREE_H_
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -54,10 +56,15 @@ namespace ccidx {
 ///          before dead points reach half the live weight, keeping space
 ///          O(n/B) and queries O(log_B n + log2 B + t/B) on live output.
 ///
-/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
-/// number of threads concurrently over one shared Pager. Insert/Delete/
-/// Build/Destroy are writes and require external synchronization
-/// (QueryExecutor::Quiesce composes batch serving with updates).
+/// Thread safety (DESIGN.md §7/§11): Query is const and safe to run from
+/// any number of threads concurrently over one shared Pager. Insert/
+/// Delete/DeleteKnown/Destroy serialize on an internal per-structure
+/// write latch — N writer threads may call them within a write epoch
+/// (progress is one-at-a-time: metablock reorganizations rewrite control
+/// pages, PSTs, and TS chains in place along arbitrary paths; spread
+/// load across structures when write scaling matters). Build and
+/// CheckInvariants require full quiescence (QueryExecutor::Quiesce;
+/// writers fan out via UpdateExecutor).
 class AugmentedThreeSidedTree {
  public:
   /// Creates an empty tree (B >= 8 required; B from the pager page size).
@@ -99,8 +106,12 @@ class AugmentedThreeSidedTree {
   /// Appends all points with q.xlo <= x <= q.xhi and y >= q.ylo to `out`.
   Status Query(const ThreeSidedQuery& q, std::vector<Point>* out) const;
 
-  /// Live points (excludes tombstoned-but-not-yet-purged points).
-  uint64_t size() const { return size_; }
+  /// Live points (excludes tombstoned-but-not-yet-purged points). Safe
+  /// against concurrent updates (reads under the write latch).
+  uint64_t size() const {
+    std::lock_guard<std::mutex> lk(*write_mu_);
+    return size_;
+  }
   /// Weak deletes awaiting the next purge (diagnostics).
   size_t outstanding_tombstones() const { return tombstones_.size(); }
   uint32_t branching() const { return branching_; }
@@ -217,6 +228,10 @@ class AugmentedThreeSidedTree {
   // pages by id (fault-atomic; DESIGN.md §8).
   Status GlobalPurgeRebuild();
 
+  // DeleteKnown's body, called with write_mu_ held (Delete holds the
+  // latch across its membership probe, so it must not re-lock).
+  Status DeleteKnownLocked(const Point& p);
+
   Status CheckSubtree(PageId id, Coord* node_ymax_out,
                       uint64_t* count_out) const;
 
@@ -226,6 +241,10 @@ class AugmentedThreeSidedTree {
   uint32_t branching_;
   PointTombstones tombstones_;
   RebuildScheduler sched_;
+  // Per-structure write latch (boxed so the class stays movable):
+  // serializes Insert/Delete/DeleteKnown/Destroy within a write epoch
+  // (DESIGN.md §11).
+  std::unique_ptr<std::mutex> write_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace ccidx

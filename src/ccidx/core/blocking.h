@@ -8,9 +8,12 @@
 //     page chain, used to scan "from the top down" and stop within one page
 //     of crossing a horizontal boundary.
 //
-// Thread safety (DESIGN.md §7): the scan helpers only Pin pages and keep
-// all state on the stack, so they are safe from any number of threads
-// concurrently; the writer-side builders require external synchronization.
+// Thread safety (DESIGN.md §7/§11): the scan helpers only Pin pages and
+// keep all state on the stack, so they are safe from any number of
+// threads concurrently. The writer-side builders mutate chains in place
+// with no internal latches: callers run them under full quiescence or
+// under the owning structure's write latch (every dynamic family that
+// rewrites blockings holds one — DESIGN.md §11).
 
 #ifndef CCIDX_CORE_BLOCKING_H_
 #define CCIDX_CORE_BLOCKING_H_

@@ -52,9 +52,10 @@ namespace ccidx {
 
 /// On-disk corner structure for one metablock (Lemma 3.1).
 ///
-/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
-/// number of threads concurrently over one shared Pager. Build/Free are
-/// writes and require external synchronization.
+/// Thread safety (DESIGN.md §7/§11): Query is const and safe to run from
+/// any number of threads concurrently over one shared Pager. Build/Free
+/// have no internal latches: callers run them under full quiescence or
+/// under the owning metablock tree's write latch (DESIGN.md §11).
 class CornerStructure {
  public:
   /// Builds over `points` (need not be sorted; all must satisfy y >= x).

@@ -60,9 +60,10 @@ struct MetablockOptions {
 /// Static metablock tree (Section 3.1). Build once, query many times; for
 /// insertions use AugmentedMetablockTree (Section 3.2).
 ///
-/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
-/// number of threads concurrently over one shared Pager. Build/Destroy
-/// are writes and require external synchronization.
+/// Thread safety (DESIGN.md §7/§11): Query is const and safe to run from
+/// any number of threads concurrently over one shared Pager. The
+/// structure is static — Build/Destroy are its only writes and require
+/// full quiescence (no internal latches to rely on within a write epoch).
 class MetablockTree {
  public:
   /// Builds from an x-sorted group (resident or device-resident); every

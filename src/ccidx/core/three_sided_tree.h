@@ -46,9 +46,10 @@ namespace ccidx {
 
 /// Static metablock tree answering 3-sided queries (Lemma 4.3).
 ///
-/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
-/// number of threads concurrently over one shared Pager. Build/Destroy
-/// are writes and require external synchronization.
+/// Thread safety (DESIGN.md §7/§11): Query is const and safe to run from
+/// any number of threads concurrently over one shared Pager. The
+/// structure is static — Build/Destroy are its only writes and require
+/// full quiescence (no internal latches to rely on within a write epoch).
 class ThreeSidedTree {
  public:
   /// Builds from an x-sorted group of arbitrary planar points — the one

@@ -16,8 +16,10 @@
 //            4.3), updates as above
 //
 // Space stays O(n/B) pages: levels are geometric and tombstones are
-// purged before they reach half the live weight. Reads-concurrent /
-// writes-external per the DESIGN.md §7 contract.
+// purged before they reach half the live weight. Reads are concurrent
+// per DESIGN.md §7; writes are N-writer safe within a write epoch
+// through Dynamized's buffer/level latches (DESIGN.md §11), with
+// Build/Destroy still requiring full quiescence.
 
 #ifndef CCIDX_DYNAMIC_ADAPTERS_H_
 #define CCIDX_DYNAMIC_ADAPTERS_H_

@@ -38,16 +38,40 @@
 // the adapter exactly as it was, still answering queries, with
 // live_pages back to its pre-merge baseline.
 //
-// Thread safety (DESIGN.md §7): Query is const and safe from any number
-// of threads concurrently. Insert/Delete/Destroy are writes and require
-// external synchronization (QueryExecutor::Quiesce composes batch serving
-// with updates).
+// Thread safety (DESIGN.md §11): Query is const and safe from any number
+// of threads concurrently; the epoch gate (QueryExecutor) excludes it
+// from writes. Within a write epoch, Insert and Delete are safe from N
+// threads concurrently through three internal latches, acquired in the
+// fixed order merge → levels → buffer:
+//   * merge_mu    — at most one merge (flush or purge) at a time; the
+//                   merging thread holds it across harvest + build.
+//   * levels_mu   — shared for level reads (membership probes, harvest
+//                   scans), exclusive only for the O(levels) install.
+//   * buffer_mu   — guards the append buffer. While a merge is in
+//                   flight the buffer is append-only (merge_in_flight):
+//                   the merge harvested a snapshot prefix, install
+//                   removes exactly that prefix, and buffer-erase
+//                   deletes fall back to the tombstone path so the
+//                   prefix identity is never disturbed.
+// Purge rebuilds can also run split-phase on a maintenance thread
+// (DESIGN.md §11): PrepareGlobalRebuild harvests and builds under a
+// shared (read) gate epoch, CommitGlobalRebuild installs under the
+// exclusive gate and validates the RebuildScheduler::update_stamp() it
+// harvested at — any interleaved update makes the commit a no-op that
+// frees the built pages instead. SetPurgeHook diverts Delete's inline
+// purge trigger to that path. Destroy, Build, CheckInvariants, and
+// num_levels still require full quiescence.
 
 #ifndef CCIDX_DYNAMIC_LOG_METHOD_H_
 #define CCIDX_DYNAMIC_LOG_METHOD_H_
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -90,7 +114,8 @@ class Dynamized {
       : pager_(pager),
         buffer_cap_(buffer_capacity != 0
                         ? buffer_capacity
-                        : PageIo(pager).CapacityFor(sizeof(Record))) {
+                        : PageIo(pager).CapacityFor(sizeof(Record))),
+        sy_(std::make_unique<Sync>()) {
     CCIDX_CHECK(buffer_cap_ > 0);
   }
 
@@ -114,42 +139,75 @@ class Dynamized {
     scope.Commit();
     out.levels_[k].st.emplace(std::move(*st));
     out.levels_[k].count = n;
-    out.stored_ = n;
+    out.sy_->stored.store(n, kRlx);
     return out;
   }
 
   /// Inserts a record (unique identity). Amortized
   /// O((log2(n/B) * log_B n) / B) I/Os. Re-inserting a tombstoned
-  /// identity resurrects the stored record at zero I/O.
+  /// identity resurrects the stored record at zero I/O. Safe from N
+  /// writer threads concurrently (write epoch).
   Status Insert(const Record& r) {
     if (tombstones_.Consume(r)) {
       sched_.NoteTombstoneConsumed();
       return Status::OK();
     }
-    buffer_.push_back(r);
-    if (buffer_.size() >= buffer_cap_) return Flush();
+    bool full;
+    {
+      std::lock_guard<std::mutex> bg(sy_->buffer_mu);
+      buffer_.push_back(r);
+      sy_->buffer_size.store(buffer_.size(), kRlx);
+      full = buffer_.size() >= buffer_cap_;
+    }
+    sched_.Touch();
+    // A full buffer flushes; if a merge is already in flight the append
+    // stands (append-only discipline) and Flush blocks on merge_mu until
+    // that merge lands, then re-checks — so overflow is bounded by one
+    // record per concurrent writer.
+    if (full) return Flush();
     return Status::OK();
   }
 
   /// Weak delete. Sets *found. One membership probe (family query
   /// anchored at the record) + amortized O((log_B n)/B) purge charge.
+  /// Safe from N writer threads concurrently (write epoch).
   Status Delete(const Record& r, bool* found) {
     *found = false;
-    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
-      if (*it == r) {
-        buffer_.erase(it);
-        *found = true;
-        return Status::OK();
+    bool in_buffer = false;
+    {
+      std::lock_guard<std::mutex> bg(sy_->buffer_mu);
+      auto it = std::find(buffer_.begin(), buffer_.end(), r);
+      if (it != buffer_.end()) {
+        if (!sy_->merge_in_flight) {
+          buffer_.erase(it);
+          sy_->buffer_size.store(buffer_.size(), kRlx);
+          *found = true;
+        } else {
+          // The merge harvested a buffer prefix; erasing here could
+          // desync the prefix removal at install. Tombstone instead —
+          // the record lands in the merged level (or stays buffered)
+          // already marked dead, and the next purge expunges it.
+          in_buffer = true;
+        }
       }
     }
-    if (tombstones_.Contains(r)) return Status::OK();  // already dead
-    bool exists = false;
-    CCIDX_RETURN_IF_ERROR(Lookup(r, &exists));
-    if (!exists) return Status::OK();
-    tombstones_.Add(r);
+    if (*found) {
+      sched_.Touch();
+      return Status::OK();
+    }
+    if (!in_buffer) {
+      if (tombstones_.Contains(r)) return Status::OK();  // already dead
+      bool exists = false;
+      {
+        std::shared_lock<std::shared_mutex> lg(sy_->levels_mu);
+        CCIDX_RETURN_IF_ERROR(LookupLocked(r, &exists));
+      }
+      if (!exists) return Status::OK();
+    }
+    if (!tombstones_.Add(r)) return Status::OK();  // concurrent delete won
     sched_.NoteDelete();
     *found = true;
-    if (sched_.ShouldPurge(size())) return GlobalRebuild();
+    if (sched_.ShouldPurge(size())) return TriggerPurge();
     return Status::OK();
   }
 
@@ -172,9 +230,13 @@ class Dynamized {
     return Query(q, &sink);
   }
 
-  /// Live records (stored + buffered - tombstoned).
+  /// Live records (stored + buffered - tombstoned). Thread-safe; a
+  /// momentarily torn read across the three counters only shifts the
+  /// purge heuristic by O(1).
   uint64_t size() const {
-    return stored_ + buffer_.size() - tombstones_.size();
+    uint64_t s = sy_->stored.load(kRlx) + sy_->buffer_size.load(kRlx);
+    uint64_t t = tombstones_.size();
+    return t > s ? 0 : s - t;
   }
 
   size_t num_levels() const {
@@ -183,10 +245,100 @@ class Dynamized {
     return n;
   }
   size_t outstanding_tombstones() const { return tombstones_.size(); }
-  uint64_t merges() const { return merges_; }
+  uint64_t merges() const { return sy_->merges.load(kRlx); }
+
+  /// Diverts Delete's inline purge trigger to `hook` (typically: enqueue
+  /// a split-phase rebuild on a MaintenanceThread). The hook fires at
+  /// most once per outstanding purge (deduplicated until Commit/Abandon).
+  /// Requires external synchronization (install before going concurrent).
+  void SetPurgeHook(std::function<void()> hook) {
+    purge_hook_ = std::move(hook);
+  }
+
+  /// A split-phase purge rebuild in flight: the replacement structure is
+  /// built and durable, the old levels are still serving.
+  struct PendingRebuild {
+    std::optional<Structure> fresh;
+    std::vector<PageId> pages;      // complete page set of `fresh`
+    uint64_t merged = 0;            // records in `fresh`
+    size_t level = 0;               // target level k
+    size_t harvested_buffer = 0;    // buffer prefix folded into `fresh`
+    std::vector<Record> purged;     // tombstones the rebuild expunged
+    uint64_t stamp = 0;             // sched_.update_stamp() at harvest
+  };
+
+  /// Phase 1 of a background purge: harvest every level + the buffer and
+  /// build the replacement. Call under a *shared* gate epoch — it only
+  /// reads the adapter (and writes fresh pages), so it runs concurrently
+  /// with queries. The built pages are committed durable; the caller
+  /// must pass the result to CommitGlobalRebuild or AbandonGlobalRebuild.
+  Result<PendingRebuild> PrepareGlobalRebuild() {
+    std::lock_guard<std::mutex> mg(sy_->merge_mu);
+    PendingRebuild p;
+    p.stamp = sched_.update_stamp();
+    std::vector<Record> buf_copy;
+    {
+      std::lock_guard<std::mutex> bg(sy_->buffer_mu);
+      buf_copy = buffer_;
+    }
+    p.harvested_buffer = buf_copy.size();
+    uint64_t total = buf_copy.size() + sy_->stored.load(kRlx);
+    size_t k = levels_.empty() ? 0 : levels_.size() - 1;
+    while (LevelCapacity(k) < total) k++;
+    p.level = k;
+
+    AllocationScope scope(pager_);
+    ExternalSorter<Record, typename Traits::BuildLess> sorter(pager_);
+    CCIDX_RETURN_IF_ERROR(HarvestInto(&sorter, buf_copy, k, &p.purged));
+    p.merged = sorter.records_added();
+    if (p.merged > 0) {
+      auto sorted = sorter.Finish();
+      CCIDX_RETURN_IF_ERROR(sorted.status());
+      auto st = Traits::BuildFromSorted(pager_, *sorted, p.merged);
+      CCIDX_RETURN_IF_ERROR(st.status());
+      p.fresh.emplace(std::move(*st));
+      p.pages = scope.pages();
+    }
+    scope.Commit();
+    return p;
+  }
+
+  /// Phase 2: install the prepared rebuild. Call under the *exclusive*
+  /// gate epoch. Returns true iff it committed; if any update landed
+  /// since PrepareGlobalRebuild (stamp mismatch) the pending pages are
+  /// freed instead and the adapter is untouched (the next purge trigger
+  /// re-fires). Either way the purge-pending latch is released.
+  bool CommitGlobalRebuild(PendingRebuild&& p) {
+    std::lock_guard<std::mutex> mg(sy_->merge_mu);
+    if (p.stamp != sched_.update_stamp()) {
+      AbandonGlobalRebuild(std::move(p));
+      return false;
+    }
+    InstallLocked(p.level, p.harvested_buffer, std::move(p.fresh),
+                  std::move(p.pages), p.merged);
+    for (const Record& r : p.purged) {
+      tombstones_.Consume(r);
+      sched_.NoteTombstoneConsumed();
+    }
+    sched_.Reset();
+    sy_->purge_pending.store(false, kRlx);
+    return true;
+  }
+
+  /// Discards a prepared rebuild: frees its pages by id (no device
+  /// reads) and releases the purge-pending latch.
+  void AbandonGlobalRebuild(PendingRebuild&& p) {
+    for (PageId id : p.pages) {
+      (void)pager_->Free(id);
+    }
+    p.fresh.reset();
+    p.pages.clear();
+    sy_->purge_pending.store(false, kRlx);
+  }
 
   /// Frees every page of every level — by retained page id, no device
-  /// reads, so it succeeds even under active fault injection.
+  /// reads, so it succeeds even under active fault injection. Requires
+  /// full quiescence.
   Status Destroy() {
     Status first = Status::OK();
     for (Level& lv : levels_) {
@@ -199,14 +351,20 @@ class Dynamized {
     levels_.clear();
     buffer_.clear();
     tombstones_.Clear();
-    stored_ = 0;
+    sy_->stored.store(0, kRlx);
+    sy_->buffer_size.store(0, kRlx);
+    sy_->purge_pending.store(false, kRlx);
     sched_.Reset();
     return first;
   }
 
   /// Level-size envelope + per-level structural checks + count agreement.
+  /// Requires full quiescence.
   Status CheckInvariants() const {
-    if (buffer_.size() > buffer_cap_) {
+    // Appends during an in-flight merge may transiently overfill the
+    // buffer (bounded by one record per concurrent writer), so the
+    // envelope allows 2x; sequential operation never exceeds 1x.
+    if (buffer_.size() > static_cast<size_t>(buffer_cap_) * 2) {
       return Status::Corruption("dynamized buffer over capacity");
     }
     uint64_t stored = 0;
@@ -227,20 +385,35 @@ class Dynamized {
       CCIDX_RETURN_IF_ERROR(Traits::Check(*lv.st));
       stored += lv.count;
     }
-    if (stored != stored_) {
+    if (stored != sy_->stored.load(kRlx)) {
       return Status::Corruption("stored-record accounting mismatch");
     }
-    if (tombstones_.size() > stored_) {
+    if (tombstones_.size() > stored + buffer_.size()) {
       return Status::Corruption("more tombstones than stored records");
     }
     return Status::OK();
   }
 
  private:
+  static constexpr auto kRlx = std::memory_order_relaxed;
+
   struct Level {
     std::optional<Structure> st;
     uint64_t count = 0;           // physically stored (incl. tombstoned)
     std::vector<PageId> pages;    // complete page set (scope snapshot)
+  };
+
+  // The write-epoch latches + concurrently-read counters, boxed so the
+  // adapter stays movable (lock order: merge -> levels -> buffer).
+  struct Sync {
+    std::mutex merge_mu;
+    std::shared_mutex levels_mu;
+    std::mutex buffer_mu;
+    bool merge_in_flight = false;  // guarded by buffer_mu
+    std::atomic<uint64_t> stored{0};       // records in levels
+    std::atomic<uint64_t> buffer_size{0};  // mirrors buffer_.size()
+    std::atomic<uint64_t> merges{0};
+    std::atomic<bool> purge_pending{false};
   };
 
   uint64_t LevelCapacity(size_t i) const {
@@ -269,7 +442,8 @@ class Dynamized {
   };
 
   // Buffer scan + level fan-out into `target`; `stopped()` reports the
-  // latched consumer verdict between levels.
+  // latched consumer verdict between levels. Read-epoch path: the gate
+  // excludes writers, so no latch is taken.
   template <typename Stopped>
   Status QueryThrough(const QueryT& q, ResultSink<Record>* target,
                       Stopped stopped) const {
@@ -284,7 +458,8 @@ class Dynamized {
     return Status::OK();
   }
 
-  Status Lookup(const Record& r, bool* exists) const {
+  // Membership probe over the levels. Caller holds levels_mu (shared).
+  Status LookupLocked(const Record& r, bool* exists) const {
     *exists = false;
     QueryT probe = Traits::ProbeQuery(r);
     ExactMatchSink<Record> finder(r, exists);
@@ -296,29 +471,42 @@ class Dynamized {
     return Status::OK();
   }
 
-  // Merges the buffer and levels [0, k] into level k, purging tombstoned
-  // records. Fault-atomic (see file comment).
-  Status MergeInto(size_t k) {
-    EnsureLevels(k + 1);
-    AllocationScope scope(pager_);
-    ExternalSorter<Record, typename Traits::BuildLess> sorter(pager_);
-    std::vector<Record> purged;
+  // Routes a purge: through the hook (deduplicated) when one is set,
+  // inline otherwise. Caller holds no latch.
+  Status TriggerPurge() {
+    if (purge_hook_) {
+      if (!sy_->purge_pending.exchange(true, kRlx)) purge_hook_();
+      return Status::OK();
+    }
+    return GlobalRebuild();
+  }
 
+  // Streams `buf` + levels [0, k] through the tombstone filter into
+  // `sorter`; expunged records accumulate in `purged` (applied only
+  // after the merge lands). Takes levels_mu shared for the scans.
+  template <typename Sorter>
+  Status HarvestInto(Sorter* sorter, const std::vector<Record>& buf,
+                     size_t k, std::vector<Record>* purged) {
     Status feed = Status::OK();
-    for (const Record& r : buffer_) {
-      feed = sorter.Add(r);
+    for (const Record& r : buf) {
+      if (tombstones_.Contains(r)) {
+        purged->push_back(r);  // buffered record tombstoned mid-merge
+        continue;
+      }
+      feed = sorter->Add(r);
       if (!feed.ok()) return feed;
     }
-    for (size_t i = 0; i <= k; ++i) {
+    std::shared_lock<std::shared_mutex> lg(sy_->levels_mu);
+    for (size_t i = 0; i <= k && i < levels_.size(); ++i) {
       if (!levels_[i].st.has_value()) continue;
       FunctionSink<Record> into_sorter(
           [&](std::span<const Record> batch) -> SinkState {
             for (const Record& r : batch) {
               if (tombstones_.Contains(r)) {
-                purged.push_back(r);  // applied only after the merge lands
+                purged->push_back(r);
                 continue;
               }
-              feed = sorter.Add(r);
+              feed = sorter->Add(r);
               if (!feed.ok()) return SinkState::kStop;
             }
             return SinkState::kContinue;
@@ -327,6 +515,65 @@ class Dynamized {
       CCIDX_RETURN_IF_ERROR(s);
       CCIDX_RETURN_IF_ERROR(feed);
     }
+    return Status::OK();
+  }
+
+  // Retires levels [0, k] and the harvested buffer prefix, installs the
+  // replacement at level k. Caller holds merge_mu; takes levels_mu
+  // exclusive + buffer_mu for the O(levels) swap.
+  void InstallLocked(size_t k, size_t harvested_buffer,
+                     std::optional<Structure>&& fresh,
+                     std::vector<PageId>&& fresh_pages, uint64_t merged) {
+    std::unique_lock<std::shared_mutex> lg(sy_->levels_mu);
+    std::lock_guard<std::mutex> bg(sy_->buffer_mu);
+    EnsureLevels(k + 1);
+    uint64_t old_total = 0;
+    for (size_t i = 0; i <= k; ++i) {
+      old_total += levels_[i].count;
+      for (PageId id : levels_[i].pages) {
+        (void)pager_->Free(id);
+      }
+      levels_[i] = Level{};
+    }
+    levels_[k].st = std::move(fresh);
+    levels_[k].count = merged;
+    levels_[k].pages = std::move(fresh_pages);
+    sy_->stored.store(sy_->stored.load(kRlx) - old_total + merged, kRlx);
+    size_t cut = std::min(harvested_buffer, buffer_.size());
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(cut));
+    sy_->buffer_size.store(buffer_.size(), kRlx);
+    sy_->merge_in_flight = false;
+    sy_->merges.fetch_add(1, kRlx);
+  }
+
+  // Merges a buffer-prefix snapshot and levels [0, k] into level k,
+  // purging tombstoned records. Caller holds merge_mu. Fault-atomic
+  // (see file comment): on error the in-flight flag is lowered and the
+  // scope rolls the built pages back.
+  Status MergeIntoLocked(size_t k, size_t harvest_n) {
+    std::vector<Record> buf_copy;
+    {
+      std::lock_guard<std::mutex> bg(sy_->buffer_mu);
+      harvest_n = std::min(harvest_n, buffer_.size());
+      buf_copy.assign(buffer_.begin(),
+                      buffer_.begin() + static_cast<ptrdiff_t>(harvest_n));
+      sy_->merge_in_flight = true;
+    }
+    struct FlagLower {
+      Sync* sy;
+      bool armed = true;
+      ~FlagLower() {
+        if (!armed) return;
+        std::lock_guard<std::mutex> bg(sy->buffer_mu);
+        sy->merge_in_flight = false;
+      }
+    } lower{sy_.get()};
+
+    AllocationScope scope(pager_);
+    ExternalSorter<Record, typename Traits::BuildLess> sorter(pager_);
+    std::vector<Record> purged;
+    CCIDX_RETURN_IF_ERROR(HarvestInto(&sorter, buf_copy, k, &purged));
 
     const uint64_t merged = sorter.records_added();
     std::optional<Structure> fresh;
@@ -341,48 +588,53 @@ class Dynamized {
     }
     scope.Commit();
 
-    // Point of no return: the replacement is durable. Retire the old
-    // levels by page id (no device reads — cannot fail mid-way) and
-    // consume the tombstones the merge expunged.
-    uint64_t old_total = 0;
-    for (size_t i = 0; i <= k; ++i) {
-      old_total += levels_[i].count;
-      for (PageId id : levels_[i].pages) {
-        (void)pager_->Free(id);
-      }
-      levels_[i] = Level{};
-    }
-    levels_[k].st = std::move(fresh);
-    levels_[k].count = merged;
-    levels_[k].pages = std::move(fresh_pages);
+    // Point of no return: the replacement is durable. InstallLocked
+    // retires the old levels by page id (no device reads — cannot fail
+    // mid-way), removes the harvested prefix, and lowers the flag.
+    lower.armed = false;
+    InstallLocked(k, harvest_n, std::move(fresh), std::move(fresh_pages),
+                  merged);
     for (const Record& r : purged) {
       tombstones_.Consume(r);
       sched_.NoteTombstoneConsumed();
     }
-    stored_ = stored_ - old_total + merged;  // merged includes the buffer
-    buffer_.clear();
-    merges_ += 1;
     return Status::OK();
   }
 
   Status Flush() {
-    uint64_t total = buffer_.size();
+    std::lock_guard<std::mutex> mg(sy_->merge_mu);
+    size_t harvest_n;
+    {
+      std::lock_guard<std::mutex> bg(sy_->buffer_mu);
+      // Re-check: another writer's flush may have drained the buffer
+      // while this one waited on merge_mu.
+      if (buffer_.size() < buffer_cap_) return Status::OK();
+      harvest_n = buffer_.size();
+    }
+    // Level counts are stable under merge_mu (installs hold it).
+    uint64_t total = harvest_n;
     size_t k = 0;
     while (true) {
       total += k < levels_.size() ? levels_[k].count : 0;
       if (total <= LevelCapacity(k)) break;
       k++;
     }
-    return MergeInto(k);
+    return MergeIntoLocked(k, harvest_n);
   }
 
   // Global merge-and-purge: everything (buffer + all levels) lands in one
   // level and every expungeable tombstone is consumed.
   Status GlobalRebuild() {
+    std::lock_guard<std::mutex> mg(sy_->merge_mu);
+    size_t harvest_n;
+    {
+      std::lock_guard<std::mutex> bg(sy_->buffer_mu);
+      harvest_n = buffer_.size();
+    }
+    uint64_t total = harvest_n + sy_->stored.load(kRlx);
     size_t k = levels_.empty() ? 0 : levels_.size() - 1;
-    uint64_t total = buffer_.size() + stored_;
     while (LevelCapacity(k) < total) k++;
-    CCIDX_RETURN_IF_ERROR(MergeInto(k));
+    CCIDX_RETURN_IF_ERROR(MergeIntoLocked(k, harvest_n));
     sched_.Reset();
     return Status::OK();
   }
@@ -393,8 +645,8 @@ class Dynamized {
   std::vector<Level> levels_;
   Tombstones tombstones_;
   RebuildScheduler sched_;
-  uint64_t stored_ = 0;  // records in levels, incl. tombstoned
-  uint64_t merges_ = 0;
+  std::unique_ptr<Sync> sy_;
+  std::function<void()> purge_hook_;
 };
 
 }  // namespace ccidx

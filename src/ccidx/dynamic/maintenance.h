@@ -1,0 +1,163 @@
+// MaintenanceThread: background purge/global rebuilds off the updating
+// thread (DESIGN.md §11).
+//
+// The inline rebuild path charges a full O(n/B) rebuild to whichever
+// unlucky update trips the RebuildScheduler threshold — correct for the
+// amortized bounds, but a latency cliff under serving traffic. This
+// thread runs the split-phase alternative every dynamized family
+// exposes:
+//
+//   prepare  — under a *shared* (read) gate epoch: harvest the old
+//              structure and build the replacement. Concurrent with
+//              query batches; writers are excluded by the gate, so the
+//              harvest is consistent without long latch holds.
+//   commit   — under the *exclusive* (write) gate epoch: validate the
+//              RebuildScheduler::update_stamp() captured at harvest and
+//              swap the roots (free-list work only — no device I/O). If
+//              any update landed in between, the commit aborts, the
+//              fresh pages are freed, and the structure's next trigger
+//              re-fires: updates are never blocked behind a rebuild and
+//              never clobbered by one.
+//
+// Wiring: install the trigger with the structure's hook setter, e.g.
+//   dyn.SetPurgeHook([&] { maint.Schedule(maint.RebuildJob(&dyn)); });
+//   pst.SetRebuildHook([&] { maint.Schedule(maint.RebuildJob(&pst)); });
+// The hook fires from an update path that may hold the write gate, so
+// Schedule only enqueues (never blocks on the gate). Drain() must not be
+// called while holding the write gate — the queued jobs need read and
+// write epochs of their own to finish.
+//
+// Lifetime: the thread references the gate and the structures inside its
+// queued jobs; destroy it (or Drain) before destroying either.
+
+#ifndef CCIDX_DYNAMIC_MAINTENANCE_H_
+#define CCIDX_DYNAMIC_MAINTENANCE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "ccidx/query/epoch_gate.h"
+
+namespace ccidx {
+
+class MaintenanceThread {
+ public:
+  /// `gate` is the serving executor's epoch gate (nullptr for standalone
+  /// use in tests: jobs then run without epoch protection and the caller
+  /// must keep writers quiescent around them).
+  explicit MaintenanceThread(EpochGate* gate = nullptr)
+      : gate_(gate), thread_([this] { Loop(); }) {}
+
+  ~MaintenanceThread() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  MaintenanceThread(const MaintenanceThread&) = delete;
+  MaintenanceThread& operator=(const MaintenanceThread&) = delete;
+
+  /// Enqueues a job; never blocks on the gate (safe to call from a hook
+  /// firing inside a write epoch).
+  void Schedule(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      queue_.push_back(std::move(job));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until every scheduled job has run. Must not be called while
+  /// holding the write gate (see file comment).
+  void Drain() {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return queue_.empty() && !busy_; });
+  }
+
+  /// The split-phase rebuild job for any structure exposing
+  /// PrepareGlobalRebuild / CommitGlobalRebuild / AbandonGlobalRebuild
+  /// (Dynamized, ExternalPst). Prepare runs under a read epoch, commit
+  /// under the write epoch with stamp validation.
+  template <typename Structure>
+  std::function<void()> RebuildJob(Structure* s) {
+    return [this, s] {
+      if (gate_ != nullptr) gate_->EnterRead();
+      auto pending = s->PrepareGlobalRebuild();
+      if (gate_ != nullptr) gate_->ExitRead();
+      if (!pending.ok()) {
+        // The build failed (the scope already rolled its pages back);
+        // release the pending latch so the next trigger re-fires.
+        s->AbandonGlobalRebuild({});
+        rebuilds_failed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      bool committed;
+      if (gate_ != nullptr) gate_->EnterWrite();
+      committed = s->CommitGlobalRebuild(std::move(*pending));
+      if (gate_ != nullptr) gate_->ExitWrite();
+      (committed ? rebuilds_committed_ : rebuilds_aborted_)
+          .fetch_add(1, std::memory_order_relaxed);
+    };
+  }
+
+  /// Split-phase rebuilds that installed / that aborted on a stale stamp
+  /// (the trigger re-fires) / whose prepare phase failed outright.
+  uint64_t rebuilds_committed() const {
+    return rebuilds_committed_.load(std::memory_order_relaxed);
+  }
+  uint64_t rebuilds_aborted() const {
+    return rebuilds_aborted_.load(std::memory_order_relaxed);
+  }
+  uint64_t rebuilds_failed() const {
+    return rebuilds_failed_.load(std::memory_order_relaxed);
+  }
+
+  EpochGate* gate() const { return gate_; }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: a dropped job would leave a
+      // structure's rebuild-pending latch set forever.
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      std::function<void()> job = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+      lk.unlock();
+      job();
+      lk.lock();
+      busy_ = false;
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+
+  EpochGate* gate_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool busy_ = false;                        // guarded by mu_
+  bool stop_ = false;                        // guarded by mu_
+  std::atomic<uint64_t> rebuilds_committed_{0};
+  std::atomic<uint64_t> rebuilds_aborted_{0};
+  std::atomic<uint64_t> rebuilds_failed_{0};
+  std::thread thread_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_DYNAMIC_MAINTENANCE_H_

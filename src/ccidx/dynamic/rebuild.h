@@ -21,12 +21,16 @@
 //     and the t/B output term, so a global rebuild must expunge them.
 // `min_updates` keeps tiny structures from rebuilding on every update.
 //
-// Thread safety: plain counters, mutated only on update paths, which are
-// externally synchronized (DESIGN.md §7 writes-external contract).
+// Thread safety: relaxed atomic counters, so N writer threads note their
+// updates without coordination (DESIGN.md §11). The thresholds are
+// heuristics — a momentarily stale read just shifts a rebuild by O(1)
+// updates. update_stamp() gives background rebuilds a cheap staleness
+// token: harvest at stamp S, commit only if the stamp is still S.
 
 #ifndef CCIDX_DYNAMIC_REBUILD_H_
 #define CCIDX_DYNAMIC_REBUILD_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace ccidx {
@@ -45,42 +49,78 @@ class RebuildScheduler {
 
   RebuildScheduler() = default;
   explicit RebuildScheduler(Options options) : options_(options) {}
+  // Counters are copied relaxed; copying races with updates only at
+  // structure-build time, which is single-threaded.
+  RebuildScheduler(const RebuildScheduler& o)
+      : options_(o.options_),
+        updates_(o.updates_.load(kRlx)),
+        deletes_(o.deletes_.load(kRlx)),
+        stamp_(o.stamp_.load(kRlx)) {}
+  RebuildScheduler& operator=(const RebuildScheduler& o) {
+    options_ = o.options_;
+    updates_.store(o.updates_.load(kRlx), kRlx);
+    deletes_.store(o.deletes_.load(kRlx), kRlx);
+    stamp_.store(o.stamp_.load(kRlx), kRlx);
+    return *this;
+  }
 
-  void NoteInsert() { updates_ += 1; }
+  void NoteInsert() {
+    updates_.fetch_add(1, kRlx);
+    stamp_.fetch_add(1, kRlx);
+  }
   void NoteDelete() {
-    updates_ += 1;
-    deletes_ += 1;
+    updates_.fetch_add(1, kRlx);
+    deletes_.fetch_add(1, kRlx);
+    stamp_.fetch_add(1, kRlx);
   }
   /// A purge consumed one outstanding tombstone without a rebuild (e.g. a
   /// re-insert resurrected the record, or a partial rebuild expunged it).
   void NoteTombstoneConsumed() {
-    if (deletes_ > 0) deletes_ -= 1;
+    // Clamped decrement: concurrent decrements may transiently race the
+    // clamp, but the counter is a heuristic and Reset() rebases it.
+    uint64_t d = deletes_.load(kRlx);
+    while (d > 0 && !deletes_.compare_exchange_weak(d, d - 1, kRlx)) {
+    }
+    // A resurrection changes liveness, so background rebuilds prepared
+    // before it must not commit.
+    stamp_.fetch_add(1, kRlx);
   }
+
+  /// Bumps the staleness stamp without touching the rebuild counters:
+  /// for structural changes (buffer appends, buffer erases) that do not
+  /// feed the rebuild heuristics but do invalidate a prepared rebuild.
+  void Touch() { stamp_.fetch_add(1, kRlx); }
 
   /// True when total updates since the last rebuild amount to the
   /// configured fraction of the live weight.
   bool ShouldRebuild(uint64_t live_weight) const {
-    return Exceeds(updates_, live_weight);
+    return Exceeds(updates_.load(kRlx), live_weight);
   }
 
   /// True when outstanding deletes alone amount to the fraction of the
   /// live weight (space/report bounds require expunging tombstones).
   bool ShouldPurge(uint64_t live_weight) const {
-    return Exceeds(deletes_, live_weight);
+    return Exceeds(deletes_.load(kRlx), live_weight);
   }
 
   /// Call after a global rebuild: the structure is freshly balanced and
   /// holds no dead records.
   void Reset() {
-    updates_ = 0;
-    deletes_ = 0;
+    updates_.store(0, kRlx);
+    deletes_.store(0, kRlx);
+    stamp_.fetch_add(1, kRlx);
   }
 
-  uint64_t updates_since_rebuild() const { return updates_; }
-  uint64_t deletes_since_rebuild() const { return deletes_; }
+  uint64_t updates_since_rebuild() const { return updates_.load(kRlx); }
+  uint64_t deletes_since_rebuild() const { return deletes_.load(kRlx); }
+  /// Monotonic staleness token for background rebuilds: bumps on every
+  /// noted update and on Reset, never repeats.
+  uint64_t update_stamp() const { return stamp_.load(kRlx); }
   const Options& options() const { return options_; }
 
  private:
+  static constexpr auto kRlx = std::memory_order_relaxed;
+
   bool Exceeds(uint64_t count, uint64_t live_weight) const {
     // count > fraction * live + min_updates, in overflow-safe integers.
     return count > options_.min_updates &&
@@ -89,8 +129,9 @@ class RebuildScheduler {
   }
 
   Options options_;
-  uint64_t updates_ = 0;
-  uint64_t deletes_ = 0;
+  std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> deletes_{0};
+  std::atomic<uint64_t> stamp_{0};
 };
 
 }  // namespace ccidx

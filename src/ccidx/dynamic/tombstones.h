@@ -22,16 +22,32 @@
 // tombstoned identity "resurrects" the stored record (the tombstone is
 // consumed) instead of adding a duplicate.
 //
-// Thread safety: reads (Contains/Filter) are safe concurrently with each
-// other; mutation happens only on update paths, which are externally
-// synchronized (DESIGN.md §7).
+// Thread safety (DESIGN.md §11): the set is concurrent. The exact hash
+// set is split across fixed shards (own mutex each, picked by the high
+// hash bits), and the counting filter is mutated through
+// std::atomic_ref<uint32_t> under a shared filter latch — so N writer
+// threads Add/Consume/Contains without ever taking the big epoch gate.
+// Filter growth (and Clear) is the only exclusive event: it takes every
+// shard lock plus the filter latch exclusively. Lock order: shard locks
+// in ascending index, then the filter latch.
+//
+// The raw counting-filter view (filter_counters()/filter_mask()) stays a
+// plain uint32_t* so the SIMD batch probe reads it without atomics; it is
+// only valid while no thread mutates the set — i.e. during read epochs,
+// which is exactly when the reporting paths run (the write-epoch
+// membership probes go through Contains(), which latches).
 
 #ifndef CCIDX_DYNAMIC_TOMBSTONES_H_
 #define CCIDX_DYNAMIC_TOMBSTONES_H_
 
+#include <array>
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <type_traits>
 #include <unordered_set>
@@ -81,57 +97,129 @@ struct PointIdentityHash {
 template <typename Record, typename Hash>
 class TombstoneSet {
  public:
-  TombstoneSet() : counters_(kMinSlots, 0), mask_(kMinSlots - 1) {}
+  TombstoneSet() : s_(std::make_unique<State>()) {}
+  // Movable (families holding a set are built and returned by value);
+  // moving while other threads operate on the set is a caller bug.
+  TombstoneSet(TombstoneSet&&) noexcept = default;
+  TombstoneSet& operator=(TombstoneSet&&) noexcept = default;
 
   /// Marks a record dead. Returns false if it was already tombstoned.
+  /// Safe from N threads concurrently.
   bool Add(const Record& r) {
-    if (!set_.insert(r).second) return false;
-    if (set_.size() * 4 > counters_.size()) GrowFilter();
-    counters_[Hash{}(r) & mask_]++;
+    const uint64_t h = Hash{}(r);
+    bool grow;
+    {
+      std::lock_guard<std::mutex> sg(s_->ShardOf(h).mu);
+      if (!s_->ShardOf(h).set.insert(r).second) return false;
+      s_->size.fetch_add(1, std::memory_order_relaxed);
+      std::shared_lock<std::shared_mutex> fg(s_->filter_mu);
+      std::atomic_ref<uint32_t>(s_->counters[h & s_->mask])
+          .fetch_add(1, std::memory_order_relaxed);
+      grow = s_->size.load(std::memory_order_relaxed) * 4 >
+             s_->counters.size();
+    }
+    if (grow) GrowFilter();
     return true;
   }
 
   /// Consumes a tombstone (the record was expunged by a rebuild, or
   /// resurrected by a re-insert). Returns true iff it was present.
+  /// Safe from N threads concurrently.
   bool Consume(const Record& r) {
-    if (set_.erase(r) == 0) return false;
-    counters_[Hash{}(r) & mask_]--;
+    const uint64_t h = Hash{}(r);
+    std::lock_guard<std::mutex> sg(s_->ShardOf(h).mu);
+    if (s_->ShardOf(h).set.erase(r) == 0) return false;
+    s_->size.fetch_sub(1, std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> fg(s_->filter_mu);
+    std::atomic_ref<uint32_t>(s_->counters[h & s_->mask])
+        .fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
 
+  /// Exact membership probe, safe concurrently with Add/Consume from
+  /// other threads (this is the write-epoch path; the lock-free
+  /// counting-filter fast path below serves read epochs).
   bool Contains(const Record& r) const {
-    // The counting filter decides the common (live) case with one probe
-    // of a flat array; only colliding slots pay the bucket chase.
-    return counters_[Hash{}(r) & mask_] != 0 && set_.count(r) > 0;
+    const uint64_t h = Hash{}(r);
+    {
+      // The counting filter decides the common (live) case with one
+      // probe of a flat array; only colliding slots pay the bucket
+      // chase. The filter latch pins the array against growth.
+      std::shared_lock<std::shared_mutex> fg(s_->filter_mu);
+      if (std::atomic_ref<const uint32_t>(s_->counters[h & s_->mask])
+              .load(std::memory_order_relaxed) == 0) {
+        return false;
+      }
+    }
+    std::lock_guard<std::mutex> sg(s_->ShardOf(h).mu);
+    return s_->ShardOf(h).set.count(r) > 0;
   }
-  size_t size() const { return set_.size(); }
-  bool empty() const { return set_.empty(); }
+  size_t size() const { return s_->size.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
   void Clear() {
-    set_.clear();
-    counters_.assign(kMinSlots, 0);
-    mask_ = kMinSlots - 1;
+    auto locks = s_->LockAllShards();
+    std::unique_lock<std::shared_mutex> fg(s_->filter_mu);
+    for (Shard& sh : s_->shards) sh.set.clear();
+    s_->size.store(0, std::memory_order_relaxed);
+    s_->counters.assign(kMinSlots, 0);
+    s_->mask = kMinSlots - 1;
   }
 
   /// Filter predicate for reporting paths: true iff the record is live.
   bool Live(const Record& r) const { return !Contains(r); }
 
-  /// Counting-filter view for the batch-probe kernel.
-  const uint32_t* filter_counters() const { return counters_.data(); }
-  uint64_t filter_mask() const { return mask_; }
+  /// Counting-filter view for the batch-probe kernel. Raw (no atomics):
+  /// valid only while no thread mutates the set, i.e. during read
+  /// epochs — reporting's only window.
+  const uint32_t* filter_counters() const { return s_->counters.data(); }
+  uint64_t filter_mask() const { return s_->mask; }
 
  private:
   static constexpr size_t kMinSlots = 64;
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_set<Record, Hash> set;
+  };
+
+  struct State {
+    State() : counters(kMinSlots, 0), mask(kMinSlots - 1) {}
+
+    // High bits pick the shard so shard choice stays independent of the
+    // filter slot (low bits) and of the hash table's own bucket index.
+    // (shards is mutable: Contains() latches a shard through const.)
+    Shard& ShardOf(uint64_t h) const { return shards[(h >> 48) % kShards]; }
+
+    std::vector<std::unique_lock<std::mutex>> LockAllShards() {
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(kShards);
+      for (Shard& sh : shards) locks.emplace_back(sh.mu);
+      return locks;
+    }
+
+    mutable std::array<Shard, kShards> shards;
+    std::atomic<size_t> size{0};
+    mutable std::shared_mutex filter_mu;
+    std::vector<uint32_t> counters;  // atomic_ref'd under filter_mu shared
+    uint64_t mask;
+  };
 
   void GrowFilter() {
-    size_t slots = std::bit_ceil(set_.size() * 8);
-    counters_.assign(slots, 0);
-    mask_ = slots - 1;
-    for (const Record& r : set_) counters_[Hash{}(r) & mask_]++;
+    // Lock order everywhere: shard locks (ascending), then filter latch.
+    auto locks = s_->LockAllShards();
+    std::unique_lock<std::shared_mutex> fg(s_->filter_mu);
+    size_t n = s_->size.load(std::memory_order_relaxed);
+    if (n * 4 <= s_->counters.size()) return;  // another thread grew first
+    size_t slots = std::bit_ceil(n * 8);
+    s_->counters.assign(slots, 0);
+    s_->mask = slots - 1;
+    for (const Shard& sh : s_->shards) {
+      for (const Record& r : sh.set) s_->counters[Hash{}(r) & s_->mask]++;
+    }
   }
 
-  std::unordered_set<Record, Hash> set_;
-  std::vector<uint32_t> counters_;
-  uint64_t mask_;
+  std::unique_ptr<State> s_;
 };
 
 using PointTombstones = TombstoneSet<Point, PointIdentityHash>;

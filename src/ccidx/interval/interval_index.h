@@ -42,10 +42,14 @@ namespace ccidx {
 /// Dynamic external-memory interval index (stabbing + intersection) with
 /// the optimal log_B search term: native inserts, weak deletes.
 ///
-/// Thread safety (DESIGN.md §7): Stab/Intersect are const and safe to run
-/// from any number of threads concurrently over one shared Pager.
-/// Insert/Delete/Build/Destroy are writes and require external
-/// synchronization (QueryExecutor::Quiesce composes the two).
+/// Thread safety (DESIGN.md §7/§11): Stab/Intersect are const and safe
+/// to run from any number of threads concurrently over one shared Pager.
+/// Insert/Delete are N-writer safe within a write epoch by delegation:
+/// the endpoint B+-tree uses subtree-striped latches and the stabbing
+/// tree serializes on its per-structure write latch (two updates to the
+/// SAME interval must stay ordered — route them through one writer, as
+/// UpdateExecutor's per-key partition does). Build/Destroy require full
+/// quiescence (QueryExecutor::Quiesce).
 class IntervalIndex {
  public:
   /// Creates an empty index whose pages live on `pager`. The pager's page

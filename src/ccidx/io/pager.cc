@@ -43,8 +43,13 @@ void PageRef::Release() {
     // Lock-free unpin: a read pin releases with a single atomic decrement,
     // no shard lock. The release order pairs with the eviction sweep's
     // acquire load, so a frame observed unpinned is safe to reuse.
+    Pager* pager = pager_;
     uint32_t prev = frame_->pins.fetch_sub(1, std::memory_order_release);
     CCIDX_CHECK(prev > 0);
+    // A frame just went evictable: re-stage any warm hints that were
+    // parked while the pool was pin-saturated (one relaxed load when
+    // nothing is parked — the hot path stays lock-free).
+    if (prev == 1) pager->ReviveDeferredPrefetches();
   } else {
     // Transient read pin: recycle the arena slot (or drop the heap
     // fallback). No I/O.
@@ -93,6 +98,7 @@ Status MutPageRef::Release() {
     uint32_t prev = frame_->pins.fetch_sub(1, std::memory_order_release);
     CCIDX_CHECK(prev > 0);
     frame_ = nullptr;
+    if (prev == 1) pager->ReviveDeferredPrefetches();
     return Status::OK();
   }
   // Uncached: the page lives only in this handle; write it back now so the
@@ -260,44 +266,63 @@ void Pager::TableEraseLocked(Shard& shard, uint32_t pos) {
 
 void Pager::RecordAllocation(PageId id) {
   std::lock_guard lock(alloc_scopes_mu_);
-  if (!alloc_scopes_.empty()) alloc_scopes_.back().insert(id);
+  // Allocations land in the calling thread's innermost scope only:
+  // concurrent writers' scoped builds stay disjoint by construction.
+  auto it = alloc_scopes_.find(std::this_thread::get_id());
+  if (it != alloc_scopes_.end() && !it->second.empty()) {
+    it->second.back().insert(id);
+  }
 }
 
 void Pager::ForgetAllocation(PageId id) {
   std::lock_guard lock(alloc_scopes_mu_);
-  // A page is recorded in at most one scope; erase wherever it lives.
-  for (auto& scope : alloc_scopes_) {
-    if (scope.erase(id) > 0) return;
+  // A page is recorded in at most one scope; erase wherever it lives
+  // (frees may run on a different thread than the allocating scope).
+  for (auto& [tid, stack] : alloc_scopes_) {
+    for (auto& scope : stack) {
+      if (scope.erase(id) > 0) return;
+    }
   }
 }
 
-AllocationScope::AllocationScope(Pager* pager) : pager_(pager) {
+AllocationScope::AllocationScope(Pager* pager)
+    : pager_(pager), tid_(std::this_thread::get_id()) {
   std::lock_guard lock(pager_->alloc_scopes_mu_);
-  depth_ = pager_->alloc_scopes_.size();
-  pager_->alloc_scopes_.emplace_back();
+  auto& stack = pager_->alloc_scopes_[tid_];
+  depth_ = stack.size();
+  stack.emplace_back();
 }
 
 std::vector<PageId> AllocationScope::pages() const {
   std::lock_guard lock(pager_->alloc_scopes_mu_);
-  CCIDX_CHECK(depth_ < pager_->alloc_scopes_.size());
-  const std::unordered_set<PageId>& set = pager_->alloc_scopes_[depth_];
+  auto it = pager_->alloc_scopes_.find(tid_);
+  CCIDX_CHECK(it != pager_->alloc_scopes_.end() &&
+              depth_ < it->second.size());
+  const std::unordered_set<PageId>& set = it->second[depth_];
   return std::vector<PageId>(set.begin(), set.end());
 }
 
 AllocationScope::~AllocationScope() {
+  CCIDX_CHECK(tid_ == std::this_thread::get_id());
   std::unordered_set<PageId> pages;
   {
     std::lock_guard lock(pager_->alloc_scopes_mu_);
-    pages = std::move(pager_->alloc_scopes_.back());
-    pager_->alloc_scopes_.pop_back();
+    auto it = pager_->alloc_scopes_.find(tid_);
+    CCIDX_CHECK(it != pager_->alloc_scopes_.end() && !it->second.empty());
+    auto& stack = it->second;
+    pages = std::move(stack.back());
+    stack.pop_back();
     if (committed_) {
       // Fold into the enclosing scope (if any) so an outer rollback still
       // covers these pages.
-      if (!pager_->alloc_scopes_.empty()) {
-        pager_->alloc_scopes_.back().merge(pages);
+      if (!stack.empty()) {
+        stack.back().merge(pages);
+      } else {
+        pager_->alloc_scopes_.erase(it);
       }
       return;
     }
+    if (stack.empty()) pager_->alloc_scopes_.erase(it);
   }
   // Rollback: free every recorded page that is still live. Free() needs
   // no device transfer, so this succeeds under active fault injection.
@@ -453,6 +478,8 @@ Status Pager::Free(PageId id) {
   }
   Status s = device_->Free(id);
   if (s.ok()) ForgetAllocation(id);
+  // A freed slot is new capacity: re-stage parked warm hints.
+  if (s.ok() && capacity_ > 0) ReviveDeferredPrefetches();
   return s;
 }
 
@@ -689,7 +716,14 @@ Status Pager::BatchLoadResident(std::span<const PageId> ids,
         installed[m] = frame;
       }
     }
-    if (installed[m] != nullptr || !pin) continue;  // warm: drop silently
+    if (installed[m] == nullptr && !pin) {
+      // Warm hint with a pin-saturated home shard: park it for the
+      // clock-hand feed — the next pin release or Free re-stages it —
+      // instead of dropping the already-paid read's locality hint.
+      DeferPrefetch(e.id);
+      continue;
+    }
+    if (installed[m] != nullptr || !pin) continue;
     // Home shard pin-saturated: degrade to transient handles over the
     // already-read scratch bytes (Pin's contract, at the same device
     // cost), unless the whole pool is pinned.
@@ -865,6 +899,37 @@ void Pager::DrainPrefetch() {
   prefetch_idle_cv_.wait(lock, [this] {
     return prefetch_queue_.empty() && prefetch_inflight_ == 0;
   });
+}
+
+void Pager::DeferPrefetch(PageId id) {
+  if (!prefetch_enabled_) return;
+  std::lock_guard lock(deferred_prefetch_mu_);
+  for (PageId parked : deferred_prefetch_) {
+    if (parked == id) return;
+  }
+  if (deferred_prefetch_.size() >= kDeferredPrefetchCap) {
+    // Drop the oldest: later hints track the scan's frontier.
+    deferred_prefetch_.erase(deferred_prefetch_.begin());
+  }
+  deferred_prefetch_.push_back(id);
+  deferred_prefetch_count_.store(deferred_prefetch_.size(),
+                                 std::memory_order_relaxed);
+  prefetches_deferred_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Pager::ReviveDeferredPrefetches() {
+  // Relaxed fast path: pin releases are the lock-free hot path and parked
+  // hints are rare, so the common case must stay one load.
+  if (deferred_prefetch_count_.load(std::memory_order_relaxed) == 0) return;
+  std::vector<PageId> ids;
+  {
+    std::lock_guard lock(deferred_prefetch_mu_);
+    ids.swap(deferred_prefetch_);
+    deferred_prefetch_count_.store(0, std::memory_order_relaxed);
+  }
+  if (ids.empty()) return;
+  prefetches_revived_.fetch_add(ids.size(), std::memory_order_relaxed);
+  Prefetch(ids);
 }
 
 bool Pager::AnyOtherShardHasCapacity(uint32_t except) const {
@@ -1066,6 +1131,13 @@ Status Pager::DropCache() {
   // Quiesce readahead first: a straggler landing after the clear would
   // leave the "cold" cache warm for exactly the page about to be pinned.
   DrainPrefetch();
+  {
+    // Parked warm hints die with the cache: reviving one after the clear
+    // would silently re-warm a page the caller just made cold.
+    std::lock_guard lock(deferred_prefetch_mu_);
+    deferred_prefetch_.clear();
+    deferred_prefetch_count_.store(0, std::memory_order_relaxed);
+  }
   CCIDX_RETURN_IF_ERROR(TakeDeferredError());
   uint64_t pins = outstanding_pins();
   if (pins > 0) {

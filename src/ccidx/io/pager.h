@@ -34,10 +34,14 @@
 //
 //   Thread-safe against each other: Pin, PageRef::Release, and the
 //     evictions / device reads they trigger — the read-serving hot path.
-//   Externally synchronized (single writer, no concurrent readers of the
-//     same page): PinMut, PinNew, Allocate, Free, Write, Flush,
-//     DropCache, AllocationScope — the build/update paths, exactly the
-//     operations every index family documents as "writes external".
+//   Thread-safe for DISTINCT pages (DESIGN.md §11): PinMut, PinNew,
+//     Allocate, Free, Write, and AllocationScope (scope stacks are per
+//     thread). N writer threads may build and mutate concurrently as
+//     long as no two touch the same page at the same time — which is
+//     what the families' internal write latches guarantee, and why
+//     updates parallelize inside one exclusive epoch.
+//   Externally synchronized (no concurrent pager calls at all): Flush,
+//     DropCache — whole-pool maintenance entry points.
 //
 // When capacity_pages == 0 the pool is disabled and every pin is a private
 // transient copy: Pin costs one device read, MutPageRef::Release() costs
@@ -59,6 +63,7 @@
 #include <mutex>
 #include <span>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -238,7 +243,10 @@ class MutPageRef {
 /// injection is rejecting transfers — chain-walking cleanup cannot.
 /// Scopes nest: committing an inner scope folds its pages into the
 /// enclosing one, so a sub-build participates in its caller's atomicity.
-/// Build-path facility: externally synchronized like all writes.
+/// Scope stacks are per thread (DESIGN.md §11): N writer threads each
+/// run their own scoped builds concurrently without interleaving their
+/// recorded allocations; a scope must be destroyed on the thread that
+/// created it, and nesting composes within one thread only.
 class AllocationScope {
  public:
   explicit AllocationScope(Pager* pager);
@@ -259,7 +267,8 @@ class AllocationScope {
 
  private:
   Pager* pager_;
-  size_t depth_ = 0;  // index of this scope's set in the pager's stack
+  std::thread::id tid_;  // creating thread: owns this scope's stack
+  size_t depth_ = 0;  // index of this scope's set in its thread's stack
   bool committed_ = false;
 };
 
@@ -356,6 +365,18 @@ class Pager {
   /// Pages staged through Prefetch since construction (diagnostics).
   uint64_t prefetches_issued() const {
     return prefetches_issued_.load(std::memory_order_relaxed);
+  }
+
+  /// Clock-hand prefetch feed diagnostics (DESIGN.md §11): warm hints
+  /// that found their home shard pin-saturated and were parked instead
+  /// of dropped, and parked hints re-staged when a pin release / Free /
+  /// DropCache handed frames back — the path that keeps chained leaf
+  /// runs pipelined under memory pressure.
+  uint64_t prefetches_deferred() const {
+    return prefetches_deferred_.load(std::memory_order_relaxed);
+  }
+  uint64_t prefetches_revived() const {
+    return prefetches_revived_.load(std::memory_order_relaxed);
   }
 
   /// Pins a page for writing; the frame is marked dirty immediately.
@@ -544,6 +565,21 @@ class Pager {
   // pending check with one relaxed load when nothing is queued.
   std::atomic<uint64_t> prefetch_pending_count_{0};
   std::atomic<uint64_t> prefetches_issued_{0};
+
+  // Clock-hand prefetch feed (DESIGN.md §11): a warm hint whose home
+  // shard had no claimable frame (every slot pinned) parks here instead
+  // of dropping. The moment capacity reappears — a pin release drops a
+  // frame to zero pins, Free/DropCache reclaims slots — the parked ids
+  // are re-staged through Prefetch, so a scan-heavy batch's chained
+  // leaf-run hints survive transient pin saturation.
+  static constexpr size_t kDeferredPrefetchCap = 32;
+  void DeferPrefetch(PageId id);
+  void ReviveDeferredPrefetches();
+  std::mutex deferred_prefetch_mu_;
+  std::vector<PageId> deferred_prefetch_;
+  std::atomic<uint64_t> deferred_prefetch_count_{0};  // size mirror
+  std::atomic<uint64_t> prefetches_deferred_{0};
+  std::atomic<uint64_t> prefetches_revived_{0};
   // Speculation gate (DESIGN.md §10): batched warm-ups and speculative
   // descent fetches are enabled only when overlap pays — injected latency
   // or real kernel I/O — and the pool + prefetch machinery is on.
@@ -552,10 +588,13 @@ class Pager {
 
   std::mutex deferred_mu_;
   Status deferred_error_;
-  // Stack of active AllocationScopes (innermost last). Build-path state,
-  // guarded for safety but externally synchronized like all writes.
+  // Per-thread stacks of active AllocationScopes (innermost last), keyed
+  // by the creating thread so concurrent writers' scoped builds never
+  // interleave their recorded allocations (DESIGN.md §11).
   std::mutex alloc_scopes_mu_;
-  std::vector<std::unordered_set<PageId>> alloc_scopes_;
+  std::unordered_map<std::thread::id,
+                     std::vector<std::unordered_set<PageId>>>
+      alloc_scopes_;
 };
 
 }  // namespace ccidx

@@ -125,6 +125,7 @@ Result<DynamicPst> DynamicPst::Build(Pager* pager,
 }
 
 Status DynamicPst::Insert(const Point& p) {
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
   const uint32_t cap = NodeCapacity();
   size_++;
   sched_.NoteInsert();
@@ -288,6 +289,7 @@ Status DynamicPst::DeleteNode(PageId id, const Point& p, bool* found) {
 }
 
 Status DynamicPst::Delete(const Point& p, bool* found) {
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
   *found = false;
   if (root_ == kInvalidPageId) return Status::OK();
   CCIDX_RETURN_IF_ERROR(DeleteNode(root_, p, found));
@@ -370,6 +372,7 @@ Status DynamicPst::RebuildAt(PageId* id) {
 }
 
 Status DynamicPst::Destroy() {
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
   CCIDX_RETURN_IF_ERROR(FreeNode(root_));
   root_ = kInvalidPageId;
   size_ = 0;

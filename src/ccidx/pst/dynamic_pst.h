@@ -27,6 +27,8 @@
 #ifndef CCIDX_PST_DYNAMIC_PST_H_
 #define CCIDX_PST_DYNAMIC_PST_H_
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -41,9 +43,15 @@ namespace ccidx {
 
 /// Fully dynamic external priority search tree (§5 dynamization of [17]).
 ///
-/// Thread safety (DESIGN.md §7): Query is const and safe to run from any
-/// number of threads concurrently over one shared Pager. Insert/Delete/
-/// Build/Destroy are writes and require external synchronization.
+/// Thread safety (DESIGN.md §7/§11): Query is const and safe to run from
+/// any number of threads concurrently over one shared Pager. Insert/
+/// Delete/Destroy serialize on an internal per-structure write latch —
+/// N writer threads may call them within a write epoch (progress is
+/// one-at-a-time: the displaced-minimum descent and scapegoat rebuilds
+/// rewrite pages in place along arbitrary paths, so the structure trades
+/// intra-structure write parallelism for simplicity; spread load across
+/// structures or prefer ExternalPst's side-latched inserts when write
+/// scaling matters). Build/CheckInvariants require full quiescence.
 class DynamicPst {
  public:
   /// Creates an empty tree.
@@ -75,7 +83,11 @@ class DynamicPst {
   /// O(log2 n + t/B) I/Os.
   Status Query(const ThreeSidedQuery& q, std::vector<Point>* out) const;
 
-  uint64_t size() const { return size_; }
+  /// Safe against concurrent Insert/Delete (reads under the write latch).
+  uint64_t size() const {
+    std::lock_guard<std::mutex> lk(*write_mu_);
+    return size_;
+  }
 
   Status Destroy();
 
@@ -120,6 +132,9 @@ class DynamicPst {
   PageId root_;
   uint64_t size_;
   RebuildScheduler sched_;  // shared global-rebuild policy (DESIGN.md §8)
+  // Per-structure write latch (boxed so the class stays movable):
+  // serializes Insert/Delete/Destroy within a write epoch (DESIGN.md §11).
+  std::unique_ptr<std::mutex> write_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace ccidx

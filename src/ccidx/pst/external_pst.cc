@@ -9,6 +9,7 @@ namespace ccidx {
 
 namespace {
 bool DescY(const Point& a, const Point& b) { return PointYOrder()(b, a); }
+constexpr auto kRlx = std::memory_order_relaxed;
 }  // namespace
 
 uint32_t ExternalPst::NodeCapacity() const {
@@ -77,7 +78,7 @@ Result<ExternalPst> ExternalPst::Build(Pager* pager, PointGroup points) {
   auto root = BuildNode(pager, std::move(points), cap);
   CCIDX_RETURN_IF_ERROR(root.status());
   tree.root_ = *root;
-  tree.size_ = n;
+  tree.sy_->size.store(n, kRlx);
   scope.Commit();
   return tree;
 }
@@ -123,7 +124,7 @@ Status ExternalPst::StoreNode(PageId id, NodeHeader& h,
 
 uint32_t ExternalPst::MaxDepth() const {
   uint32_t depth = 2;
-  uint64_t nodes = size_ / std::max<uint32_t>(1, NodeCapacity()) + 2;
+  uint64_t nodes = size() / std::max<uint32_t>(1, NodeCapacity()) + 2;
   while (nodes > 1) {
     nodes >>= 1;
     depth += 2;  // 2x the perfectly balanced height + slack
@@ -131,28 +132,132 @@ uint32_t ExternalPst::MaxDepth() const {
   return depth + 6;
 }
 
-Status ExternalPst::Insert(const Point& p) {
-  const uint32_t cap = NodeCapacity();
-  sched_.NoteInsert();
-  if (root_ == kInvalidPageId) {
-    AllocationScope scope(pager_);
-    NodeHeader h{};
-    h.left = kInvalidPageId;
-    h.right = kInvalidPageId;
-    h.sub_xlo = h.sub_xhi = p.x;
-    PageId id = pager_->Allocate();
-    std::vector<Point> pts = {p};
-    CCIDX_RETURN_IF_ERROR(StoreNode(id, h, pts));
-    scope.Commit();
-    root_ = id;
-    size_ = 1;
-    return Status::OK();
-  }
+Status ExternalPst::LoadImageLocked() {
+  if (sy_->image_loaded) return Status::OK();
+  CCIDX_RETURN_IF_ERROR(LoadNode(root_, &sy_->root_h, &sy_->root_pts));
+  sy_->image_loaded = true;
+  return Status::OK();
+}
 
+Status ExternalPst::StoreRootLocked() {
+  return StoreNode(root_, sy_->root_h, sy_->root_pts);
+}
+
+void ExternalPst::RefreshRootMetaLocked() {
+  sy_->root_h.count = static_cast<uint32_t>(sy_->root_pts.size());
+  sy_->root_h.min_y =
+      sy_->root_pts.empty() ? kCoordMax : sy_->root_pts.back().y;
+}
+
+Status ExternalPst::CreateRootLocked(const Point& p) {
+  AllocationScope scope(pager_);
+  NodeHeader h{};
+  h.left = kInvalidPageId;
+  h.right = kInvalidPageId;
+  h.sub_xlo = h.sub_xhi = p.x;
+  PageId id = pager_->Allocate();
+  std::vector<Point> pts = {p};
+  CCIDX_RETURN_IF_ERROR(StoreNode(id, h, pts));
+  scope.Commit();
+  root_ = id;
+  sy_->root_h = h;  // StoreNode filled count/min_y
+  sy_->root_pts = std::move(pts);
+  sy_->image_loaded = true;
+  sy_->size.fetch_add(1, kRlx);
+  sched_.NoteInsert();
+  return Status::OK();
+}
+
+bool ExternalPst::TryAbsorbRootLocked(const Point& p, uint32_t cap,
+                                      Status* st) {
+  std::vector<Point>& pts = sy_->root_pts;
+  const bool is_leaf = sy_->root_h.left == kInvalidPageId &&
+                       sy_->root_h.right == kInvalidPageId;
+  // An internal root may only absorb a point at or above its current
+  // minimum (descendants sit at or below it; a lower point staying here
+  // would break the heap prune).
+  const Coord min_y = pts.empty() ? kCoordMax : pts.back().y;
+  if (!(pts.size() < cap && (is_leaf || p.y >= min_y))) return false;
+  const Coord oxlo = sy_->root_h.sub_xlo;
+  const Coord oxhi = sy_->root_h.sub_xhi;
+  sy_->root_h.sub_xlo = std::min(oxlo, p.x);
+  sy_->root_h.sub_xhi = std::max(oxhi, p.x);
+  auto pos = std::lower_bound(pts.begin(), pts.end(), p, DescY);
+  pos = pts.insert(pos, p);
+  *st = StoreRootLocked();
+  if (!st->ok()) {
+    // The failed device write left the old page, so restoring the image
+    // restores image == disk.
+    pts.erase(pos);
+    sy_->root_h.sub_xlo = oxlo;
+    sy_->root_h.sub_xhi = oxhi;
+    RefreshRootMetaLocked();
+  }
+  return true;
+}
+
+Result<int> ExternalPst::ChooseSideLocked(const Point& p) const {
+  // Peeks are taken under the children's node stripes: a concurrent
+  // delete on either side may be rewriting the peeked page in place.
+  const NodeHeader& h = sy_->root_h;
+  if (h.left == kInvalidPageId && h.right == kInvalidPageId) return 0;
+  NodeHeader lh{}, rh{};
+  std::vector<Point> tmp;
+  if (h.left != kInvalidPageId) {
+    std::lock_guard<std::mutex> g(sy_->stripes[h.left % kStripes]);
+    CCIDX_RETURN_IF_ERROR(LoadNode(h.left, &lh, &tmp));
+  }
+  if (h.right != kInvalidPageId) {
+    std::lock_guard<std::mutex> g(sy_->stripes[h.right % kStripes]);
+    CCIDX_RETURN_IF_ERROR(LoadNode(h.right, &rh, &tmp));
+  }
+  if (h.left == kInvalidPageId) return p.x < rh.sub_xlo ? 0 : 1;
+  if (h.right == kInvalidPageId) return p.x > lh.sub_xhi ? 1 : 0;
+  if (p.x <= lh.sub_xhi) return 0;
+  if (p.x >= rh.sub_xlo) return 1;
+  // No subtree weights here: widen the NARROWER subtree, a cheap proxy
+  // for filling the lighter side. Unsigned arithmetic — the spans are
+  // non-negative but may exceed the signed Coord range.
+  uint64_t lw =
+      static_cast<uint64_t>(lh.sub_xhi) - static_cast<uint64_t>(lh.sub_xlo);
+  uint64_t rw =
+      static_cast<uint64_t>(rh.sub_xhi) - static_cast<uint64_t>(rh.sub_xlo);
+  return lw <= rw ? 0 : 1;
+}
+
+void ExternalPst::UndoRootDisplaceLocked(const Point& p, const Point& carried,
+                                         bool displaced) {
+  if (!displaced) return;
+  std::vector<Point>& pts = sy_->root_pts;
+  // Relative undo (remove p, restore the displaced minimum) rather than a
+  // snapshot: concurrent root absorbs may have added points since.
+  for (auto it = pts.begin(); it != pts.end(); ++it) {
+    if (*it == p) {
+      pts.erase(it);
+      break;
+    }
+  }
+  auto pos = std::lower_bound(pts.begin(), pts.end(), carried, DescY);
+  pts.insert(pos, carried);
+  // Best-effort disk repair: sequentially the root was never rewritten
+  // since the displacement (nothing to repair, and under fault injection
+  // this write fails too, leaving the old page); concurrently a root
+  // absorb may have persisted the in-flight displacement, and this
+  // rewrite restores the displaced minimum on disk.
+  (void)StoreRootLocked();
+  RefreshRootMetaLocked();
+}
+
+Status ExternalPst::BuildShadowSubtree(PageId start, Point carried,
+                                       uint32_t cap, PageId* top,
+                                       size_t* depth,
+                                       std::vector<PageId>* shadow,
+                                       std::vector<PageId>* old_path) {
   // Phase 1 — plan the insertion read-only: descend the x-routing path,
   // deciding per node whether the carried point is absorbed, displaces
   // the node minimum, or routes onward. Nothing is written, so a device
-  // failure here changes nothing.
+  // failure here changes nothing. The side latch (held exclusive by the
+  // caller) excludes every other writer from this subtree's pages.
   struct PlanEntry {
     PageId old_id;
     NodeHeader h;
@@ -161,97 +266,100 @@ Status ExternalPst::Insert(const Point& p) {
   };
   std::vector<PlanEntry> plan;
   bool create_leaf = false;
-  Point carried = p;
-  PageId id = root_;
-  // The routing peek at a child is reused as the next level's node, so
-  // the descent costs ~2 page reads per level, not 3.
-  bool have_next = false;
-  NodeHeader next_h{};
-  std::vector<Point> next_pts;
-  while (true) {
-    PlanEntry e;
-    if (have_next) {
-      e.h = next_h;
-      e.pts = std::move(next_pts);
-      have_next = false;
-    } else {
-      CCIDX_RETURN_IF_ERROR(LoadNode(id, &e.h, &e.pts));
-    }
-    e.old_id = id;
-    e.h.sub_xlo = std::min(e.h.sub_xlo, carried.x);
-    e.h.sub_xhi = std::max(e.h.sub_xhi, carried.x);
-
-    const bool is_leaf =
-        e.h.left == kInvalidPageId && e.h.right == kInvalidPageId;
-    const Coord old_min = e.h.min_y;
-    // An internal node may only absorb a point at or above its current
-    // minimum (descendants sit at or below it; a lower point staying here
-    // would break the heap prune).
-    if (e.pts.size() < cap && (is_leaf || carried.y >= old_min)) {
-      auto pos = std::lower_bound(e.pts.begin(), e.pts.end(), carried, DescY);
-      e.pts.insert(pos, carried);
-      plan.push_back(std::move(e));
-      break;
-    }
-    if (carried.y > old_min) {  // displace the minimum downward
-      auto pos = std::lower_bound(e.pts.begin(), e.pts.end(), carried, DescY);
-      e.pts.insert(pos, carried);
-      carried = e.pts.back();
-      e.pts.pop_back();
-    }
-    // Route the carried point by x, creating a leaf below if needed.
-    int side;
-    NodeHeader lh, rh;
-    std::vector<Point> lpts, rpts;
-    if (e.h.left == kInvalidPageId && e.h.right == kInvalidPageId) {
-      side = 0;
-    } else if (e.h.left == kInvalidPageId) {
-      CCIDX_RETURN_IF_ERROR(LoadNode(e.h.right, &rh, &rpts));
-      side = carried.x < rh.sub_xlo ? 0 : 1;
-    } else if (e.h.right == kInvalidPageId) {
-      CCIDX_RETURN_IF_ERROR(LoadNode(e.h.left, &lh, &lpts));
-      side = carried.x > lh.sub_xhi ? 1 : 0;
-    } else {
-      CCIDX_RETURN_IF_ERROR(LoadNode(e.h.left, &lh, &lpts));
-      CCIDX_RETURN_IF_ERROR(LoadNode(e.h.right, &rh, &rpts));
-      if (carried.x <= lh.sub_xhi) {
-        side = 0;
-      } else if (carried.x >= rh.sub_xlo) {
-        side = 1;
+  if (start == kInvalidPageId) {
+    create_leaf = true;
+  } else {
+    PageId id = start;
+    // The routing peek at a child is reused as the next level's node, so
+    // the descent costs ~2 page reads per level, not 3.
+    bool have_next = false;
+    NodeHeader next_h{};
+    std::vector<Point> next_pts;
+    while (true) {
+      PlanEntry e;
+      if (have_next) {
+        e.h = next_h;
+        e.pts = std::move(next_pts);
+        have_next = false;
       } else {
-        // No subtree weights here: widen the NARROWER subtree, a cheap
-        // proxy for filling the lighter side. Unsigned arithmetic — the
-        // spans are non-negative but may exceed the signed Coord range.
-        uint64_t lw = static_cast<uint64_t>(lh.sub_xhi) -
-                      static_cast<uint64_t>(lh.sub_xlo);
-        uint64_t rw = static_cast<uint64_t>(rh.sub_xhi) -
-                      static_cast<uint64_t>(rh.sub_xlo);
-        side = lw <= rw ? 0 : 1;
+        CCIDX_RETURN_IF_ERROR(LoadNode(id, &e.h, &e.pts));
       }
+      e.old_id = id;
+      e.h.sub_xlo = std::min(e.h.sub_xlo, carried.x);
+      e.h.sub_xhi = std::max(e.h.sub_xhi, carried.x);
+
+      const bool is_leaf =
+          e.h.left == kInvalidPageId && e.h.right == kInvalidPageId;
+      const Coord old_min = e.h.min_y;
+      // An internal node may only absorb a point at or above its current
+      // minimum (descendants sit at or below it; a lower point staying
+      // here would break the heap prune).
+      if (e.pts.size() < cap && (is_leaf || carried.y >= old_min)) {
+        auto pos =
+            std::lower_bound(e.pts.begin(), e.pts.end(), carried, DescY);
+        e.pts.insert(pos, carried);
+        plan.push_back(std::move(e));
+        break;
+      }
+      if (carried.y > old_min) {  // displace the minimum downward
+        auto pos =
+            std::lower_bound(e.pts.begin(), e.pts.end(), carried, DescY);
+        e.pts.insert(pos, carried);
+        carried = e.pts.back();
+        e.pts.pop_back();
+      }
+      // Route the carried point by x, creating a leaf below if needed.
+      int side;
+      NodeHeader lh, rh;
+      std::vector<Point> lpts, rpts;
+      if (e.h.left == kInvalidPageId && e.h.right == kInvalidPageId) {
+        side = 0;
+      } else if (e.h.left == kInvalidPageId) {
+        CCIDX_RETURN_IF_ERROR(LoadNode(e.h.right, &rh, &rpts));
+        side = carried.x < rh.sub_xlo ? 0 : 1;
+      } else if (e.h.right == kInvalidPageId) {
+        CCIDX_RETURN_IF_ERROR(LoadNode(e.h.left, &lh, &lpts));
+        side = carried.x > lh.sub_xhi ? 1 : 0;
+      } else {
+        CCIDX_RETURN_IF_ERROR(LoadNode(e.h.left, &lh, &lpts));
+        CCIDX_RETURN_IF_ERROR(LoadNode(e.h.right, &rh, &rpts));
+        if (carried.x <= lh.sub_xhi) {
+          side = 0;
+        } else if (carried.x >= rh.sub_xlo) {
+          side = 1;
+        } else {
+          // Widen the narrower subtree (see ChooseSideLocked).
+          uint64_t lw = static_cast<uint64_t>(lh.sub_xhi) -
+                        static_cast<uint64_t>(lh.sub_xlo);
+          uint64_t rw = static_cast<uint64_t>(rh.sub_xhi) -
+                        static_cast<uint64_t>(rh.sub_xlo);
+          side = lw <= rw ? 0 : 1;
+        }
+      }
+      e.side = side;
+      PageId child = side == 0 ? e.h.left : e.h.right;
+      plan.push_back(std::move(e));
+      if (child == kInvalidPageId) {
+        create_leaf = true;
+        break;
+      }
+      // A valid routed child was always peeked above — reuse the load.
+      if (side == 0) {
+        next_h = lh;
+        next_pts = std::move(lpts);
+      } else {
+        next_h = rh;
+        next_pts = std::move(rpts);
+      }
+      have_next = true;
+      id = child;
     }
-    e.side = side;
-    PageId child = side == 0 ? e.h.left : e.h.right;
-    plan.push_back(std::move(e));
-    if (child == kInvalidPageId) {
-      create_leaf = true;
-      break;
-    }
-    // A valid routed child was always peeked above — reuse the load.
-    if (side == 0) {
-      next_h = lh;
-      next_pts = std::move(lpts);
-    } else {
-      next_h = rh;
-      next_pts = std::move(rpts);
-    }
-    have_next = true;
-    id = child;
   }
 
   // Phase 2 — shadow the path: every planned node is written as a fresh
   // page (bottom-up, children wired to the replacements) under an
   // AllocationScope. A failure rolls the new pages back and leaves the
-  // old tree — still rooted at root_ — untouched.
+  // old subtree — still reachable from the root — untouched.
   AllocationScope scope(pager_);
   PageId below = kInvalidPageId;
   if (create_leaf) {
@@ -274,18 +382,126 @@ Status ExternalPst::Insert(const Point& p) {
     CCIDX_RETURN_IF_ERROR(StoreNode(nid, e.h, e.pts));
     below = nid;
   }
+  *shadow = scope.pages();
   scope.Commit();
-  // Point of no return: retire the old path by id (no device reads).
-  for (const PlanEntry& e : plan) {
-    (void)pager_->Free(e.old_id);
-  }
-  root_ = below;
-  size_++;
-  if (plan.size() + (create_leaf ? 1u : 0u) > MaxDepth() ||
-      sched_.ShouldRebuild(size_)) {
-    return GlobalRebuild();
-  }
+  old_path->reserve(plan.size());
+  for (const PlanEntry& e : plan) old_path->push_back(e.old_id);
+  *top = below;
+  *depth = plan.size() + (create_leaf ? 1u : 0u);
   return Status::OK();
+}
+
+Status ExternalPst::Insert(const Point& p) {
+  const uint32_t cap = NodeCapacity();
+  while (true) {
+    // Advisory root step: resolve entirely at the root when possible
+    // (create / absorb are real — they only need root_mu); otherwise
+    // pick the side latch to take.
+    int side;
+    {
+      std::unique_lock<std::mutex> rg(sy_->root_mu);
+      if (root_ == kInvalidPageId) return CreateRootLocked(p);
+      CCIDX_RETURN_IF_ERROR(LoadImageLocked());
+      Status st;
+      if (TryAbsorbRootLocked(p, cap, &st)) {
+        if (st.ok()) {
+          sy_->size.fetch_add(1, kRlx);
+          sched_.NoteInsert();
+        }
+        return st;
+      }
+      auto s = ChooseSideLocked(p);
+      CCIDX_RETURN_IF_ERROR(s.status());
+      side = *s;
+    }
+
+    // Redo the root step under the side latch: a concurrent insert,
+    // delete or rebuild may have changed the picture (absorb became
+    // possible, the routing flipped sides, the tree was rebuilt).
+    std::unique_lock<std::shared_mutex> sl(sy_->side[side]);
+    bool retry = false;
+    bool displaced = false;
+    Point carried = p;
+    PageId oc = kInvalidPageId;
+    {
+      std::unique_lock<std::mutex> rg(sy_->root_mu);
+      if (root_ == kInvalidPageId) {
+        retry = true;  // rebuilt away to empty — restart at create
+      } else {
+        CCIDX_RETURN_IF_ERROR(LoadImageLocked());
+        Status st;
+        if (TryAbsorbRootLocked(p, cap, &st)) {
+          if (st.ok()) {
+            sy_->size.fetch_add(1, kRlx);
+            sched_.NoteInsert();
+          }
+          return st;
+        }
+        auto s2 = ChooseSideLocked(p);
+        CCIDX_RETURN_IF_ERROR(s2.status());
+        if (*s2 != side) {
+          retry = true;  // wrong latch in hand
+        } else {
+          const Coord old_min =
+              sy_->root_pts.empty() ? kCoordMax : sy_->root_pts.back().y;
+          if (p.y > old_min) {  // displace the root minimum downward
+            std::vector<Point>& pts = sy_->root_pts;
+            auto pos = std::lower_bound(pts.begin(), pts.end(), p, DescY);
+            pts.insert(pos, p);
+            carried = pts.back();
+            pts.pop_back();
+            displaced = true;
+          }
+          // Widen the root range in the image; the disk root follows at
+          // commit (widening is conservative, so it is left in place on
+          // failure).
+          sy_->root_h.sub_xlo = std::min(sy_->root_h.sub_xlo, p.x);
+          sy_->root_h.sub_xhi = std::max(sy_->root_h.sub_xhi, p.x);
+          oc = side == 0 ? sy_->root_h.left : sy_->root_h.right;
+        }
+      }
+    }
+    if (retry) continue;
+
+    // Build the shadow subtree with root_mu released: the long part of
+    // the insert runs concurrently with root absorbs and with writers on
+    // the other side.
+    PageId top = kInvalidPageId;
+    size_t depth = 0;
+    std::vector<PageId> shadow, old_path;
+    Status bst =
+        BuildShadowSubtree(oc, carried, cap, &top, &depth, &shadow, &old_path);
+
+    {
+      std::unique_lock<std::mutex> rg(sy_->root_mu);
+      if (!bst.ok()) {
+        UndoRootDisplaceLocked(p, carried, displaced);
+        return bst;
+      }
+      // Commit: swing the root's child pointer to the shadow subtree.
+      uint64_t& slot = side == 0 ? sy_->root_h.left : sy_->root_h.right;
+      const uint64_t prev = slot;
+      slot = top;
+      Status cs = StoreRootLocked();
+      if (!cs.ok()) {
+        slot = prev;
+        UndoRootDisplaceLocked(p, carried, displaced);
+        for (PageId nid : shadow) (void)pager_->Free(nid);
+        return cs;
+      }
+      // Point of no return: retire the old path by id (no device reads).
+      // Done under root_mu so a concurrent ChooseSideLocked peek never
+      // reads a freed page.
+      for (PageId oid : old_path) (void)pager_->Free(oid);
+      sy_->size.fetch_add(1, kRlx);
+      sched_.NoteInsert();
+    }
+    sl.unlock();
+    if (depth + 1 > MaxDepth() || sched_.ShouldRebuild(size())) {
+      return TriggerRebuild(/*force=*/depth + 1 > MaxDepth());
+    }
+    return Status::OK();
+  }
 }
 
 Status ExternalPst::DeleteNode(PageId id, const Point& p, bool* found) {
@@ -295,40 +511,102 @@ Status ExternalPst::DeleteNode(PageId id, const Point& p, bool* found) {
   }
   NodeHeader h;
   std::vector<Point> pts;
-  CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
-  if (p.x < h.sub_xlo || p.x > h.sub_xhi) {
-    *found = false;
-    return Status::OK();
-  }
-  for (size_t i = 0; i < pts.size(); ++i) {
-    if (pts[i] == p) {
-      pts.erase(pts.begin() + i);
-      *found = true;
-      // The single in-place write of the whole operation: atomic under
-      // fault injection (a failed device write leaves the old page).
-      return StoreNode(id, h, pts);
+  PageId l, r;
+  {
+    // One node stripe at a time: held across this node's read-modify-
+    // write, released before recursing.
+    std::lock_guard<std::mutex> g(sy_->stripes[id % kStripes]);
+    CCIDX_RETURN_IF_ERROR(LoadNode(id, &h, &pts));
+    if (p.x < h.sub_xlo || p.x > h.sub_xhi) {
+      *found = false;
+      return Status::OK();
     }
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (pts[i] == p) {
+        pts.erase(pts.begin() + i);
+        *found = true;
+        // The single in-place write of the whole operation: atomic under
+        // fault injection (a failed device write leaves the old page).
+        return StoreNode(id, h, pts);
+      }
+    }
+    // Heap order: every descendant lies at or below this node's minimum.
+    if (!pts.empty() && p.y > h.min_y) {
+      *found = false;
+      return Status::OK();
+    }
+    l = h.left;
+    r = h.right;
   }
-  // Heap order: every descendant lies at or below this node's minimum.
-  if (!pts.empty() && p.y > h.min_y) {
-    *found = false;
-    return Status::OK();
-  }
-  CCIDX_RETURN_IF_ERROR(DeleteNode(h.left, p, found));
+  CCIDX_RETURN_IF_ERROR(DeleteNode(l, p, found));
   if (!*found) {
-    CCIDX_RETURN_IF_ERROR(DeleteNode(h.right, p, found));
+    CCIDX_RETURN_IF_ERROR(DeleteNode(r, p, found));
   }
   return Status::OK();
 }
 
 Status ExternalPst::Delete(const Point& p, bool* found) {
   *found = false;
-  if (root_ == kInvalidPageId) return Status::OK();
-  CCIDX_RETURN_IF_ERROR(DeleteNode(root_, p, found));
+  while (true) {
+    // Root step under root_mu: exact match, x-range and heap prunes all
+    // answer from the image.
+    PageId root_seen;
+    {
+      std::unique_lock<std::mutex> rg(sy_->root_mu);
+      if (root_ == kInvalidPageId) return Status::OK();
+      CCIDX_RETURN_IF_ERROR(LoadImageLocked());
+      if (p.x < sy_->root_h.sub_xlo || p.x > sy_->root_h.sub_xhi) {
+        return Status::OK();
+      }
+      std::vector<Point>& pts = sy_->root_pts;
+      for (size_t i = 0; i < pts.size(); ++i) {
+        if (pts[i] == p) {
+          pts.erase(pts.begin() + i);
+          Status st = StoreRootLocked();
+          if (!st.ok()) {
+            auto pos = std::lower_bound(pts.begin(), pts.end(), p, DescY);
+            pts.insert(pos, p);
+            RefreshRootMetaLocked();
+            return st;
+          }
+          *found = true;
+          break;
+        }
+      }
+      if (!*found) {
+        const Coord min_y = pts.empty() ? kCoordMax : pts.back().y;
+        if (!pts.empty() && p.y > min_y) return Status::OK();  // heap prune
+      }
+      root_seen = root_;
+    }
+
+    if (!*found) {
+      bool restart = false;
+      for (int s = 0; s < 2 && !*found; ++s) {
+        std::shared_lock<std::shared_mutex> sl(sy_->side[s]);
+        PageId child;
+        {
+          // Re-read the child pointer under root_mu now that the side
+          // latch pins it: a commit or rebuild may have swung it between
+          // the root step and the latch acquisition.
+          std::unique_lock<std::mutex> rg(sy_->root_mu);
+          if (root_ != root_seen) {
+            restart = true;  // rebuilt under us — points may have moved
+            break;
+          }
+          child = s == 0 ? sy_->root_h.left : sy_->root_h.right;
+        }
+        if (child == kInvalidPageId) continue;
+        CCIDX_RETURN_IF_ERROR(DeleteNode(child, p, found));
+      }
+      if (restart) continue;
+    }
+    break;
+  }
   if (!*found) return Status::OK();
-  if (size_ > 0) size_--;
+  sy_->size.fetch_sub(1, kRlx);
   sched_.NoteDelete();
-  if (sched_.ShouldRebuild(size_)) return GlobalRebuild();
+  if (sched_.ShouldRebuild(size())) return TriggerRebuild(/*force=*/false);
   return Status::OK();
 }
 
@@ -354,11 +632,37 @@ Status ExternalPst::VisitPages(std::vector<PageId>* out) const {
   return Harvest(nullptr, out);
 }
 
+Status ExternalPst::TriggerRebuild(bool force) {
+  if (rebuild_hook_) {
+    // Divert to the maintenance path; at most one pending rebuild at a
+    // time (the latch is released on commit/abandon).
+    if (!sy_->rebuild_pending.exchange(true, kRlx)) rebuild_hook_();
+    return Status::OK();
+  }
+  return force ? GlobalRebuild() : [&] {
+    std::unique_lock<std::shared_mutex> l0(sy_->side[0]);
+    std::unique_lock<std::shared_mutex> l1(sy_->side[1]);
+    std::unique_lock<std::mutex> rg(sy_->root_mu);
+    // Writers that queued behind the same trigger collapse to one
+    // rebuild: the first Reset()s the scheduler.
+    if (!sched_.ShouldRebuild(sy_->size.load(kRlx))) return Status::OK();
+    return GlobalRebuildLocked();
+  }();
+}
+
 Status ExternalPst::GlobalRebuild() {
+  std::unique_lock<std::shared_mutex> l0(sy_->side[0]);
+  std::unique_lock<std::shared_mutex> l1(sy_->side[1]);
+  std::unique_lock<std::mutex> rg(sy_->root_mu);
+  return GlobalRebuildLocked();
+}
+
+Status ExternalPst::GlobalRebuildLocked() {
   // Shared fault-atomic skeleton (dynamic/purge_rebuild.h). The PST
   // deletes records eagerly (no tombstone set), so every harvested point
   // is live; the skeleton still supplies the harvest / scoped-build /
-  // retire-by-id sequencing.
+  // retire-by-id sequencing. All latches are held, so the disk tree is
+  // current (no displacement in flight) and no writer can interleave.
   PageId new_root = kInvalidPageId;
   CCIDX_RETURN_IF_ERROR(PurgeRebuild(
       pager_, static_cast<PointTombstones*>(nullptr), &sched_,
@@ -373,7 +677,55 @@ Status ExternalPst::GlobalRebuild() {
         return Status::OK();
       }));
   root_ = new_root;
+  sy_->image_loaded = false;
   return Status::OK();
+}
+
+Result<ExternalPst::PendingRebuild> ExternalPst::PrepareGlobalRebuild() {
+  PendingRebuild pr;
+  std::vector<Point> pts;
+  {
+    // Harvest needs a write-consistent tree: take every latch for the
+    // O(n/B) read pass, release them for the expensive build below. Any
+    // update after the release bumps the stamp and aborts the commit.
+    std::unique_lock<std::shared_mutex> l0(sy_->side[0]);
+    std::unique_lock<std::shared_mutex> l1(sy_->side[1]);
+    std::unique_lock<std::mutex> rg(sy_->root_mu);
+    CCIDX_RETURN_IF_ERROR(Harvest(&pts, &pr.old_pages));
+    pr.stamp = sched_.update_stamp();
+  }
+  std::sort(pts.begin(), pts.end(), PointXOrder());
+  AllocationScope scope(pager_);
+  auto fresh =
+      BuildNode(pager_, PointGroup::FromVector(std::move(pts)), NodeCapacity());
+  CCIDX_RETURN_IF_ERROR(fresh.status());
+  pr.fresh_root = *fresh;
+  pr.fresh_pages = scope.pages();
+  scope.Commit();
+  return pr;
+}
+
+bool ExternalPst::CommitGlobalRebuild(PendingRebuild&& p) {
+  std::unique_lock<std::shared_mutex> l0(sy_->side[0]);
+  std::unique_lock<std::shared_mutex> l1(sy_->side[1]);
+  std::unique_lock<std::mutex> rg(sy_->root_mu);
+  if (p.stamp != sched_.update_stamp()) {
+    // An update landed since the harvest: the prepared tree is stale.
+    for (PageId id : p.fresh_pages) (void)pager_->Free(id);
+    sy_->rebuild_pending.store(false, kRlx);
+    return false;
+  }
+  root_ = p.fresh_root;
+  sy_->image_loaded = false;
+  for (PageId id : p.old_pages) (void)pager_->Free(id);
+  sched_.Reset();
+  sy_->rebuild_pending.store(false, kRlx);
+  return true;
+}
+
+void ExternalPst::AbandonGlobalRebuild(PendingRebuild&& p) {
+  for (PageId id : p.fresh_pages) (void)pager_->Free(id);
+  sy_->rebuild_pending.store(false, kRlx);
 }
 
 Status ExternalPst::LoadNode(PageId id, NodeHeader* h,
@@ -456,7 +808,8 @@ Status ExternalPst::FreeNode(PageId id) {
 Status ExternalPst::Free() {
   CCIDX_RETURN_IF_ERROR(FreeNode(root_));
   root_ = kInvalidPageId;
-  size_ = 0;
+  sy_->size.store(0, kRlx);
+  sy_->image_loaded = false;
   sched_.Reset();
   return Status::OK();
 }

@@ -1,0 +1,315 @@
+// EpochGate: the write-preferring, phase-fair epoch gate guarding the
+// read/write phases of the engine (DESIGN.md §11).
+//
+// The gate replaces the reader-preference `std::shared_mutex` quiesce
+// point: under saturated batch traffic a shared_mutex writer can starve
+// unboundedly (glibc's pthread rwlock admits new readers while a writer
+// waits). This gate is starvation-free in both directions by
+// construction:
+//
+//   - Writers take FIFO tickets. The moment any writer is queued, newly
+//     arriving reader batches stop being admitted (write preference), so
+//     the in-flight readers drain and the head writer runs after a
+//     bounded number of reader exits.
+//   - On writer exit the gate is phase-fair: every reader that queued
+//     while writers held the gate is admitted as one batch *before* the
+//     next queued writer runs. Under sustained two-sided contention the
+//     gate therefore alternates write → read-batch → write …, bounding
+//     every waiter by one phase of the other side.
+//
+// Timed/try write acquisition is supported by ticket cancellation: a
+// timed-out writer marks its ticket cancelled and the serving cursor
+// skips it, so abandoned tickets never wedge the queue.
+//
+// The gate keeps separate contended/uncontended acquisition counts per
+// side and log2-bucketed wait histograms (reader and writer), which feed
+// `BatchReport::gate_wait` and the bench_update writer p50/p99 series.
+// All statistics are relaxed atomics: they are diagnostics, never
+// synchronization.
+
+#ifndef CCIDX_QUERY_EPOCH_GATE_H_
+#define CCIDX_QUERY_EPOCH_GATE_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+
+namespace ccidx {
+
+/// Log2-bucketed latency histogram (nanoseconds). Bucket i holds waits in
+/// [2^i, 2^(i+1)) ns; bucket 0 also absorbs 0-ns (uncontended) waits.
+/// Copyable snapshot type; recording is thread-safe (relaxed atomics are
+/// read via snapshot()).
+struct WaitHistogram {
+  static constexpr size_t kBuckets = 48;
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+
+  static size_t BucketOf(uint64_t ns) {
+    return ns == 0 ? 0
+                   : std::min<size_t>(kBuckets - 1, std::bit_width(ns) - 1);
+  }
+
+  /// Approximate p-th percentile (p in [0,100]) as the upper bound of the
+  /// bucket holding that rank: 2^(i+1) ns. Zero when empty.
+  uint64_t PercentileNs(double p) const {
+    if (count == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(p / 100.0 * count);
+    if (rank >= count) rank = count - 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets[i];
+      if (seen > rank) return uint64_t{1} << (i + 1);
+    }
+    return max_ns;
+  }
+
+  uint64_t MeanNs() const { return count == 0 ? 0 : total_ns / count; }
+};
+
+class EpochGate {
+ public:
+  EpochGate() = default;
+  EpochGate(const EpochGate&) = delete;
+  EpochGate& operator=(const EpochGate&) = delete;
+
+  // ---- Reader side (one acquisition per query batch) -----------------
+
+  /// Blocks while a writer is active or queued (write preference), then
+  /// joins the current read phase. Returns the time spent waiting.
+  std::chrono::nanoseconds EnterRead() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!ReadBlockedLocked()) {
+      active_readers_++;
+      RecordReaderWait(0);
+      return std::chrono::nanoseconds{0};
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    waiting_readers_++;
+    const uint64_t my_gen = admit_gen_;
+    reader_cv_.wait(lk, [&] { return admit_gen_ != my_gen; });
+    // AdmitReadersLocked counted us into active_readers_ already.
+    auto waited = std::chrono::steady_clock::now() - t0;
+    uint64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count();
+    RecordReaderWait(ns == 0 ? 1 : ns);
+    return waited;
+  }
+
+  /// Joins the read phase only if no writer is active or queued.
+  bool TryEnterRead() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (ReadBlockedLocked()) return false;
+    active_readers_++;
+    RecordReaderWait(0);
+    return true;
+  }
+
+  void ExitRead() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (--active_readers_ == 0 && writers_waiting_ > 0) {
+      lk.unlock();
+      writer_cv_.notify_all();
+    }
+  }
+
+  // ---- Writer side (one acquisition per update epoch) ----------------
+
+  /// Queues a FIFO writer ticket and blocks until it is served: all prior
+  /// writers done, the phase-fair reader batch (if any) drained. Returns
+  /// the time spent waiting.
+  std::chrono::nanoseconds EnterWrite() {
+    std::unique_lock<std::mutex> lk(mu_);
+    const uint64_t ticket = next_ticket_++;
+    if (WriteServableLocked(ticket)) {
+      writer_active_ = true;
+      RecordWriterWait(0);
+      return std::chrono::nanoseconds{0};
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    writers_waiting_++;
+    writer_cv_.wait(lk, [&] { return WriteServableLocked(ticket); });
+    writers_waiting_--;
+    writer_active_ = true;
+    auto waited = std::chrono::steady_clock::now() - t0;
+    uint64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count();
+    RecordWriterWait(ns == 0 ? 1 : ns);
+    return waited;
+  }
+
+  /// Acquires the write epoch only if it is free right now (no active or
+  /// queued writer, no active readers).
+  bool TryEnterWrite() {
+    std::lock_guard<std::mutex> lk(mu_);
+    const uint64_t ticket = next_ticket_;
+    if (!WriteServableLocked(ticket)) return false;
+    next_ticket_++;
+    writer_active_ = true;
+    RecordWriterWait(0);
+    return true;
+  }
+
+  /// EnterWrite with a deadline. On timeout the ticket is cancelled (the
+  /// serving cursor skips it) and false is returned; the gate is not
+  /// held. On success behaves exactly like EnterWrite.
+  bool EnterWriteFor(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    const uint64_t ticket = next_ticket_++;
+    if (WriteServableLocked(ticket)) {
+      writer_active_ = true;
+      RecordWriterWait(0);
+      return true;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    writers_waiting_++;
+    bool ok = writer_cv_.wait_for(lk, timeout,
+                                  [&] { return WriteServableLocked(ticket); });
+    writers_waiting_--;
+    if (!ok) {
+      // Abandon the ticket. If it is the serving head, advance past it
+      // (and any other cancelled tickets) so the queue never wedges; if
+      // the queue emptied, release the blocked readers.
+      cancelled_.insert(ticket);
+      AdvanceServingLocked();
+      bool admit = !writer_active_ && writers_waiting_ == 0 &&
+                   serving_ticket_ == next_ticket_;
+      if (admit) AdmitReadersLocked();
+      lk.unlock();
+      writer_cv_.notify_all();
+      if (admit) reader_cv_.notify_all();
+      return false;
+    }
+    writer_active_ = true;
+    auto waited = std::chrono::steady_clock::now() - t0;
+    uint64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count();
+    RecordWriterWait(ns == 0 ? 1 : ns);
+    return true;
+  }
+
+  /// Releases the write epoch. Phase-fair: readers that queued during the
+  /// write phase are admitted as one batch before the next queued writer.
+  void ExitWrite() {
+    bool admit;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      writer_active_ = false;
+      serving_ticket_++;
+      AdvanceServingLocked();
+      admit = waiting_readers_ > 0;
+      if (admit) AdmitReadersLocked();
+    }
+    if (admit) reader_cv_.notify_all();
+    writer_cv_.notify_all();
+  }
+
+  // ---- Diagnostics ---------------------------------------------------
+
+  /// Acquisitions that proceeded without blocking / that had to wait.
+  uint64_t uncontended_reads() const { return r_uncontended_.load(kRlx); }
+  uint64_t contended_reads() const { return r_contended_.load(kRlx); }
+  uint64_t uncontended_writes() const { return w_uncontended_.load(kRlx); }
+  uint64_t contended_writes() const { return w_contended_.load(kRlx); }
+
+  WaitHistogram reader_wait_histogram() const {
+    return Snapshot(reader_hist_);
+  }
+  WaitHistogram writer_wait_histogram() const {
+    return Snapshot(writer_hist_);
+  }
+
+ private:
+  static constexpr auto kRlx = std::memory_order_relaxed;
+
+  struct AtomicHist {
+    std::array<std::atomic<uint64_t>, WaitHistogram::kBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> total_ns{0};
+    std::atomic<uint64_t> max_ns{0};
+
+    void Record(uint64_t ns) {
+      buckets[WaitHistogram::BucketOf(ns)].fetch_add(1, kRlx);
+      count.fetch_add(1, kRlx);
+      total_ns.fetch_add(ns, kRlx);
+      uint64_t prev = max_ns.load(kRlx);
+      while (prev < ns && !max_ns.compare_exchange_weak(prev, ns, kRlx)) {
+      }
+    }
+  };
+
+  static WaitHistogram Snapshot(const AtomicHist& h) {
+    WaitHistogram out;
+    for (size_t i = 0; i < WaitHistogram::kBuckets; ++i) {
+      out.buckets[i] = h.buckets[i].load(kRlx);
+    }
+    out.count = h.count.load(kRlx);
+    out.total_ns = h.total_ns.load(kRlx);
+    out.max_ns = h.max_ns.load(kRlx);
+    return out;
+  }
+
+  // New readers are held off whenever a writer is active or any ticket is
+  // outstanding (write preference).
+  bool ReadBlockedLocked() const {
+    return writer_active_ || serving_ticket_ != next_ticket_;
+  }
+
+  // Ticket `t` may run when it is the serving head, the previous writer
+  // has exited, and the admitted reader batch has drained.
+  bool WriteServableLocked(uint64_t t) const {
+    return serving_ticket_ == t && !writer_active_ && active_readers_ == 0;
+  }
+
+  void AdvanceServingLocked() {
+    while (!cancelled_.empty() && cancelled_.count(serving_ticket_) != 0) {
+      cancelled_.erase(serving_ticket_);
+      serving_ticket_++;
+    }
+  }
+
+  void AdmitReadersLocked() {
+    if (waiting_readers_ == 0) return;
+    active_readers_ += waiting_readers_;
+    waiting_readers_ = 0;
+    admit_gen_++;
+  }
+
+  void RecordReaderWait(uint64_t ns) {
+    (ns == 0 ? r_uncontended_ : r_contended_).fetch_add(1, kRlx);
+    reader_hist_.Record(ns);
+  }
+  void RecordWriterWait(uint64_t ns) {
+    (ns == 0 ? w_uncontended_ : w_contended_).fetch_add(1, kRlx);
+    writer_hist_.Record(ns);
+  }
+
+  std::mutex mu_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  // All state below is guarded by mu_.
+  uint64_t active_readers_ = 0;
+  uint64_t waiting_readers_ = 0;
+  uint64_t admit_gen_ = 0;       // bumped per reader-batch admission
+  bool writer_active_ = false;
+  uint64_t next_ticket_ = 0;     // next ticket to hand out
+  uint64_t serving_ticket_ = 0;  // ticket currently allowed to run
+  uint64_t writers_waiting_ = 0;
+  std::unordered_set<uint64_t> cancelled_;  // timed-out tickets to skip
+
+  std::atomic<uint64_t> r_uncontended_{0}, r_contended_{0};
+  std::atomic<uint64_t> w_uncontended_{0}, w_contended_{0};
+  AtomicHist reader_hist_;
+  AtomicHist writer_hist_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_QUERY_EPOCH_GATE_H_

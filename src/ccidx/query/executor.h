@@ -10,31 +10,38 @@
 // IoStats diff over the whole batch (counters are merged across pager
 // shards on read, preserving the `operator-` snapshot semantics).
 //
-// Writes (Insert/Delete/build) stay externally synchronized against
-// queries, and the executor provides the synchronization point: Quiesce()
-// returns an RAII guard for an exclusive update epoch — it blocks until
-// every in-flight batch drains, holds off new batches, and releases them
-// when the guard dies. Batch serving and structure updates compose
-// through this epoch-style quiesce without any per-query locking
-// (RunBatch takes the epoch lock shared, once per batch).
+// Reads stay gated against structure mutation, and the executor provides
+// the synchronization point: Quiesce() returns an RAII guard for an
+// exclusive update epoch — it blocks until every in-flight batch drains,
+// holds off new batches, and releases them when the guard dies. The
+// epoch is a write-preferring, phase-fair EpochGate (DESIGN.md §11):
+// arriving writers stop admitting new reader batches, and on writer exit
+// the queued reader batches run before the next writer, so neither side
+// can starve. Within a write epoch, updates themselves parallelize
+// through the families' internal latches (see UpdateExecutor). RunBatch
+// enters the gate once per batch and reports the wait it paid in
+// BatchReport::gate_wait.
 
 #ifndef CCIDX_QUERY_EXECUTOR_H_
 #define CCIDX_QUERY_EXECUTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "ccidx/common/status.h"
 #include "ccidx/io/pager.h"
+#include "ccidx/query/epoch_gate.h"
 #include "ccidx/query/sink.h"
+#include "ccidx/query/worker_pool.h"
 
 namespace ccidx {
 
@@ -47,6 +54,12 @@ struct BatchReport {
   IoStats io;
   /// Queries executed by each worker (sums to statuses.size()).
   std::vector<uint64_t> per_thread_queries;
+  /// Time this batch waited at the epoch gate before running (zero when
+  /// no writer was active or queued at entry).
+  std::chrono::nanoseconds gate_wait{0};
+  /// Cumulative reader-side gate-wait histogram at batch completion
+  /// (log2 ns buckets; covers every batch served through this executor).
+  WaitHistogram gate_wait_hist;
 
   bool ok() const {
     for (const Status& s : statuses) {
@@ -82,42 +95,89 @@ struct SinkBatchReport {
 class QueryExecutor {
  public:
   /// Starts `num_threads` workers (0 => one per hardware thread).
-  explicit QueryExecutor(unsigned num_threads);
-  ~QueryExecutor();
+  explicit QueryExecutor(unsigned num_threads) : pool_(num_threads) {}
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
-  unsigned num_threads() const {
-    return static_cast<unsigned>(workers_.size());
-  }
+  unsigned num_threads() const { return pool_.size(); }
 
   /// RAII exclusive update epoch (see file comment). While alive, no
   /// batch runs; batches blocked on the epoch resume when it dies.
   class QuiesceGuard {
    public:
-    QuiesceGuard(QuiesceGuard&&) = default;
-    QuiesceGuard& operator=(QuiesceGuard&&) = default;
+    QuiesceGuard(QuiesceGuard&& o) noexcept
+        : gate_(o.gate_), wait_(o.wait_) {
+      o.gate_ = nullptr;
+    }
+    QuiesceGuard& operator=(QuiesceGuard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        gate_ = o.gate_;
+        wait_ = o.wait_;
+        o.gate_ = nullptr;
+      }
+      return *this;
+    }
+    ~QuiesceGuard() { Release(); }
+
+    /// Time this epoch waited at the gate before acquisition.
+    std::chrono::nanoseconds gate_wait() const { return wait_; }
 
    private:
     friend class QueryExecutor;
-    explicit QuiesceGuard(std::shared_mutex* mu) : lock_(*mu) {}
-    std::unique_lock<std::shared_mutex> lock_;
+    QuiesceGuard(EpochGate* gate, std::chrono::nanoseconds wait)
+        : gate_(gate), wait_(wait) {}
+    void Release() {
+      if (gate_ != nullptr) gate_->ExitWrite();
+      gate_ = nullptr;
+    }
+    EpochGate* gate_ = nullptr;
+    std::chrono::nanoseconds wait_{0};
   };
 
   /// Blocks until in-flight batches drain and returns the exclusive
-  /// update epoch. Run Insert/Delete/rebuilds while holding the guard;
-  /// do not call RunBatch from the same thread while it is alive (the
-  /// batch would deadlock on its own epoch).
+  /// update epoch (FIFO among writers; see EpochGate). Run
+  /// Insert/Delete/rebuilds while holding the guard; do not call
+  /// RunBatch from the same thread while it is alive (the batch would
+  /// deadlock on its own epoch).
   QuiesceGuard Quiesce() {
-    QuiesceGuard g(&epoch_mu_);
+    auto wait = gate_.EnterWrite();
     quiesce_epochs_.fetch_add(1, std::memory_order_relaxed);
-    return g;
+    return QuiesceGuard(&gate_, wait);
+  }
+
+  /// Quiesce only if the epoch is immediately free (no queued writer, no
+  /// in-flight batch). Never blocks.
+  std::optional<QuiesceGuard> TryQuiesce() {
+    if (!gate_.TryEnterWrite()) return std::nullopt;
+    quiesce_epochs_.fetch_add(1, std::memory_order_relaxed);
+    return QuiesceGuard(&gate_, std::chrono::nanoseconds{0});
+  }
+
+  /// Quiesce with a deadline: gives up (and cancels its writer ticket)
+  /// if the epoch cannot be acquired within `timeout`.
+  std::optional<QuiesceGuard> QuiesceFor(std::chrono::nanoseconds timeout) {
+    if (!gate_.EnterWriteFor(timeout)) return std::nullopt;
+    quiesce_epochs_.fetch_add(1, std::memory_order_relaxed);
+    return QuiesceGuard(&gate_, timeout);  // upper bound; histogram is exact
   }
 
   /// Update epochs begun so far (diagnostics for tests/benches).
   uint64_t quiesce_epochs() const {
     return quiesce_epochs_.load(std::memory_order_relaxed);
   }
+  /// Update epochs that had to wait at the gate / that acquired it
+  /// immediately. quiesce_epochs() == contended + uncontended.
+  uint64_t contended_quiesce_epochs() const {
+    return gate_.contended_writes();
+  }
+  uint64_t uncontended_quiesce_epochs() const {
+    return gate_.uncontended_writes();
+  }
+
+  /// The epoch gate itself: UpdateExecutor and MaintenanceThread
+  /// coordinate with serving through it.
+  EpochGate* gate() { return &gate_; }
 
   /// Batch warm-up (DESIGN.md §10): stages `roots` — the entry pages of
   /// the structures an imminent batch will query — as one concurrent
@@ -143,10 +203,18 @@ class QueryExecutor {
   template <typename Query, typename Runner>
   BatchReport RunBatch(std::span<const Query> queries, Runner&& runner,
                        Pager* pager = nullptr) {
-    // One shared epoch acquisition per batch: batches run concurrently
-    // with each other, and an updater holding Quiesce() excludes them.
-    std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+    // One gate entry per batch: batches run concurrently with each
+    // other, and an updater holding Quiesce() excludes them. The gate is
+    // write-preferring, so a saturated batch stream cannot starve
+    // updates (and phase-fair, so updates cannot starve batches).
+    struct ReadEpoch {
+      EpochGate* g;
+      std::chrono::nanoseconds wait;
+      explicit ReadEpoch(EpochGate* gate) : g(gate), wait(g->EnterRead()) {}
+      ~ReadEpoch() { g->ExitRead(); }
+    } epoch(&gate_);
     BatchReport report;
+    report.gate_wait = epoch.wait;
     report.statuses.assign(queries.size(), Status::OK());
     report.per_thread_queries.assign(num_threads(), 0);
     IoStats before = pager != nullptr ? pager->CombinedStats() : IoStats{};
@@ -165,6 +233,7 @@ class QueryExecutor {
       report.per_thread_queries[thread] = ran;
     });
     if (pager != nullptr) report.io = pager->CombinedStats() - before;
+    report.gate_wait_hist = gate_.reader_wait_histogram();
     return report;
   }
 
@@ -197,20 +266,15 @@ class QueryExecutor {
 
  private:
   // Runs `job(thread)` on every worker and blocks until all return.
-  void RunOnWorkers(const std::function<void(unsigned)>& job);
-  void WorkerLoop(unsigned thread);
+  void RunOnWorkers(const std::function<void(unsigned)>& job) {
+    pool_.Run(job);
+  }
 
-  std::vector<std::thread> workers_;
-  // Epoch-style quiesce point: batches shared, updates exclusive.
-  mutable std::shared_mutex epoch_mu_;
+  WorkerPool pool_;
+  // Epoch-style quiesce point: batches enter as readers, updates as
+  // FIFO writers (write-preferring + phase-fair; see epoch_gate.h).
+  EpochGate gate_;
   std::atomic<uint64_t> quiesce_epochs_{0};
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(unsigned)>* job_ = nullptr;  // guarded by mu_
-  uint64_t generation_ = 0;
-  unsigned running_ = 0;
-  bool shutdown_ = false;
 };
 
 }  // namespace ccidx

@@ -1,0 +1,133 @@
+// UpdateExecutor: fans a mixed batch of updates across N writer threads
+// inside one write epoch (DESIGN.md §11).
+//
+// The epoch gate admits one write epoch at a time (vs. the reader
+// batches); *within* the epoch the index families are safe for N
+// concurrent writers through their internal latches (Bentley–Saxe level
+// latches, B+-tree subtree stripes, PST side latches, the sharded
+// tombstone set). The executor supplies the missing piece — an
+// assignment of updates to workers that preserves per-key ordering:
+// worker w applies exactly the updates whose mixed key hash lands on w,
+// scanning the batch in order, so two updates to the same key are always
+// applied by the same worker in batch order, while different keys spread
+// across all workers. No cross-thread handoff, no queues: each worker
+// does one pass over the (shared, read-only) span.
+//
+// RunUpdates optionally takes the EpochGate: when given, the batch
+// enters the gate as one writer (FIFO ticket, write-preferring — see
+// epoch_gate.h) and the report carries the gate wait it paid plus the
+// cumulative writer-side wait histogram, which bench_update turns into
+// the gate-wait p50/p99 series.
+
+#ifndef CCIDX_QUERY_UPDATE_EXECUTOR_H_
+#define CCIDX_QUERY_UPDATE_EXECUTOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ccidx/common/status.h"
+#include "ccidx/io/pager.h"
+#include "ccidx/query/epoch_gate.h"
+#include "ccidx/query/worker_pool.h"
+
+namespace ccidx {
+
+/// Outcome of one RunUpdates call.
+struct UpdateReport {
+  /// statuses[i] is the Status of updates[i] (order preserved).
+  std::vector<Status> statuses;
+  /// Updates applied by each worker (sums to statuses.size()).
+  std::vector<uint64_t> per_thread_updates;
+  /// Pager stats diff across the batch (zero unless a pager was passed).
+  IoStats io;
+  /// Time this batch waited at the epoch gate before its write epoch
+  /// began (zero when no gate was passed or the gate was free).
+  std::chrono::nanoseconds gate_wait{0};
+  /// Cumulative writer-side gate-wait histogram at batch completion.
+  WaitHistogram gate_wait_hist;
+
+  bool ok() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+
+  /// First non-OK status, or OK.
+  Status FirstError() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+};
+
+/// Fixed pool of writer threads serving update batches. Construction
+/// starts the workers; destruction joins them. RunUpdates blocks the
+/// caller until the batch drains.
+class UpdateExecutor {
+ public:
+  /// Starts `num_threads` writers (0 => one per hardware thread).
+  explicit UpdateExecutor(unsigned num_threads) : pool_(num_threads) {}
+  UpdateExecutor(const UpdateExecutor&) = delete;
+  UpdateExecutor& operator=(const UpdateExecutor&) = delete;
+
+  unsigned num_threads() const { return pool_.size(); }
+
+  /// Fans `updates` across the writers. `key_of` maps an update to its
+  /// ordering key (updates with equal keys are applied in batch order by
+  /// one worker); `apply` is invoked as
+  ///   Status apply(const Update& u, size_t index, unsigned thread)
+  /// concurrently from the workers and must only call write paths that
+  /// are N-writer safe within an epoch (Insert/Delete of the latched
+  /// families). When `gate` is non-null the whole batch runs as one
+  /// write epoch; when `pager` is non-null the report carries the
+  /// batch's IoStats diff.
+  template <typename Update, typename KeyOf, typename Applier>
+  UpdateReport RunUpdates(std::span<const Update> updates, KeyOf&& key_of,
+                          Applier&& apply, EpochGate* gate = nullptr,
+                          Pager* pager = nullptr) {
+    UpdateReport report;
+    report.statuses.assign(updates.size(), Status::OK());
+    report.per_thread_updates.assign(num_threads(), 0);
+    if (gate != nullptr) report.gate_wait = gate->EnterWrite();
+    IoStats before = pager != nullptr ? pager->CombinedStats() : IoStats{};
+    const unsigned width = num_threads();
+    pool_.Run([&](unsigned thread) {
+      // Count locally and store once (see QueryExecutor::RunBatch).
+      uint64_t ran = 0;
+      for (size_t i = 0; i < updates.size(); ++i) {
+        if (Mix(static_cast<uint64_t>(key_of(updates[i]))) % width != thread) {
+          continue;
+        }
+        report.statuses[i] = apply(updates[i], i, thread);
+        ran++;
+      }
+      report.per_thread_updates[thread] = ran;
+    });
+    if (pager != nullptr) report.io = pager->CombinedStats() - before;
+    if (gate != nullptr) {
+      report.gate_wait_hist = gate->writer_wait_histogram();
+      gate->ExitWrite();
+    }
+    return report;
+  }
+
+ private:
+  // splitmix64 finalizer: sequential keys must not all land on one
+  // worker, so the partition uses a mixed hash, not the raw key.
+  static uint64_t Mix(uint64_t k) {
+    k += 0x9e3779b97f4a7c15ull;
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ull;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebull;
+    return k ^ (k >> 31);
+  }
+
+  WorkerPool pool_;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_QUERY_UPDATE_EXECUTOR_H_

@@ -1,0 +1,90 @@
+// WorkerPool: the fixed thread pool shared by QueryExecutor (read
+// batches) and UpdateExecutor (write batches). Construction starts the
+// workers; destruction joins them. Run() fans one job across every
+// worker and blocks the caller until all return — the pool serves any
+// number of jobs sequentially, the jobs parallelize internally.
+
+#ifndef CCIDX_QUERY_WORKER_POOL_H_
+#define CCIDX_QUERY_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccidx {
+
+class WorkerPool {
+ public:
+  /// Starts `num_threads` workers (0 => one per hardware thread).
+  explicit WorkerPool(unsigned num_threads) {
+    if (num_threads == 0) {
+      num_threads = std::thread::hardware_concurrency();
+      if (num_threads == 0) num_threads = 1;
+    }
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs `job(thread)` on every worker and blocks until all return.
+  void Run(const std::function<void(unsigned)>& job) {
+    std::unique_lock lock(mu_);
+    job_ = &job;
+    running_ = size();
+    generation_++;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return running_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop(unsigned thread) {
+    uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(unsigned)>* job;
+      {
+        std::unique_lock lock(mu_);
+        work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        job = job_;
+      }
+      (*job)(thread);
+      {
+        std::lock_guard lock(mu_);
+        if (--running_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;  // guarded by mu_
+  uint64_t generation_ = 0;
+  unsigned running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ccidx
+
+#endif  // CCIDX_QUERY_WORKER_POOL_H_

@@ -27,15 +27,34 @@
 //                                            full-extent differential
 //                                            comparison
 
+// Concurrent-writer contract (RunConcurrentWriterWorkload; one adapter
+// per family, defined in the tests):
+//   using Op = ...;                        — one generated update
+//   Op MakeOp(std::mt19937_64& rng)        — generate an insert or delete
+//                                            (the adapter decides the mix
+//                                            and tracks its live set)
+//   uint64_t KeyOf(const Op& op) const     — the update's ordering key
+//   Status ApplyToStructure(const Op& op)  — apply to the structure;
+//                                            called CONCURRENTLY from the
+//                                            writer threads (must be
+//                                            N-writer safe, DESIGN.md §11)
+//   Status ApplyToOracle(const Op& op)     — apply to the in-core oracle
+//                                            (sequential, batch order)
+//   Status Compare()                       — full differential comparison
+//                                            structure vs oracle
+
 #ifndef CCIDX_TESTUTIL_WORKLOAD_H_
 #define CCIDX_TESTUTIL_WORKLOAD_H_
 
 #include <cstdint>
 #include <cstdlib>
 #include <random>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "ccidx/common/status.h"
+#include "ccidx/query/update_executor.h"
 
 namespace ccidx {
 
@@ -120,6 +139,56 @@ Status RunDifferentialWorkload(Adapter& adapter,
   }
   Status s = adapter.Check();
   if (!s.ok()) return Annotate(s, opt.seed, opt.ops, "final-check");
+  return Status::OK();
+}
+
+/// Shape of one concurrent-writer differential run.
+struct ConcurrentWorkloadOptions {
+  uint64_t seed = 1;
+  /// Update batches to run; each batch fans out across the writers, then
+  /// the oracle replays it sequentially and the two are compared.
+  size_t batches = 8;
+  size_t batch_size = 256;
+  /// Writer threads (an UpdateExecutor of this width applies each batch).
+  unsigned writers = 4;
+};
+
+/// Runs seeded update batches through an N-writer UpdateExecutor against
+/// a sequential oracle replay (DESIGN.md §11). The executor's per-key
+/// partition keeps same-key updates in batch order, and distinct keys
+/// commute in every family, so after each batch the structure must be
+/// bit-identical to the oracle that applied the same ops sequentially —
+/// Compare() enforces exactly that. Run under TSan to surface latch
+/// violations; failures annotate the seed and batch for replay.
+template <typename Adapter>
+Status RunConcurrentWriterWorkload(Adapter& adapter,
+                                   const ConcurrentWorkloadOptions& opt) {
+  using workload_internal::Annotate;
+  using Op = typename Adapter::Op;
+  std::mt19937_64 rng(opt.seed);
+  UpdateExecutor exec(opt.writers);
+  for (size_t b = 0; b < opt.batches; ++b) {
+    std::vector<Op> ops;
+    ops.reserve(opt.batch_size);
+    for (size_t i = 0; i < opt.batch_size; ++i) {
+      ops.push_back(adapter.MakeOp(rng));
+    }
+    UpdateReport report = exec.RunUpdates(
+        std::span<const Op>(ops),
+        [&](const Op& op) { return adapter.KeyOf(op); },
+        [&](const Op& op, size_t, unsigned) {
+          return adapter.ApplyToStructure(op);
+        });
+    if (!report.ok()) {
+      return Annotate(report.FirstError(), opt.seed, b, "concurrent-apply");
+    }
+    for (const Op& op : ops) {
+      Status s = adapter.ApplyToOracle(op);
+      if (!s.ok()) return Annotate(s, opt.seed, b, "oracle-apply");
+    }
+    Status s = adapter.Compare();
+    if (!s.ok()) return Annotate(s, opt.seed, b, "compare");
+  }
   return Status::OK();
 }
 
