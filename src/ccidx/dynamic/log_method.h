@@ -52,15 +52,23 @@
 //                   the merge harvested a snapshot prefix, install
 //                   removes exactly that prefix, and buffer-erase
 //                   deletes fall back to the tombstone path so the
-//                   prefix identity is never disturbed.
+//                   prefix identity is never disturbed. Insert's
+//                   resurrection (tombstone Consume) is also gated on
+//                   merge_in_flight: the harvest excludes tombstoned
+//                   records with the Consume deferred to install, so a
+//                   resurrection racing that window would acknowledge a
+//                   record the merge is about to drop; such inserts
+//                   wait on merge_mu and retry instead.
 // Purge rebuilds can also run split-phase on a maintenance thread
-// (DESIGN.md §11): PrepareGlobalRebuild harvests and builds under a
-// shared (read) gate epoch, CommitGlobalRebuild installs under the
+// (DESIGN.md §11): PrepareGlobalRebuild harvests under its own latches
+// (merge_mu + levels_mu shared) and builds — no gate epoch needed, so
+// serving and updates continue; CommitGlobalRebuild installs under the
 // exclusive gate and validates the RebuildScheduler::update_stamp() it
-// harvested at — any interleaved update makes the commit a no-op that
-// frees the built pages instead. SetPurgeHook diverts Delete's inline
-// purge trigger to that path. Destroy, Build, CheckInvariants, and
-// num_levels still require full quiescence.
+// harvested at — any interleaved update (or inline merge: install bumps
+// the stamp too) makes the commit a no-op that frees the built pages
+// instead. SetPurgeHook diverts Delete's inline purge trigger to that
+// path. Destroy, Build, CheckInvariants, and num_levels still require
+// full quiescence.
 
 #ifndef CCIDX_DYNAMIC_LOG_METHOD_H_
 #define CCIDX_DYNAMIC_LOG_METHOD_H_
@@ -148,16 +156,42 @@ class Dynamized {
   /// identity resurrects the stored record at zero I/O. Safe from N
   /// writer threads concurrently (write epoch).
   Status Insert(const Record& r) {
-    if (tombstones_.Consume(r)) {
-      sched_.NoteTombstoneConsumed();
-      return Status::OK();
-    }
-    bool full;
-    {
-      std::lock_guard<std::mutex> bg(sy_->buffer_mu);
-      buffer_.push_back(r);
-      sy_->buffer_size.store(buffer_.size(), kRlx);
-      full = buffer_.size() >= buffer_cap_;
+    bool full = false;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> bg(sy_->buffer_mu);
+        if (!sy_->merge_in_flight) {
+          // No merge is harvesting, so a tombstone seen here cannot have
+          // been excluded-but-not-yet-consumed by one (InstallLocked
+          // consumes the purged tombstones before lowering the flag):
+          // resurrecting is safe.
+          if (tombstones_.Consume(r)) {
+            sched_.NoteTombstoneConsumed();
+            return Status::OK();
+          }
+          buffer_.push_back(r);
+          sy_->buffer_size.store(buffer_.size(), kRlx);
+          full = buffer_.size() >= buffer_cap_;
+          break;
+        }
+        if (!tombstones_.Contains(r)) {
+          // Plain append during a merge is the append-only discipline:
+          // the merge harvested a buffer prefix and install removes
+          // exactly that prefix, so this record survives in the buffer.
+          buffer_.push_back(r);
+          sy_->buffer_size.store(buffer_.size(), kRlx);
+          full = buffer_.size() >= buffer_cap_;
+          break;
+        }
+      }
+      // Tombstoned identity while a merge is in flight: the harvest may
+      // already have excluded the stored record against this tombstone,
+      // so consuming it here would return OK while the merge installs a
+      // level without the record (lost insert). Wait for the merge to
+      // land (merge_mu, lock order merge -> buffer) and re-evaluate:
+      // afterwards the tombstone is either consumed by the merge (this
+      // becomes a fresh append) or still valid (resurrect).
+      std::lock_guard<std::mutex> mg(sy_->merge_mu);
     }
     sched_.Touch();
     // A full buffer flushes; if a merge is already in flight the append
@@ -268,10 +302,14 @@ class Dynamized {
   };
 
   /// Phase 1 of a background purge: harvest every level + the buffer and
-  /// build the replacement. Call under a *shared* gate epoch — it only
-  /// reads the adapter (and writes fresh pages), so it runs concurrently
-  /// with queries. The built pages are committed durable; the caller
-  /// must pass the result to CommitGlobalRebuild or AbandonGlobalRebuild.
+  /// build the replacement. Needs no gate epoch — it only reads the
+  /// adapter (under merge_mu + the internal latches) and writes fresh
+  /// pages, so it runs concurrently with queries *and* update epochs;
+  /// any update that races it bumps the stamp and voids the commit.
+  /// (Writers of this structure whose buffer fills mid-prepare block on
+  /// merge_mu until the prepare finishes; plain appends proceed.) The
+  /// built pages are committed durable; the caller must pass the result
+  /// to CommitGlobalRebuild or AbandonGlobalRebuild.
   Result<PendingRebuild> PrepareGlobalRebuild() {
     std::lock_guard<std::mutex> mg(sy_->merge_mu);
     PendingRebuild p;
@@ -315,11 +353,7 @@ class Dynamized {
       return false;
     }
     InstallLocked(p.level, p.harvested_buffer, std::move(p.fresh),
-                  std::move(p.pages), p.merged);
-    for (const Record& r : p.purged) {
-      tombstones_.Consume(r);
-      sched_.NoteTombstoneConsumed();
-    }
+                  std::move(p.pages), p.merged, p.purged);
     sched_.Reset();
     sy_->purge_pending.store(false, kRlx);
     return true;
@@ -519,11 +553,13 @@ class Dynamized {
   }
 
   // Retires levels [0, k] and the harvested buffer prefix, installs the
-  // replacement at level k. Caller holds merge_mu; takes levels_mu
-  // exclusive + buffer_mu for the O(levels) swap.
+  // replacement at level k, and consumes the tombstones the merge
+  // expunged. Caller holds merge_mu; takes levels_mu exclusive +
+  // buffer_mu for the O(levels) swap.
   void InstallLocked(size_t k, size_t harvested_buffer,
                      std::optional<Structure>&& fresh,
-                     std::vector<PageId>&& fresh_pages, uint64_t merged) {
+                     std::vector<PageId>&& fresh_pages, uint64_t merged,
+                     const std::vector<Record>& purged) {
     std::unique_lock<std::shared_mutex> lg(sy_->levels_mu);
     std::lock_guard<std::mutex> bg(sy_->buffer_mu);
     EnsureLevels(k + 1);
@@ -543,6 +579,19 @@ class Dynamized {
     buffer_.erase(buffer_.begin(),
                   buffer_.begin() + static_cast<ptrdiff_t>(cut));
     sy_->buffer_size.store(buffer_.size(), kRlx);
+    // Consume the expunged tombstones *before* lowering the in-flight
+    // flag, still under buffer_mu: once the flag drops, Insert's
+    // resurrection fast path may Consume, and it must never win a
+    // tombstone whose stored record this install just removed (lost
+    // insert). Consume can lose only to a racing resurrection that
+    // observed the flag down — then the decrement is not ours to take.
+    for (const Record& r : purged) {
+      if (tombstones_.Consume(r)) sched_.NoteTombstoneConsumed();
+    }
+    // Any install (including a plain flush that expunged nothing)
+    // restructures the levels and retires a buffer prefix, so a
+    // background rebuild prepared before it must not commit.
+    sched_.Touch();
     sy_->merge_in_flight = false;
     sy_->merges.fetch_add(1, kRlx);
   }
@@ -590,14 +639,11 @@ class Dynamized {
 
     // Point of no return: the replacement is durable. InstallLocked
     // retires the old levels by page id (no device reads — cannot fail
-    // mid-way), removes the harvested prefix, and lowers the flag.
+    // mid-way), removes the harvested prefix, consumes the expunged
+    // tombstones, and lowers the flag.
     lower.armed = false;
     InstallLocked(k, harvest_n, std::move(fresh), std::move(fresh_pages),
-                  merged);
-    for (const Record& r : purged) {
-      tombstones_.Consume(r);
-      sched_.NoteTombstoneConsumed();
-    }
+                  merged, purged);
     return Status::OK();
   }
 

@@ -7,25 +7,32 @@
 // thread runs the split-phase alternative every dynamized family
 // exposes:
 //
-//   prepare  — under a *shared* (read) gate epoch: harvest the old
-//              structure and build the replacement. Concurrent with
-//              query batches; writers are excluded by the gate, so the
-//              harvest is consistent without long latch holds.
+//   prepare  — gateless: harvest the old structure and build the
+//              replacement. Both structures latch their own harvest
+//              (ExternalPst takes its side/root latches for the read
+//              pass, Dynamized holds merge_mu + levels_mu shared), so
+//              the pass is coherent under concurrent query batches AND
+//              write epochs. Holding a gate read entry across the
+//              O(n/B) prepare would let the first arriving writer —
+//              and, by write preference, every new reader batch — stall
+//              behind the whole rebuild.
 //   commit   — under the *exclusive* (write) gate epoch: validate the
 //              RebuildScheduler::update_stamp() captured at harvest and
 //              swap the roots (free-list work only — no device I/O). If
 //              any update landed in between, the commit aborts, the
 //              fresh pages are freed, and the structure's next trigger
-//              re-fires: updates are never blocked behind a rebuild and
-//              never clobbered by one.
+//              re-fires: a rebuild never clobbers an update, and the
+//              only update that waits on one is a writer needing the
+//              rebuilt structure's own harvest latch mid-prepare (e.g.
+//              a Dynamized buffer flush contending on merge_mu).
 //
 // Wiring: install the trigger with the structure's hook setter, e.g.
 //   dyn.SetPurgeHook([&] { maint.Schedule(maint.RebuildJob(&dyn)); });
 //   pst.SetRebuildHook([&] { maint.Schedule(maint.RebuildJob(&pst)); });
 // The hook fires from an update path that may hold the write gate, so
 // Schedule only enqueues (never blocks on the gate). Drain() must not be
-// called while holding the write gate — the queued jobs need read and
-// write epochs of their own to finish.
+// called while holding the write gate — the queued jobs need a write
+// epoch of their own to commit.
 //
 // Lifetime: the thread references the gate and the structures inside its
 // queued jobs; destroy it (or Drain) before destroying either.
@@ -85,14 +92,13 @@ class MaintenanceThread {
 
   /// The split-phase rebuild job for any structure exposing
   /// PrepareGlobalRebuild / CommitGlobalRebuild / AbandonGlobalRebuild
-  /// (Dynamized, ExternalPst). Prepare runs under a read epoch, commit
-  /// under the write epoch with stamp validation.
+  /// (Dynamized, ExternalPst). Prepare runs gateless (the structures
+  /// latch their own harvest — see file comment), commit under the
+  /// write epoch with stamp validation.
   template <typename Structure>
   std::function<void()> RebuildJob(Structure* s) {
     return [this, s] {
-      if (gate_ != nullptr) gate_->EnterRead();
       auto pending = s->PrepareGlobalRebuild();
-      if (gate_ != nullptr) gate_->ExitRead();
       if (!pending.ok()) {
         // The build failed (the scope already rolled its pages back);
         // release the pending latch so the next trigger re-fires.

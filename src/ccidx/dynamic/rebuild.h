@@ -25,7 +25,11 @@
 // updates without coordination (DESIGN.md §11). The thresholds are
 // heuristics — a momentarily stale read just shifts a rebuild by O(1)
 // updates. update_stamp() gives background rebuilds a cheap staleness
-// token: harvest at stamp S, commit only if the stamp is still S.
+// token: harvest at stamp S, commit only if the stamp is still S. The
+// stamp alone is release/acquire — a gateless prepare captures it
+// before harvesting, and seeing a bump must imply seeing the update's
+// data; the commit-side check is additionally ordered by the exclusive
+// gate acquisition.
 
 #ifndef CCIDX_DYNAMIC_REBUILD_H_
 #define CCIDX_DYNAMIC_REBUILD_H_
@@ -66,12 +70,12 @@ class RebuildScheduler {
 
   void NoteInsert() {
     updates_.fetch_add(1, kRlx);
-    stamp_.fetch_add(1, kRlx);
+    stamp_.fetch_add(1, kRel);
   }
   void NoteDelete() {
     updates_.fetch_add(1, kRlx);
     deletes_.fetch_add(1, kRlx);
-    stamp_.fetch_add(1, kRlx);
+    stamp_.fetch_add(1, kRel);
   }
   /// A purge consumed one outstanding tombstone without a rebuild (e.g. a
   /// re-insert resurrected the record, or a partial rebuild expunged it).
@@ -83,13 +87,13 @@ class RebuildScheduler {
     }
     // A resurrection changes liveness, so background rebuilds prepared
     // before it must not commit.
-    stamp_.fetch_add(1, kRlx);
+    stamp_.fetch_add(1, kRel);
   }
 
   /// Bumps the staleness stamp without touching the rebuild counters:
   /// for structural changes (buffer appends, buffer erases) that do not
   /// feed the rebuild heuristics but do invalidate a prepared rebuild.
-  void Touch() { stamp_.fetch_add(1, kRlx); }
+  void Touch() { stamp_.fetch_add(1, kRel); }
 
   /// True when total updates since the last rebuild amount to the
   /// configured fraction of the live weight.
@@ -108,18 +112,20 @@ class RebuildScheduler {
   void Reset() {
     updates_.store(0, kRlx);
     deletes_.store(0, kRlx);
-    stamp_.fetch_add(1, kRlx);
+    stamp_.fetch_add(1, kRel);
   }
 
   uint64_t updates_since_rebuild() const { return updates_.load(kRlx); }
   uint64_t deletes_since_rebuild() const { return deletes_.load(kRlx); }
   /// Monotonic staleness token for background rebuilds: bumps on every
   /// noted update and on Reset, never repeats.
-  uint64_t update_stamp() const { return stamp_.load(kRlx); }
+  uint64_t update_stamp() const { return stamp_.load(kAcq); }
   const Options& options() const { return options_; }
 
  private:
   static constexpr auto kRlx = std::memory_order_relaxed;
+  static constexpr auto kRel = std::memory_order_release;
+  static constexpr auto kAcq = std::memory_order_acquire;
 
   bool Exceeds(uint64_t count, uint64_t live_weight) const {
     // count > fraction * live + min_updates, in overflow-safe integers.

@@ -478,8 +478,12 @@ Status Pager::Free(PageId id) {
   }
   Status s = device_->Free(id);
   if (s.ok()) ForgetAllocation(id);
-  // A freed slot is new capacity: re-stage parked warm hints.
-  if (s.ok() && capacity_ > 0) ReviveDeferredPrefetches();
+  // A freed slot is new capacity: ask a prefetch worker to re-stage the
+  // parked warm hints. Signal-only — Free's callers hold structure
+  // latches (ExternalPst commits free under root_mu, Dynamized installs
+  // free under levels_mu + buffer_mu), so the staging pass (dedupe,
+  // residency probes, shard locks) must not run inline here.
+  if (s.ok() && capacity_ > 0) RequestReviveAsync();
   return s;
 }
 
@@ -832,9 +836,21 @@ void Pager::PrefetchWorker() {
   std::vector<PageId> batch;
   for (;;) {
     prefetch_cv_.wait(lock, [this] {
-      return prefetch_stop_ || !prefetch_queue_.empty();
+      return prefetch_stop_ || revive_requested_ || !prefetch_queue_.empty();
     });
     if (prefetch_stop_) return;
+    if (revive_requested_) {
+      // A Free signalled new capacity from inside a latch-held critical
+      // section; run the staging pass here on the worker instead.
+      revive_requested_ = false;
+      lock.unlock();
+      ReviveDeferredPrefetches();
+      lock.lock();
+      if (prefetch_queue_.empty() && prefetch_inflight_ == 0) {
+        prefetch_idle_cv_.notify_all();
+      }
+      continue;
+    }
     batch.clear();
     while (!prefetch_queue_.empty() && batch.size() < kPrefetchBatchMax) {
       batch.push_back(prefetch_queue_.front());
@@ -897,7 +913,8 @@ void Pager::Prefetch(std::span<const PageId> ids) {
 void Pager::DrainPrefetch() {
   std::unique_lock lock(prefetch_mu_);
   prefetch_idle_cv_.wait(lock, [this] {
-    return prefetch_queue_.empty() && prefetch_inflight_ == 0;
+    return !revive_requested_ && prefetch_queue_.empty() &&
+           prefetch_inflight_ == 0;
   });
 }
 
@@ -930,6 +947,21 @@ void Pager::ReviveDeferredPrefetches() {
   if (ids.empty()) return;
   prefetches_revived_.fetch_add(ids.size(), std::memory_order_relaxed);
   Prefetch(ids);
+}
+
+void Pager::RequestReviveAsync() {
+  // Same relaxed fast path as ReviveDeferredPrefetches: nothing parked,
+  // nothing to signal.
+  if (deferred_prefetch_count_.load(std::memory_order_relaxed) == 0) return;
+  {
+    std::lock_guard lock(prefetch_mu_);
+    // No worker running (nothing has been prefetched yet, or we are
+    // shutting down): leave the hints parked — the next pin-release
+    // revive or Prefetch call picks them up.
+    if (prefetch_stop_ || prefetch_threads_.empty()) return;
+    revive_requested_ = true;
+  }
+  prefetch_cv_.notify_all();
 }
 
 bool Pager::AnyOtherShardHasCapacity(uint32_t except) const {

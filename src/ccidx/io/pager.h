@@ -568,13 +568,24 @@ class Pager {
 
   // Clock-hand prefetch feed (DESIGN.md §11): a warm hint whose home
   // shard had no claimable frame (every slot pinned) parks here instead
-  // of dropping. The moment capacity reappears — a pin release drops a
-  // frame to zero pins, Free/DropCache reclaims slots — the parked ids
-  // are re-staged through Prefetch, so a scan-heavy batch's chained
-  // leaf-run hints survive transient pin saturation.
+  // of dropping. The moment capacity reappears the parked ids are
+  // re-staged through Prefetch, so a scan-heavy batch's chained
+  // leaf-run hints survive transient pin saturation. A pin release
+  // dropping a frame to zero pins re-stages inline (lock-free hot path,
+  // the relaxed-count fast path keeps it one load); Free instead
+  // signals a prefetch worker, since its callers hold structure
+  // latches that staging work must not run under.
   static constexpr size_t kDeferredPrefetchCap = 32;
   void DeferPrefetch(PageId id);
   void ReviveDeferredPrefetches();
+  // Asks the readahead workers to run ReviveDeferredPrefetches on their
+  // own thread: one short prefetch_mu_ hold and a notify, no staging
+  // work — safe from inside a caller's latch-held critical section
+  // (Free runs under structure install latches). No-op when no worker
+  // is running; the parked hints then wait for the next pin-release
+  // revive or Prefetch call.
+  void RequestReviveAsync();
+  bool revive_requested_ = false;  // guarded by prefetch_mu_
   std::mutex deferred_prefetch_mu_;
   std::vector<PageId> deferred_prefetch_;
   std::atomic<uint64_t> deferred_prefetch_count_{0};  // size mirror

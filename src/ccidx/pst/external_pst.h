@@ -164,10 +164,11 @@ class ExternalPst {
   };
 
   /// Phase 1 of a background rebuild: harvest under the write latches
-  /// (brief, O(n/B) reads), then build the replacement latch-free. Call
-  /// under a *shared* gate epoch — it runs concurrently with queries.
-  /// The caller must pass the result to CommitGlobalRebuild or
-  /// AbandonGlobalRebuild.
+  /// (brief, O(n/B) reads), then build the replacement latch-free.
+  /// Needs no gate epoch — the latched harvest is coherent under
+  /// concurrent queries and update epochs, and any update that lands
+  /// after it bumps the stamp and voids the commit. The caller must
+  /// pass the result to CommitGlobalRebuild or AbandonGlobalRebuild.
   Result<PendingRebuild> PrepareGlobalRebuild();
 
   /// Phase 2: install the prepared rebuild. Returns true iff it

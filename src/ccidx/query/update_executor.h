@@ -7,11 +7,13 @@
 // latches, B+-tree subtree stripes, PST side latches, the sharded
 // tombstone set). The executor supplies the missing piece — an
 // assignment of updates to workers that preserves per-key ordering:
-// worker w applies exactly the updates whose mixed key hash lands on w,
-// scanning the batch in order, so two updates to the same key are always
-// applied by the same worker in batch order, while different keys spread
-// across all workers. No cross-thread handoff, no queues: each worker
-// does one pass over the (shared, read-only) span.
+// worker w applies exactly the updates whose mixed key hash lands on w.
+// One sequential pass over the batch (before the gate is even entered,
+// so partitioning never lengthens the write epoch) hashes each key once
+// and builds the per-worker index lists in batch order — so two updates
+// to the same key are always applied by the same worker in batch order,
+// while different keys spread across all workers. No cross-thread
+// handoff, no queues: each worker walks only its own list.
 //
 // RunUpdates optionally takes the EpochGate: when given, the batch
 // enters the gate as one writer (FIFO ticket, write-preferring — see
@@ -92,20 +94,22 @@ class UpdateExecutor {
     UpdateReport report;
     report.statuses.assign(updates.size(), Status::OK());
     report.per_thread_updates.assign(num_threads(), 0);
+    // Partition before entering the gate: one pass, one hash per key,
+    // per-worker index lists in batch order (per-key ordering).
+    const unsigned width = num_threads();
+    std::vector<std::vector<size_t>> assigned(width);
+    for (auto& list : assigned) list.reserve(updates.size() / width + 1);
+    for (size_t i = 0; i < updates.size(); ++i) {
+      assigned[Mix(static_cast<uint64_t>(key_of(updates[i]))) % width]
+          .push_back(i);
+    }
     if (gate != nullptr) report.gate_wait = gate->EnterWrite();
     IoStats before = pager != nullptr ? pager->CombinedStats() : IoStats{};
-    const unsigned width = num_threads();
     pool_.Run([&](unsigned thread) {
-      // Count locally and store once (see QueryExecutor::RunBatch).
-      uint64_t ran = 0;
-      for (size_t i = 0; i < updates.size(); ++i) {
-        if (Mix(static_cast<uint64_t>(key_of(updates[i]))) % width != thread) {
-          continue;
-        }
+      for (size_t i : assigned[thread]) {
         report.statuses[i] = apply(updates[i], i, thread);
-        ran++;
       }
-      report.per_thread_updates[thread] = ran;
+      report.per_thread_updates[thread] = assigned[thread].size();
     });
     if (pager != nullptr) report.io = pager->CombinedStats() - before;
     if (gate != nullptr) {

@@ -249,6 +249,100 @@ TEST(ConcurrentWriter, ExternalPstMatchesSequentialOracle) {
 }
 
 // ---------------------------------------------------------------------
+// Dynamized resurrection: delete -> re-insert of the same identity
+// (tombstone consumption, zero I/O) racing the inline buffer-flush
+// merges that purge those same tombstones. Regression for the lost
+// insert where a resurrection consumed a tombstone whose record an
+// in-flight merge had already excluded from its harvest: the point
+// ended up in neither the buffer, the levels, nor the tombstone set.
+// A small buffer keeps a merge in flight almost continuously.
+
+struct DynOp {
+  bool insert;
+  Point p;
+};
+
+class DynResurrectAdapter {
+ public:
+  using Op = DynOp;
+  explicit DynResurrectAdapter(DynamicThreeSidedTree* dyn) : dyn_(dyn) {}
+
+  Op MakeOp(std::mt19937_64& rng) {
+    // A small pool of fixed identities toggled alive/dead: most deletes
+    // are followed by a resurrection of the same Point a few ops later,
+    // while fresh identities keep the merge cadence up.
+    if (pool_.size() < kPool || rng() % 100 < 10) {
+      Point p{static_cast<Coord>(rng() % kDomain),
+              static_cast<Coord>(rng() % kDomain), next_id_++};
+      pool_.push_back(p);
+      alive_.push_back(true);
+      return {true, p};
+    }
+    size_t j = rng() % pool_.size();
+    alive_[j] = !alive_[j];
+    return {alive_[j], pool_[j]};
+  }
+  // Identity key: every toggle of one Point replays in batch order.
+  uint64_t KeyOf(const Op& op) const { return op.p.id; }
+  Status ApplyToStructure(const Op& op) {
+    if (op.insert) return dyn_->Insert(op.p);
+    bool found = false;
+    CCIDX_RETURN_IF_ERROR(dyn_->Delete(op.p, &found));
+    return found ? Status::OK()
+                 : Status::Corruption("concurrent delete missed its point");
+  }
+  Status ApplyToOracle(const Op& op) {
+    if (op.insert) {
+      oracle_.Insert(op.p);
+      return Status::OK();
+    }
+    return oracle_.Erase(op.p)
+               ? Status::OK()
+               : Status::Corruption("oracle missed a delete");
+  }
+  Status Compare() {
+    std::vector<Point> got;
+    CCIDX_RETURN_IF_ERROR(dyn_->Query({0, kDomain, 0}, &got));
+    SortPoints(&got);
+    if (got != oracle_.ThreeSided({0, kDomain, 0})) {
+      return Status::Corruption("resurrection state diverged from oracle");
+    }
+    return dyn_->CheckInvariants();
+  }
+
+ private:
+  static constexpr size_t kPool = 48;
+  DynamicThreeSidedTree* dyn_;
+  PointOracle oracle_;
+  std::vector<Point> pool_;
+  std::vector<bool> alive_;
+  uint64_t next_id_ = 1;
+};
+
+TEST(ConcurrentWriter, DynamizedResurrectionMatchesSequentialOracle) {
+  // Injected read latency + a pool too small to hold the levels: merge
+  // harvests pay real time per page, stretching the window between a
+  // tombstone's exclusion from the harvest and its consumption at
+  // install so resurrections actually land inside it.
+  BlockDeviceOptions dev_opt;
+  dev_opt.read_latency_us = 20;
+  BlockDevice dev(PageSizeForBranching(kB), dev_opt);
+  Pager pager(&dev, 24);
+  // Buffer of 8: every ~8th insert flushes, so resurrections land while
+  // a merge holds merge_in_flight and must take the retry path.
+  DynamicThreeSidedTree dyn(&pager, 8);
+  DynResurrectAdapter adapter(&dyn);
+  ConcurrentWorkloadOptions opt;
+  opt.seed = EffectiveWorkloadSeed(0x2E55);
+  opt.batches = 24 * WorkloadIterations();
+  opt.batch_size = 192;
+  opt.writers = kWriters;
+  Status s = RunConcurrentWriterWorkload(adapter, opt);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(dyn.CheckInvariants().ok());
+}
+
+// ---------------------------------------------------------------------
 // SimpleClassIndex: composite of striped B+-trees + atomic size.
 
 struct ClsOp {
