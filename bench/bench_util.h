@@ -42,11 +42,49 @@ inline const char* BackendLabel() {
   return label.c_str();
 }
 
-/// Console reporter that additionally emits one machine-readable JSON
-/// line per (benchmark, metric) to stdout:
-///   {"bench": "...", "metric": "...", "value": ...}
+// Benchmark and counter names are arbitrary strings; escape the two
+// characters that would corrupt a JSON line.
+inline std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Emits one machine-readable metric line to stdout:
+///   {"bench": "...", "metric": "...", "dispatch": ..., "backend": ...,
+///    "value": ...}
 /// The driver greps these lines into BENCH_*.json so the perf trajectory
-/// is tracked across PRs. Real time and every user counter (the paper's
+/// is tracked across PRs. Used by JsonLineReporter for google-benchmark
+/// binaries and directly by plain-main drivers (bench_serve).
+inline void PrintMetricLine(const std::string& bench,
+                            const std::string& metric, double value) {
+  // Every line carries the kernel dispatch level the process resolved
+  // (DESIGN.md §9), so perf series from hosts or CI jobs with different
+  // vector ISAs are never conflated.
+  const char* dispatch = simd::LevelName(simd::ActiveLevel());
+  const char* backend = BackendLabel();
+  // %.17g would print bare inf/nan tokens, which are not valid JSON.
+  if (!std::isfinite(value)) {
+    std::printf(
+        "{\"bench\": \"%s\", \"metric\": \"%s\", \"dispatch\": \"%s\", "
+        "\"backend\": \"%s\", \"value\": null}\n",
+        EscapeJson(bench).c_str(), EscapeJson(metric).c_str(), dispatch,
+        backend);
+    return;
+  }
+  std::printf(
+      "{\"bench\": \"%s\", \"metric\": \"%s\", \"dispatch\": \"%s\", "
+      "\"backend\": \"%s\", \"value\": %.17g}\n",
+      EscapeJson(bench).c_str(), EscapeJson(metric).c_str(), dispatch,
+      backend, value);
+}
+
+/// Console reporter that additionally emits one PrintMetricLine per
+/// (benchmark, metric). Real time and every user counter (the paper's
 /// I/O metrics) are reported.
 class JsonLineReporter : public benchmark::ConsoleReporter {
  public:
@@ -55,9 +93,9 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
     for (const Run& run : reports) {
       if (RunSkipped(run, 0)) continue;
       const std::string name = run.benchmark_name();
-      PrintJson(name, "real_time_ns", run.GetAdjustedRealTime());
+      PrintMetricLine(name, "real_time_ns", run.GetAdjustedRealTime());
       for (const auto& [counter_name, counter] : run.counters) {
-        PrintJson(name, counter_name, counter.value);
+        PrintMetricLine(name, counter_name, counter.value);
       }
     }
   }
@@ -76,40 +114,6 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
   static auto RunSkipped(const R& run, long)
       -> decltype(static_cast<bool>(run.skipped)) {
     return static_cast<bool>(run.skipped);
-  }
-  // Benchmark and counter names are arbitrary strings; escape the two
-  // characters that would corrupt the JSON line.
-  static std::string EscapeJson(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
-
-  static void PrintJson(const std::string& bench, const std::string& metric,
-                        double value) {
-    // Every line carries the kernel dispatch level the process resolved
-    // (DESIGN.md §9), so perf series from hosts or CI jobs with different
-    // vector ISAs are never conflated.
-    const char* dispatch = simd::LevelName(simd::ActiveLevel());
-    const char* backend = BackendLabel();
-    // %.17g would print bare inf/nan tokens, which are not valid JSON.
-    if (!std::isfinite(value)) {
-      std::printf(
-          "{\"bench\": \"%s\", \"metric\": \"%s\", \"dispatch\": \"%s\", "
-          "\"backend\": \"%s\", \"value\": null}\n",
-          EscapeJson(bench).c_str(), EscapeJson(metric).c_str(), dispatch,
-          backend);
-      return;
-    }
-    std::printf(
-        "{\"bench\": \"%s\", \"metric\": \"%s\", \"dispatch\": \"%s\", "
-        "\"backend\": \"%s\", \"value\": %.17g}\n",
-        EscapeJson(bench).c_str(), EscapeJson(metric).c_str(), dispatch,
-        backend, value);
   }
 };
 

@@ -158,11 +158,12 @@ Pager::Pager(BlockDevice* device, uint32_t capacity_pages)
   overlap_enabled_ = prefetch_enabled_ &&
                      (device_->read_latency_us() > 0 || device_->real_io());
   if (overlap_enabled_) {
-    spec_budget_ = 4;
+    base_spec_budget_ = 4;
     if (const char* env = std::getenv("CCIDX_SPEC_BUDGET")) {
       long v = std::strtol(env, nullptr, 10);
-      if (v >= 0) spec_budget_ = static_cast<uint32_t>(v);
+      if (v >= 0) base_spec_budget_ = static_cast<uint32_t>(v);
     }
+    spec_budget_.store(base_spec_budget_, std::memory_order_relaxed);
   }
 
   // One contiguous page-aligned arena for every frame. Strides are

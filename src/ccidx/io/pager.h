@@ -341,7 +341,27 @@ class Pager {
   /// zero injected latency), uncached pools, or CCIDX_PREFETCH=0. Call
   /// sites gate their speculative/batched paths on this being nonzero, so
   /// cost-model I/O counts never change.
-  uint32_t speculation_budget() const { return spec_budget_; }
+  uint32_t speculation_budget() const {
+    return spec_budget_.load(std::memory_order_relaxed);
+  }
+
+  /// The budget the environment configured (CCIDX_SPEC_BUDGET, default 4;
+  /// 0 when overlap is structurally off). set_speculation_budget restores
+  /// to at most this.
+  uint32_t base_speculation_budget() const { return base_spec_budget_; }
+
+  /// Runtime throttle for the speculation budget (DESIGN.md §10/§12): an
+  /// admission controller lowers it toward 0 under load so speculative
+  /// I/O yields the device to demand I/O, and restores it when the
+  /// backlog clears. Clamped to [0, base_speculation_budget()], so on a
+  /// cost-model device (base 0) this can never turn speculation *on* —
+  /// counted I/Os stay exact no matter who calls it. Thread-safe (one
+  /// relaxed atomic store); descents racing with a change see either
+  /// budget, both of which are correct.
+  void set_speculation_budget(uint32_t budget) {
+    if (budget > base_spec_budget_) budget = base_spec_budget_;
+    spec_budget_.store(budget, std::memory_order_relaxed);
+  }
 
   /// Best-effort asynchronous readahead hint (DESIGN.md §9): stages device
   /// reads of `ids` on a small background pool, so a subsequent Pin finds
@@ -595,7 +615,11 @@ class Pager {
   // descent fetches are enabled only when overlap pays — injected latency
   // or real kernel I/O — and the pool + prefetch machinery is on.
   bool overlap_enabled_ = false;
-  uint32_t spec_budget_ = 0;
+  // Current budget (runtime-throttleable) and the env-configured ceiling
+  // it restores to. Atomic: the serve-layer admission controller stores
+  // from its dispatcher thread while descents load on the workers.
+  std::atomic<uint32_t> spec_budget_{0};
+  uint32_t base_spec_budget_ = 0;
 
   std::mutex deferred_mu_;
   Status deferred_error_;

@@ -226,6 +226,18 @@ class EpochGate {
     return Snapshot(writer_hist_);
   }
 
+  /// True while a writer is active or queued — i.e. while EnterRead()
+  /// would block. The serving dispatcher uses this as its batch-admission
+  /// hook (DESIGN.md §12): instead of parking a reader batch at the gate,
+  /// it keeps draining the submission queue into a larger batch and
+  /// enters once the write phase ends — the wait it would have paid
+  /// becomes batching. Advisory: the answer can be stale by the time the
+  /// caller acts on it, which only changes batch sizing, never safety.
+  bool write_pending() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ReadBlockedLocked();
+  }
+
  private:
   static constexpr auto kRlx = std::memory_order_relaxed;
 
@@ -291,7 +303,7 @@ class EpochGate {
     writer_hist_.Record(ns);
   }
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable reader_cv_;
   std::condition_variable writer_cv_;
   // All state below is guarded by mu_.

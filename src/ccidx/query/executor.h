@@ -179,6 +179,20 @@ class QueryExecutor {
   /// coordinate with serving through it.
   EpochGate* gate() { return &gate_; }
 
+  /// Batch-admission hook for the serving dispatcher (DESIGN.md §12):
+  /// true while RunBatch would block at the gate behind an active or
+  /// queued writer. The dispatcher then keeps forming a larger batch
+  /// instead of parking a thread at the gate. Advisory (may be stale by
+  /// the time the caller dispatches); affects batch sizing only.
+  bool gate_busy() const { return gate_.write_pending(); }
+
+  /// Cumulative reader-side gate-wait histogram across every batch this
+  /// executor has served — the gate-wait export the serving stats and
+  /// load driver fold into their tail-latency lines.
+  WaitHistogram reader_gate_wait_histogram() const {
+    return gate_.reader_wait_histogram();
+  }
+
   /// Batch warm-up (DESIGN.md §10): stages `roots` — the entry pages of
   /// the structures an imminent batch will query — as one concurrent
   /// device round, so a cold pool under a latency-injecting or file-backed

@@ -1,0 +1,64 @@
+// Codec for the serving wire protocol (frame.h): encode/decode Request
+// and Response frames, and reassemble frames out of an arbitrary byte
+// stream (FrameScanner, for the TCP transport). Encoding is fixed-width
+// little-endian; decoding validates magic, version, kind, declared
+// length, enum ranges and payload arithmetic before touching the heap,
+// and returns checked Status errors — a malformed frame can reject a
+// request but never corrupt the server.
+
+#ifndef CCIDX_SERVE_CODEC_H_
+#define CCIDX_SERVE_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ccidx/common/status.h"
+#include "ccidx/serve/frame.h"
+
+namespace ccidx {
+namespace serve {
+
+/// Appends one complete request frame (header + payload) to `out`.
+void EncodeRequest(const Request& req, std::vector<uint8_t>* out);
+
+/// Appends one complete response frame (header + payload) to `out`.
+void EncodeResponse(const Response& resp, std::vector<uint8_t>* out);
+
+/// Decodes one complete frame that must be a request. `frame` is the
+/// whole frame including header (as produced by EncodeRequest or cut by
+/// FrameScanner).
+Status DecodeRequest(std::span<const uint8_t> frame, Request* req);
+
+/// Decodes one complete frame that must be a response.
+Status DecodeResponse(std::span<const uint8_t> frame, Response* resp);
+
+/// Splits an incoming byte stream into complete frames. Feed() buffers
+/// arbitrary chunks (a TCP read may end mid-header or mid-payload);
+/// Next() hands out one complete frame at a time (a view valid until the
+/// next Feed/Next call). A corrupt header (bad magic/version or an
+/// oversized declared length) poisons the scanner — the connection must
+/// be dropped, since resynchronizing inside a binary stream is guessing.
+class FrameScanner {
+ public:
+  void Feed(std::span<const uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Returns OK with *frame empty when more bytes are needed; OK with a
+  /// complete frame otherwise. Corruption is sticky.
+  Status Next(std::span<const uint8_t>* frame);
+
+  /// Bytes buffered but not yet returned as frames.
+  size_t pending_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  // prefix of buf_ already handed out
+  bool poisoned_ = false;
+};
+
+}  // namespace serve
+}  // namespace ccidx
+
+#endif  // CCIDX_SERVE_CODEC_H_

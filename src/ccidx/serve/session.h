@@ -1,0 +1,128 @@
+// Session: per-client serving state (DESIGN.md §12).
+//
+// A session owns two client-visible contracts:
+//
+//  * Response ordering. Request ids are a per-session monotone sequence
+//    (1, 2, 3, ...). Batches complete out of order — two requests from
+//    one client can land in different dispatch batches, and a shed is
+//    decided before its predecessor even executes — so Deliver() buffers
+//    completions and writes them to the transport strictly in id order.
+//    Every admitted-or-rejected request gets exactly one response;
+//    rejections (kOverloaded / kNoCredit / kDeadlineExceeded /
+//    kBadRequest) flow through the same ordered path.
+//
+//  * Flow-control credits. A session holds `credits` concurrent
+//    requests; AcquireCredit() at admission fails when the window is
+//    exhausted (the transport answers kNoCredit without touching the
+//    queue), and the credit returns when the response is written. This
+//    bounds any one client's share of the submission queue, so a single
+//    hot client cannot shed everyone else.
+//
+// Lifetime vs. the epoch gate (the §12 latch/lifetime contract): a
+// dispatcher worker calls Deliver() while *inside* a gate read epoch
+// (queries) or write epoch (updates). The writer callback must therefore
+// never re-enter the engine or block on the gate — transports only move
+// bytes (loopback: append to an inbox; TCP: append to the connection's
+// outbox and arm EPOLLOUT). Sessions are destroyed only after the
+// dispatcher has drained every submission pointing at them (the server
+// closes the queue and joins the dispatcher first), so a Submission's
+// raw Session* can never dangle.
+
+#ifndef CCIDX_SERVE_SESSION_H_
+#define CCIDX_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "ccidx/serve/codec.h"
+#include "ccidx/serve/frame.h"
+
+namespace ccidx {
+namespace serve {
+
+class Session {
+ public:
+  /// `writer` receives each encoded response frame, in request-id order.
+  /// It is called with the session mutex held and must only move bytes
+  /// (see file comment).
+  using Writer = std::function<void(std::span<const uint8_t>)>;
+
+  Session(uint64_t session_id, uint32_t credits, Writer writer)
+      : session_id_(session_id), credits_(credits), writer_(std::move(writer)) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t session_id() const { return session_id_; }
+
+  /// Takes one flow-control credit; false when the window is exhausted.
+  /// Called by the transport before TryPush.
+  bool AcquireCredit() {
+    std::lock_guard lock(mu_);
+    if (credits_ == 0) return false;
+    --credits_;
+    return true;
+  }
+
+  /// Completes one request. Buffers until every lower id has been
+  /// delivered, then writes this response (and any unblocked successors)
+  /// through the writer and returns their credits. `return_credit` is
+  /// false only for the kNoCredit rejection, which never took one.
+  void Deliver(Response resp, bool return_credit = true) {
+    std::lock_guard lock(mu_);
+    pending_.emplace(resp.id,
+                     PendingResponse{std::move(resp), return_credit});
+    while (true) {
+      auto it = pending_.find(next_id_);
+      if (it == pending_.end()) break;
+      encode_buf_.clear();
+      EncodeResponse(it->second.resp, &encode_buf_);
+      if (writer_) writer_(encode_buf_);
+      ++delivered_;
+      if (it->second.return_credit) ++credits_;
+      pending_.erase(it);
+      ++next_id_;
+    }
+  }
+
+  /// Responses written to the transport so far.
+  uint64_t delivered() const {
+    std::lock_guard lock(mu_);
+    return delivered_;
+  }
+
+  /// Completions buffered waiting for a predecessor.
+  size_t buffered() const {
+    std::lock_guard lock(mu_);
+    return pending_.size();
+  }
+
+  uint32_t credits() const {
+    std::lock_guard lock(mu_);
+    return credits_;
+  }
+
+ private:
+  struct PendingResponse {
+    Response resp;
+    bool return_credit;
+  };
+
+  const uint64_t session_id_;
+
+  mutable std::mutex mu_;
+  uint32_t credits_;                    // guarded by mu_
+  uint64_t next_id_ = 1;                // guarded by mu_
+  uint64_t delivered_ = 0;              // guarded by mu_
+  std::map<uint64_t, PendingResponse> pending_;  // guarded by mu_
+  std::vector<uint8_t> encode_buf_;     // guarded by mu_
+  Writer writer_;
+};
+
+}  // namespace serve
+}  // namespace ccidx
+
+#endif  // CCIDX_SERVE_SESSION_H_

@@ -1,0 +1,216 @@
+// SubmissionQueue: the bounded MPMC admission queue between transports
+// and the dispatcher (DESIGN.md §12).
+//
+// Admission policy — shed, don't collapse: the queue has a fixed
+// capacity ring and two watermarks. Below the low watermark the server
+// is kNormal; between low and high it is kBusy (still admitting, but
+// the level listener throttles speculative I/O so demand reads own the
+// device); at or above the high watermark new submissions are rejected
+// immediately with kOverloaded (TryPush returns kShed) — the client
+// learns in microseconds instead of queueing into a latency collapse.
+// Accepted requests carry their admission time and absolute deadline;
+// PopBatch drops expired submissions at dequeue (they are returned
+// separately so the dispatcher can answer kDeadlineExceeded without
+// executing them).
+//
+// The level listener fires on watermark *transitions* (edge-triggered,
+// at most one callback per crossing) and is how the admission controller
+// throttles Pager::set_speculation_budget() — the PR 7 follow-on.
+//
+// Implementation: a mutex-guarded ring. At serving batch sizes the lock
+// is held for pointer moves only; fairness and the watermark accounting
+// matter far more here than lock-freedom, and the dispatcher drains in
+// batches so producers rarely contend with more than one consumer.
+
+#ifndef CCIDX_SERVE_SUBMISSION_QUEUE_H_
+#define CCIDX_SERVE_SUBMISSION_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "ccidx/serve/frame.h"
+
+namespace ccidx {
+namespace serve {
+
+class Session;
+
+/// One admitted request waiting for dispatch.
+struct Submission {
+  Request req;
+  Session* session = nullptr;
+  std::chrono::steady_clock::time_point admit_time{};
+  /// Absolute deadline (admit_time + req.deadline_us); time_point::max()
+  /// when the request carries none.
+  std::chrono::steady_clock::time_point deadline{
+      std::chrono::steady_clock::time_point::max()};
+};
+
+enum class Admission : uint8_t { kAdmitted = 0, kShed = 1 };
+
+/// Watermark level, exported to the admission controller.
+enum class QueueLevel : uint8_t { kNormal = 0, kBusy = 1, kOverloaded = 2 };
+
+class SubmissionQueue {
+ public:
+  /// `capacity` bounds queued submissions; shedding starts at
+  /// `high_watermark` (<= capacity) and the busy throttle engages at
+  /// `low_watermark` (< high). A queue that is never above low behaves
+  /// exactly like an unbounded one.
+  SubmissionQueue(size_t capacity, size_t low_watermark,
+                  size_t high_watermark)
+      : capacity_(capacity),
+        low_(low_watermark),
+        high_(high_watermark <= capacity ? high_watermark : capacity) {
+    ring_.resize(capacity_);
+  }
+
+  SubmissionQueue(const SubmissionQueue&) = delete;
+  SubmissionQueue& operator=(const SubmissionQueue&) = delete;
+
+  /// Installed by the server; called (under the queue lock, so keep it a
+  /// couple of atomic stores) whenever the watermark level changes.
+  void set_level_listener(std::function<void(QueueLevel)> listener) {
+    std::lock_guard lock(mu_);
+    listener_ = std::move(listener);
+  }
+
+  /// Admit or shed. O(1); never blocks. Sheds when size >= high
+  /// watermark (or the queue is closed).
+  Admission TryPush(Submission s) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || size_ >= high_) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        return Admission::kShed;
+      }
+      ring_[(head_ + size_) % capacity_] = std::move(s);
+      ++size_;
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      NoteDepthLocked(size_);
+      UpdateLevelLocked();
+    }
+    cv_.notify_one();
+    return Admission::kAdmitted;
+  }
+
+  /// Pops up to `max_n` submissions. Expired submissions (deadline < now
+  /// at dequeue) are moved to `*expired` and do not count toward max_n —
+  /// the dispatcher answers them without executing. Blocks up to `wait`
+  /// for the first item; returns the number of live submissions
+  /// appended to `*out` (0 on timeout or close).
+  size_t PopBatch(std::vector<Submission>* out,
+                  std::vector<Submission>* expired, size_t max_n,
+                  std::chrono::nanoseconds wait) {
+    std::unique_lock lock(mu_);
+    if (size_ == 0 && wait.count() > 0) {
+      cv_.wait_for(lock, wait, [this] { return size_ > 0 || closed_; });
+    }
+    size_t popped = 0;
+    const auto now = std::chrono::steady_clock::now();
+    while (size_ > 0 && popped < max_n) {
+      Submission& s = ring_[head_];
+      head_ = (head_ + 1) % capacity_;
+      --size_;
+      if (s.deadline < now) {
+        expired->push_back(std::move(s));
+        deadline_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;  // a dropped request frees a slot for a live one
+      }
+      out->push_back(std::move(s));
+      ++popped;
+    }
+    UpdateLevelLocked();
+    return popped;
+  }
+
+  /// Unblocks poppers and sheds all future pushes.
+  void Close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard lock(mu_);
+    return size_;
+  }
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+  QueueLevel level() const {
+    std::lock_guard lock(mu_);
+    return level_;
+  }
+
+  // --- counters (relaxed; exact under quiescence) -----------------------
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  uint64_t deadline_dropped() const {
+    return deadline_dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Queue-depth histogram sampled at every admission: bucket i counts
+  /// admissions that found floor(log2(depth)) == i (bucket 0 = depth 1).
+  /// The load driver folds this into its JSON output.
+  static constexpr size_t kDepthBuckets = 24;
+  std::vector<uint64_t> depth_histogram() const {
+    std::vector<uint64_t> out(kDepthBuckets);
+    for (size_t i = 0; i < kDepthBuckets; ++i) {
+      out[i] = depth_hist_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  void NoteDepthLocked(size_t depth) {
+    size_t bucket = 0;
+    while ((size_t{2} << bucket) <= depth && bucket + 1 < kDepthBuckets) {
+      ++bucket;
+    }
+    depth_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void UpdateLevelLocked() {
+    QueueLevel next = size_ >= high_  ? QueueLevel::kOverloaded
+                      : size_ >= low_ ? QueueLevel::kBusy
+                                      : QueueLevel::kNormal;
+    if (next != level_) {
+      level_ = next;
+      if (listener_) listener_(next);
+    }
+  }
+
+  const size_t capacity_;
+  const size_t low_;
+  const size_t high_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Submission> ring_;  // guarded by mu_
+  size_t head_ = 0;               // guarded by mu_
+  size_t size_ = 0;               // guarded by mu_
+  bool closed_ = false;           // guarded by mu_
+  QueueLevel level_ = QueueLevel::kNormal;         // guarded by mu_
+  std::function<void(QueueLevel)> listener_;       // guarded by mu_
+
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_dropped_{0};
+  std::atomic<uint64_t> depth_hist_[kDepthBuckets] = {};
+};
+
+}  // namespace serve
+}  // namespace ccidx
+
+#endif  // CCIDX_SERVE_SUBMISSION_QUEUE_H_

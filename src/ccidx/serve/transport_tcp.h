@@ -1,0 +1,114 @@
+// Localhost TCP transport (DESIGN.md §12): an epoll event loop that
+// accepts connections on 127.0.0.1, reassembles frames with
+// FrameScanner, and feeds them to Server::OnFrame. One connection = one
+// session. Response frames from the session writer go into a
+// per-connection outbox (the writer only moves bytes and arms EPOLLOUT —
+// it never blocks and never re-enters the engine, per the session
+// contract).
+//
+// Lifetime: connections are kept alive until the transport stops, even
+// after the peer disconnects — the dispatcher may still Deliver into a
+// dead session's writer, which then drops the bytes. Teardown order is
+// transport Stop() (no more OnFrame), then Server::Stop(), then
+// destruction of either.
+//
+// TcpClient is the blocking client used by tests and the load driver:
+// same codec, same id sequencing as LoopbackConnection, over a real
+// socket.
+
+#ifndef CCIDX_SERVE_TRANSPORT_TCP_H_
+#define CCIDX_SERVE_TRANSPORT_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ccidx/common/status.h"
+#include "ccidx/serve/codec.h"
+#include "ccidx/serve/frame.h"
+#include "ccidx/serve/server.h"
+
+namespace ccidx {
+namespace serve {
+
+class TcpServerTransport {
+ public:
+  explicit TcpServerTransport(Server* server);
+  ~TcpServerTransport();
+
+  TcpServerTransport(const TcpServerTransport&) = delete;
+  TcpServerTransport& operator=(const TcpServerTransport&) = delete;
+
+  /// Binds 127.0.0.1 on an ephemeral port and starts the event loop.
+  /// Fails (IoError) when sockets/epoll are not usable in this
+  /// environment — callers skip, they don't crash.
+  Status Start();
+
+  /// Stops accepting, closes all connections, joins the event loop.
+  void Stop();
+
+  /// Bound port; valid after Start() succeeds.
+  uint16_t port() const { return port_; }
+
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  void Loop();
+  void Accept();
+  void ReadReady(Connection* conn);
+  void WriteReady(Connection* conn);
+  void CloseConnection(Connection* conn);
+
+  Server* const server_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Stop() kicks the loop
+  uint16_t port_ = 0;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> accepted_{0};
+
+  std::mutex conns_mu_;
+  // Never erased while running: sessions hold writer callbacks into
+  // these objects, and the dispatcher may deliver after disconnect.
+  std::vector<std::unique_ptr<Connection>> conns_;  // guarded by conns_mu_
+};
+
+/// Blocking TCP client: Send assigns the next request id and writes the
+/// frame; Receive blocks for the next complete response frame. One
+/// socket, one session, ordered responses.
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient() { Close(); }
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  Status Connect(uint16_t port);
+  void Close();
+
+  /// Returns the id assigned to the request, or 0 on a write error.
+  uint64_t Send(Request req);
+  Status Receive(Response* out);
+  Status Call(Request req, Response* out);
+
+ private:
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::vector<uint8_t> encode_buf_;
+  FrameScanner scanner_;
+};
+
+}  // namespace serve
+}  // namespace ccidx
+
+#endif  // CCIDX_SERVE_TRANSPORT_TCP_H_
