@@ -12,7 +12,9 @@
 #include "bench_util.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <deque>
+#include <memory>
 #include <random>
 #include <thread>
 
@@ -20,6 +22,7 @@
 #include "ccidx/core/augmented_metablock_tree.h"
 #include "ccidx/dynamic/adapters.h"
 #include "ccidx/interval/interval_index.h"
+#include "ccidx/io/wal.h"
 #include "ccidx/pst/dynamic_pst.h"
 #include "ccidx/pst/external_pst.h"
 #include "ccidx/query/epoch_gate.h"
@@ -54,6 +57,20 @@ void ReportUpdate(benchmark::State& state, double per_update, double bound) {
   state.counters["io_vs_bound"] = per_update / bound;
 }
 
+// CCIDX_WAL=1 runs the whole series with crash durability on: a
+// mem-backed WAL attached after the (unlogged) bulk build, so every
+// measured update runs the full before-image/force/commit protocol.
+// The update-scaling CI bar runs the multi-writer series both ways.
+// Attach after the build — AttachWal's baseline checkpoint snapshots
+// the post-build allocation state.
+std::unique_ptr<Wal> MaybeAttachWal(Disk* disk) {
+  const char* e = std::getenv("CCIDX_WAL");
+  if (e == nullptr || e[0] != '1') return nullptr;
+  auto wal = std::make_unique<Wal>(&disk->device, MakeMemWalStorage());
+  disk->pager.AttachWal(wal.get());
+  return wal;
+}
+
 // Drives one insert+delete pair per measured step against `st`
 // (Insert/Delete surface), reporting amortized I/Os per single update.
 template <typename St>
@@ -84,6 +101,7 @@ void BM_UpdateAugmentedMetablock(benchmark::State& state) {
   auto tree = AugmentedMetablockTree::Build(&disk.pager,
                                             std::vector<Point>(pts));
   CCIDX_CHECK(tree.ok());
+  auto wal = MaybeAttachWal(&disk);
   double lb = LogB(static_cast<double>(n), b);
   // Thm 3.7 insert + weak-delete probe and purge charge.
   RunUpdateLoop(state, disk.device, &*tree, std::move(pts), n,
@@ -98,6 +116,7 @@ void BM_UpdateDynamicMetablock(benchmark::State& state) {
   auto tree = DynamicMetablockTree::Build(&disk.pager,
                                           std::vector<Point>(pts));
   CCIDX_CHECK(tree.ok());
+  auto wal = MaybeAttachWal(&disk);
   double levels = std::log2(static_cast<double>(n) / b) + 1;
   RunUpdateLoop(state, disk.device, &*tree, std::move(pts), n,
                 levels * (LogB(static_cast<double>(n), b) + 1.0));
@@ -110,6 +129,7 @@ void BM_UpdateExternalPst(benchmark::State& state) {
   auto pts = ShortSpanSet(n, 9);
   auto tree = ExternalPst::Build(&disk.pager, std::vector<Point>(pts));
   CCIDX_CHECK(tree.ok());
+  auto wal = MaybeAttachWal(&disk);
   double l2 = std::log2(static_cast<double>(n));
   RunUpdateLoop(state, disk.device, &*tree, std::move(pts), n,
                 l2 + l2 * l2 / b);
@@ -122,6 +142,7 @@ void BM_UpdateDynamicPst(benchmark::State& state) {
   auto pts = ShortSpanSet(n, 10);
   auto tree = DynamicPst::Build(&disk.pager, std::vector<Point>(pts));
   CCIDX_CHECK(tree.ok());
+  auto wal = MaybeAttachWal(&disk);
   double l2 = std::log2(static_cast<double>(n));
   RunUpdateLoop(state, disk.device, &*tree, std::move(pts), n,
                 l2 + l2 * l2 / b);
@@ -137,6 +158,7 @@ void BM_UpdateBPlusTree(benchmark::State& state) {
   std::sort(init.begin(), init.end());
   auto tree = BPlusTree::BulkLoad(&disk.pager, init);
   CCIDX_CHECK(tree.ok());
+  auto wal = MaybeAttachWal(&disk);
   std::mt19937_64 rng(0xBE9D);
   std::deque<Point> fifo(pts.begin(), pts.end());
   uint64_t next_id = n, updates = 0;
@@ -164,6 +186,7 @@ void BM_UpdateIntervalIndex(benchmark::State& state) {
   for (const Point& p : pts) init.push_back({p.x, p.y, p.id});
   auto idx = IntervalIndex::Build(&disk.pager, std::move(init));
   CCIDX_CHECK(idx.ok());
+  auto wal = MaybeAttachWal(&disk);
   std::mt19937_64 rng(0xBE9E);
   std::deque<Point> fifo(pts.begin(), pts.end());
   uint64_t next_id = n, updates = 0;
@@ -206,6 +229,7 @@ void BM_UpdateMultiWriterBPlusTree(benchmark::State& state) {
   std::sort(init.begin(), init.end());
   auto tree = BPlusTree::BulkLoad(&disk.pager, init);
   CCIDX_CHECK(tree.ok());
+  auto wal = MaybeAttachWal(&disk);
 
   EpochGate gate;
   UpdateExecutor exec(writers);
@@ -272,6 +296,11 @@ void BM_UpdateMultiWriterBPlusTree(benchmark::State& state) {
       static_cast<double>(hist.PercentileNs(50.0));
   state.counters["gate_wait_p99_ns"] =
       static_cast<double>(hist.PercentileNs(99.0));
+  if (wal) {
+    state.counters["wal_commits"] = static_cast<double>(wal->commits());
+    state.counters["wal_group_follows"] =
+        static_cast<double>(wal->group_follows());
+  }
 }
 
 BENCHMARK(BM_UpdateAugmentedMetablock)

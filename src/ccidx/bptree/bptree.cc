@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "ccidx/io/wal.h"
 #include "ccidx/simd/simd.h"
 
 namespace ccidx {
@@ -172,17 +173,25 @@ Status BPlusTree::Insert(int64_t key, uint64_t value, int64_t aux) {
       if (!all_full) {
         // Some path node absorbs the cascade, so no write escapes the
         // latched subtree (path[0] = the root child; SplitAndPropagate
-        // stops at the first non-full ancestor).
+        // stops at the first non-full ancestor). The WAL txn commits
+        // while the stripe is still held (DESIGN.md §13): releasing
+        // first would let a concurrent txn log this txn's uncommitted
+        // pages as its own before-images.
+        WalScope ws(pager_);
         auto pos = std::upper_bound(node.entries.begin(),
                                     node.entries.end(), entry);
         node.entries.insert(pos, entry);
         sy_->size.fetch_add(1, std::memory_order_relaxed);
-        return SplitAndPropagate(std::move(path), std::move(node));
+        CCIDX_RETURN_IF_ERROR(
+            SplitAndPropagate(std::move(path), std::move(node)));
+        return ws.Commit();
       }
     }
   }
   std::unique_lock<std::shared_mutex> tl(sy_->tree_mu);
-  return InsertExclusive(entry);
+  WalScope ws(pager_);
+  CCIDX_RETURN_IF_ERROR(InsertExclusive(entry));
+  return ws.Commit();
 }
 
 Status BPlusTree::InsertExclusive(const BtEntry& entry) {
@@ -270,6 +279,10 @@ Status BPlusTree::Delete(int64_t key, uint64_t value, bool* found) {
         child = view->entries[idx].value;
       }
       std::lock_guard<std::mutex> sg(sy_->stripes[idx % kStripes]);
+      // Declared under the stripe so both commit and (in-process) abort
+      // resolve before another writer can observe the leaf. Not-found
+      // exits log nothing and the scope unwinds for free.
+      WalScope ws(pager_);
       std::vector<std::pair<PageId, size_t>> path;
       CCIDX_RETURN_IF_ERROR(DescendToLeaf(child, key, &path));
       Node node;
@@ -285,14 +298,17 @@ Status BPlusTree::Delete(int64_t key, uint64_t value, bool* found) {
           node.entries.erase(node.entries.begin() + i);
           sy_->size.fetch_sub(1, std::memory_order_relaxed);
           *found = true;
-          return StoreNode(path.back().first, node);
+          CCIDX_RETURN_IF_ERROR(StoreNode(path.back().first, node));
+          return ws.Commit();
         }
       }
       if (passed || node.next == kInvalidPageId) return Status::OK();
     }
   }
   std::unique_lock<std::shared_mutex> tl(sy_->tree_mu);
-  return DeleteExclusive(key, value, found);
+  WalScope ws(pager_);
+  CCIDX_RETURN_IF_ERROR(DeleteExclusive(key, value, found));
+  return *found ? ws.Commit() : Status::OK();
 }
 
 Status BPlusTree::DeleteExclusive(int64_t key, uint64_t value, bool* found) {
@@ -598,6 +614,10 @@ class BtBulkLoader {
 Result<BPlusTree> BPlusTree::BulkLoad(Pager* pager,
                                       RecordStream<BtEntry>* sorted) {
   BPlusTree tree(pager);
+  // Every page is txn-allocated, so the WAL txn carries only kAlloc
+  // records (no before-images): an uncommitted bulk load is undone at
+  // recovery purely by re-freeing its pages.
+  WalScope ws(pager);
   AllocationScope scope(pager);
   BtBulkLoader loader(&tree, pager, tree.fanout_);
   uint64_t n = 0;
@@ -617,6 +637,7 @@ Result<BPlusTree> BPlusTree::BulkLoad(Pager* pager,
   }
   if (n == 0) {
     scope.Commit();
+    CCIDX_RETURN_IF_ERROR(ws.Commit());
     return tree;
   }
   uint32_t height = 0;
@@ -626,6 +647,7 @@ Result<BPlusTree> BPlusTree::BulkLoad(Pager* pager,
   tree.height_ = height;
   tree.sy_->size.store(n, std::memory_order_relaxed);
   scope.Commit();
+  CCIDX_RETURN_IF_ERROR(ws.Commit());
   return tree;
 }
 
@@ -637,7 +659,10 @@ Result<BPlusTree> BPlusTree::BulkLoad(Pager* pager,
 
 Status BPlusTree::Destroy() {
   if (root_ == kInvalidPageId) return Status::OK();
-  // Iterative post-order free.
+  // Iterative post-order free. Under a WAL the frees are logged with
+  // their before-images and deferred to scope exit, so a crash mid-
+  // destroy restores the whole tree.
+  WalScope ws(pager_);
   std::vector<PageId> stack = {root_};
   Node node;
   while (!stack.empty()) {
@@ -652,7 +677,31 @@ Status BPlusTree::Destroy() {
   root_ = kInvalidPageId;
   sy_->size.store(0, std::memory_order_relaxed);
   height_ = 0;
-  return Status::OK();
+  return ws.Commit();
+}
+
+std::vector<uint8_t> BPlusTree::SerializeMeta() const {
+  WalEncoder enc;
+  enc.PutU64(root_);
+  enc.PutU32(height_);
+  enc.PutU64(size());
+  return std::move(enc).Take();
+}
+
+Result<BPlusTree> BPlusTree::AttachMeta(Pager* pager,
+                                        std::span<const uint8_t> meta) {
+  WalDecoder dec(meta);
+  PageId root = dec.GetU64();
+  uint32_t height = dec.GetU32();
+  uint64_t size = dec.GetU64();
+  if (!dec.ok() || dec.remaining() != 0) {
+    return Status::Corruption("malformed B+-tree meta blob");
+  }
+  BPlusTree tree(pager);
+  tree.root_ = root;
+  tree.height_ = height;
+  tree.sy_->size.store(size, std::memory_order_relaxed);
+  return tree;
 }
 
 Status BPlusTree::CheckInvariants() const {

@@ -135,6 +135,16 @@ class BPlusTree {
   /// leaf chain consistent). Used by tests; O(n/B) I/Os.
   Status CheckInvariants() const;
 
+  /// Serializes the attachable state (root, height, size) for the WAL
+  /// meta registry (DESIGN.md §13). Fanout is a function of the page
+  /// size and is recomputed on attach. Requires quiescence.
+  std::vector<uint8_t> SerializeMeta() const;
+
+  /// Rebuilds a handle onto pages recovered by Wal::Recover from a blob
+  /// produced by SerializeMeta against the same pager geometry.
+  static Result<BPlusTree> AttachMeta(Pager* pager,
+                                      std::span<const uint8_t> meta);
+
  private:
   friend class BtBulkLoader;  // streaming bulk-load packer (bptree.cc)
 

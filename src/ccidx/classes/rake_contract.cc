@@ -198,6 +198,10 @@ Status RakeContractIndex::Insert(const Object& o) {
   uint32_t copies = 0;
   uint32_t c = o.class_id;
   // Same walk as Build: own path, then each thin-edge attachment point.
+  // Each covering structure commits its own WAL txn inside its own
+  // latches; a crash mid-walk durably keeps a replica prefix, and the
+  // composite converges by the resumable-retry rule documented on
+  // Delete below.
   while (true) {
     size_t pid = path_of_[c];
     PathStructure& ps = paths_[pid];

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ccidx/dynamic/purge_rebuild.h"
+#include "ccidx/io/wal.h"
 
 namespace ccidx {
 
@@ -569,6 +570,10 @@ Status AugmentedMetablockTree::Insert(const Point& p) {
     size_++;
     return Status::OK();
   }
+  // Single-writer tree: one WAL txn covers the descent, any split
+  // rebuild, and the buffered-update page writes, committed under
+  // write_mu_. (The resurrection path above writes nothing.)
+  WalScope ws(pager_);
   if (root_ == kInvalidPageId) {
     auto built = BuildNode(pager_, PointGroup::FromVector({p}), branching_);
     CCIDX_RETURN_IF_ERROR(built.status());
@@ -576,7 +581,7 @@ Status AugmentedMetablockTree::Insert(const Point& p) {
         WriteControl(pager_, built->control_page, built->ctrl));
     root_ = built->control_page;
     size_ = 1;
-    return Status::OK();
+    return ws.Commit();
   }
   auto res = AddPoints(root_, {p});
   CCIDX_RETURN_IF_ERROR(res.status());
@@ -600,7 +605,7 @@ Status AugmentedMetablockTree::Insert(const Point& p) {
     root_ = built->control_page;
   }
   size_++;
-  return Status::OK();
+  return ws.Commit();
 }
 
 Status AugmentedMetablockTree::Delete(const Point& p, bool* found) {
@@ -674,6 +679,10 @@ Status AugmentedMetablockTree::GlobalPurgeRebuild() {
   // points + page ids read-only, drop tombstoned points, rebuild the
   // live set through the bulk-build pipeline under an AllocationScope,
   // then retire the old pages by id.
+  // One WAL txn spans build and retire: a crash mid-purge rolls back to
+  // the pre-purge tree (the in-memory tombstones are not durable — this
+  // family recovers through its owner's rebuild, not AttachMeta).
+  WalScope ws(pager_);
   PageId new_root = kInvalidPageId;
   CCIDX_RETURN_IF_ERROR(PurgeRebuild(
       pager_, &tombstones_, &sched_,
@@ -691,7 +700,7 @@ Status AugmentedMetablockTree::GlobalPurgeRebuild() {
         return Status::OK();
       }));
   root_ = new_root;
-  return Status::OK();
+  return ws.Commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -912,12 +921,13 @@ Status AugmentedMetablockTree::DestroySubtree(PageId id, bool keep_ts) {
 Status AugmentedMetablockTree::Destroy() {
   std::lock_guard<std::mutex> write_lock(*write_mu_);
   if (root_ == kInvalidPageId) return Status::OK();
+  WalScope ws(pager_);
   CCIDX_RETURN_IF_ERROR(DestroySubtree(root_, false));
   root_ = kInvalidPageId;
   size_ = 0;
   tombstones_.Clear();
   sched_.Reset();
-  return Status::OK();
+  return ws.Commit();
 }
 
 Status AugmentedMetablockTree::CheckSubtree(PageId id, bool is_root,

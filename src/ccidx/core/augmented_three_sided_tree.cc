@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ccidx/dynamic/purge_rebuild.h"
+#include "ccidx/io/wal.h"
 
 namespace ccidx {
 
@@ -645,6 +646,10 @@ Status AugmentedThreeSidedTree::Insert(const Point& p) {
     size_++;
     return Status::OK();
   }
+  // Single-writer tree: one WAL txn covers the descent, any split
+  // rebuild, and the buffered-update page writes, committed under
+  // write_mu_. (The resurrection path above writes nothing.)
+  WalScope ws(pager_);
   if (root_ == kInvalidPageId) {
     auto built = BuildNode(pager_, PointGroup::FromVector({p}), branching_);
     CCIDX_RETURN_IF_ERROR(built.status());
@@ -652,7 +657,7 @@ Status AugmentedThreeSidedTree::Insert(const Point& p) {
         WriteControl(pager_, built->control_page, built->ctrl));
     root_ = built->control_page;
     size_ = 1;
-    return Status::OK();
+    return ws.Commit();
   }
   auto res = AddPoints(root_, {p});
   CCIDX_RETURN_IF_ERROR(res.status());
@@ -674,7 +679,7 @@ Status AugmentedThreeSidedTree::Insert(const Point& p) {
     root_ = built->control_page;
   }
   size_++;
-  return Status::OK();
+  return ws.Commit();
 }
 
 Status AugmentedThreeSidedTree::Delete(const Point& p, bool* found) {
@@ -748,6 +753,10 @@ Status AugmentedThreeSidedTree::GlobalPurgeRebuild() {
   // points + page ids read-only, drop tombstoned points, rebuild the
   // live set through the bulk-build pipeline under an AllocationScope,
   // then retire the old pages by id.
+  // One WAL txn spans build and retire: a crash mid-purge rolls back to
+  // the pre-purge tree (the in-memory tombstones are not durable — this
+  // family recovers through its owner's rebuild, not AttachMeta).
+  WalScope ws(pager_);
   PageId new_root = kInvalidPageId;
   CCIDX_RETURN_IF_ERROR(PurgeRebuild(
       pager_, &tombstones_, &sched_,
@@ -765,7 +774,7 @@ Status AugmentedThreeSidedTree::GlobalPurgeRebuild() {
         return Status::OK();
       }));
   root_ = new_root;
-  return Status::OK();
+  return ws.Commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -1117,12 +1126,13 @@ Status AugmentedThreeSidedTree::DestroySubtree(PageId id, bool keep_ts) {
 Status AugmentedThreeSidedTree::Destroy() {
   std::lock_guard<std::mutex> write_lock(*write_mu_);
   if (root_ == kInvalidPageId) return Status::OK();
+  WalScope ws(pager_);
   CCIDX_RETURN_IF_ERROR(DestroySubtree(root_, false));
   root_ = kInvalidPageId;
   size_ = 0;
   tombstones_.Clear();
   sched_.Reset();
-  return Status::OK();
+  return ws.Commit();
 }
 
 Status AugmentedThreeSidedTree::CheckSubtree(PageId id, Coord* node_ymax_out,

@@ -4,6 +4,7 @@
 
 #include "ccidx/core/blocking.h"
 #include "ccidx/dynamic/purge_rebuild.h"
+#include "ccidx/io/wal.h"
 
 namespace ccidx {
 
@@ -199,13 +200,13 @@ Status CornerStructure::Insert(const Point& p) {
   CCIDX_CHECK(p.y >= p.x);
   if (tombstones_.Consume(p)) {  // resurrect the stored copy
     sched_.NoteTombstoneConsumed();
-    return Status::OK();
+    return WalMetaCommit(pager_);
   }
   sched_.NoteInsert();
   pending_.push_back(p);
   const uint32_t b = PageIo(pager_).CapacityFor(sizeof(Point));
   if (pending_.size() >= b) return Rebuild();  // level-I cadence
-  return Status::OK();
+  return WalMetaCommit(pager_);
 }
 
 Status CornerStructure::Delete(const Point& p, bool* found) {
@@ -214,7 +215,7 @@ Status CornerStructure::Delete(const Point& p, bool* found) {
     if (*it == p) {
       pending_.erase(it);
       *found = true;
-      return Status::OK();
+      return WalMetaCommit(pager_);
     }
   }
   if (tombstones_.Contains(p)) return Status::OK();  // already dead
@@ -228,6 +229,9 @@ Status CornerStructure::Delete(const Point& p, bool* found) {
   tombstones_.Add(p);
   sched_.NoteDelete();
   *found = true;
+  // The tombstone commits (meta-only) before any purge opens its own
+  // page-writing txn.
+  CCIDX_RETURN_IF_ERROR(WalMetaCommit(pager_));
   if (sched_.ShouldPurge(size())) return Rebuild();
   return Status::OK();
 }
@@ -237,6 +241,10 @@ Status CornerStructure::Rebuild() {
   // read-only, drop tombstoned points, build under a scope, retire the
   // old pages by id. The pending buffer joins the live set in the build
   // step (it is never tombstoned).
+  // One WAL txn spans build + retire: fresh pages are txn-allocated, the
+  // old pages free with before-images, and the commit carries the meta
+  // snapshot (header/count/pending) of the replacement.
+  WalScope ws(pager_);
   PageId new_header = kInvalidPageId;
   uint64_t new_count = 0;
   CCIDX_RETURN_IF_ERROR(PurgeRebuild(
@@ -254,7 +262,7 @@ Status CornerStructure::Rebuild() {
   header_ = new_header;
   stored_count_ = new_count;
   pending_.clear();
-  return Status::OK();
+  return ws.Commit();
 }
 
 Status CornerStructure::VisitPages(std::vector<PageId>* out) const {
@@ -300,6 +308,7 @@ Status CornerStructure::CollectPoints(std::vector<Point>* out) const {
 }
 
 Status CornerStructure::Free() {
+  WalScope ws(pager_);
   std::vector<VBlockEntry> vblocks;
   std::vector<CStarEntry> cstar;
   CCIDX_RETURN_IF_ERROR(LoadIndexes(&vblocks, &cstar));
@@ -320,7 +329,8 @@ Status CornerStructure::Free() {
   if (h.cstar_head != kInvalidPageId) {
     CCIDX_RETURN_IF_ERROR(io.FreeChain(h.cstar_head));
   }
-  return pager_->Free(header_);
+  CCIDX_RETURN_IF_ERROR(pager_->Free(header_));
+  return ws.Commit();
 }
 
 Result<uint64_t> CornerStructure::CountPages() const {
@@ -354,6 +364,35 @@ Result<uint64_t> CornerStructure::CountPages() const {
     CCIDX_RETURN_IF_ERROR(count_chain(c.head));
   }
   return pages;
+}
+
+std::vector<uint8_t> CornerStructure::SerializeMeta() const {
+  WalEncoder enc;
+  enc.PutU64(header_);
+  enc.PutU64(stored_count_);
+  enc.PutPodVector(pending_);
+  enc.PutPodVector(tombstones_.Snapshot());
+  return std::move(enc).Take();
+}
+
+Result<CornerStructure> CornerStructure::AttachMeta(
+    Pager* pager, std::span<const uint8_t> meta) {
+  WalDecoder dec(meta);
+  PageId header = dec.GetU64();
+  uint64_t stored = dec.GetU64();
+  std::vector<Point> pending = dec.GetPodVector<Point>();
+  std::vector<Point> dead = dec.GetPodVector<Point>();
+  if (!dec.ok() || dec.remaining() != 0) {
+    return Status::Corruption("malformed corner-structure meta blob");
+  }
+  CornerStructure out(pager, header);
+  out.stored_count_ = stored;
+  out.pending_ = std::move(pending);
+  // Re-seed the tombstones and the purge accounting they drive.
+  for (const Point& p : dead) {
+    if (out.tombstones_.Add(p)) out.sched_.NoteDelete();
+  }
+  return out;
 }
 
 }  // namespace ccidx

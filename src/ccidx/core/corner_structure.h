@@ -40,6 +40,8 @@
 #ifndef CCIDX_CORE_CORNER_STRUCTURE_H_
 #define CCIDX_CORE_CORNER_STRUCTURE_H_
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ccidx/core/geometry.h"
@@ -111,6 +113,16 @@ class CornerStructure {
 
   /// Total pages used (for space-bound tests); O(k/B) I/Os to compute.
   Result<uint64_t> CountPages() const;
+
+  /// Serializes the attachable dynamized state — header page, stored
+  /// count, pending buffer, tombstones — for the WAL meta registry
+  /// (DESIGN.md §13).
+  std::vector<uint8_t> SerializeMeta() const;
+
+  /// Rebuilds a dynamized (updatable) handle onto WAL-recovered pages
+  /// from a SerializeMeta blob.
+  static Result<CornerStructure> AttachMeta(Pager* pager,
+                                            std::span<const uint8_t> meta);
 
  private:
   CornerStructure(Pager* pager, PageId header)

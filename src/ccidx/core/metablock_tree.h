@@ -93,6 +93,15 @@ class MetablockTree {
                                      std::vector<Point>&& points,
                                      const MetablockOptions& options = {});
 
+  /// Re-opens a handle onto already-built (e.g. WAL-recovered) pages from
+  /// the descriptor a prior Build produced — no I/O. `branching` must
+  /// match the pager geometry the tree was built with.
+  static MetablockTree Open(Pager* pager, PageId root, uint64_t size,
+                            uint32_t branching,
+                            const MetablockOptions& options = {}) {
+    return MetablockTree(pager, root, size, branching, options);
+  }
+
   /// Streams all points with x <= q.a and y >= q.a into `sink`,
   /// block-at-a-time out of pinned pages. O(log_B n + t/B) I/Os
   /// (Theorem 3.2); a kStop verdict halts the corner-path walk and every
@@ -113,6 +122,10 @@ class MetablockTree {
 
   /// B: points per page (the branching factor).
   uint32_t branching() const { return branching_; }
+
+  /// Ablation switches this tree was built with (persisted by the
+  /// dynamization layer's WAL meta descriptor).
+  const MetablockOptions& options() const { return options_; }
 
   /// B^2: capacity of one metablock.
   uint32_t metablock_capacity() const { return branching_ * branching_; }

@@ -24,10 +24,14 @@
 #ifndef CCIDX_DYNAMIC_ADAPTERS_H_
 #define CCIDX_DYNAMIC_ADAPTERS_H_
 
+#include <span>
+#include <vector>
+
 #include "ccidx/build/point_group.h"
 #include "ccidx/core/metablock_tree.h"
 #include "ccidx/core/three_sided_tree.h"
 #include "ccidx/dynamic/log_method.h"
+#include "ccidx/io/wal.h"
 
 namespace ccidx {
 
@@ -77,6 +81,34 @@ struct MetablockTreeTraits
   /// Any anchor a in [x, y] covers the point; a = y keeps the region as
   /// high as possible (membership probes stop at the first hit).
   static DiagonalQuery ProbeQuery(const Point& p) { return {p.y}; }
+
+  /// WAL meta persistence (DESIGN.md §13): the attachable descriptor of a
+  /// built tree. Defining the pair here (and not on ThreeSidedTreeTraits)
+  /// makes DynamicMetablockTree the family whose Dynamized meta members
+  /// instantiate — the crash-recovery sweep's dynamized subject.
+  static std::vector<uint8_t> SaveStructure(const MetablockTree& st) {
+    WalEncoder enc;
+    enc.PutU64(st.root_page());
+    enc.PutU64(st.size());
+    enc.PutU32(st.branching());
+    enc.PutU16(st.options().use_corner_structures ? 1 : 0);
+    enc.PutU16(st.options().use_ts_structures ? 1 : 0);
+    return std::move(enc).Take();
+  }
+  static Result<MetablockTree> OpenStructure(Pager* pager,
+                                             std::span<const uint8_t> b) {
+    WalDecoder dec(b);
+    PageId root = dec.GetU64();
+    uint64_t size = dec.GetU64();
+    uint32_t branching = dec.GetU32();
+    MetablockOptions opts;
+    opts.use_corner_structures = dec.GetU16() != 0;
+    opts.use_ts_structures = dec.GetU16() != 0;
+    if (!dec.ok() || dec.remaining() != 0) {
+      return Status::Corruption("malformed metablock-tree descriptor");
+    }
+    return MetablockTree::Open(pager, root, size, branching, opts);
+  }
 };
 
 /// Traits adapting ThreeSidedTree (3-sided queries, arbitrary points).

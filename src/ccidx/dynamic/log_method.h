@@ -87,6 +87,7 @@
 #include "ccidx/dynamic/rebuild.h"
 #include "ccidx/dynamic/tombstones.h"
 #include "ccidx/io/pager.h"
+#include "ccidx/io/wal.h"
 #include "ccidx/query/sink.h"
 
 namespace ccidx {
@@ -137,6 +138,7 @@ class Dynamized {
     while (out.LevelCapacity(k) < records.size()) k++;
     out.EnsureLevels(k + 1);
 
+    WalScope ws(pager);
     AllocationScope scope(pager);
     const uint64_t n = records.size();
     SpanStream<Record> stream(std::span<const Record>(records),
@@ -148,6 +150,7 @@ class Dynamized {
     out.levels_[k].st.emplace(std::move(*st));
     out.levels_[k].count = n;
     out.sy_->stored.store(n, kRlx);
+    CCIDX_RETURN_IF_ERROR(ws.Commit());
     return out;
   }
 
@@ -157,6 +160,7 @@ class Dynamized {
   /// writer threads concurrently (write epoch).
   Status Insert(const Record& r) {
     bool full = false;
+    bool resurrected = false;
     for (;;) {
       {
         std::lock_guard<std::mutex> bg(sy_->buffer_mu);
@@ -167,7 +171,8 @@ class Dynamized {
           // resurrecting is safe.
           if (tombstones_.Consume(r)) {
             sched_.NoteTombstoneConsumed();
-            return Status::OK();
+            resurrected = true;
+            break;
           }
           buffer_.push_back(r);
           sy_->buffer_size.store(buffer_.size(), kRlx);
@@ -193,7 +198,12 @@ class Dynamized {
       // becomes a fresh append) or still valid (resurrect).
       std::lock_guard<std::mutex> mg(sy_->merge_mu);
     }
+    // Durability point (DESIGN.md §13): a resurrection or buffer append
+    // changes only resident state, so the txn carries no page records —
+    // just the registered meta blobs under one group-committed record.
+    if (resurrected) return WalCommitPoint();
     sched_.Touch();
+    CCIDX_RETURN_IF_ERROR(WalCommitPoint());
     // A full buffer flushes; if a merge is already in flight the append
     // stands (append-only discipline) and Flush blocks on merge_mu until
     // that merge lands, then re-checks — so overflow is bounded by one
@@ -227,7 +237,7 @@ class Dynamized {
     }
     if (*found) {
       sched_.Touch();
-      return Status::OK();
+      return WalCommitPoint();  // meta-only durability point
     }
     if (!in_buffer) {
       if (tombstones_.Contains(r)) return Status::OK();  // already dead
@@ -241,6 +251,9 @@ class Dynamized {
     if (!tombstones_.Add(r)) return Status::OK();  // concurrent delete won
     sched_.NoteDelete();
     *found = true;
+    // The tombstone commits (meta-only) before any purge opens its own
+    // page-writing txn.
+    CCIDX_RETURN_IF_ERROR(WalCommitPoint());
     if (sched_.ShouldPurge(size())) return TriggerPurge();
     return Status::OK();
   }
@@ -325,6 +338,11 @@ class Dynamized {
     while (LevelCapacity(k) < total) k++;
     p.level = k;
 
+    // The prepare's txn commits here with only kAlloc records: on a crash
+    // between prepare and commit the built pages survive recovery live
+    // but unreferenced — a bounded leak (one pending rebuild), noted in
+    // DESIGN.md §13.
+    WalScope ws(pager_);
     AllocationScope scope(pager_);
     ExternalSorter<Record, typename Traits::BuildLess> sorter(pager_);
     CCIDX_RETURN_IF_ERROR(HarvestInto(&sorter, buf_copy, k, &p.purged));
@@ -338,6 +356,7 @@ class Dynamized {
       p.pages = scope.pages();
     }
     scope.Commit();
+    CCIDX_RETURN_IF_ERROR(ws.Commit());
     return p;
   }
 
@@ -348,32 +367,41 @@ class Dynamized {
   /// re-fires). Either way the purge-pending latch is released.
   bool CommitGlobalRebuild(PendingRebuild&& p) {
     std::lock_guard<std::mutex> mg(sy_->merge_mu);
+    WalScope ws(pager_);
     if (p.stamp != sched_.update_stamp()) {
-      AbandonGlobalRebuild(std::move(p));
+      AbandonGlobalRebuild(std::move(p));  // nested scope folds into ws
+      (void)ws.Commit();
       return false;
     }
     InstallLocked(p.level, p.harvested_buffer, std::move(p.fresh),
                   std::move(p.pages), p.merged, p.purged);
     sched_.Reset();
     sy_->purge_pending.store(false, kRlx);
+    // Best-effort: a failed commit resolves through the scope's abort
+    // protocol, which forces the installed pages and keeps this state.
+    (void)ws.Commit();
     return true;
   }
 
-  /// Discards a prepared rebuild: frees its pages by id (no device
-  /// reads) and releases the purge-pending latch.
+  /// Discards a prepared rebuild: frees its pages by id (no device reads
+  /// when no WAL is attached — under one, each free first captures its
+  /// before-image) and releases the purge-pending latch.
   void AbandonGlobalRebuild(PendingRebuild&& p) {
+    WalScope ws(pager_);
     for (PageId id : p.pages) {
       (void)pager_->Free(id);
     }
     p.fresh.reset();
     p.pages.clear();
     sy_->purge_pending.store(false, kRlx);
+    (void)ws.Commit();
   }
 
   /// Frees every page of every level — by retained page id, no device
   /// reads, so it succeeds even under active fault injection. Requires
   /// full quiescence.
   Status Destroy() {
+    WalScope ws(pager_);
     Status first = Status::OK();
     for (Level& lv : levels_) {
       for (PageId id : lv.pages) {
@@ -389,6 +417,7 @@ class Dynamized {
     sy_->buffer_size.store(0, kRlx);
     sy_->purge_pending.store(false, kRlx);
     sched_.Reset();
+    if (first.ok()) return ws.Commit();
     return first;
   }
 
@@ -426,6 +455,79 @@ class Dynamized {
       return Status::Corruption("more tombstones than stored records");
     }
     return Status::OK();
+  }
+
+  /// Serializes the resident state — buffer, tombstones, and per-level
+  /// descriptors (count, page set, Traits::SaveStructure blob) — for the
+  /// WAL meta registry (DESIGN.md §13). Called by the registered meta
+  /// provider at every commit; takes the internal latches one at a time
+  /// (never nested), so it is safe from any committing thread. Only
+  /// traits that define SaveStructure/OpenStructure instantiate this
+  /// pair (lazy template members).
+  std::vector<uint8_t> SerializeMeta() const {
+    WalEncoder enc;
+    enc.PutU32(buffer_cap_);
+    {
+      std::lock_guard<std::mutex> bg(sy_->buffer_mu);
+      enc.PutPodVector(buffer_);
+    }
+    enc.PutPodVector(tombstones_.Snapshot());
+    {
+      std::shared_lock<std::shared_mutex> lg(sy_->levels_mu);
+      enc.PutU64(levels_.size());
+      for (const Level& lv : levels_) {
+        enc.PutU16(lv.st.has_value() ? 1 : 0);
+        if (!lv.st.has_value()) continue;
+        enc.PutU64(lv.count);
+        enc.PutPodVector(lv.pages);
+        enc.PutBlob(Traits::SaveStructure(*lv.st));
+      }
+    }
+    return std::move(enc).Take();
+  }
+
+  /// Rebuilds an adapter from a SerializeMeta blob onto WAL-recovered
+  /// pages — no device I/O. Requires quiescence (recovery runs solo).
+  static Result<Dynamized> AttachMeta(Pager* pager,
+                                      std::span<const uint8_t> meta) {
+    WalDecoder dec(meta);
+    uint32_t cap = dec.GetU32();
+    if (!dec.ok() || cap == 0) {
+      return Status::Corruption("malformed dynamized meta blob");
+    }
+    Dynamized out(pager, cap);
+    out.buffer_ = dec.GetPodVector<Record>();
+    out.sy_->buffer_size.store(out.buffer_.size(), kRlx);
+    std::vector<Record> dead = dec.GetPodVector<Record>();
+    uint64_t n_levels = dec.GetU64();
+    if (!dec.ok()) {
+      return Status::Corruption("malformed dynamized meta blob");
+    }
+    out.EnsureLevels(n_levels);
+    uint64_t stored = 0;
+    for (size_t i = 0; i < n_levels; ++i) {
+      if (dec.GetU16() == 0) continue;
+      Level& lv = out.levels_[i];
+      lv.count = dec.GetU64();
+      lv.pages = dec.GetPodVector<PageId>();
+      std::span<const uint8_t> blob = dec.GetBlob();
+      if (!dec.ok()) {
+        return Status::Corruption("malformed dynamized meta blob");
+      }
+      auto st = Traits::OpenStructure(pager, blob);
+      CCIDX_RETURN_IF_ERROR(st.status());
+      lv.st.emplace(std::move(*st));
+      stored += lv.count;
+    }
+    if (!dec.ok() || dec.remaining() != 0) {
+      return Status::Corruption("malformed dynamized meta blob");
+    }
+    out.sy_->stored.store(stored, kRlx);
+    // Re-seed the tombstones and the purge accounting they drive.
+    for (const Record& r : dead) {
+      if (out.tombstones_.Add(r)) out.sched_.NoteDelete();
+    }
+    return out;
   }
 
  private:
@@ -504,6 +606,9 @@ class Dynamized {
     }
     return Status::OK();
   }
+
+  // Meta-only durability point; see WalMetaCommit (pager.h).
+  Status WalCommitPoint() { return WalMetaCommit(pager_); }
 
   // Routes a purge: through the hook (deduplicated) when one is set,
   // inline otherwise. Caller holds no latch.
@@ -619,6 +724,14 @@ class Dynamized {
       }
     } lower{sy_.get()};
 
+    // One WAL txn spans build + install: the fresh pages are txn-
+    // allocated (kAlloc only), the retired levels' pages free with
+    // before-images, and the commit — still under merge_mu, before any
+    // later writer can observe the installed level — carries the meta
+    // snapshot. Destruction order matters: the AllocationScope rolls a
+    // failed build back first (its frees land in this txn), then the
+    // WalScope aborts.
+    WalScope ws(pager_);
     AllocationScope scope(pager_);
     ExternalSorter<Record, typename Traits::BuildLess> sorter(pager_);
     std::vector<Record> purged;
@@ -644,7 +757,7 @@ class Dynamized {
     lower.armed = false;
     InstallLocked(k, harvest_n, std::move(fresh), std::move(fresh_pages),
                   merged, purged);
-    return Status::OK();
+    return ws.Commit();
   }
 
   Status Flush() {

@@ -49,6 +49,7 @@
 #include <thread>
 #include <utility>
 
+#include "ccidx/io/wal.h"
 #include "ccidx/query/epoch_gate.h"
 
 namespace ccidx {
@@ -115,6 +116,30 @@ class MaintenanceThread {
     };
   }
 
+  /// Periodic WAL checkpoint (DESIGN.md §13): quiesces writers under the
+  /// exclusive gate epoch (so no txn is mid-flight), forces dirty pool
+  /// pages, and rewrites the log as one checkpoint record. Schedule it on
+  /// a cadence (e.g. from the serving loop every N committed batches) —
+  /// between checkpoints the log grows by one before-image per page
+  /// touched. Like every job, it must not be scheduled from a thread
+  /// already inside a write epoch that waits on Drain().
+  std::function<void()> CheckpointJob(Wal* wal, Pager* pager) {
+    return [this, wal, pager] {
+      if (gate_ != nullptr) gate_->EnterWrite();
+      Status st = wal->Checkpoint(pager);
+      if (gate_ != nullptr) gate_->ExitWrite();
+      (st.ok() ? checkpoints_taken_ : checkpoints_failed_)
+          .fetch_add(1, std::memory_order_relaxed);
+    };
+  }
+
+  uint64_t checkpoints_taken() const {
+    return checkpoints_taken_.load(std::memory_order_relaxed);
+  }
+  uint64_t checkpoints_failed() const {
+    return checkpoints_failed_.load(std::memory_order_relaxed);
+  }
+
   /// Split-phase rebuilds that installed / that aborted on a stale stamp
   /// (the trigger re-fires) / whose prepare phase failed outright.
   uint64_t rebuilds_committed() const {
@@ -161,6 +186,8 @@ class MaintenanceThread {
   std::atomic<uint64_t> rebuilds_committed_{0};
   std::atomic<uint64_t> rebuilds_aborted_{0};
   std::atomic<uint64_t> rebuilds_failed_{0};
+  std::atomic<uint64_t> checkpoints_taken_{0};
+  std::atomic<uint64_t> checkpoints_failed_{0};
   std::thread thread_;
 };
 

@@ -165,6 +165,19 @@ class TombstoneSet {
     s_->mask = kMinSlots - 1;
   }
 
+  /// Stable copy of every tombstoned record (WAL meta snapshots,
+  /// DESIGN.md §13). Takes every shard lock; safe concurrently with
+  /// Add/Consume/Contains. Order is unspecified.
+  std::vector<Record> Snapshot() const {
+    auto locks = s_->LockAllShards();
+    std::vector<Record> out;
+    out.reserve(s_->size.load(std::memory_order_relaxed));
+    for (const Shard& sh : s_->shards) {
+      out.insert(out.end(), sh.set.begin(), sh.set.end());
+    }
+    return out;
+  }
+
   /// Filter predicate for reporting paths: true iff the record is live.
   bool Live(const Record& r) const { return !Contains(r); }
 

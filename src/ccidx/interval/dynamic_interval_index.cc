@@ -58,6 +58,9 @@ Status DynamicIntervalIndex::Insert(const Interval& iv) {
   if (iv.lo > iv.hi) {
     return Status::InvalidArgument("interval with lo > hi");
   }
+  // Each component commits its own WAL txn (one outer txn would defeat
+  // the B+-tree's commit-under-latch discipline); a crash between the
+  // two commits leaves at most one dangling endpoint entry.
   CCIDX_RETURN_IF_ERROR(endpoints_.Insert(iv.lo, iv.id, iv.hi));
   return stabbing_.Insert({iv.lo, iv.hi, iv.id});
 }

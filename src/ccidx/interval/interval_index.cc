@@ -58,6 +58,11 @@ Status IntervalIndex::Insert(const Interval& iv) {
   if (iv.lo > iv.hi) {
     return Status::InvalidArgument("interval with lo > hi");
   }
+  // Each component commits its own WAL txn (one outer txn would defeat
+  // the B+-tree's commit-under-latch discipline). A crash between the
+  // two landed commits can leave the endpoint entry without its stabbing
+  // point — the same single-component window the Delete path already
+  // documents, repaired by the owner's rebuild.
   CCIDX_RETURN_IF_ERROR(endpoints_.Insert(iv.lo, iv.id, iv.hi));
   return stabbing_.Insert({iv.lo, iv.hi, iv.id});
 }

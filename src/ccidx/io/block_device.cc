@@ -62,6 +62,11 @@ PageId BlockDevice::Allocate() {
   // signature returns the id); an out-of-space backend is fatal, like an
   // out-of-memory simulator.
   CCIDX_CHECK(backend_->EnsureCapacity(freed_.size()).ok());
+  // Genuinely-new backend pages read as zeros, but after a recovery-time
+  // RestoreAllocation shrank the table this id may re-cover a page with
+  // stale bytes — zero it so the "allocated pages are zeroed" contract
+  // holds either way.
+  CCIDX_CHECK(backend_->ZeroPage(id).ok());
   return id;
 }
 
@@ -97,6 +102,9 @@ bool BlockDevice::ShouldFail() {
 Status BlockDevice::Read(PageId id, std::span<uint8_t> out) {
   {
     std::shared_lock lock(mu_);
+    if (crashed_.load(std::memory_order_relaxed)) {
+      return Status::IoError("device crashed (simulated power loss)");
+    }
     if (!IsLive(id)) {
       return Status::IoError("read of invalid page " + std::to_string(id));
     }
@@ -119,6 +127,9 @@ Status BlockDevice::ReadBatch(std::span<const PageReadRequest> reqs) {
   Status first_err;
   {
     std::shared_lock lock(mu_);
+    if (crashed_.load(std::memory_order_relaxed)) {
+      return Status::IoError("device crashed (simulated power loss)");
+    }
     // Serial-equivalent validation and fault accounting: walk the requests
     // in order, consuming fault budget per request, and stop at the first
     // failure — the approved prefix is exactly the set of reads a serial
@@ -153,6 +164,9 @@ Status BlockDevice::ReadBatch(std::span<const PageReadRequest> reqs) {
 
 Status BlockDevice::Write(PageId id, std::span<const uint8_t> in) {
   std::shared_lock lock(mu_);
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::IoError("device crashed (simulated power loss)");
+  }
   if (!IsLive(id)) {
     return Status::IoError("write of invalid page " + std::to_string(id));
   }
@@ -162,9 +176,60 @@ Status BlockDevice::Write(PageId id, std::span<const uint8_t> in) {
   if (ShouldFail()) {
     return Status::IoError("injected device failure (write)");
   }
+  if (torn_write_after_.load(std::memory_order_relaxed) >= 0) {
+    std::lock_guard tlock(fail_mu_);
+    int64_t budget = torn_write_after_.load(std::memory_order_relaxed);
+    if (budget == 0) {
+      // Torn page: only the first half of the new content reaches the
+      // device; the old second half survives. One-shot, then disarmed.
+      torn_write_after_.store(-1, std::memory_order_relaxed);
+      std::vector<uint8_t> torn(page_size_);
+      CCIDX_RETURN_IF_ERROR(backend_->ReadPage(id, torn.data()));
+      std::memcpy(torn.data(), in.data(), page_size_ / 2);
+      CCIDX_RETURN_IF_ERROR(backend_->WritePage(id, torn.data()));
+      device_writes_.fetch_add(1, std::memory_order_relaxed);
+      return Status::IoError("injected torn page write");
+    } else if (budget > 0) {
+      torn_write_after_.store(budget - 1, std::memory_order_relaxed);
+    }
+  }
   CCIDX_RETURN_IF_ERROR(backend_->WritePage(id, in.data()));
   device_writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+Status BlockDevice::SyncData() {
+  // No allocation-table access: the backend's sync path is independently
+  // thread-safe (fdatasync on a stable fd / no-op for mem).
+  return backend_->SyncData();
+}
+
+BlockDevice::AllocationSnapshot BlockDevice::SnapshotAllocation() const {
+  std::shared_lock lock(mu_);
+  AllocationSnapshot snap;
+  snap.total_pages = freed_.size();
+  snap.freed = freed_;
+  return snap;
+}
+
+void BlockDevice::RestoreAllocation(const AllocationSnapshot& snap) {
+  std::unique_lock lock(mu_);
+  CCIDX_CHECK(snap.freed.size() == snap.total_pages);
+  freed_ = snap.freed;
+  // The address space never shrinks on the backend: pages beyond the
+  // snapshot's high-water mark keep their storage but become unreachable
+  // (not in freed_, so never live). Recovery re-grows through Allocate,
+  // which zeroes on reuse, so stale backing bytes are harmless.
+  free_list_.clear();
+  for (PageId id = 0; id < freed_.size(); ++id) {
+    if (freed_[id]) free_list_.push_back(id);
+  }
+  CCIDX_CHECK(backend_->EnsureCapacity(freed_.size()).ok());
+}
+
+bool BlockDevice::is_live(PageId id) const {
+  std::shared_lock lock(mu_);
+  return IsLive(id);
 }
 
 uint64_t BlockDevice::live_pages() const {

@@ -132,6 +132,49 @@ class BlockDevice {
     fail_after_.store(ops, std::memory_order_relaxed);
   }
 
+  // --- durability / crash-recovery surface (DESIGN.md §13) ---------------
+
+  /// Durability barrier over previously written pages (fdatasync on the
+  /// file backend, no-op on mem). The WAL commit protocol calls this after
+  /// forcing a transaction's data pages and before its commit record.
+  Status SyncData();
+
+  /// Simulated power loss: while crashed, every Read/ReadBatch/Write fails
+  /// with IoError ("the machine is off"). Allocation bookkeeping remains
+  /// available so in-flight scopes can unwind. Wal::SetCrashAfterRecords
+  /// flips this on; Wal::Recover clears it.
+  void SetCrashed(bool crashed) {
+    crashed_.store(crashed, std::memory_order_relaxed);
+  }
+  bool crashed() const { return crashed_.load(std::memory_order_relaxed); }
+
+  /// Torn-write injection: after `writes` further successful page writes,
+  /// the next Write transfers only the first half of the buffer (the old
+  /// second half survives) and fails with IoError — the classic torn page
+  /// a before-image WAL must repair. One-shot; writes < 0 disarms.
+  void SetTornWriteAfter(int64_t writes) {
+    torn_write_after_.store(writes, std::memory_order_relaxed);
+  }
+
+  /// Point-in-time copy of the allocation table, embedded in WAL
+  /// checkpoint records and rebuilt by recovery.
+  struct AllocationSnapshot {
+    uint64_t total_pages = 0;
+    std::vector<bool> freed;  // indexed by id, true = on the free list
+  };
+  AllocationSnapshot SnapshotAllocation() const;
+
+  /// Restores the allocation table (free list + high-water mark) to
+  /// `snap`. Recovery-only: the pager's cache must have been discarded.
+  /// Backing bytes of re-grown or re-freed pages are NOT touched — freed
+  /// pages are zeroed on reallocation, and recovery overwrites live pages
+  /// from before-images as needed.
+  void RestoreAllocation(const AllocationSnapshot& snap);
+
+  /// True when `id` is allocated and not freed. Recovery uses this to skip
+  /// before-image restores of pages that are dead in the restored state.
+  bool is_live(PageId id) const;
+
  private:
   // Returns true if this transfer should fail (and consumes budget).
   bool ShouldFail();
@@ -161,6 +204,8 @@ class BlockDevice {
   std::atomic<uint64_t> pages_freed_{0};
   std::atomic<int64_t> fail_after_{-1};  // < 0: fault injection disabled
   std::mutex fail_mu_;  // serializes budget consumption (test-only path)
+  std::atomic<bool> crashed_{false};         // simulated power loss
+  std::atomic<int64_t> torn_write_after_{-1};  // < 0: disarmed
 };
 
 }  // namespace ccidx

@@ -7,6 +7,8 @@
 #include <new>
 #include <thread>
 
+#include "ccidx/io/wal.h"
+
 namespace ccidx {
 
 namespace {
@@ -103,7 +105,11 @@ Status MutPageRef::Release() {
   }
   // Uncached: the page lives only in this handle; write it back now so the
   // caller sees the device Status (the historical Write() behavior).
-  Status s = pager->device_->Write(id_, {buf, size_});
+  // WAL-before-data: the log records covering this page must be durable
+  // before its data write can reach the device (DESIGN.md §13).
+  Status s = pager->wal_ != nullptr ? pager->wal_->SyncBeforeData()
+                                    : Status::OK();
+  if (s.ok()) s = pager->device_->Write(id_, {buf, size_});
   pager->ReleaseTransient(transient_slot_);
   transient_slot_ = -1;
   transient_heap_.reset();
@@ -372,6 +378,10 @@ Result<uint32_t> Pager::EvictSlotLocked(Shard& shard) {
 
 Status Pager::WriteBack(Frame& frame) {
   if (!frame.dirty) return Status::OK();
+  // WAL-before-data (DESIGN.md §13): every log record appended so far must
+  // be durable before a data page can reach the device. One relaxed check
+  // when nothing is pending.
+  if (wal_ != nullptr) CCIDX_RETURN_IF_ERROR(wal_->SyncBeforeData());
   CCIDX_RETURN_IF_ERROR(
       device_->Write(frame.id, {frame.data, device_->page_size()}));
   // Under an active writer the frame must stay dirty: the pin holder may
@@ -444,6 +454,7 @@ Result<Pager::Frame*> Pager::GetFrameLocked(Shard& shard, PageId id,
 PageId Pager::Allocate() {
   PageId id = device_->Allocate();
   RecordAllocation(id);
+  if (wal_ != nullptr) WalOnAlloc(id);
   if (capacity_ == 0) return id;
   // Freshly allocated pages are zeroed on the device; cache a zero copy so
   // the first write does not need a device read. Best-effort: if no frame
@@ -458,6 +469,21 @@ PageId Pager::Allocate() {
 }
 
 Status Pager::Free(PageId id) {
+  WalTxn* txn = wal_ != nullptr ? CurrentWalTxn() : nullptr;
+  bool txn_allocated = false;
+  std::vector<uint8_t> before_image;
+  if (txn != nullptr) {
+    txn_allocated = txn->allocated.contains(id);
+    if (!txn_allocated) {
+      // Pre-existing page: snapshot its current (possibly dirty-in-pool)
+      // content now, before the cached frame is dropped below. The free
+      // record is logged only after the pinned-page precondition passes.
+      auto ref = Pin(id);
+      if (!ref.ok()) return ref.status();
+      std::span<const uint8_t> data = ref->data();
+      before_image.assign(data.begin(), data.end());
+    }
+  }
   if (capacity_ > 0) {
     uint64_t hash = MixPageId(id);
     Shard& shard = shards_[static_cast<uint32_t>(hash) & shard_mask_];
@@ -475,6 +501,27 @@ Status Pager::Free(PageId id) {
       frame.referenced = false;
       shard.free_slots.push_back(static_cast<uint32_t>(slot));
       TableEraseLocked(shard, pos);
+    }
+  }
+  if (txn != nullptr) {
+    if (txn_allocated) {
+      // Allocated by this very transaction: an imageless free record
+      // suffices (committed replay marks it freed; uncommitted undo leaves
+      // it unallocated) and the device free can happen now — nobody
+      // outside this txn can have observed the page.
+      txn->allocated.erase(id);
+      txn->captured.erase(id);
+      CCIDX_RETURN_IF_ERROR(txn->wal->LogFree(txn->id, id, {}));
+    } else {
+      // Pre-existing page: log its before-image (recovery must restore it
+      // if this txn does not commit) and DEFER the device-level free to
+      // scope exit — a committing transaction must not reallocate and
+      // overwrite a page whose free is not yet durable (class comment on
+      // WalScope). The cached copy was dropped above; reads of a freed
+      // page are a caller bug either way.
+      CCIDX_RETURN_IF_ERROR(txn->wal->LogFree(txn->id, id, before_image));
+      txn->deferred_frees.push_back(id);
+      return Status::OK();
     }
   }
   Status s = device_->Free(id);
@@ -1018,6 +1065,11 @@ MutPageRef Pager::PoolMutRefLocked(PageId id, Frame* frame) {
 }
 
 Result<MutPageRef> Pager::PinMut(PageId id, MutMode mode) {
+  // First mutable touch inside a WAL transaction logs the page's
+  // before-image. Must happen before any shard lock: a kOverwrite hit
+  // zero-fills the frame, destroying the content the image needs (and the
+  // capture pins the page shared, which takes the lock itself).
+  if (wal_ != nullptr) CCIDX_RETURN_IF_ERROR(WalCaptureBeforeImage(id));
   if (capacity_ == 0) {
     transient_pin_requests_.fetch_add(1, std::memory_order_relaxed);
     return TransientMutRef(id, mode);
@@ -1040,6 +1092,7 @@ Result<MutPageRef> Pager::PinNew() {
   // in a single miss with no redundant lookup or re-zeroing.
   PageId id = device_->Allocate();
   RecordAllocation(id);
+  if (wal_ != nullptr) WalOnAlloc(id);
   if (capacity_ == 0) {
     transient_pin_requests_.fetch_add(1, std::memory_order_relaxed);
     return TransientMutRef(id, MutMode::kOverwrite);
@@ -1218,6 +1271,192 @@ void Pager::ResetStats() {
     shard.pin_requests = 0;
   }
   transient_pin_requests_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// WAL integration (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+void Pager::AttachWal(Wal* wal) {
+  CCIDX_CHECK(wal != nullptr);
+  CCIDX_CHECK(wal->device() == device_);
+  CCIDX_CHECK(wal_ == nullptr || wal_ == wal);
+  wal_ = wal;
+  // The log must always start with a checkpoint: it is the allocation
+  // baseline recovery replays onto. Writes performed with no WalScope
+  // active (e.g. an initial bulk build) are not logged — callers
+  // checkpoint after such a build to move the baseline past it.
+  if (wal->records() == 0) {
+    CCIDX_CHECK(wal->Checkpoint(this).ok());
+  }
+}
+
+Pager::WalTxn* Pager::CurrentWalTxn() {
+  std::lock_guard lock(wal_txns_mu_);
+  auto it = wal_txns_.find(std::this_thread::get_id());
+  // Node-stable: only this thread mutates or erases its own entry, so the
+  // pointer stays valid after the lock drops.
+  return it == wal_txns_.end() ? nullptr : &it->second;
+}
+
+Status Pager::WalCaptureBeforeImage(PageId id) {
+  WalTxn* txn = CurrentWalTxn();
+  if (txn == nullptr) return Status::OK();
+  if (txn->allocated.contains(id) || txn->captured.contains(id)) {
+    return Status::OK();
+  }
+  // Shared pin: pool-aware, so a dirty resident frame contributes its
+  // current (logical) content, not the stale device copy.
+  auto ref = Pin(id);
+  CCIDX_RETURN_IF_ERROR(ref.status());
+  Status s = txn->wal->LogPageImage(txn->id, id, ref->data());
+  ref->Release();
+  CCIDX_RETURN_IF_ERROR(s);
+  txn->captured.insert(id);
+  txn->touched.push_back(id);
+  return Status::OK();
+}
+
+void Pager::WalOnAlloc(PageId id) {
+  WalTxn* txn = CurrentWalTxn();
+  if (txn == nullptr) return;
+  // The append can only fail once the wal is crashed — and then the
+  // commit record can never be written either, so the lost record is
+  // harmless (the txn is uncommitted by construction).
+  (void)txn->wal->LogAlloc(txn->id, id);
+  txn->allocated.insert(id);
+  txn->touched.push_back(id);
+}
+
+Status Pager::FlushPages(std::span<const PageId> ids) {
+  if (capacity_ == 0) return Status::OK();  // transient writes hit the
+                                            // device at Release already
+  for (PageId id : ids) {
+    uint64_t hash = MixPageId(id);
+    Shard& shard = shards_[static_cast<uint32_t>(hash) & shard_mask_];
+    std::lock_guard lock(shard.mu);
+    int32_t slot = shard.table[ProbeLocked(shard, id, hash)];
+    if (slot < 0) continue;  // not resident (evicted or freed): on device
+    CCIDX_RETURN_IF_ERROR(WriteBack(shard.frames[slot]));
+  }
+  return Status::OK();
+}
+
+Status Pager::DiscardCache() {
+  DrainPrefetch();
+  {
+    std::lock_guard lock(deferred_prefetch_mu_);
+    deferred_prefetch_.clear();
+    deferred_prefetch_count_.store(0, std::memory_order_relaxed);
+  }
+  // Pre-crash parked errors are history the recovery replaces.
+  (void)TakeDeferredError();
+  uint64_t pins = outstanding_pins();
+  if (pins > 0) {
+    return Status::FailedPrecondition(
+        "DiscardCache with " + std::to_string(pins) + " outstanding pin(s)");
+  }
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard lock(shard.mu);
+    std::fill(shard.table.begin(), shard.table.end(), -1);
+    shard.free_slots.clear();
+    for (uint32_t s = 0; s < shard.capacity; ++s) {
+      Frame& frame = shard.frames[s];
+      frame.id = kInvalidPageId;
+      frame.dirty = false;  // dirty state is deliberately dropped
+      frame.referenced = false;
+      shard.free_slots.push_back(shard.capacity - 1 - s);
+    }
+    shard.hand = 0;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// WalScope
+// ---------------------------------------------------------------------------
+
+WalScope::WalScope(Pager* pager)
+    : pager_(pager), tid_(std::this_thread::get_id()) {
+  Wal* wal = pager_->wal_;
+  if (wal == nullptr) return;  // inert: the WAL is strictly opt-in
+  active_ = true;
+  std::lock_guard lock(pager_->wal_txns_mu_);
+  auto [it, inserted] = pager_->wal_txns_.try_emplace(tid_);
+  if (inserted) {
+    it->second.id = wal->BeginTxn();
+    it->second.wal = wal;
+    outermost_ = true;
+  } else {
+    it->second.depth++;
+  }
+}
+
+Status WalScope::Commit() {
+  if (!active_ || committed_) return Status::OK();
+  if (!outermost_) {  // folds into the enclosing txn
+    committed_ = true;
+    return Status::OK();
+  }
+  CCIDX_CHECK(tid_ == std::this_thread::get_id());
+  Pager::WalTxn* txn = pager_->CurrentWalTxn();
+  CCIDX_CHECK(txn != nullptr && txn->depth == 1);
+  // Force phase: the txn's touched pages go to the device (each write-back
+  // syncs the log first — WAL-before-data), then a data barrier, then the
+  // commit record makes the txn durable. Buffer-only updates (no touched
+  // pages) still commit: the record carries the registered metas. On
+  // failure committed_ stays false and the destructor runs the abort
+  // protocol instead.
+  CCIDX_RETURN_IF_ERROR(pager_->FlushPages(txn->touched));
+  CCIDX_RETURN_IF_ERROR(pager_->device_->SyncData());
+  CCIDX_RETURN_IF_ERROR(txn->wal->CommitTxn(txn->id));
+  committed_ = true;
+  return Status::OK();
+}
+
+WalScope::~WalScope() {
+  if (!active_) return;
+  CCIDX_CHECK(tid_ == std::this_thread::get_id());
+  Pager::WalTxn* txn = pager_->CurrentWalTxn();
+  CCIDX_CHECK(txn != nullptr);
+  if (!outermost_) {
+    txn->depth--;
+    return;
+  }
+  if (!committed_ && (!txn->touched.empty() || !txn->deferred_frees.empty())) {
+    // In-process abort (a device error unwound the op). Zero-record
+    // scopes (a shared-mode restart, a not-found delete) skip this:
+    // nothing was logged, so there is nothing to resolve.
+    // The family left
+    // its documented pre-or-post-op coherent state, and execution
+    // CONTINUES from that state — later committed txns may build on it.
+    // So the abort must resolve like a meta-less commit: force the
+    // surviving pages, then mark the txn resolved so recovery keeps them.
+    // Best-effort — if the force fails (the device is the thing that is
+    // broken), the abort record is skipped and recovery undoes the txn
+    // from its already-durable before-images instead: the coherent pre-op
+    // state.
+    Status fs = pager_->FlushPages(txn->touched);
+    if (fs.ok()) fs = pager_->device_->SyncData();
+    if (fs.ok()) (void)txn->wal->AbortTxn(txn->id);
+  }
+  // Deferred frees apply on exit whether or not the commit record made it
+  // out: in-process, families free pre-existing pages only past their
+  // point of no return, and across a crash the allocation state is rebuilt
+  // from the log, not from this in-memory application.
+  std::vector<PageId> frees = std::move(txn->deferred_frees);
+  {
+    std::lock_guard lock(pager_->wal_txns_mu_);
+    pager_->wal_txns_.erase(tid_);
+  }
+  for (PageId id : frees) {
+    Status s = pager_->device_->Free(id);
+    if (s.ok()) {
+      pager_->ForgetAllocation(id);
+      if (pager_->capacity_ > 0) pager_->RequestReviveAsync();
+    }
+  }
 }
 
 }  // namespace ccidx

@@ -73,6 +73,7 @@
 namespace ccidx {
 
 class Pager;
+class Wal;
 
 namespace internal {
 
@@ -272,6 +273,48 @@ class AllocationScope {
   bool committed_ = false;
 };
 
+/// One WAL transaction (DESIGN.md §13): while a scope is active on the
+/// current thread, every mutable page touch through the pager logs the
+/// page's before-image (first touch only), and every Allocate/Free logs an
+/// allocation record. Commit() forces the transaction's touched pages to
+/// the device, data-syncs it, and appends + group-syncs a commit record —
+/// after which the transaction is crash-durable. A scope destroyed without
+/// a successful Commit() simply leaves its records uncommitted: crash
+/// recovery undoes them (in-process rollback stays AllocationScope's job —
+/// the two compose, WalScope outermost).
+///
+/// Scopes nest per thread like AllocationScope: inner scopes fold into the
+/// outermost transaction and only the outermost Commit() writes the commit
+/// record. Inert (zero-cost beyond one null check) when no Wal is attached
+/// to the pager, which is what keeps the WAL strictly opt-in.
+///
+/// Frees of pre-existing pages are logged with a before-image and the
+/// device-level free is DEFERRED to the end of the outermost scope: an
+/// uncommitted transaction's freed page must not be reallocated (and
+/// overwritten) by a transaction that commits before it, or recovery could
+/// not restore it. Deferred frees are applied on scope exit whether or not
+/// the commit succeeded — families free pre-existing pages only past their
+/// point of no return (the fault-atomicity contract the fault sweeps
+/// enforce), so an aborted scope has no deferred frees to misapply.
+class WalScope {
+ public:
+  explicit WalScope(Pager* pager);
+  ~WalScope();
+  WalScope(const WalScope&) = delete;
+  WalScope& operator=(const WalScope&) = delete;
+
+  /// Outermost scope: force + commit-record protocol (see class comment).
+  /// Inner scope: no-op OK. Idempotent per scope.
+  Status Commit();
+
+ private:
+  Pager* pager_;
+  std::thread::id tid_;
+  bool outermost_ = false;
+  bool committed_ = false;
+  bool active_ = false;  // false when no wal is attached (inert scope)
+};
+
 /// Buffer-pool front end for a BlockDevice. Pin-based access is the primary
 /// interface; dirty pages are written back on eviction or Flush. See the
 /// file comment for the shard layout and the thread-safety contract.
@@ -432,6 +475,34 @@ class Pager {
   /// checked error (FailedPrecondition): handles would dangle.
   Status DropCache();
 
+  // --- durability (DESIGN.md §13) ----------------------------------------
+
+  /// Attaches a write-ahead log: from here on, WalScope transactions log
+  /// before-images of every mutable page touch, and no data page reaches
+  /// the device before the log records covering it are synced. If the log
+  /// is empty, an initial checkpoint of the device's current allocation
+  /// state is written (the recovery baseline — the log always starts with
+  /// one). The wal must outlive the pager; `wal->device()` must be this
+  /// pager's device. Not thread-safe against concurrent pager use: attach
+  /// before going multi-threaded.
+  void AttachWal(Wal* wal);
+
+  /// The attached wal, or nullptr (the common, zero-overhead case).
+  Wal* wal() const { return wal_; }
+
+  /// Writes back the listed pages if resident and dirty (unknown / clean /
+  /// absent ids are skipped). Unlike Flush this takes only the owning
+  /// shards' locks per page, so a committing writer can force its own
+  /// touched pages while other writers run — the families' latching
+  /// contract guarantees nobody else is mutating *these* pages.
+  Status FlushPages(std::span<const PageId> ids);
+
+  /// Drops every frame WITHOUT writing anything back, discarding dirty
+  /// state — crash recovery's "the pool was volatile" step. Outstanding
+  /// pins are a checked error. Also clears any parked deferred error
+  /// (pre-crash history).
+  Status DiscardCache();
+
   /// Device-level counters (the paper's I/O metric) plus pin/hit/miss
   /// counters, merged across shards (DESIGN.md §7 stats merge rule).
   IoStats CombinedStats() const;
@@ -443,6 +514,7 @@ class Pager {
   friend class PageRef;
   friend class MutPageRef;
   friend class AllocationScope;
+  friend class WalScope;
 
   using Frame = internal::PageFrame;
   using Shard = internal::PagerShard;
@@ -630,7 +702,49 @@ class Pager {
   std::unordered_map<std::thread::id,
                      std::vector<std::unordered_set<PageId>>>
       alloc_scopes_;
+
+  // --- WAL state (DESIGN.md §13) -----------------------------------------
+
+  // One outermost WalScope transaction on one thread. Nested scopes only
+  // bump `depth`. The entry is created by the outermost WalScope ctor and
+  // erased by its dtor; unordered_map nodes are address-stable, so the
+  // owning thread uses the pointer without holding wal_txns_mu_ (no other
+  // thread ever touches another thread's entry).
+  struct WalTxn {
+    uint64_t id = 0;
+    size_t depth = 1;
+    Wal* wal = nullptr;  // wal at scope entry (attach is pre-threading)
+    std::unordered_set<PageId> captured;   // before-image logged
+    std::unordered_set<PageId> allocated;  // allocated within this txn
+    std::vector<PageId> touched;           // to force at commit, in order
+    std::vector<PageId> deferred_frees;    // device frees applied at exit
+  };
+  // The current thread's active transaction, or nullptr. Takes
+  // wal_txns_mu_ only when a wal is attached.
+  WalTxn* CurrentWalTxn();
+  // First-touch hook from PinMut (before any shard lock — kOverwrite
+  // zero-fills the frame, which would destroy the image): logs the page's
+  // before-image once per txn. No-op outside a scope or for pages the txn
+  // allocated itself.
+  Status WalCaptureBeforeImage(PageId id);
+  // Allocation hook from Allocate/PinNew: logs kAlloc, marks the page
+  // txn-allocated (skips future capture) and touched (forced at commit).
+  void WalOnAlloc(PageId id);
+
+  Wal* wal_ = nullptr;
+  std::mutex wal_txns_mu_;
+  std::unordered_map<std::thread::id, WalTxn> wal_txns_;
 };
+
+/// Meta-only durability point (DESIGN.md §13): opens and immediately
+/// commits a WAL txn, so the registered meta providers' blobs reflect an
+/// acked resident-state change (buffer append, tombstone add) that wrote
+/// no pages. Inert when no WAL is attached; folds into an enclosing scope
+/// already open on this thread.
+inline Status WalMetaCommit(Pager* pager) {
+  WalScope ws(pager);
+  return ws.Commit();
+}
 
 }  // namespace ccidx
 

@@ -190,6 +190,14 @@ class FileStorageBackend final : public StorageBackend {
     return ReadPagesThreaded(reqs, count);
   }
 
+  Status SyncData() override {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IoError("fdatasync failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
  private:
   struct FreeDeleter {
     void operator()(uint8_t* p) const { std::free(p); }

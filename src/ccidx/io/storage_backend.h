@@ -76,6 +76,12 @@ class StorageBackend {
   /// page-at-a-time. Shared lock. The base implementation is the serial
   /// loop, which is exact for zero-latency memory.
   virtual Status ReadPages(const PageReadRequest* reqs, size_t count);
+
+  /// Durability barrier: returns once previously written pages are on
+  /// stable storage (fdatasync for the file backend). The WAL's commit
+  /// protocol (DESIGN.md §13) calls this between forcing a transaction's
+  /// data pages and appending its commit record. No-op for memory.
+  virtual Status SyncData() { return Status::OK(); }
 };
 
 /// The historical in-memory simulator.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ccidx/io/wal.h"
 #include "ccidx/simd/filter_emit.h"
 #include <cmath>
 
@@ -91,6 +92,9 @@ Result<PageId> DynamicPst::BuildNode(Pager* pager, PointGroup group,
 
 Result<DynamicPst> DynamicPst::Build(Pager* pager, PointGroup points) {
   DynamicPst tree(pager);
+  // Every page is allocated inside the txn, so the log carries kAlloc
+  // records only; a crash mid-build frees the partial tree on recovery.
+  WalScope ws(pager);
   AllocationScope scope(pager);
   uint64_t n = points.size();
   auto root = BuildNode(pager, std::move(points), tree.NodeCapacity());
@@ -98,6 +102,7 @@ Result<DynamicPst> DynamicPst::Build(Pager* pager, PointGroup points) {
   tree.root_ = *root;
   tree.size_ = n;
   scope.Commit();
+  CCIDX_RETURN_IF_ERROR(ws.Commit());
   return tree;
 }
 
@@ -126,6 +131,10 @@ Result<DynamicPst> DynamicPst::Build(Pager* pager,
 
 Status DynamicPst::Insert(const Point& p) {
   std::lock_guard<std::mutex> write_lock(*write_mu_);
+  // Single-writer structure: one WAL txn covers the whole insert —
+  // descent writes, any scapegoat rebuild, and the scheduled global
+  // rebuild — committed before write_mu_ is released.
+  WalScope ws(pager_);
   const uint32_t cap = NodeCapacity();
   size_++;
   sched_.NoteInsert();
@@ -137,7 +146,8 @@ Status DynamicPst::Insert(const Point& p) {
     h.weight = 1;
     std::vector<Point> pts = {p};
     root_ = pager_->Allocate();
-    return StoreNode(root_, h, &pts);
+    CCIDX_RETURN_IF_ERROR(StoreNode(root_, h, &pts));
+    return ws.Commit();
   }
 
   struct PathEntry {
@@ -249,7 +259,7 @@ Status DynamicPst::Insert(const Point& p) {
     CCIDX_RETURN_IF_ERROR(RebuildAt(&root_));
     sched_.Reset();
   }
-  return Status::OK();
+  return ws.Commit();
 }
 
 Status DynamicPst::DeleteNode(PageId id, const Point& p, bool* found) {
@@ -290,6 +300,9 @@ Status DynamicPst::DeleteNode(PageId id, const Point& p, bool* found) {
 
 Status DynamicPst::Delete(const Point& p, bool* found) {
   std::lock_guard<std::mutex> write_lock(*write_mu_);
+  // A not-found delete writes nothing: the uncommitted scope unwinds as
+  // a zero-record no-op (no fsync).
+  WalScope ws(pager_);
   *found = false;
   if (root_ == kInvalidPageId) return Status::OK();
   CCIDX_RETURN_IF_ERROR(DeleteNode(root_, p, found));
@@ -300,6 +313,7 @@ Status DynamicPst::Delete(const Point& p, bool* found) {
       CCIDX_RETURN_IF_ERROR(RebuildAt(&root_));
       sched_.Reset();
     }
+    return ws.Commit();
   }
   return Status::OK();
 }
@@ -373,10 +387,11 @@ Status DynamicPst::RebuildAt(PageId* id) {
 
 Status DynamicPst::Destroy() {
   std::lock_guard<std::mutex> write_lock(*write_mu_);
+  WalScope ws(pager_);
   CCIDX_RETURN_IF_ERROR(FreeNode(root_));
   root_ = kInvalidPageId;
   size_ = 0;
-  return Status::OK();
+  return ws.Commit();
 }
 
 Status DynamicPst::CheckNode(PageId id, Coord parent_min_y, bool is_root,

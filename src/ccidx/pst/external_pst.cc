@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ccidx/dynamic/purge_rebuild.h"
+#include "ccidx/io/wal.h"
 #include "ccidx/simd/filter_emit.h"
 
 namespace ccidx {
@@ -393,20 +394,30 @@ Status ExternalPst::BuildShadowSubtree(PageId start, Point carried,
 
 Status ExternalPst::Insert(const Point& p) {
   const uint32_t cap = NodeCapacity();
+  size_t depth = 0;
   while (true) {
+    // One WAL txn per attempt: every commit below runs while the latch
+    // that ordered the write is still held, so no concurrent writer can
+    // capture uncommitted content as its own before-image. A retry
+    // abandons a zero-record scope (free — nothing was logged).
+    WalScope ws(pager_);
     // Advisory root step: resolve entirely at the root when possible
     // (create / absorb are real — they only need root_mu); otherwise
     // pick the side latch to take.
     int side;
     {
       std::unique_lock<std::mutex> rg(sy_->root_mu);
-      if (root_ == kInvalidPageId) return CreateRootLocked(p);
+      if (root_ == kInvalidPageId) {
+        CCIDX_RETURN_IF_ERROR(CreateRootLocked(p));
+        return ws.Commit();
+      }
       CCIDX_RETURN_IF_ERROR(LoadImageLocked());
       Status st;
       if (TryAbsorbRootLocked(p, cap, &st)) {
         if (st.ok()) {
           sy_->size.fetch_add(1, kRlx);
           sched_.NoteInsert();
+          st = ws.Commit();
         }
         return st;
       }
@@ -434,6 +445,7 @@ Status ExternalPst::Insert(const Point& p) {
           if (st.ok()) {
             sy_->size.fetch_add(1, kRlx);
             sched_.NoteInsert();
+            st = ws.Commit();
           }
           return st;
         }
@@ -467,7 +479,6 @@ Status ExternalPst::Insert(const Point& p) {
     // the insert runs concurrently with root absorbs and with writers on
     // the other side.
     PageId top = kInvalidPageId;
-    size_t depth = 0;
     std::vector<PageId> shadow, old_path;
     Status bst =
         BuildShadowSubtree(oc, carried, cap, &top, &depth, &shadow, &old_path);
@@ -491,17 +502,23 @@ Status ExternalPst::Insert(const Point& p) {
       }
       // Point of no return: retire the old path by id (no device reads).
       // Done under root_mu so a concurrent ChooseSideLocked peek never
-      // reads a freed page.
+      // reads a freed page (under WAL the device free is deferred to
+      // scope exit, which only delays reclamation — the root pointers no
+      // longer reference the old path by then).
       for (PageId oid : old_path) (void)pager_->Free(oid);
       sy_->size.fetch_add(1, kRlx);
       sched_.NoteInsert();
+      CCIDX_RETURN_IF_ERROR(ws.Commit());
     }
     sl.unlock();
-    if (depth + 1 > MaxDepth() || sched_.ShouldRebuild(size())) {
-      return TriggerRebuild(/*force=*/depth + 1 > MaxDepth());
-    }
-    return Status::OK();
+    // Fall out of the scope's lifetime before any rebuild: TriggerRebuild
+    // opens its own WAL txn and must not nest inside a committed one.
+    break;
   }
+  if (depth + 1 > MaxDepth() || sched_.ShouldRebuild(size())) {
+    return TriggerRebuild(/*force=*/depth + 1 > MaxDepth());
+  }
+  return Status::OK();
 }
 
 Status ExternalPst::DeleteNode(PageId id, const Point& p, bool* found) {
@@ -527,7 +544,12 @@ Status ExternalPst::DeleteNode(PageId id, const Point& p, bool* found) {
         *found = true;
         // The single in-place write of the whole operation: atomic under
         // fault injection (a failed device write leaves the old page).
-        return StoreNode(id, h, pts);
+        // The WAL txn opens here — at the only page write of the whole
+        // descent — and commits under this node's stripe latch, before
+        // any other writer can touch the page.
+        WalScope ws(pager_);
+        CCIDX_RETURN_IF_ERROR(StoreNode(id, h, pts));
+        return ws.Commit();
       }
     }
     // Heap order: every descendant lies at or below this node's minimum.
@@ -561,8 +583,13 @@ Status ExternalPst::Delete(const Point& p, bool* found) {
       std::vector<Point>& pts = sy_->root_pts;
       for (size_t i = 0; i < pts.size(); ++i) {
         if (pts[i] == p) {
+          // Root-resident hit: one page write, committed under root_mu.
+          // A failed commit takes the same in-memory undo as a failed
+          // store — the dtor abort restores the disk image to match.
+          WalScope ws(pager_);
           pts.erase(pts.begin() + i);
           Status st = StoreRootLocked();
+          if (st.ok()) st = ws.Commit();
           if (!st.ok()) {
             auto pos = std::lower_bound(pts.begin(), pts.end(), p, DescY);
             pts.insert(pos, p);
@@ -663,6 +690,9 @@ Status ExternalPst::GlobalRebuildLocked() {
   // is live; the skeleton still supplies the harvest / scoped-build /
   // retire-by-id sequencing. All latches are held, so the disk tree is
   // current (no displacement in flight) and no writer can interleave.
+  // One WAL txn spans harvest, build, and retire: a crash mid-rebuild
+  // rolls the whole replacement back to the pre-rebuild tree.
+  WalScope ws(pager_);
   PageId new_root = kInvalidPageId;
   CCIDX_RETURN_IF_ERROR(PurgeRebuild(
       pager_, static_cast<PointTombstones*>(nullptr), &sched_,
@@ -678,7 +708,7 @@ Status ExternalPst::GlobalRebuildLocked() {
       }));
   root_ = new_root;
   sy_->image_loaded = false;
-  return Status::OK();
+  return ws.Commit();
 }
 
 Result<ExternalPst::PendingRebuild> ExternalPst::PrepareGlobalRebuild() {
@@ -695,6 +725,10 @@ Result<ExternalPst::PendingRebuild> ExternalPst::PrepareGlobalRebuild() {
     pr.stamp = sched_.update_stamp();
   }
   std::sort(pts.begin(), pts.end(), PointXOrder());
+  // The prepare phase commits its own (kAlloc-only) txn: a crash between
+  // prepare and commit leaves the fresh pages live but unreferenced —
+  // bounded to the one pending rebuild (DESIGN.md §13).
+  WalScope ws(pager_);
   AllocationScope scope(pager_);
   auto fresh =
       BuildNode(pager_, PointGroup::FromVector(std::move(pts)), NodeCapacity());
@@ -702,6 +736,7 @@ Result<ExternalPst::PendingRebuild> ExternalPst::PrepareGlobalRebuild() {
   pr.fresh_root = *fresh;
   pr.fresh_pages = scope.pages();
   scope.Commit();
+  CCIDX_RETURN_IF_ERROR(ws.Commit());
   return pr;
 }
 
@@ -709,10 +744,14 @@ bool ExternalPst::CommitGlobalRebuild(PendingRebuild&& p) {
   std::unique_lock<std::shared_mutex> l0(sy_->side[0]);
   std::unique_lock<std::shared_mutex> l1(sy_->side[1]);
   std::unique_lock<std::mutex> rg(sy_->root_mu);
+  // The frees below capture before-images into this txn; a failed commit
+  // resolves through the dtor abort, which forces the (unchanged) pages.
+  WalScope ws(pager_);
   if (p.stamp != sched_.update_stamp()) {
     // An update landed since the harvest: the prepared tree is stale.
     for (PageId id : p.fresh_pages) (void)pager_->Free(id);
     sy_->rebuild_pending.store(false, kRlx);
+    (void)ws.Commit();
     return false;
   }
   root_ = p.fresh_root;
@@ -720,12 +759,15 @@ bool ExternalPst::CommitGlobalRebuild(PendingRebuild&& p) {
   for (PageId id : p.old_pages) (void)pager_->Free(id);
   sched_.Reset();
   sy_->rebuild_pending.store(false, kRlx);
+  (void)ws.Commit();
   return true;
 }
 
 void ExternalPst::AbandonGlobalRebuild(PendingRebuild&& p) {
+  WalScope ws(pager_);
   for (PageId id : p.fresh_pages) (void)pager_->Free(id);
   sy_->rebuild_pending.store(false, kRlx);
+  (void)ws.Commit();
 }
 
 Status ExternalPst::LoadNode(PageId id, NodeHeader* h,
@@ -806,12 +848,13 @@ Status ExternalPst::FreeNode(PageId id) {
 }
 
 Status ExternalPst::Free() {
+  WalScope ws(pager_);
   CCIDX_RETURN_IF_ERROR(FreeNode(root_));
   root_ = kInvalidPageId;
   sy_->size.store(0, kRlx);
   sy_->image_loaded = false;
   sched_.Reset();
-  return Status::OK();
+  return ws.Commit();
 }
 
 Status ExternalPst::CheckNode(PageId id, Coord parent_min_y, bool is_root,

@@ -39,7 +39,8 @@ namespace serve {
 struct ServerStats {
   // Admission (queue).
   uint64_t admitted = 0;
-  uint64_t shed = 0;
+  uint64_t shed = 0;            // overload sheds only (kOverloaded policy)
+  uint64_t rejected_closed = 0; // pushes refused after Stop() closed the queue
   uint64_t deadline_dropped = 0;
   // Rejections before the queue.
   uint64_t bad_frames = 0;  // undecodable; dropped (or kBadRequest'd)

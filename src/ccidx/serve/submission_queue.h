@@ -15,7 +15,15 @@
 //
 // The level listener fires on watermark *transitions* (edge-triggered,
 // at most one callback per crossing) and is how the admission controller
-// throttles Pager::set_speculation_budget() — the PR 7 follow-on.
+// throttles Pager::set_speculation_budget() — the PR 7 follow-on. The
+// transition is detected and latched under the queue lock, but the
+// callback itself runs AFTER the lock is released: listeners may call
+// queue accessors (depth(), level()) without self-deadlocking. When two
+// threads race opposite crossings, each fires exactly one callback with
+// its own transition's level, but the two callbacks' arrival order is
+// best-effort — listeners that care should read level() (the latest
+// state), which is exactly what makes them deadlock-prone under the old
+// fire-under-lock scheme.
 //
 // Implementation: a mutex-guarded ring. At serving batch sizes the lock
 // is held for pointer moves only; fairness and the watermark accounting
@@ -73,19 +81,28 @@ class SubmissionQueue {
   SubmissionQueue(const SubmissionQueue&) = delete;
   SubmissionQueue& operator=(const SubmissionQueue&) = delete;
 
-  /// Installed by the server; called (under the queue lock, so keep it a
-  /// couple of atomic stores) whenever the watermark level changes.
+  /// Installed by the server; called (after the queue lock is released —
+  /// accessors like depth() are safe inside) whenever the watermark level
+  /// changes.
   void set_level_listener(std::function<void(QueueLevel)> listener) {
     std::lock_guard lock(mu_);
     listener_ = std::move(listener);
   }
 
   /// Admit or shed. O(1); never blocks. Sheds when size >= high
-  /// watermark (or the queue is closed).
+  /// watermark. A closed queue also rejects, but that is shutdown
+  /// bookkeeping, not overload — it counts in rejected_closed(), not
+  /// shed(), so the overload shed *rate* stays meaningful while clients
+  /// drain against a closing server.
   Admission TryPush(Submission s) {
+    PendingLevel pending;
     {
       std::lock_guard lock(mu_);
-      if (closed_ || size_ >= high_) {
+      if (closed_) {
+        rejected_closed_.fetch_add(1, std::memory_order_relaxed);
+        return Admission::kShed;
+      }
+      if (size_ >= high_) {
         shed_.fetch_add(1, std::memory_order_relaxed);
         return Admission::kShed;
       }
@@ -93,39 +110,53 @@ class SubmissionQueue {
       ++size_;
       admitted_.fetch_add(1, std::memory_order_relaxed);
       NoteDepthLocked(size_);
-      UpdateLevelLocked();
+      pending = UpdateLevelLocked();
     }
     cv_.notify_one();
+    if (pending.fn) pending.fn(pending.level);
     return Admission::kAdmitted;
   }
 
   /// Pops up to `max_n` submissions. Expired submissions (deadline < now
   /// at dequeue) are moved to `*expired` and do not count toward max_n —
-  /// the dispatcher answers them without executing. Blocks up to `wait`
-  /// for the first item; returns the number of live submissions
-  /// appended to `*out` (0 on timeout or close).
+  /// the dispatcher answers them without executing. At most
+  /// kMaxExpiredPerPop expired submissions move per call, bounding the
+  /// lock hold under a mass-expiry spike (a backlog of thousands of
+  /// expired entries must not stall every producer behind mu_ for one
+  /// giant drain); the dispatcher loops, so the backlog still clears, in
+  /// lock-fair slices. Blocks up to `wait` for the first item; returns
+  /// the number of live submissions appended to `*out` (0 on timeout,
+  /// close, or an expired-bound slice).
+  static constexpr size_t kMaxExpiredPerPop = 64;
   size_t PopBatch(std::vector<Submission>* out,
                   std::vector<Submission>* expired, size_t max_n,
                   std::chrono::nanoseconds wait) {
-    std::unique_lock lock(mu_);
-    if (size_ == 0 && wait.count() > 0) {
-      cv_.wait_for(lock, wait, [this] { return size_ > 0 || closed_; });
-    }
+    PendingLevel pending;
     size_t popped = 0;
-    const auto now = std::chrono::steady_clock::now();
-    while (size_ > 0 && popped < max_n) {
-      Submission& s = ring_[head_];
-      head_ = (head_ + 1) % capacity_;
-      --size_;
-      if (s.deadline < now) {
-        expired->push_back(std::move(s));
-        deadline_dropped_.fetch_add(1, std::memory_order_relaxed);
-        continue;  // a dropped request frees a slot for a live one
+    {
+      std::unique_lock lock(mu_);
+      if (size_ == 0 && wait.count() > 0) {
+        cv_.wait_for(lock, wait, [this] { return size_ > 0 || closed_; });
       }
-      out->push_back(std::move(s));
-      ++popped;
+      size_t expired_moved = 0;
+      const auto now = std::chrono::steady_clock::now();
+      while (size_ > 0 && popped < max_n &&
+             expired_moved < kMaxExpiredPerPop) {
+        Submission& s = ring_[head_];
+        if (s.deadline < now) {
+          expired->push_back(std::move(s));
+          deadline_dropped_.fetch_add(1, std::memory_order_relaxed);
+          ++expired_moved;  // a dropped request frees a slot for a live one
+        } else {
+          out->push_back(std::move(s));
+          ++popped;
+        }
+        head_ = (head_ + 1) % capacity_;
+        --size_;
+      }
+      pending = UpdateLevelLocked();
     }
-    UpdateLevelLocked();
+    if (pending.fn) pending.fn(pending.level);
     return popped;
   }
 
@@ -156,6 +187,12 @@ class SubmissionQueue {
     return admitted_.load(std::memory_order_relaxed);
   }
   uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  /// Pushes rejected because the queue was closed (shutdown), NOT because
+  /// of overload — kept out of shed() so shed-rate assertions (the
+  /// serving-smoke CI bar) are not inflated by clients racing Close().
+  uint64_t rejected_closed() const {
+    return rejected_closed_.load(std::memory_order_relaxed);
+  }
   uint64_t deadline_dropped() const {
     return deadline_dropped_.load(std::memory_order_relaxed);
   }
@@ -181,14 +218,30 @@ class SubmissionQueue {
     depth_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
   }
 
-  void UpdateLevelLocked() {
+  /// A latched watermark transition whose callback still has to run (after
+  /// mu_ is released). fn is empty when no transition happened.
+  struct PendingLevel {
+    std::function<void(QueueLevel)> fn;
+    QueueLevel level = QueueLevel::kNormal;
+  };
+
+  // Detects and latches a level transition under mu_; the caller fires the
+  // returned callback after unlocking. level_ changes only here, under the
+  // lock, so exactly one caller observes (and reports) each crossing —
+  // the edge-trigger guarantee survives the deferred fire.
+  PendingLevel UpdateLevelLocked() {
     QueueLevel next = size_ >= high_  ? QueueLevel::kOverloaded
                       : size_ >= low_ ? QueueLevel::kBusy
                                       : QueueLevel::kNormal;
+    PendingLevel pending;
     if (next != level_) {
       level_ = next;
-      if (listener_) listener_(next);
+      if (listener_) {
+        pending.fn = listener_;  // snapshot: set_level_listener may race
+        pending.level = next;
+      }
     }
+    return pending;
   }
 
   const size_t capacity_;
@@ -206,6 +259,7 @@ class SubmissionQueue {
 
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> rejected_closed_{0};
   std::atomic<uint64_t> deadline_dropped_{0};
   std::atomic<uint64_t> depth_hist_[kDepthBuckets] = {};
 };

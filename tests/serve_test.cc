@@ -19,6 +19,7 @@
 #include "ccidx/interval/interval_index.h"
 #include "ccidx/io/block_device.h"
 #include "ccidx/io/pager.h"
+#include "ccidx/io/wal.h"
 #include "ccidx/query/executor.h"
 #include "ccidx/query/sink.h"
 #include "ccidx/serve/codec.h"
@@ -273,6 +274,42 @@ TEST(ServeQueue, CloseUnblocksAndSheds) {
   q.Close();
   popper.join();
   EXPECT_EQ(q.TryPush(MakeSub(1)), Admission::kShed);
+  // Shutdown rejections are bookkeeping, not overload: they must land in
+  // rejected_closed(), never in shed(), so shed-rate assertions stay
+  // meaningful while clients drain against a closing server.
+  EXPECT_EQ(q.shed(), 0u);
+  EXPECT_EQ(q.rejected_closed(), 1u);
+  EXPECT_EQ(q.TryPush(MakeSub(2)), Admission::kShed);
+  EXPECT_EQ(q.rejected_closed(), 2u);
+  EXPECT_EQ(q.admitted(), 0u);
+}
+
+TEST(ServeQueue, LevelListenerMayCallQueueAccessors) {
+  // Regression: the listener used to fire with mu_ held, so a listener
+  // touching depth()/level() self-deadlocked. Transitions are now
+  // latched under the lock and fired after release — a listener reading
+  // the queue back must complete, and the edge-trigger (one callback per
+  // crossing) must survive the deferred fire.
+  SubmissionQueue q(8, 2, 4);
+  std::vector<std::pair<QueueLevel, size_t>> seen;
+  q.set_level_listener([&](QueueLevel level) {
+    seen.push_back({level, q.depth()});  // deadlocked before the split
+    EXPECT_EQ(q.level(), level);  // single-threaded: latest == reported
+  });
+  EXPECT_EQ(q.TryPush(MakeSub(1)), Admission::kAdmitted);
+  EXPECT_EQ(q.TryPush(MakeSub(2)), Admission::kAdmitted);  // -> kBusy
+  EXPECT_EQ(q.TryPush(MakeSub(3)), Admission::kAdmitted);
+  EXPECT_EQ(q.TryPush(MakeSub(4)), Admission::kAdmitted);  // -> kOverloaded
+  std::vector<Submission> out;
+  std::vector<Submission> expired;
+  EXPECT_EQ(q.PopBatch(&out, &expired, 8, nanoseconds{0}), 4u);  // -> kNormal
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].first, QueueLevel::kBusy);
+  EXPECT_EQ(seen[0].second, 2u);
+  EXPECT_EQ(seen[1].first, QueueLevel::kOverloaded);
+  EXPECT_EQ(seen[1].second, 4u);
+  EXPECT_EQ(seen[2].first, QueueLevel::kNormal);
+  EXPECT_EQ(seen[2].second, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -547,6 +584,67 @@ TEST_F(ServeEndToEndTest, UpdatesApplyUnderOneEpochAndAreReadBack) {
   EXPECT_EQ(got.count, 0u);
   server.Stop();
   EXPECT_EQ(server.stats().dispatch.update_ops, 66u);
+}
+
+TEST_F(ServeEndToEndTest, WalCheckpointRestartServesSameTables) {
+  // Clean-restart protocol under the serving stack: serve updates with a
+  // WAL attached, stop, checkpoint, and bring a second server up over
+  // the same pager. The restarted server must read back exactly what the
+  // first one committed, and shutdown-window pushes must land in
+  // rejected_closed, not shed.
+  BuildTables();
+  Wal wal(&dev_, MakeMemWalStorage());
+  pager_.AttachWal(&wal);  // takes the post-build baseline checkpoint
+
+  ServerOptions opts;
+  {
+    Server server(Tables(), opts);
+    server.Start();
+    LoopbackConnection conn(&server);
+    Request upd;
+    upd.type = RequestType::kUpdateBatch;
+    for (int64_t k = 0; k < 32; ++k) {
+      upd.updates.push_back(
+          {UpdateOp::Kind::kInsert, 200000 + k, static_cast<uint64_t>(k), 0});
+    }
+    upd.updates.push_back({UpdateOp::Kind::kDelete, 9, 3, 0});
+    Response resp = conn.Call(upd);
+    ASSERT_EQ(resp.status, WireStatus::kOk);
+    EXPECT_EQ(resp.count, upd.updates.size());
+    server.Stop();
+    // Post-Stop admission: the queue is closed, so the push is refused —
+    // and the refusal must not pollute the overload shed counter.
+    SubmissionQueue* q = server.queue();
+    Submission s;
+    s.req.type = RequestType::kPing;
+    EXPECT_EQ(q->TryPush(std::move(s)), Admission::kShed);
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.shed, 0u);
+    EXPECT_EQ(stats.rejected_closed, 1u);
+  }
+  ASSERT_TRUE(wal.Checkpoint(&pager_).ok());
+  EXPECT_GT(wal.commits(), 0u);
+  EXPECT_GE(wal.checkpoints(), 2u);  // attach baseline + explicit
+
+  Server server2(Tables(), opts);
+  server2.Start();
+  LoopbackConnection conn2(&server2);
+  Request range;
+  range.type = RequestType::kBtreeRange;
+  range.mode = ResultMode::kCount;
+  range.args = {200000, 200000 + 31, 0};
+  Response got = conn2.Call(range);
+  ASSERT_EQ(got.status, WireStatus::kOk);
+  EXPECT_EQ(got.count, 32u);
+  Request deleted;
+  deleted.type = RequestType::kBtreeRange;
+  deleted.mode = ResultMode::kCount;
+  deleted.args = {9, 9, 0};
+  got = conn2.Call(deleted);
+  ASSERT_EQ(got.status, WireStatus::kOk);
+  EXPECT_EQ(got.count, 0u);
+  server2.Stop();
+  EXPECT_EQ(server2.stats().rejected_closed, 0u);
 }
 
 TEST_F(ServeEndToEndTest, AbsentTableAnswersBadRequestNotCrash) {

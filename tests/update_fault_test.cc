@@ -14,12 +14,15 @@
 // either the pre-op or post-op oracle state — anything else is a bug.
 
 #include <algorithm>
+#include <cstdlib>
 #include <optional>
 #include <random>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "ccidx/bptree/bptree.h"
 #include "ccidx/classes/hierarchy.h"
 #include "ccidx/classes/rake_contract.h"
 #include "ccidx/constraint/generalized_index.h"
@@ -31,6 +34,7 @@
 #include "ccidx/interval/interval_index.h"
 #include "ccidx/io/block_device.h"
 #include "ccidx/io/pager.h"
+#include "ccidx/io/wal.h"
 #include "ccidx/pst/external_pst.h"
 #include "ccidx/testutil/oracles.h"
 
@@ -577,6 +581,313 @@ struct GeneralizedSetup {
 };
 
 // ---------------------------------------------------------------------------
+// Crash-recovery differential sweep (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+//
+// The FaultSweep above proves in-process fault atomicity; this sweep
+// proves crash durability. The script runs with a WAL attached and
+// simulated power loss at every log-record boundary (clean: the record
+// vanishes; torn: a partial prefix survives). After Wal::Recover the
+// family is re-attached from the recovered meta blob and must answer
+// exactly as the oracle of the committed-op prefix — or, when the kill
+// point landed after the in-flight op's final commit record, the prefix
+// plus that op. Anything else (a half-applied split, a resurrected
+// freed page, a stale root) is a recovery bug.
+//
+// Subjects are the attachable families (the ones whose handle state
+// round-trips through the meta registry): the B+-tree, the corner
+// structure, and the dynamized metablock tree. The non-attachable
+// families recover through their owner's rebuild and are covered by the
+// FaultSweep contract plus the WAL unit tests.
+//
+// CrashSetup contract = FaultSweep's Setup plus:
+//   const char* MetaKey() const          — meta-registry key
+//   std::vector<uint8_t> Meta() const    — provider body (SerializeMeta)
+//   Status Reattach(Pager*, span meta)   — rebuild the handle post-Recover
+
+constexpr uint64_t kNoOpCommitted = ~uint64_t{0};
+
+std::unique_ptr<WalStorage> MakeSweepStorage(bool file_backend,
+                                             uint64_t kill_point) {
+  if (!file_backend) return MakeMemWalStorage();
+  // Fresh log file per kill point (Reset truncates, but a crashed run
+  // leaves a tail behind — never reuse it across iterations).
+  std::string path = ::testing::TempDir() + "ccidx_crash_sweep_" +
+                     std::to_string(kill_point) + ".wal";
+  std::remove(path.c_str());
+  return MakeFileWalStorage(path);
+}
+
+// One simulated crash at record boundary `k`, recovery, reattach, and
+// the differential check. Returns false when the script finished without
+// tripping the kill point (k beyond the script's record count).
+template <typename Setup>
+bool RunOneKillPoint(Setup& setup, uint64_t k, bool file_backend,
+                     Wal::CrashMode mode) {
+  BlockDevice dev(PageSizeForBranching(kBranching));
+  Pager pager(&dev, 0);
+  Status st = setup.Reset(&pager);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  if (!st.ok()) return false;
+
+  uint64_t cur_op = kNoOpCommitted;
+  Wal wal(&dev, MakeSweepStorage(file_backend, k));
+  wal.SetMetaProvider(setup.MetaKey(), [&] { return setup.Meta(); });
+  // Test-layer commit watermark: every commit record carries the index
+  // of the op that produced it, so recovery reports exactly how far the
+  // committed prefix reaches.
+  wal.SetMetaProvider("op_seq", [&] {
+    WalEncoder enc;
+    enc.PutU64(cur_op);
+    return std::move(enc).Take();
+  });
+  pager.AttachWal(&wal);  // baseline checkpoint of the built structure
+  wal.SetCrashAfterRecords(static_cast<int64_t>(k), mode);
+
+  size_t crashed_op = setup.NumOps();
+  for (size_t i = 0; i < setup.NumOps(); ++i) {
+    cur_op = i;
+    Status s = setup.ApplyOp(i);
+    if (s.ok()) {
+      setup.CommitOp(i);
+      continue;
+    }
+    // Only the simulated power loss may fail an op in this sweep.
+    EXPECT_TRUE(wal.crashed())
+        << "op " << i << " failed without a crash: " << s.ToString();
+    crashed_op = i;
+    break;
+  }
+  if (!wal.crashed()) return false;  // script used fewer than k records
+  EXPECT_LT(crashed_op, setup.NumOps());
+
+  auto info = wal.Recover(&pager);
+  EXPECT_TRUE(info.ok()) << "recovery failed at kill " << k << ": "
+                         << info.status().ToString();
+  if (!info.ok()) return true;
+  if (mode == Wal::CrashMode::kClean) {
+    EXPECT_FALSE(info->torn_tail) << "clean kill produced a torn tail";
+  }
+
+  auto it = info->metas.find(setup.MetaKey());
+  EXPECT_TRUE(it != info->metas.end()) << "recovered metas lost the family";
+  if (it == info->metas.end()) return true;
+  st = setup.Reattach(&pager, it->second);
+  EXPECT_TRUE(st.ok()) << "reattach after kill at record " << k << " ("
+                       << (file_backend ? "file" : "mem") << "): "
+                       << st.ToString();
+  if (!st.ok()) return true;
+
+  uint64_t recovered_seq = kNoOpCommitted;
+  if (auto os = info->metas.find("op_seq"); os != info->metas.end()) {
+    WalDecoder dec(os->second);
+    recovered_seq = dec.GetU64();
+  }
+
+  // Differential: the committed prefix — or prefix + crashed op when its
+  // final commit record beat the kill point (a multi-txn op can also
+  // durably finish a logically-invisible physical reorganization, which
+  // is why the watermark below allows either index).
+  Status v = setup.Verify();
+  if (!v.ok()) {
+    setup.CommitOp(crashed_op);
+    v = setup.Verify();
+  }
+  EXPECT_TRUE(v.ok()) << "recovered state diverges from oracle at kill "
+                      << k << " (" << (file_backend ? "file" : "mem") << ", "
+                      << (mode == Wal::CrashMode::kTorn ? "torn" : "clean")
+                      << "): " << v.ToString();
+  const uint64_t committed_ops =
+      recovered_seq == kNoOpCommitted ? 0 : recovered_seq + 1;
+  EXPECT_LE(committed_ops, crashed_op + 1);
+  EXPECT_GE(committed_ops + (crashed_op == 0 ? 1 : 0), crashed_op)
+      << "commit watermark " << committed_ops << " behind crashed op "
+      << crashed_op;
+  return true;
+}
+
+template <typename Setup>
+void CrashRecoverySweep(Setup& setup, bool file_backend,
+                        Wal::CrashMode mode) {
+  // Dry run with the WAL attached: counts the script's record budget.
+  uint64_t total;
+  {
+    BlockDevice dev(PageSizeForBranching(kBranching));
+    Pager pager(&dev, 0);
+    ASSERT_TRUE(setup.Reset(&pager).ok());
+    uint64_t cur_op = kNoOpCommitted;
+    Wal wal(&dev, MakeMemWalStorage());
+    wal.SetMetaProvider(setup.MetaKey(), [&] { return setup.Meta(); });
+    wal.SetMetaProvider("op_seq", [&] {
+      WalEncoder enc;
+      enc.PutU64(cur_op);
+      return std::move(enc).Take();
+    });
+    pager.AttachWal(&wal);
+    uint64_t base = wal.records();
+    for (size_t i = 0; i < setup.NumOps(); ++i) {
+      cur_op = i;
+      Status s = setup.ApplyOp(i);
+      ASSERT_TRUE(s.ok()) << "dry run op " << i << ": " << s.ToString();
+      setup.CommitOp(i);
+    }
+    Status v = setup.Verify();
+    ASSERT_TRUE(v.ok()) << v.ToString();
+    total = wal.records() - base;
+  }
+  ASSERT_GT(total, 0u);
+
+  size_t kill_points = 0;
+  for (uint64_t k = 0; k < total; ++k) {
+    if (!RunOneKillPoint(setup, k, file_backend, mode)) break;
+    kill_points++;
+    if (::testing::Test::HasFailure()) break;
+  }
+  EXPECT_GT(kill_points, 0u) << "sweep of " << total
+                             << " records tripped no kill point";
+}
+
+// Randomized stress mode (the nightly CI job): CCIDX_CRASH_STRESS_ITERS
+// extra kill points drawn uniformly over the record budget with random
+// backend/mode, seeded by CCIDX_CRASH_STRESS_SEED (default fixed).
+template <typename Setup>
+void CrashRecoveryStress(Setup& setup, size_t iters, std::mt19937_64* rng) {
+  uint64_t total;
+  {
+    BlockDevice dev(PageSizeForBranching(kBranching));
+    Pager pager(&dev, 0);
+    ASSERT_TRUE(setup.Reset(&pager).ok());
+    Wal wal(&dev, MakeMemWalStorage());
+    wal.SetMetaProvider(setup.MetaKey(), [&] { return setup.Meta(); });
+    pager.AttachWal(&wal);
+    uint64_t base = wal.records();
+    for (size_t i = 0; i < setup.NumOps(); ++i) {
+      ASSERT_TRUE(setup.ApplyOp(i).ok());
+      setup.CommitOp(i);
+    }
+    total = wal.records() - base;
+  }
+  ASSERT_GT(total, 0u);
+  for (size_t it = 0; it < iters && !::testing::Test::HasFailure(); ++it) {
+    uint64_t k = (*rng)() % total;
+    bool file_backend = ((*rng)() & 1) != 0;
+    Wal::CrashMode mode = ((*rng)() & 1) != 0 ? Wal::CrashMode::kTorn
+                                              : Wal::CrashMode::kClean;
+    RunOneKillPoint(setup, k, file_backend, mode);
+  }
+}
+
+// --- subjects --------------------------------------------------------------
+
+// B+-tree: bulk-loaded base, then inserts driving leaf/node splits and
+// deletes (including a duplicate run) — the multi-page split chains the
+// WAL exists to make atomic.
+struct BtreeCrashSetup {
+  struct Op {
+    bool is_insert;
+    int64_t key;
+    uint64_t value;
+  };
+  std::vector<BtEntry> initial;
+  std::vector<Op> script;
+  std::optional<BPlusTree> st;
+  std::vector<std::pair<int64_t, uint64_t>> model;  // sorted (key, value)
+
+  Status Reset(Pager* pager) {
+    if (script.empty()) {
+      for (int64_t k = 0; k < 48; ++k) {
+        initial.push_back({k * 7, static_cast<uint64_t>(k), -k});
+      }
+      std::mt19937_64 rng(0xFA42C);
+      for (int i = 0; i < 20; ++i) {
+        // Clustered keys force splits in one subtree; a few duplicates.
+        int64_t key = 100 + static_cast<int64_t>(rng() % 8);
+        script.push_back({true, key, static_cast<uint64_t>(1000 + i)});
+      }
+      for (int i = 0; i < 10; ++i) {
+        script.push_back({false, initial[i * 3].key, initial[i * 3].value});
+      }
+      for (int i = 0; i < 6; ++i) {  // duplicate-run deletes
+        script.push_back({false, 100 + i, static_cast<uint64_t>(1000 + i)});
+      }
+    }
+    st.reset();
+    auto built = BPlusTree::BulkLoad(pager, initial);
+    CCIDX_RETURN_IF_ERROR(built.status());
+    st.emplace(std::move(*built));
+    model.clear();
+    for (const BtEntry& e : initial) model.push_back({e.key, e.value});
+    std::sort(model.begin(), model.end());
+    return Status::OK();
+  }
+
+  size_t NumOps() const { return script.size(); }
+
+  Status ApplyOp(size_t i) {
+    const Op& op = script[i];
+    if (op.is_insert) return st->Insert(op.key, op.value);
+    bool found = false;
+    return st->Delete(op.key, op.value, &found);
+  }
+
+  void CommitOp(size_t i) {
+    const Op& op = script[i];
+    std::pair<int64_t, uint64_t> e{op.key, op.value};
+    if (op.is_insert) {
+      model.insert(std::upper_bound(model.begin(), model.end(), e), e);
+    } else {
+      auto it = std::find(model.begin(), model.end(), e);
+      if (it != model.end()) model.erase(it);
+    }
+  }
+
+  const char* MetaKey() const { return "btree"; }
+  std::vector<uint8_t> Meta() const { return st->SerializeMeta(); }
+  Status Reattach(Pager* pager, std::span<const uint8_t> meta) {
+    auto r = BPlusTree::AttachMeta(pager, meta);
+    CCIDX_RETURN_IF_ERROR(r.status());
+    st.emplace(std::move(*r));
+    return Status::OK();
+  }
+
+  Status Verify() const {
+    CCIDX_RETURN_IF_ERROR(st->CheckInvariants());
+    if (st->size() != model.size()) {
+      return Status::Corruption("btree size mismatch");
+    }
+    std::vector<BtEntry> out;
+    CCIDX_RETURN_IF_ERROR(st->RangeSearch(-1, 1 << 20, &out));
+    std::vector<std::pair<int64_t, uint64_t>> got;
+    for (const BtEntry& e : out) got.push_back({e.key, e.value});
+    std::sort(got.begin(), got.end());
+    if (got != model) return Status::Corruption("btree content mismatch");
+    return Status::OK();
+  }
+};
+
+struct CornerCrashSetup : CornerSetup {
+  const char* MetaKey() const { return "corner"; }
+  std::vector<uint8_t> Meta() const { return st->SerializeMeta(); }
+  Status Reattach(Pager* pager, std::span<const uint8_t> meta) {
+    auto r = CornerStructure::AttachMeta(pager, meta);
+    CCIDX_RETURN_IF_ERROR(r.status());
+    st.emplace(std::move(*r));
+    return Status::OK();
+  }
+};
+
+struct DynMetaCrashSetup : DynMetaSetup {
+  const char* MetaKey() const { return "dynmeta"; }
+  std::vector<uint8_t> Meta() const { return st->SerializeMeta(); }
+  Status Reattach(Pager* pager, std::span<const uint8_t> meta) {
+    auto r = DynamicMetablockTree::AttachMeta(pager, meta);
+    CCIDX_RETURN_IF_ERROR(r.status());
+    st.emplace(std::move(*r));
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Sweeps
 // ---------------------------------------------------------------------------
 
@@ -623,6 +934,86 @@ TEST(UpdateFaultSweep, RakeContractDeleteResumes) {
 TEST(UpdateFaultSweep, GeneralizedIndexDeleteResumes) {
   GeneralizedSetup setup;
   FaultSweepResumable(setup);
+}
+
+// --- crash-recovery differential (every record boundary, both modes) ------
+
+TEST(CrashRecoverySweep, BtreeMemBackendClean) {
+  BtreeCrashSetup setup;
+  CrashRecoverySweep(setup, /*file_backend=*/false, Wal::CrashMode::kClean);
+}
+
+TEST(CrashRecoverySweep, BtreeMemBackendTorn) {
+  BtreeCrashSetup setup;
+  CrashRecoverySweep(setup, /*file_backend=*/false, Wal::CrashMode::kTorn);
+}
+
+TEST(CrashRecoverySweep, BtreeFileBackendClean) {
+  BtreeCrashSetup setup;
+  CrashRecoverySweep(setup, /*file_backend=*/true, Wal::CrashMode::kClean);
+}
+
+TEST(CrashRecoverySweep, BtreeFileBackendTorn) {
+  BtreeCrashSetup setup;
+  CrashRecoverySweep(setup, /*file_backend=*/true, Wal::CrashMode::kTorn);
+}
+
+TEST(CrashRecoverySweep, CornerMemBackendClean) {
+  CornerCrashSetup setup;
+  CrashRecoverySweep(setup, /*file_backend=*/false, Wal::CrashMode::kClean);
+}
+
+TEST(CrashRecoverySweep, CornerMemBackendTorn) {
+  CornerCrashSetup setup;
+  CrashRecoverySweep(setup, /*file_backend=*/false, Wal::CrashMode::kTorn);
+}
+
+TEST(CrashRecoverySweep, CornerFileBackendClean) {
+  CornerCrashSetup setup;
+  CrashRecoverySweep(setup, /*file_backend=*/true, Wal::CrashMode::kClean);
+}
+
+TEST(CrashRecoverySweep, DynamicMetablockMemBackendClean) {
+  DynMetaCrashSetup setup;
+  CrashRecoverySweep(setup, /*file_backend=*/false, Wal::CrashMode::kClean);
+}
+
+TEST(CrashRecoverySweep, DynamicMetablockMemBackendTorn) {
+  DynMetaCrashSetup setup;
+  CrashRecoverySweep(setup, /*file_backend=*/false, Wal::CrashMode::kTorn);
+}
+
+TEST(CrashRecoverySweep, DynamicMetablockFileBackendClean) {
+  DynMetaCrashSetup setup;
+  CrashRecoverySweep(setup, /*file_backend=*/true, Wal::CrashMode::kClean);
+}
+
+// Nightly randomized stress (CI stress.yml): extra kill points with
+// random backend/mode per family. Skipped unless CCIDX_CRASH_STRESS_ITERS
+// is set.
+TEST(CrashRecoverySweep, RandomizedStress) {
+  const char* iters_env = std::getenv("CCIDX_CRASH_STRESS_ITERS");
+  if (iters_env == nullptr || std::atoll(iters_env) <= 0) {
+    GTEST_SKIP() << "set CCIDX_CRASH_STRESS_ITERS to run";
+  }
+  size_t iters = static_cast<size_t>(std::atoll(iters_env));
+  uint64_t seed = 0xC4A54;
+  if (const char* s = std::getenv("CCIDX_CRASH_STRESS_SEED")) {
+    seed = static_cast<uint64_t>(std::atoll(s));
+  }
+  std::mt19937_64 rng(seed);
+  {
+    BtreeCrashSetup setup;
+    CrashRecoveryStress(setup, iters, &rng);
+  }
+  {
+    CornerCrashSetup setup;
+    CrashRecoveryStress(setup, iters, &rng);
+  }
+  {
+    DynMetaCrashSetup setup;
+    CrashRecoveryStress(setup, iters, &rng);
+  }
 }
 
 }  // namespace
