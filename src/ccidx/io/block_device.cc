@@ -62,11 +62,18 @@ PageId BlockDevice::Allocate() {
   // signature returns the id); an out-of-space backend is fatal, like an
   // out-of-memory simulator.
   CCIDX_CHECK(backend_->EnsureCapacity(freed_.size()).ok());
-  // Genuinely-new backend pages read as zeros, but after a recovery-time
-  // RestoreAllocation shrank the table this id may re-cover a page with
-  // stale bytes — zero it so the "allocated pages are zeroed" contract
-  // holds either way.
-  CCIDX_CHECK(backend_->ZeroPage(id).ok());
+  if (id < backend_hwm_) {
+    // The table was shrunk past this id by a recovery-time
+    // RestoreAllocation, so the backend page it re-covers holds stale
+    // bytes — zero it (and count the write) to keep the "allocated pages
+    // read as zeros" contract. Genuinely-new backend pages already read
+    // as zeros (mem calloc / file ftruncate growth), so the common bulk
+    // path pays no extra page write.
+    CCIDX_CHECK(backend_->ZeroPage(id).ok());
+    device_writes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    backend_hwm_ = freed_.size();
+  }
   return id;
 }
 
@@ -225,6 +232,7 @@ void BlockDevice::RestoreAllocation(const AllocationSnapshot& snap) {
     if (freed_[id]) free_list_.push_back(id);
   }
   CCIDX_CHECK(backend_->EnsureCapacity(freed_.size()).ok());
+  backend_hwm_ = std::max(backend_hwm_, static_cast<uint64_t>(freed_.size()));
 }
 
 bool BlockDevice::is_live(PageId id) const {

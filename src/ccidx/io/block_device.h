@@ -195,6 +195,11 @@ class BlockDevice {
   mutable std::shared_mutex mu_;
   std::vector<PageId> free_list_;
   std::vector<bool> freed_;  // indexed by id: true if on free list
+  // Backend pages ever made addressable (the backend never shrinks, even
+  // when RestoreAllocation shrinks freed_). A fresh high-water-mark
+  // allocation below this re-covers stale bytes and must be zeroed;
+  // at or above it the backend guarantees zeros. Guarded by mu_.
+  uint64_t backend_hwm_ = 0;
   // Contention-free counters: relaxed atomics, merged into an IoStats
   // snapshot by stats().
   std::atomic<uint64_t> device_reads_{0};

@@ -1320,9 +1320,10 @@ Status Pager::WalCaptureBeforeImage(PageId id) {
 void Pager::WalOnAlloc(PageId id) {
   WalTxn* txn = CurrentWalTxn();
   if (txn == nullptr) return;
-  // The append can only fail once the wal is crashed — and then the
-  // commit record can never be written either, so the lost record is
-  // harmless (the txn is uncommitted by construction).
+  // A failed append (simulated crash or a real EIO/ENOSPC, which latches
+  // the wal's sticky failed state) guarantees the commit record can never
+  // be written either, so the lost record is harmless: the txn is
+  // uncommitted by construction and recovery leaves the page free.
   (void)txn->wal->LogAlloc(txn->id, id);
   txn->allocated.insert(id);
   txn->touched.push_back(id);

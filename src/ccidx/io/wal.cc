@@ -144,6 +144,10 @@ class MemWalStorage final : public WalStorage {
 class FileWalStorage final : public WalStorage {
  public:
   explicit FileWalStorage(const std::string& path) : path_(path) {
+    // A leftover temp file means a crash hit mid-Reset before the rename;
+    // the log at path_ is still the intact previous log. Discard the
+    // orphan so it can't be mistaken for anything.
+    (void)::unlink(TmpPath().c_str());
     fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
     CCIDX_CHECK(fd_ >= 0);
     off_t end = ::lseek(fd_, 0, SEEK_END);
@@ -186,19 +190,43 @@ class FileWalStorage final : public WalStorage {
     return Status::OK();
   }
 
+  // Crash-atomic whole-log replacement: write the new log to a temp file,
+  // make it durable, then rename(2) over the old path and fsync the
+  // directory. Power loss at any point leaves either the complete old log
+  // or the complete new one — never the empty/torn file that a
+  // truncate-then-write protocol exposes between its two steps.
   Status Reset(std::span<const uint8_t> bytes) override {
     std::lock_guard lock(mu_);
-    if (::ftruncate(fd_, 0) != 0) {
-      return Status::IoError("wal ftruncate failed: " +
+    const std::string tmp = TmpPath();
+    int tfd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (tfd < 0) {
+      return Status::IoError("wal tmp open failed: " +
                              std::string(std::strerror(errno)));
     }
-    size_ = 0;
-    CCIDX_RETURN_IF_ERROR(WriteAt(bytes, 0));
-    if (::fdatasync(fd_) != 0) {
-      return Status::IoError("wal fdatasync failed: " +
-                             std::string(std::strerror(errno)));
+    auto fail = [&](const char* what) {
+      Status s = Status::IoError(std::string(what) + " failed: " +
+                                 std::strerror(errno));
+      ::close(tfd);
+      (void)::unlink(tmp.c_str());
+      return s;
+    };
+    size_t done = 0;
+    while (done < bytes.size()) {
+      ssize_t n = ::pwrite(tfd, bytes.data() + done, bytes.size() - done,
+                           static_cast<off_t>(done));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return fail("wal tmp pwrite");
+      done += static_cast<size_t>(n);
     }
-    return Status::OK();
+    if (::fdatasync(tfd) != 0) return fail("wal tmp fdatasync");
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) return fail("wal rename");
+    // The new log is now the log; retarget the fd before the directory
+    // sync so even a failed dir fsync leaves us appending to the right
+    // inode.
+    ::close(fd_);
+    fd_ = tfd;
+    size_ = bytes.size();
+    return SyncDir();
   }
 
   uint64_t size() const override {
@@ -221,6 +249,27 @@ class FileWalStorage final : public WalStorage {
       done += static_cast<size_t>(n);
     }
     size_ = std::max(size_, off + bytes.size());
+    return Status::OK();
+  }
+
+  std::string TmpPath() const { return path_ + ".tmp"; }
+
+  // Makes the rename in Reset durable: fsync the containing directory.
+  Status SyncDir() const {
+    size_t slash = path_.rfind('/');
+    std::string dir = slash == std::string::npos ? "." : path_.substr(0, slash);
+    if (dir.empty()) dir = "/";
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0) {
+      return Status::IoError("wal dir open failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    int rc = ::fsync(dfd);
+    ::close(dfd);
+    if (rc != 0) {
+      return Status::IoError("wal dir fsync failed: " +
+                             std::string(std::strerror(errno)));
+    }
     return Status::OK();
   }
 
@@ -252,10 +301,17 @@ Wal::Wal(BlockDevice* device, std::unique_ptr<WalStorage> storage)
 
 Status Wal::AppendRecord(WalRecordType type, uint64_t txn,
                          std::span<const uint8_t> payload) {
+  // Encode (payload copy + CRC) outside the lock: page images dominate
+  // record size and this keeps concurrent appenders off each other.
   std::vector<uint8_t> rec = EncodeRecord(type, txn, payload);
   std::lock_guard lock(append_mu_);
   if (crashed_.load(std::memory_order_relaxed)) {
     return Status::IoError("wal crashed (simulated power loss)");
+  }
+  if (append_failed_.load(std::memory_order_relaxed)) {
+    return Status::IoError(
+        "wal unusable after an earlier append failure (records may be "
+        "missing; checkpoint or recover to continue)");
   }
   if (crash_after_ >= 0) {
     if (crash_after_ == 0) {
@@ -276,7 +332,16 @@ Status Wal::AppendRecord(WalRecordType type, uint64_t txn,
     }
     crash_after_--;
   }
-  CCIDX_RETURN_IF_ERROR(storage_->Append(rec));
+  Status s = storage_->Append(rec);
+  if (!s.ok()) {
+    // A real append failure (EIO/ENOSPC) may have lost or torn this
+    // record without flipping the simulated-crash flag. The log can no
+    // longer be trusted to describe what happened, so latch a sticky
+    // failed state: every later append — the commit record above all —
+    // fails too, keeping "committed" equivalent to "fully logged".
+    append_failed_.store(true, std::memory_order_relaxed);
+    return s;
+  }
   append_lsn_.fetch_add(1, std::memory_order_release);
   records_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
@@ -304,25 +369,35 @@ Status Wal::LogFree(uint64_t txn, PageId id, std::span<const uint8_t> image) {
   return AppendRecord(WalRecordType::kFree, txn, enc.bytes());
 }
 
-std::vector<std::pair<std::string, std::vector<uint8_t>>> Wal::CollectMetas() {
+Wal::MetaSnapshot Wal::CollectMetas() {
+  MetaSnapshot snap;
+  // The ticket is taken BEFORE any provider runs; mutators complete their
+  // state change before their own commit starts collecting (and thus
+  // before it takes its ticket). So for any acknowledged mutation, every
+  // snapshot with a >= ticket was collected after the mutation and — with
+  // internally latched providers — contains it. Recovery keeps the
+  // max-ticket snapshot, which therefore contains every acknowledged
+  // mutation, no matter how racing commit records interleave in the log.
+  // (Holding a lock across collect+append would give the same guarantee
+  // via log order, but providers take structure latches that are held
+  // around record appends — a lock-order inversion.)
+  snap.ticket = meta_clock_.fetch_add(1, std::memory_order_seq_cst) + 1;
   std::vector<std::pair<std::string, MetaProvider>> providers;
   {
     std::lock_guard lock(meta_mu_);
     providers.assign(meta_providers_.begin(), meta_providers_.end());
   }
-  std::vector<std::pair<std::string, std::vector<uint8_t>>> metas;
-  metas.reserve(providers.size());
+  snap.entries.reserve(providers.size());
   for (auto& [key, fn] : providers) {
-    metas.emplace_back(key, fn());
+    snap.entries.emplace_back(key, fn());
   }
-  return metas;
+  return snap;
 }
 
-void Wal::EncodeMetas(
-    WalEncoder* enc,
-    const std::vector<std::pair<std::string, std::vector<uint8_t>>>& metas) {
-  enc->PutU32(static_cast<uint32_t>(metas.size()));
-  for (const auto& [key, bytes] : metas) {
+void Wal::EncodeMetas(WalEncoder* enc, const MetaSnapshot& snap) {
+  enc->PutU64(snap.ticket);
+  enc->PutU32(static_cast<uint32_t>(snap.entries.size()));
+  for (const auto& [key, bytes] : snap.entries) {
     enc->PutU16(static_cast<uint16_t>(key.size()));
     enc->PutBytes(std::span(reinterpret_cast<const uint8_t*>(key.data()),
                             key.size()));
@@ -375,6 +450,11 @@ Status Wal::GroupSync(uint64_t lsn) {
     synced_lsn_ = std::max(synced_lsn_, target);
     synced_lsn_relaxed_.store(synced_lsn_, std::memory_order_release);
     syncs_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // A failed fdatasync leaves the kernel's dirty state unknowable
+    // (writeback may have been dropped), so the log's durable contents
+    // are too: poison the wal the same way a failed append does.
+    append_failed_.store(true, std::memory_order_relaxed);
   }
   sync_cv_.notify_all();
   return s;
@@ -404,8 +484,7 @@ Status Wal::ReadRecords(std::vector<WalRecord>* out, bool* torn_tail) {
   return Status::OK();
 }
 
-Status Wal::RewriteAsCheckpoint(
-    const std::vector<std::pair<std::string, std::vector<uint8_t>>>& metas) {
+Status Wal::RewriteAsCheckpoint(const MetaSnapshot& metas) {
   BlockDevice::AllocationSnapshot snap = device_->SnapshotAllocation();
   WalEncoder enc;
   enc.PutU64(snap.total_pages);
@@ -423,6 +502,9 @@ Status Wal::RewriteAsCheckpoint(
   std::lock_guard lock(append_mu_);
   CCIDX_RETURN_IF_ERROR(storage_->Reset(rec));
   CCIDX_RETURN_IF_ERROR(storage_->Sync());
+  // The whole log was just rewritten from live in-memory state and made
+  // durable, so an earlier append failure (lost/torn record) is moot.
+  append_failed_.store(false, std::memory_order_relaxed);
   uint64_t lsn = append_lsn_.fetch_add(1, std::memory_order_release) + 1;
   records_.fetch_add(1, std::memory_order_relaxed);
   {
@@ -459,6 +541,7 @@ Result<Wal::RecoveryInfo> Wal::Recover(Pager* pager) {
     std::lock_guard lock(append_mu_);
     crash_after_ = -1;
     crashed_.store(false, std::memory_order_relaxed);
+    append_failed_.store(false, std::memory_order_relaxed);
   }
   device_->SetCrashed(false);
 
@@ -474,8 +557,14 @@ Result<Wal::RecoveryInfo> Wal::Recover(Pager* pager) {
         "wal log does not start with a checkpoint record");
   }
 
-  // 3. Base state from the checkpoint record.
+  // 3. Base state from the checkpoint record. Meta freshness is decided
+  //    by per-key collection tickets, not log position: a commit record
+  //    later in the log may carry a snapshot collected earlier (racing
+  //    committers), and restoring it would silently drop an acknowledged
+  //    buffer-only update. Max-ticket-wins is immune to that interleaving
+  //    (see CollectMetas).
   BlockDevice::AllocationSnapshot snap;
+  std::unordered_map<std::string, uint64_t> meta_tickets;
   {
     WalDecoder dec(records.front().payload);
     snap.total_pages = dec.GetU64();
@@ -485,13 +574,15 @@ Result<Wal::RecoveryInfo> Wal::Recover(Pager* pager) {
     for (uint64_t i = 0; i < nbits; ++i) {
       snap.freed[i] = (bits[i / 8] >> (i % 8)) & 1u;
     }
+    uint64_t ticket = dec.GetU64();
     uint32_t n = dec.GetU32();
     for (uint32_t i = 0; i < n; ++i) {
       uint16_t klen = dec.GetU16();
       std::span<const uint8_t> key = dec.GetBytes(klen);
       std::span<const uint8_t> blob = dec.GetBlob();
-      info.metas[std::string(key.begin(), key.end())] =
-          std::vector<uint8_t>(blob.begin(), blob.end());
+      std::string k(key.begin(), key.end());
+      info.metas[k] = std::vector<uint8_t>(blob.begin(), blob.end());
+      meta_tickets[k] = ticket;
     }
     if (!dec.ok() || snap.freed.size() != snap.total_pages) {
       return Status::Corruption("wal checkpoint record is malformed");
@@ -513,7 +604,7 @@ Result<Wal::RecoveryInfo> Wal::Recover(Pager* pager) {
 
   // 5. Forward-replay resolved allocation changes onto the snapshot (both
   //    outcomes applied their alloc/free effects in process), and merge
-  //    commit-metas in log order (later wins).
+  //    commit-metas by collection ticket (freshest snapshot wins per key).
   for (const WalRecord& r : records) {
     if (!resolved.contains(r.txn)) continue;
     WalDecoder dec(r.payload);
@@ -537,14 +628,19 @@ Result<Wal::RecoveryInfo> Wal::Recover(Pager* pager) {
         break;
       }
       case WalRecordType::kCommit: {
+        uint64_t ticket = dec.GetU64();
         uint32_t n = dec.GetU32();
         for (uint32_t i = 0; i < n; ++i) {
           uint16_t klen = dec.GetU16();
           std::span<const uint8_t> key = dec.GetBytes(klen);
           std::span<const uint8_t> blob = dec.GetBlob();
           if (!dec.ok()) return Status::Corruption("bad wal commit record");
-          info.metas[std::string(key.begin(), key.end())] =
-              std::vector<uint8_t>(blob.begin(), blob.end());
+          std::string k(key.begin(), key.end());
+          uint64_t& best = meta_tickets[k];  // absent key -> 0: first wins
+          if (ticket >= best) {
+            best = ticket;
+            info.metas[k] = std::vector<uint8_t>(blob.begin(), blob.end());
+          }
         }
         break;
       }
@@ -587,8 +683,9 @@ Result<Wal::RecoveryInfo> Wal::Recover(Pager* pager) {
   //    crash replays to exactly the same place. The recovered metas (not
   //    the live providers, which still describe pre-crash in-memory
   //    structures) are what goes in.
-  std::vector<std::pair<std::string, std::vector<uint8_t>>> metas(
-      info.metas.begin(), info.metas.end());
+  MetaSnapshot metas;
+  metas.ticket = meta_clock_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  metas.entries.assign(info.metas.begin(), info.metas.end());
   CCIDX_RETURN_IF_ERROR(device_->SyncData());
   CCIDX_RETURN_IF_ERROR(RewriteAsCheckpoint(metas));
   return info;

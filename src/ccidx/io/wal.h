@@ -47,10 +47,18 @@
 //
 // Metadata registry: structures register named providers
 // (`SetMetaProvider`); every commit appends all registered blobs into its
-// commit record and recovery returns the blobs of the last committed txn.
-// Provider reads are exact under a single writer and at quiesced
-// checkpoints; multi-writer commit metas are each writer's racy snapshot
-// (the quiesced checkpoint is the multi-writer authority).
+// commit record and recovery returns the freshest committed blobs. With
+// concurrent committers, log order does not equal collection order — a
+// commit record later in the log can carry a snapshot collected earlier,
+// and a last-in-log overlay would restore stale metas. Each snapshot
+// therefore carries a *collection ticket* drawn from a global counter
+// before the providers run, and recovery keeps the max-ticket blob per
+// key instead of the last one in the log (holding the append lock across
+// provider calls instead would invert against structure-latch → append
+// paths and deadlock). Provider reads are exact under a single writer and
+// at quiesced checkpoints; with concurrent writers a snapshot may still
+// observe another txn's mid-flight (internally consistent) state, which
+// the quiesced checkpoint supersedes.
 //
 // Crash injection for tests: SetCrashAfterRecords(k) makes the k-th
 // subsequent append vanish (or leave a torn prefix) and flips the wal and
@@ -193,8 +201,10 @@ class WalStorage {
   virtual Status Append(std::span<const uint8_t> bytes) = 0;
   virtual Status Sync() = 0;
   virtual Status ReadAll(std::vector<uint8_t>* out) = 0;
-  /// Atomically-enough replaces the whole log with `bytes` (checkpoint
-  /// truncation; callers are quiesced).
+  /// Crash-atomically replaces the whole log with `bytes` (checkpoint
+  /// truncation; callers are quiesced). The file flavor stages the new
+  /// log in a temp file and rename(2)s it over the old one, so power
+  /// loss at any point leaves a complete old or complete new log.
   virtual Status Reset(std::span<const uint8_t> bytes) = 0;
   virtual uint64_t size() const = 0;
 };
@@ -212,7 +222,7 @@ enum class WalRecordType : uint16_t {
   kAlloc = 2,      // [u64 page]
   kFree = 3,       // [u64 page][u16 has_image][image?] before-image unless
                    //   the page was allocated by this very txn
-  kCommit = 4,     // [u32 n] n x ([u16 klen][key][u32 vlen][bytes])
+  kCommit = 4,     // [u64 ticket][u32 n] n x ([u16 klen][key][u32 vlen][bytes])
   kCheckpoint = 5, // [u64 total][u64 nbits][bitmap] + metas as kCommit
   kAbort = 6,      // empty; txn resolved without commit (see below)
 };
@@ -237,7 +247,8 @@ class Wal {
     uint64_t images_restored = 0;
     bool torn_tail = false;
     /// Metadata of the last committed state: checkpoint blobs overlaid by
-    /// every committed txn's commit blobs, in log order.
+    /// committed txns' commit blobs, freshest collection ticket winning
+    /// per key.
     std::map<std::string, std::vector<uint8_t>> metas;
   };
 
@@ -283,8 +294,9 @@ class Wal {
 
   using MetaProvider = std::function<std::vector<uint8_t>()>;
   /// Registers (or replaces; empty fn erases) the provider for `key`.
-  /// Providers run on committing threads — keep them cheap and internally
-  /// synchronized.
+  /// Providers run on committing threads with no wal lock held (they may
+  /// take structure latches) — keep them cheap and internally
+  /// synchronized, and never let them log records or commit.
   void SetMetaProvider(const std::string& key, MetaProvider fn);
 
   // --- checkpoint / recovery ---------------------------------------------
@@ -331,20 +343,24 @@ class Wal {
   Status ReadRecords(std::vector<WalRecord>* out, bool* torn_tail);
 
  private:
-  // Encodes and appends one record under append_mu_, honoring the crash
-  // trigger. lsn = running record count.
+  // Encodes outside append_mu_, then appends under it (honoring the crash
+  // trigger and the sticky append-failure latch). lsn = running record
+  // count.
   Status AppendRecord(WalRecordType type, uint64_t txn,
                       std::span<const uint8_t> payload);
   // Leader-elected sync of everything appended up to now.
   Status GroupSync(uint64_t lsn);
-  std::vector<std::pair<std::string, std::vector<uint8_t>>> CollectMetas();
-  static void EncodeMetas(
-      WalEncoder* enc,
-      const std::vector<std::pair<std::string, std::vector<uint8_t>>>& metas);
+  // A meta snapshot plus the collection ticket drawn (from meta_clock_)
+  // before its providers ran — recovery keeps the max ticket per key.
+  struct MetaSnapshot {
+    uint64_t ticket = 0;
+    std::vector<std::pair<std::string, std::vector<uint8_t>>> entries;
+  };
+  MetaSnapshot CollectMetas();
+  static void EncodeMetas(WalEncoder* enc, const MetaSnapshot& metas);
   // Builds the checkpoint record payload from the device's current
   // allocation state and `metas`, and swaps it in as the whole log.
-  Status RewriteAsCheckpoint(
-      const std::vector<std::pair<std::string, std::vector<uint8_t>>>& metas);
+  Status RewriteAsCheckpoint(const MetaSnapshot& metas);
 
   BlockDevice* device_;
   std::unique_ptr<WalStorage> storage_;
@@ -356,6 +372,11 @@ class Wal {
   int64_t crash_after_ = -1;             // guarded by append_mu_
   CrashMode crash_mode_ = CrashMode::kClean;  // guarded by append_mu_
   std::atomic<bool> crashed_{false};
+  // Latched on a real storage append/sync failure (EIO/ENOSPC — not the
+  // simulated crash): the log may silently be missing a record, so every
+  // later append (and thus any commit) is refused until a checkpoint
+  // rewrites the log or recovery replays it.
+  std::atomic<bool> append_failed_{false};
 
   // Group-commit sync state.
   std::mutex sync_mu_;
@@ -372,6 +393,8 @@ class Wal {
 
   std::mutex meta_mu_;
   std::map<std::string, MetaProvider> meta_providers_;
+  // Collection-ticket source for MetaSnapshot (see CollectMetas).
+  std::atomic<uint64_t> meta_clock_{0};
 };
 
 }  // namespace ccidx

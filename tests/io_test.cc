@@ -84,6 +84,34 @@ TEST(BlockDeviceTest, LivePagesTracksFootprint) {
   EXPECT_EQ(dev.live_pages(), 6u);
 }
 
+TEST(BlockDeviceTest, HighWaterAllocationZeroesOnlyRestoreOrphanedPages) {
+  BlockDevice dev(kPageSize);
+  (void)dev.Allocate();
+  BlockDevice::AllocationSnapshot snap = dev.SnapshotAllocation();
+
+  // Ordinary high-water-mark growth: the backend guarantees zeros, so no
+  // zeroing page write is issued (bulk builds pay one write per page, not
+  // two).
+  uint64_t w0 = dev.stats().device_writes;
+  PageId b = dev.Allocate();
+  EXPECT_EQ(dev.stats().device_writes, w0);
+  std::vector<uint8_t> junk(kPageSize, 0xEE);
+  ASSERT_TRUE(dev.Write(b, junk).ok());
+
+  // Recovery shrinks the table past b; re-growing re-covers b's backend
+  // storage, whose stale bytes must be zeroed — and that page write must
+  // show up in the I/O metric.
+  dev.RestoreAllocation(snap);
+  uint64_t w1 = dev.stats().device_writes;
+  PageId c = dev.Allocate();
+  EXPECT_EQ(c, b);
+  EXPECT_EQ(dev.stats().device_writes, w1 + 1);
+  std::vector<uint8_t> buf(kPageSize, 0xAB);
+  ASSERT_TRUE(dev.Read(c, buf).ok());
+  EXPECT_TRUE(std::all_of(buf.begin(), buf.end(),
+                          [](uint8_t v) { return v == 0; }));
+}
+
 TEST(PagerTest, UncachedPassesThrough) {
   BlockDevice dev(kPageSize);
   Pager pager(&dev, /*capacity_pages=*/0);

@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -481,6 +484,148 @@ TEST(WalTest, GroupCommitSharesSyncsAcrossConcurrentCommitters) {
 // ---------------------------------------------------------------------------
 // File backend persistence
 // ---------------------------------------------------------------------------
+
+// A WalStorage wrapper that injects one IoError on the Nth append (a real
+// EIO/ENOSPC, not the simulated power loss — the crash flags stay clear).
+class FailNthAppendStorage final : public WalStorage {
+ public:
+  explicit FailNthAppendStorage(int fail_at)
+      : fail_at_(fail_at), inner_(MakeMemWalStorage()) {}
+  const char* name() const override { return "failmem"; }
+  Status Append(std::span<const uint8_t> bytes) override {
+    if (appends_++ == fail_at_) {
+      return Status::IoError("injected append failure");
+    }
+    return inner_->Append(bytes);
+  }
+  Status Sync() override { return inner_->Sync(); }
+  Status ReadAll(std::vector<uint8_t>* out) override {
+    return inner_->ReadAll(out);
+  }
+  Status Reset(std::span<const uint8_t> bytes) override {
+    return inner_->Reset(bytes);
+  }
+  uint64_t size() const override { return inner_->size(); }
+
+ private:
+  int fail_at_;
+  int appends_ = 0;
+  std::unique_ptr<WalStorage> inner_;
+};
+
+TEST(WalTest, AppendFailureLatchesWalSoTheTxnCanNeverCommit) {
+  BlockDevice dev(kPageSize);
+  Wal wal(&dev, std::make_unique<FailNthAppendStorage>(1));
+  std::vector<uint8_t> img = FilledPage(0x5A);
+
+  uint64_t t = wal.BeginTxn();
+  ASSERT_TRUE(wal.LogAlloc(t, 3).ok());
+  // The injected EIO loses this record without crashing the wal...
+  EXPECT_EQ(wal.LogAlloc(t, 4).code(), StatusCode::kIoError);
+  EXPECT_FALSE(wal.crashed());
+  // ...so the sticky failed state must refuse everything after it — above
+  // all the commit record, or recovery would rebuild allocation without
+  // the unlogged page while committed metas still reference it.
+  EXPECT_EQ(wal.LogPageImage(t, 3, img).code(), StatusCode::kIoError);
+  EXPECT_EQ(wal.CommitTxn(t).code(), StatusCode::kIoError);
+  EXPECT_EQ(wal.commits(), 0u);
+
+  // A (quiesced) checkpoint rewrites the whole log from live state and
+  // makes the wal usable again.
+  ASSERT_TRUE(wal.Checkpoint(nullptr).ok());
+  uint64_t t2 = wal.BeginTxn();
+  ASSERT_TRUE(wal.LogAlloc(t2, 5).ok());
+  ASSERT_TRUE(wal.CommitTxn(t2).ok());
+  EXPECT_EQ(wal.commits(), 1u);
+}
+
+TEST(WalTest, RecoveryKeepsFreshestMetaSnapshotUnderConcurrentCommits) {
+  BlockDevice dev(kPageSize);
+  Wal wal(&dev, MakeMemWalStorage());
+  ASSERT_TRUE(wal.Checkpoint(nullptr).ok());
+  // With concurrent committers, commit records interleave in the log in
+  // arbitrary order relative to when their meta snapshots were collected:
+  // a record *later* in the log can carry an *older* snapshot. Recovery
+  // must therefore pick by collection ticket, not log position. Each txn
+  // bumps a counter before committing; after every txn is acknowledged,
+  // the freshest snapshot was collected after all the bumps, so the
+  // recovered meta must be exactly the final count — with last-in-log
+  // semantics a stale racing snapshot could win and "lose" acknowledged
+  // updates.
+  std::atomic<uint64_t> seq{0};
+  wal.SetMetaProvider("seq", [&] {
+    WalEncoder enc;
+    enc.PutU64(seq.load(std::memory_order_relaxed));
+    return enc.Take();
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        uint64_t txn = wal.BeginTxn();
+        seq.fetch_add(1, std::memory_order_relaxed);
+        ASSERT_TRUE(wal.CommitTxn(txn).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  auto recovered = wal.Recover(nullptr);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  auto it = recovered->metas.find("seq");
+  ASSERT_NE(it, recovered->metas.end());
+  WalDecoder val(it->second);
+  EXPECT_EQ(val.GetU64(),
+            static_cast<uint64_t>(kThreads) * kTxnsPerThread);
+  ASSERT_TRUE(val.ok());
+}
+
+TEST(WalTest, FileStorageResetStagesThroughTempAndDiscardsOrphans) {
+  std::string path = ::testing::TempDir() + "ccidx_wal_reset.wal";
+  std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+
+  std::vector<uint8_t> old_log = {1, 2, 3, 4};
+  {
+    auto storage = MakeFileWalStorage(path);
+    ASSERT_TRUE(storage->Append(old_log).ok());
+    ASSERT_TRUE(storage->Sync().ok());
+  }
+
+  // A crash between staging the new checkpoint and the rename leaves an
+  // orphan temp file; the log at the real path is still the intact old
+  // one. Opening must discard the orphan and serve the old log.
+  {
+    FILE* f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("torn half-written checkpoint", f);
+    std::fclose(f);
+  }
+  auto storage = MakeFileWalStorage(path);
+  EXPECT_EQ(std::fopen(tmp.c_str(), "rb"), nullptr);
+  std::vector<uint8_t> got;
+  ASSERT_TRUE(storage->ReadAll(&got).ok());
+  EXPECT_EQ(got, old_log);
+
+  // Reset replaces the log via rename: afterwards no temp file lingers,
+  // appends land in the renamed file, and a fresh open sees everything.
+  std::vector<uint8_t> new_log = {9, 8, 7};
+  ASSERT_TRUE(storage->Reset(new_log).ok());
+  EXPECT_EQ(std::fopen(tmp.c_str(), "rb"), nullptr);
+  std::vector<uint8_t> tail = {6, 5};
+  ASSERT_TRUE(storage->Append(tail).ok());
+  ASSERT_TRUE(storage->Sync().ok());
+  storage.reset();
+
+  auto reopened = MakeFileWalStorage(path);
+  ASSERT_TRUE(reopened->ReadAll(&got).ok());
+  EXPECT_EQ(got, std::vector<uint8_t>({9, 8, 7, 6, 5}));
+  std::remove(path.c_str());
+}
 
 TEST(WalTest, FileStoragePersistsAcrossWalInstances) {
   BlockDevice dev(kPageSize);
